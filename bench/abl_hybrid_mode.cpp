@@ -1,0 +1,85 @@
+// Ablation — KNL hybrid mode (paper §III-B): part of MCDRAM stays flat
+// (the runtime's prefetch budget), the rest serves as a hardware cache
+// in front of DDR4.  "This avoids latency from misses for data in the
+// flat mode portion of MCDRAM while also allowing memory node-agnostic
+// allocation ... with the partial cache mode."
+//
+// Sweep the cache fraction from 0 (pure flat + runtime, the paper's
+// configuration) to pure cache mode, for an out-of-core stencil.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/sim_executor.hpp"
+#include "sim/stencil_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmr;
+  std::string csv_path;
+  std::uint64_t total_gib = 32;
+  ArgParser args("abl_hybrid_mode",
+                 "ablation: flat / hybrid / cache MCDRAM configurations");
+  args.add_flag("csv", "write results to this CSV file", &csv_path);
+  args.add_flag("total-gib", "total working set (GiB)", &total_gib);
+  if (!args.parse(argc, argv)) return 1;
+
+  bench::banner("Ablation: KNL memory modes (flat / hybrid / cache)",
+                "paper §III-B — how much MCDRAM should the runtime keep "
+                "under explicit control?");
+
+  const auto model = hw::knl_flat_all_to_all();
+  const auto p = sim::StencilWorkload::params_for_reduced(
+      total_gib * GiB, 2 * GiB, model.num_pes, /*iterations=*/10);
+  sim::StencilWorkload w(p);
+
+  TextTable t({"configuration", "flat MCDRAM", "cached MCDRAM",
+               "total (s)", "vs pure flat"});
+  bench::CsvSink csv(csv_path,
+                     {"cache_fraction", "total_s", "vs_flat"});
+
+  double flat_time = 0;
+  for (double frac : {0.0, 0.25, 0.5, 0.75}) {
+    sim::SimConfig cfg;
+    cfg.model = model;
+    cfg.strategy = ooc::Strategy::MultiIo;
+    cfg.hybrid_cache_fraction = frac;
+    const auto r = sim::SimExecutor(cfg).run(w);
+    if (frac == 0.0) flat_time = r.total_time;
+    const auto mcdram = model.tier(model.fast).capacity;
+    t.add_row({frac == 0.0 ? "flat + MultipleIO (paper)"
+                           : strfmt("hybrid %.0f%% cache + MultipleIO",
+                                    100 * frac),
+               fmt_bytes(static_cast<std::uint64_t>(
+                   static_cast<double>(mcdram) * (1 - frac))),
+               fmt_bytes(static_cast<std::uint64_t>(
+                   static_cast<double>(mcdram) * frac)),
+               strfmt("%.2f", r.total_time),
+               strfmt("%.2fx", flat_time / r.total_time)});
+    if (csv) {
+      csv->field(frac).field(r.total_time).field(flat_time / r.total_time);
+      csv->end_row();
+    }
+  }
+  {
+    sim::SimConfig cfg;
+    cfg.model = model;
+    cfg.cache_mode = true;
+    const auto r = sim::SimExecutor(cfg).run(w);
+    t.add_row({"pure cache mode (no runtime)", "0 B",
+               fmt_bytes(model.tier(model.fast).capacity),
+               strfmt("%.2f", r.total_time),
+               strfmt("%.2fx", flat_time / r.total_time)});
+    if (csv) {
+      csv->field(1.0).field(r.total_time).field(flat_time / r.total_time);
+      csv->end_row();
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nexpected shape: with every access annotated, the cache "
+               "half of MCDRAM sits\nidle — performance is flat until the "
+               "remaining prefetch budget can no longer\ncover the "
+               "pipeline depth, then collapses toward pure cache mode.  "
+               "The paper's\nall-flat choice wastes nothing for "
+               "runtime-managed applications\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation B — IO-thread count (the paper's §IV-B future work:
+// "finding more optimal IO thread count such that one IO thread can be
+// assigned to a subgroup of wait queues").
+//
+// MultiIo scheduling with k physical IO threads, k swept from 1 to one
+// per PE.  Engine behaviour (per-PE wait queues, per-PE draining) is
+// unchanged; only transfer parallelism varies.  This interpolates
+// between SingleIO-like serialization and full MultiIO.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/stencil_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmr;
+  std::string csv_path;
+  ArgParser args("abl_iothreads",
+                 "ablation: IO threads per wait-queue subgroup");
+  args.add_flag("csv", "write results to this CSV file", &csv_path);
+  if (!args.parse(argc, argv)) return 1;
+
+  bench::banner("Ablation: IO-thread count (wait-queue subgroups)",
+                "paper future work §IV-B — where between 1 and 64 IO "
+                "threads does the benefit saturate?");
+
+  const auto model = hw::knl_flat_all_to_all();
+  const auto p = sim::StencilWorkload::params_for_reduced(
+      32 * GiB, 4 * GiB, model.num_pes, /*iterations=*/10);
+  const sim::StencilWorkload w(p);
+
+  const auto naive = bench::run_sim(model, ooc::Strategy::Naive, w);
+
+  TextTable t({"IO threads", "queues/thread", "total (s)",
+               "speedup vs naive"});
+  bench::CsvSink csv(csv_path, {"io_threads", "total_s", "speedup"});
+  for (int k : {1, 2, 4, 8, 16, 32, 64}) {
+    const auto r = bench::run_sim(model, ooc::Strategy::MultiIo, w,
+                                  /*fast_capacity=*/0, /*trace=*/false,
+                                  /*io_threads=*/k);
+    const double sp = naive.total_time / r.total_time;
+    t.add_row({strfmt("%d", k), strfmt("%d", model.num_pes / k),
+               strfmt("%.3f", r.total_time), strfmt("%.2fx", sp)});
+    if (csv) {
+      csv->field(static_cast<std::int64_t>(k))
+          .field(r.total_time)
+          .field(sp);
+      csv->end_row();
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation — per-tier memory pool (the paper's §IV-C future work:
+// "the creating of space in destination memory could be avoided if we
+// maintain a memory pool in each memory type").
+//
+// Real measurement on this host: round-trip migrations of uniformly
+// sized blocks through MemoryManager with the pool off vs on.  The
+// pool removes the arena alloc/free steps from every migration.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "mem/memory_manager.hpp"
+
+namespace {
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace hmr;
+  std::string csv_path;
+  std::uint64_t block_kib = 256;
+  std::int64_t rounds = 200;
+  ArgParser args("abl_pool_migrate",
+                 "ablation: migration with/without per-tier pools");
+  args.add_flag("csv", "write results to this CSV file", &csv_path);
+  args.add_flag("block-kib", "block size (KiB)", &block_kib);
+  args.add_flag("rounds", "migration round trips per block", &rounds);
+  if (!args.parse(argc, argv)) return 1;
+
+  bench::banner("Ablation: per-tier buffer pool on migrate",
+                "paper future work §IV-C — skip numa_alloc/numa_free "
+                "on every move");
+
+  TextTable t({"pool", "alloc us/move", "copy us/move", "free us/move",
+               "total us/move", "pool hits"});
+  bench::CsvSink csv(csv_path,
+                     {"pool", "alloc_us", "copy_us", "free_us", "total_us"});
+
+  for (bool pool : {false, true}) {
+    mem::MemoryManager mm({{"DDR4", 64 * MiB}, {"MCDRAM", 64 * MiB}}, pool);
+    constexpr int kBlocks = 8;
+    std::vector<mem::BlockId> ids;
+    for (int i = 0; i < kBlocks; ++i) {
+      const auto b = mm.register_block(block_kib * KiB, 0);
+      HMR_CHECK(b != mem::kInvalidBlock);
+      ids.push_back(b);
+    }
+    double alloc_s = 0, copy_s = 0, free_s = 0;
+    std::uint64_t moves = 0;
+    const double t0 = now_s();
+    for (std::int64_t r = 0; r < rounds; ++r) {
+      for (const auto b : ids) {
+        const auto fwd = mm.migrate(b, 1);
+        const auto back = mm.migrate(b, 0);
+        HMR_CHECK(fwd.ok && back.ok);
+        alloc_s += fwd.alloc_s + back.alloc_s;
+        copy_s += fwd.copy_s + back.copy_s;
+        free_s += fwd.free_s + back.free_s;
+        moves += 2;
+      }
+    }
+    const double wall = now_s() - t0;
+    const double n = static_cast<double>(moves);
+    const auto ps0 = mm.pool_stats(0);
+    const auto ps1 = mm.pool_stats(1);
+    t.add_row({pool ? "on" : "off", strfmt("%.2f", alloc_s / n * 1e6),
+               strfmt("%.2f", copy_s / n * 1e6),
+               strfmt("%.2f", free_s / n * 1e6),
+               strfmt("%.2f", wall / n * 1e6),
+               pool ? strfmt("%llu", static_cast<unsigned long long>(
+                                         ps0.hits + ps1.hits))
+                    : std::string("-")});
+    if (csv) {
+      csv->field(std::string_view(pool ? "on" : "off"))
+          .field(alloc_s / n * 1e6)
+          .field(copy_s / n * 1e6)
+          .field(free_s / n * 1e6)
+          .field(wall / n * 1e6);
+      csv->end_row();
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

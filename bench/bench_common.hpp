@@ -1,0 +1,75 @@
+#pragma once
+// Shared plumbing for the figure benches: standard flags, sim-run
+// helpers, and uniform table/CSV output so each fig_* binary prints
+// the same rows/series the paper reports.
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/machine_model.hpp"
+#include "ooc/types.hpp"
+#include "sim/sim_executor.hpp"
+#include "sim/workload.hpp"
+#include "util/argparse.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace hmr::bench {
+
+/// Run one (strategy, workload) combination on a modeled node.
+inline sim::SimResult run_sim(const hw::MachineModel& model,
+                              ooc::Strategy strategy,
+                              const sim::Workload& w,
+                              std::uint64_t fast_capacity = 0,
+                              bool trace = false, int io_threads = 0,
+                              bool eager_evict = true) {
+  sim::SimConfig cfg;
+  cfg.model = model;
+  cfg.strategy = strategy;
+  cfg.fast_capacity = fast_capacity;
+  cfg.trace = trace;
+  cfg.io_threads = io_threads;
+  cfg.eager_evict = eager_evict;
+  sim::SimExecutor ex(cfg);
+  return ex.run(w);
+}
+
+/// Standard bench preamble: prints what is being reproduced and where
+/// the paper's numbers came from.
+inline void banner(const std::string& what, const std::string& paper_says) {
+  std::cout << "== " << what << " ==\n"
+            << "paper: " << paper_says << "\n\n";
+}
+
+/// Optionally tee a CSV to --csv <path>.
+class CsvSink {
+public:
+  CsvSink(const std::string& path, const std::vector<std::string>& cols) {
+    if (path.empty()) return;
+    out_.open(path);
+    if (out_) {
+      csv_ = std::make_unique<CsvWriter>(out_);
+      csv_->header(cols);
+    }
+  }
+  CsvWriter* operator->() { return csv_.get(); }
+  explicit operator bool() const { return csv_ != nullptr; }
+
+private:
+  std::ofstream out_;
+  std::unique_ptr<CsvWriter> csv_;
+};
+
+/// The movement strategies evaluated in the paper's figures 8 and 9.
+inline const std::vector<ooc::Strategy>& movement_strategies() {
+  static const std::vector<ooc::Strategy> v{
+      ooc::Strategy::SingleIo, ooc::Strategy::SyncNoIo,
+      ooc::Strategy::MultiIo};
+  return v;
+}
+
+} // namespace hmr::bench

@@ -1,0 +1,69 @@
+// Extension — barriered vs message-driven (pipelined) stencil
+// iterations.
+//
+// The paper's §III-A sells over-decomposition on the overlap of
+// communication and computation: "While a chare's entry method waits
+// for its input data to arrive, the entry methods of other chares on
+// the same PE whose input data is present, can be executed."  The
+// figure benches use per-iteration barriers (simple and conservative);
+// this bench quantifies what message-driven dependency release buys on
+// top: each chare's iteration k starts as soon as its neighbourhood
+// finished k-1, so the IO threads prefetch across the iteration
+// boundary instead of idling at the barrier.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/pipelined_stencil_workload.hpp"
+#include "sim/stencil_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmr;
+  std::string csv_path;
+  ArgParser args("ext_pipelined_overlap",
+                 "extension: barriered vs message-driven iterations");
+  args.add_flag("csv", "write results to this CSV file", &csv_path);
+  if (!args.parse(argc, argv)) return 1;
+
+  bench::banner("Extension: message-driven iteration pipelining",
+                "paper §III-A overlap story — release each chare's next "
+                "update from its neighbourhood, not a global barrier");
+
+  const auto model = hw::knl_flat_all_to_all();
+  constexpr std::uint64_t kTotal = 32ull << 30;
+  constexpr int kIters = 10;
+  // 8x8x16 = 1024 chares -> the fig-8 "2 GB reduced WSS" block size.
+  sim::StencilWorkload barriered({.total_bytes = kTotal,
+                                  .num_chares = 1024,
+                                  .num_pes = model.num_pes,
+                                  .iterations = kIters});
+  sim::PipelinedStencilWorkload pipelined({.total_bytes = kTotal,
+                                           .cx = 8,
+                                           .cy = 8,
+                                           .cz = 16,
+                                           .num_pes = model.num_pes,
+                                           .iterations = kIters});
+
+  TextTable t({"strategy", "barriered (s)", "pipelined (s)", "gain"});
+  bench::CsvSink csv(csv_path,
+                     {"strategy", "barriered_s", "pipelined_s", "gain"});
+  for (auto s : {ooc::Strategy::SingleIo, ooc::Strategy::SyncNoIo,
+                 ooc::Strategy::MultiIo}) {
+    const double tb = bench::run_sim(model, s, barriered).total_time;
+    const double tp = bench::run_sim(model, s, pipelined).total_time;
+    t.add_row({ooc::strategy_name(s), strfmt("%.2f", tb),
+               strfmt("%.2f", tp), strfmt("%.2fx", tb / tp)});
+    if (csv) {
+      csv->field(std::string_view(ooc::strategy_name(s)))
+          .field(tb)
+          .field(tp)
+          .field(tb / tp);
+      csv->end_row();
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nexpected shape: pipelining never hurts; the biggest "
+               "relief goes to the\nstrategies that suffer most at the "
+               "barrier (SingleIO's serial ramp)\n";
+  return 0;
+}

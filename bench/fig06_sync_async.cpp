@@ -1,0 +1,76 @@
+// Figure 6 — "Projections of Stencil3d comparing synchronous and
+// asynchronous data prefetch".
+//
+// The paper zooms into the timelines and observes a ~20 ms
+// pre-processing stall before each compute kernel under synchronous
+// fetch (Multiple queues, No IO thread) that disappears under
+// asynchronous fetch (Multiple IO threads), where transfers overlap
+// compute.  We reproduce the per-task numbers behind the zoom: the
+// worker-blocking transfer time per task and the arrival->start wait.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/sim_executor.hpp"
+#include "sim/stencil_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmr;
+  std::string csv_path;
+  ArgParser args("fig06_sync_async",
+                 "Fig 6: synchronous vs asynchronous prefetch overheads");
+  args.add_flag("csv", "write results to this CSV file", &csv_path);
+  if (!args.parse(argc, argv)) return 1;
+
+  bench::banner("Figure 6: sync vs async data prefetch",
+                "sync fetch stalls each task ~20 ms pre-kernel; async "
+                "masks the fetch/evict almost entirely");
+
+  const auto model = hw::knl_flat_all_to_all();
+  const auto p = sim::StencilWorkload::params_for_reduced(
+      32 * GiB, 2 * GiB, model.num_pes, /*iterations=*/5);
+  sim::StencilWorkload w(p);
+
+  TextTable t({"strategy", "fetch style", "pre-step fetch/task (ms)",
+               "post-step evict/task (ms)", "total (s)"});
+  bench::CsvSink csv(csv_path, {"strategy", "fetch_ms_per_task",
+                                "evict_ms_per_task", "total_s"});
+
+  struct Row {
+    ooc::Strategy s;
+    const char* style;
+  };
+  for (const Row row : {Row{ooc::Strategy::SyncNoIo, "synchronous"},
+                        Row{ooc::Strategy::MultiIo, "asynchronous"}}) {
+    sim::SimConfig cfg;
+    cfg.model = model;
+    cfg.strategy = row.s;
+    cfg.trace = true;
+    sim::SimExecutor ex(cfg);
+    const auto r = ex.run(w);
+    // Worker-lane transfer time = the stall the paper's Fig 6 zoom
+    // shows before (fetch) and after (evict) each compute kernel.
+    const auto ws = ex.tracer().summarize(model.num_pes);
+    const auto tasks =
+        static_cast<double>(std::max<std::uint64_t>(r.tasks_completed, 1));
+    const double fetch_ms =
+        ws.total_of(trace::Category::Prefetch) / tasks * 1e3;
+    const double evict_ms =
+        ws.total_of(trace::Category::Evict) / tasks * 1e3;
+    t.add_row({ooc::strategy_name(row.s), row.style,
+               strfmt("%.2f", fetch_ms), strfmt("%.2f", evict_ms),
+               strfmt("%.3f", r.total_time)});
+    if (csv) {
+      csv->field(std::string_view(ooc::strategy_name(row.s)))
+          .field(fetch_ms)
+          .field(evict_ms)
+          .field(r.total_time);
+      csv->end_row();
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nexpected shape: tens of ms of synchronous per-task "
+               "fetch/evict stall\n(the paper zooms in on ~20 ms) that "
+               "vanish entirely under asynchronous IO threads\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 7 — "memcpy cost for data migration".
+//
+// The paper stresses migration with 64 threads prefetching
+// concurrently and plots the average memcpy seconds against the amount
+// of data moved (1-16 GB), finding HBM->DDR slightly costlier than
+// DDR->HBM.  We reproduce the sweep on the modeled channels (64
+// concurrent flows) and, alongside, measure the real memcpy step of
+// MemoryManager::migrate on this host at MiB scale.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "mem/memory_manager.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmr;
+  std::string csv_path;
+  ArgParser args("fig07_memcpy", "Fig 7: migration memcpy cost by size");
+  args.add_flag("csv", "write results to this CSV file", &csv_path);
+  if (!args.parse(argc, argv)) return 1;
+
+  bench::banner("Figure 7: memcpy cost for data migration",
+                "linear in size; HBM->DDR slightly above DDR->HBM; "
+                "~0.5 s at 16 GB under 64-thread stress");
+
+  const auto model = hw::knl_flat_all_to_all();
+  TextTable t({"total moved", "DDR->HBM (s)", "HBM->DDR (s)", "ratio"});
+  bench::CsvSink csv(csv_path,
+                     {"gib", "ddr_to_hbm_s", "hbm_to_ddr_s"});
+  for (std::uint64_t gib : {1, 2, 4, 8, 12, 16}) {
+    // 64 threads move the total concurrently: each flow carries 1/64.
+    const std::uint64_t per_flow = gib * GiB / 64;
+    const double to_hbm =
+        model.migrate_time(per_flow, model.slow, model.fast, 64);
+    const double to_ddr =
+        model.migrate_time(per_flow, model.fast, model.slow, 64);
+    t.add_row({strfmt("%2llu GiB", static_cast<unsigned long long>(gib)),
+               strfmt("%.3f", to_hbm), strfmt("%.3f", to_ddr),
+               strfmt("%.2fx", to_ddr / to_hbm)});
+    if (csv) {
+      csv->field(gib).field(to_hbm).field(to_ddr);
+      csv->end_row();
+    }
+  }
+  std::cout << "modeled 64-thread migration stress:\n";
+  t.print(std::cout);
+
+  // Real migrate() on host arenas: demonstrates the three-step
+  // alloc/copy/free recipe and its measured breakdown.
+  std::cout << "\nreal MemoryManager::migrate on this host "
+            << "(single thread, MiB scale):\n";
+  mem::MemoryManager mm({{"DDR4", 512 * MiB}, {"MCDRAM", 512 * MiB}});
+  TextTable rt({"block", "alloc (us)", "copy (us)", "free (us)",
+                "copy GB/s"});
+  for (std::uint64_t mib : {1, 4, 16, 64, 128}) {
+    const auto b = mm.register_block(mib * MiB, 0);
+    HMR_CHECK(b != mem::kInvalidBlock);
+    // Warm the pages.
+    auto* p = static_cast<char*>(mm.block_ptr(b));
+    for (std::uint64_t i = 0; i < mib * MiB; i += 4096) p[i] = 1;
+    double alloc_s = 0, copy_s = 0, free_s = 0;
+    constexpr int kReps = 6;
+    for (int r = 0; r < kReps; ++r) {
+      const auto fwd = mm.migrate(b, 1);
+      const auto back = mm.migrate(b, 0);
+      HMR_CHECK(fwd.ok && back.ok);
+      alloc_s += fwd.alloc_s + back.alloc_s;
+      copy_s += fwd.copy_s + back.copy_s;
+      free_s += fwd.free_s + back.free_s;
+    }
+    const double n = 2.0 * kReps;
+    rt.add_row({strfmt("%3llu MiB", static_cast<unsigned long long>(mib)),
+                strfmt("%.1f", alloc_s / n * 1e6),
+                strfmt("%.1f", copy_s / n * 1e6),
+                strfmt("%.1f", free_s / n * 1e6),
+                strfmt("%.2f",
+                       static_cast<double>(mib * MiB) / (copy_s / n) / GB)});
+    mm.unregister_block(b);
+  }
+  rt.print(std::cout);
+  return 0;
+}

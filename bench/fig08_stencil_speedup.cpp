@@ -1,0 +1,89 @@
+// Figure 8 — "Speedup from data movement in Stencil3D".
+//
+// The paper's headline stencil result: total working set 32 GB (2x the
+// 16 GB MCDRAM), reduced working set varied over {2, 4, 8} GB via
+// over-decomposition, 20 iterations, 64 PEs.  Application iteration
+// time speedup is reported normalized to the Naive baseline
+// (HBM-preferred allocation, overflow to DDR4, no movement):
+//   * Single IO thread: considerable SLOWDOWN (<1x) — it must fetch
+//     at least one chare's blocks per PE, serially, for all 64 PEs;
+//   * Multiple queues, no IO thread: modest speedup;
+//   * Multiple queues, multiple IO threads: best, up to ~2x.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/stencil_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmr;
+  std::string csv_path;
+  std::uint64_t total_gib = 32;
+  std::int64_t iters = 20;
+  bool check = false;
+  ArgParser args("fig08_stencil_speedup",
+                 "Fig 8: Stencil3D speedup vs Naive by strategy");
+  args.add_flag("csv", "write results to this CSV file", &csv_path);
+  args.add_flag("total-gib", "total working set (GiB)", &total_gib);
+  args.add_flag("iters", "stencil iterations", &iters);
+  args.add_flag("check", "exit nonzero unless the paper's shape holds",
+                &check);
+  if (!args.parse(argc, argv)) return 1;
+
+  bench::banner("Figure 8: Stencil3D speedup from data movement",
+                "SingleIO < 1x; NoIOthread > 1x; MultipleIO best, ~2x; "
+                "total 32 GB, reduced {2,4,8} GB, 20 iters, 64 PEs");
+
+  const auto model = hw::knl_flat_all_to_all();
+  TextTable t({"reduced WSS", "DDR4only", "SingleIO", "NoIOthread",
+               "MultipleIO", "naive iter (s)"});
+  bench::CsvSink csv(csv_path,
+                     {"reduced_gib", "strategy", "speedup_vs_naive",
+                      "total_s", "fetch_gib"});
+
+  for (std::uint64_t reduced_gib : {2, 4, 8}) {
+    const auto p = sim::StencilWorkload::params_for_reduced(
+        total_gib * GiB, reduced_gib * GiB, model.num_pes,
+        static_cast<int>(iters));
+    sim::StencilWorkload w(p);
+
+    const auto naive = bench::run_sim(model, ooc::Strategy::Naive, w);
+    auto speedup = [&](ooc::Strategy s) {
+      const auto r = bench::run_sim(model, s, w);
+      if (csv) {
+        csv->field(reduced_gib)
+            .field(std::string_view(ooc::strategy_name(s)))
+            .field(naive.total_time / r.total_time)
+            .field(r.total_time)
+            .field(static_cast<double>(r.policy.fetch_bytes) / GiB);
+        csv->end_row();
+      }
+      return naive.total_time / r.total_time;
+    };
+
+    const double ddr = speedup(ooc::Strategy::DdrOnly);
+    const double single = speedup(ooc::Strategy::SingleIo);
+    const double noio = speedup(ooc::Strategy::SyncNoIo);
+    const double multi = speedup(ooc::Strategy::MultiIo);
+    if (check) {
+      // Fig 8's ordering: MultipleIO > NoIOthread > 1 > SingleIO, DDR < 1.
+      const bool ok = multi >= noio && noio > 1.0 && single < 1.0 &&
+                      ddr < 1.0 && multi > 1.3;
+      if (!ok) {
+        std::cerr << "CHECK FAILED at reduced WSS " << reduced_gib
+                  << " GB: multi=" << multi << " noio=" << noio
+                  << " single=" << single << " ddr=" << ddr << "\n";
+        return 2;
+      }
+    }
+    t.add_row({strfmt("%llu GB", static_cast<unsigned long long>(reduced_gib)),
+               strfmt("%.2fx", ddr), strfmt("%.2fx", single),
+               strfmt("%.2fx", noio), strfmt("%.2fx", multi),
+               strfmt("%.3f", naive.total_time / static_cast<double>(iters))});
+  }
+  std::cout << "speedup normalized to Naive (higher is better):\n";
+  t.print(std::cout);
+  std::cout << "\nexpected shape: MultipleIO > NoIOthread > 1x > SingleIO\n";
+  if (check) std::cout << "shape check passed\n";
+  return 0;
+}

@@ -1,0 +1,226 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the
+// runtime: arena allocation, pooled buffers, real memcpy by size,
+// policy-engine event handling, transfer-channel updates, and the
+// event queue.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/arena.hpp"
+#include "rt/ci_parser.hpp"
+#include "rt/load_balancer.hpp"
+#include "sim/sim_executor.hpp"
+#include "sim/stencil_workload.hpp"
+#include "trace/tracer.hpp"
+#include "mem/memory_manager.hpp"
+#include "ooc/policy_engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/transfer_channel.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace hmr;
+
+void BM_ArenaAllocFree(benchmark::State& state) {
+  mem::TierArena arena("t", 64 * MiB);
+  const auto sz = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = arena.alloc(sz);
+    benchmark::DoNotOptimize(p);
+    arena.free(p);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ArenaAllocFree)->Arg(256)->Arg(4096)->Arg(1 << 20);
+
+void BM_ArenaFragmentedAlloc(benchmark::State& state) {
+  // Allocate through a checkerboard of live allocations.
+  mem::TierArena arena("t", 64 * MiB);
+  std::vector<void*> keep;
+  for (int i = 0; i < 512; ++i) {
+    void* a = arena.alloc(32 * KiB);
+    void* b = arena.alloc(32 * KiB);
+    keep.push_back(a);
+    arena.free(b);
+  }
+  for (auto _ : state) {
+    void* p = arena.alloc(16 * KiB);
+    benchmark::DoNotOptimize(p);
+    arena.free(p);
+  }
+  for (void* p : keep) arena.free(p);
+}
+BENCHMARK(BM_ArenaFragmentedAlloc);
+
+void BM_MigrateRoundTrip(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  const bool pool = state.range(1) != 0;
+  mem::MemoryManager mm({{"DDR4", 128 * MiB}, {"MCDRAM", 128 * MiB}}, pool);
+  const auto b = mm.register_block(bytes, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mm.migrate(b, 1).ok);
+    benchmark::DoNotOptimize(mm.migrate(b, 0).ok);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MigrateRoundTrip)
+    ->Args({64 * KiB, 0})
+    ->Args({64 * KiB, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1})
+    ->Args({16 << 20, 0})
+    ->Args({16 << 20, 1});
+
+void BM_RawMemcpy(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<char> src(bytes, 1), dst(bytes);
+  for (auto _ : state) {
+    std::memcpy(dst.data(), src.data(), bytes);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_RawMemcpy)->Arg(4 * KiB)->Arg(256 * KiB)->Arg(16 << 20);
+
+void BM_PolicyTaskCycle(benchmark::State& state) {
+  // One full task lifecycle (arrive -> fetch -> run -> complete ->
+  // evict) through the engine, MultiIo.
+  ooc::PolicyEngine::Config cfg;
+  cfg.strategy = ooc::Strategy::MultiIo;
+  cfg.num_pes = 4;
+  cfg.fast_capacity = 1 * GiB;
+  ooc::PolicyEngine eng(cfg);
+  eng.add_block(0, 1 * MiB);
+  ooc::TaskId next = 1;
+  for (auto _ : state) {
+    ooc::TaskDesc t;
+    t.id = next++;
+    t.pe = 0;
+    t.deps = {{0, ooc::AccessMode::ReadWrite}};
+    auto c1 = eng.on_task_arrived(t);
+    auto c2 = eng.on_fetch_complete(0);
+    auto c3 = eng.on_task_complete(t.id);
+    auto c4 = eng.on_evict_complete(0);
+    benchmark::DoNotOptimize(c1.size() + c2.size() + c3.size() + c4.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PolicyTaskCycle);
+
+void BM_TransferChannelUpdate(benchmark::State& state) {
+  const auto flows = static_cast<std::uint64_t>(state.range(0));
+  sim::TransferChannel ch(10.0 * GB, 40.0 * GB);
+  double t = 0;
+  std::uint64_t id = 0;
+  for (std::uint64_t i = 0; i < flows; ++i) {
+    (void)ch.advance(t);
+    ch.add_flow(id++, 1e18, t); // effectively never completes
+  }
+  for (auto _ : state) {
+    t += 1e-6;
+    benchmark::DoNotOptimize(ch.advance(t));
+  }
+}
+BENCHMARK(BM_TransferChannelUpdate)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_EventQueue(benchmark::State& state) {
+  sim::EventQueue eq;
+  Xoshiro256 rng(1);
+  double base = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      eq.at(base + rng.uniform(), [] {});
+    }
+    while (!eq.empty()) {
+      auto [tt, fn] = eq.pop();
+      fn();
+      base = tt;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          64);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_CiParse(benchmark::State& state) {
+  const std::string src = R"(
+    module Stencil {
+      entry [prefetch] void exchange() [readonly: cur, writeonly: ghosts];
+      entry [prefetch] void update()
+          [readonly: cur, readonly: ghosts, writeonly: next];
+      entry void converged();
+    };
+  )";
+  for (auto _ : state) {
+    auto r = hmr::rt::parse_ci(src);
+    benchmark::DoNotOptimize(r.file->modules.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_CiParse);
+
+void BM_GreedyAssign(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(7);
+  std::vector<double> loads(n);
+  for (auto& l : loads) l = rng.uniform(0.5, 5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmr::rt::greedy_assign(loads, 64));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GreedyAssign)->Arg(256)->Arg(4096);
+
+void BM_TracerRecord(benchmark::State& state) {
+  trace::Tracer t;
+  double now = 0;
+  for (auto _ : state) {
+    t.record(0, trace::Category::Compute, now, now + 1e-4, 1);
+    now += 1e-4;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerRecord);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_SimStencilIteration(benchmark::State& state) {
+  // Wall-clock cost of simulating one full out-of-core stencil
+  // iteration (events, channel updates, engine steps) — the DES's own
+  // overhead, not the modeled time.
+  for (auto _ : state) {
+    sim::StencilWorkload w({.total_bytes = 256u << 20,
+                            .num_chares = 128,
+                            .num_pes = 16,
+                            .iterations = 1});
+    sim::SimConfig cfg;
+    cfg.model = hmr::hw::knl_flat_all_to_all();
+    cfg.model.num_pes = 16;
+    cfg.strategy = hmr::ooc::Strategy::MultiIo;
+    cfg.fast_capacity = 128u << 20;
+    sim::SimExecutor ex(cfg);
+    benchmark::DoNotOptimize(ex.run(w).total_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          128);
+}
+BENCHMARK(BM_SimStencilIteration);
+
+} // namespace
+
+BENCHMARK_MAIN();

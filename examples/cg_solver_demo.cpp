@@ -1,0 +1,71 @@
+// Conjugate-gradient demo: a full Krylov solver whose entire state
+// (x, r, p, Ap and ghost rows) streams through the fast tier as
+// annotated IoHandles — four waves of [prefetch] entry methods per
+// iteration plus node-level reductions for the scalar recurrences.
+//
+//   ./build/examples/cg_solver_demo [--n 64] [--strips 8] [--pes 4]
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "apps/cg_solver.hpp"
+#include "rt/runtime.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmr;
+  std::int64_t n = 64, strips = 8, pes = 4;
+  ArgParser args("cg_solver_demo", "CG Poisson solver on the runtime");
+  args.add_flag("n", "grid points per side", &n);
+  args.add_flag("strips", "chare strips (must divide n)", &strips);
+  args.add_flag("pes", "worker threads", &pes);
+  if (!args.parse(argc, argv)) return 1;
+
+  apps::CgParams p;
+  p.n = static_cast<int>(n);
+  p.strips = static_cast<int>(strips);
+  p.max_iterations = 500;
+  p.tolerance = 1e-12;
+
+  std::printf("CG on a %lldx%lld Poisson grid, %lld strips, %lld PEs\n\n",
+              static_cast<long long>(n), static_cast<long long>(n),
+              static_cast<long long>(strips), static_cast<long long>(pes));
+
+  TextTable t({"strategy", "iterations", "||r||^2", "tasks", "fetch"});
+  for (auto s : {ooc::Strategy::Naive, ooc::Strategy::SingleIo,
+                 ooc::Strategy::MultiIo}) {
+    rt::Runtime::Config cfg;
+    cfg.strategy = s;
+    cfg.num_pes = static_cast<int>(pes);
+    cfg.mem_scale = 1.0 / 8192; // 2 MiB fast tier: vectors stream
+    rt::Runtime rt(cfg);
+    apps::CgSolver solver(rt, p);
+    const auto res = solver.solve();
+
+    // Independent residual check.
+    std::vector<double> ax;
+    apps::CgSolver::apply_laplacian(solver.solution(), ax, p.n);
+    const auto b = solver.rhs();
+    double err = 0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      err = std::max(err, std::fabs(ax[i] - b[i]));
+    }
+    if (!res.converged || err > 1e-5) {
+      std::fprintf(stderr, "CG failed under %s (err %.2e)\n",
+                   ooc::strategy_name(s), err);
+      return 1;
+    }
+    const auto st = rt.policy_stats();
+    t.add_row({ooc::strategy_name(s), strfmt("%d", res.iterations),
+               strfmt("%.2e", res.residual_norm2),
+               strfmt("%llu", static_cast<unsigned long long>(st.tasks_run)),
+               fmt_bytes(st.fetch_bytes)});
+  }
+  t.print(std::cout);
+  std::printf("\nall strategies converge to the same solution; only the "
+              "data-movement traffic differs.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Blocked matrix multiplication demo (paper §V-B): C = A * B with
+// tiles as migratable blocks, read-only tiles shared across chares.
+// Shows the reuse effect in the policy counters (claims vs actual
+// migrations) and validates against a naive serial dgemm.
+//
+//   ./build/examples/matmul_demo [--n 128] [--grid 4] [--pes 4]
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "apps/block_matmul.hpp"
+#include "apps/reference.hpp"
+#include "rt/runtime.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmr;
+  std::int64_t n = 128, grid = 4, pes = 4;
+  ArgParser args("matmul_demo", "blocked matmul on the threaded runtime");
+  args.add_flag("n", "matrix dimension", &n);
+  args.add_flag("grid", "tiles per side", &grid);
+  args.add_flag("pes", "worker threads", &pes);
+  if (!args.parse(argc, argv)) return 1;
+
+  apps::MatmulParams p;
+  p.n = static_cast<int>(n);
+  p.grid = static_cast<int>(grid);
+
+  std::printf("MatMul %lldx%lld, %lldx%lld tiles, %lld PEs\n\n",
+              static_cast<long long>(n), static_cast<long long>(n),
+              static_cast<long long>(grid), static_cast<long long>(grid),
+              static_cast<long long>(pes));
+
+  std::vector<double> ref;
+  TextTable t({"strategy", "claims", "fetches", "dedup hits", "max |err|"});
+  for (auto s : {ooc::Strategy::Naive, ooc::Strategy::SingleIo,
+                 ooc::Strategy::MultiIo}) {
+    rt::Runtime::Config cfg;
+    cfg.strategy = s;
+    cfg.num_pes = static_cast<int>(pes);
+    cfg.mem_scale = 1.0 / 8192; // 2 MiB fast tier: tiles stream through
+    rt::Runtime rt(cfg);
+    apps::BlockMatmul app(rt, p);
+    app.run();
+
+    if (ref.empty()) {
+      apps::serial_matmul(app.input_a(), app.input_b(), ref,
+                          static_cast<int>(n));
+    }
+    const auto c = app.result();
+    double max_err = 0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      max_err = std::max(max_err, std::fabs(c[i] - ref[i]));
+    }
+    const auto st = rt.policy_stats();
+    const auto claims = st.tasks_run * 3; // 3 deps per gemm task
+    t.add_row({ooc::strategy_name(s),
+               strfmt("%llu", static_cast<unsigned long long>(claims)),
+               strfmt("%llu", static_cast<unsigned long long>(st.fetches)),
+               strfmt("%llu",
+                      static_cast<unsigned long long>(st.fetch_dedup_hits)),
+               strfmt("%.2e", max_err)});
+    if (max_err > 1e-9) {
+      std::fprintf(stderr, "numerical mismatch under %s\n",
+                   ooc::strategy_name(s));
+      return 1;
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nread-only tile sharing keeps fetches far below claims — "
+              "the effect that makes\neven a single IO thread competitive "
+              "for matmul (paper Fig 9).\n");
+  return 0;
+}

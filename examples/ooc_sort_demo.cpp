@@ -1,0 +1,76 @@
+// Out-of-core sort demo: external K-way merge sort where each merge
+// step is a [prefetch] task that computes its successor's dependences
+// from the data (charm-style self-chaining).  Only K input blocks and
+// one output block are resident per merge chain, no matter how large
+// the dataset — the textbook out-of-core pattern on top of the
+// paper's prefetch/evict runtime.
+//
+//   ./build/examples/ooc_sort_demo [--blocks 32] [--elems 16384]
+//                                  [--fanin 4] [--pes 4]
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/ooc_sort.hpp"
+#include "rt/runtime.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmr;
+  std::int64_t blocks = 32, elems = 16384, fanin = 4, pes = 4;
+  ArgParser args("ooc_sort_demo", "out-of-core external merge sort");
+  args.add_flag("blocks", "number of input blocks", &blocks);
+  args.add_flag("elems", "doubles per block", &elems);
+  args.add_flag("fanin", "merge fan-in K", &fanin);
+  args.add_flag("pes", "worker threads", &pes);
+  if (!args.parse(argc, argv)) return 1;
+
+  apps::SortParams p;
+  p.num_blocks = static_cast<int>(blocks);
+  p.elems_per_block = static_cast<std::uint64_t>(elems);
+  p.fanin = static_cast<int>(fanin);
+
+  const auto total =
+      static_cast<std::uint64_t>(blocks) * p.elems_per_block * 8;
+  std::printf("sorting %s in %lld blocks, %lld-way merge, %lld PEs\n\n",
+              fmt_bytes(total).c_str(), static_cast<long long>(blocks),
+              static_cast<long long>(fanin), static_cast<long long>(pes));
+
+  TextTable t({"configuration", "passes", "fetch traffic", "sorted"});
+  struct Row {
+    ooc::Strategy s;
+    bool eager;
+    const char* label;
+  };
+  for (const Row row : {Row{ooc::Strategy::Naive, true, "Naive"},
+                        Row{ooc::Strategy::MultiIo, true,
+                            "MultipleIO, eager evict"},
+                        Row{ooc::Strategy::MultiIo, false,
+                            "MultipleIO, lazy LRU"}}) {
+    rt::Runtime::Config cfg;
+    cfg.strategy = row.s;
+    cfg.eager_evict = row.eager;
+    cfg.num_pes = static_cast<int>(pes);
+    cfg.mem_scale = 1.0 / 8192; // 2 MiB fast tier
+    rt::Runtime rt(cfg);
+    apps::OocSort sorter(rt, p);
+    sorter.run();
+    const bool ok = sorter.verify();
+    const auto st = rt.policy_stats();
+    t.add_row({row.label, strfmt("%d", sorter.passes_executed()),
+               fmt_bytes(st.fetch_bytes), ok ? "yes" : "NO"});
+    if (!ok) {
+      std::fprintf(stderr, "sort verification failed (%s)\n", row.label);
+      return 1;
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nthe merge window (fanin+1 blocks) is the only resident "
+              "state per chain —\nthe dataset can exceed the fast tier "
+              "arbitrarily.  Eager eviction re-fetches\nthe window after "
+              "every chained step; the lazy-LRU extension keeps it warm "
+              "and\nhalves the traffic here.\n");
+  return 0;
+}

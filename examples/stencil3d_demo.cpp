@@ -1,0 +1,84 @@
+// Stencil3D demo: the paper's first benchmark as a real application on
+// the threaded runtime, with real data migrating between the two tier
+// arenas of this host.  Runs the same grid under several scheduling
+// strategies, validates the result against a serial reference, and
+// prints the policy traffic each strategy generated.
+//
+//   ./build/examples/stencil3d_demo [--n 48] [--chares-per-dim 2]
+//                                   [--iters 4] [--pes 4]
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "apps/reference.hpp"
+#include "apps/stencil3d.hpp"
+#include "rt/runtime.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmr;
+  std::int64_t n = 48, cdim = 2, iters = 4, pes = 4;
+  ArgParser args("stencil3d_demo", "Stencil3D on the threaded runtime");
+  args.add_flag("n", "grid points per dimension", &n);
+  args.add_flag("chares-per-dim", "chare decomposition per dimension",
+                &cdim);
+  args.add_flag("iters", "Jacobi iterations", &iters);
+  args.add_flag("pes", "worker threads", &pes);
+  if (!args.parse(argc, argv)) return 1;
+
+  apps::StencilParams p;
+  p.nx = p.ny = p.nz = static_cast<int>(n);
+  p.cx = p.cy = p.cz = static_cast<int>(cdim);
+  p.iterations = static_cast<int>(iters);
+
+  // Serial reference for validation.
+  std::vector<double> ref(static_cast<std::size_t>(p.nx) * p.ny * p.nz);
+  apps::fill_pattern(ref.data(), ref.size(), p.seed);
+  apps::serial_stencil3d(ref, p.nx, p.ny, p.nz, p.iterations);
+  double ref_sum = 0;
+  for (double v : ref) ref_sum += v;
+
+  std::printf("Stencil3D %lldx%lldx%lld, %lld^3 chares, %lld iterations, "
+              "%lld PEs\n\n",
+              static_cast<long long>(n), static_cast<long long>(n),
+              static_cast<long long>(n), static_cast<long long>(cdim),
+              static_cast<long long>(iters), static_cast<long long>(pes));
+
+  TextTable t({"strategy", "wall (ms)", "fetch", "evict", "checksum ok"});
+  for (auto s : {ooc::Strategy::Naive, ooc::Strategy::SingleIo,
+                 ooc::Strategy::SyncNoIo, ooc::Strategy::MultiIo}) {
+    rt::Runtime::Config cfg;
+    cfg.strategy = s;
+    cfg.num_pes = static_cast<int>(pes);
+    cfg.mem_scale = 1.0 / 4096; // 4 MiB fast tier: the grid overflows it
+    rt::Runtime rt(cfg);
+    apps::Stencil3D app(rt, p);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    app.run();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const bool ok = app.gather() == ref;
+    const auto st = rt.policy_stats();
+    t.add_row({ooc::strategy_name(s), strfmt("%.1f", wall * 1e3),
+               fmt_bytes(st.fetch_bytes), fmt_bytes(st.evict_bytes),
+               ok ? "yes (bitwise)" : "NO"});
+    if (!ok) {
+      std::fprintf(stderr, "checksum mismatch under %s\n",
+                   ooc::strategy_name(s));
+      return 1;
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nreference checksum: %.6f\n", ref_sum);
+  std::printf("note: wall times on this host do not show the HBM effect "
+              "(both tiers are host RAM);\nthe modeled-node timings are "
+              "what bench/fig08_stencil_speedup reproduces.\n");
+  return 0;
+}

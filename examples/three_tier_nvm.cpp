@@ -1,0 +1,61 @@
+// Three-tier generality demo (the paper's conclusion: "We plan to
+// extend this implementation to other heterogeneous memory
+// architectures ... heterogeneity in both latency and bandwidth would
+// benefit even more").
+//
+// Runs the same stencil workload on two modeled nodes:
+//   * KNL flat:    DDR4 (slow) + MCDRAM (fast) — bandwidth-restricted,
+//   * NVM node:    NVM  (slow) + MCDRAM (fast) — bandwidth- AND
+//                  latency-restricted slow tier.
+// The prefetch runtime's win grows on the NVM node exactly as the
+// paper predicts, with zero application changes — only the machine
+// model differs.
+//
+//   ./build/examples/three_tier_nvm
+
+#include <cstdio>
+#include <iostream>
+
+#include "sim/sim_executor.hpp"
+#include "sim/stencil_workload.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace hmr;
+
+  TextTable t({"node", "slow tier", "slow-only (s)", "Naive (s)",
+               "MultipleIO (s)", "vs naive", "vs slow-only"});
+  for (const auto& model :
+       {hw::knl_flat_all_to_all(), hw::three_tier_hbm_ddr_nvm()}) {
+    const auto p = sim::StencilWorkload::params_for_reduced(
+        32 * GiB, 4 * GiB, model.num_pes, /*iterations=*/5);
+    sim::StencilWorkload w(p);
+
+    auto run = [&](ooc::Strategy s) {
+      sim::SimConfig cfg;
+      cfg.model = model;
+      cfg.strategy = s;
+      return sim::SimExecutor(cfg).run(w).total_time;
+    };
+    const double slow_only = run(ooc::Strategy::DdrOnly);
+    const double naive = run(ooc::Strategy::Naive);
+    const double multi = run(ooc::Strategy::MultiIo);
+    t.add_row({model.name, model.tier(model.slow).name,
+               strfmt("%.2f", slow_only), strfmt("%.2f", naive),
+               strfmt("%.2f", multi), strfmt("%.2fx", naive / multi),
+               strfmt("%.2fx", slow_only / multi)});
+  }
+  std::printf("Stencil3D 32 GB, reduced 4 GB, 5 iterations, MultipleIO "
+              "prefetch:\n\n");
+  t.print(std::cout);
+  std::printf(
+      "\nwith an NVM far tier the penalty for leaving data in the slow "
+      "tier explodes\n(slow-only vs MultipleIO), so memory-aware "
+      "scheduling matters even more; the\nNVM's thin transfer bandwidth "
+      "also throttles the prefetcher itself, which is\nwhy the paper's "
+      "conclusion flags latency+bandwidth heterogeneity as the next\n"
+      "target.  No application change was needed: only the MachineModel "
+      "differs.\n");
+  return 0;
+}

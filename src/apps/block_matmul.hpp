@@ -1,0 +1,75 @@
+#pragma once
+// Blocked matrix multiplication on the threaded runtime: the paper's
+// second benchmark (§V-B).
+//
+// C = A * B over n x n doubles, tiled into a G x G grid.  A/B/C tiles
+// are IoHandles held in a node-level table (the paper uses a Charm++
+// nodegroup to cache the read-only A/B tiles node-wide; here the block
+// table itself is node-visible and the runtime's refcounting provides
+// the reuse).  Chare (i,j) receives one [prefetch] gemm task per
+// k-step with dependences
+//     [readonly: A_ik, readonly: B_kj, readwrite: C_ij]
+// and accumulates C_ij += A_ik * B_kj with a register-blocked i-k-j
+// micro-kernel (our stand-in for MKL cblas_dgemm, which the paper
+// detunes anyway by pointing MEMKIND_HBW_NODES away from MCDRAM).
+//
+// k-steps of one chare land on its home PE in FIFO order; the PE
+// serializes them, and '+=' is commutative across k, so any admission
+// reordering by the prefetch engine is numerically harmless.
+
+#include <memory>
+#include <vector>
+
+#include "rt/collectives.hpp"
+#include "rt/io_handle.hpp"
+#include "rt/runtime.hpp"
+
+namespace hmr::apps {
+
+struct MatmulParams {
+  int n = 128;  // matrix dimension (doubles)
+  int grid = 4; // tiles per side; must divide n
+  std::uint64_t seed = 7;
+};
+
+class BlockMatmul {
+public:
+  BlockMatmul(rt::Runtime& rt, MatmulParams p);
+
+  /// Launch all G^3 gemm tasks and wait for completion.
+  void run();
+
+  /// Assemble the full C matrix (row-major).
+  std::vector<double> result() const;
+
+  /// The exact inputs (row-major), for validation against a reference.
+  std::vector<double> input_a() const { return dense(a_); }
+  std::vector<double> input_b() const { return dense(b_); }
+
+  int tile() const { return t_; }
+  const MatmulParams& params() const { return p_; }
+
+  /// Tile handles (i, k are tile coordinates).
+  const rt::IoHandle<double>& a(int i, int k) const {
+    return a_[static_cast<std::size_t>(i) * p_.grid + k];
+  }
+  const rt::IoHandle<double>& b(int k, int j) const {
+    return b_[static_cast<std::size_t>(k) * p_.grid + j];
+  }
+  const rt::IoHandle<double>& c(int i, int j) const {
+    return c_[static_cast<std::size_t>(i) * p_.grid + j];
+  }
+
+  /// The micro-kernel: C += A * B over t x t row-major tiles.
+  static void gemm_tile(const double* a, const double* b, double* c, int t);
+
+private:
+  std::vector<double> dense(const std::vector<rt::IoHandle<double>>&) const;
+
+  rt::Runtime* rt_;
+  MatmulParams p_;
+  int t_ = 0; // tile dimension
+  std::vector<rt::IoHandle<double>> a_, b_, c_;
+};
+
+} // namespace hmr::apps

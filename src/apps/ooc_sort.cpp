@@ -1,0 +1,211 @@
+#include "apps/ooc_sort.hpp"
+
+#include <algorithm>
+
+#include "apps/reference.hpp"
+#include "util/check.hpp"
+
+namespace hmr::apps {
+
+struct OocSort::MergeChain {
+  OocSort* app = nullptr;
+  std::vector<Run> inputs;
+  std::vector<std::size_t> blk;   // current block index per run
+  std::vector<std::uint64_t> off; // offset within the current block
+  Run output;
+  std::size_t out_blk = 0;
+  std::uint64_t out_off = 0;
+  int pe = 0;
+  rt::Reduction<int>* done = nullptr;
+};
+
+OocSort::OocSort(rt::Runtime& rt, SortParams p) : rt_(&rt), p_(p) {
+  HMR_CHECK(p_.num_blocks > 0 && p_.elems_per_block > 0);
+  HMR_CHECK(p_.fanin >= 2);
+
+  input_copy_.reserve(static_cast<std::size_t>(p_.num_blocks) *
+                      p_.elems_per_block);
+  runs_.reserve(static_cast<std::size_t>(p_.num_blocks));
+  for (int b = 0; b < p_.num_blocks; ++b) {
+    const auto id = rt_->alloc_block(p_.elems_per_block * sizeof(double));
+    auto* data = static_cast<double*>(rt_->block_ptr(id));
+    fill_pattern(data, p_.elems_per_block,
+                 p_.seed + static_cast<std::uint64_t>(b));
+    input_copy_.insert(input_copy_.end(), data, data + p_.elems_per_block);
+    runs_.push_back({id});
+  }
+}
+
+void OocSort::launch_step(std::shared_ptr<MergeChain> chain) {
+  // Dependences of this step: the current block of every unexhausted
+  // run (readonly) plus the output block being filled (readwrite —
+  // it may carry a partial fill from the previous step).
+  rt::Runtime::DepList deps;
+  for (std::size_t i = 0; i < chain->inputs.size(); ++i) {
+    if (chain->blk[i] < chain->inputs[i].size()) {
+      deps.push_back({chain->inputs[i][chain->blk[i]],
+                      ooc::AccessMode::ReadOnly});
+    }
+  }
+  deps.push_back(
+      {chain->output[chain->out_blk], ooc::AccessMode::ReadWrite});
+
+  rt_->send_prefetch(chain->pe, std::move(deps), [this, chain] {
+    const std::uint64_t elems = p_.elems_per_block;
+    auto* out = static_cast<double*>(
+        rt_->block_ptr(chain->output[chain->out_blk]));
+    bool need_new_deps = false;
+    bool finished = false;
+    while (!need_new_deps) {
+      // Pick the smallest head among unexhausted runs.
+      int best = -1;
+      double best_v = 0;
+      for (std::size_t i = 0; i < chain->inputs.size(); ++i) {
+        if (chain->blk[i] >= chain->inputs[i].size()) continue;
+        const auto* src = static_cast<const double*>(
+            rt_->block_ptr(chain->inputs[i][chain->blk[i]]));
+        const double v = src[chain->off[i]];
+        if (best < 0 || v < best_v) {
+          best = static_cast<int>(i);
+          best_v = v;
+        }
+      }
+      if (best < 0) {
+        finished = true;
+        break;
+      }
+      out[chain->out_off++] = best_v;
+      auto bi = static_cast<std::size_t>(best);
+      if (++chain->off[bi] == elems) {
+        // This input block is drained: the next one needs a fetch.
+        chain->off[bi] = 0;
+        ++chain->blk[bi];
+        need_new_deps = true;
+      }
+      if (chain->out_off == elems) {
+        chain->out_off = 0;
+        ++chain->out_blk;
+        need_new_deps = true;
+      }
+    }
+    if (!finished) {
+      // The step ended on a block boundary; if that boundary was the
+      // last input draining while the final output block filled, the
+      // merge is complete and no further step exists.
+      finished = true;
+      for (std::size_t i = 0; i < chain->inputs.size(); ++i) {
+        if (chain->blk[i] < chain->inputs[i].size()) {
+          finished = false;
+          break;
+        }
+      }
+    }
+    if (finished) {
+      HMR_CHECK_MSG(chain->out_blk == chain->output.size() &&
+                        chain->out_off == 0,
+                    "merge ended before filling its output run");
+      chain->done->contribute(1);
+    } else {
+      // Charm-style self-chaining with data-dependent dependences.
+      launch_step(chain);
+    }
+  });
+}
+
+void OocSort::run() {
+  auto sum = [](const int& a, const int& b) { return a + b; };
+
+  // Phase 0: sort every block in place.
+  for (const auto& run : runs_) {
+    const auto id = run.front();
+    rt_->send_prefetch(
+        /*pe=*/static_cast<int>(id) % rt_->num_pes(),
+        {ooc::Dep{id, ooc::AccessMode::ReadWrite}}, [this, id] {
+          auto* d = static_cast<double*>(rt_->block_ptr(id));
+          std::sort(d, d + p_.elems_per_block);
+        });
+  }
+  rt_->wait_idle();
+
+  // Merge passes.
+  while (runs_.size() > 1) {
+    ++passes_;
+    std::vector<Run> next_runs;
+    std::vector<std::shared_ptr<MergeChain>> chains;
+    std::size_t n_chains = 0;
+    for (std::size_t g = 0; g < runs_.size();
+         g += static_cast<std::size_t>(p_.fanin)) {
+      const std::size_t end =
+          std::min(runs_.size(), g + static_cast<std::size_t>(p_.fanin));
+      if (end - g == 1) {
+        next_runs.push_back(runs_[g]); // odd group passes through
+        continue;
+      }
+      ++n_chains;
+    }
+    rt::Reduction<int> done(std::max<std::uint64_t>(n_chains, 1), 0, sum);
+    if (n_chains == 0) {
+      runs_ = std::move(next_runs);
+      break;
+    }
+
+    std::vector<Run> consumed;
+    int chain_idx = 0;
+    for (std::size_t g = 0; g < runs_.size();
+         g += static_cast<std::size_t>(p_.fanin)) {
+      const std::size_t end =
+          std::min(runs_.size(), g + static_cast<std::size_t>(p_.fanin));
+      if (end - g == 1) continue;
+      auto chain = std::make_shared<MergeChain>();
+      chain->app = this;
+      std::size_t total_blocks = 0;
+      for (std::size_t i = g; i < end; ++i) {
+        chain->inputs.push_back(runs_[i]);
+        consumed.push_back(runs_[i]);
+        total_blocks += runs_[i].size();
+      }
+      chain->blk.assign(chain->inputs.size(), 0);
+      chain->off.assign(chain->inputs.size(), 0);
+      chain->output.reserve(total_blocks);
+      for (std::size_t b = 0; b < total_blocks; ++b) {
+        chain->output.push_back(
+            rt_->alloc_block(p_.elems_per_block * sizeof(double)));
+      }
+      chain->pe = chain_idx++ % rt_->num_pes();
+      chain->done = &done;
+      next_runs.push_back(chain->output);
+      chains.push_back(chain);
+    }
+    for (auto& c : chains) launch_step(c);
+    (void)done.wait();
+    rt_->wait_idle(); // claims released, evictions drained
+    for (const auto& run : consumed) {
+      for (const auto id : run) rt_->free_block(id);
+    }
+    // Keep ordering stable: pass-through runs were appended in group
+    // order along with merged outputs; re-sort not needed for
+    // correctness (runs are independent sorted sequences).
+    runs_ = std::move(next_runs);
+  }
+}
+
+std::vector<double> OocSort::result() const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(p_.num_blocks) * p_.elems_per_block);
+  for (const auto& run : runs_) {
+    for (const auto id : run) {
+      const auto* d = static_cast<const double*>(rt_->block_ptr(id));
+      out.insert(out.end(), d, d + p_.elems_per_block);
+    }
+  }
+  return out;
+}
+
+bool OocSort::verify() const {
+  if (runs_.size() != 1) return false;
+  auto expected = input_copy_;
+  std::sort(expected.begin(), expected.end());
+  return result() == expected;
+}
+
+} // namespace hmr::apps

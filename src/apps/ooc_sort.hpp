@@ -1,0 +1,69 @@
+#pragma once
+// Out-of-core external merge sort on the threaded runtime.
+//
+// A classic out-of-core workload with a *dynamic* task graph — unlike
+// the stencil/matmul/CG apps, the dependence pattern here is data
+// driven: which input block a merge needs next depends on the values.
+// Each merge step is one [prefetch] entry method whose body, on
+// completion, sends the *next* step with freshly computed dependences
+// (charm-style self-chaining), so only a bounded window of blocks
+// (K inputs + 1 output) is ever resident per chain.
+//
+// Algorithm:
+//   phase 0:  sort each block in place       [readwrite: block]
+//   passes:   merge groups of K sorted runs into one run, each group a
+//             chain of step tasks            [readonly: K run heads,
+//                                             readwrite: output block]
+//   repeat until a single run remains.  Input blocks of a finished
+//   pass are released with Runtime::free_block (the slow tier holds at
+//   most two generations).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rt/collectives.hpp"
+#include "rt/io_handle.hpp"
+#include "rt/runtime.hpp"
+
+namespace hmr::apps {
+
+struct SortParams {
+  int num_blocks = 16;             // initial blocks (runs of length 1)
+  std::uint64_t elems_per_block = 4096; // doubles per block
+  int fanin = 4;                   // K-way merge
+  std::uint64_t seed = 101;
+};
+
+class OocSort {
+public:
+  OocSort(rt::Runtime& rt, SortParams p);
+
+  /// Run all passes to a single sorted run.
+  void run();
+
+  /// The sorted result, gathered densely (valid after run()).
+  std::vector<double> result() const;
+
+  /// Sorted + same multiset as the input (checked via sorted copy).
+  bool verify() const;
+
+  int passes_executed() const { return passes_; }
+  const SortParams& params() const { return p_; }
+
+private:
+  /// A run: consecutive sorted blocks (ascending across blocks).
+  using Run = std::vector<mem::BlockId>;
+
+  struct MergeChain; // one K-way merge in progress
+
+  void launch_step(std::shared_ptr<MergeChain> chain);
+
+  rt::Runtime* rt_;
+  SortParams p_;
+  std::vector<double> input_copy_; // for verify()
+  std::vector<Run> runs_;
+  int passes_ = 0;
+};
+
+} // namespace hmr::apps

@@ -1,0 +1,59 @@
+#include "apps/reference.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hmr::apps {
+
+void serial_stencil3d(std::vector<double>& grid, int nx, int ny, int nz,
+                      int iterations) {
+  HMR_CHECK(grid.size() ==
+            static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+                static_cast<std::size_t>(nz));
+  std::vector<double> next(grid.size());
+  auto at = [&](const std::vector<double>& g, int x, int y, int z) {
+    if (x < 0 || x >= nx || y < 0 || y >= ny || z < 0 || z >= nz) {
+      return 0.0; // Dirichlet boundary
+    }
+    return g[(static_cast<std::size_t>(z) * ny + y) * nx + x];
+  };
+  for (int it = 0; it < iterations; ++it) {
+    for (int z = 0; z < nz; ++z) {
+      for (int y = 0; y < ny; ++y) {
+        for (int x = 0; x < nx; ++x) {
+          const double v = at(grid, x, y, z) + at(grid, x - 1, y, z) +
+                           at(grid, x + 1, y, z) + at(grid, x, y - 1, z) +
+                           at(grid, x, y + 1, z) + at(grid, x, y, z - 1) +
+                           at(grid, x, y, z + 1);
+          next[(static_cast<std::size_t>(z) * ny + y) * nx + x] = v / 7.0;
+        }
+      }
+    }
+    grid.swap(next);
+  }
+}
+
+void serial_matmul(const std::vector<double>& a,
+                   const std::vector<double>& b, std::vector<double>& c,
+                   int n) {
+  const auto nn = static_cast<std::size_t>(n);
+  HMR_CHECK(a.size() == nn * nn && b.size() == nn * nn);
+  c.assign(nn * nn, 0.0);
+  for (std::size_t i = 0; i < nn; ++i) {
+    for (std::size_t k = 0; k < nn; ++k) {
+      const double aik = a[i * nn + k];
+      for (std::size_t j = 0; j < nn; ++j) {
+        c[i * nn + j] += aik * b[k * nn + j];
+      }
+    }
+  }
+}
+
+void fill_pattern(double* data, std::uint64_t count, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    data[i] = rng.uniform(-1.0, 1.0);
+  }
+}
+
+} // namespace hmr::apps

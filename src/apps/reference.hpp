@@ -1,0 +1,25 @@
+#pragma once
+// Serial reference kernels used to validate the chare-based
+// applications numerically.
+
+#include <cstdint>
+#include <vector>
+
+namespace hmr::apps {
+
+/// 7-point Jacobi sweep with zero (Dirichlet) boundary: out-of-domain
+/// neighbours read as 0.  Runs `iterations` sweeps over an
+/// nx * ny * nz grid (x fastest).
+void serial_stencil3d(std::vector<double>& grid, int nx, int ny, int nz,
+                      int iterations);
+
+/// Naive n x n x n triple-loop dgemm: C = A * B (row-major).
+void serial_matmul(const std::vector<double>& a,
+                   const std::vector<double>& b, std::vector<double>& c,
+                   int n);
+
+/// Deterministic pseudo-random fill used by both the apps and the
+/// references so their inputs match exactly.
+void fill_pattern(double* data, std::uint64_t count, std::uint64_t seed);
+
+} // namespace hmr::apps

@@ -1,0 +1,235 @@
+#include "apps/stencil3d.hpp"
+
+#include <cstring>
+
+#include "apps/reference.hpp"
+#include "util/check.hpp"
+
+namespace hmr::apps {
+
+namespace {
+int opposite(int face) { return face ^ 1; }
+} // namespace
+
+Stencil3D::Stencil3D(rt::Runtime& rt, StencilParams p) : rt_(&rt), p_(p) {
+  HMR_CHECK(p_.nx > 0 && p_.ny > 0 && p_.nz > 0);
+  HMR_CHECK(p_.cx > 0 && p_.cy > 0 && p_.cz > 0);
+  HMR_CHECK_MSG(p_.nx % p_.cx == 0 && p_.ny % p_.cy == 0 &&
+                    p_.nz % p_.cz == 0,
+                "chare grid must divide the global grid");
+  sx_ = p_.nx / p_.cx;
+  sy_ = p_.ny / p_.cy;
+  sz_ = p_.nz / p_.cz;
+
+  // Initial condition: one deterministic global fill, scattered to the
+  // owning chares so the serial reference sees identical input.
+  std::vector<double> global(static_cast<std::size_t>(p_.nx) * p_.ny *
+                             p_.nz);
+  fill_pattern(global.data(), global.size(), p_.seed);
+
+  const int n_chares = p_.cx * p_.cy * p_.cz;
+  cells_ = std::make_unique<rt::ChareArray<Cell>>(
+      *rt_, n_chares, [&](Cell& c) {
+        c.app = this;
+        c.ix = c.index % p_.cx;
+        c.iy = (c.index / p_.cx) % p_.cy;
+        c.iz = c.index / (p_.cx * p_.cy);
+        const auto vol = static_cast<std::uint64_t>(sx_) * sy_ * sz_;
+        c.cur = rt::IoHandle<double>(*rt_, vol);
+        c.next = rt::IoHandle<double>(*rt_, vol);
+        const std::uint64_t face_elems[6] = {
+            static_cast<std::uint64_t>(sy_) * sz_,
+            static_cast<std::uint64_t>(sy_) * sz_,
+            static_cast<std::uint64_t>(sx_) * sz_,
+            static_cast<std::uint64_t>(sx_) * sz_,
+            static_cast<std::uint64_t>(sx_) * sy_,
+            static_cast<std::uint64_t>(sx_) * sy_};
+        for (int f = 0; f < 6; ++f) {
+          c.ghost[static_cast<std::size_t>(f)] =
+              rt::IoHandle<double>(*rt_, face_elems[f]);
+          std::memset(c.ghost[static_cast<std::size_t>(f)].data(), 0,
+                      face_elems[f] * sizeof(double));
+        }
+        std::memset(c.next.data(), 0, vol * sizeof(double));
+        // Scatter this chare's portion of the initial grid.
+        double* dst = c.cur.data();
+        for (int z = 0; z < sz_; ++z) {
+          for (int y = 0; y < sy_; ++y) {
+            const int gz = c.iz * sz_ + z;
+            const int gy = c.iy * sy_ + y;
+            const int gx0 = c.ix * sx_;
+            std::memcpy(
+                dst + (static_cast<std::size_t>(z) * sy_ + y) * sx_,
+                global.data() +
+                    (static_cast<std::size_t>(gz) * p_.ny + gy) * p_.nx +
+                    gx0,
+                static_cast<std::size_t>(sx_) * sizeof(double));
+          }
+        }
+      });
+
+  kExchange_ = cells_->register_entry(
+      "exchange", /*prefetch=*/true,
+      [this](Cell& c) { do_exchange(c); },
+      [this](Cell& c) { return exchange_deps(c); },
+      /*work_factor=*/1.0);
+  kUpdate_ = cells_->register_entry(
+      "update", /*prefetch=*/true, [this](Cell& c) { do_update(c); },
+      [this](Cell& c) { return update_deps(c); },
+      /*work_factor=*/2.0);
+}
+
+rt::Runtime::DepList Stencil3D::exchange_deps(Cell& c) {
+  rt::Runtime::DepList deps;
+  deps.push_back(c.cur.dep(ooc::AccessMode::ReadOnly));
+  const int dx[6] = {-1, 1, 0, 0, 0, 0};
+  const int dy[6] = {0, 0, -1, 1, 0, 0};
+  const int dz[6] = {0, 0, 0, 0, -1, 1};
+  for (int f = 0; f < 6; ++f) {
+    const int nix = c.ix + dx[f], niy = c.iy + dy[f], niz = c.iz + dz[f];
+    if (!in_grid(nix, niy, niz)) continue;
+    Cell& nb = (*cells_)[chare_at(nix, niy, niz)];
+    deps.push_back(nb.ghost[static_cast<std::size_t>(opposite(f))].dep(
+        ooc::AccessMode::WriteOnly));
+  }
+  return deps;
+}
+
+rt::Runtime::DepList Stencil3D::update_deps(Cell& c) {
+  rt::Runtime::DepList deps;
+  deps.push_back(c.cur.dep(ooc::AccessMode::ReadOnly));
+  deps.push_back(c.next.dep(ooc::AccessMode::WriteOnly));
+  for (auto& g : c.ghost) deps.push_back(g.dep(ooc::AccessMode::ReadOnly));
+  return deps;
+}
+
+void Stencil3D::do_exchange(Cell& c) {
+  const double* cur = c.cur.data();
+  auto at = [&](int x, int y, int z) {
+    return cur[(static_cast<std::size_t>(z) * sy_ + y) * sx_ + x];
+  };
+  const int dx[6] = {-1, 1, 0, 0, 0, 0};
+  const int dy[6] = {0, 0, -1, 1, 0, 0};
+  const int dz[6] = {0, 0, 0, 0, -1, 1};
+  for (int f = 0; f < 6; ++f) {
+    const int nix = c.ix + dx[f], niy = c.iy + dy[f], niz = c.iz + dz[f];
+    if (!in_grid(nix, niy, niz)) continue;
+    Cell& nb = (*cells_)[chare_at(nix, niy, niz)];
+    double* g = nb.ghost[static_cast<std::size_t>(opposite(f))].data();
+    switch (f) {
+      case 0: // my x=0 plane -> left neighbour's +x ghost
+      case 1: {
+        const int x = (f == 0) ? 0 : sx_ - 1;
+        for (int z = 0; z < sz_; ++z) {
+          for (int y = 0; y < sy_; ++y) {
+            g[static_cast<std::size_t>(z) * sy_ + y] = at(x, y, z);
+          }
+        }
+        break;
+      }
+      case 2:
+      case 3: {
+        const int y = (f == 2) ? 0 : sy_ - 1;
+        for (int z = 0; z < sz_; ++z) {
+          for (int x = 0; x < sx_; ++x) {
+            g[static_cast<std::size_t>(z) * sx_ + x] = at(x, y, z);
+          }
+        }
+        break;
+      }
+      default: {
+        const int z = (f == 4) ? 0 : sz_ - 1;
+        for (int y = 0; y < sy_; ++y) {
+          for (int x = 0; x < sx_; ++x) {
+            g[static_cast<std::size_t>(y) * sx_ + x] = at(x, y, z);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Stencil3D::do_update(Cell& c) {
+  const double* cur = c.cur.data();
+  double* out = c.next.data();
+  const double* gxm = c.ghost[0].data();
+  const double* gxp = c.ghost[1].data();
+  const double* gym = c.ghost[2].data();
+  const double* gyp = c.ghost[3].data();
+  const double* gzm = c.ghost[4].data();
+  const double* gzp = c.ghost[5].data();
+  auto at = [&](int x, int y, int z) {
+    return cur[(static_cast<std::size_t>(z) * sy_ + y) * sx_ + x];
+  };
+  for (int z = 0; z < sz_; ++z) {
+    for (int y = 0; y < sy_; ++y) {
+      for (int x = 0; x < sx_; ++x) {
+        const double xm =
+            x > 0 ? at(x - 1, y, z)
+                  : gxm[static_cast<std::size_t>(z) * sy_ + y];
+        const double xp =
+            x < sx_ - 1 ? at(x + 1, y, z)
+                        : gxp[static_cast<std::size_t>(z) * sy_ + y];
+        const double ym =
+            y > 0 ? at(x, y - 1, z)
+                  : gym[static_cast<std::size_t>(z) * sx_ + x];
+        const double yp =
+            y < sy_ - 1 ? at(x, y + 1, z)
+                        : gyp[static_cast<std::size_t>(z) * sx_ + x];
+        const double zm =
+            z > 0 ? at(x, y, z - 1)
+                  : gzm[static_cast<std::size_t>(y) * sx_ + x];
+        const double zp =
+            z < sz_ - 1 ? at(x, y, z + 1)
+                        : gzp[static_cast<std::size_t>(y) * sx_ + x];
+        out[(static_cast<std::size_t>(z) * sy_ + y) * sx_ + x] =
+            (at(x, y, z) + xm + xp + ym + yp + zm + zp) / 7.0;
+      }
+    }
+  }
+}
+
+void Stencil3D::step() {
+  cells_->broadcast(kExchange_);
+  rt_->wait_idle();
+  cells_->broadcast(kUpdate_);
+  rt_->wait_idle();
+  for (int i = 0; i < cells_->size(); ++i) {
+    Cell& c = (*cells_)[i];
+    std::swap(c.cur, c.next);
+  }
+}
+
+void Stencil3D::run() {
+  for (int it = 0; it < p_.iterations; ++it) step();
+}
+
+std::vector<double> Stencil3D::gather() const {
+  std::vector<double> out(static_cast<std::size_t>(p_.nx) * p_.ny * p_.nz);
+  for (int i = 0; i < cells_->size(); ++i) {
+    const Cell& c = (*cells_)[i];
+    const double* src = c.cur.data();
+    for (int z = 0; z < sz_; ++z) {
+      for (int y = 0; y < sy_; ++y) {
+        const int gz = c.iz * sz_ + z;
+        const int gy = c.iy * sy_ + y;
+        const int gx0 = c.ix * sx_;
+        std::memcpy(out.data() +
+                        (static_cast<std::size_t>(gz) * p_.ny + gy) * p_.nx +
+                        gx0,
+                    src + (static_cast<std::size_t>(z) * sy_ + y) * sx_,
+                    static_cast<std::size_t>(sx_) * sizeof(double));
+      }
+    }
+  }
+  return out;
+}
+
+double Stencil3D::checksum() const {
+  double sum = 0;
+  for (double v : gather()) sum += v;
+  return sum;
+}
+
+} // namespace hmr::apps

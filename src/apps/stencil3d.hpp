@@ -1,0 +1,91 @@
+#pragma once
+// Stencil3D on the threaded runtime: the paper's first benchmark as a
+// real chare application (paper §V-A, Algorithm 2).
+//
+// The global nx * ny * nz grid of doubles is decomposed into a
+// cx * cy * cz grid of chares.  Each chare owns two interior blocks
+// (current and next, swapped every iteration) and six ghost-face
+// receive buffers — all IoHandles, i.e. migratable blocks the runtime
+// may park in the slow tier between uses.
+//
+// One iteration is two waves of [prefetch] entry methods:
+//   1. exchange — each chare copies its six boundary faces into its
+//      neighbours' ghost buffers
+//      (deps: own current readonly, neighbour ghosts writeonly);
+//   2. update — 7-point Jacobi sweep from current + ghosts into next
+//      (deps: current readonly, ghosts readonly, next writeonly).
+// Zero Dirichlet boundary (missing neighbours read as 0), matching the
+// serial reference in apps/reference.hpp, which the tests compare
+// against bit-for-bit.
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "rt/chare.hpp"
+#include "rt/io_handle.hpp"
+#include "rt/runtime.hpp"
+
+namespace hmr::apps {
+
+struct StencilParams {
+  int nx = 32, ny = 32, nz = 32; // global grid (doubles)
+  int cx = 2, cy = 2, cz = 2;    // chare decomposition
+  int iterations = 4;
+  std::uint64_t seed = 1;        // initial grid fill
+};
+
+class Stencil3D {
+public:
+  /// Face order used throughout: 0:-x 1:+x 2:-y 3:+y 4:-z 5:+z.
+  struct Cell : rt::Chare {
+    int ix = 0, iy = 0, iz = 0; // chare coordinates
+    rt::IoHandle<double> cur;
+    rt::IoHandle<double> next;
+    std::array<rt::IoHandle<double>, 6> ghost;
+    Stencil3D* app = nullptr;
+  };
+
+  Stencil3D(rt::Runtime& rt, StencilParams p);
+
+  /// Run all iterations (exchange wave, update wave, swap) to
+  /// completion.
+  void run();
+
+  /// Run a single iteration (for step-by-step tests).
+  void step();
+
+  /// Copy the distributed grid into a dense vector (x fastest).
+  std::vector<double> gather() const;
+
+  /// Sum of all grid cells.
+  double checksum() const;
+
+  const StencilParams& params() const { return p_; }
+  int local_nx() const { return sx_; }
+  int local_ny() const { return sy_; }
+  int local_nz() const { return sz_; }
+
+private:
+  int chare_at(int ix, int iy, int iz) const {
+    return (iz * p_.cy + iy) * p_.cx + ix;
+  }
+  bool in_grid(int ix, int iy, int iz) const {
+    return ix >= 0 && ix < p_.cx && iy >= 0 && iy < p_.cy && iz >= 0 &&
+           iz < p_.cz;
+  }
+
+  void do_exchange(Cell& c);
+  void do_update(Cell& c);
+  rt::Runtime::DepList exchange_deps(Cell& c);
+  rt::Runtime::DepList update_deps(Cell& c);
+
+  rt::Runtime* rt_;
+  StencilParams p_;
+  int sx_ = 0, sy_ = 0, sz_ = 0; // local block dims
+  std::unique_ptr<rt::ChareArray<Cell>> cells_;
+  std::size_t kExchange_ = 0;
+  std::size_t kUpdate_ = 0;
+};
+
+} // namespace hmr::apps

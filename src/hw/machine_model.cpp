@@ -1,0 +1,186 @@
+#include "hw/machine_model.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hmr::hw {
+
+const MemoryTier& MachineModel::tier(TierId t) const {
+  HMR_CHECK_MSG(t < tiers.size(), "tier id out of range");
+  return tiers[t];
+}
+
+double MachineModel::compute_time(
+    const std::vector<std::uint64_t>& bytes_by_tier, int active_pes) const {
+  HMR_CHECK(active_pes > 0);
+  HMR_CHECK(bytes_by_tier.size() <= tiers.size());
+  double t = task_overhead;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < bytes_by_tier.size(); ++i) {
+    const std::uint64_t b = bytes_by_tier[i];
+    if (b == 0) continue;
+    total += b;
+    const double share = tiers[i].read_bw / static_cast<double>(active_pes);
+    t += static_cast<double>(b) / share + tiers[i].latency;
+  }
+  t += static_cast<double>(total) / compute_bw_per_pe;
+  return t;
+}
+
+double MachineModel::compute_time2(std::uint64_t fast_bytes,
+                                   std::uint64_t slow_bytes,
+                                   int active_pes) const {
+  std::vector<std::uint64_t> by(tiers.size(), 0);
+  by[fast] = fast_bytes;
+  by[slow] = slow_bytes;
+  return compute_time(by, active_pes);
+}
+
+double MachineModel::copy_rate(TierId src, TierId dst) const {
+  HMR_CHECK_MSG(src != dst, "migration within one tier");
+  const double limit = std::min(tier(src).read_bw, tier(dst).write_bw);
+  return limit * per_flow_copy_frac;
+}
+
+double MachineModel::channel_capacity(TierId src, TierId dst) const {
+  HMR_CHECK_MSG(src != dst, "migration within one tier");
+  const double limit = std::min(tier(src).read_bw, tier(dst).write_bw);
+  return limit * channel_copy_frac;
+}
+
+double MachineModel::migrate_time(std::uint64_t bytes, TierId src, TierId dst,
+                                  int concurrent) const {
+  HMR_CHECK(concurrent >= 1);
+  const double per_flow = copy_rate(src, dst);
+  const double fair =
+      channel_capacity(src, dst) / static_cast<double>(concurrent);
+  const double rate = std::min(per_flow, std::max(fair, 1.0));
+  return alloc_overhead + static_cast<double>(bytes) / rate +
+         tier(src).latency + tier(dst).latency;
+}
+
+double MachineModel::stream_bw(TierId t, int reads, int writes) const {
+  HMR_CHECK(reads >= 0 && writes >= 0 && reads + writes > 0);
+  const MemoryTier& m = tier(t);
+  // Per moved byte: reads/(r+w) of traffic hits the read path and
+  // writes/(r+w) the write path; the sustained rate is the harmonic
+  // combination (each path is a serial resource for the streams).
+  const double r = static_cast<double>(reads);
+  const double w = static_cast<double>(writes);
+  const double time_per_byte =
+      (r / m.read_bw + w / m.write_bw) / (r + w);
+  return 1.0 / time_per_byte;
+}
+
+double MachineModel::cache_mode_hit_ratio(std::uint64_t wss) const {
+  return cache_mode_hit_ratio(wss, tier(fast).capacity);
+}
+
+double MachineModel::cache_mode_hit_ratio(
+    std::uint64_t wss, std::uint64_t cache_capacity) const {
+  HMR_CHECK(wss > 0);
+  const double effective =
+      static_cast<double>(cache_capacity) * cache_conflict_factor;
+  return std::min(1.0, effective / static_cast<double>(wss));
+}
+
+double MachineModel::cache_mode_bw(std::uint64_t wss) const {
+  return cache_mode_bw(wss, tier(fast).capacity);
+}
+
+double MachineModel::cache_mode_bw(std::uint64_t wss,
+                                   std::uint64_t cache_capacity) const {
+  const double h = cache_mode_hit_ratio(wss, cache_capacity);
+  const double hit_bw = tier(fast).read_bw;
+  // A miss streams from DDR4 *and* spends MCDRAM write bandwidth on
+  // the fill, with an extra penalty for miss-handling limits.
+  const double miss_bw =
+      1.0 / (cache_miss_penalty *
+             (1.0 / tier(slow).read_bw + 1.0 / tier(fast).write_bw));
+  return 1.0 / (h / hit_bw + (1.0 - h) / miss_bw);
+}
+
+double MachineModel::cache_mode_compute_time(std::uint64_t bytes,
+                                             std::uint64_t wss,
+                                             int active_pes) const {
+  HMR_CHECK(active_pes > 0);
+  const double share = cache_mode_bw(wss) / static_cast<double>(active_pes);
+  return task_overhead + static_cast<double>(bytes) / share +
+         static_cast<double>(bytes) / compute_bw_per_pe +
+         tier(fast).latency;
+}
+
+MachineModel knl_flat_all_to_all() {
+  MachineModel m;
+  m.name = "KNL flat all-to-all (Stampede 2.0 node)";
+  m.num_pes = 64;
+  m.tiers = {
+      // Tier 0 = DDR4: libnuma memory node 0 on KNL.
+      {"DDR4", 96 * GiB, 90.0 * GB, 70.0 * GB, 130e-9},
+      // Tier 1 = MCDRAM: libnuma memory node 1; ~4-5x bandwidth,
+      // comparable latency (paper §I).
+      {"MCDRAM", 16 * GiB, 480.0 * GB, 380.0 * GB, 150e-9},
+  };
+  m.slow = 0;
+  m.fast = 1;
+  return m;
+}
+
+MachineModel knl_ddr_only() {
+  MachineModel m = knl_flat_all_to_all();
+  m.name = "KNL DDR4-only";
+  // Keep tier ids stable but zero out MCDRAM capacity so HBM-seeking
+  // policies have nowhere to go.
+  m.tiers[1].capacity = 0;
+  return m;
+}
+
+MachineModel three_tier_hbm_ddr_nvm() {
+  MachineModel m;
+  m.name = "HBM + DDR + NVM three-tier node";
+  m.num_pes = 64;
+  m.tiers = {
+      // Tier 0 = NVM: both bandwidth- and latency-restricted (paper §II
+      // contrasts this with DDR4 which is only bandwidth-restricted).
+      {"NVM", 512 * GiB, 18.0 * GB, 6.0 * GB, 1200e-9},
+      {"MCDRAM", 16 * GiB, 480.0 * GB, 380.0 * GB, 150e-9},
+      {"DDR4", 96 * GiB, 90.0 * GB, 70.0 * GB, 130e-9},
+  };
+  m.slow = 0; // NVM is the overflow pool in this configuration
+  m.fast = 1;
+  return m;
+}
+
+MachineModel exascale_near_far() {
+  MachineModel m;
+  m.name = "Traleika-Glacier-style near/far node";
+  m.num_pes = 128;
+  m.tiers = {
+      {"FarDRAM", 256 * GiB, 120.0 * GB, 100.0 * GB, 200e-9},
+      {"NearBSM", 8 * GiB, 1000.0 * GB, 800.0 * GB, 60e-9},
+  };
+  m.slow = 0;
+  m.fast = 1;
+  return m;
+}
+
+MachineModel spr_hbm_flat() {
+  MachineModel m;
+  m.name = "Xeon Max (SPR) HBM flat mode";
+  m.num_pes = 56;
+  m.tiers = {
+      // 8-channel DDR5-4800: ~300 GB/s read on a socket.
+      {"DDR5", 512 * GiB, 300.0 * GB, 250.0 * GB, 100e-9},
+      // 4 HBM2e stacks: ~800 GB/s sustained.
+      {"HBM2e", 64 * GiB, 800.0 * GB, 650.0 * GB, 120e-9},
+  };
+  m.slow = 0;
+  m.fast = 1;
+  // SPR cores copy much faster than KNL's.
+  m.per_flow_copy_frac = 0.10;
+  m.compute_bw_per_pe = 12.0 * GB;
+  return m;
+}
+
+} // namespace hmr::hw

@@ -1,0 +1,178 @@
+#pragma once
+// Machine model: the memory tiers of a heterogeneous-memory node and the
+// analytic cost model used by the discrete-event simulator.
+//
+// The paper's platform is an Intel Xeon Phi KNL in flat all-to-all mode:
+// MCDRAM (16 GB, ~4x bandwidth) exposed as NUMA node 1 and DDR4 (96 GB)
+// as NUMA node 0.  We model a node as an ordered list of MemoryTier
+// descriptors plus a handful of calibrated scalar costs.  Calibration
+// anchors (documented per field below and in DESIGN.md §5) come from the
+// paper's own measurements: Fig 1 (STREAM), Fig 2 (3x stencil gap),
+// Fig 7 (migration memcpy cost and its direction asymmetry).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hmr::hw {
+
+/// Index of a tier within MachineModel::tiers.  Mirrors the paper's
+/// libnuma node ids: on KNL, node 0 = DDR4 (slow), node 1 = MCDRAM
+/// (fast), which is why the *slow* tier is conventionally index 0.
+using TierId = std::uint32_t;
+
+/// One memory pool of the node (MCDRAM, DDR4, NVM, ...).
+struct MemoryTier {
+  std::string name;
+
+  /// Usable capacity in bytes.
+  std::uint64_t capacity = 0;
+
+  /// Aggregate read bandwidth in bytes/s when all PEs stream from this
+  /// tier (STREAM-like saturated load).
+  double read_bw = 0;
+
+  /// Aggregate write bandwidth in bytes/s (typically below read_bw;
+  /// the asymmetry produces Fig 7's HBM->DDR vs DDR->HBM gap).
+  double write_bw = 0;
+
+  /// Idle access latency in seconds.  The paper notes MCDRAM and DDR4
+  /// have comparable latency; NVM-style tiers have much higher.
+  double latency = 0;
+};
+
+/// A node with heterogeneous memory and `num_pes` worker PEs.
+struct MachineModel {
+  std::string name;
+
+  /// Worker PEs (the paper uses 64 of KNL's 68 cores, no SMT).
+  int num_pes = 64;
+
+  std::vector<MemoryTier> tiers;
+
+  /// Conventional roles used by two-tier policies.  `slow` is where data
+  /// overflows/starts (DDR4); `fast` is the prefetch target (MCDRAM).
+  TierId slow = 0;
+  TierId fast = 1;
+
+  /// Per-PE non-memory compute throughput in bytes/s: the rate at which
+  /// one PE would chew through a kernel's working bytes if memory were
+  /// infinitely fast (vector ALU + L1/L2 reuse).  Calibrated so that the
+  /// stencil kernel's HBM:DDR4 time ratio lands at the ~3x of Fig 2
+  /// rather than the raw ~5x bandwidth ratio.
+  double compute_bw_per_pe = 6.4 * GB;
+
+  /// Fixed scheduling overhead charged per task execution (converse
+  /// dequeue + delivery), seconds.
+  double task_overhead = 3e-6;
+
+  /// Fixed cost of one numa_alloc_onnode + numa_free pair, charged per
+  /// migration (the paper's move = alloc dest + memcpy + free src).
+  double alloc_overhead = 8e-6;
+
+  /// Single-flow memcpy efficiency: one thread's memcpy cannot
+  /// saturate a tier — and a single KNL core is weak, sustaining only
+  /// a handful of GB/s.  A flow's rate is
+  /// `per_flow_copy_frac * direction limit` (~7 GB/s DDR->HBM).
+  double per_flow_copy_frac = 0.08;
+
+  /// Aggregate copy efficiency under heavy concurrency (64 threads
+  /// stressing migration reach ~40% of the direction limit; Fig 7).
+  double channel_copy_frac = 0.40;
+
+  /// KNL cache mode (paper §III-B): fraction of the fast tier's
+  /// capacity that is effectively usable as a direct-mapped cache —
+  /// conflict misses waste part of it even when the working set fits
+  /// (the paper's motivation for bypassing hardware caching).
+  double cache_conflict_factor = 0.80;
+
+  /// Extra penalty on a cache-mode miss relative to a flat-mode DDR4
+  /// access: the miss both reads DDR4 and writes the MCDRAM fill line,
+  /// and in-flight-miss limits throttle further.  >1.
+  double cache_miss_penalty = 1.30;
+
+  // ---- cost queries (pure functions of the model) ----
+
+  const MemoryTier& tier(TierId t) const;
+
+  /// Time for one PE to execute a bandwidth-bound kernel that streams
+  /// `bytes_by_tier[t]` bytes from tier t, while `active_pes` PEs share
+  /// each tier's bandwidth.  Additive roofline:
+  ///   t = task_overhead + sum_t bytes_t/(read_bw_t/active) + total/compute_bw.
+  double compute_time(const std::vector<std::uint64_t>& bytes_by_tier,
+                      int active_pes) const;
+
+  /// Convenience for the common two-tier split.
+  double compute_time2(std::uint64_t fast_bytes, std::uint64_t slow_bytes,
+                       int active_pes) const;
+
+  /// Single-flow migration rate (bytes/s) for a memcpy src -> dst,
+  /// limited by min(src read, dst write) and the per-flow efficiency.
+  double copy_rate(TierId src, TierId dst) const;
+
+  /// Aggregate capacity (bytes/s) of the src -> dst migration channel
+  /// when many flows run concurrently.
+  double channel_capacity(TierId src, TierId dst) const;
+
+  /// Modeled duration of one migration of `bytes` when `concurrent`
+  /// flows share the channel (used by Fig 7 and non-DES call sites; the
+  /// DES uses a fluid channel instead, see sim/transfer_channel.hpp).
+  double migrate_time(std::uint64_t bytes, TierId src, TierId dst,
+                      int concurrent = 1) const;
+
+  /// Modeled STREAM bandwidth (bytes/s moved per wall second) for a
+  /// kernel reading `reads` and writing `writes` arrays per element,
+  /// with all PEs hammering tier `t` (Fig 1).
+  double stream_bw(TierId t, int reads, int writes) const;
+
+  // ---- KNL cache mode (paper §III-B / future work §VI) ----
+
+  /// Expected hit ratio of the direct-mapped MCDRAM cache for a
+  /// streamed working set of `wss` bytes: min(1, effective_capacity /
+  /// wss) where conflict misses shave `cache_conflict_factor` off the
+  /// nominal capacity.  The second overload uses an explicit cache
+  /// capacity (hybrid mode dedicates only part of MCDRAM to caching).
+  double cache_mode_hit_ratio(std::uint64_t wss) const;
+  double cache_mode_hit_ratio(std::uint64_t wss,
+                              std::uint64_t cache_capacity) const;
+
+  /// Effective aggregate read bandwidth in cache mode for a streamed
+  /// working set of `wss` bytes: the harmonic blend of MCDRAM hits and
+  /// penalized DDR4 misses.  Below the fast capacity this approaches
+  /// MCDRAM speed; far above it, it drops *below* flat-mode DDR4 —
+  /// the regime where the paper's runtime-managed flat mode wins.
+  double cache_mode_bw(std::uint64_t wss) const;
+  double cache_mode_bw(std::uint64_t wss,
+                       std::uint64_t cache_capacity) const;
+
+  /// Per-PE execution time of a bandwidth-bound kernel over `bytes`
+  /// under cache mode with the node-wide streamed working set `wss`
+  /// (cache-mode analogue of compute_time2).
+  double cache_mode_compute_time(std::uint64_t bytes, std::uint64_t wss,
+                                 int active_pes) const;
+};
+
+// ---- presets ----
+
+/// The paper's platform: KNL flat all-to-all, 64 worker PEs,
+/// 16 GB MCDRAM @ ~480/380 GB/s, 96 GB DDR4 @ ~90/70 GB/s.
+MachineModel knl_flat_all_to_all();
+
+/// Same node restricted to DDR4 only (the paper's DDR4only baseline).
+MachineModel knl_ddr_only();
+
+/// A generality preset: three tiers HBM + DDR + NVM (the paper's
+/// conclusion: architectures heterogeneous in latency *and* bandwidth).
+MachineModel three_tier_hbm_ddr_nvm();
+
+/// A Traleika-Glacier-style near/far exascale node (paper §I).
+MachineModel exascale_near_far();
+
+/// A modern heir of KNL: Intel Xeon Max (Sapphire Rapids + HBM2e) in
+/// flat mode — 64 GB HBM at ~2.6x the eight-channel DDR5 aggregate.
+/// Shows the runtime outliving its original platform.
+MachineModel spr_hbm_flat();
+
+} // namespace hmr::hw

@@ -1,0 +1,87 @@
+#include "mem/arena.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hmr::mem {
+
+TierArena::TierArena(std::string name, std::uint64_t capacity,
+                     std::size_t alignment)
+    : name_(std::move(name)), capacity_(capacity), alignment_(alignment) {
+  HMR_CHECK_MSG(alignment_ != 0 && (alignment_ & (alignment_ - 1)) == 0,
+                "alignment must be a power of two");
+  // Round the region itself so every offset-aligned pointer is aligned.
+  if (capacity_ > 0) {
+    base_.reset(new (std::align_val_t(alignment_)) std::byte[capacity_]);
+    free_ranges_.emplace(0, capacity_);
+  }
+}
+
+std::uint64_t TierArena::round_up(std::uint64_t bytes) const {
+  const std::uint64_t a = alignment_;
+  return (bytes + a - 1) / a * a;
+}
+
+void* TierArena::alloc(std::uint64_t bytes) {
+  HMR_CHECK_MSG(bytes > 0, "zero-byte tier allocation");
+  const std::uint64_t need = round_up(bytes);
+  for (auto it = free_ranges_.begin(); it != free_ranges_.end(); ++it) {
+    if (it->second < need) continue;
+    const std::uint64_t off = it->first;
+    const std::uint64_t len = it->second;
+    free_ranges_.erase(it);
+    if (len > need) free_ranges_.emplace(off + need, len - need);
+    live_.emplace(off, need);
+    used_ += need;
+    high_water_ = std::max(high_water_, used_);
+    ++total_allocs_;
+    return base_.get() + off;
+  }
+  return nullptr;
+}
+
+void TierArena::free(void* p) {
+  HMR_CHECK_MSG(p != nullptr, "freeing nullptr");
+  const auto* bp = static_cast<const std::byte*>(p);
+  HMR_CHECK_MSG(base_ && bp >= base_.get() && bp < base_.get() + capacity_,
+                "pointer not from this arena");
+  const std::uint64_t off = static_cast<std::uint64_t>(bp - base_.get());
+  auto it = live_.find(off);
+  HMR_CHECK_MSG(it != live_.end(), "double free or interior pointer");
+  std::uint64_t len = it->second;
+  live_.erase(it);
+  used_ -= len;
+
+  // Coalesce with successor, then predecessor.
+  auto next = free_ranges_.lower_bound(off);
+  if (next != free_ranges_.end() && off + len == next->first) {
+    len += next->second;
+    next = free_ranges_.erase(next);
+  }
+  std::uint64_t start = off;
+  if (next != free_ranges_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == off) {
+      start = prev->first;
+      len += prev->second;
+      free_ranges_.erase(prev);
+    }
+  }
+  free_ranges_.emplace(start, len);
+}
+
+bool TierArena::owns(const void* p) const {
+  if (!base_ || p == nullptr) return false;
+  const auto* bp = static_cast<const std::byte*>(p);
+  if (bp < base_.get() || bp >= base_.get() + capacity_) return false;
+  return live_.count(static_cast<std::uint64_t>(bp - base_.get())) != 0;
+}
+
+std::uint64_t TierArena::largest_free_range() const {
+  std::uint64_t best = 0;
+  for (const auto& [off, len] : free_ranges_) best = std::max(best, len);
+  return best;
+}
+
+} // namespace hmr::mem

@@ -1,0 +1,76 @@
+#pragma once
+// TierArena: a first-fit free-list allocator over one contiguous
+// reserved region, standing in for one libnuma memory node.
+//
+// The paper allocates with numa_alloc_onnode(size, node) and releases
+// with numa_free; capacity of the node is a hard limit (16 GB MCDRAM).
+// TierArena reproduces that interface shape on plain host memory: a
+// fixed-capacity region per tier, allocation failure (nullptr) when the
+// tier is full, and real pointers so migration can actually memcpy.
+//
+// Not thread-safe by itself: MemoryManager serializes access.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace hmr::mem {
+
+class TierArena {
+public:
+  /// Reserves `capacity` bytes of host memory up front.  All returned
+  /// pointers are aligned to `alignment` (default one cache line).
+  TierArena(std::string name, std::uint64_t capacity,
+            std::size_t alignment = 64);
+
+  TierArena(const TierArena&) = delete;
+  TierArena& operator=(const TierArena&) = delete;
+
+  /// First-fit allocation.  Returns nullptr when no free range of
+  /// `bytes` exists (capacity or fragmentation).  Zero-byte requests
+  /// are rejected.
+  void* alloc(std::uint64_t bytes);
+
+  /// Releases a pointer previously returned by alloc().  Coalesces with
+  /// adjacent free ranges.  Freeing a foreign or already-freed pointer
+  /// aborts (HMR_CHECK) — this is an API-contract violation.
+  void free(void* p);
+
+  /// True if `p` is a live allocation from this arena.
+  bool owns(const void* p) const;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t free_bytes() const { return capacity_ - used_; }
+  std::uint64_t high_water() const { return high_water_; }
+  std::uint64_t live_allocations() const { return live_.size(); }
+
+  /// Size of the largest single allocatable range (fragmentation probe).
+  std::uint64_t largest_free_range() const;
+
+  /// Total allocations served over the arena's lifetime.
+  std::uint64_t total_allocs() const { return total_allocs_; }
+
+private:
+  std::uint64_t round_up(std::uint64_t bytes) const;
+
+  std::string name_;
+  std::uint64_t capacity_;
+  std::size_t alignment_;
+  std::unique_ptr<std::byte[]> base_;
+
+  // Free ranges keyed by offset (ordered, for coalescing) -> length.
+  std::map<std::uint64_t, std::uint64_t> free_ranges_;
+  // Live allocations: offset -> length.
+  std::unordered_map<std::uint64_t, std::uint64_t> live_;
+
+  std::uint64_t used_ = 0;
+  std::uint64_t high_water_ = 0;
+  std::uint64_t total_allocs_ = 0;
+};
+
+} // namespace hmr::mem

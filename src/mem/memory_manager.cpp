@@ -1,0 +1,249 @@
+#include "mem/memory_manager.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace hmr::mem {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+MemoryManager::MemoryManager(std::vector<TierSpec> tiers, bool enable_pool)
+    : pool_enabled_(enable_pool) {
+  HMR_CHECK_MSG(!tiers.empty(), "need at least one tier");
+  arenas_.reserve(tiers.size());
+  for (auto& spec : tiers) {
+    auto ts = std::make_unique<TierState>();
+    ts->arena = std::make_unique<TierArena>(spec.name, spec.capacity);
+    arenas_.push_back(std::move(ts));
+  }
+  stats_.resize(arenas_.size() * arenas_.size());
+}
+
+std::vector<MemoryManager::TierSpec> MemoryManager::specs_from_model(
+    const hw::MachineModel& model, double scale) {
+  HMR_CHECK(scale > 0);
+  std::vector<TierSpec> specs;
+  specs.reserve(model.tiers.size());
+  for (const auto& t : model.tiers) {
+    specs.push_back(
+        {t.name, static_cast<std::uint64_t>(
+                     std::llround(static_cast<double>(t.capacity) * scale))});
+  }
+  return specs;
+}
+
+MemoryManager MemoryManager::from_model(const hw::MachineModel& model,
+                                        double scale, bool enable_pool) {
+  return MemoryManager(specs_from_model(model, scale), enable_pool);
+}
+
+void* MemoryManager::alloc_locked(TierState& ts, std::uint64_t bytes,
+                                  bool* from_pool) {
+  if (from_pool) *from_pool = false;
+  if (pool_enabled_) {
+    if (void* p = ts.pool.get(bytes)) {
+      if (from_pool) *from_pool = true;
+      return p;
+    }
+  }
+  return ts.arena->alloc(bytes);
+}
+
+void MemoryManager::free_locked(TierState& ts, void* p,
+                                std::uint64_t bytes) {
+  if (pool_enabled_ && bytes > 0) {
+    ts.pool.put(p, bytes);
+  } else {
+    ts.arena->free(p);
+  }
+}
+
+void* MemoryManager::alloc_on_tier(std::uint64_t bytes, TierId t) {
+  HMR_CHECK_MSG(t < arenas_.size(), "bad tier id");
+  TierState& ts = *arenas_[t];
+  std::lock_guard lock(ts.mu);
+  return alloc_locked(ts, bytes, nullptr);
+}
+
+void MemoryManager::free_on_tier(void* p, TierId t) {
+  HMR_CHECK_MSG(t < arenas_.size(), "bad tier id");
+  TierState& ts = *arenas_[t];
+  std::lock_guard lock(ts.mu);
+  // Raw frees bypass the pool: callers of the numa-style API manage
+  // exact lifetimes themselves.
+  ts.arena->free(p);
+}
+
+BlockId MemoryManager::register_block(std::uint64_t bytes, TierId initial) {
+  HMR_CHECK_MSG(initial < arenas_.size(), "bad tier id");
+  HMR_CHECK_MSG(bytes > 0, "zero-byte block");
+  void* p = nullptr;
+  {
+    TierState& ts = *arenas_[initial];
+    std::lock_guard lock(ts.mu);
+    p = alloc_locked(ts, bytes, nullptr);
+  }
+  if (!p) return kInvalidBlock;
+  std::lock_guard lock(blocks_mu_);
+  blocks_.push_back({p, bytes, initial, /*live=*/true, /*migrating=*/false});
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+void MemoryManager::unregister_block(BlockId b) {
+  void* p = nullptr;
+  std::uint64_t bytes = 0;
+  TierId tier = 0;
+  {
+    std::lock_guard lock(blocks_mu_);
+    HMR_CHECK_MSG(b < blocks_.size() && blocks_[b].live,
+                  "unregistering dead block");
+    HMR_CHECK_MSG(!blocks_[b].migrating, "unregistering mid-migration");
+    p = blocks_[b].ptr;
+    bytes = blocks_[b].bytes;
+    tier = blocks_[b].tier;
+    blocks_[b].live = false;
+    blocks_[b].ptr = nullptr;
+  }
+  TierState& ts = *arenas_[tier];
+  std::lock_guard lock(ts.mu);
+  free_locked(ts, p, bytes);
+}
+
+void* MemoryManager::block_ptr(BlockId b) const {
+  std::lock_guard lock(blocks_mu_);
+  HMR_CHECK_MSG(b < blocks_.size() && blocks_[b].live, "dead block");
+  return blocks_[b].ptr;
+}
+
+std::uint64_t MemoryManager::block_bytes(BlockId b) const {
+  std::lock_guard lock(blocks_mu_);
+  HMR_CHECK_MSG(b < blocks_.size() && blocks_[b].live, "dead block");
+  return blocks_[b].bytes;
+}
+
+TierId MemoryManager::block_tier(BlockId b) const {
+  std::lock_guard lock(blocks_mu_);
+  HMR_CHECK_MSG(b < blocks_.size() && blocks_[b].live, "dead block");
+  return blocks_[b].tier;
+}
+
+MigrateResult MemoryManager::migrate(BlockId b, TierId dst,
+                                     bool copy_contents) {
+  HMR_CHECK_MSG(dst < arenas_.size(), "bad tier id");
+  MigrateResult r;
+
+  void* src_ptr = nullptr;
+  std::uint64_t bytes = 0;
+  TierId src_tier = 0;
+  {
+    std::lock_guard lock(blocks_mu_);
+    HMR_CHECK_MSG(b < blocks_.size() && blocks_[b].live, "dead block");
+    BlockRec& rec = blocks_[b];
+    HMR_CHECK_MSG(!rec.migrating,
+                  "concurrent migration of one block (policy bug)");
+    if (rec.tier == dst) {
+      r.ok = true;
+      return r;
+    }
+    rec.migrating = true;
+    src_ptr = rec.ptr;
+    bytes = rec.bytes;
+    src_tier = rec.tier;
+  }
+
+  // Step 1: create space on the destination (numa_alloc_onnode).
+  void* dst_ptr = nullptr;
+  {
+    const double t0 = now_s();
+    TierState& ts = *arenas_[dst];
+    std::lock_guard lock(ts.mu);
+    dst_ptr = alloc_locked(ts, bytes, &r.pooled);
+    r.alloc_s = now_s() - t0;
+  }
+  if (!dst_ptr) {
+    std::lock_guard lock(blocks_mu_);
+    blocks_[b].migrating = false;
+    r.ok = false;
+    return r;
+  }
+
+  // Step 2: move the data (memcpy), outside any lock so migrations of
+  // distinct blocks overlap.  Skipped for write-only destinations.
+  if (copy_contents) {
+    const double t0 = now_s();
+    std::memcpy(dst_ptr, src_ptr, bytes);
+    r.copy_s = now_s() - t0;
+  }
+
+  // Step 3: free the source buffer (numa_free).
+  {
+    const double t0 = now_s();
+    TierState& ts = *arenas_[src_tier];
+    std::lock_guard lock(ts.mu);
+    free_locked(ts, src_ptr, bytes);
+    r.free_s = now_s() - t0;
+  }
+
+  {
+    std::lock_guard lock(blocks_mu_);
+    BlockRec& rec = blocks_[b];
+    rec.ptr = dst_ptr;
+    rec.tier = dst;
+    rec.migrating = false;
+  }
+  {
+    std::lock_guard lock(stats_mu_);
+    MigrationStats& s = stats_[src_tier * arenas_.size() + dst];
+    ++s.count;
+    s.bytes += bytes;
+  }
+  r.ok = true;
+  return r;
+}
+
+TierUsage MemoryManager::usage(TierId t) const {
+  HMR_CHECK_MSG(t < arenas_.size(), "bad tier id");
+  const TierState& ts = *arenas_[t];
+  std::lock_guard lock(ts.mu);
+  TierUsage u;
+  u.capacity = ts.arena->capacity();
+  u.used = ts.arena->used();
+  u.pooled = ts.pool.pooled_bytes();
+  u.high_water = ts.arena->high_water();
+  u.live_blocks = ts.arena->live_allocations();
+  return u;
+}
+
+MigrationStats MemoryManager::migration_stats(TierId src, TierId dst) const {
+  HMR_CHECK(src < arenas_.size() && dst < arenas_.size());
+  std::lock_guard lock(stats_mu_);
+  return stats_[src * arenas_.size() + dst];
+}
+
+PoolStats MemoryManager::pool_stats(TierId t) const {
+  HMR_CHECK_MSG(t < arenas_.size(), "bad tier id");
+  const TierState& ts = *arenas_[t];
+  std::lock_guard lock(ts.mu);
+  return {ts.pool.hits(), ts.pool.misses()};
+}
+
+void MemoryManager::trim_pools() {
+  for (auto& tsp : arenas_) {
+    TierState& ts = *tsp;
+    std::lock_guard lock(ts.mu);
+    ts.pool.drain([&](void* p) { ts.arena->free(p); });
+  }
+}
+
+} // namespace hmr::mem

@@ -1,0 +1,163 @@
+#pragma once
+// MemoryManager: the node-level heterogeneous-memory substrate.
+//
+// Owns one TierArena per memory tier plus a registry of *blocks* — the
+// unit the runtime migrates (the paper's CkIOHandle-backed data blocks).
+// Migration follows the paper's §IV-C recipe exactly:
+//
+//   1. numa_alloc_onnode on the destination tier   (alloc_on_tier)
+//   2. memcpy src -> dst                           (real bytes move)
+//   3. numa_free the source buffer                 (free_on_tier)
+//
+// An optional per-tier pooling allocator implements the paper's stated
+// future optimization ("the creating of space in destination memory
+// could be avoided if we maintain a memory pool in each memory type");
+// bench/abl_pool_migrate measures what it buys.
+//
+// Thread safety: all metadata operations take an internal mutex.  The
+// memcpy itself runs outside the lock, so concurrent migrations of
+// *different* blocks proceed in parallel.  Callers (the ooc policy)
+// guarantee a block is never migrated concurrently with itself or with
+// a task reading it — that is precisely the refcount/state protocol the
+// paper's runtime enforces.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/machine_model.hpp"
+#include "mem/arena.hpp"
+#include "mem/pool.hpp"
+
+namespace hmr::mem {
+
+using hw::TierId;
+
+/// Handle for a registered, migratable data block.
+using BlockId = std::uint64_t;
+inline constexpr BlockId kInvalidBlock = ~0ull;
+
+/// Timing breakdown of one migration (for bench/fig07 and abl_pool).
+struct MigrateResult {
+  bool ok = false;       // false: destination tier had no space
+  double alloc_s = 0;    // step 1 (0 when served from the pool)
+  double copy_s = 0;     // step 2
+  double free_s = 0;     // step 3 (0 when returned to the pool)
+  bool pooled = false;   // destination buffer came from the pool
+  double total() const { return alloc_s + copy_s + free_s; }
+};
+
+struct TierUsage {
+  std::uint64_t capacity = 0;
+  std::uint64_t used = 0;        // live blocks + pooled buffers
+  std::uint64_t pooled = 0;      // bytes parked in the pool
+  std::uint64_t high_water = 0;
+  std::uint64_t live_blocks = 0;
+};
+
+struct MigrationStats {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct PoolStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class MemoryManager {
+public:
+  struct TierSpec {
+    std::string name;
+    std::uint64_t capacity = 0;
+  };
+
+  explicit MemoryManager(std::vector<TierSpec> tiers,
+                         bool enable_pool = false);
+
+  /// Tier specs shaped like `model`, scaled by `scale` (e.g. 1/1024
+  /// turns the 16 GB / 96 GB KNL node into a 16 MiB / 96 MiB testbed).
+  static std::vector<TierSpec> specs_from_model(const hw::MachineModel& model,
+                                                double scale);
+
+  /// Convenience: construct directly from a scaled model.
+  static MemoryManager from_model(const hw::MachineModel& model,
+                                  double scale, bool enable_pool = false);
+
+  MemoryManager(const MemoryManager&) = delete;
+  MemoryManager& operator=(const MemoryManager&) = delete;
+
+  std::size_t num_tiers() const { return arenas_.size(); }
+
+  // ---- raw numa_alloc_onnode-shaped API ----
+
+  /// Allocate `bytes` on tier `t`; nullptr when the tier is full.
+  void* alloc_on_tier(std::uint64_t bytes, TierId t);
+  void free_on_tier(void* p, TierId t);
+
+  // ---- block registry (the unit of prefetch/eviction) ----
+
+  /// Register a new block and allocate its storage on `initial`.
+  /// Returns kInvalidBlock when the tier has no space.
+  BlockId register_block(std::uint64_t bytes, TierId initial);
+
+  /// Release a block's storage and forget it.
+  void unregister_block(BlockId b);
+
+  void* block_ptr(BlockId b) const;
+  std::uint64_t block_bytes(BlockId b) const;
+  TierId block_tier(BlockId b) const;
+
+  /// Migrate block `b` to tier `dst` (alloc + memcpy + free).  Returns
+  /// ok=false and leaves the block untouched when `dst` has no space.
+  /// No-op success when the block already lives on `dst`.
+  /// `copy_contents = false` skips the memcpy (valid only when the
+  /// next access is write-only — the writeonly_nocopy optimization);
+  /// the destination buffer's contents are then indeterminate.
+  MigrateResult migrate(BlockId b, TierId dst, bool copy_contents = true);
+
+  // ---- introspection ----
+
+  TierUsage usage(TierId t) const;
+  /// Migration traffic observed from tier `src` to tier `dst`.
+  MigrationStats migration_stats(TierId src, TierId dst) const;
+
+  bool pool_enabled() const { return pool_enabled_; }
+  /// Buffer-pool hit/miss counters for tier `t`.
+  PoolStats pool_stats(TierId t) const;
+  /// Drop all pooled buffers back to the arenas (frees their capacity).
+  void trim_pools();
+
+private:
+  struct BlockRec {
+    void* ptr = nullptr;
+    std::uint64_t bytes = 0;
+    TierId tier = 0;
+    bool live = false;
+    bool migrating = false; // guards the paper's "one migration at a time"
+  };
+
+  struct TierState {
+    std::unique_ptr<TierArena> arena;
+    BufferPool pool;
+    mutable std::mutex mu;
+  };
+
+  void* alloc_locked(TierState& ts, std::uint64_t bytes, bool* from_pool);
+  void free_locked(TierState& ts, void* p, std::uint64_t bytes);
+
+  std::vector<std::unique_ptr<TierState>> arenas_;
+  bool pool_enabled_;
+
+  mutable std::mutex blocks_mu_;
+  std::vector<BlockRec> blocks_;
+
+  // stats_[src * num_tiers + dst]
+  std::vector<MigrationStats> stats_;
+  mutable std::mutex stats_mu_;
+};
+
+} // namespace hmr::mem

@@ -1,0 +1,641 @@
+#include "ooc/policy_engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hmr::ooc {
+
+const char* access_mode_name(AccessMode m) {
+  switch (m) {
+    case AccessMode::ReadOnly: return "readonly";
+    case AccessMode::ReadWrite: return "readwrite";
+    case AccessMode::WriteOnly: return "writeonly";
+  }
+  return "?";
+}
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::Naive: return "Naive";
+    case Strategy::DdrOnly: return "DDR4only";
+    case Strategy::HbmOnly: return "HBMonly";
+    case Strategy::SingleIo: return "SingleIO";
+    case Strategy::SyncNoIo: return "NoIOthread";
+    case Strategy::MultiIo: return "MultipleIO";
+  }
+  return "?";
+}
+
+bool strategy_moves_data(Strategy s) {
+  return s == Strategy::SingleIo || s == Strategy::SyncNoIo ||
+         s == Strategy::MultiIo;
+}
+
+const char* block_state_name(BlockState s) {
+  switch (s) {
+    case BlockState::InSlow: return "INDDR";
+    case BlockState::InFast: return "INHBM";
+    case BlockState::FetchInFlight: return "FETCHING";
+    case BlockState::EvictInFlight: return "EVICTING";
+  }
+  return "?";
+}
+
+PolicyEngine::PolicyEngine(Config cfg) : cfg_(cfg) {
+  HMR_CHECK(cfg_.num_pes > 0);
+  if (cfg_.strategy == Strategy::SyncNoIo) cfg_.evict_by_worker = true;
+  wait_q_.resize(static_cast<std::size_t>(cfg_.num_pes));
+  pe_claims_.resize(static_cast<std::size_t>(cfg_.num_pes), 0);
+}
+
+PolicyEngine::BlockRec& PolicyEngine::block(BlockId b) {
+  auto it = blocks_.find(b);
+  HMR_CHECK_MSG(it != blocks_.end(), "unknown block id");
+  return it->second;
+}
+
+const PolicyEngine::BlockRec& PolicyEngine::block(BlockId b) const {
+  auto it = blocks_.find(b);
+  HMR_CHECK_MSG(it != blocks_.end(), "unknown block id");
+  return it->second;
+}
+
+PolicyEngine::TaskRec& PolicyEngine::task(TaskId t) {
+  auto it = tasks_.find(t);
+  HMR_CHECK_MSG(it != tasks_.end(), "unknown task id");
+  return it->second;
+}
+
+Placement PolicyEngine::add_block(BlockId b, std::uint64_t bytes) {
+  HMR_CHECK_MSG(bytes > 0, "zero-byte block");
+  HMR_CHECK_MSG(blocks_.find(b) == blocks_.end(), "duplicate block id");
+  BlockRec rec;
+  rec.bytes = bytes;
+  Placement placement = Placement::Slow;
+  switch (cfg_.strategy) {
+    case Strategy::Naive:
+      // HBM-preferred first-fit: pack MCDRAM until full, overflow to
+      // DDR4 (paper §IV-B Baseline).
+      if (fast_used_ + bytes <= cfg_.fast_capacity) {
+        rec.state = BlockState::InFast;
+        fast_used_ += bytes;
+        placement = Placement::Fast;
+      }
+      break;
+    case Strategy::HbmOnly:
+      HMR_CHECK_MSG(fast_used_ + bytes <= cfg_.fast_capacity,
+                    "HBMonly requires the working set to fit in HBM");
+      rec.state = BlockState::InFast;
+      fast_used_ += bytes;
+      placement = Placement::Fast;
+      break;
+    case Strategy::DdrOnly:
+    case Strategy::SingleIo:
+    case Strategy::SyncNoIo:
+    case Strategy::MultiIo:
+      // Movement strategies allocate everything on DDR4 and fetch on
+      // demand (paper §V-B); DDR4only never moves at all.
+      break;
+  }
+  blocks_.emplace(b, rec);
+  return placement;
+}
+
+void PolicyEngine::remove_block(BlockId b) {
+  BlockRec& br = block(b);
+  HMR_CHECK_MSG(br.refcount == 0, "removing a claimed block");
+  HMR_CHECK_MSG(br.state == BlockState::InSlow ||
+                    br.state == BlockState::InFast,
+                "removing a block mid-migration");
+  if (br.state == BlockState::InFast) fast_used_ -= br.bytes;
+  lru_unlink(b);
+  blocks_.erase(b);
+}
+
+std::uint64_t PolicyEngine::admission_bytes(const TaskRec& tr,
+                                            bool* admissible) const {
+  *admissible = true;
+  std::uint64_t extra = 0;
+  for (const Dep& d : tr.desc.deps) {
+    const BlockRec& br = block(d.block);
+    switch (br.state) {
+      case BlockState::InSlow:
+        extra += br.bytes;
+        break;
+      case BlockState::EvictInFlight:
+        // Must land on the slow tier before it can be fetched back.
+        *admissible = false;
+        return 0;
+      case BlockState::InFast:
+      case BlockState::FetchInFlight:
+        break; // already accounted in fast_used_
+    }
+  }
+  return extra;
+}
+
+bool PolicyEngine::can_admit(const TaskRec& tr) const {
+  bool admissible = true;
+  const std::uint64_t extra = admission_bytes(tr, &admissible);
+  if (!admissible) return false;
+  return fast_used_ + extra <= cfg_.fast_capacity;
+}
+
+bool PolicyEngine::within_fair_share(const TaskRec& tr) const {
+  if (!cfg_.fair_admission) return true;
+  const auto pe = static_cast<std::size_t>(tr.desc.pe);
+  if (pe_claims_[pe] == 0) return true; // progress guarantee
+  bool admissible = true;
+  const std::uint64_t extra = admission_bytes(tr, &admissible);
+  const std::uint64_t share =
+      cfg_.fast_capacity / static_cast<std::uint64_t>(cfg_.num_pes);
+  return pe_claims_[pe] + extra <= share;
+}
+
+void PolicyEngine::lru_touch(BlockId b) {
+  BlockRec& br = block(b);
+  if (br.in_lru) return;
+  lru_.push_back(b);
+  br.in_lru = true;
+}
+
+void PolicyEngine::lru_unlink(BlockId b) {
+  BlockRec& br = block(b);
+  if (!br.in_lru) return;
+  auto it = std::find(lru_.begin(), lru_.end(), b);
+  HMR_DCHECK(it != lru_.end());
+  lru_.erase(it);
+  br.in_lru = false;
+}
+
+void PolicyEngine::admit(TaskId t, std::int32_t fetch_agent,
+                         std::vector<Command>& cmds) {
+  TaskRec& tr = task(t);
+  HMR_DCHECK(tr.state == TaskState::Waiting);
+  tr.missing = 0;
+  tr.claim_bytes = 0;
+  for (const Dep& d : tr.desc.deps) {
+    BlockRec& br = block(d.block);
+    ++br.refcount;
+    if (br.in_lru) {
+      // Lazy mode: a parked warm block gets reused without a round
+      // trip through DDR4 — the payoff the LRU extension measures.
+      lru_unlink(d.block);
+      ++stats_.lru_reclaims;
+    }
+    switch (br.state) {
+      case BlockState::InFast:
+        break;
+      case BlockState::InSlow: {
+        br.state = BlockState::FetchInFlight;
+        fast_used_ += br.bytes;
+        tr.claim_bytes += br.bytes;
+        HMR_CHECK_MSG(fast_used_ <= cfg_.fast_capacity,
+                      "admission overcommitted the fast tier");
+        ++n_inflight_fetch_;
+        ++stats_.fetches;
+        stats_.fetch_bytes += br.bytes;
+        br.fetch_waiters.push_back(t);
+        ++tr.missing;
+        Command c;
+        c.kind = Command::Kind::Fetch;
+        c.block = d.block;
+        c.task = t;
+        c.agent = fetch_agent;
+        c.pe = tr.desc.pe;
+        c.nocopy = cfg_.writeonly_nocopy && d.mode == AccessMode::WriteOnly;
+        cmds.push_back(c);
+        break;
+      }
+      case BlockState::FetchInFlight:
+        // Another admitted task is already pulling this block in; just
+        // wait for the same fetch (no duplicate traffic).
+        br.fetch_waiters.push_back(t);
+        ++tr.missing;
+        ++stats_.fetch_dedup_hits;
+        break;
+      case BlockState::EvictInFlight:
+        HMR_CHECK_MSG(false, "admitted task depends on an evicting block");
+    }
+  }
+  tr.state = TaskState::Admitted;
+  ++n_live_tasks_;
+  pe_claims_[static_cast<std::size_t>(tr.desc.pe)] += tr.claim_bytes;
+  if (tr.missing == 0) mark_ready(t, cmds);
+}
+
+void PolicyEngine::mark_ready(TaskId t, std::vector<Command>& cmds) {
+  TaskRec& tr = task(t);
+  HMR_DCHECK(tr.state == TaskState::Admitted);
+  tr.state = TaskState::Ready;
+  Command c;
+  c.kind = Command::Kind::Run;
+  c.task = t;
+  c.pe = tr.desc.pe;
+  cmds.push_back(c);
+}
+
+std::uint64_t PolicyEngine::reclaim_lru(std::uint64_t need,
+                                        std::int32_t agent, std::int32_t pe,
+                                        std::vector<Command>& cmds) {
+  std::uint64_t freed = 0;
+  while (freed < need && !lru_.empty()) {
+    const BlockId victim = lru_.front();
+    // evict_block unlinks it from the LRU.
+    freed += block(victim).bytes;
+    evict_block(victim, agent, pe, cmds);
+  }
+  return freed;
+}
+
+void PolicyEngine::evict_block(BlockId b, std::int32_t agent,
+                               std::int32_t pe, std::vector<Command>& cmds) {
+  BlockRec& br = block(b);
+  HMR_DCHECK(br.state == BlockState::InFast && br.refcount == 0);
+  lru_unlink(b);
+  br.state = BlockState::EvictInFlight;
+  ++n_inflight_evict_;
+  ++stats_.evicts;
+  stats_.evict_bytes += br.bytes;
+  Command c;
+  c.kind = Command::Kind::Evict;
+  c.block = b;
+  c.agent = agent;
+  c.pe = pe;
+  cmds.push_back(c);
+}
+
+void PolicyEngine::io_step_single(std::vector<Command>& cmds) {
+  // The single IO thread cycles over all wait queues, serving at most
+  // one task per queue per pass so every PE is served equally
+  // (paper §IV-B "Multiple queues, Single IO thread").
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::int32_t i = 0; i < cfg_.num_pes; ++i) {
+      const auto pe =
+          static_cast<std::size_t>((rr_cursor_ + i) % cfg_.num_pes);
+      auto& q = wait_q_[pe];
+      if (q.empty()) continue;
+      TaskRec& head = task(q.front());
+      if (can_admit(head)) {
+        const TaskId t = q.front();
+        q.pop_front();
+        --n_waiting_;
+        admit(t, /*fetch_agent=*/0, cmds);
+        progressed = true;
+      } else if (!cfg_.eager_evict) {
+        bool adm = true;
+        const std::uint64_t extra = admission_bytes(head, &adm);
+        if (adm && fast_used_ + extra > cfg_.fast_capacity) {
+          const std::uint64_t deficit =
+              fast_used_ + extra - cfg_.fast_capacity;
+          if (reclaim_lru(deficit, 0, static_cast<std::int32_t>(pe), cmds) > 0) {
+            progressed = true;
+          }
+        }
+      }
+    }
+    rr_cursor_ = (rr_cursor_ + 1) % cfg_.num_pes;
+  }
+}
+
+void PolicyEngine::io_step_multi(std::int32_t agent,
+                                 std::vector<Command>& cmds) {
+  // One IO thread per PE, draining its own queue until HBM is full
+  // (paper §IV-B "Multiple queues, Multiple IO threads").
+  auto& q = wait_q_[static_cast<std::size_t>(agent)];
+  while (!q.empty()) {
+    TaskRec& head = task(q.front());
+    if (can_admit(head) && within_fair_share(head)) {
+      const TaskId t = q.front();
+      q.pop_front();
+      --n_waiting_;
+      admit(t, agent, cmds);
+      continue;
+    }
+    if (!cfg_.eager_evict) {
+      bool adm = true;
+      const std::uint64_t extra = admission_bytes(head, &adm);
+      if (adm && fast_used_ + extra > cfg_.fast_capacity) {
+        const std::uint64_t deficit =
+            fast_used_ + extra - cfg_.fast_capacity;
+        reclaim_lru(deficit, agent, agent, cmds);
+      }
+    }
+    break; // FIFO: the head blocks the queue
+  }
+}
+
+void PolicyEngine::io_step_sync(std::int32_t pe, std::vector<Command>& cmds) {
+  // No IO thread: the worker itself fetches synchronously.  Fetch
+  // commands carry agent=kWorkerInline and pe = the task's home PE so
+  // executors charge the stall to the right lane.
+  auto& q = wait_q_[static_cast<std::size_t>(pe)];
+  while (!q.empty()) {
+    TaskRec& head = task(q.front());
+    if (can_admit(head) && within_fair_share(head)) {
+      const TaskId t = q.front();
+      q.pop_front();
+      --n_waiting_;
+      admit(t, kWorkerInline, cmds);
+      continue;
+    }
+    if (!cfg_.eager_evict) {
+      bool adm = true;
+      const std::uint64_t extra = admission_bytes(head, &adm);
+      if (adm && fast_used_ + extra > cfg_.fast_capacity) {
+        const std::uint64_t deficit =
+            fast_used_ + extra - cfg_.fast_capacity;
+        reclaim_lru(deficit, kWorkerInline, pe, cmds);
+      }
+    }
+    break;
+  }
+}
+
+std::vector<Command> PolicyEngine::on_task_arrived(const TaskDesc& desc) {
+  HMR_CHECK_MSG(desc.id != kInvalidTask, "task needs a valid id");
+  HMR_CHECK_MSG(desc.pe >= 0 && desc.pe < cfg_.num_pes,
+                "task pe out of range");
+  HMR_CHECK_MSG(tasks_.find(desc.id) == tasks_.end(), "duplicate task id");
+  for (std::size_t i = 0; i < desc.deps.size(); ++i) {
+    HMR_CHECK_MSG(blocks_.find(desc.deps[i].block) != blocks_.end(),
+                  "task depends on an unregistered block");
+    for (std::size_t j = i + 1; j < desc.deps.size(); ++j) {
+      HMR_CHECK_MSG(desc.deps[i].block != desc.deps[j].block,
+                    "duplicate dependence on one block");
+    }
+  }
+
+  std::vector<Command> cmds;
+  auto [it, inserted] = tasks_.emplace(desc.id, TaskRec{desc, TaskState::Waiting, 0});
+  (void)inserted;
+  TaskRec& tr = it->second;
+
+  if (!desc.prefetch || !strategy_moves_data(cfg_.strategy)) {
+    // Non-annotated entry methods, and the static-placement baselines:
+    // the converse scheduler delivers the message directly.
+    tr.state = TaskState::Ready;
+    ++n_live_tasks_;
+    Command c;
+    c.kind = Command::Kind::Run;
+    c.task = desc.id;
+    c.pe = desc.pe;
+    cmds.push_back(c);
+    return cmds;
+  }
+
+  switch (cfg_.strategy) {
+    case Strategy::SingleIo: {
+      bool adm = true;
+      if (admission_bytes(tr, &adm) == 0 && adm &&
+          fast_used_ <= cfg_.fast_capacity) {
+        // Paper fast path: all dependences already INHBM -> straight
+        // to the run queue without bothering the IO thread.
+        admit(desc.id, /*fetch_agent=*/0, cmds);
+      } else {
+        wait_q_[static_cast<std::size_t>(desc.pe)].push_back(desc.id);
+        ++n_waiting_;
+        io_step_single(cmds); // the worker signals the IO thread
+      }
+      break;
+    }
+    case Strategy::MultiIo: {
+      bool adm = true;
+      if (admission_bytes(tr, &adm) == 0 && adm) {
+        admit(desc.id, desc.pe, cmds);
+      } else {
+        // Paper: the task "simply adds itself to the corresponding
+        // PE's wait queue" and wakes that PE's IO thread.
+        wait_q_[static_cast<std::size_t>(desc.pe)].push_back(desc.id);
+        ++n_waiting_;
+        io_step_multi(desc.pe, cmds);
+      }
+      break;
+    }
+    case Strategy::SyncNoIo: {
+      auto& q = wait_q_[static_cast<std::size_t>(desc.pe)];
+      if (q.empty() && can_admit(tr) && within_fair_share(tr)) {
+        admit(desc.id, kWorkerInline, cmds);
+      } else {
+        q.push_back(desc.id);
+        ++n_waiting_;
+        if (!cfg_.eager_evict) io_step_sync(desc.pe, cmds);
+      }
+      break;
+    }
+    default:
+      HMR_CHECK_MSG(false, "unreachable strategy");
+  }
+  check_progress();
+  return cmds;
+}
+
+std::vector<Command> PolicyEngine::on_fetch_complete(BlockId b) {
+  BlockRec& br = block(b);
+  HMR_CHECK_MSG(br.state == BlockState::FetchInFlight,
+                "fetch completion for a block not being fetched");
+  br.state = BlockState::InFast;
+  --n_inflight_fetch_;
+  std::vector<Command> cmds;
+  for (const TaskId t : br.fetch_waiters) {
+    TaskRec& tr = task(t);
+    HMR_DCHECK(tr.missing > 0);
+    if (--tr.missing == 0) mark_ready(t, cmds);
+  }
+  br.fetch_waiters.clear();
+  return cmds;
+}
+
+std::vector<Command> PolicyEngine::on_evict_complete(BlockId b) {
+  BlockRec& br = block(b);
+  HMR_CHECK_MSG(br.state == BlockState::EvictInFlight,
+                "evict completion for a block not being evicted");
+  br.state = BlockState::InSlow;
+  HMR_DCHECK(fast_used_ >= br.bytes);
+  fast_used_ -= br.bytes;
+  --n_inflight_evict_;
+
+  // Freed capacity can unblock any PE's queue head.
+  std::vector<Command> cmds;
+  switch (cfg_.strategy) {
+    case Strategy::SingleIo:
+      io_step_single(cmds);
+      break;
+    case Strategy::MultiIo:
+      for (std::int32_t a = 0; a < cfg_.num_pes; ++a) {
+        if (!wait_q_[static_cast<std::size_t>(a)].empty()) {
+          io_step_multi(a, cmds);
+        }
+      }
+      break;
+    case Strategy::SyncNoIo:
+      for (std::int32_t pe = 0; pe < cfg_.num_pes; ++pe) {
+        if (!wait_q_[static_cast<std::size_t>(pe)].empty()) {
+          io_step_sync(pe, cmds);
+        }
+      }
+      break;
+    default:
+      break; // static strategies never evict
+  }
+  check_progress();
+  return cmds;
+}
+
+std::vector<Command> PolicyEngine::on_task_complete(TaskId t) {
+  TaskRec& tr = task(t);
+  HMR_CHECK_MSG(tr.state == TaskState::Ready,
+                "completion for a task that was never made runnable");
+  tr.state = TaskState::Done;
+  HMR_DCHECK(n_live_tasks_ > 0);
+  --n_live_tasks_;
+  ++stats_.tasks_run;
+  {
+    auto& pc = pe_claims_[static_cast<std::size_t>(tr.desc.pe)];
+    HMR_DCHECK(pc >= tr.claim_bytes);
+    pc -= tr.claim_bytes;
+    tr.claim_bytes = 0;
+  }
+
+  std::vector<Command> cmds;
+  if (!tr.desc.prefetch || !strategy_moves_data(cfg_.strategy)) {
+    return cmds; // static strategies: no claims were taken
+  }
+
+  // Post-processing: release claims; blocks that drop to refcount 0
+  // are evicted (eager, paper behaviour) or parked warm (lazy).
+  const std::int32_t evict_agent =
+      cfg_.evict_by_worker
+          ? kWorkerInline
+          : (cfg_.strategy == Strategy::SingleIo ? 0 : tr.desc.pe);
+  for (const Dep& d : tr.desc.deps) {
+    BlockRec& br = block(d.block);
+    HMR_CHECK_MSG(br.refcount > 0, "refcount underflow");
+    if (--br.refcount == 0 && br.state == BlockState::InFast) {
+      if (cfg_.eager_evict) {
+        evict_block(d.block, evict_agent, tr.desc.pe, cmds);
+      } else {
+        lru_touch(d.block);
+      }
+    }
+  }
+
+  // "It then wakes up the IO thread ... so that more data can be
+  // prefetched" — some queued task may now be admissible (shared
+  // blocks became resident, or lazy reclaim can run).
+  switch (cfg_.strategy) {
+    case Strategy::SingleIo:
+      io_step_single(cmds);
+      break;
+    case Strategy::MultiIo:
+      if (cfg_.eager_evict) {
+        // Eager mode: freed budget arrives via on_evict_complete,
+        // which retries every queue; waking only our own is enough.
+        io_step_multi(tr.desc.pe, cmds);
+      } else {
+        // Lazy mode: this completion may be the only future event (the
+        // released blocks just parked in the LRU, no eviction pending),
+        // so every queue whose head needs an LRU reclaim must get its
+        // chance now or the node wedges.
+        for (std::int32_t a = 0; a < cfg_.num_pes; ++a) {
+          if (!wait_q_[static_cast<std::size_t>(a)].empty()) {
+            io_step_multi(a, cmds);
+          }
+        }
+      }
+      break;
+    case Strategy::SyncNoIo:
+      if (cfg_.eager_evict) {
+        io_step_sync(tr.desc.pe, cmds);
+      } else {
+        for (std::int32_t pe = 0; pe < cfg_.num_pes; ++pe) {
+          if (!wait_q_[static_cast<std::size_t>(pe)].empty()) {
+            io_step_sync(pe, cmds);
+          }
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  check_progress();
+  return cmds;
+}
+
+std::size_t PolicyEngine::waiting_tasks(std::int32_t pe) const {
+  HMR_CHECK(pe >= 0 && pe < cfg_.num_pes);
+  return wait_q_[static_cast<std::size_t>(pe)].size();
+}
+
+std::size_t PolicyEngine::total_waiting() const { return n_waiting_; }
+
+BlockState PolicyEngine::block_state(BlockId b) const {
+  return block(b).state;
+}
+
+std::uint32_t PolicyEngine::refcount(BlockId b) const {
+  return block(b).refcount;
+}
+
+bool PolicyEngine::quiescent() const {
+  return n_waiting_ == 0 && n_live_tasks_ == 0 && n_inflight_fetch_ == 0 &&
+         n_inflight_evict_ == 0;
+}
+
+void PolicyEngine::debug_dump(std::FILE* out) const {
+  std::size_t resident0 = 0;
+  std::uint64_t resident0_bytes = 0;
+  std::size_t by_state[4] = {0, 0, 0, 0};
+  for (const auto& [id, br] : blocks_) {
+    ++by_state[static_cast<int>(br.state)];
+    if (br.state == BlockState::InFast && br.refcount == 0) {
+      ++resident0;
+      resident0_bytes += br.bytes;
+    }
+  }
+  std::fprintf(out,
+               "engine: slow=%zu fast=%zu fetching=%zu evicting=%zu "
+               "fast&ref0=%zu (%llu bytes) lru=%zu\n",
+               by_state[0], by_state[1], by_state[2], by_state[3], resident0,
+               static_cast<unsigned long long>(resident0_bytes),
+               lru_.size());
+  for (std::size_t pe = 0; pe < wait_q_.size(); ++pe) {
+    if (wait_q_[pe].empty()) continue;
+    const auto it = tasks_.find(wait_q_[pe].front());
+    bool adm = true;
+    const std::uint64_t extra = admission_bytes(it->second, &adm);
+    std::fprintf(out,
+                 "  pe %zu: %zu waiting; head extra=%llu admissible=%d "
+                 "can_admit=%d fair=%d claims=%llu\n",
+                 pe, wait_q_[pe].size(),
+                 static_cast<unsigned long long>(extra), adm,
+                 can_admit(it->second), within_fair_share(it->second),
+                 static_cast<unsigned long long>(pe_claims_[pe]));
+    if (pe > 4) break;
+  }
+}
+
+void PolicyEngine::check_progress() const {
+  if (n_waiting_ == 0 || n_live_tasks_ > 0 || n_inflight_fetch_ > 0 ||
+      n_inflight_evict_ > 0) {
+    return;
+  }
+  // Nothing is running or in flight yet tasks wait.  If no queue head
+  // is admissible and nothing is reclaimable, no future event can make
+  // progress: the reduced working set does not fit in the fast tier.
+  for (const auto& q : wait_q_) {
+    if (q.empty()) continue;
+    auto it = tasks_.find(q.front());
+    HMR_DCHECK(it != tasks_.end());
+    if (can_admit(it->second)) return; // will be admitted on next drain
+  }
+  if (!cfg_.eager_evict && !lru_.empty()) return;
+  HMR_CHECK_MSG(false,
+                "scheduling wedge: a waiting task's dependences exceed the "
+                "fast-tier capacity (reduced working set must fit in HBM)");
+}
+
+} // namespace hmr::ooc

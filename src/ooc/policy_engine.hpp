@@ -1,0 +1,214 @@
+#pragma once
+// PolicyEngine: the paper's prefetch/evict scheduling protocol as a
+// deterministic, executor-agnostic state machine.
+//
+// The same engine is driven by two executors:
+//   * hmr::rt  — real threads, real memcpy between tier arenas;
+//   * hmr::sim — a discrete-event simulator with virtual time.
+// The engine owns all policy state (wait queues, block states, ref
+// counts, HBM budget) and returns Commands; it never blocks and never
+// measures time, which is what makes it testable in isolation and
+// reusable across executors.
+//
+// Protocol (paper §IV-B, Algorithm 1):
+//  * every PE has a FIFO wait queue for tasks whose data is not yet in
+//    HBM, and a run queue of ready tasks;
+//  * a task *claims* (refcount++) all its dependence blocks when it is
+//    admitted; a block is evictable only at refcount 0;
+//  * admission is all-or-nothing: a task is admitted only when the HBM
+//    budget can hold *all* of its non-resident dependences.  (The
+//    paper's Algorithm 1 fetches block-by-block; all-or-nothing is the
+//    deadlock-free refinement — partial claims by two tasks could
+//    otherwise wedge the node.  DESIGN.md §5 records this choice.)
+//  * on completion a task releases its claims; blocks that drop to
+//    refcount 0 are evicted back to DDR4 (eager mode, the paper's
+//    behaviour) or parked in an LRU from which space is reclaimed on
+//    demand (lazy mode, our ablation extension);
+//  * HBM budget accounting covers blocks InFast, FetchInFlight and
+//    EvictInFlight — capacity is released only when an eviction has
+//    finished, mirroring when numa_free actually returns the bytes.
+//
+// Thread safety: none.  Callers serialize (the rt executor wraps every
+// call in one mutex; the DES is single-threaded).
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "ooc/types.hpp"
+
+namespace hmr::ooc {
+
+class PolicyEngine {
+public:
+  struct Config {
+    Strategy strategy = Strategy::MultiIo;
+    std::int32_t num_pes = 1;
+    /// Budget for blocks resident in (or in flight to) the fast tier.
+    std::uint64_t fast_capacity = 0;
+    /// Evict refcount-0 blocks immediately on task completion (paper
+    /// behaviour).  false = lazy: keep them warm in an LRU and evict
+    /// on demand when admission needs space (ablation extension).
+    bool eager_evict = true;
+    /// Worker evicts its own blocks synchronously in post-processing
+    /// (paper text for SyncNoIo).  When false, evictions are queued on
+    /// the responsible IO agent.  Ignored for SyncNoIo (always true).
+    bool evict_by_worker = false;
+    /// Write-only dependences get a fast-tier buffer without copying
+    /// the stale contents (extension; the paper always copies).
+    bool writeonly_nocopy = false;
+    /// Fair admission: a PE's outstanding admission claims may not
+    /// exceed fast_capacity / num_pes (unless it has none at all, so
+    /// progress is always possible).  Models the physical reality that
+    /// each IO thread allocates HBM one memcpy at a time, which
+    /// rate-limits how much budget any one PE can grab; without it a
+    /// greedy per-PE drain lets low-numbered PEs fill MCDRAM with
+    /// far-future blocks and starve the rest.  SingleIo's round-robin
+    /// is already fair and ignores this.
+    bool fair_admission = true;
+  };
+
+  struct Stats {
+    std::uint64_t tasks_run = 0;
+    std::uint64_t fetches = 0;
+    std::uint64_t fetch_bytes = 0;
+    std::uint64_t evicts = 0;
+    std::uint64_t evict_bytes = 0;
+    std::uint64_t fetch_dedup_hits = 0; // dep already in/inbound to HBM
+    std::uint64_t lru_reclaims = 0;     // lazy mode: warm block reused
+  };
+
+  explicit PolicyEngine(Config cfg);
+
+  const Config& config() const { return cfg_; }
+
+  // ---- block registry ----
+
+  /// Register a data block; returns where its storage must be placed
+  /// (strategy-dependent: movement strategies start everything on the
+  /// slow tier; Naive packs HBM first; HbmOnly requires it to fit).
+  Placement add_block(BlockId b, std::uint64_t bytes);
+
+  /// Forget a block.  Must be unreferenced and not in flight.
+  void remove_block(BlockId b);
+
+  // ---- events (each returns the commands to execute) ----
+
+  /// A message for a [prefetch] entry method arrived at the converse
+  /// scheduler (pre-processing step).
+  std::vector<Command> on_task_arrived(const TaskDesc& task);
+
+  /// The executor finished migrating `b` slow -> fast.
+  std::vector<Command> on_fetch_complete(BlockId b);
+
+  /// The executor finished migrating `b` fast -> slow.
+  std::vector<Command> on_evict_complete(BlockId b);
+
+  /// A task previously issued via Command::Run finished executing
+  /// (post-processing step).
+  std::vector<Command> on_task_complete(TaskId t);
+
+  // ---- introspection (tests, executors, tracing) ----
+
+  BlockState block_state(BlockId b) const;
+  std::uint32_t refcount(BlockId b) const;
+  std::uint64_t fast_used() const { return fast_used_; }
+  std::uint64_t fast_capacity() const { return cfg_.fast_capacity; }
+  std::size_t waiting_tasks(std::int32_t pe) const;
+  std::size_t total_waiting() const;
+  std::size_t live_tasks() const { return n_live_tasks_; }
+  std::size_t inflight_fetches() const { return n_inflight_fetch_; }
+  std::size_t inflight_evicts() const { return n_inflight_evict_; }
+  std::size_t lru_size() const { return lru_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  /// True when every arrived task has completed and nothing is queued
+  /// or in flight — used by executors to assert quiescence.
+  bool quiescent() const;
+
+  /// Debug: number of fast-resident blocks with refcount 0 (should be
+  /// none at quiescence under eager eviction) and the first waiting
+  /// task's admissibility, dumped by executors on wedge detection.
+  void debug_dump(std::FILE* out) const;
+
+private:
+  enum class TaskState : std::uint8_t { Waiting, Admitted, Ready, Done };
+
+  struct BlockRec {
+    std::uint64_t bytes = 0;
+    BlockState state = BlockState::InSlow;
+    std::uint32_t refcount = 0;
+    std::vector<TaskId> fetch_waiters; // admitted tasks awaiting fetch
+    bool in_lru = false;
+  };
+
+  struct TaskRec {
+    TaskDesc desc;
+    TaskState state = TaskState::Waiting;
+    std::uint32_t missing = 0;      // deps not yet InFast
+    std::uint64_t claim_bytes = 0;  // fresh fast-tier bytes it claimed
+  };
+
+  BlockRec& block(BlockId b);
+  const BlockRec& block(BlockId b) const;
+  TaskRec& task(TaskId t);
+
+  /// Bytes of additional fast-tier space task admission would claim.
+  /// Returns false via `admissible` when a dep is mid-eviction (must
+  /// wait for it to land before it can be re-fetched).
+  std::uint64_t admission_bytes(const TaskRec& tr, bool* admissible) const;
+
+  bool can_admit(const TaskRec& tr) const;
+
+  /// Fair-admission gate for the per-PE drains (MultiIo / SyncNoIo).
+  bool within_fair_share(const TaskRec& tr) const;
+
+  /// Claim deps, plan fetches, emit Run when already resident.
+  void admit(TaskId t, std::int32_t fetch_agent,
+             std::vector<Command>& cmds);
+
+  void mark_ready(TaskId t, std::vector<Command>& cmds);
+
+  /// Drain admissible tasks.  SingleIo: round-robin one task per PE
+  /// queue per pass over all queues.  MultiIo: drain agent's own queue.
+  /// SyncNoIo: drain `pe`'s queue with inline fetches.
+  void io_step_single(std::vector<Command>& cmds);
+  void io_step_multi(std::int32_t agent, std::vector<Command>& cmds);
+  void io_step_sync(std::int32_t pe, std::vector<Command>& cmds);
+
+  /// Lazy mode: schedule evictions of LRU refcount-0 blocks until
+  /// `need` bytes will become free.  Returns bytes scheduled.
+  std::uint64_t reclaim_lru(std::uint64_t need, std::int32_t agent,
+                            std::int32_t pe, std::vector<Command>& cmds);
+
+  /// `pe` identifies the worker lane that performs the eviction when
+  /// `agent` is kWorkerInline (executors charge the stall there).
+  void evict_block(BlockId b, std::int32_t agent, std::int32_t pe,
+                   std::vector<Command>& cmds);
+
+  void lru_touch(BlockId b);
+  void lru_unlink(BlockId b);
+
+  /// Wedge detection: waiting tasks but nothing live, in flight or
+  /// reclaimable means the head task can never be admitted.
+  void check_progress() const;
+
+  Config cfg_;
+  std::unordered_map<BlockId, BlockRec> blocks_;
+  std::unordered_map<TaskId, TaskRec> tasks_;
+  std::vector<std::deque<TaskId>> wait_q_;
+  std::deque<BlockId> lru_; // front = coldest (lazy mode only)
+
+  std::uint64_t fast_used_ = 0;
+  std::size_t n_live_tasks_ = 0; // Admitted + Ready (not yet completed)
+  std::size_t n_waiting_ = 0;
+  std::size_t n_inflight_fetch_ = 0;
+  std::size_t n_inflight_evict_ = 0;
+  std::int32_t rr_cursor_ = 0; // SingleIo fairness cursor
+  std::vector<std::uint64_t> pe_claims_; // outstanding claims per PE
+  Stats stats_;
+};
+
+} // namespace hmr::ooc

@@ -1,0 +1,124 @@
+#pragma once
+// Core vocabulary of the memory-heterogeneity-aware runtime layer:
+// access modes, data-dependence declarations, task descriptors, the
+// scheduling strategies of the paper, and the command protocol between
+// the policy engine and an executor.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/memory_manager.hpp" // for mem::BlockId
+
+namespace hmr::ooc {
+
+using mem::BlockId;
+using TaskId = std::uint64_t;
+inline constexpr TaskId kInvalidTask = ~0ull;
+
+/// Access modes of the paper's .ci data-dependence annotations
+/// (`[readwrite: A, writeonly: B]` on a `[prefetch]` entry method).
+enum class AccessMode : std::uint8_t { ReadOnly, ReadWrite, WriteOnly };
+
+const char* access_mode_name(AccessMode m);
+
+/// One declared data dependence of a task.
+struct Dep {
+  BlockId block = mem::kInvalidBlock;
+  AccessMode mode = AccessMode::ReadWrite;
+};
+
+/// A unit of schedulable work: one entry-method invocation of one chare
+/// (the paper's OOCTask).  `pe` is the chare's home PE — tasks never
+/// migrate, matching Charm++ semantics outside load balancing.
+struct TaskDesc {
+  TaskId id = kInvalidTask;
+  std::int32_t pe = 0;
+  std::vector<Dep> deps;
+
+  /// Kernel intensity: how many times the kernel streams over its
+  /// dependence bytes (tiling-style repeated passes raise this).
+  double work_factor = 1.0;
+
+  /// False for entry methods without the [prefetch] attribute: the
+  /// converse scheduler delivers them directly, no interception.
+  bool prefetch = true;
+
+  /// Message dependences: this task's message is only *sent* (arrives
+  /// at the converse scheduler) after these tasks completed — how
+  /// Charm++ applications express per-chare iteration order without a
+  /// global barrier.  Enforced by the executor (delivery order), not
+  /// the PolicyEngine (which, like the paper's runtime, only sees
+  /// messages that have arrived).
+  std::vector<TaskId> predecessors;
+};
+
+/// Scheduling strategies evaluated in the paper (§IV-B / §V).
+enum class Strategy : std::uint8_t {
+  /// HBM-preferred static allocation, overflow to DDR4, no movement.
+  Naive,
+  /// Everything on DDR4 (the DDR4only bar of Fig 9).
+  DdrOnly,
+  /// Everything on HBM; only valid when the working set fits (Fig 2).
+  HbmOnly,
+  /// Multiple wait queues (one per PE), a single IO thread fetching
+  /// and evicting for everyone, asynchronously.
+  SingleIo,
+  /// Multiple wait queues, no IO thread: each worker fetches/evicts
+  /// its own data synchronously in the pre/post-processing steps.
+  SyncNoIo,
+  /// Multiple wait queues, one IO thread per PE, asynchronous.
+  MultiIo,
+};
+
+const char* strategy_name(Strategy s);
+
+/// True for the strategies that move data (prefetch/evict protocol).
+bool strategy_moves_data(Strategy s);
+
+/// Where a block's storage should be placed at registration time.
+enum class Placement : std::uint8_t { Fast, Slow };
+
+/// Logical block residency, the paper's INHBM / INDDR states plus the
+/// two in-flight states of the asynchronous protocol.
+enum class BlockState : std::uint8_t {
+  InSlow,        // INDDR
+  InFast,        // INHBM
+  FetchInFlight, // slow -> fast migration running
+  EvictInFlight, // fast -> slow migration running
+};
+
+const char* block_state_name(BlockState s);
+
+/// The executor-facing command protocol.  The policy engine never
+/// blocks, sleeps, or touches real memory; it returns a list of
+/// commands the executor performs (really, with threads and memcpy, or
+/// virtually, in the DES).
+struct Command {
+  enum class Kind : std::uint8_t {
+    /// Migrate `block` slow -> fast.  `agent` is the IO thread that
+    /// must perform it (kWorkerInline = the worker in whose event
+    /// context this command was returned, i.e. a synchronous fetch).
+    /// Executor must call PolicyEngine::on_fetch_complete when done.
+    Fetch,
+    /// Migrate `block` fast -> slow; report via on_evict_complete.
+    Evict,
+    /// `task` has all dependences resident: append it to PE `pe`'s run
+    /// queue.  Executor must call on_task_complete after it runs.
+    Run,
+  };
+
+  Kind kind = Kind::Run;
+  BlockId block = mem::kInvalidBlock; // Fetch / Evict
+  TaskId task = kInvalidTask;         // Run; for Fetch: first requester
+  std::int32_t agent = 0;             // IO agent id, or kWorkerInline
+  std::int32_t pe = 0;                // Run: target PE
+  /// Fetch only: destination buffer need not receive the old contents
+  /// (write-only dependence with the writeonly_nocopy optimization).
+  bool nocopy = false;
+};
+
+/// Agent id meaning "the worker thread handling the current event".
+inline constexpr std::int32_t kWorkerInline = -1;
+
+} // namespace hmr::ooc

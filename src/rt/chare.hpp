@@ -1,0 +1,126 @@
+#pragma once
+// Chare arrays: over-decomposed work units block-mapped onto PEs.
+//
+// ChareArray<C> owns `n` instances of a user chare type C and provides
+// Charm++-flavoured entry-method delivery:
+//
+//   struct MyChare : hmr::rt::Chare {
+//     hmr::rt::IoHandle<double> grid;
+//     void compute() { ... }
+//   };
+//
+//   ChareArray<MyChare> arr(rt, 16, init_fn);
+//   auto kCompute = arr.register_entry(
+//       "compute", /*prefetch=*/true,
+//       [](MyChare& c) { c.compute(); },
+//       [](MyChare& c) { return hmr::rt::Runtime::DepList{
+//           c.grid.dep(hmr::ooc::AccessMode::ReadWrite)}; });
+//   arr.broadcast(kCompute);   // or arr.send(idx, kCompute)
+//   rt.wait_idle();
+//
+// The deps callback is the analogue of the `.ci` annotation
+// `entry [prefetch] void compute() [readwrite: grid]`: it names which
+// IoHandles the method touches and how.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/runtime.hpp"
+#include "util/check.hpp"
+
+namespace hmr::rt {
+
+/// Base class for user chares (index and home PE, assigned by the
+/// array; chares never migrate, matching the paper's setting).
+struct Chare {
+  int index = -1;
+  int pe = -1;
+};
+
+template <typename C>
+class ChareArray {
+public:
+  using EntryId = std::size_t;
+  using EntryBody = std::function<void(C&)>;
+  using EntryDeps = std::function<Runtime::DepList(C&)>;
+
+  /// Create `n` chares, block-mapped over the runtime's PEs, invoking
+  /// `init` on each (allocate IoHandles there).
+  ChareArray(Runtime& rt, int n, const std::function<void(C&)>& init)
+      : rt_(&rt) {
+    HMR_CHECK(n > 0);
+    static_assert(std::is_base_of_v<Chare, C>,
+                  "chare types must derive from hmr::rt::Chare");
+    chares_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto c = std::make_unique<C>();
+      c->index = i;
+      // Round-robin map (Charm++ default): spreads chares — and the
+      // Naive strategy's HBM-resident ones — evenly over PEs.
+      c->pe = i % rt.num_pes();
+      if (init) init(*c);
+      chares_.push_back(std::move(c));
+    }
+  }
+
+  int size() const { return static_cast<int>(chares_.size()); }
+  C& operator[](int i) {
+    HMR_CHECK(i >= 0 && i < size());
+    return *chares_[static_cast<std::size_t>(i)];
+  }
+  const C& operator[](int i) const {
+    HMR_CHECK(i >= 0 && i < size());
+    return *chares_[static_cast<std::size_t>(i)];
+  }
+
+  /// Register an entry method.  `prefetch` selects interception; for
+  /// prefetch entries `deps` must name every IoHandle the body reads
+  /// or writes (the paper's data-dependence annotation).
+  /// `work_factor` is a hint recorded with the task (kernel passes).
+  EntryId register_entry(std::string name, bool prefetch, EntryBody body,
+                         EntryDeps deps = nullptr,
+                         double work_factor = 1.0) {
+    HMR_CHECK_MSG(!prefetch || deps,
+                  "prefetch entry methods must declare dependences");
+    entries_.push_back({std::move(name), prefetch, std::move(body),
+                        std::move(deps), work_factor});
+    return entries_.size() - 1;
+  }
+
+  /// Deliver entry `e` to chare `idx` (async, any thread).
+  void send(int idx, EntryId e) {
+    HMR_CHECK(idx >= 0 && idx < size());
+    HMR_CHECK(e < entries_.size());
+    C& c = *chares_[static_cast<std::size_t>(idx)];
+    const Entry& entry = entries_[e];
+    if (entry.prefetch) {
+      rt_->send_prefetch(
+          c.pe, entry.deps(c), [&entry, &c] { entry.body(c); },
+          entry.work_factor);
+    } else {
+      rt_->send(c.pe, [&entry, &c] { entry.body(c); });
+    }
+  }
+
+  /// Deliver entry `e` to every chare.
+  void broadcast(EntryId e) {
+    for (int i = 0; i < size(); ++i) send(i, e);
+  }
+
+private:
+  struct Entry {
+    std::string name;
+    bool prefetch;
+    EntryBody body;
+    EntryDeps deps;
+    double work_factor;
+  };
+
+  Runtime* rt_;
+  std::vector<std::unique_ptr<C>> chares_;
+  std::vector<Entry> entries_;
+};
+
+} // namespace hmr::rt

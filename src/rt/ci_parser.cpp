@@ -1,0 +1,285 @@
+#include "rt/ci_parser.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace hmr::rt {
+
+namespace {
+
+/// Minimal recursive-descent tokenizer/parser with position tracking.
+class Parser {
+public:
+  explicit Parser(std::string_view src) : src_(src) {}
+
+  CiParseResult run() {
+    CiFile file;
+    skip_ws();
+    while (!eof()) {
+      auto m = parse_module();
+      if (!ok_) return fail_result();
+      file.modules.push_back(std::move(m));
+      skip_ws();
+    }
+    if (file.modules.empty()) {
+      error("expected at least one module");
+      return fail_result();
+    }
+    CiParseResult r;
+    r.file = std::move(file);
+    return r;
+  }
+
+private:
+  // ---- character stream ----
+  bool eof() const { return pos_ >= src_.size(); }
+  char peek() const { return eof() ? '\0' : src_[pos_]; }
+  char get() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        get();
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '/') {
+          while (!eof() && peek() != '\n') get();
+          continue;
+        }
+        if (src_[pos_ + 1] == '*') {
+          get();
+          get();
+          while (!eof()) {
+            if (get() == '*' && !eof() && peek() == '/') {
+              get();
+              break;
+            }
+          }
+          continue;
+        }
+      }
+      break;
+    }
+  }
+
+  void error(const std::string& msg) {
+    if (ok_) {
+      ok_ = false;
+      err_ = msg;
+      err_line_ = line_;
+      err_col_ = col_;
+    }
+  }
+
+  CiParseResult fail_result() const {
+    CiParseResult r;
+    r.error = err_;
+    r.line = err_line_;
+    r.column = err_col_;
+    return r;
+  }
+
+  // ---- tokens ----
+  std::string ident() {
+    skip_ws();
+    std::string out;
+    if (!eof() &&
+        (std::isalpha(static_cast<unsigned char>(peek())) || peek() == '_')) {
+      while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_')) {
+        out.push_back(get());
+      }
+    }
+    if (out.empty()) error("expected identifier");
+    return out;
+  }
+
+  bool expect(char c, const char* what) {
+    skip_ws();
+    if (peek() == c) {
+      get();
+      return true;
+    }
+    error(std::string("expected '") + c + "' " + what);
+    return false;
+  }
+
+  bool accept(char c) {
+    skip_ws();
+    if (peek() == c) {
+      get();
+      return true;
+    }
+    return false;
+  }
+
+  bool keyword(const char* kw) {
+    skip_ws();
+    const std::size_t save = pos_;
+    const int sl = line_, sc = col_;
+    for (const char* p = kw; *p; ++p) {
+      if (eof() || peek() != *p) {
+        pos_ = save;
+        line_ = sl;
+        col_ = sc;
+        return false;
+      }
+      get();
+    }
+    // must not be a prefix of a longer identifier
+    if (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_')) {
+      pos_ = save;
+      line_ = sl;
+      col_ = sc;
+      return false;
+    }
+    return true;
+  }
+
+  // ---- grammar ----
+  CiModule parse_module() {
+    CiModule m;
+    if (!keyword("module")) {
+      error("expected 'module'");
+      return m;
+    }
+    m.name = ident();
+    if (!ok_) return m;
+    if (!expect('{', "after module name")) return m;
+    skip_ws();
+    while (ok_ && peek() != '}') {
+      m.entries.push_back(parse_entry());
+      skip_ws();
+    }
+    if (!expect('}', "to close module")) return m;
+    accept(';'); // trailing semicolon optional
+    return m;
+  }
+
+  CiEntry parse_entry() {
+    CiEntry e;
+    if (!keyword("entry")) {
+      error("expected 'entry'");
+      return e;
+    }
+    // optional attribute list: [prefetch, ...]
+    if (accept('[')) {
+      for (;;) {
+        const std::string a = ident();
+        if (!ok_) return e;
+        if (a == "prefetch") e.prefetch = true;
+        e.attrs.push_back(a);
+        if (accept(']')) break;
+        if (!expect(',', "in attribute list")) return e;
+      }
+    }
+    if (!keyword("void")) {
+      error("only 'void' entry methods are supported");
+      return e;
+    }
+    e.name = ident();
+    if (!ok_) return e;
+    if (!expect('(', "after entry name")) return e;
+    if (!expect(')', "entry parameters are not supported")) return e;
+    // optional dependence list: [readwrite: A, writeonly: B]
+    if (accept('[')) {
+      for (;;) {
+        CiDep d;
+        const std::string mode = ident();
+        if (!ok_) return e;
+        if (mode == "readonly") {
+          d.mode = ooc::AccessMode::ReadOnly;
+        } else if (mode == "readwrite") {
+          d.mode = ooc::AccessMode::ReadWrite;
+        } else if (mode == "writeonly") {
+          d.mode = ooc::AccessMode::WriteOnly;
+        } else {
+          error("unknown access mode '" + mode + "'");
+          return e;
+        }
+        if (!expect(':', "after access mode")) return e;
+        d.name = ident();
+        if (!ok_) return e;
+        e.deps.push_back(std::move(d));
+        if (accept(']')) break;
+        if (!expect(',', "in dependence list")) return e;
+      }
+    }
+    if (e.prefetch && e.deps.empty()) {
+      error("[prefetch] entry '" + e.name + "' declares no dependences");
+      return e;
+    }
+    if (!expect(';', "after entry declaration")) return e;
+    return e;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool ok_ = true;
+  std::string err_;
+  int err_line_ = 0;
+  int err_col_ = 0;
+};
+
+} // namespace
+
+const CiEntry* CiFile::find(const std::string& module_name,
+                            const std::string& entry_name) const {
+  for (const auto& m : modules) {
+    if (m.name != module_name) continue;
+    for (const auto& e : m.entries) {
+      if (e.name == entry_name) return &e;
+    }
+  }
+  return nullptr;
+}
+
+CiParseResult parse_ci(std::string_view source) {
+  return Parser(source).run();
+}
+
+std::string generate_stubs(const CiModule& module) {
+  std::ostringstream os;
+  os << "// Generated by hmr-charmxi from module " << module.name << "\n";
+  for (const auto& e : module.entries) {
+    if (!e.prefetch) continue;
+    os << "\n// ---- entry [prefetch] " << e.name << " ----\n";
+    os << "void " << module.name << "::_" << e.name
+       << "_preprocess(Message* msg) {\n"
+       << "  // Wrap the message and annotated handles as an OOCTask\n"
+       << "  // (paper SIV-B); the converse scheduler delivers the entry\n"
+       << "  // only after all dependences reach INHBM.\n"
+       << "  OOCTask task(this, msg);\n";
+    for (const auto& d : e.deps) {
+      os << "  task.add_dependence(" << d.name << ", AccessMode::"
+         << (d.mode == ooc::AccessMode::ReadOnly    ? "ReadOnly"
+             : d.mode == ooc::AccessMode::ReadWrite ? "ReadWrite"
+                                                    : "WriteOnly")
+         << ");\n";
+    }
+    os << "  runtime()->on_task_arrived(std::move(task));\n"
+       << "}\n";
+    os << "void " << module.name << "::_" << e.name
+       << "_postprocess() {\n"
+       << "  // Release claims; refcount-0 blocks are evicted to DDR4.\n"
+       << "  runtime()->on_task_complete(current_task());\n"
+       << "}\n";
+  }
+  return os.str();
+}
+
+} // namespace hmr::rt

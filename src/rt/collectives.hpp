@@ -1,0 +1,86 @@
+#pragma once
+// Node-level collectives: NodeGroup (one shared instance per node,
+// the paper's vehicle for caching read-only matmul blocks node-wide)
+// and Reduction (contribute/combine across chares, used by iterative
+// applications to detect convergence).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace hmr::rt {
+
+/// One instance of T shared by all chares on the node, with a mutex
+/// for the rare mutating accesses (reads of immutable state are free).
+template <typename T>
+class NodeGroup {
+public:
+  template <typename... Args>
+  explicit NodeGroup(Args&&... args) : value_(std::forward<Args>(args)...) {}
+
+  /// Run `fn` with exclusive access to the shared instance.
+  template <typename F>
+  auto with(F&& fn) {
+    std::lock_guard lk(mu_);
+    return fn(value_);
+  }
+
+  /// Unsynchronized access — only for state that is immutable while
+  /// entry methods run (e.g. handles installed before the first send).
+  T& unsafe_get() { return value_; }
+
+private:
+  std::mutex mu_;
+  T value_;
+};
+
+/// Sum/max reduction over a fixed number of contributions.  The
+/// combining is associative and commutative, so contribution order
+/// (which varies across PE threads) does not affect the result.
+template <typename T>
+class Reduction {
+public:
+  using Combine = std::function<T(const T&, const T&)>;
+
+  Reduction(std::uint64_t expected, T identity, Combine combine)
+      : expected_(expected), value_(std::move(identity)),
+        combine_(std::move(combine)) {
+    HMR_CHECK(expected_ > 0);
+  }
+
+  /// Contribute one value (thread-safe; callable from entry methods).
+  void contribute(const T& v) {
+    std::lock_guard lk(mu_);
+    HMR_CHECK_MSG(received_ < expected_, "too many contributions");
+    value_ = combine_(value_, v);
+    if (++received_ == expected_) cv_.notify_all();
+  }
+
+  /// Block until all contributions arrived; returns the combined value
+  /// and resets for the next round.
+  T wait() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return received_ == expected_; });
+    received_ = 0;
+    return std::exchange(value_, T{});
+  }
+
+  std::uint64_t pending() const {
+    std::lock_guard lk(mu_);
+    return expected_ - received_;
+  }
+
+private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t expected_;
+  std::uint64_t received_ = 0;
+  T value_;
+  Combine combine_;
+};
+
+} // namespace hmr::rt

@@ -1,0 +1,60 @@
+#pragma once
+// IoHandle<T>: the typed handle to a migratable data block — the
+// paper's CkIOHandle.
+//
+// Declaring chare data through IoHandle is the "trivial code change"
+// the paper asks of applications: the handle lets the runtime store
+// and query metadata about the block (size, residency, refcount) and
+// migrate its storage between tiers.  Application code accesses the
+// payload through data()/span(), which always resolves the *current*
+// location — valid whenever the surrounding entry method declared the
+// dependence (the runtime pins the block resident for its duration).
+
+#include <cstdint>
+#include <span>
+
+#include "ooc/types.hpp"
+#include "rt/runtime.hpp"
+#include "util/check.hpp"
+
+namespace hmr::rt {
+
+template <typename T>
+class IoHandle {
+public:
+  IoHandle() = default;
+
+  /// Allocate a block of `count` elements through the runtime.
+  IoHandle(Runtime& rt, std::uint64_t count)
+      : rt_(&rt), count_(count),
+        block_(rt.alloc_block(count * sizeof(T))) {}
+
+  bool valid() const { return rt_ != nullptr; }
+  mem::BlockId id() const { return block_; }
+  std::uint64_t size() const { return count_; }
+  std::uint64_t bytes() const { return count_ * sizeof(T); }
+
+  /// Pointer to the block's current storage (moves across tiers).
+  T* data() const {
+    HMR_DCHECK(rt_ != nullptr);
+    return static_cast<T*>(rt_->block_ptr(block_));
+  }
+
+  std::span<T> span() const { return {data(), count_}; }
+
+  T& operator[](std::uint64_t i) const {
+    HMR_DCHECK(i < count_);
+    return data()[i];
+  }
+
+  /// Build a dependence record for an entry-method declaration, e.g.
+  ///   rt.send_prefetch(pe, {A.dep(ReadWrite), B.dep(WriteOnly)}, ...)
+  ooc::Dep dep(ooc::AccessMode mode) const { return {block_, mode}; }
+
+private:
+  Runtime* rt_ = nullptr;
+  std::uint64_t count_ = 0;
+  mem::BlockId block_ = mem::kInvalidBlock;
+};
+
+} // namespace hmr::rt

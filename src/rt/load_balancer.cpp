@@ -1,0 +1,47 @@
+#include "rt/load_balancer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace hmr::rt {
+
+std::vector<int> greedy_assign(const std::vector<double>& loads,
+                               int num_pes) {
+  HMR_CHECK(num_pes > 0);
+  std::vector<std::size_t> order(loads.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (loads[a] != loads[b]) return loads[a] > loads[b];
+    return a < b; // deterministic tie break
+  });
+
+  // Min-heap of (pe_load, pe).
+  using Slot = std::pair<double, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+  for (int pe = 0; pe < num_pes; ++pe) heap.emplace(0.0, pe);
+
+  std::vector<int> assign(loads.size(), 0);
+  for (const std::size_t i : order) {
+    auto [load, pe] = heap.top();
+    heap.pop();
+    assign[i] = pe;
+    heap.emplace(load + loads[i], pe);
+  }
+  return assign;
+}
+
+std::vector<double> pe_loads(const std::vector<double>& loads,
+                             const std::vector<int>& assignment,
+                             int num_pes) {
+  HMR_CHECK(loads.size() == assignment.size());
+  std::vector<double> out(static_cast<std::size_t>(num_pes), 0.0);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const int pe = assignment[i];
+    HMR_CHECK(pe >= 0 && pe < num_pes);
+    out[static_cast<std::size_t>(pe)] += loads[i];
+  }
+  return out;
+}
+
+} // namespace hmr::rt

@@ -1,0 +1,82 @@
+#pragma once
+// Measurement-based greedy load balancing for chare arrays.
+//
+// The paper leans on Charm++'s over-decomposition story (§III-A):
+// "Over-decomposition with migratability allows for load balancing of
+// chares ... Objects do not migrate at anytime, they migrate only when
+// load balancing explicitly moves them to a different PE."  This
+// header provides that explicit move: a greedy
+// longest-processing-time assignment from measured per-chare loads,
+// applied between iterations while the runtime is quiescent.
+
+#include <vector>
+
+#include "rt/chare.hpp"
+#include "util/check.hpp"
+
+namespace hmr::rt {
+
+struct LbResult {
+  /// Heaviest PE load before/after, in the units of the input loads.
+  double max_before = 0;
+  double max_after = 0;
+  /// Sum of loads / num_pes: the balance lower bound.
+  double ideal = 0;
+  /// Chares whose home PE changed.
+  int migrations = 0;
+
+  double imbalance_before() const {
+    return ideal > 0 ? max_before / ideal : 1.0;
+  }
+  double imbalance_after() const {
+    return ideal > 0 ? max_after / ideal : 1.0;
+  }
+};
+
+/// Greedy LPT assignment: sort chares by descending load, place each on
+/// the currently lightest PE.  Returns the new chare -> PE map.
+/// Guarantees max_after <= (4/3 - 1/(3 num_pes)) * optimum (Graham).
+std::vector<int> greedy_assign(const std::vector<double>& loads,
+                               int num_pes);
+
+/// Compute the per-PE load vector of an assignment.
+std::vector<double> pe_loads(const std::vector<double>& loads,
+                             const std::vector<int>& assignment,
+                             int num_pes);
+
+/// Rebalance a chare array in place from measured per-chare loads.
+/// Must be called at quiescence (e.g. between iterations, after
+/// Runtime::wait_idle); messages sent afterwards follow the new map.
+template <typename C>
+LbResult rebalance(ChareArray<C>& arr, const std::vector<double>& loads,
+                   int num_pes) {
+  HMR_CHECK(static_cast<int>(loads.size()) == arr.size());
+  HMR_CHECK(num_pes > 0);
+
+  LbResult r;
+  std::vector<int> before(loads.size());
+  for (int i = 0; i < arr.size(); ++i) {
+    before[static_cast<std::size_t>(i)] = arr[i].pe;
+  }
+  const auto after = greedy_assign(loads, num_pes);
+
+  double sum = 0;
+  for (double l : loads) sum += l;
+  r.ideal = sum / num_pes;
+  for (double l : pe_loads(loads, before, num_pes)) {
+    r.max_before = std::max(r.max_before, l);
+  }
+  for (double l : pe_loads(loads, after, num_pes)) {
+    r.max_after = std::max(r.max_after, l);
+  }
+  for (int i = 0; i < arr.size(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (after[idx] != before[idx]) {
+      arr[i].pe = after[idx];
+      ++r.migrations;
+    }
+  }
+  return r;
+}
+
+} // namespace hmr::rt

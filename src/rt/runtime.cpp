@@ -1,0 +1,357 @@
+#include "rt/runtime.hpp"
+
+#include <chrono>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "util/check.hpp"
+
+namespace hmr::rt {
+
+namespace {
+
+ooc::PolicyEngine::Config engine_config(const Runtime::Config& cfg,
+                                        std::uint64_t fast_capacity) {
+  ooc::PolicyEngine::Config ec;
+  ec.strategy = cfg.strategy;
+  ec.num_pes = cfg.num_pes;
+  ec.fast_capacity = fast_capacity;
+  ec.eager_evict = cfg.eager_evict;
+  ec.evict_by_worker = cfg.evict_by_worker;
+  ec.writeonly_nocopy = cfg.writeonly_nocopy;
+  return ec;
+}
+
+int io_thread_count(const Runtime::Config& cfg) {
+  switch (cfg.strategy) {
+    case ooc::Strategy::SingleIo:
+      return 1;
+    case ooc::Strategy::MultiIo:
+      return cfg.num_pes;
+    default:
+      return 0;
+  }
+}
+
+/// Best-effort CPU pinning; silently ignored off-Linux or when the
+/// machine has fewer cores than threads.
+void pin_to_core(std::thread& t, int core) {
+#ifdef __linux__
+  const int n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0 || core >= n) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core), &set);
+  (void)pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+#else
+  (void)t;
+  (void)core;
+#endif
+}
+
+} // namespace
+
+Runtime::Runtime(Config cfg)
+    : cfg_(std::move(cfg)),
+      fast_tier_(cfg_.model.fast),
+      slow_tier_(cfg_.model.slow),
+      mm_(std::make_unique<mem::MemoryManager>(
+          mem::MemoryManager::specs_from_model(cfg_.model, cfg_.mem_scale),
+          cfg_.memory_pool)),
+      engine_(engine_config(cfg_, mm_->usage(cfg_.model.fast).capacity)),
+      tracer_(cfg_.trace),
+      t0_(std::chrono::steady_clock::now()) {
+  HMR_CHECK(cfg_.num_pes > 0);
+  pes_.reserve(static_cast<std::size_t>(cfg_.num_pes));
+  for (int pe = 0; pe < cfg_.num_pes; ++pe) {
+    pes_.push_back(std::make_unique<PeWorker>());
+  }
+  const int n_io = io_thread_count(cfg_);
+  io_.reserve(static_cast<std::size_t>(n_io));
+  for (int i = 0; i < n_io; ++i) {
+    io_.push_back(std::make_unique<IoWorker>());
+  }
+  // Launch only after all structures exist.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  for (int pe = 0; pe < cfg_.num_pes; ++pe) {
+    auto& th = pes_[static_cast<std::size_t>(pe)]->thread;
+    th = std::thread([this, pe] { pe_loop(pe); });
+    if (cfg_.pin_threads) pin_to_core(th, pe);
+  }
+  for (int i = 0; i < n_io; ++i) {
+    auto& th = io_[static_cast<std::size_t>(i)]->thread;
+    th = std::thread([this, i] { io_loop(i); });
+    // The SMT sibling of worker i sits num_pes cores later in the
+    // common Linux enumeration; fall back to sharing the core.
+    if (cfg_.pin_threads) {
+      const int sibling = i + cfg_.num_pes < hw ? i + cfg_.num_pes : i;
+      pin_to_core(th, sibling);
+    }
+  }
+}
+
+Runtime::~Runtime() {
+  wait_idle();
+  stop_.store(true);
+  for (auto& w : pes_) {
+    std::lock_guard lk(w->mu);
+    w->cv.notify_all();
+  }
+  for (auto& w : io_) {
+    std::lock_guard lk(w->mu);
+    w->cv.notify_all();
+  }
+  for (auto& w : pes_) w->thread.join();
+  for (auto& w : io_) w->thread.join();
+}
+
+double Runtime::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0_)
+      .count();
+}
+
+mem::BlockId Runtime::alloc_block(std::uint64_t bytes) {
+  std::lock_guard elk(engine_mu_);
+  // MemoryManager hands out dense sequential ids, so the engine can
+  // share the id space; the CHECK below pins that assumption.
+  const mem::BlockId expected = blocks_created_++;
+  const ooc::Placement p = engine_.add_block(expected, bytes);
+  const hw::TierId tier =
+      p == ooc::Placement::Fast ? fast_tier_ : slow_tier_;
+  const mem::BlockId b = mm_->register_block(bytes, tier);
+  HMR_CHECK_MSG(b != mem::kInvalidBlock,
+                "tier out of memory while allocating a block");
+  HMR_CHECK_MSG(b == expected, "block id spaces diverged");
+  return b;
+}
+
+void Runtime::free_block(mem::BlockId b) {
+  {
+    std::lock_guard elk(engine_mu_);
+    engine_.remove_block(b);
+  }
+  mm_->unregister_block(b);
+}
+
+void Runtime::send(int pe, Body body) {
+  HMR_CHECK(pe >= 0 && pe < cfg_.num_pes);
+  {
+    std::lock_guard lk(idle_mu_);
+    ++outstanding_msgs_;
+  }
+  PeWorker& w = *pes_[static_cast<std::size_t>(pe)];
+  std::lock_guard lk(w.mu);
+  Msg m;
+  m.body = std::move(body);
+  m.prefetch = false;
+  w.msgs.push_back(std::move(m));
+  w.cv.notify_one();
+}
+
+void Runtime::send_prefetch(int pe, DepList deps, Body body,
+                            double work_factor) {
+  HMR_CHECK(pe >= 0 && pe < cfg_.num_pes);
+  {
+    std::lock_guard lk(idle_mu_);
+    ++outstanding_msgs_;
+  }
+  PeWorker& w = *pes_[static_cast<std::size_t>(pe)];
+  std::lock_guard lk(w.mu);
+  Msg m;
+  m.body = std::move(body);
+  m.deps = std::move(deps);
+  m.work_factor = work_factor;
+  m.prefetch = true;
+  w.msgs.push_back(std::move(m));
+  w.cv.notify_one();
+}
+
+void Runtime::pe_loop(int pe) {
+  PeWorker& w = *pes_[static_cast<std::size_t>(pe)];
+  for (;;) {
+    ReadyTask task;
+    Msg msg;
+    int kind = 0;
+    {
+      std::unique_lock lk(w.mu);
+      w.cv.wait(lk, [&] {
+        return stop_.load() || !w.run_q.empty() || !w.msgs.empty();
+      });
+      if (!w.run_q.empty()) {
+        // Ready tasks (data resident) run before new messages are
+        // intercepted, keeping the PE's pipeline full.
+        task = std::move(w.run_q.front());
+        w.run_q.pop_front();
+        kind = 1;
+      } else if (!w.msgs.empty()) {
+        msg = std::move(w.msgs.front());
+        w.msgs.pop_front();
+        kind = 2;
+      } else {
+        return; // stop requested and nothing left to do
+      }
+    }
+    if (kind == 1) {
+      execute_task(pe, task);
+    } else {
+      intercept(pe, std::move(msg));
+    }
+  }
+}
+
+void Runtime::io_loop(int io) {
+  IoWorker& w = *io_[static_cast<std::size_t>(io)];
+  const int lane = cfg_.num_pes + io;
+  for (;;) {
+    ooc::Command cmd;
+    {
+      std::unique_lock lk(w.mu);
+      w.cv.wait(lk, [&] { return stop_.load() || !w.cmds.empty(); });
+      if (w.cmds.empty()) return;
+      cmd = w.cmds.front();
+      w.cmds.pop_front();
+    }
+    perform_transfer(cmd, lane);
+  }
+}
+
+void Runtime::intercept(int pe, Msg msg) {
+  if (!msg.prefetch) {
+    // Plain entry method: the converse scheduler delivers it directly.
+    const double ts = now();
+    msg.body();
+    tracer_.record(pe, trace::Category::Compute, ts, now());
+    note_done();
+    return;
+  }
+  // Pre-processing step of a [prefetch] entry method: wrap it as an
+  // OOCTask and hand it to the policy engine.
+  const ooc::TaskId id = next_task_.fetch_add(1);
+  {
+    std::lock_guard lk(tasks_mu_);
+    pending_.emplace(id, ReadyTask{id, std::move(msg.body)});
+  }
+  ooc::TaskDesc desc;
+  desc.id = id;
+  desc.pe = pe;
+  desc.deps = std::move(msg.deps);
+  desc.work_factor = msg.work_factor;
+  std::vector<ooc::Command> cmds;
+  {
+    std::lock_guard elk(engine_mu_);
+    cmds = engine_.on_task_arrived(desc);
+  }
+  process(std::move(cmds), pe);
+}
+
+void Runtime::execute_task(int pe, const ReadyTask& task) {
+  const double ts = now();
+  task.body();
+  tracer_.record(pe, trace::Category::Compute, ts, now(), task.id);
+  tasks_done_.fetch_add(1);
+  // Post-processing step: release claims, trigger evictions.
+  std::vector<ooc::Command> cmds;
+  {
+    std::lock_guard elk(engine_mu_);
+    cmds = engine_.on_task_complete(task.id);
+  }
+  process(std::move(cmds), pe);
+  note_done();
+}
+
+void Runtime::perform_transfer(const ooc::Command& cmd, int trace_lane) {
+  const bool fetch = cmd.kind == ooc::Command::Kind::Fetch;
+  const double ts = now();
+  // A write-only dependence's old contents are dead: skip the memcpy
+  // (the paper's migration always copies; this is the optional
+  // writeonly_nocopy extension).
+  const auto res = mm_->migrate(cmd.block, fetch ? fast_tier_ : slow_tier_,
+                                /*copy_contents=*/!cmd.nocopy);
+  HMR_CHECK_MSG(res.ok,
+                "migration failed: tier fragmentation exceeded the policy "
+                "engine's byte budget");
+  tracer_.record(trace_lane,
+                 fetch ? trace::Category::Prefetch : trace::Category::Evict,
+                 ts, now(), cmd.task);
+  std::vector<ooc::Command> cmds;
+  {
+    std::lock_guard elk(engine_mu_);
+    cmds = fetch ? engine_.on_fetch_complete(cmd.block)
+                 : engine_.on_evict_complete(cmd.block);
+  }
+  process(std::move(cmds), trace_lane);
+  {
+    std::lock_guard lk(idle_mu_);
+    --outstanding_ops_;
+  }
+  idle_cv_.notify_all();
+}
+
+void Runtime::process(std::vector<ooc::Command> cmds, int context_lane) {
+  for (auto& c : cmds) {
+    switch (c.kind) {
+      case ooc::Command::Kind::Run: {
+        ReadyTask task;
+        {
+          std::lock_guard lk(tasks_mu_);
+          auto it = pending_.find(c.task);
+          HMR_CHECK_MSG(it != pending_.end(), "run of unknown task");
+          task = std::move(it->second);
+          pending_.erase(it);
+        }
+        PeWorker& w = *pes_[static_cast<std::size_t>(c.pe)];
+        std::lock_guard lk(w.mu);
+        w.run_q.push_back(std::move(task));
+        w.cv.notify_one();
+        break;
+      }
+      case ooc::Command::Kind::Fetch:
+      case ooc::Command::Kind::Evict: {
+        {
+          std::lock_guard lk(idle_mu_);
+          ++outstanding_ops_;
+        }
+        if (c.agent == ooc::kWorkerInline) {
+          // Synchronous pre/post-processing on the current thread.
+          perform_transfer(c, context_lane);
+        } else {
+          HMR_CHECK(!io_.empty());
+          IoWorker& w =
+              *io_[static_cast<std::size_t>(c.agent) % io_.size()];
+          std::lock_guard lk(w.mu);
+          w.cmds.push_back(c);
+          w.cv.notify_one();
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Runtime::note_done() {
+  {
+    std::lock_guard lk(idle_mu_);
+    --outstanding_msgs_;
+  }
+  idle_cv_.notify_all();
+}
+
+void Runtime::wait_idle() {
+  std::unique_lock lk(idle_mu_);
+  idle_cv_.wait(lk, [&] {
+    if (outstanding_msgs_ != 0 || outstanding_ops_ != 0) return false;
+    std::lock_guard elk(engine_mu_);
+    return engine_.quiescent();
+  });
+}
+
+ooc::PolicyEngine::Stats Runtime::policy_stats() {
+  std::lock_guard elk(engine_mu_);
+  return engine_.stats();
+}
+
+} // namespace hmr::rt

@@ -1,0 +1,186 @@
+#pragma once
+// Runtime: a charm-lite threaded runtime with memory-heterogeneity
+// aware scheduling — the real-execution counterpart of hmr::sim.
+//
+// Shape (paper §III-A / §IV):
+//   * work is over-decomposed into chares, block-mapped onto PE worker
+//     threads; chares never migrate;
+//   * entry methods are delivered as messages through a per-PE
+//     converse-style scheduler loop;
+//   * entry methods annotated `prefetch` are *intercepted*: instead of
+//     executing, the runtime registers an OOCTask with the
+//     PolicyEngine, whose commands drive real block migrations between
+//     two host-memory tier arenas (MemoryManager) before the method is
+//     queued on the PE's run queue;
+//   * IO threads (0, 1 or one per PE, by strategy) perform the
+//     asynchronous fetches and evictions; synchronous strategies run
+//     them inline on the worker, exactly like the paper's
+//     pre/post-processing steps.
+//
+// The same PolicyEngine state machine used by the simulator makes the
+// scheduling decisions here, so policy behaviour is identical across
+// both executors; only time and memory are real in this one.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/machine_model.hpp"
+#include "mem/memory_manager.hpp"
+#include "ooc/policy_engine.hpp"
+#include "trace/tracer.hpp"
+
+namespace hmr::rt {
+
+class Runtime {
+public:
+  struct Config {
+    /// Node model: tier shapes and roles (capacities get scaled).
+    hw::MachineModel model = hw::knl_flat_all_to_all();
+    /// Scale factor applied to tier capacities (1/1024 turns the
+    /// 16 GB/96 GB KNL into a 16 MiB/96 MiB testbed).
+    double mem_scale = 1.0 / 1024;
+    ooc::Strategy strategy = ooc::Strategy::MultiIo;
+    int num_pes = 4;
+    bool eager_evict = true;
+    bool evict_by_worker = false;
+    bool writeonly_nocopy = false;
+    /// Pool freed tier buffers (paper §IV-C future-work optimization).
+    bool memory_pool = false;
+    /// Record per-PE execution intervals.
+    bool trace = false;
+    /// Pin threads to cores (Linux): PE i on core i, its IO thread on
+    /// the SMT sibling when one exists — the paper's placement ("the
+    /// IO threads are scheduled on the hyperthread cores corresponding
+    /// to the worker threads, so as to not increase the usage of the
+    /// number of physical cores").  No-op when cores are scarce.
+    bool pin_threads = false;
+  };
+
+  explicit Runtime(Config cfg);
+  ~Runtime(); // drains and joins all threads
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  const Config& config() const { return cfg_; }
+  int num_pes() const { return cfg_.num_pes; }
+  int num_io_threads() const { return static_cast<int>(io_.size()); }
+
+  mem::MemoryManager& memory() { return *mm_; }
+  trace::Tracer& tracer() { return tracer_; }
+
+  // ---- data blocks ----
+
+  /// Allocate a migratable data block of `bytes`.  Placement follows
+  /// the strategy (movement strategies: slow tier; Naive: HBM-first).
+  /// Dies if the placement tier cannot hold it.
+  mem::BlockId alloc_block(std::uint64_t bytes);
+
+  /// Current storage of a block (moves as the runtime migrates it).
+  void* block_ptr(mem::BlockId b) { return mm_->block_ptr(b); }
+
+  /// Release a block.  It must be idle: no outstanding task depends on
+  /// it and no migration is in flight (call at quiescence).
+  void free_block(mem::BlockId b);
+
+  // ---- messaging ----
+
+  using Body = std::function<void()>;
+  using DepList = std::vector<ooc::Dep>;
+
+  /// Deliver a plain (non-prefetch) entry method invocation to `pe`.
+  void send(int pe, Body body);
+
+  /// Deliver a [prefetch]-annotated entry method invocation: the
+  /// converse scheduler on `pe` will intercept it, ensure `deps` are
+  /// resident in the fast tier under the configured strategy, and only
+  /// then execute `body`.
+  void send_prefetch(int pe, DepList deps, Body body,
+                     double work_factor = 1.0);
+
+  /// Block until every delivered message has executed and all
+  /// fetch/evict traffic has drained (quiescence detection).
+  void wait_idle();
+
+  /// Seconds since runtime start (the tracer's clock).
+  double now() const;
+
+  // ---- introspection ----
+
+  ooc::PolicyEngine::Stats policy_stats();
+  std::uint64_t tasks_executed() const { return tasks_done_.load(); }
+
+private:
+  struct Msg {
+    Body body;
+    DepList deps;
+    double work_factor = 1.0;
+    bool prefetch = false;
+  };
+
+  struct ReadyTask {
+    ooc::TaskId id;
+    Body body;
+  };
+
+  struct PeWorker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Msg> msgs;          // converse message queue
+    std::deque<ReadyTask> run_q;   // tasks with resident data
+    std::thread thread;
+  };
+
+  struct IoWorker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<ooc::Command> cmds;
+    std::thread thread;
+  };
+
+  void pe_loop(int pe);
+  void io_loop(int io);
+  void intercept(int pe, Msg msg);
+  void execute_task(int pe, const ReadyTask& task);
+  void perform_transfer(const ooc::Command& cmd, int trace_lane);
+  void process(std::vector<ooc::Command> cmds, int context_lane);
+  void note_done();
+
+  Config cfg_;
+  hw::TierId fast_tier_;
+  hw::TierId slow_tier_;
+  std::unique_ptr<mem::MemoryManager> mm_;
+
+  std::mutex engine_mu_;
+  ooc::PolicyEngine engine_;
+  std::uint64_t blocks_created_ = 0; // guarded by engine_mu_
+
+  std::vector<std::unique_ptr<PeWorker>> pes_;
+  std::vector<std::unique_ptr<IoWorker>> io_;
+
+  std::mutex tasks_mu_;
+  std::unordered_map<ooc::TaskId, ReadyTask> pending_;
+  std::atomic<ooc::TaskId> next_task_{1};
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::uint64_t outstanding_msgs_ = 0; // delivered, not yet executed
+  std::uint64_t outstanding_ops_ = 0;  // fetch/evict in flight
+
+  std::atomic<std::uint64_t> tasks_done_{0};
+  std::atomic<bool> stop_{false};
+
+  trace::Tracer tracer_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace hmr::rt

@@ -1,0 +1,66 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/sim_executor.hpp"
+#include "sim/stencil_workload.hpp"
+#include "util/check.hpp"
+
+namespace hmr::sim {
+
+std::uint64_t halo_bytes(std::uint64_t bytes_per_node) {
+  HMR_CHECK(bytes_per_node > 0);
+  const double elems = static_cast<double>(bytes_per_node) / 8.0;
+  const double edge = std::cbrt(elems);
+  return static_cast<std::uint64_t>(
+      std::llround(6.0 * edge * edge * 8.0));
+}
+
+double halo_time(const NetworkModel& net, std::uint64_t bytes) {
+  // Six face messages pipelined onto the NIC: latency for the message
+  // chain plus serialization at the injection/link bandwidth.
+  const double bw = std::min(net.link_bw, net.injection_bw);
+  return 6.0 * net.latency + static_cast<double>(bytes) / bw;
+}
+
+ClusterResult run_cluster(const ClusterParams& p) {
+  HMR_CHECK(p.nodes >= 1);
+  ClusterResult r;
+  r.nodes = p.nodes;
+
+  // Node-local part: the usual single-node DES on the per-node set.
+  const auto wp = StencilWorkload::params_for_reduced(
+      p.bytes_per_node, p.reduced_bytes, p.node.num_pes, p.iterations);
+  StencilWorkload w(wp);
+  SimConfig cfg;
+  cfg.model = p.node;
+  cfg.strategy = p.strategy;
+  SimExecutor ex(cfg);
+  const auto local = ex.run(w);
+  r.node_iteration_s =
+      local.total_time / static_cast<double>(p.iterations);
+
+  // Inter-node part: halo exchange each iteration (none for 1 node).
+  r.halo_bytes_per_node = p.nodes > 1 ? halo_bytes(p.bytes_per_node) : 0;
+  r.halo_s = p.nodes > 1 ? halo_time(p.net, r.halo_bytes_per_node) : 0.0;
+
+  r.iteration_s = r.node_iteration_s + r.halo_s;
+  r.total_s = r.iteration_s * static_cast<double>(p.iterations);
+  r.comm_fraction = r.iteration_s > 0 ? r.halo_s / r.iteration_s : 0.0;
+  return r;
+}
+
+std::vector<ClusterResult> weak_scaling_sweep(const ClusterParams& base,
+                                              const std::vector<int>& nodes) {
+  std::vector<ClusterResult> out;
+  out.reserve(nodes.size());
+  for (const int n : nodes) {
+    ClusterParams p = base;
+    p.nodes = n;
+    out.push_back(run_cluster(p));
+  }
+  return out;
+}
+
+} // namespace hmr::sim

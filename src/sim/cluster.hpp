@@ -1,0 +1,71 @@
+#pragma once
+// Multi-node cluster extension (paper §VI: "We will also perform
+// comparisons ... in multi-node cluster settings").
+//
+// Weak-scaling model for the Stencil3D workload: every node owns an
+// equal sub-domain and runs the single-node discrete-event simulation
+// for its local work (compute + prefetch/evict traffic), while the
+// inter-node halo exchange is charged against a network model.  Nodes
+// are homogeneous and the stencil is perfectly balanced, so the
+// cluster iteration time is
+//
+//   T_iter = T_node_iter (from the DES) + T_halo(network, subdomain)
+//
+// with T_halo = max(per-message latency chain, halo bytes / injection
+// bandwidth).  Halo traffic scales with the sub-domain's surface while
+// local work scales with its volume, so the communication fraction
+// falls as per-node working sets grow — the standard weak-scaling
+// story the within-node runtime must not disturb.
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/machine_model.hpp"
+#include "ooc/types.hpp"
+
+namespace hmr::sim {
+
+/// Interconnect between nodes (Aries/Omni-Path-like defaults).
+struct NetworkModel {
+  double latency = 2e-6;          // per message, seconds
+  double link_bw = 12.5e9;        // bytes/s per direction
+  double injection_bw = 10.0e9;   // bytes/s a node can source
+};
+
+struct ClusterParams {
+  hw::MachineModel node = hw::knl_flat_all_to_all();
+  NetworkModel net;
+  int nodes = 8;
+  /// Per-node stencil working set (weak scaling keeps this constant).
+  std::uint64_t bytes_per_node = 32ull << 30;
+  std::uint64_t reduced_bytes = 2ull << 30;
+  int iterations = 5;
+  ooc::Strategy strategy = ooc::Strategy::MultiIo;
+};
+
+struct ClusterResult {
+  int nodes = 0;
+  double node_iteration_s = 0; // local work per iteration (DES)
+  double halo_s = 0;           // inter-node exchange per iteration
+  double iteration_s = 0;      // node_iteration_s + halo_s
+  double total_s = 0;
+  double comm_fraction = 0;    // halo_s / iteration_s
+  std::uint64_t halo_bytes_per_node = 0;
+};
+
+/// Bytes a node sends per iteration: six faces of its sub-domain of
+/// `bytes_per_node` bytes of doubles (boundary nodes send fewer; this
+/// models the interior worst case, which sets the critical path).
+std::uint64_t halo_bytes(std::uint64_t bytes_per_node);
+
+/// Halo exchange time for one iteration on the given network.
+double halo_time(const NetworkModel& net, std::uint64_t bytes);
+
+/// Run the weak-scaling estimate (one DES run for the node-local part).
+ClusterResult run_cluster(const ClusterParams& p);
+
+/// Sweep node counts with everything else fixed.
+std::vector<ClusterResult> weak_scaling_sweep(const ClusterParams& base,
+                                              const std::vector<int>& nodes);
+
+} // namespace hmr::sim

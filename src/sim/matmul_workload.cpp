@@ -1,0 +1,109 @@
+#include "sim/matmul_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hmr::sim {
+
+MatmulWorkload::Params MatmulWorkload::params_for(
+    std::uint64_t total_bytes, std::uint64_t reduced_bytes, int num_pes,
+    std::uint64_t hbm_budget) {
+  Params p;
+  p.num_pes = num_pes;
+  // total = 3 * n^2 * 8  ->  n = sqrt(total / 24).
+  const double n_exact = std::sqrt(static_cast<double>(total_bytes) / 24.0);
+  // One task per PE touches two n x T panels and one T x T tile:
+  //   reduced = num_pes * (16 n T + 8 T^2)  ->  solve for T.
+  const double per_task =
+      static_cast<double>(reduced_bytes) / static_cast<double>(num_pes);
+  // 8 T^2 + 16 n T - per_task = 0.
+  const double disc = 256.0 * n_exact * n_exact + 32.0 * per_task;
+  const double t_exact = (-16.0 * n_exact + std::sqrt(disc)) / 16.0;
+  HMR_CHECK(t_exact >= 1.0);
+  const int grid = std::max(
+      1, static_cast<int>(std::llround(n_exact / t_exact)));
+  p.grid = grid;
+  const auto tile = static_cast<std::uint64_t>(std::llround(t_exact));
+  p.n = static_cast<std::uint64_t>(grid) * tile;
+  // Traversal tile: keep 2 * S panels within ~60% of the HBM budget so
+  // the refcount chain (plus prefetch-ahead) never forces panel churn.
+  const double panel = static_cast<double>(p.n) * 8.0 * t_exact;
+  const auto s = static_cast<int>(0.6 * static_cast<double>(hbm_budget) /
+                                  (2.0 * panel));
+  p.superblock = std::clamp(s, 1, grid);
+  return p;
+}
+
+MatmulWorkload::MatmulWorkload(Params p) : p_(p) {
+  HMR_CHECK(p_.n > 0 && p_.grid > 0);
+  HMR_CHECK_MSG(p_.n % static_cast<std::uint64_t>(p_.grid) == 0,
+                "grid must divide n");
+  if (p_.superblock <= 0 || p_.superblock > p_.grid) {
+    p_.superblock = p_.grid;
+  }
+  const std::uint64_t tile = p_.n / static_cast<std::uint64_t>(p_.grid);
+  tile_bytes_ = tile * tile * 8;
+  panel_bytes_ = tile * p_.n * 8;
+
+  // Interleaved id layout: per grid row i, [Arow_i, Bcol_i, C_i0..].
+  const auto g = static_cast<std::uint64_t>(p_.grid);
+  blocks_.reserve(g * (g + 2));
+  for (std::uint64_t i = 0; i < g; ++i) {
+    blocks_.push_back({i * (g + 2), panel_bytes_});      // Arow_i
+    blocks_.push_back({i * (g + 2) + 1, panel_bytes_});  // Bcol_i
+    for (std::uint64_t j = 0; j < g; ++j) {
+      blocks_.push_back({i * (g + 2) + 2 + j, tile_bytes_}); // C_ij
+    }
+  }
+}
+
+ooc::BlockId MatmulWorkload::a_row(int i) const {
+  return static_cast<ooc::BlockId>(i) *
+         (static_cast<ooc::BlockId>(p_.grid) + 2);
+}
+
+ooc::BlockId MatmulWorkload::b_col(int j) const {
+  return static_cast<ooc::BlockId>(j) *
+             (static_cast<ooc::BlockId>(p_.grid) + 2) +
+         1;
+}
+
+ooc::BlockId MatmulWorkload::c_block(int i, int j) const {
+  return static_cast<ooc::BlockId>(i) *
+             (static_cast<ooc::BlockId>(p_.grid) + 2) +
+         2 + static_cast<ooc::BlockId>(j);
+}
+
+std::vector<ooc::TaskDesc> MatmulWorkload::iteration_tasks(int iter) const {
+  HMR_CHECK(iter == 0);
+  const int g = p_.grid;
+  const int s = p_.superblock;
+  std::vector<ooc::TaskDesc> tasks;
+  tasks.reserve(static_cast<std::size_t>(g) * g);
+  ooc::TaskId next = 0;
+  for (int bi = 0; bi < g; bi += s) {
+    for (int bj = 0; bj < g; bj += s) {
+      for (int i = bi; i < std::min(bi + s, g); ++i) {
+        for (int j = bj; j < std::min(bj + s, g); ++j) {
+          ooc::TaskDesc t;
+          t.id = next++;
+          // Round-robin in *traversal* order, not grid order: when G is
+          // a multiple of the PE count, (i*G+j) % P collapses to j % P
+          // and whole superblock phases overload a PE subset 2:1.
+          t.pe = static_cast<std::int32_t>(
+              t.id % static_cast<ooc::TaskId>(p_.num_pes));
+          t.work_factor = p_.work_factor;
+          t.deps.push_back({a_row(i), ooc::AccessMode::ReadOnly});
+          t.deps.push_back({b_col(j), ooc::AccessMode::ReadOnly});
+          t.deps.push_back({c_block(i, j), ooc::AccessMode::ReadWrite});
+          tasks.push_back(std::move(t));
+        }
+      }
+    }
+  }
+  return tasks;
+}
+
+} // namespace hmr::sim

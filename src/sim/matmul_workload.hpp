@@ -1,0 +1,79 @@
+#pragma once
+// MatMul: the paper's second benchmark (§V-B).
+//
+// "Matrix multiplication divides the work units into a 2 dimensional
+// array of chares.  The data is divided such that the entire 2D grid
+// of elements for input matrices A and B and output matrix C are
+// distributed into blocks of sub-rows X sub-columns across the 2D
+// array of chares."  Chare (i,j) computes its T x T output tile C_ij
+// from A's row panel i (T x n) and B's column panel j (n x T); the
+// read-only panels are shared by a whole chare row/column and cached
+// node-level through a Charm++ nodegroup.  One [prefetch] dgemm task
+// per chare:
+//     [readonly: Arow_i, readonly: Bcol_j, readwrite: C_ij]
+//
+// Task order: the chare grid is traversed in `superblock`-sized 2D
+// tiles (row-major within a tile).  Within one tile only `superblock`
+// A-panels and `superblock` B-panels are live, so the refcount chain
+// keeps every panel resident across its consumers even when a full
+// row of B panels (~18 GB at the 54 GB point) would overflow MCDRAM.
+// A plain row-major sweep has no such bound and thrashes B — any
+// sane blocked-matmul driver tiles its traversal; DESIGN.md records
+// this as part of the nodegroup-cache substitution.
+//
+// Block ids are interleaved per grid row (Arow_i, Bcol_i, C_i*), so
+// the Naive strategy's first-fit HBM packing captures a realistic mix
+// of A, B and C rather than, say, both whole input matrices.
+
+#include "sim/workload.hpp"
+
+namespace hmr::sim {
+
+class MatmulWorkload final : public Workload {
+public:
+  struct Params {
+    /// Matrix dimension n (elements per side; doubles).
+    std::uint64_t n = 0;
+    /// Chare grid dimension G (output tiles per side); must divide n.
+    int grid = 0;
+    int num_pes = 64;
+    /// Traversal tile side (chares); 0 = whole grid (plain row-major).
+    int superblock = 0;
+    /// Effective passes per dependence byte.  dgemm has high
+    /// arithmetic intensity but cache blocking is imperfect; 8 passes
+    /// models an MKL-like kernel that stays bandwidth-sensitive when
+    /// 64 threads hammer memory (paper §V-B).
+    double work_factor = 8.0;
+  };
+
+  /// Pick n, G and the traversal tile so the three matrices total
+  /// about `total_bytes`, one task per PE occupies about
+  /// `reduced_bytes` of HBM (paper: total 24-54 GB, reduced fixed at
+  /// 6 GB), and a traversal tile's live panels fit in `hbm_budget`.
+  static Params params_for(std::uint64_t total_bytes,
+                           std::uint64_t reduced_bytes, int num_pes,
+                           std::uint64_t hbm_budget = 16ull << 30);
+
+  explicit MatmulWorkload(Params p);
+
+  std::string name() const override { return "MatMul"; }
+  int iterations() const override { return 1; }
+  const std::vector<BlockSpec>& blocks() const override { return blocks_; }
+  std::vector<ooc::TaskDesc> iteration_tasks(int iter) const override;
+
+  const Params& params() const { return p_; }
+  std::uint64_t tile_bytes() const { return tile_bytes_; }   // C_ij
+  std::uint64_t panel_bytes() const { return panel_bytes_; } // Arow/Bcol
+
+  ooc::BlockId a_row(int i) const;
+  ooc::BlockId b_col(int j) const;
+  ooc::BlockId c_block(int i, int j) const;
+
+private:
+  Params p_;
+  std::uint64_t tile_bytes_ = 0;
+  std::uint64_t panel_bytes_ = 0;
+  std::vector<BlockSpec> blocks_;
+};
+
+} // namespace hmr::sim

@@ -1,0 +1,80 @@
+#include "sim/pipelined_stencil_workload.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hmr::sim {
+
+PipelinedStencilWorkload::PipelinedStencilWorkload(Params p) : p_(p) {
+  HMR_CHECK(p_.total_bytes > 0);
+  HMR_CHECK(p_.cx > 0 && p_.cy > 0 && p_.cz > 0);
+  HMR_CHECK(p_.num_pes > 0 && p_.iterations > 0);
+  const int chares = num_chares();
+  interior_bytes_ = p_.total_bytes / static_cast<std::uint64_t>(chares);
+  HMR_CHECK_MSG(interior_bytes_ > 0, "more chares than grid bytes");
+  const double elems = static_cast<double>(interior_bytes_) / 8.0;
+  const double edge = std::cbrt(elems);
+  ghost_bytes_ = static_cast<std::uint64_t>(
+      std::llround(std::max(edge * edge * 8.0, 8.0)));
+
+  blocks_.reserve(static_cast<std::size_t>(chares) * 7);
+  ooc::BlockId next = 0;
+  for (int c = 0; c < chares; ++c) {
+    blocks_.push_back({next++, interior_bytes_});
+    for (int f = 0; f < 6; ++f) blocks_.push_back({next++, ghost_bytes_});
+  }
+}
+
+ooc::TaskId PipelinedStencilWorkload::task_id(int iteration,
+                                              int chare) const {
+  return static_cast<ooc::TaskId>(iteration) *
+             static_cast<ooc::TaskId>(num_chares()) +
+         static_cast<ooc::TaskId>(chare);
+}
+
+std::vector<ooc::TaskDesc> PipelinedStencilWorkload::iteration_tasks(
+    int iter) const {
+  HMR_CHECK(iter == 0);
+  const int chares = num_chares();
+  std::vector<ooc::TaskDesc> tasks;
+  tasks.reserve(static_cast<std::size_t>(chares) * p_.iterations);
+  const int dx[6] = {-1, 1, 0, 0, 0, 0};
+  const int dy[6] = {0, 0, -1, 1, 0, 0};
+  const int dz[6] = {0, 0, 0, 0, -1, 1};
+  for (int k = 0; k < p_.iterations; ++k) {
+    for (int z = 0; z < p_.cz; ++z) {
+      for (int y = 0; y < p_.cy; ++y) {
+        for (int x = 0; x < p_.cx; ++x) {
+          const int c = chare_at(x, y, z);
+          ooc::TaskDesc t;
+          t.id = task_id(k, c);
+          t.pe = c % p_.num_pes;
+          t.work_factor = p_.work_factor;
+          const auto base = static_cast<ooc::BlockId>(c) * 7;
+          t.deps.push_back({base, ooc::AccessMode::ReadWrite});
+          for (int f = 1; f <= 6; ++f) {
+            t.deps.push_back({base + static_cast<ooc::BlockId>(f),
+                              ooc::AccessMode::ReadOnly});
+          }
+          if (k > 0) {
+            // Message-driven release: own k-1 plus neighbours' k-1.
+            t.predecessors.push_back(task_id(k - 1, c));
+            for (int f = 0; f < 6; ++f) {
+              const int nx = x + dx[f], ny = y + dy[f], nz = z + dz[f];
+              if (nx < 0 || nx >= p_.cx || ny < 0 || ny >= p_.cy ||
+                  nz < 0 || nz >= p_.cz) {
+                continue;
+              }
+              t.predecessors.push_back(task_id(k - 1, chare_at(nx, ny, nz)));
+            }
+          }
+          tasks.push_back(std::move(t));
+        }
+      }
+    }
+  }
+  return tasks;
+}
+
+} // namespace hmr::sim

@@ -1,0 +1,450 @@
+#include "sim/sim_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace hmr::sim {
+
+namespace {
+
+ooc::PolicyEngine::Config engine_config(const SimConfig& cfg) {
+  ooc::PolicyEngine::Config ec;
+  // Cache mode is a hardware configuration, not a scheduling strategy:
+  // every block stays in DDR4 and MCDRAM caches transparently.
+  ec.strategy =
+      cfg.cache_mode ? ooc::Strategy::DdrOnly : cfg.strategy;
+  ec.num_pes = cfg.model.num_pes;
+  ec.fast_capacity = cfg.fast_capacity
+                         ? cfg.fast_capacity
+                         : cfg.model.tier(cfg.model.fast).capacity;
+  // Hybrid mode: only the flat part of MCDRAM is the prefetch budget.
+  if (cfg.hybrid_cache_fraction > 0) {
+    HMR_CHECK(cfg.hybrid_cache_fraction < 1.0);
+    ec.fast_capacity = static_cast<std::uint64_t>(
+        static_cast<double>(ec.fast_capacity) *
+        (1.0 - cfg.hybrid_cache_fraction));
+  }
+  ec.eager_evict = cfg.eager_evict;
+  ec.evict_by_worker = cfg.evict_by_worker;
+  ec.writeonly_nocopy = cfg.writeonly_nocopy;
+  return ec;
+}
+
+int default_agents(const SimConfig& cfg) {
+  switch (cfg.strategy) {
+    case ooc::Strategy::SingleIo:
+      return 1;
+    case ooc::Strategy::MultiIo:
+      return cfg.io_threads > 0 ? cfg.io_threads : cfg.model.num_pes;
+    default:
+      return 0;
+  }
+}
+
+} // namespace
+
+SimExecutor::SimExecutor(SimConfig cfg)
+    : cfg_(std::move(cfg)),
+      engine_(engine_config(cfg_)),
+      num_agents_(default_agents(cfg_)),
+      tracer_(cfg_.trace) {
+  pes_.resize(static_cast<std::size_t>(cfg_.model.num_pes));
+  agents_.resize(static_cast<std::size_t>(num_agents_));
+  const auto& m = cfg_.model;
+  fetch_ch_ = std::make_unique<TransferChannel>(
+      m.copy_rate(m.slow, m.fast), m.channel_capacity(m.slow, m.fast));
+  evict_ch_ = std::make_unique<TransferChannel>(
+      m.copy_rate(m.fast, m.slow), m.channel_capacity(m.fast, m.slow));
+}
+
+TransferChannel& SimExecutor::channel_for(bool fetch) {
+  return fetch ? *fetch_ch_ : *evict_ch_;
+}
+
+void SimExecutor::drain_channel(bool fetch) {
+  for (const auto flow : channel_for(fetch).advance(now_)) {
+    finish_transfer(flow);
+  }
+}
+
+void SimExecutor::schedule_tick(bool fetch) {
+  TransferChannel& ch = channel_for(fetch);
+  const double t = ch.next_completion(now_);
+  if (!std::isfinite(t)) return;
+  eq_.at(t, [this, fetch] {
+    drain_channel(fetch);
+    if (channel_for(fetch).has_flows()) schedule_tick(fetch);
+  });
+}
+
+double SimExecutor::exec_duration(const ooc::TaskDesc& desc) const {
+  if (cfg_.cache_mode) {
+    std::uint64_t bytes = 0;
+    for (const auto& d : desc.deps) bytes += wl_->blocks()[d.block].bytes;
+    const auto scaled = static_cast<std::uint64_t>(
+        static_cast<double>(bytes) * desc.work_factor);
+    return cfg_.model.cache_mode_compute_time(scaled, wss_,
+                                              cfg_.model.num_pes);
+  }
+  std::uint64_t fast_bytes = 0;
+  std::uint64_t slow_bytes = 0;
+  for (const auto& d : desc.deps) {
+    const auto st = engine_.block_state(d.block);
+    const std::uint64_t bytes = wl_->blocks()[d.block].bytes;
+    switch (st) {
+      case ooc::BlockState::InFast:
+        fast_bytes += bytes;
+        break;
+      case ooc::BlockState::InSlow:
+        slow_bytes += bytes;
+        break;
+      default:
+        HMR_CHECK_MSG(false, "running task depends on an in-flight block");
+    }
+  }
+  const auto scale = [&](std::uint64_t b) {
+    return static_cast<std::uint64_t>(static_cast<double>(b) *
+                                      desc.work_factor);
+  };
+  if (cfg_.hybrid_cache_fraction > 0 && slow_bytes > 0) {
+    // Hybrid: slow-resident accesses go through the cached part of
+    // MCDRAM at the cache-mode effective bandwidth.
+    const auto& m = cfg_.model;
+    const double t_fast = m.compute_time2(scale(fast_bytes), 0, m.num_pes);
+    const double share =
+        hybrid_slow_bw_ / static_cast<double>(m.num_pes);
+    const double sb = static_cast<double>(scale(slow_bytes));
+    return t_fast + sb / share + sb / m.compute_bw_per_pe;
+  }
+  return cfg_.model.compute_time2(scale(fast_bytes), scale(slow_bytes),
+                                  cfg_.model.num_pes);
+}
+
+void SimExecutor::process(std::vector<ooc::Command> cmds) {
+  for (const auto& c : cmds) {
+    switch (c.kind) {
+      case ooc::Command::Kind::Run: {
+        if (cfg_.node_run_queue) {
+          // Shared run queue: any idle PE may execute the task.
+          node_q_.push_back(c.task);
+          pump_node_queue();
+          break;
+        }
+        const auto pe = static_cast<std::size_t>(c.pe);
+        Job j;
+        j.is_task = true;
+        j.task = c.task;
+        pes_[pe].q.push_back(std::move(j));
+        pump_pe(pe);
+        break;
+      }
+      case ooc::Command::Kind::Fetch:
+      case ooc::Command::Kind::Evict: {
+        Job j;
+        j.cmd = c;
+        if (c.agent == ooc::kWorkerInline) {
+          // Synchronous pre/post-processing work: jumps ahead of any
+          // queued tasks on the worker (it happens inside the current
+          // entry-method boundary, before the scheduler moves on).
+          const auto pe = static_cast<std::size_t>(c.pe);
+          pes_[pe].q.push_front(std::move(j));
+          pump_pe(pe);
+        } else {
+          HMR_CHECK(num_agents_ > 0);
+          const auto a =
+              static_cast<std::size_t>(c.agent % num_agents_);
+          agents_[a].q.push_back(std::move(j));
+          pump_agent(a);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void SimExecutor::pump_node_queue() {
+  // Hand shared ready tasks to idle PEs (lowest index first, like a
+  // converse scheduler polling the node queue).
+  for (std::size_t pe = 0; pe < pes_.size() && !node_q_.empty(); ++pe) {
+    Lane& lane = pes_[pe];
+    if (lane.busy || !lane.q.empty()) continue;
+    Job j;
+    j.is_task = true;
+    j.task = node_q_.front();
+    node_q_.pop_front();
+    lane.q.push_back(std::move(j));
+    pump_pe(pe);
+  }
+}
+
+void SimExecutor::pump_pe(std::size_t pe) {
+  Lane& lane = pes_[pe];
+  if (lane.busy || lane.q.empty()) {
+    if (cfg_.node_run_queue && !lane.busy && !node_q_.empty()) {
+      pump_node_queue();
+    }
+    return;
+  }
+  Job job = std::move(lane.q.front());
+  lane.q.pop_front();
+  lane.busy = true;
+  if (job.is_task) {
+    const auto it = descs_.find(job.task);
+    HMR_CHECK(it != descs_.end());
+    const double dur = exec_duration(it->second);
+    const double start = now_;
+    const auto arrive_it = arrive_.find(job.task);
+    HMR_CHECK(arrive_it != arrive_.end());
+    result_.task_wait.add(start - arrive_it->second);
+    result_.task_exec.add(dur);
+    eq_.at(now_ + dur, [this, id = job.task, pe, start, dur] {
+      finish_task(id, pe, start, dur);
+    });
+  } else {
+    start_transfer(job.cmd, pe, /*on_worker=*/true);
+  }
+}
+
+void SimExecutor::pump_agent(std::size_t a) {
+  Lane& lane = agents_[a];
+  if (lane.busy || lane.q.empty()) return;
+  Job job = std::move(lane.q.front());
+  lane.q.pop_front();
+  lane.busy = true;
+  HMR_DCHECK(!job.is_task);
+  start_transfer(job.cmd, a, /*on_worker=*/false);
+}
+
+void SimExecutor::start_transfer(const ooc::Command& cmd,
+                                 std::size_t lane_index, bool on_worker) {
+  const bool fetch = cmd.kind == ooc::Command::Kind::Fetch;
+  const double t0 = now_;
+  const std::int32_t trace_lane =
+      on_worker ? static_cast<std::int32_t>(lane_index)
+                : cfg_.model.num_pes + static_cast<std::int32_t>(lane_index);
+  // Step 1 of the paper's migration: numa_alloc_onnode on the
+  // destination (plus the numa_free at the end) — a fixed overhead
+  // before the copy proper starts.
+  eq_.at(now_ + cfg_.model.alloc_overhead,
+         [this, cmd, lane_index, on_worker, fetch, t0, trace_lane] {
+           if (fetch && cmd.nocopy) {
+             // writeonly_nocopy: the buffer exists, no bytes move.
+             tracer_.record(trace_lane, trace::Category::Prefetch, t0, now_,
+                            cmd.task);
+             Lane& lane = on_worker ? pes_[lane_index] : agents_[lane_index];
+             lane.busy = false;
+             if (on_worker) result_.worker_transfer_seconds += now_ - t0;
+             process(engine_.on_fetch_complete(cmd.block));
+             if (on_worker) {
+               pump_pe(lane_index);
+             } else {
+               pump_agent(lane_index);
+             }
+             return;
+           }
+           TransferChannel& ch = channel_for(fetch);
+           drain_channel(fetch);
+           const std::uint64_t id = next_flow_++;
+           const double bytes =
+               static_cast<double>(wl_->blocks()[cmd.block].bytes);
+           ch.add_flow(id, bytes, now_);
+           FlowCtx ctx;
+           ctx.cmd = cmd;
+           ctx.trace_lane = trace_lane;
+           ctx.on_worker = on_worker;
+           ctx.lane_index = lane_index;
+           ctx.t0 = t0;
+           flows_.emplace(id, ctx);
+           schedule_tick(fetch);
+         });
+}
+
+void SimExecutor::finish_transfer(std::uint64_t flow_id) {
+  const auto it = flows_.find(flow_id);
+  HMR_CHECK(it != flows_.end());
+  const FlowCtx ctx = it->second;
+  flows_.erase(it);
+
+  const bool fetch = ctx.cmd.kind == ooc::Command::Kind::Fetch;
+  tracer_.record(ctx.trace_lane,
+                 fetch ? trace::Category::Prefetch : trace::Category::Evict,
+                 ctx.t0, now_, ctx.cmd.task);
+  Lane& lane = ctx.on_worker ? pes_[ctx.lane_index] : agents_[ctx.lane_index];
+  lane.busy = false;
+  if (ctx.on_worker) result_.worker_transfer_seconds += now_ - ctx.t0;
+
+  process(fetch ? engine_.on_fetch_complete(ctx.cmd.block)
+                : engine_.on_evict_complete(ctx.cmd.block));
+  if (ctx.on_worker) {
+    pump_pe(ctx.lane_index);
+    if (cfg_.node_run_queue) pump_node_queue();
+  } else {
+    pump_agent(ctx.lane_index);
+  }
+}
+
+void SimExecutor::finish_task(ooc::TaskId id, std::size_t pe, double t_start,
+                              double duration) {
+  tracer_.record(static_cast<std::int32_t>(pe), trace::Category::Compute,
+                 t_start, now_, id);
+  result_.compute_lane_seconds += duration;
+  ++result_.tasks_completed;
+  pes_[pe].busy = false;
+  process(engine_.on_task_complete(id));
+  // DAG delivery: completion releases successor messages.
+  if (const auto it = dependents_.find(id); it != dependents_.end()) {
+    for (const auto succ : it->second) {
+      auto pit = pending_preds_.find(succ);
+      HMR_DCHECK(pit != pending_preds_.end() && pit->second > 0);
+      if (--pit->second == 0) {
+        const auto dit = descs_.find(succ);
+        HMR_CHECK(dit != descs_.end());
+        ++dag_injected_;
+        arrive_[succ] = now_;
+        process(engine_.on_task_arrived(dit->second));
+      }
+    }
+  }
+  pump_pe(pe);
+  if (cfg_.node_run_queue) pump_node_queue();
+}
+
+void SimExecutor::inject_task(const ooc::TaskDesc& desc) {
+  ++dag_injected_;
+  arrive_[desc.id] = now_;
+  process(engine_.on_task_arrived(desc));
+}
+
+SimResult SimExecutor::run(const Workload& w) {
+  HMR_CHECK_MSG(!ran_, "SimExecutor::run may only be called once");
+  ran_ = true;
+  wl_ = &w;
+
+  const auto& blocks = w.blocks();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    HMR_CHECK_MSG(blocks[i].id == i, "workload block ids must be dense");
+    engine_.add_block(blocks[i].id, blocks[i].bytes);
+    wss_ += blocks[i].bytes;
+  }
+
+  if (cfg_.hybrid_cache_fraction > 0) {
+    const auto mcdram = cfg_.model.tier(cfg_.model.fast).capacity;
+    hybrid_cache_ = static_cast<std::uint64_t>(
+        static_cast<double>(mcdram) * cfg_.hybrid_cache_fraction);
+    // The cache serves whatever does not fit the flat budget.
+    const std::uint64_t flat = mcdram - hybrid_cache_;
+    const std::uint64_t slow_wss = wss_ > flat ? wss_ - flat : 1;
+    hybrid_slow_bw_ = cfg_.model.cache_mode_bw(slow_wss, hybrid_cache_);
+  }
+
+  // Dependency-DAG mode: any task with predecessors switches delivery
+  // from per-iteration barriers to completion-triggered injection.
+  bool dag = false;
+  for (int iter = 0; iter < w.iterations() && !dag; ++iter) {
+    for (const auto& t : w.iteration_tasks(iter)) {
+      if (!t.predecessors.empty()) {
+        dag = true;
+        break;
+      }
+    }
+  }
+  if (dag) {
+    HMR_CHECK_MSG(w.iterations() == 1,
+                  "dependency-DAG workloads must present all tasks as one "
+                  "iteration");
+    std::vector<ooc::TaskId> roots;
+    for (auto& t : w.iteration_tasks(0)) {
+      const auto id = t.id;
+      const auto preds = t.predecessors;
+      auto [it, ins] = descs_.emplace(id, std::move(t));
+      HMR_CHECK_MSG(ins, "duplicate task id");
+      if (preds.empty()) {
+        roots.push_back(id);
+      } else {
+        pending_preds_[id] = preds.size();
+        for (const auto p : preds) dependents_[p].push_back(id);
+      }
+    }
+    for (const auto& [id, n_preds] : pending_preds_) {
+      (void)n_preds;
+      for (const auto pred : descs_.at(id).predecessors) {
+        HMR_CHECK_MSG(descs_.count(pred),
+                      "task depends on an unknown predecessor");
+      }
+    }
+    for (const auto id : roots) inject_task(descs_.at(id));
+    while (!eq_.empty()) {
+      auto [t, fn] = eq_.pop();
+      now_ = t;
+      fn();
+    }
+    HMR_CHECK_MSG(dag_injected_ == descs_.size(),
+                  "dependency cycle: some tasks were never released");
+    HMR_CHECK_MSG(engine_.quiescent(),
+                  "DAG run ended with tasks or transfers outstanding");
+    result_.iteration_times.push_back(now_);
+    result_.total_time = now_;
+    result_.policy = engine_.stats();
+    if (tracer_.enabled()) tracer_.fill_idle(0, now_);
+    return result_;
+  }
+
+  for (int iter = 0; iter < w.iterations(); ++iter) {
+    const double t_iter = now_;
+    for (auto& t : w.iteration_tasks(iter)) {
+      arrive_[t.id] = now_;
+      auto [it, ins] = descs_.emplace(t.id, std::move(t));
+      HMR_CHECK_MSG(ins, "duplicate task id across iterations");
+      process(engine_.on_task_arrived(it->second));
+    }
+    while (!eq_.empty()) {
+      auto [t, fn] = eq_.pop();
+      now_ = t;
+      fn();
+    }
+    if (!engine_.quiescent()) {
+      std::fprintf(stderr,
+                   "hmr: sim wedge: waiting=%zu live=%zu inflight_fetch=%zu "
+                   "inflight_evict=%zu fast=%llu/%llu fetch_flows=%zu "
+                   "evict_flows=%zu\n",
+                   engine_.total_waiting(), engine_.live_tasks(),
+                   engine_.inflight_fetches(), engine_.inflight_evicts(),
+                   static_cast<unsigned long long>(engine_.fast_used()),
+                   static_cast<unsigned long long>(engine_.fast_capacity()),
+                   fetch_ch_->flow_count(), evict_ch_->flow_count());
+      for (std::size_t pe = 0; pe < pes_.size(); ++pe) {
+        if (pes_[pe].busy || !pes_[pe].q.empty()) {
+          std::fprintf(stderr, "  pe %zu busy=%d jobs=%zu\n", pe,
+                       pes_[pe].busy, pes_[pe].q.size());
+        }
+      }
+      for (std::size_t a = 0; a < agents_.size(); ++a) {
+        if (agents_[a].busy || !agents_[a].q.empty()) {
+          std::fprintf(stderr, "  agent %zu busy=%d jobs=%zu\n", a,
+                       agents_[a].busy, agents_[a].q.size());
+        }
+      }
+      engine_.debug_dump(stderr);
+      HMR_CHECK_MSG(false,
+                    "iteration ended with tasks or transfers outstanding");
+    }
+    HMR_CHECK(node_q_.empty());
+    for (const auto& lane : pes_) {
+      HMR_CHECK(!lane.busy && lane.q.empty());
+    }
+    for (const auto& lane : agents_) {
+      HMR_CHECK(!lane.busy && lane.q.empty());
+    }
+    result_.iteration_times.push_back(now_ - t_iter);
+  }
+
+  result_.total_time = now_;
+  result_.policy = engine_.stats();
+  if (tracer_.enabled()) tracer_.fill_idle(0, now_);
+  return result_;
+}
+
+} // namespace hmr::sim

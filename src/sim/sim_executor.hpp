@@ -1,0 +1,186 @@
+#pragma once
+// SimExecutor: discrete-event execution of a Workload under one
+// scheduling Strategy on a modeled heterogeneous-memory node.
+//
+// This is the paper-scale executor: it runs the PolicyEngine protocol
+// on a virtual KNL (64 PEs, 16 GB MCDRAM, 96 GB DDR4) with virtual
+// time, so the figure benches can sweep working sets of tens of GB on
+// any host.  Timing comes from hw::MachineModel:
+//   * task execution: bandwidth-shared roofline (compute_time),
+//   * migrations: two fluid TransferChannels (fetch: slow->fast,
+//     evict: fast->slow), each capped per-flow and in aggregate,
+//   * fixed overheads for scheduling and numa_alloc/free.
+//
+// Lanes: worker PEs are trace lanes [0, num_pes); IO agents are lanes
+// [num_pes, num_pes + num_agents).  Worker-inline transfers (SyncNoIo,
+// or evict_by_worker) block and are traced on the worker's own lane —
+// that *is* the synchronous overhead of the paper's Fig 6a.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/machine_model.hpp"
+#include "ooc/policy_engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/transfer_channel.hpp"
+#include "sim/workload.hpp"
+#include "trace/tracer.hpp"
+#include "util/stats.hpp"
+
+namespace hmr::sim {
+
+struct SimConfig {
+  hw::MachineModel model;
+  ooc::Strategy strategy = ooc::Strategy::MultiIo;
+
+  // PolicyEngine knobs (see ooc::PolicyEngine::Config).
+  bool eager_evict = true;
+  bool evict_by_worker = false;
+  bool writeonly_nocopy = false;
+
+  /// Fast-tier budget override in bytes; 0 = the model's fast tier
+  /// capacity (16 GB on KNL).
+  std::uint64_t fast_capacity = 0;
+
+  /// Physical IO threads.  0 = strategy default (SingleIo: 1,
+  /// MultiIo: one per PE).  For MultiIo, k < num_pes assigns each a
+  /// subgroup of wait queues (engine agent a -> thread a % k) — the
+  /// paper's §IV-B future-work knob, measured by bench/abl_iothreads.
+  int io_threads = 0;
+
+  /// Record a full interval trace (needed for figs 5/6 and timelines).
+  bool trace = false;
+
+  /// Model KNL *cache mode* instead of flat mode (paper §III-B; the
+  /// comparison the paper defers to future work).  All blocks live in
+  /// DDR4 and the hardware transparently caches them in MCDRAM; task
+  /// time follows hw::MachineModel::cache_mode_compute_time with the
+  /// node-wide working set.  Requires a non-moving strategy (forced to
+  /// DdrOnly placement internally).
+  bool cache_mode = false;
+
+  /// Node-level run queue (paper §IV-B future work: "we plan to use a
+  /// node-level run queue").  Ready tasks go to one shared queue and
+  /// any idle PE picks them up, smoothing the load imbalance the
+  /// per-PE run queues leave when chare counts do not divide evenly.
+  bool node_run_queue = false;
+
+  /// KNL *hybrid mode* (paper §III-B): this fraction of MCDRAM is flat
+  /// (the runtime's prefetch budget); the rest serves as a hardware
+  /// cache in front of DDR4, so slow-resident accesses run at the
+  /// cache-mode effective bandwidth instead of raw DDR4.  0 disables
+  /// (pure flat mode); combine with any strategy.
+  double hybrid_cache_fraction = 0.0;
+};
+
+struct SimResult {
+  double total_time = 0;
+  std::vector<double> iteration_times;
+  std::uint64_t tasks_completed = 0;
+  ooc::PolicyEngine::Stats policy;
+
+  /// Per-task latency from message arrival to kernel start (queueing +
+  /// fetch wait; the paper's pre-step delay in Fig 6).
+  RunningStats task_wait;
+  /// Per-task kernel execution time.
+  RunningStats task_exec;
+  /// Seconds each worker lane spent blocked on synchronous fetch/evict
+  /// (zero under fully asynchronous strategies).
+  double worker_transfer_seconds = 0;
+  /// Total compute lane-seconds (for utilization figures).
+  double compute_lane_seconds = 0;
+
+  /// Fraction of worker lane-time that is not compute over the run
+  /// span (the "red" of the paper's projections figures).
+  double worker_overhead_fraction(int num_pes) const {
+    const double span_total = total_time * num_pes;
+    if (span_total <= 0) return 0;
+    return 1.0 - compute_lane_seconds / span_total;
+  }
+};
+
+class SimExecutor {
+public:
+  explicit SimExecutor(SimConfig cfg);
+
+  /// Run the workload to quiescence; returns timing and stats.
+  /// May be called once per executor instance.
+  SimResult run(const Workload& w);
+
+  /// Valid after run() when cfg.trace was set.
+  const trace::Tracer& tracer() const { return tracer_; }
+  trace::Tracer& tracer() { return tracer_; }
+
+  int num_agents() const { return num_agents_; }
+
+private:
+  struct Job {
+    bool is_task = false;
+    ooc::TaskId task = ooc::kInvalidTask;
+    ooc::Command cmd; // transfer jobs
+  };
+
+  struct Lane {
+    bool busy = false;
+    std::deque<Job> q;
+  };
+
+  struct FlowCtx {
+    ooc::Command cmd;
+    std::int32_t trace_lane = 0;
+    bool on_worker = false;
+    std::size_t lane_index = 0; // index into pes_ or agents_
+    double t0 = 0;
+  };
+
+  void process(std::vector<ooc::Command> cmds);
+  void pump_pe(std::size_t pe);
+  void pump_node_queue();
+  void pump_agent(std::size_t a);
+  void start_transfer(const ooc::Command& cmd, std::size_t lane_index,
+                      bool on_worker);
+  void finish_transfer(std::uint64_t flow_id);
+  void finish_task(ooc::TaskId id, std::size_t pe, double t_start,
+                   double duration);
+  void inject_task(const ooc::TaskDesc& desc);
+  double exec_duration(const ooc::TaskDesc& desc) const;
+  TransferChannel& channel_for(bool fetch);
+  void schedule_tick(bool fetch);
+  void drain_channel(bool fetch);
+
+  SimConfig cfg_;
+  ooc::PolicyEngine engine_;
+  EventQueue eq_;
+  double now_ = 0;
+  int num_agents_ = 0;
+
+  std::vector<Lane> pes_;
+  std::vector<Lane> agents_;
+  std::deque<ooc::TaskId> node_q_; // shared run queue (optional)
+
+  std::unique_ptr<TransferChannel> fetch_ch_;
+  std::unique_ptr<TransferChannel> evict_ch_;
+  std::uint64_t next_flow_ = 1;
+  std::unordered_map<std::uint64_t, FlowCtx> flows_;
+
+  const Workload* wl_ = nullptr;
+  std::uint64_t wss_ = 0;        // node-wide working set
+  // Dependency-DAG delivery (tasks with TaskDesc::predecessors).
+  std::unordered_map<ooc::TaskId, std::vector<ooc::TaskId>> dependents_;
+  std::unordered_map<ooc::TaskId, std::size_t> pending_preds_;
+  std::uint64_t dag_injected_ = 0;
+  std::uint64_t hybrid_cache_ = 0; // bytes of MCDRAM serving as cache
+  double hybrid_slow_bw_ = 0;      // effective bw of cached slow access
+  std::unordered_map<ooc::TaskId, ooc::TaskDesc> descs_;
+  std::unordered_map<ooc::TaskId, double> arrive_;
+
+  trace::Tracer tracer_;
+  SimResult result_;
+  bool ran_ = false;
+};
+
+} // namespace hmr::sim

@@ -1,0 +1,107 @@
+#include "sim/stencil_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hmr::sim {
+
+std::uint64_t Workload::reduced_bytes(int num_pes) const {
+  // Upper bound: the byte footprint of the `num_pes` largest tasks of
+  // iteration 0 (one concurrent task per PE).  For the regular
+  // workloads here every task has the same footprint, so this is just
+  // num_pes * footprint.
+  auto tasks = iteration_tasks(0);
+  std::vector<std::uint64_t> footprints;
+  footprints.reserve(tasks.size());
+  const auto& blks = blocks();
+  for (const auto& t : tasks) {
+    std::uint64_t f = 0;
+    for (const auto& d : t.deps) f += blks[d.block].bytes;
+    footprints.push_back(f);
+  }
+  std::sort(footprints.rbegin(), footprints.rend());
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0;
+       i < footprints.size() && i < static_cast<std::size_t>(num_pes); ++i) {
+    sum += footprints[i];
+  }
+  return sum;
+}
+
+StencilWorkload::Params StencilWorkload::params_for_reduced(
+    std::uint64_t total_bytes, std::uint64_t reduced_bytes, int num_pes,
+    int iterations) {
+  Params p;
+  p.total_bytes = total_bytes;
+  p.num_pes = num_pes;
+  p.iterations = iterations;
+  // One concurrent task per PE; footprint ~= interior block (ghost
+  // faces are second-order).  interior = reduced / num_pes, so
+  // num_chares = total / interior, rounded to keep >= num_pes chares.
+  const double interior =
+      static_cast<double>(reduced_bytes) / static_cast<double>(num_pes);
+  HMR_CHECK(interior > 0);
+  int chares = static_cast<int>(
+      std::llround(static_cast<double>(total_bytes) / interior));
+  chares = std::max(chares, num_pes);
+  // Round to a multiple of num_pes for an even block mapping.
+  chares = (chares + num_pes - 1) / num_pes * num_pes;
+  p.num_chares = chares;
+  return p;
+}
+
+StencilWorkload::StencilWorkload(Params p) : p_(p) {
+  HMR_CHECK(p_.total_bytes > 0);
+  HMR_CHECK(p_.num_chares >= p_.num_pes && p_.num_pes > 0);
+  HMR_CHECK(p_.iterations > 0);
+
+  interior_bytes_ =
+      p_.total_bytes / static_cast<std::uint64_t>(p_.num_chares);
+  HMR_CHECK_MSG(interior_bytes_ > 0, "more chares than grid bytes");
+
+  // A chare's sub-grid is a cube of E = (interior/8)^(1/3) doubles per
+  // edge; one ghost face carries E^2 doubles.
+  const double elems = static_cast<double>(interior_bytes_) / 8.0;
+  const double edge = std::cbrt(elems);
+  ghost_bytes_ = static_cast<std::uint64_t>(
+      std::llround(std::max(edge * edge * 8.0, 8.0)));
+
+  // Blocks: per chare, 1 interior + 6 ghost receive buffers.
+  blocks_.reserve(static_cast<std::size_t>(p_.num_chares) * 7);
+  ooc::BlockId next = 0;
+  for (int c = 0; c < p_.num_chares; ++c) {
+    blocks_.push_back({next++, interior_bytes_});
+    for (int f = 0; f < 6; ++f) blocks_.push_back({next++, ghost_bytes_});
+  }
+}
+
+std::vector<ooc::TaskDesc> StencilWorkload::iteration_tasks(int iter) const {
+  HMR_CHECK(iter >= 0 && iter < p_.iterations);
+  std::vector<ooc::TaskDesc> tasks;
+  tasks.reserve(static_cast<std::size_t>(p_.num_chares));
+  for (int c = 0; c < p_.num_chares; ++c) {
+    ooc::TaskDesc t;
+    t.id = static_cast<ooc::TaskId>(iter) *
+               static_cast<ooc::TaskId>(p_.num_chares) +
+           static_cast<ooc::TaskId>(c);
+    // Round-robin mapping: interleaves chares (and therefore message
+    // arrival order and the Naive strategy's HBM-resident blocks)
+    // evenly across PEs, as Charm++'s default map does.  Block mapping
+    // would hand the whole HBM budget to the low-numbered PEs and turn
+    // every iteration into a straggler wave.
+    t.pe = c % p_.num_pes;
+    t.work_factor = p_.work_factor;
+    const ooc::BlockId base = static_cast<ooc::BlockId>(c) * 7;
+    t.deps.push_back({base, ooc::AccessMode::ReadWrite});
+    for (int f = 1; f <= 6; ++f) {
+      t.deps.push_back({base + static_cast<ooc::BlockId>(f),
+                        ooc::AccessMode::ReadOnly});
+    }
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+} // namespace hmr::sim

@@ -1,0 +1,63 @@
+#pragma once
+// Stencil3D: the paper's first benchmark (§V-A).
+//
+// A 3D grid of doubles is over-decomposed into a cx*cy*cz grid of
+// chares.  Per iteration every chare runs one [prefetch] entry method
+// that updates its sub-grid from the halo data received from its six
+// face neighbours (Algorithm 2 in the paper).  Dependences per task:
+//   * the chare's interior block   — readwrite,
+//   * six received ghost-face blocks — readonly.
+// Ghost blocks are owned by the receiving chare (they are message
+// landing buffers), so stencil tasks share no blocks — exactly the
+// property the paper blames for SingleIO's slowdown ("each chare reads
+// and writes to independent data blocks in each iteration").
+//
+// Chares are block-mapped to PEs (chare c -> PE c / chares_per_pe),
+// mirroring Charm++ default block mapping.
+
+#include "sim/workload.hpp"
+
+namespace hmr::sim {
+
+class StencilWorkload final : public Workload {
+public:
+  struct Params {
+    /// Total grid working set in bytes (paper: 32 GB).
+    std::uint64_t total_bytes = 0;
+    /// Number of chares (must allow >= 1 per PE; paper varies this to
+    /// set the reduced working set).
+    int num_chares = 0;
+    int num_pes = 64;
+    int iterations = 20;
+    /// Kernel passes over the dependence bytes.  The paper performs 20
+    /// iterations "to mimic tiling patterns that increase computation"
+    /// (§V-A): once a block is resident, the kernel sweeps it many
+    /// times, which is what makes prefetching pay for its traffic.
+    double work_factor = 20.0;
+  };
+
+  /// Convenience: pick num_chares so that `num_pes` concurrent tasks
+  /// occupy about `reduced_bytes` of HBM (the paper's 2-8 GB knob).
+  static Params params_for_reduced(std::uint64_t total_bytes,
+                                   std::uint64_t reduced_bytes, int num_pes,
+                                   int iterations = 20);
+
+  explicit StencilWorkload(Params p);
+
+  std::string name() const override { return "Stencil3D"; }
+  int iterations() const override { return p_.iterations; }
+  const std::vector<BlockSpec>& blocks() const override { return blocks_; }
+  std::vector<ooc::TaskDesc> iteration_tasks(int iter) const override;
+
+  const Params& params() const { return p_; }
+  std::uint64_t interior_bytes() const { return interior_bytes_; }
+  std::uint64_t ghost_bytes() const { return ghost_bytes_; }
+
+private:
+  Params p_;
+  std::uint64_t interior_bytes_ = 0;
+  std::uint64_t ghost_bytes_ = 0; // per face
+  std::vector<BlockSpec> blocks_;
+};
+
+} // namespace hmr::sim

@@ -1,0 +1,69 @@
+#include "sim/synthetic_workload.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hmr::sim {
+
+SyntheticWorkload::SyntheticWorkload(Params p) : p_(p) {
+  HMR_CHECK(p_.num_blocks > 0 && p_.block_bytes > 0);
+  HMR_CHECK(p_.tasks_per_iteration > 0 && p_.deps_per_task > 0);
+  HMR_CHECK(p_.deps_per_task <= p_.num_blocks);
+  HMR_CHECK(p_.reuse >= 0.0 && p_.reuse <= 1.0);
+  HMR_CHECK(p_.num_pes > 0 && p_.num_iterations > 0);
+  HMR_CHECK(p_.wf_min > 0 && p_.wf_max >= p_.wf_min);
+
+  blocks_.reserve(static_cast<std::size_t>(p_.num_blocks));
+  for (int b = 0; b < p_.num_blocks; ++b) {
+    blocks_.push_back({static_cast<ooc::BlockId>(b), p_.block_bytes});
+  }
+
+  Xoshiro256 rng(p_.seed);
+  std::vector<ooc::BlockId> window;
+  ooc::TaskId next_id = 0;
+  per_iter_.resize(static_cast<std::size_t>(p_.num_iterations));
+  for (auto& tasks : per_iter_) {
+    tasks.reserve(static_cast<std::size_t>(p_.tasks_per_iteration));
+    for (int i = 0; i < p_.tasks_per_iteration; ++i) {
+      ooc::TaskDesc t;
+      t.id = next_id++;
+      t.pe = static_cast<std::int32_t>(rng.below(
+          static_cast<std::uint64_t>(p_.num_pes)));
+      t.work_factor = rng.uniform(p_.wf_min, p_.wf_max);
+      for (int d = 0; d < p_.deps_per_task; ++d) {
+        ooc::BlockId b = 0;
+        // Draw until the block is distinct within this task.
+        for (;;) {
+          if (!window.empty() && rng.uniform() < p_.reuse) {
+            b = window[rng.below(window.size())];
+          } else {
+            b = static_cast<ooc::BlockId>(
+                rng.below(static_cast<std::uint64_t>(p_.num_blocks)));
+          }
+          const bool dup =
+              std::any_of(t.deps.begin(), t.deps.end(),
+                          [&](const ooc::Dep& dd) { return dd.block == b; });
+          if (!dup) break;
+        }
+        const auto mode = rng.uniform() < p_.readonly_frac
+                              ? ooc::AccessMode::ReadOnly
+                              : ooc::AccessMode::ReadWrite;
+        t.deps.push_back({b, mode});
+        window.push_back(b);
+        if (window.size() > static_cast<std::size_t>(p_.window)) {
+          window.erase(window.begin());
+        }
+      }
+      tasks.push_back(std::move(t));
+    }
+  }
+}
+
+std::vector<ooc::TaskDesc> SyntheticWorkload::iteration_tasks(
+    int iter) const {
+  HMR_CHECK(iter >= 0 && iter < p_.num_iterations);
+  return per_iter_[static_cast<std::size_t>(iter)];
+}
+
+} // namespace hmr::sim

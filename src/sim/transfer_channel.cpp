@@ -1,0 +1,63 @@
+#include "sim/transfer_channel.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hmr::sim {
+
+namespace {
+// A flow is complete when less than one byte remains (absorbs the
+// floating-point residue of advancing exactly to a completion time).
+constexpr double kEpsilonBytes = 0.5;
+} // namespace
+
+TransferChannel::TransferChannel(double per_flow_rate, double aggregate_rate)
+    : per_flow_rate_(per_flow_rate), aggregate_rate_(aggregate_rate) {
+  HMR_CHECK(per_flow_rate_ > 0 && aggregate_rate_ > 0);
+}
+
+double TransferChannel::current_rate() const {
+  if (flows_.empty()) return 0;
+  return std::min(per_flow_rate_,
+                  aggregate_rate_ / static_cast<double>(flows_.size()));
+}
+
+std::vector<std::uint64_t> TransferChannel::advance(double now) {
+  HMR_CHECK_MSG(now >= last_, "channel advanced backwards");
+  std::vector<std::uint64_t> done;
+  if (!flows_.empty() && now > last_) {
+    const double progressed = current_rate() * (now - last_);
+    for (auto& [id, remaining] : flows_) {
+      remaining -= progressed;
+      if (remaining <= kEpsilonBytes) done.push_back(id);
+    }
+    for (const auto id : done) flows_.erase(id);
+    if (!done.empty()) {
+      std::sort(done.begin(), done.end());
+      ++generation_;
+    }
+  }
+  last_ = now;
+  return done;
+}
+
+void TransferChannel::add_flow(std::uint64_t id, double bytes, double now) {
+  HMR_CHECK_MSG(now == last_, "add_flow without advancing first");
+  HMR_CHECK(bytes > 0);
+  const bool inserted = flows_.emplace(id, bytes).second;
+  HMR_CHECK_MSG(inserted, "duplicate flow id");
+  ++generation_;
+}
+
+double TransferChannel::next_completion(double now) const {
+  HMR_CHECK_MSG(now == last_, "querying a stale channel");
+  if (flows_.empty()) return std::numeric_limits<double>::infinity();
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, remaining] : flows_) {
+    min_remaining = std::min(min_remaining, remaining);
+  }
+  return now + std::max(min_remaining, 0.0) / current_rate();
+}
+
+} // namespace hmr::sim

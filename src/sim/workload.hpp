@@ -1,0 +1,52 @@
+#pragma once
+// Workload: a task-graph generator consumed by the simulator (and by
+// tests).  A workload declares its data blocks once and then yields the
+// tasks of each iteration of an iterative application, matching the
+// structure of the paper's benchmarks (Stencil3D, MatMul).
+//
+// Blocks carry byte sizes only — in the DES no real payload exists; in
+// the threaded runtime the same descriptions drive real allocations.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ooc/types.hpp"
+
+namespace hmr::sim {
+
+struct BlockSpec {
+  ooc::BlockId id = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Workload {
+public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Number of application iterations.
+  virtual int iterations() const = 0;
+
+  /// All data blocks, declared up front (ids must be dense from 0).
+  virtual const std::vector<BlockSpec>& blocks() const = 0;
+
+  /// Tasks of iteration `iter` (0-based).  Task ids must be globally
+  /// unique across iterations; `pe` assignments must be stable for a
+  /// chare across iterations (chares do not migrate).
+  virtual std::vector<ooc::TaskDesc> iteration_tasks(int iter) const = 0;
+
+  /// Total bytes across all blocks (the paper's "total working set").
+  std::uint64_t total_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& b : blocks()) sum += b.bytes;
+    return sum;
+  }
+
+  /// Peak bytes needed simultaneously when one task per PE executes
+  /// (the paper's "reduced working set" from over-decomposition).
+  std::uint64_t reduced_bytes(int num_pes) const;
+};
+
+} // namespace hmr::sim

@@ -1,0 +1,203 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace hmr::trace {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::Compute: return "compute";
+    case Category::Prefetch: return "prefetch";
+    case Category::Evict: return "evict";
+    case Category::Wait: return "wait";
+    case Category::Overhead: return "overhead";
+    case Category::Idle: return "idle";
+  }
+  return "?";
+}
+
+char category_glyph(Category c) {
+  switch (c) {
+    case Category::Compute: return 'C';
+    case Category::Prefetch: return 'P';
+    case Category::Evict: return 'E';
+    case Category::Wait: return 'w';
+    case Category::Overhead: return 'o';
+    case Category::Idle: return '.';
+  }
+  return '?';
+}
+
+double TraceSummary::overhead_fraction() const {
+  double all = 0;
+  for (double t : total) all += t;
+  if (all <= 0) return 0;
+  return (all - total_of(Category::Compute)) / all;
+}
+
+void Tracer::record(std::int32_t lane, Category cat, double start,
+                    double end, std::uint64_t task) {
+  if (!enabled_) return;
+  HMR_CHECK_MSG(end >= start, "interval ends before it starts");
+  if (end == start) return; // zero-width intervals carry no information
+  std::lock_guard lock(mu_);
+  log_.push_back({lane, cat, start, end, task});
+}
+
+std::vector<Interval> Tracer::intervals() const {
+  std::vector<Interval> out;
+  {
+    std::lock_guard lock(mu_);
+    out = log_;
+  }
+  std::sort(out.begin(), out.end(), [](const Interval& a, const Interval& b) {
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.start < b.start;
+  });
+  return out;
+}
+
+TraceSummary Tracer::summarize(std::int32_t worker_lanes) const {
+  TraceSummary s;
+  std::lock_guard lock(mu_);
+  double lo = 0, hi = 0;
+  bool first = true;
+  for (const auto& iv : log_) {
+    if (worker_lanes >= 0 && iv.lane >= worker_lanes) continue;
+    if (first) {
+      lo = iv.start;
+      hi = iv.end;
+      first = false;
+    } else {
+      lo = std::min(lo, iv.start);
+      hi = std::max(hi, iv.end);
+    }
+    s.lanes = std::max(s.lanes, iv.lane + 1);
+    s.total[static_cast<int>(iv.cat)] += iv.end - iv.start;
+    s.count[static_cast<int>(iv.cat)] += 1;
+  }
+  s.span = first ? 0 : hi - lo;
+  return s;
+}
+
+void Tracer::fill_idle(double t0, double t1) {
+  if (!enabled_) return;
+  HMR_CHECK(t1 >= t0);
+  std::lock_guard lock(mu_);
+  // Collect per-lane sorted busy intervals, then append gap fillers.
+  std::map<std::int32_t, std::vector<std::pair<double, double>>> busy;
+  for (const auto& iv : log_) {
+    if (iv.cat == Category::Idle) continue;
+    busy[iv.lane].emplace_back(iv.start, iv.end);
+  }
+  std::vector<Interval> fillers;
+  for (auto& [lane, spans] : busy) {
+    std::sort(spans.begin(), spans.end());
+    double cursor = t0;
+    for (const auto& [s, e] : spans) {
+      if (s > cursor) fillers.push_back({lane, Category::Idle, cursor, s, 0});
+      cursor = std::max(cursor, e);
+    }
+    if (cursor < t1) fillers.push_back({lane, Category::Idle, cursor, t1, 0});
+  }
+  for (auto& f : fillers) {
+    if (f.end > f.start) log_.push_back(f);
+  }
+}
+
+void Tracer::write_csv(std::ostream& os) const {
+  hmr::CsvWriter csv(os);
+  csv.header({"lane", "category", "start", "end", "task"});
+  for (const auto& iv : intervals()) {
+    csv.field(static_cast<std::int64_t>(iv.lane))
+        .field(std::string_view(category_name(iv.cat)))
+        .field(iv.start)
+        .field(iv.end)
+        .field(static_cast<std::uint64_t>(iv.task));
+    csv.end_row();
+  }
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (const auto& iv : intervals()) {
+    if (!first) os << ",";
+    first = false;
+    char buf[256];
+    // Times in microseconds, as the trace-event format expects.
+    std::snprintf(buf, sizeof buf,
+                  "\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"task\":%llu}}",
+                  category_name(iv.cat), iv.lane, iv.start * 1e6,
+                  (iv.end - iv.start) * 1e6,
+                  static_cast<unsigned long long>(iv.task));
+    os << buf;
+  }
+  os << "\n]\n";
+}
+
+void Tracer::ascii_timeline(std::ostream& os, int width, double t0,
+                            double t1) const {
+  HMR_CHECK(width > 0 && t1 > t0);
+  const auto ivs = intervals();
+  std::int32_t max_lane = -1;
+  for (const auto& iv : ivs) max_lane = std::max(max_lane, iv.lane);
+  if (max_lane < 0) return;
+  const double bucket = (t1 - t0) / width;
+
+  for (std::int32_t lane = 0; lane <= max_lane; ++lane) {
+    // share[bucket][category] = seconds of that category in the bucket
+    std::vector<std::array<double, 6>> share(
+        static_cast<std::size_t>(width), std::array<double, 6>{});
+    bool lane_has_data = false;
+    for (const auto& iv : ivs) {
+      if (iv.lane != lane) continue;
+      lane_has_data = true;
+      const double s = std::max(iv.start, t0);
+      const double e = std::min(iv.end, t1);
+      if (e <= s) continue;
+      int b0 = static_cast<int>((s - t0) / bucket);
+      int b1 = static_cast<int>((e - t0) / bucket);
+      b0 = std::clamp(b0, 0, width - 1);
+      b1 = std::clamp(b1, 0, width - 1);
+      for (int b = b0; b <= b1; ++b) {
+        const double bs = t0 + b * bucket;
+        const double be = bs + bucket;
+        const double overlap = std::min(e, be) - std::max(s, bs);
+        if (overlap > 0) {
+          share[static_cast<std::size_t>(b)][static_cast<int>(iv.cat)] +=
+              overlap;
+        }
+      }
+    }
+    if (!lane_has_data) continue;
+    os << "lane " << lane << (lane < 10 ? "  |" : " |");
+    for (int b = 0; b < width; ++b) {
+      int best = static_cast<int>(Category::Idle);
+      double best_v = 0;
+      for (int c = 0; c < 6; ++c) {
+        if (share[static_cast<std::size_t>(b)][c] > best_v) {
+          best_v = share[static_cast<std::size_t>(b)][c];
+          best = c;
+        }
+      }
+      os << category_glyph(static_cast<Category>(best));
+    }
+    os << "|\n";
+  }
+  os << "legend: C=compute P=prefetch E=evict w=wait o=overhead .=idle\n";
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  log_.clear();
+}
+
+} // namespace hmr::trace

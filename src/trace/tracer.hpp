@@ -1,0 +1,106 @@
+#pragma once
+// Tracer: a Projections-like per-PE interval log.
+//
+// The paper reads its scheduling overheads off Projections timelines
+// (Figs 5-6): red = wait caused by scheduling, prefetch, eviction and
+// lock delays; colored bars = entry-method execution.  We record the
+// same information as typed intervals per PE and reproduce the figures
+// as (a) aggregate category summaries (wait fraction, fetch/evict time)
+// and (b) an ASCII timeline render.
+//
+// PE ids: worker PEs are 0..num_pes-1; IO agents may be traced as
+// pseudo-PEs at num_pes..2*num_pes-1 by the executors.
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace hmr::trace {
+
+enum class Category : std::uint8_t {
+  Compute,   // entry-method execution (the useful work)
+  Prefetch,  // data fetch slow->fast charged to this lane
+  Evict,     // data writeback fast->slow charged to this lane
+  Wait,      // task had arrived but its lane sat without useful work
+  Overhead,  // scheduling / queue and lock manipulation
+  Idle,      // no work available
+};
+
+const char* category_name(Category c);
+char category_glyph(Category c);
+
+struct Interval {
+  std::int32_t lane = 0; // PE or pseudo-PE
+  Category cat = Category::Idle;
+  double start = 0;
+  double end = 0;
+  std::uint64_t task = 0; // 0 when not task-bound
+};
+
+/// Aggregated view of a trace.
+struct TraceSummary {
+  double span = 0; // max end - min start over all intervals
+  int lanes = 0;
+  // Per-category totals in lane-seconds.
+  double total[6] = {0, 0, 0, 0, 0, 0};
+  std::uint64_t count[6] = {0, 0, 0, 0, 0, 0};
+
+  double total_of(Category c) const {
+    return total[static_cast<int>(c)];
+  }
+  std::uint64_t count_of(Category c) const {
+    return count[static_cast<int>(c)];
+  }
+  /// Fraction of total lane-time that is not Compute (the "red" of
+  /// Figs 5-6), over worker lanes only if workers > 0 was passed.
+  double overhead_fraction() const;
+};
+
+class Tracer {
+public:
+  explicit Tracer(bool enabled = true) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Record one interval.  Thread-safe.  end >= start required.
+  void record(std::int32_t lane, Category cat, double start, double end,
+              std::uint64_t task = 0);
+
+  /// All intervals, ordered by (lane, start).  Takes a snapshot.
+  std::vector<Interval> intervals() const;
+
+  /// Aggregate totals.  `worker_lanes` restricts the summary to lanes
+  /// < worker_lanes (< 0 means all lanes).
+  TraceSummary summarize(std::int32_t worker_lanes = -1) const;
+
+  /// Idle time is usually implicit (gaps between intervals).  This
+  /// fills each lane's gaps within [t0, t1] with explicit Idle
+  /// intervals, which makes summaries account for the full span.
+  void fill_idle(double t0, double t1);
+
+  /// CSV dump: lane,category,start,end,task.
+  void write_csv(std::ostream& os) const;
+
+  /// Chrome trace-event JSON (open in chrome://tracing or Perfetto):
+  /// one complete ("X") event per interval, lanes as tids.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// ASCII timeline: one row per lane, `width` character buckets over
+  /// [t0, t1]; each bucket shows the glyph of the category occupying
+  /// the largest share of the bucket.
+  void ascii_timeline(std::ostream& os, int width, double t0,
+                      double t1) const;
+
+  void clear();
+
+private:
+  bool enabled_;
+  mutable std::mutex mu_;
+  std::vector<Interval> log_;
+};
+
+} // namespace hmr::trace

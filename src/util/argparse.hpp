@@ -1,0 +1,50 @@
+#pragma once
+// Tiny command-line flag parser for the examples and figure benches.
+//
+// Supports `--name value`, `--name=value` and boolean `--name`.
+// Unknown flags are an error so typos surface immediately; `--help`
+// prints registered flags and exits(0).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hmr {
+
+class ArgParser {
+public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Register flags.  The pointee holds the default and receives the
+  /// parsed value; it must outlive parse().
+  void add_flag(std::string name, std::string help, bool* value);
+  void add_flag(std::string name, std::string help, std::int64_t* value);
+  void add_flag(std::string name, std::string help, std::uint64_t* value);
+  void add_flag(std::string name, std::string help, double* value);
+  void add_flag(std::string name, std::string help, std::string* value);
+
+  /// Parse argv.  On `--help` prints usage and calls std::exit(0).
+  /// Returns false (after printing the problem) on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  std::string usage() const;
+
+private:
+  enum class Kind { Bool, Int, Uint, Double, String };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Kind kind;
+    void* target;
+  };
+
+  const Flag* find(const std::string& name) const;
+  bool assign(const Flag& f, const std::string& value) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+} // namespace hmr

@@ -1,0 +1,36 @@
+#pragma once
+// Lightweight runtime checking macros.
+//
+// HMR_CHECK is always on (used for API-contract violations: wrong tier
+// id, double free, refcount underflow...).  HMR_DCHECK compiles away in
+// release builds and guards internal invariants on hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hmr::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "hmr: CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? ": " : "", msg);
+  std::abort();
+}
+
+} // namespace hmr::detail
+
+#define HMR_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) ::hmr::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define HMR_CHECK_MSG(expr, msg)                                             \
+  do {                                                                       \
+    if (!(expr)) ::hmr::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define HMR_DCHECK(expr) ((void)0)
+#else
+#define HMR_DCHECK(expr) HMR_CHECK(expr)
+#endif

@@ -1,0 +1,70 @@
+#pragma once
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// hmr never uses std::random_device or global RNG state: every workload
+// takes an explicit seed so that simulations and property tests are
+// exactly reproducible.  The generator is xoshiro256**, which is fast,
+// has a 256-bit state, and passes BigCrush.
+
+#include <cstdint>
+
+namespace hmr {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Xoshiro256 {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& si : s_) {
+      z += 0x9e3779b97f4a7c15ull;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      si = x ^ (x >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation (biased by at most
+    // 2^-64 * n, negligible for workload generation).
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+} // namespace hmr

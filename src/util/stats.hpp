@@ -1,0 +1,38 @@
+#pragma once
+// Streaming and batch statistics used by the tracer and the benches.
+
+#include <cstddef>
+#include <vector>
+
+namespace hmr {
+
+/// Welford one-pass accumulator: mean / variance / min / max without
+/// storing samples.  Numerically stable; merging two accumulators is
+/// supported so per-PE stats can be combined node-wide.
+class RunningStats {
+public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const; // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch percentile over a copy of the samples (nearest-rank method).
+/// q in [0, 1]; q = 0.5 is the median.
+double percentile(std::vector<double> samples, double q);
+
+} // namespace hmr

@@ -1,0 +1,56 @@
+#include "util/table.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace hmr {
+
+std::string strfmt(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  HMR_CHECK(n >= 0);
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return out;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  HMR_CHECK_MSG(cells.size() == columns_.size(),
+                "table row width differs from header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+} // namespace hmr

@@ -1,0 +1,30 @@
+#pragma once
+// Fixed-width text table printer for bench output: every figure bench
+// prints the paper's rows/series through this so output is uniform.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hmr {
+
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Append a row; must have exactly as many cells as columns.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with padded columns, a header rule, and 2-space gutters.
+  void print(std::ostream& os) const;
+
+private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string (used for table cells).
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace hmr

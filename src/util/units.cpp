@@ -1,0 +1,48 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace hmr {
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> suffix = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t i = 0;
+  while (v >= 1024.0 && i + 1 < suffix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  char buf[48];
+  if (i == 0) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", v, suffix[i]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, suffix[i]);
+  }
+  return buf;
+}
+
+std::string fmt_seconds(double s) {
+  char buf[48];
+  const double as = std::fabs(s);
+  if (as >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", s);
+  } else if (as >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", s * 1e3);
+  } else if (as >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", s * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f ns", s * 1e9);
+  }
+  return buf;
+}
+
+std::string fmt_bandwidth(double bytes_per_s) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1f GB/s", bytes_per_s / GB);
+  return buf;
+}
+
+} // namespace hmr

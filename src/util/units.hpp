@@ -1,0 +1,32 @@
+#pragma once
+// Byte-size and time unit helpers shared across hmr.
+//
+// All sizes in hmr are plain std::uint64_t byte counts; all simulated
+// durations are double seconds.  These helpers keep call sites readable
+// (e.g. `16 * GiB`, `fmt_bytes(sz)`).
+
+#include <cstdint>
+#include <string>
+
+namespace hmr {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+// Decimal units used for bandwidths (GB/s means 1e9 bytes per second,
+// matching how STREAM and the paper report bandwidth).
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+/// Render a byte count with a binary-unit suffix, e.g. "16.0 GiB".
+std::string fmt_bytes(std::uint64_t bytes);
+
+/// Render a duration in seconds with an adaptive unit, e.g. "12.3 ms".
+std::string fmt_seconds(double s);
+
+/// Render a bandwidth in bytes/second as "N.N GB/s".
+std::string fmt_bandwidth(double bytes_per_s);
+
+} // namespace hmr

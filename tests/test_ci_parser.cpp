@@ -1,0 +1,138 @@
+// Tests for the .ci annotation parser (the charmxi front half).
+
+#include <gtest/gtest.h>
+
+#include "rt/ci_parser.hpp"
+
+namespace hmr::rt {
+namespace {
+
+TEST(CiParser, PaperExampleParses) {
+  // The exact excerpt from the paper's §IV-A.
+  const auto r = parse_ci(R"(
+    module Compute{
+      entry [prefetch] void compute_kernel() [readwrite: A, writeonly: B];
+    };
+  )");
+  ASSERT_TRUE(r) << r.error;
+  ASSERT_EQ(r.file->modules.size(), 1u);
+  const auto& m = r.file->modules[0];
+  EXPECT_EQ(m.name, "Compute");
+  ASSERT_EQ(m.entries.size(), 1u);
+  const auto& e = m.entries[0];
+  EXPECT_EQ(e.name, "compute_kernel");
+  EXPECT_TRUE(e.prefetch);
+  ASSERT_EQ(e.deps.size(), 2u);
+  EXPECT_EQ(e.deps[0].mode, ooc::AccessMode::ReadWrite);
+  EXPECT_EQ(e.deps[0].name, "A");
+  EXPECT_EQ(e.deps[1].mode, ooc::AccessMode::WriteOnly);
+  EXPECT_EQ(e.deps[1].name, "B");
+}
+
+TEST(CiParser, PlainEntryWithoutAttributes) {
+  const auto r = parse_ci("module M { entry void go(); };");
+  ASSERT_TRUE(r) << r.error;
+  const auto& e = r.file->modules[0].entries[0];
+  EXPECT_FALSE(e.prefetch);
+  EXPECT_TRUE(e.deps.empty());
+}
+
+TEST(CiParser, MultipleModulesAndEntries) {
+  const auto r = parse_ci(R"(
+    module Stencil {
+      entry [prefetch] void exchange() [readonly: cur, writeonly: ghost];
+      entry [prefetch] void update() [readonly: cur, writeonly: next];
+      entry void converge_check();
+    };
+    module MatMul {
+      entry [prefetch] void gemm()
+          [readonly: a, readonly: b, readwrite: c];
+    }
+  )");
+  ASSERT_TRUE(r) << r.error;
+  ASSERT_EQ(r.file->modules.size(), 2u);
+  EXPECT_EQ(r.file->modules[0].entries.size(), 3u);
+  EXPECT_EQ(r.file->modules[1].entries.size(), 1u);
+  const auto* gemm = r.file->find("MatMul", "gemm");
+  ASSERT_NE(gemm, nullptr);
+  EXPECT_EQ(gemm->deps.size(), 3u);
+  EXPECT_EQ(r.file->find("MatMul", "nope"), nullptr);
+  EXPECT_EQ(r.file->find("Nope", "gemm"), nullptr);
+}
+
+TEST(CiParser, CommentsAreSkipped) {
+  const auto r = parse_ci(R"(
+    // leading comment
+    module M { /* inline */ entry void f(); // trailing
+    };
+  )");
+  ASSERT_TRUE(r) << r.error;
+  EXPECT_EQ(r.file->modules[0].entries[0].name, "f");
+}
+
+TEST(CiParser, ExtraAttributesPreserved) {
+  const auto r = parse_ci(
+      "module M { entry [prefetch, threaded] void f() [readonly: x]; };");
+  ASSERT_TRUE(r) << r.error;
+  const auto& e = r.file->modules[0].entries[0];
+  EXPECT_TRUE(e.prefetch);
+  ASSERT_EQ(e.attrs.size(), 2u);
+  EXPECT_EQ(e.attrs[1], "threaded");
+}
+
+TEST(CiParser, PrefetchWithoutDepsRejected) {
+  const auto r = parse_ci("module M { entry [prefetch] void f(); };");
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("no dependences"), std::string::npos);
+}
+
+TEST(CiParser, UnknownModeRejected) {
+  const auto r =
+      parse_ci("module M { entry [prefetch] void f() [readmostly: x]; };");
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.error.find("unknown access mode"), std::string::npos);
+}
+
+TEST(CiParser, SyntaxErrorsCarryPosition) {
+  const auto r = parse_ci("module M {\n  entry void f()\n};");
+  EXPECT_FALSE(r);
+  EXPECT_GE(r.line, 2);
+}
+
+TEST(CiParser, EmptyInputRejected) {
+  const auto r = parse_ci("   \n  // nothing\n");
+  EXPECT_FALSE(r);
+}
+
+TEST(CiParser, MissingSemicolonRejected) {
+  const auto r = parse_ci("module M { entry void f() }");
+  EXPECT_FALSE(r);
+}
+
+TEST(CiParser, KeywordPrefixIsNotKeyword) {
+  // 'moduleX' must not parse as 'module' + 'X'.
+  const auto r = parse_ci("moduleX M { };");
+  EXPECT_FALSE(r);
+}
+
+TEST(CiGenerate, StubsContainPrePostHooks) {
+  const auto r = parse_ci(R"(
+    module Compute {
+      entry [prefetch] void compute_kernel() [readwrite: A, writeonly: B];
+      entry void plain();
+    };
+  )");
+  ASSERT_TRUE(r) << r.error;
+  const std::string code = generate_stubs(r.file->modules[0]);
+  EXPECT_NE(code.find("_compute_kernel_preprocess"), std::string::npos);
+  EXPECT_NE(code.find("_compute_kernel_postprocess"), std::string::npos);
+  EXPECT_NE(code.find("add_dependence(A, AccessMode::ReadWrite)"),
+            std::string::npos);
+  EXPECT_NE(code.find("add_dependence(B, AccessMode::WriteOnly)"),
+            std::string::npos);
+  // Non-prefetch entries get no hooks.
+  EXPECT_EQ(code.find("_plain_"), std::string::npos);
+}
+
+} // namespace
+} // namespace hmr::rt

@@ -1,0 +1,86 @@
+// Tests for node-level collectives (NodeGroup, Reduction).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "rt/collectives.hpp"
+
+namespace hmr::rt {
+namespace {
+
+TEST(NodeGroup, SharedInstanceMutation) {
+  NodeGroup<std::vector<int>> ng;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 4; ++i) {
+    ts.emplace_back([&ng, i] {
+      for (int k = 0; k < 100; ++k) {
+        ng.with([&](std::vector<int>& v) {
+          v.push_back(i);
+          return 0;
+        });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(ng.unsafe_get().size(), 400u);
+}
+
+TEST(Reduction, SumAcrossThreads) {
+  Reduction<double> red(64, 0.0, [](const double& a, const double& b) {
+    return a + b;
+  });
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&red] {
+      for (int i = 0; i < 16; ++i) red.contribute(1.5);
+    });
+  }
+  const double sum = red.wait();
+  for (auto& t : ts) t.join();
+  EXPECT_DOUBLE_EQ(sum, 96.0);
+}
+
+TEST(Reduction, MaxCombine) {
+  Reduction<int> red(3, 0, [](const int& a, const int& b) {
+    return a > b ? a : b;
+  });
+  red.contribute(5);
+  red.contribute(11);
+  red.contribute(7);
+  EXPECT_EQ(red.wait(), 11);
+}
+
+TEST(Reduction, ReusableAcrossRounds) {
+  Reduction<int> red(2, 0, [](const int& a, const int& b) { return a + b; });
+  red.contribute(1);
+  red.contribute(2);
+  EXPECT_EQ(red.wait(), 3);
+  red.contribute(10);
+  red.contribute(20);
+  EXPECT_EQ(red.wait(), 30);
+}
+
+TEST(Reduction, TooManyContributionsDie) {
+  Reduction<int> red(1, 0, [](const int& a, const int& b) { return a + b; });
+  red.contribute(1);
+  EXPECT_EQ(red.wait(), 1);
+  red.contribute(2); // new round: fine
+  EXPECT_DEATH(
+      {
+        red.contribute(3);
+        red.contribute(4);
+      },
+      "too many");
+}
+
+TEST(Reduction, PendingCount) {
+  Reduction<int> red(3, 0, [](const int& a, const int& b) { return a + b; });
+  EXPECT_EQ(red.pending(), 3u);
+  red.contribute(1);
+  EXPECT_EQ(red.pending(), 2u);
+}
+
+} // namespace
+} // namespace hmr::rt

@@ -1,0 +1,122 @@
+// Tests of the hardware model and its calibration against the numbers
+// the paper reports (Fig 1 bandwidth gap, Fig 2 3x stencil gap,
+// Fig 7 migration asymmetry).
+
+#include <gtest/gtest.h>
+
+#include "hw/machine_model.hpp"
+#include "util/units.hpp"
+
+namespace hmr::hw {
+namespace {
+
+TEST(MachineModel, KnlPresetShape) {
+  const auto m = knl_flat_all_to_all();
+  ASSERT_EQ(m.tiers.size(), 2u);
+  EXPECT_EQ(m.tier(m.slow).name, "DDR4");
+  EXPECT_EQ(m.tier(m.fast).name, "MCDRAM");
+  EXPECT_EQ(m.tier(m.fast).capacity, 16 * GiB);
+  EXPECT_EQ(m.tier(m.slow).capacity, 96 * GiB);
+  EXPECT_EQ(m.num_pes, 64);
+  // Paper §I: DDR4 has about 4X lower bandwidth than MCDRAM.
+  EXPECT_GT(m.tier(m.fast).read_bw / m.tier(m.slow).read_bw, 4.0);
+  EXPECT_LT(m.tier(m.fast).read_bw / m.tier(m.slow).read_bw, 6.5);
+}
+
+TEST(MachineModel, StreamBandwidthGapMatchesFig1) {
+  const auto m = knl_flat_all_to_all();
+  // Triad: 2 reads + 1 write per element.
+  const double hbm = m.stream_bw(m.fast, 2, 1);
+  const double ddr = m.stream_bw(m.slow, 2, 1);
+  EXPECT_GT(hbm / ddr, 4.0);
+  // Absolute anchors within the ballpark the paper measured.
+  EXPECT_NEAR(hbm / GB, 440, 60);
+  EXPECT_NEAR(ddr / GB, 83, 15);
+}
+
+TEST(MachineModel, ComputeTimeRatioMatchesFig2) {
+  const auto m = knl_flat_all_to_all();
+  // A bandwidth-bound kernel streaming the same bytes from HBM vs DDR4
+  // with all 64 PEs active: the paper's Fig 2 observes ~3x.
+  const std::uint64_t bytes = 256 * MiB;
+  const double t_fast = m.compute_time2(bytes, 0, m.num_pes);
+  const double t_slow = m.compute_time2(0, bytes, m.num_pes);
+  EXPECT_NEAR(t_slow / t_fast, 3.0, 0.5);
+}
+
+TEST(MachineModel, ComputeTimeAdditiveOverTiers) {
+  const auto m = knl_flat_all_to_all();
+  const double both = m.compute_time2(64 * MiB, 64 * MiB, 64);
+  const double fast_only = m.compute_time2(64 * MiB, 0, 64);
+  const double slow_only = m.compute_time2(0, 64 * MiB, 64);
+  EXPECT_NEAR(both, fast_only + slow_only - m.task_overhead, 1e-9);
+}
+
+TEST(MachineModel, ComputeTimeScalesWithSharing) {
+  const auto m = knl_flat_all_to_all();
+  // Memory term scales with the number of PEs sharing the pipe; the
+  // compute floor does not, so 2x PEs -> less than 2x the time.
+  const double t64 = m.compute_time2(64 * MiB, 0, 64);
+  const double t32 = m.compute_time2(64 * MiB, 0, 32);
+  EXPECT_GT(t64, t32);
+  EXPECT_LT(t64, 2.0 * t32);
+}
+
+TEST(MachineModel, MigrationAsymmetryMatchesFig7) {
+  const auto m = knl_flat_all_to_all();
+  // Fig 7: HBM->DDR migration costs slightly more than DDR->HBM
+  // because DDR4's write bandwidth is the lowest limit.
+  const double to_fast = m.migrate_time(1 * GiB, m.slow, m.fast);
+  const double to_slow = m.migrate_time(1 * GiB, m.fast, m.slow);
+  EXPECT_GT(to_slow, to_fast);
+  EXPECT_LT(to_slow / to_fast, 1.6);
+}
+
+TEST(MachineModel, MigrationTimeUnderContention) {
+  const auto m = knl_flat_all_to_all();
+  const std::uint64_t bytes = 1 * GiB;
+  const double alone = m.migrate_time(bytes, m.slow, m.fast, 1);
+  const double crowd = m.migrate_time(bytes, m.slow, m.fast, 64);
+  // 64 concurrent migrations share the channel: each takes longer,
+  // but aggregate throughput is higher than one flow.
+  EXPECT_GT(crowd, alone);
+  EXPECT_LT(crowd, 64.0 * alone);
+  // Fig 7 anchor: with 64 threads stressing migration, 16 GB total
+  // (split across the threads) moves in roughly half a second.
+  const double fig7 = m.migrate_time(16 * GiB / 64, m.slow, m.fast, 64);
+  EXPECT_NEAR(fig7, 0.5, 0.25);
+}
+
+TEST(MachineModel, CopyRateBelowChannelCapacity) {
+  const auto m = knl_flat_all_to_all();
+  EXPECT_LT(m.copy_rate(m.slow, m.fast), m.channel_capacity(m.slow, m.fast));
+  EXPECT_LT(m.copy_rate(m.fast, m.slow), m.channel_capacity(m.fast, m.slow));
+}
+
+TEST(MachineModel, DdrOnlyPresetHasNoFastCapacity) {
+  const auto m = knl_ddr_only();
+  EXPECT_EQ(m.tier(m.fast).capacity, 0u);
+  EXPECT_EQ(m.tier(m.slow).capacity, 96 * GiB);
+}
+
+TEST(MachineModel, ThreeTierPreset) {
+  const auto m = three_tier_hbm_ddr_nvm();
+  ASSERT_EQ(m.tiers.size(), 3u);
+  EXPECT_EQ(m.tier(m.slow).name, "NVM");
+  // NVM is latency- and bandwidth-restricted relative to DDR4.
+  EXPECT_GT(m.tier(0).latency, m.tier(2).latency);
+  EXPECT_LT(m.tier(0).read_bw, m.tier(2).read_bw);
+}
+
+TEST(MachineModel, BadTierIdDies) {
+  const auto m = knl_flat_all_to_all();
+  EXPECT_DEATH((void)m.tier(99), "tier id");
+}
+
+TEST(MachineModel, SameTierMigrationDies) {
+  const auto m = knl_flat_all_to_all();
+  EXPECT_DEATH((void)m.copy_rate(0, 0), "within one tier");
+}
+
+} // namespace
+} // namespace hmr::hw

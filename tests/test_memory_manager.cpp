@@ -1,0 +1,184 @@
+// Tests for the MemoryManager: numa-style allocation, block registry,
+// migration (alloc + memcpy + free), pooling, and concurrency.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "mem/memory_manager.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace hmr::mem {
+namespace {
+
+MemoryManager make_two_tier(bool pool = false) {
+  return MemoryManager({{"DDR4", 8 * MiB}, {"MCDRAM", 2 * MiB}}, pool);
+}
+
+TEST(MemoryManager, RawAllocRespectsTierCapacity) {
+  auto mm = make_two_tier();
+  void* p = mm.alloc_on_tier(1 * MiB, 1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(mm.alloc_on_tier(2 * MiB, 1), nullptr); // fast tier full
+  EXPECT_NE(mm.alloc_on_tier(2 * MiB, 0), nullptr); // slow tier has room
+  mm.free_on_tier(p, 1);
+  EXPECT_EQ(mm.usage(1).used, 0u);
+}
+
+TEST(MemoryManager, FromModelScalesCapacities) {
+  const auto model = hw::knl_flat_all_to_all();
+  auto mm = MemoryManager::from_model(model, 1.0 / 1024);
+  EXPECT_EQ(mm.usage(model.fast).capacity, 16 * MiB);
+  EXPECT_EQ(mm.usage(model.slow).capacity, 96 * MiB);
+}
+
+TEST(MemoryManager, RegisterAndQueryBlock) {
+  auto mm = make_two_tier();
+  const BlockId b = mm.register_block(256 * KiB, 0);
+  ASSERT_NE(b, kInvalidBlock);
+  EXPECT_EQ(mm.block_bytes(b), 256 * KiB);
+  EXPECT_EQ(mm.block_tier(b), 0u);
+  EXPECT_NE(mm.block_ptr(b), nullptr);
+  mm.unregister_block(b);
+}
+
+TEST(MemoryManager, RegisterFailsWhenTierFull) {
+  auto mm = make_two_tier();
+  EXPECT_EQ(mm.register_block(4 * MiB, 1), kInvalidBlock);
+}
+
+TEST(MemoryManager, MigratePreservesContents) {
+  auto mm = make_two_tier();
+  const BlockId b = mm.register_block(128 * KiB, 0);
+  auto* p = static_cast<unsigned char*>(mm.block_ptr(b));
+  Xoshiro256 rng(3);
+  std::vector<unsigned char> pattern(128 * KiB);
+  for (auto& c : pattern) c = static_cast<unsigned char>(rng());
+  std::memcpy(p, pattern.data(), pattern.size());
+
+  const auto r = mm.migrate(b, 1);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(mm.block_tier(b), 1u);
+  auto* q = static_cast<unsigned char*>(mm.block_ptr(b));
+  EXPECT_NE(q, p);
+  EXPECT_EQ(std::memcmp(q, pattern.data(), pattern.size()), 0);
+
+  // Round trip back.
+  ASSERT_TRUE(mm.migrate(b, 0).ok);
+  EXPECT_EQ(std::memcmp(mm.block_ptr(b), pattern.data(), pattern.size()), 0);
+}
+
+TEST(MemoryManager, MigrateMovesCapacityAccounting) {
+  auto mm = make_two_tier();
+  const BlockId b = mm.register_block(512 * KiB, 0);
+  EXPECT_EQ(mm.usage(0).used, 512 * KiB);
+  EXPECT_EQ(mm.usage(1).used, 0u);
+  ASSERT_TRUE(mm.migrate(b, 1).ok);
+  EXPECT_EQ(mm.usage(0).used, 0u);
+  EXPECT_EQ(mm.usage(1).used, 512 * KiB);
+}
+
+TEST(MemoryManager, MigrateToFullTierFailsCleanly) {
+  auto mm = make_two_tier();
+  const BlockId filler = mm.register_block(2 * MiB, 1);
+  ASSERT_NE(filler, kInvalidBlock);
+  const BlockId b = mm.register_block(512 * KiB, 0);
+  const auto r = mm.migrate(b, 1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(mm.block_tier(b), 0u); // untouched
+  EXPECT_EQ(mm.usage(0).used, 512 * KiB);
+}
+
+TEST(MemoryManager, MigrateToSameTierIsNoop) {
+  auto mm = make_two_tier();
+  const BlockId b = mm.register_block(64 * KiB, 0);
+  void* before = mm.block_ptr(b);
+  const auto r = mm.migrate(b, 0);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(mm.block_ptr(b), before);
+}
+
+TEST(MemoryManager, MigrationStatsTracked) {
+  auto mm = make_two_tier();
+  const BlockId b = mm.register_block(64 * KiB, 0);
+  ASSERT_TRUE(mm.migrate(b, 1).ok);
+  ASSERT_TRUE(mm.migrate(b, 0).ok);
+  EXPECT_EQ(mm.migration_stats(0, 1).count, 1u);
+  EXPECT_EQ(mm.migration_stats(0, 1).bytes, 64 * KiB);
+  EXPECT_EQ(mm.migration_stats(1, 0).count, 1u);
+}
+
+TEST(MemoryManager, PoolReusesBuffers) {
+  auto mm = make_two_tier(/*pool=*/true);
+  const BlockId b = mm.register_block(256 * KiB, 0);
+  ASSERT_TRUE(mm.migrate(b, 1).ok); // slow buffer parked in pool
+  EXPECT_EQ(mm.usage(0).pooled, 256 * KiB);
+  const auto r = mm.migrate(b, 0); // should hit the pool
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.pooled);
+}
+
+TEST(MemoryManager, PooledBytesOccupyCapacity) {
+  auto mm = make_two_tier(/*pool=*/true);
+  const BlockId b = mm.register_block(1 * MiB, 1);
+  ASSERT_TRUE(mm.migrate(b, 0).ok);
+  // The fast-tier buffer is parked, still holding capacity.
+  EXPECT_EQ(mm.usage(1).pooled, 1 * MiB);
+  EXPECT_EQ(mm.usage(1).used, 1 * MiB);
+  mm.trim_pools();
+  EXPECT_EQ(mm.usage(1).pooled, 0u);
+  EXPECT_EQ(mm.usage(1).used, 0u);
+}
+
+TEST(MemoryManager, ConcurrentMigrationsOfDistinctBlocks) {
+  MemoryManager mm({{"DDR4", 32 * MiB}, {"MCDRAM", 32 * MiB}}, false);
+  constexpr int kBlocks = 16;
+  std::vector<BlockId> ids;
+  for (int i = 0; i < kBlocks; ++i) {
+    const BlockId b = mm.register_block(256 * KiB, 0);
+    ASSERT_NE(b, kInvalidBlock);
+    auto* p = static_cast<unsigned char*>(mm.block_ptr(b));
+    std::memset(p, i + 1, 256 * KiB);
+    ids.push_back(b);
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = t; i < kBlocks; i += 4) {
+        const BlockId b = ids[static_cast<std::size_t>(i)];
+        for (int round = 0; round < 8; ++round) {
+          ASSERT_TRUE(mm.migrate(b, 1).ok);
+          ASSERT_TRUE(mm.migrate(b, 0).ok);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int i = 0; i < kBlocks; ++i) {
+    auto* p = static_cast<unsigned char*>(
+        mm.block_ptr(ids[static_cast<std::size_t>(i)]));
+    for (std::size_t j = 0; j < 256 * KiB; j += 4096) {
+      ASSERT_EQ(p[j], i + 1);
+    }
+  }
+}
+
+TEST(MemoryManager, DeadBlockAccessDies) {
+  auto mm = make_two_tier();
+  const BlockId b = mm.register_block(64 * KiB, 0);
+  mm.unregister_block(b);
+  EXPECT_DEATH((void)mm.block_ptr(b), "dead block");
+  EXPECT_DEATH((void)mm.migrate(b, 1), "dead block");
+}
+
+TEST(MemoryManager, BadTierDies) {
+  auto mm = make_two_tier();
+  EXPECT_DEATH((void)mm.alloc_on_tier(64, 7), "bad tier");
+}
+
+} // namespace
+} // namespace hmr::mem

@@ -1,0 +1,189 @@
+// Tests for dependency-DAG task delivery: the pipelined stencil
+// workload and the executor's completion-triggered injection.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/pipelined_stencil_workload.hpp"
+#include "sim/sim_executor.hpp"
+#include "sim/stencil_workload.hpp"
+#include "util/units.hpp"
+
+namespace hmr::sim {
+namespace {
+
+PipelinedStencilWorkload::Params small_params() {
+  PipelinedStencilWorkload::Params p;
+  p.total_bytes = 64 * MiB;
+  p.cx = p.cy = p.cz = 2;
+  p.num_pes = 4;
+  p.iterations = 3;
+  return p;
+}
+
+TEST(PipelinedStencil, DependencyStructure) {
+  PipelinedStencilWorkload w(small_params());
+  const auto tasks = w.iteration_tasks(0);
+  ASSERT_EQ(tasks.size(), 8u * 3); // 8 chares x 3 iterations
+  std::set<ooc::TaskId> ids;
+  for (const auto& t : tasks) EXPECT_TRUE(ids.insert(t.id).second);
+
+  // Iteration 0 tasks are roots.
+  for (int c = 0; c < 8; ++c) {
+    EXPECT_TRUE(tasks[static_cast<std::size_t>(c)].predecessors.empty());
+  }
+  // In a 2x2x2 grid every chare is a corner: 3 neighbours + itself.
+  for (std::size_t i = 8; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].predecessors.size(), 4u);
+    // All predecessors are from the previous iteration.
+    for (const auto p : tasks[i].predecessors) {
+      EXPECT_LT(p, tasks[i].id);
+      EXPECT_GE(tasks[i].id - p, 1u);
+      EXPECT_LE(tasks[i].id - p, 16u);
+    }
+  }
+}
+
+TEST(PipelinedStencil, InteriorChareHasSevenPredecessors) {
+  PipelinedStencilWorkload::Params p;
+  p.total_bytes = 64 * MiB;
+  p.cx = p.cy = p.cz = 3;
+  p.num_pes = 4;
+  p.iterations = 2;
+  PipelinedStencilWorkload w(p);
+  const auto tasks = w.iteration_tasks(0);
+  // Chare 13 = (1,1,1) is interior: itself + 6 neighbours.
+  const auto id = w.task_id(1, 13);
+  for (const auto& t : tasks) {
+    if (t.id == id) {
+      EXPECT_EQ(t.predecessors.size(), 7u);
+      return;
+    }
+  }
+  FAIL() << "task not found";
+}
+
+class DagStrategies : public ::testing::TestWithParam<ooc::Strategy> {};
+
+TEST_P(DagStrategies, RunsToCompletion) {
+  PipelinedStencilWorkload w(small_params());
+  SimConfig cfg;
+  cfg.model = hw::knl_flat_all_to_all();
+  cfg.model.num_pes = 4;
+  cfg.strategy = GetParam();
+  cfg.fast_capacity = 32 * MiB;
+  SimExecutor ex(cfg);
+  const auto r = ex.run(w);
+  EXPECT_EQ(r.tasks_completed, 24u);
+  EXPECT_GT(r.total_time, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, DagStrategies,
+    ::testing::Values(ooc::Strategy::Naive, ooc::Strategy::SingleIo,
+                      ooc::Strategy::SyncNoIo, ooc::Strategy::MultiIo),
+    [](const auto& pi) { return ooc::strategy_name(pi.param); });
+
+TEST(DagExecution, Deterministic) {
+  PipelinedStencilWorkload w(small_params());
+  auto run = [&] {
+    SimConfig cfg;
+    cfg.model = hw::knl_flat_all_to_all();
+    cfg.model.num_pes = 4;
+    cfg.strategy = ooc::Strategy::MultiIo;
+    cfg.fast_capacity = 32 * MiB;
+    return SimExecutor(cfg).run(w).total_time;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(DagExecution, NeverSlowerThanBarriered) {
+  // Same decomposition and per-task cost; the DAG can only relax the
+  // ordering constraints the barrier imposes.
+  const auto model = hw::knl_flat_all_to_all();
+  StencilWorkload barriered({.total_bytes = 2 * GiB,
+                             .num_chares = 128,
+                             .num_pes = model.num_pes,
+                             .iterations = 4});
+  PipelinedStencilWorkload pipelined({.total_bytes = 2 * GiB,
+                                      .cx = 8,
+                                      .cy = 4,
+                                      .cz = 4,
+                                      .num_pes = model.num_pes,
+                                      .iterations = 4});
+  auto run = [&](const Workload& w) {
+    SimConfig cfg;
+    cfg.model = model;
+    cfg.strategy = ooc::Strategy::MultiIo;
+    cfg.fast_capacity = 1 * GiB;
+    return SimExecutor(cfg).run(w).total_time;
+  };
+  EXPECT_LE(run(pipelined), run(barriered) * 1.001);
+}
+
+// A tiny workload with a dependency cycle: the executor must refuse.
+class CyclicWorkload final : public Workload {
+public:
+  CyclicWorkload() { blocks_.push_back({0, 1024}); }
+  std::string name() const override { return "cyclic"; }
+  int iterations() const override { return 1; }
+  const std::vector<BlockSpec>& blocks() const override { return blocks_; }
+  std::vector<ooc::TaskDesc> iteration_tasks(int) const override {
+    ooc::TaskDesc a, b;
+    a.id = 1;
+    a.deps = {{0, ooc::AccessMode::ReadOnly}};
+    a.predecessors = {2};
+    b.id = 2;
+    b.deps = {{0, ooc::AccessMode::ReadOnly}};
+    b.predecessors = {1};
+    return {a, b};
+  }
+
+private:
+  std::vector<BlockSpec> blocks_;
+};
+
+TEST(DagExecution, CycleDies) {
+  SimConfig cfg;
+  cfg.model = hw::knl_flat_all_to_all();
+  cfg.model.num_pes = 2;
+  cfg.strategy = ooc::Strategy::MultiIo;
+  cfg.fast_capacity = 1 * MiB;
+  SimExecutor ex(cfg);
+  CyclicWorkload w;
+  EXPECT_DEATH((void)ex.run(w), "cycle");
+}
+
+// Unknown predecessor: also refused.
+class DanglingWorkload final : public Workload {
+public:
+  DanglingWorkload() { blocks_.push_back({0, 1024}); }
+  std::string name() const override { return "dangling"; }
+  int iterations() const override { return 1; }
+  const std::vector<BlockSpec>& blocks() const override { return blocks_; }
+  std::vector<ooc::TaskDesc> iteration_tasks(int) const override {
+    ooc::TaskDesc a;
+    a.id = 1;
+    a.deps = {{0, ooc::AccessMode::ReadOnly}};
+    a.predecessors = {99};
+    return {a};
+  }
+
+private:
+  std::vector<BlockSpec> blocks_;
+};
+
+TEST(DagExecution, UnknownPredecessorDies) {
+  SimConfig cfg;
+  cfg.model = hw::knl_flat_all_to_all();
+  cfg.model.num_pes = 2;
+  cfg.strategy = ooc::Strategy::MultiIo;
+  cfg.fast_capacity = 1 * MiB;
+  SimExecutor ex(cfg);
+  DanglingWorkload w;
+  EXPECT_DEATH((void)ex.run(w), "unknown predecessor");
+}
+
+} // namespace
+} // namespace hmr::sim

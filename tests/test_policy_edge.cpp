@@ -1,0 +1,193 @@
+// Edge-case and interleaving tests for the PolicyEngine, beyond the
+// main protocol suite: evict/fetch races, accounting identities,
+// removal interactions with the lazy LRU, and stats invariants.
+
+#include <gtest/gtest.h>
+
+#include "instant_executor.hpp"
+#include "ooc/policy_engine.hpp"
+
+namespace hmr::ooc {
+namespace {
+
+using hmr::testing::InstantExecutor;
+
+PolicyEngine::Config cfg(Strategy s, std::uint64_t cap, int pes = 2) {
+  PolicyEngine::Config c;
+  c.strategy = s;
+  c.num_pes = pes;
+  c.fast_capacity = cap;
+  return c;
+}
+
+TaskDesc make_task(TaskId id, std::int32_t pe, std::vector<Dep> deps) {
+  TaskDesc t;
+  t.id = id;
+  t.pe = pe;
+  t.deps = std::move(deps);
+  return t;
+}
+
+TEST(PolicyEdge, EvictInFlightBlocksReAdmission) {
+  // A task needing a block that is mid-eviction must wait for the
+  // eviction to land, then re-fetch — never read the evicting copy.
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  e.add_block(0, 50);
+  // Task 1: full cycle but hold the eviction open.
+  auto c1 = e.on_task_arrived(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  ASSERT_EQ(c1.size(), 1u);
+  auto c2 = e.on_fetch_complete(0);
+  auto c3 = e.on_task_complete(1); // emits the evict
+  ASSERT_EQ(c3.size(), 1u);
+  ASSERT_EQ(c3[0].kind, Command::Kind::Evict);
+  EXPECT_EQ(e.block_state(0), BlockState::EvictInFlight);
+
+  // Task 2 arrives while the eviction is in flight: must queue.
+  auto c4 = e.on_task_arrived(make_task(2, 0, {{0, AccessMode::ReadWrite}}));
+  EXPECT_TRUE(c4.empty());
+  EXPECT_EQ(e.total_waiting(), 1u);
+
+  // Eviction lands -> task 2 is admitted with a fresh fetch.
+  auto c5 = e.on_evict_complete(0);
+  ASSERT_EQ(c5.size(), 1u);
+  EXPECT_EQ(c5[0].kind, Command::Kind::Fetch);
+  EXPECT_EQ(c5[0].block, 0u);
+}
+
+TEST(PolicyEdge, FetchEvictByteAccountingBalances) {
+  // At quiescence under eager eviction, everything fetched has been
+  // evicted: fetch_bytes == evict_bytes and fast_used == 0.
+  PolicyEngine e(cfg(Strategy::MultiIo, 200, /*pes=*/4));
+  for (BlockId b = 0; b < 6; ++b) e.add_block(b, 30 + b);
+  InstantExecutor x(e);
+  for (TaskId t = 1; t <= 12; ++t) {
+    const BlockId b = (t * 5) % 6;
+    x.arrive(make_task(t, static_cast<std::int32_t>(t % 4),
+                       {{b, AccessMode::ReadWrite}}));
+  }
+  EXPECT_TRUE(e.quiescent());
+  const auto& s = e.stats();
+  EXPECT_EQ(s.fetch_bytes, s.evict_bytes);
+  EXPECT_EQ(s.fetches, s.evicts);
+  EXPECT_EQ(e.fast_used(), 0u);
+}
+
+TEST(PolicyEdge, NonPrefetchTasksBypassUnderMovingStrategy) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  e.add_block(0, 50);
+  TaskDesc t = make_task(1, 0, {{0, AccessMode::ReadWrite}});
+  t.prefetch = false;
+  auto cmds = e.on_task_arrived(t);
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0].kind, Command::Kind::Run);
+  // No claims were taken; the block never moved.
+  EXPECT_EQ(e.block_state(0), BlockState::InSlow);
+  EXPECT_EQ(e.refcount(0), 0u);
+  auto done = e.on_task_complete(1);
+  EXPECT_TRUE(done.empty());
+  EXPECT_TRUE(e.quiescent());
+}
+
+TEST(PolicyEdge, HbmOnlyWithPrefetchTasksNeverMoves) {
+  PolicyEngine e(cfg(Strategy::HbmOnly, 1000));
+  e.add_block(0, 100);
+  e.add_block(1, 100);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadOnly},
+                            {1, AccessMode::ReadWrite}}));
+  EXPECT_EQ(x.fetches.size(), 0u);
+  EXPECT_EQ(x.evicts.size(), 0u);
+  EXPECT_EQ(x.run_order.size(), 1u);
+  EXPECT_EQ(e.stats().fetch_bytes, 0u);
+}
+
+TEST(PolicyEdge, LazyRemoveBlockFromLru) {
+  auto c = cfg(Strategy::MultiIo, 100);
+  c.eager_evict = false;
+  PolicyEngine e(c);
+  e.add_block(0, 40);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  EXPECT_EQ(e.lru_size(), 1u);
+  EXPECT_EQ(e.block_state(0), BlockState::InFast);
+  // Removing a parked warm block releases its budget and LRU slot.
+  e.remove_block(0);
+  EXPECT_EQ(e.lru_size(), 0u);
+  EXPECT_EQ(e.fast_used(), 0u);
+}
+
+TEST(PolicyEdge, SingleIoAgentIsAlwaysZero) {
+  PolicyEngine e(cfg(Strategy::SingleIo, 10000, /*pes=*/16));
+  for (BlockId b = 0; b < 16; ++b) e.add_block(b, 100);
+  InstantExecutor x(e);
+  for (TaskId t = 0; t < 16; ++t) {
+    x.arrive(make_task(t + 1, static_cast<std::int32_t>(t),
+                       {{t, AccessMode::ReadWrite}}));
+  }
+  ASSERT_GE(x.fetches.size(), 16u);
+  for (const auto& f : x.fetches) EXPECT_EQ(f.agent, 0);
+  for (const auto& ev : x.evicts) EXPECT_EQ(ev.agent, 0);
+}
+
+TEST(PolicyEdge, SharedBlockLastUserEvicts) {
+  // Three tasks share a block; only the third completion evicts it.
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  e.add_block(0, 50);
+  InstantExecutor x(e, /*auto_run=*/false);
+  for (TaskId t = 1; t <= 3; ++t) {
+    x.arrive(make_task(t, 0, {{0, AccessMode::ReadOnly}}));
+  }
+  EXPECT_EQ(e.refcount(0), 3u);
+  x.complete(1);
+  x.complete(2);
+  EXPECT_EQ(x.evicts.size(), 0u);
+  EXPECT_EQ(e.block_state(0), BlockState::InFast);
+  x.complete(3);
+  EXPECT_EQ(x.evicts.size(), 1u);
+  EXPECT_EQ(e.block_state(0), BlockState::InSlow);
+}
+
+TEST(PolicyEdge, ZeroDependenceTaskRunsImmediately) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  auto cmds = e.on_task_arrived(make_task(1, 0, {}));
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0].kind, Command::Kind::Run);
+  auto done = e.on_task_complete(1);
+  EXPECT_TRUE(done.empty());
+}
+
+TEST(PolicyEdge, ExactCapacityFit) {
+  // A task whose footprint equals the capacity exactly is admissible.
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  e.add_block(0, 60);
+  e.add_block(1, 40);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadWrite},
+                            {1, AccessMode::ReadOnly}}));
+  EXPECT_EQ(x.run_order.size(), 1u);
+  EXPECT_TRUE(e.quiescent());
+}
+
+TEST(PolicyEdge, DedupCountsOncePerExtraWaiter) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 1000, /*pes=*/4));
+  e.add_block(0, 10);
+  // Five tasks arrive before the fetch completes.
+  std::vector<Command> all;
+  for (TaskId t = 1; t <= 5; ++t) {
+    auto c = e.on_task_arrived(make_task(t, static_cast<std::int32_t>(t % 4),
+                                         {{0, AccessMode::ReadOnly}}));
+    all.insert(all.end(), c.begin(), c.end());
+  }
+  std::size_t fetches = 0;
+  for (const auto& c : all) fetches += c.kind == Command::Kind::Fetch;
+  EXPECT_EQ(fetches, 1u);
+  EXPECT_EQ(e.stats().fetch_dedup_hits, 4u);
+  // One completion readies all five.
+  auto c = e.on_fetch_complete(0);
+  std::size_t runs = 0;
+  for (const auto& cc : c) runs += cc.kind == Command::Kind::Run;
+  EXPECT_EQ(runs, 5u);
+}
+
+} // namespace
+} // namespace hmr::ooc

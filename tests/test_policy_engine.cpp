@@ -1,0 +1,402 @@
+// Unit tests for the PolicyEngine protocol: placement, admission,
+// fetch/evict command generation, refcounts, dedup, budget accounting,
+// fairness, and failure detection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "instant_executor.hpp"
+#include "ooc/policy_engine.hpp"
+
+namespace hmr::ooc {
+namespace {
+
+using hmr::testing::InstantExecutor;
+
+PolicyEngine::Config cfg(Strategy s, std::uint64_t cap, int pes = 2) {
+  PolicyEngine::Config c;
+  c.strategy = s;
+  c.num_pes = pes;
+  c.fast_capacity = cap;
+  return c;
+}
+
+TaskDesc make_task(TaskId id, std::int32_t pe,
+                   std::vector<Dep> deps, double wf = 1.0) {
+  TaskDesc t;
+  t.id = id;
+  t.pe = pe;
+  t.deps = std::move(deps);
+  t.work_factor = wf;
+  return t;
+}
+
+// ---------- static placement strategies ----------
+
+TEST(PolicyStatic, NaivePacksFastThenOverflows) {
+  PolicyEngine e(cfg(Strategy::Naive, 100));
+  EXPECT_EQ(e.add_block(0, 60), Placement::Fast);
+  EXPECT_EQ(e.add_block(1, 40), Placement::Fast);
+  EXPECT_EQ(e.add_block(2, 1), Placement::Slow); // full
+  EXPECT_EQ(e.block_state(0), BlockState::InFast);
+  EXPECT_EQ(e.block_state(2), BlockState::InSlow);
+  EXPECT_EQ(e.fast_used(), 100u);
+}
+
+TEST(PolicyStatic, DdrOnlyPlacesEverythingSlow) {
+  PolicyEngine e(cfg(Strategy::DdrOnly, 100));
+  EXPECT_EQ(e.add_block(0, 10), Placement::Slow);
+  EXPECT_EQ(e.block_state(0), BlockState::InSlow);
+  EXPECT_EQ(e.fast_used(), 0u);
+}
+
+TEST(PolicyStatic, HbmOnlyDiesWhenOverCapacity) {
+  PolicyEngine e(cfg(Strategy::HbmOnly, 100));
+  EXPECT_EQ(e.add_block(0, 100), Placement::Fast);
+  EXPECT_DEATH((void)e.add_block(1, 1), "fit in HBM");
+}
+
+TEST(PolicyStatic, TasksRunImmediatelyWithoutMovement) {
+  PolicyEngine e(cfg(Strategy::Naive, 100));
+  e.add_block(0, 60);
+  e.add_block(1, 60); // overflows to slow
+  auto cmds = e.on_task_arrived(make_task(1, 0, {{0, AccessMode::ReadWrite},
+                                                 {1, AccessMode::ReadOnly}}));
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0].kind, Command::Kind::Run);
+  EXPECT_EQ(cmds[0].task, 1u);
+  auto done = e.on_task_complete(1);
+  EXPECT_TRUE(done.empty()); // no eviction under static strategies
+  EXPECT_TRUE(e.quiescent());
+}
+
+// ---------- movement strategies: basic protocol ----------
+
+class PolicyMove : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(PolicyMove, FetchRunEvictRoundTrip) {
+  PolicyEngine e(cfg(GetParam(), 100));
+  EXPECT_EQ(e.add_block(0, 50), Placement::Slow);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  ASSERT_EQ(x.fetches.size(), 1u);
+  EXPECT_EQ(x.fetches[0].block, 0u);
+  ASSERT_EQ(x.run_order.size(), 1u);
+  EXPECT_EQ(x.run_order[0], 1u);
+  ASSERT_EQ(x.evicts.size(), 1u);
+  EXPECT_EQ(e.block_state(0), BlockState::InSlow); // evicted back
+  EXPECT_EQ(e.fast_used(), 0u);
+  EXPECT_TRUE(e.quiescent());
+}
+
+TEST_P(PolicyMove, AlreadyResidentSkipsFetch) {
+  PolicyEngine e(cfg(GetParam(), 100));
+  e.add_block(0, 30);
+  e.add_block(1, 30);
+  InstantExecutor x(e, /*auto_run=*/false);
+  // Task 1 pulls block 0 in and holds it (not completed yet).
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  ASSERT_EQ(x.fetches.size(), 1u);
+  // Task 2 (same PE) uses block 0 too: no second fetch needed.
+  x.arrive(make_task(2, 0, {{0, AccessMode::ReadOnly}}));
+  EXPECT_EQ(x.fetches.size(), 1u);
+  EXPECT_EQ(x.run_order.size(), 2u);
+  EXPECT_EQ(e.refcount(0), 2u);
+  x.complete(1);
+  EXPECT_EQ(e.block_state(0), BlockState::InFast); // still referenced
+  x.complete(2);
+  EXPECT_EQ(e.block_state(0), BlockState::InSlow); // last user evicts
+  EXPECT_TRUE(e.quiescent());
+}
+
+TEST_P(PolicyMove, BudgetBlocksAdmissionUntilEviction) {
+  PolicyEngine e(cfg(GetParam(), 100));
+  e.add_block(0, 80);
+  e.add_block(1, 80);
+  InstantExecutor x(e, /*auto_run=*/false);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  EXPECT_EQ(x.run_order.size(), 1u);
+  x.arrive(make_task(2, 0, {{1, AccessMode::ReadWrite}}));
+  // No room: task 2 must wait.
+  EXPECT_EQ(x.run_order.size(), 1u);
+  EXPECT_EQ(e.total_waiting(), 1u);
+  // Completing task 1 evicts block 0 and unblocks task 2.
+  x.complete(1);
+  EXPECT_EQ(x.run_order.size(), 2u);
+  EXPECT_EQ(x.run_order[1], 2u);
+  x.complete(2);
+  EXPECT_TRUE(e.quiescent());
+  EXPECT_EQ(e.fast_used(), 0u);
+}
+
+TEST_P(PolicyMove, SharedFetchIsDeduplicated) {
+  PolicyEngine e(cfg(GetParam(), 100, /*pes=*/2));
+  e.add_block(0, 40);
+  InstantExecutor x(e, /*auto_run=*/false);
+  // Two tasks on different PEs need the same block.  The instant
+  // executor completes the first fetch immediately, so to observe the
+  // dedup we need both arrivals before any fetch completes — use the
+  // raw API instead.
+  auto c1 = e.on_task_arrived(make_task(1, 0, {{0, AccessMode::ReadOnly}}));
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_EQ(c1[0].kind, Command::Kind::Fetch);
+  auto c2 = e.on_task_arrived(make_task(2, 1, {{0, AccessMode::ReadOnly}}));
+  // Second task must not trigger a second fetch of the same block.
+  for (const auto& c : c2) EXPECT_NE(c.kind, Command::Kind::Fetch);
+  EXPECT_EQ(e.stats().fetch_dedup_hits, 1u);
+  // One completion readies both tasks.
+  auto c3 = e.on_fetch_complete(0);
+  std::size_t runs = 0;
+  for (const auto& c : c3) runs += c.kind == Command::Kind::Run;
+  EXPECT_EQ(runs, 2u);
+  EXPECT_EQ(e.refcount(0), 2u);
+}
+
+TEST_P(PolicyMove, WorkingSetLargerThanCapacityDies) {
+  PolicyEngine e(cfg(GetParam(), 100));
+  e.add_block(0, 150);
+  EXPECT_DEATH(
+      {
+        auto cmds =
+            e.on_task_arrived(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+        (void)cmds;
+      },
+      "exceed");
+}
+
+TEST_P(PolicyMove, StatsCountTraffic) {
+  PolicyEngine e(cfg(GetParam(), 100));
+  e.add_block(0, 50);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  x.arrive(make_task(2, 0, {{0, AccessMode::ReadWrite}}));
+  const auto& s = e.stats();
+  EXPECT_EQ(s.tasks_run, 2u);
+  EXPECT_EQ(s.fetches, 2u); // re-fetched after eager eviction
+  EXPECT_EQ(s.fetch_bytes, 100u);
+  EXPECT_EQ(s.evicts, 2u);
+  EXPECT_EQ(s.evict_bytes, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMoving, PolicyMove,
+                         ::testing::Values(Strategy::SingleIo,
+                                           Strategy::SyncNoIo,
+                                           Strategy::MultiIo),
+                         [](const auto& pi) { return strategy_name(pi.param); });
+
+// ---------- strategy-specific behaviour ----------
+
+TEST(PolicySingleIo, AllFetchesGoToAgentZero) {
+  PolicyEngine e(cfg(Strategy::SingleIo, 1000, /*pes=*/4));
+  for (BlockId b = 0; b < 4; ++b) e.add_block(b, 10);
+  InstantExecutor x(e, /*auto_run=*/false);
+  for (TaskId t = 0; t < 4; ++t) {
+    x.arrive(make_task(t + 1, static_cast<std::int32_t>(t),
+                       {{t, AccessMode::ReadWrite}}));
+  }
+  ASSERT_EQ(x.fetches.size(), 4u);
+  for (const auto& f : x.fetches) EXPECT_EQ(f.agent, 0);
+}
+
+TEST(PolicySingleIo, RoundRobinServesQueuesFairly) {
+  // Fill the budget with a holder task, queue two tasks per PE, then
+  // release.  The freed capacity fits exactly two admissions; the IO
+  // thread must take one from EACH queue (the paper's load-balance
+  // rationale for per-PE wait queues), not two from the first.
+  PolicyEngine e(cfg(Strategy::SingleIo, 20, /*pes=*/2));
+  for (BlockId b = 0; b < 4; ++b) e.add_block(b, 10);
+  e.add_block(9, 20); // budget holder
+  InstantExecutor x(e, /*auto_run=*/false);
+  x.arrive(make_task(100, 0, {{9, AccessMode::ReadWrite}}));
+  ASSERT_EQ(x.run_order.size(), 1u);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  x.arrive(make_task(2, 0, {{1, AccessMode::ReadWrite}}));
+  x.arrive(make_task(3, 1, {{2, AccessMode::ReadWrite}}));
+  x.arrive(make_task(4, 1, {{3, AccessMode::ReadWrite}}));
+  EXPECT_EQ(e.total_waiting(), 4u);
+  x.fetches.clear();
+  x.complete(100); // evicts the holder, freeing 20 bytes
+  // One admission per queue: blocks 0 (PE0 head) and 2 (PE1 head).
+  std::vector<BlockId> fetched;
+  for (const auto& f : x.fetches) fetched.push_back(f.block);
+  std::sort(fetched.begin(), fetched.end());
+  ASSERT_EQ(fetched.size(), 2u);
+  EXPECT_EQ(fetched[0], 0u);
+  EXPECT_EQ(fetched[1], 2u);
+  EXPECT_EQ(e.total_waiting(), 2u);
+}
+
+TEST(PolicySyncNoIo, FetchesAreWorkerInline) {
+  PolicyEngine e(cfg(Strategy::SyncNoIo, 100));
+  e.add_block(0, 50);
+  auto cmds = e.on_task_arrived(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0].kind, Command::Kind::Fetch);
+  EXPECT_EQ(cmds[0].agent, kWorkerInline);
+  EXPECT_EQ(cmds[0].pe, 0);
+}
+
+TEST(PolicySyncNoIo, EvictionsAreWorkerInline) {
+  PolicyEngine e(cfg(Strategy::SyncNoIo, 100));
+  e.add_block(0, 50);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  ASSERT_EQ(x.evicts.size(), 1u);
+  EXPECT_EQ(x.evicts[0].agent, kWorkerInline);
+}
+
+TEST(PolicyMultiIo, FetchAgentIsHomePe) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100, /*pes=*/4));
+  e.add_block(0, 50);
+  auto cmds = e.on_task_arrived(make_task(1, 3, {{0, AccessMode::ReadWrite}}));
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0].kind, Command::Kind::Fetch);
+  EXPECT_EQ(cmds[0].agent, 3);
+}
+
+TEST(PolicyMultiIo, EvictAgentIsHomePeByDefault) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100, /*pes=*/4));
+  e.add_block(0, 50);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 2, {{0, AccessMode::ReadWrite}}));
+  ASSERT_EQ(x.evicts.size(), 1u);
+  EXPECT_EQ(x.evicts[0].agent, 2);
+}
+
+TEST(PolicyMultiIo, EvictByWorkerOption) {
+  auto c = cfg(Strategy::MultiIo, 100, 4);
+  c.evict_by_worker = true;
+  PolicyEngine e(c);
+  e.add_block(0, 50);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 2, {{0, AccessMode::ReadWrite}}));
+  ASSERT_EQ(x.evicts.size(), 1u);
+  EXPECT_EQ(x.evicts[0].agent, kWorkerInline);
+}
+
+// ---------- write-only fast path ----------
+
+TEST(PolicyWriteOnly, NocopyFlagPropagates) {
+  auto c = cfg(Strategy::MultiIo, 100);
+  c.writeonly_nocopy = true;
+  PolicyEngine e(c);
+  e.add_block(0, 30);
+  e.add_block(1, 30);
+  auto cmds = e.on_task_arrived(make_task(
+      1, 0, {{0, AccessMode::ReadOnly}, {1, AccessMode::WriteOnly}}));
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_FALSE(cmds[0].nocopy);
+  EXPECT_TRUE(cmds[1].nocopy);
+}
+
+TEST(PolicyWriteOnly, DefaultAlwaysCopies) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  e.add_block(0, 30);
+  auto cmds = e.on_task_arrived(make_task(1, 0, {{0, AccessMode::WriteOnly}}));
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_FALSE(cmds[0].nocopy);
+}
+
+// ---------- lazy eviction (LRU extension) ----------
+
+TEST(PolicyLazy, BlocksStayWarmUntilSpaceNeeded) {
+  auto c = cfg(Strategy::MultiIo, 100);
+  c.eager_evict = false;
+  PolicyEngine e(c);
+  e.add_block(0, 60);
+  e.add_block(1, 60);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  // No eviction on completion: block 0 parked warm.
+  EXPECT_EQ(x.evicts.size(), 0u);
+  EXPECT_EQ(e.block_state(0), BlockState::InFast);
+  EXPECT_EQ(e.lru_size(), 1u);
+  // Task needing block 1 forces reclaim of block 0.
+  x.arrive(make_task(2, 0, {{1, AccessMode::ReadWrite}}));
+  EXPECT_GE(x.evicts.size(), 1u);
+  EXPECT_EQ(x.evicts[0].block, 0u);
+  EXPECT_EQ(x.run_order.size(), 2u);
+}
+
+TEST(PolicyLazy, WarmReuseSkipsRefetch) {
+  auto c = cfg(Strategy::MultiIo, 100);
+  c.eager_evict = false;
+  PolicyEngine e(c);
+  e.add_block(0, 50);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  EXPECT_EQ(x.fetches.size(), 1u);
+  x.arrive(make_task(2, 0, {{0, AccessMode::ReadWrite}}));
+  // Second task reuses the warm block: no new fetch, reclaim counted.
+  EXPECT_EQ(x.fetches.size(), 1u);
+  EXPECT_EQ(e.stats().lru_reclaims, 1u);
+  EXPECT_EQ(e.stats().fetches, 1u);
+}
+
+// ---------- misuse detection ----------
+
+TEST(PolicyErrors, DuplicateTaskIdDies) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  e.add_block(0, 10);
+  InstantExecutor x(e, false);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadOnly}}));
+  EXPECT_DEATH(
+      { auto c = e.on_task_arrived(make_task(1, 0, {})); (void)c; },
+      "duplicate task");
+}
+
+TEST(PolicyErrors, UnknownBlockDies) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  EXPECT_DEATH(
+      {
+        auto c =
+            e.on_task_arrived(make_task(1, 0, {{7, AccessMode::ReadOnly}}));
+        (void)c;
+      },
+      "unregistered block");
+}
+
+TEST(PolicyErrors, DuplicateDepDies) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  e.add_block(0, 10);
+  EXPECT_DEATH(
+      {
+        auto c = e.on_task_arrived(make_task(
+            1, 0, {{0, AccessMode::ReadOnly}, {0, AccessMode::ReadWrite}}));
+        (void)c;
+      },
+      "duplicate dependence");
+}
+
+TEST(PolicyErrors, CompleteBeforeRunDies) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  e.add_block(0, 200); // won't be admitted (wedge is a different path)
+  EXPECT_DEATH({ auto c = e.on_task_complete(99); (void)c; },
+               "unknown task");
+}
+
+TEST(PolicyErrors, StrayFetchCompleteDies) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  e.add_block(0, 10);
+  EXPECT_DEATH({ auto c = e.on_fetch_complete(0); (void)c; },
+               "not being fetched");
+}
+
+TEST(PolicyErrors, RemoveClaimedBlockDies) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  e.add_block(0, 10);
+  InstantExecutor x(e, false);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadOnly}}));
+  EXPECT_DEATH(e.remove_block(0), "claimed");
+}
+
+TEST(PolicyErrors, RemoveIdleBlockWorks) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  e.add_block(0, 10);
+  e.remove_block(0);
+  EXPECT_DEATH((void)e.block_state(0), "unknown block");
+}
+
+} // namespace
+} // namespace hmr::ooc

@@ -1,0 +1,328 @@
+// Tests for the threaded charm-lite runtime: message delivery,
+// prefetch interception, real block migration around task execution,
+// quiescence, and strategy coverage.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include "rt/chare.hpp"
+#include "rt/io_handle.hpp"
+#include "rt/runtime.hpp"
+#include "util/units.hpp"
+
+namespace hmr::rt {
+namespace {
+
+Runtime::Config small_config(ooc::Strategy s, int pes = 2) {
+  Runtime::Config cfg;
+  cfg.strategy = s;
+  cfg.num_pes = pes;
+  cfg.mem_scale = 1.0 / 4096; // 4 MiB fast / 24 MiB slow
+  return cfg;
+}
+
+TEST(Runtime, PlainMessagesExecute) {
+  Runtime rt(small_config(ooc::Strategy::MultiIo));
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    rt.send(i % 2, [&count] { count.fetch_add(1); });
+  }
+  rt.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Runtime, PlainMessagesKeepPerPeFifoOrder) {
+  Runtime rt(small_config(ooc::Strategy::MultiIo, /*pes=*/1));
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    rt.send(0, [&order, i] { order.push_back(i); });
+  }
+  rt.wait_idle();
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(Runtime, PrefetchTaskSeesBlockInFastTier) {
+  auto cfg = small_config(ooc::Strategy::MultiIo);
+  Runtime rt(cfg);
+  IoHandle<double> h(rt, 1024);
+  const auto fast = cfg.model.fast;
+  const auto slow = cfg.model.slow;
+  // Movement strategies place fresh blocks on the slow tier.
+  EXPECT_EQ(rt.memory().block_tier(h.id()), slow);
+
+  std::atomic<int> seen_tier{-1};
+  rt.send_prefetch(0, {h.dep(ooc::AccessMode::ReadWrite)},
+                   [&rt, &h, &seen_tier] {
+                     seen_tier = static_cast<int>(
+                         rt.memory().block_tier(h.id()));
+                   });
+  rt.wait_idle();
+  EXPECT_EQ(seen_tier.load(), static_cast<int>(fast));
+  // Eager eviction returns it to the slow tier at quiescence.
+  EXPECT_EQ(rt.memory().block_tier(h.id()), slow);
+}
+
+TEST(Runtime, DataSurvivesMigrationRoundTrips) {
+  Runtime rt(small_config(ooc::Strategy::MultiIo));
+  IoHandle<std::uint64_t> h(rt, 4096);
+  for (std::uint64_t i = 0; i < h.size(); ++i) h[i] = i;
+  // 20 tasks each increment every element; data migrates slow->fast
+  // and back around every task.
+  for (int t = 0; t < 20; ++t) {
+    rt.send_prefetch(t % 2, {h.dep(ooc::AccessMode::ReadWrite)}, [&h] {
+      for (std::uint64_t i = 0; i < h.size(); ++i) h[i] += 1;
+    });
+    rt.wait_idle(); // serialize increments across PEs
+  }
+  for (std::uint64_t i = 0; i < h.size(); ++i) {
+    ASSERT_EQ(h[i], i + 20);
+  }
+  const auto st = rt.policy_stats();
+  EXPECT_EQ(st.tasks_run, 20u);
+  EXPECT_EQ(st.fetches, 20u);
+  EXPECT_EQ(st.evicts, 20u);
+}
+
+class RuntimeStrategies : public ::testing::TestWithParam<ooc::Strategy> {};
+
+TEST_P(RuntimeStrategies, ManyTasksOverflowTheFastTier) {
+  // 16 blocks x 512 KiB = 8 MiB working set vs 4 MiB fast tier: data
+  // must stream through. Every task checks its block's content.
+  Runtime rt(small_config(GetParam(), /*pes=*/4));
+  constexpr int kBlocks = 16;
+  std::vector<IoHandle<double>> hs;
+  hs.reserve(kBlocks);
+  for (int b = 0; b < kBlocks; ++b) {
+    hs.emplace_back(rt, 64 * KiB); // 512 KiB each
+    for (std::uint64_t i = 0; i < hs.back().size(); i += 97) {
+      hs.back()[i] = b + 1;
+    }
+  }
+  std::atomic<int> ok{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int b = 0; b < kBlocks; ++b) {
+      auto& h = hs[static_cast<std::size_t>(b)];
+      rt.send_prefetch(b % 4, {h.dep(ooc::AccessMode::ReadOnly)},
+                       [&h, &ok, b] {
+                         bool good = true;
+                         for (std::uint64_t i = 0; i < h.size(); i += 97) {
+                           good &= h[i] == b + 1;
+                         }
+                         if (good) ok.fetch_add(1);
+                       });
+    }
+    rt.wait_idle();
+  }
+  EXPECT_EQ(ok.load(), 3 * kBlocks);
+  if (ooc::strategy_moves_data(GetParam())) {
+    EXPECT_GT(rt.policy_stats().fetch_bytes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, RuntimeStrategies,
+    ::testing::Values(ooc::Strategy::Naive, ooc::Strategy::SingleIo,
+                      ooc::Strategy::SyncNoIo, ooc::Strategy::MultiIo),
+    [](const auto& pi) { return ooc::strategy_name(pi.param); });
+
+TEST(Runtime, NaivePlacementPacksFastTierFirst) {
+  auto cfg = small_config(ooc::Strategy::Naive);
+  Runtime rt(cfg);
+  // Fast tier is 4 MiB: the first three 1.5 MiB blocks cannot all fit.
+  IoHandle<double> h1(rt, 192 * KiB), h2(rt, 192 * KiB), h3(rt, 192 * KiB);
+  EXPECT_EQ(rt.memory().block_tier(h1.id()), cfg.model.fast);
+  EXPECT_EQ(rt.memory().block_tier(h2.id()), cfg.model.fast);
+  EXPECT_EQ(rt.memory().block_tier(h3.id()), cfg.model.slow);
+}
+
+TEST(Runtime, MemoryPoolOptionWorks) {
+  auto cfg = small_config(ooc::Strategy::MultiIo);
+  cfg.memory_pool = true;
+  Runtime rt(cfg);
+  IoHandle<double> h(rt, 64 * KiB);
+  std::atomic<int> runs{0};
+  for (int t = 0; t < 8; ++t) {
+    rt.send_prefetch(0, {h.dep(ooc::AccessMode::ReadWrite)},
+                     [&runs] { runs.fetch_add(1); });
+    rt.wait_idle();
+  }
+  EXPECT_EQ(runs.load(), 8);
+  // Migration buffers got recycled through the pool.
+  EXPECT_GT(rt.memory().usage(cfg.model.fast).pooled, 0u);
+}
+
+TEST(Runtime, SharedReadOnlyBlockRefcounting) {
+  Runtime rt(small_config(ooc::Strategy::MultiIo, /*pes=*/4));
+  IoHandle<double> shared(rt, 64 * KiB);
+  shared[0] = 42.0;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 16; ++i) {
+    rt.send_prefetch(i % 4, {shared.dep(ooc::AccessMode::ReadOnly)},
+                     [&shared, &ok] {
+                       if (shared[0] == 42.0) ok.fetch_add(1);
+                     });
+  }
+  rt.wait_idle();
+  EXPECT_EQ(ok.load(), 16);
+  // Sharing must dedup some fetches (16 tasks, far fewer migrations).
+  EXPECT_LT(rt.policy_stats().fetches, 16u);
+}
+
+TEST(Runtime, TracerRecordsCompute) {
+  auto cfg = small_config(ooc::Strategy::MultiIo);
+  cfg.trace = true;
+  Runtime rt(cfg);
+  IoHandle<double> h(rt, 16 * KiB);
+  rt.send_prefetch(0, {h.dep(ooc::AccessMode::ReadWrite)}, [] {
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + 1;
+  });
+  rt.wait_idle();
+  const auto s = rt.tracer().summarize();
+  EXPECT_GE(s.count_of(trace::Category::Compute), 1u);
+  EXPECT_GE(s.count_of(trace::Category::Prefetch), 1u);
+}
+
+TEST(Runtime, TasksFromTasksWork) {
+  // Entry methods can send further messages (charm-style chaining).
+  Runtime rt(small_config(ooc::Strategy::MultiIo));
+  IoHandle<double> h(rt, 16 * KiB);
+  std::atomic<int> chain{0};
+  std::function<void(int)> launch = [&](int depth) {
+    rt.send_prefetch(depth % 2, {h.dep(ooc::AccessMode::ReadWrite)},
+                     [&, depth] {
+                       chain.fetch_add(1);
+                       if (depth < 9) launch(depth + 1);
+                     });
+  };
+  launch(0);
+  rt.wait_idle();
+  EXPECT_EQ(chain.load(), 10);
+}
+
+TEST(Runtime, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    Runtime rt(small_config(ooc::Strategy::SyncNoIo));
+    IoHandle<double> h(rt, 16 * KiB);
+    for (int i = 0; i < 10; ++i) {
+      rt.send_prefetch(i % 2, {h.dep(ooc::AccessMode::ReadWrite)},
+                       [&count] { count.fetch_add(1); });
+    }
+    // No wait_idle: the destructor must drain.
+  }
+  EXPECT_EQ(count.load(), 10);
+}
+
+} // namespace
+} // namespace hmr::rt
+
+namespace hmr::rt {
+namespace {
+
+TEST(Runtime, FreeBlockReleasesCapacity) {
+  Runtime rt(small_config(ooc::Strategy::MultiIo));
+  const auto slow = rt.config().model.slow;
+  const auto used_before = rt.memory().usage(slow).used;
+  mem::BlockId b;
+  {
+    IoHandle<double> h(rt, 64 * KiB);
+    b = h.id();
+    EXPECT_GT(rt.memory().usage(slow).used, used_before);
+    rt.free_block(b);
+  }
+  EXPECT_EQ(rt.memory().usage(slow).used, used_before);
+}
+
+TEST(Runtime, FreeClaimedBlockDies) {
+  Runtime rt(small_config(ooc::Strategy::Naive));
+  IoHandle<double> h(rt, 16 * KiB);
+  // Naive: no claims ever; freeing mid-flight is a task-time concern,
+  // so exercise the engine-side guard with an unknown id instead.
+  rt.free_block(h.id());
+  EXPECT_DEATH(rt.free_block(h.id()), "dead block|unknown block");
+}
+
+TEST(Runtime, WriteonlyNocopySkipsTheCopyButKeepsWrites) {
+  auto cfg = small_config(ooc::Strategy::MultiIo);
+  cfg.writeonly_nocopy = true;
+  Runtime rt(cfg);
+  IoHandle<double> in(rt, 16 * KiB);
+  IoHandle<double> out(rt, 16 * KiB);
+  for (std::uint64_t i = 0; i < in.size(); ++i) in[i] = double(i);
+  rt.send_prefetch(0,
+                   {in.dep(ooc::AccessMode::ReadOnly),
+                    out.dep(ooc::AccessMode::WriteOnly)},
+                   [&] {
+                     // `out` arrived without its old contents; the task
+                     // fully overwrites it, as WriteOnly promises.
+                     for (std::uint64_t i = 0; i < out.size(); ++i) {
+                       out[i] = in[i] * 3.0;
+                     }
+                   });
+  rt.wait_idle();
+  for (std::uint64_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], 3.0 * double(i));
+  }
+}
+
+TEST(Runtime, EvictByWorkerOptionRuns) {
+  auto cfg = small_config(ooc::Strategy::MultiIo);
+  cfg.evict_by_worker = true;
+  Runtime rt(cfg);
+  IoHandle<double> h(rt, 32 * KiB);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 6; ++i) {
+    rt.send_prefetch(i % 2, {h.dep(ooc::AccessMode::ReadWrite)},
+                     [&runs] { runs.fetch_add(1); });
+    rt.wait_idle();
+  }
+  EXPECT_EQ(runs.load(), 6);
+  EXPECT_EQ(rt.policy_stats().evicts, 6u);
+}
+
+TEST(Runtime, LazyEvictionKeepsBlocksWarm) {
+  auto cfg = small_config(ooc::Strategy::MultiIo);
+  cfg.eager_evict = false;
+  Runtime rt(cfg);
+  const auto fast = rt.config().model.fast;
+  IoHandle<double> h(rt, 64 * KiB);
+  for (int i = 0; i < 4; ++i) {
+    rt.send_prefetch(0, {h.dep(ooc::AccessMode::ReadWrite)}, [] {});
+    rt.wait_idle();
+    // Lazy: the block stays parked in the fast tier between tasks.
+    EXPECT_EQ(rt.memory().block_tier(h.id()), fast);
+  }
+  // One fetch total: subsequent tasks reuse the warm block.
+  EXPECT_EQ(rt.policy_stats().fetches, 1u);
+  EXPECT_EQ(rt.policy_stats().lru_reclaims, 3u);
+}
+
+} // namespace
+} // namespace hmr::rt
+
+namespace hmr::rt {
+namespace {
+
+TEST(Runtime, ThreadPinningOptionRuns) {
+  // Functional smoke test: pinning must not break execution even when
+  // the host has fewer cores than threads (it degrades to a no-op).
+  auto cfg = small_config(ooc::Strategy::MultiIo, /*pes=*/2);
+  cfg.pin_threads = true;
+  Runtime rt(cfg);
+  IoHandle<double> h(rt, 16 * KiB);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 4; ++i) {
+    rt.send_prefetch(i % 2, {h.dep(ooc::AccessMode::ReadWrite)},
+                     [&runs] { runs.fetch_add(1); });
+  }
+  rt.wait_idle();
+  EXPECT_EQ(runs.load(), 4);
+}
+
+} // namespace
+} // namespace hmr::rt

@@ -1,0 +1,124 @@
+// Tests for the fluid-flow TransferChannel model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/transfer_channel.hpp"
+
+namespace hmr::sim {
+namespace {
+
+TEST(TransferChannel, SingleFlowRunsAtPerFlowRate) {
+  TransferChannel ch(/*per_flow=*/10.0, /*aggregate=*/40.0);
+  ch.add_flow(1, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(ch.current_rate(), 10.0);
+  EXPECT_DOUBLE_EQ(ch.next_completion(0.0), 10.0);
+  auto done = ch.advance(10.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 1u);
+  EXPECT_FALSE(ch.has_flows());
+}
+
+TEST(TransferChannel, ManyFlowsShareAggregate) {
+  TransferChannel ch(10.0, 40.0);
+  // 8 flows: fair share 5 < per-flow 10.
+  for (std::uint64_t i = 0; i < 8; ++i) ch.add_flow(i, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(ch.current_rate(), 5.0);
+  EXPECT_DOUBLE_EQ(ch.next_completion(0.0), 20.0);
+}
+
+TEST(TransferChannel, RateRisesAsFlowsComplete) {
+  TransferChannel ch(10.0, 40.0);
+  ch.add_flow(1, 50.0, 0.0);
+  ch.add_flow(2, 200.0, 0.0);
+  // Two flows at 10 each (per-flow bound, 2*10 < 40).
+  EXPECT_DOUBLE_EQ(ch.current_rate(), 10.0);
+  auto done = ch.advance(5.0); // flow 1 completes
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 1u);
+  // Flow 2 has 150 left at rate 10 -> completes at t=20.
+  EXPECT_DOUBLE_EQ(ch.next_completion(5.0), 20.0);
+}
+
+TEST(TransferChannel, LateJoinerSlowsEveryone) {
+  TransferChannel ch(10.0, 15.0);
+  ch.add_flow(1, 100.0, 0.0);
+  (void)ch.advance(4.0); // flow 1 at 60 remaining
+  ch.add_flow(2, 60.0, 4.0);
+  // Two flows share 15 -> 7.5 each; both complete at 4 + 60/7.5 = 12.
+  EXPECT_DOUBLE_EQ(ch.current_rate(), 7.5);
+  auto done = ch.advance(12.0);
+  EXPECT_EQ(done.size(), 2u);
+}
+
+TEST(TransferChannel, GenerationBumpsOnChange) {
+  TransferChannel ch(10.0, 40.0);
+  const auto g0 = ch.generation();
+  ch.add_flow(1, 10.0, 0.0);
+  const auto g1 = ch.generation();
+  EXPECT_NE(g0, g1);
+  (void)ch.advance(0.5); // no completion: no bump
+  EXPECT_EQ(ch.generation(), g1);
+  (void)ch.advance(1.0); // completion: bump
+  EXPECT_NE(ch.generation(), g1);
+}
+
+TEST(TransferChannel, IdleChannelReportsInfinity)
+{
+  TransferChannel ch(10.0, 40.0);
+  (void)ch.advance(3.0);
+  EXPECT_TRUE(std::isinf(ch.next_completion(3.0)));
+}
+
+TEST(TransferChannel, ConservesWork) {
+  // Total bytes delivered over time never exceeds aggregate * elapsed.
+  TransferChannel ch(10.0, 25.0);
+  double t = 0;
+  double injected = 0;
+  std::uint64_t id = 0;
+  double completed_bytes = 0;
+  const double sizes[] = {30, 70, 20, 120, 55, 10, 90, 40};
+  std::vector<double> remaining_at_add;
+  for (double sz : sizes) {
+    (void)ch.advance(t);
+    ch.add_flow(id++, sz, t);
+    injected += sz;
+    t += 1.0;
+  }
+  // Drain to the end.
+  while (ch.has_flows()) {
+    (void)ch.advance(t);
+    const double next = ch.next_completion(t);
+    auto done = ch.advance(next);
+    for (auto f : done) {
+      (void)f;
+      completed_bytes += 0; // sizes accounted via injected below
+    }
+    t = next;
+  }
+  // All bytes must have been delivered by time t, and the channel can
+  // not have moved them faster than the aggregate cap allows.
+  EXPECT_GE(t * 25.0, injected - 1e-6);
+}
+
+TEST(TransferChannel, AddWithoutAdvanceDies) {
+  TransferChannel ch(10.0, 40.0);
+  ch.add_flow(1, 10.0, 0.0);
+  EXPECT_DEATH(ch.add_flow(2, 10.0, 5.0), "without advancing");
+}
+
+TEST(TransferChannel, DuplicateFlowDies) {
+  TransferChannel ch(10.0, 40.0);
+  ch.add_flow(1, 10.0, 0.0);
+  EXPECT_DEATH(ch.add_flow(1, 10.0, 0.0), "duplicate");
+}
+
+TEST(TransferChannel, BackwardsAdvanceDies) {
+  TransferChannel ch(10.0, 40.0);
+  (void)ch.advance(5.0);
+  EXPECT_DEATH((void)ch.advance(4.0), "backwards");
+}
+
+} // namespace
+} // namespace hmr::sim

@@ -1,0 +1,205 @@
+// Tests for the workload generators (Stencil3D, MatMul, Synthetic).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/matmul_workload.hpp"
+#include "sim/stencil_workload.hpp"
+#include "sim/synthetic_workload.hpp"
+#include "util/units.hpp"
+
+namespace hmr::sim {
+namespace {
+
+TEST(StencilWorkload, BlockAccounting) {
+  StencilWorkload w({.total_bytes = 64 * MiB,
+                     .num_chares = 64,
+                     .num_pes = 8,
+                     .iterations = 3});
+  EXPECT_EQ(w.interior_bytes(), 1 * MiB);
+  // 7 blocks per chare (1 interior + 6 ghosts).
+  EXPECT_EQ(w.blocks().size(), 64u * 7);
+  // Ghost face of a 1 MiB cube: (2^17 elems)^(2/3) * 8 bytes ~ 20 KiB.
+  EXPECT_GT(w.ghost_bytes(), 8 * KiB);
+  EXPECT_LT(w.ghost_bytes(), 64 * KiB);
+  EXPECT_GT(w.total_bytes(), 64 * MiB); // ghosts add on top
+}
+
+TEST(StencilWorkload, TasksHaveSevenIndependentDeps) {
+  StencilWorkload w({.total_bytes = 8 * MiB,
+                     .num_chares = 8,
+                     .num_pes = 4,
+                     .iterations = 2});
+  const auto tasks = w.iteration_tasks(0);
+  ASSERT_EQ(tasks.size(), 8u);
+  std::set<ooc::BlockId> all_deps;
+  for (const auto& t : tasks) {
+    ASSERT_EQ(t.deps.size(), 7u);
+    EXPECT_EQ(t.deps[0].mode, ooc::AccessMode::ReadWrite);
+    for (std::size_t i = 1; i < 7; ++i) {
+      EXPECT_EQ(t.deps[i].mode, ooc::AccessMode::ReadOnly);
+    }
+    for (const auto& d : t.deps) all_deps.insert(d.block);
+  }
+  // No block sharing across stencil chares (paper §V-A).
+  EXPECT_EQ(all_deps.size(), 8u * 7);
+}
+
+TEST(StencilWorkload, TaskIdsUniqueAcrossIterations) {
+  StencilWorkload w({.total_bytes = 8 * MiB,
+                     .num_chares = 8,
+                     .num_pes = 4,
+                     .iterations = 3});
+  std::unordered_set<ooc::TaskId> ids;
+  for (int it = 0; it < 3; ++it) {
+    for (const auto& t : w.iteration_tasks(it)) {
+      EXPECT_TRUE(ids.insert(t.id).second);
+    }
+  }
+}
+
+TEST(StencilWorkload, PeMappingStableAndBalanced) {
+  StencilWorkload w({.total_bytes = 32 * MiB,
+                     .num_chares = 32,
+                     .num_pes = 8,
+                     .iterations = 2});
+  const auto t0 = w.iteration_tasks(0);
+  const auto t1 = w.iteration_tasks(1);
+  std::vector<int> per_pe(8, 0);
+  for (std::size_t i = 0; i < t0.size(); ++i) {
+    EXPECT_EQ(t0[i].pe, t1[i].pe); // chares do not migrate
+    ++per_pe[static_cast<std::size_t>(t0[i].pe)];
+  }
+  for (int n : per_pe) EXPECT_EQ(n, 4);
+}
+
+TEST(StencilWorkload, ParamsForReducedHitsTarget) {
+  const auto p = StencilWorkload::params_for_reduced(
+      32 * GiB, 2 * GiB, /*num_pes=*/64);
+  StencilWorkload w(p);
+  const auto reduced = w.reduced_bytes(64);
+  // Within 25% of the requested reduced working set (ghosts inflate).
+  EXPECT_GT(reduced, 2 * GiB * 3 / 4);
+  EXPECT_LT(reduced, 2 * GiB * 5 / 4 + 64 * w.ghost_bytes() * 6);
+  EXPECT_NEAR(static_cast<double>(w.params().total_bytes),
+              static_cast<double>(32 * GiB), 1e-6 * 32 * GiB);
+}
+
+TEST(MatmulWorkload, BlockLayout) {
+  MatmulWorkload w({.n = 64, .grid = 4, .num_pes = 4});
+  EXPECT_EQ(w.tile_bytes(), 16u * 16 * 8);
+  EXPECT_EQ(w.panel_bytes(), 16u * 64 * 8);
+  // G A-row panels + G B-column panels + G^2 C tiles, ids interleaved
+  // per grid row: [Arow_i, Bcol_i, C_i0..C_i,G-1].
+  EXPECT_EQ(w.blocks().size(), 4u + 4 + 16);
+  EXPECT_EQ(w.a_row(2), 12u);
+  EXPECT_EQ(w.b_col(2), 13u);
+  EXPECT_EQ(w.c_block(1, 2), 6u + 2 + 2);
+  // Ids are dense and ascending (the executors rely on it).
+  for (std::size_t i = 0; i < w.blocks().size(); ++i) {
+    EXPECT_EQ(w.blocks()[i].id, i);
+  }
+  // Total bytes = A + B + C = 3 n^2 * 8.
+  EXPECT_EQ(w.total_bytes(), 3u * 64 * 64 * 8);
+}
+
+TEST(MatmulWorkload, TaskStructure) {
+  MatmulWorkload w({.n = 64, .grid = 4, .num_pes = 4});
+  const auto tasks = w.iteration_tasks(0);
+  ASSERT_EQ(tasks.size(), 16u); // one task per chare (G^2)
+  for (const auto& t : tasks) {
+    ASSERT_EQ(t.deps.size(), 3u);
+    EXPECT_EQ(t.deps[0].mode, ooc::AccessMode::ReadOnly);  // A row
+    EXPECT_EQ(t.deps[1].mode, ooc::AccessMode::ReadOnly);  // B col
+    EXPECT_EQ(t.deps[2].mode, ooc::AccessMode::ReadWrite); // C tile
+  }
+}
+
+TEST(MatmulWorkload, RowMajorOrderSharesRowPanels) {
+  MatmulWorkload w({.n = 64, .grid = 4, .num_pes = 4});
+  const auto tasks = w.iteration_tasks(0);
+  // First G tasks all read A row panel 0 (adjacent consumers).
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_EQ(tasks[static_cast<std::size_t>(j)].deps[0].block, w.a_row(0));
+    EXPECT_EQ(tasks[static_cast<std::size_t>(j)].deps[1].block, w.b_col(j));
+  }
+}
+
+TEST(MatmulWorkload, SharingDegreeMatchesTheory) {
+  MatmulWorkload w({.n = 64, .grid = 4, .num_pes = 4});
+  std::unordered_map<ooc::BlockId, int> uses;
+  for (const auto& t : w.iteration_tasks(0)) {
+    for (const auto& d : t.deps) ++uses[d.block];
+  }
+  // Each A row / B column panel feeds G chares; each C tile one.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(uses[w.a_row(i)], 4);
+    EXPECT_EQ(uses[w.b_col(i)], 4);
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(uses[w.c_block(i, j)], 1);
+  }
+}
+
+TEST(MatmulWorkload, ParamsForHitsTargets) {
+  const auto p = MatmulWorkload::params_for(24 * GiB, 6 * GiB, 64);
+  MatmulWorkload w(p);
+  const double total = static_cast<double>(w.total_bytes());
+  EXPECT_NEAR(total, static_cast<double>(24 * GiB), 0.15 * 24 * GiB);
+  const double reduced = static_cast<double>(w.reduced_bytes(64));
+  EXPECT_NEAR(reduced, static_cast<double>(6 * GiB), 0.20 * 6 * GiB);
+}
+
+TEST(SyntheticWorkload, DeterministicForSeed) {
+  SyntheticWorkload::Params p;
+  p.seed = 99;
+  SyntheticWorkload a(p), b(p);
+  const auto ta = a.iteration_tasks(0);
+  const auto tb = b.iteration_tasks(0);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].pe, tb[i].pe);
+    ASSERT_EQ(ta[i].deps.size(), tb[i].deps.size());
+    for (std::size_t d = 0; d < ta[i].deps.size(); ++d) {
+      EXPECT_EQ(ta[i].deps[d].block, tb[i].deps[d].block);
+    }
+  }
+}
+
+TEST(SyntheticWorkload, NoDuplicateDepsWithinTask) {
+  SyntheticWorkload::Params p;
+  p.num_blocks = 8;
+  p.deps_per_task = 8; // forces heavy collision pressure
+  p.reuse = 0.9;
+  SyntheticWorkload w(p);
+  for (const auto& t : w.iteration_tasks(0)) {
+    std::set<ooc::BlockId> seen;
+    for (const auto& d : t.deps) {
+      EXPECT_TRUE(seen.insert(d.block).second);
+    }
+  }
+}
+
+TEST(SyntheticWorkload, ReuseRaisesBlockSharing) {
+  SyntheticWorkload::Params lo;
+  lo.num_blocks = 4096;
+  lo.tasks_per_iteration = 512;
+  lo.reuse = 0.0;
+  SyntheticWorkload::Params hi = lo;
+  hi.reuse = 0.9;
+  auto distinct = [](const SyntheticWorkload& w) {
+    std::set<ooc::BlockId> s;
+    for (const auto& t : w.iteration_tasks(0)) {
+      for (const auto& d : t.deps) s.insert(d.block);
+    }
+    return s.size();
+  };
+  EXPECT_GT(distinct(SyntheticWorkload(lo)),
+            2 * distinct(SyntheticWorkload(hi)));
+}
+
+} // namespace
+} // namespace hmr::sim
