@@ -8,6 +8,8 @@
 #include <cstring>
 #include <vector>
 
+#include "adapt/block_profiler.hpp"
+#include "adapt/placement_advisor.hpp"
 #include "mem/arena.hpp"
 #include "rt/ci_parser.hpp"
 #include "rt/load_balancer.hpp"
@@ -112,6 +114,52 @@ void BM_PolicyTaskCycle(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PolicyTaskCycle);
+
+void BM_BlockProfilerAccess(benchmark::State& state) {
+  // Per-access cost of the hotness/reuse sketch, over more live blocks
+  // than top_k so the space-saving takeover path is exercised too.
+  adapt::BlockProfiler prof({.top_k = 256});
+  Xoshiro256 rng(11);
+  for (auto _ : state) {
+    const auto b = static_cast<ooc::BlockId>(rng.below(1024));
+    prof.on_access(b, 1 * MiB, ooc::AccessMode::ReadOnly);
+    benchmark::DoNotOptimize(prof.ticks());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BlockProfilerAccess);
+
+void BM_PolicyTaskCycleAdaptive(benchmark::State& state) {
+  // BM_PolicyTaskCycle with the adaptive subsystem in the loop: the
+  // profiler fed per arrival and a PlacementAdvisor installed on the
+  // engine.  The delta against BM_PolicyTaskCycle is the guidance
+  // overhead per engine step (acceptance: < 2%).
+  ooc::PolicyEngine::Config cfg;
+  cfg.strategy = ooc::Strategy::MultiIo;
+  cfg.num_pes = 4;
+  cfg.fast_capacity = 1 * GiB;
+  ooc::PolicyEngine eng(cfg);
+  eng.add_block(0, 1 * MiB);
+  adapt::BlockProfiler prof({.top_k = 256});
+  adapt::PlacementAdvisor advisor(
+      prof, adapt::AdvisorConfig::from_model(hw::knl_flat_all_to_all()));
+  eng.set_advisor(&advisor);
+  ooc::TaskId next = 1;
+  for (auto _ : state) {
+    ooc::TaskDesc t;
+    t.id = next++;
+    t.pe = 0;
+    t.deps = {{0, ooc::AccessMode::ReadWrite}};
+    prof.on_task_arrived(t, [](ooc::BlockId) { return 1 * MiB; });
+    auto c1 = eng.on_task_arrived(t);
+    auto c2 = eng.on_fetch_complete(0);
+    auto c3 = eng.on_task_complete(t.id);
+    auto c4 = eng.on_evict_complete(0);
+    benchmark::DoNotOptimize(c1.size() + c2.size() + c3.size() + c4.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PolicyTaskCycleAdaptive);
 
 void BM_TransferChannelUpdate(benchmark::State& state) {
   const auto flows = static_cast<std::uint64_t>(state.range(0));
@@ -220,6 +268,32 @@ void BM_SimStencilIteration(benchmark::State& state) {
                           128);
 }
 BENCHMARK(BM_SimStencilIteration);
+
+void BM_SimStencilIterationAdaptive(benchmark::State& state) {
+  // BM_SimStencilIteration with the full adaptive subsystem engaged
+  // (profiler on every arrival, advisor on the engine, governor at
+  // the iteration boundary).  The delta against the plain version is
+  // the guidance overhead per simulated engine step (acceptance:
+  // < 2% wall clock).
+  for (auto _ : state) {
+    sim::StencilWorkload w({.total_bytes = 256u << 20,
+                            .num_chares = 128,
+                            .num_pes = 16,
+                            .iterations = 1});
+    sim::SimConfig cfg;
+    cfg.model = hmr::hw::knl_flat_all_to_all();
+    cfg.model.num_pes = 16;
+    cfg.strategy = hmr::ooc::Strategy::MultiIo;
+    cfg.fast_capacity = 128u << 20;
+    cfg.adaptive = true;
+    cfg.profiler_cfg.top_k = 256;
+    sim::SimExecutor ex(cfg);
+    benchmark::DoNotOptimize(ex.run(w).total_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          128);
+}
+BENCHMARK(BM_SimStencilIterationAdaptive);
 
 } // namespace
 

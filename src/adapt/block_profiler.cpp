@@ -1,0 +1,105 @@
+#include "adapt/block_profiler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hmr::adapt {
+
+BlockProfiler::BlockProfiler(ProfilerConfig cfg) : cfg_(cfg) {
+  HMR_CHECK_MSG(cfg_.top_k > 0, "profiler needs a nonzero sketch size");
+  HMR_CHECK(cfg_.hotness_alpha > 0 && cfg_.hotness_alpha <= 1.0);
+  HMR_CHECK(cfg_.reuse_alpha > 0 && cfg_.reuse_alpha <= 1.0);
+  HMR_CHECK(cfg_.evict_sample > 0);
+  slots_.reserve(cfg_.top_k);
+  touched_.reserve(cfg_.top_k);
+}
+
+std::size_t BlockProfiler::slot_for(ooc::BlockId b, std::uint64_t bytes) {
+  if (const auto it = index_.find(b); it != index_.end()) return it->second;
+
+  if (slots_.size() < cfg_.top_k) {
+    const std::size_t s = slots_.size();
+    BlockProfile p;
+    p.block = b;
+    p.bytes = bytes;
+    slots_.push_back(p);
+    touched_.push_back(0);
+    index_.emplace(b, s);
+    return s;
+  }
+
+  // Space-saving takeover: displace the lowest-count slot of a small
+  // rotating sample.  The newcomer inherits the victim's count as its
+  // error bound, so a genuine heavy hitter's (large) count protects it.
+  std::size_t victim = evict_cursor_ % slots_.size();
+  for (std::size_t i = 0; i < cfg_.evict_sample; ++i) {
+    const std::size_t s = (evict_cursor_ + i) % slots_.size();
+    if (slots_[s].accesses < slots_[victim].accesses) victim = s;
+  }
+  evict_cursor_ = (evict_cursor_ + cfg_.evict_sample) % slots_.size();
+
+  BlockProfile& p = slots_[victim];
+  index_.erase(p.block);
+  const std::uint64_t inherited = p.accesses;
+  p = BlockProfile{};
+  p.block = b;
+  p.bytes = bytes;
+  p.accesses = inherited;
+  p.count_error = inherited;
+  index_.emplace(b, victim);
+  touched_[victim] = 0;
+  return victim;
+}
+
+void BlockProfiler::on_access(ooc::BlockId b, std::uint64_t bytes,
+                              ooc::AccessMode mode) {
+  ++tick_;
+  ++cur_.accesses;
+  const std::size_t s = slot_for(b, bytes);
+  BlockProfile& p = slots_[s];
+  p.bytes = bytes;
+  if (p.accesses > p.count_error && p.last_tick > 0) {
+    // A genuine repeat touch: fold the gap into the reuse EWMA.
+    const auto gap = static_cast<double>(tick_ - p.last_tick);
+    p.reuse_distance = p.reuse_distance < 0
+                           ? gap
+                           : cfg_.reuse_alpha * gap +
+                                 (1.0 - cfg_.reuse_alpha) * p.reuse_distance;
+  }
+  ++p.accesses;
+  ++p.phase_accesses;
+  if (mode == ooc::AccessMode::ReadOnly) ++p.readonly_accesses;
+  p.last_tick = tick_;
+  if (!touched_[s]) {
+    touched_[s] = 1;
+    ++cur_.unique_blocks;
+    cur_.unique_bytes += bytes;
+  }
+}
+
+void BlockProfiler::on_fetch(ooc::BlockId b, std::uint64_t bytes) {
+  (void)b;
+  cur_.fetched_bytes += bytes;
+}
+
+PhaseSummary BlockProfiler::end_phase() {
+  const PhaseSummary out = cur_;
+  cur_ = PhaseSummary{};
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    BlockProfile& p = slots_[s];
+    p.hotness = cfg_.hotness_alpha * static_cast<double>(p.phase_accesses) +
+                (1.0 - cfg_.hotness_alpha) * p.hotness;
+    p.phase_accesses = 0;
+    touched_[s] = 0;
+  }
+  ++phases_;
+  return out;
+}
+
+const BlockProfile* BlockProfiler::find(ooc::BlockId b) const {
+  const auto it = index_.find(b);
+  return it == index_.end() ? nullptr : &slots_[it->second];
+}
+
+} // namespace hmr::adapt

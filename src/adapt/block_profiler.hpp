@@ -1,0 +1,138 @@
+#pragma once
+// BlockProfiler: bounded online profile of per-block access behaviour,
+// the sensing half of the adaptive guidance subsystem (docs/ADAPTIVE.md).
+//
+// Fed from the engine events the executors already see — a task arrival
+// touches each dependence block once; a Fetch command marks migrated
+// bytes — the profiler maintains, per tracked block:
+//   * an access count (and the read-only share of it),
+//   * an EWMA hotness in accesses/phase, folded at end_phase(),
+//   * an approximate reuse distance: the EWMA gap, in global accesses,
+//     between consecutive touches of the block (recency stands in for
+//     stack distance, the classic streaming approximation).
+//
+// Memory is bounded by construction: at most `top_k` blocks are
+// tracked, via a space-saving heavy-hitter sketch (Metwally et al.).
+// When the table is full, a new block takes over the slot of a
+// low-count victim and inherits its count as `count_error`, so counts
+// are upper bounds and true heavy hitters cannot be displaced by a
+// stream of one-shot blocks.  Victim selection scans a small rotating
+// sample of slots instead of the whole table, keeping the per-access
+// cost O(1); the sketch stays a sketch either way.
+//
+// Like ooc::PolicyEngine, this is a pure state machine: no clock, no
+// threads, no dependency on sim/ or rt/.  Callers serialize.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ooc/types.hpp"
+
+namespace hmr::adapt {
+
+struct ProfilerConfig {
+  /// Sketch capacity: the hard bound on tracked blocks (the config
+  /// knob the bounded-memory guarantee hangs off).
+  std::size_t top_k = 256;
+  /// EWMA weight of the newest phase's access count in `hotness`.
+  double hotness_alpha = 0.3;
+  /// EWMA weight of the newest access gap in `reuse_distance`.
+  double reuse_alpha = 0.3;
+  /// Victim-sample width for the space-saving takeover scan.
+  std::size_t evict_sample = 8;
+};
+
+struct BlockProfile {
+  ooc::BlockId block = mem::kInvalidBlock;
+  std::uint64_t bytes = 0;
+  /// Space-saving access count (an upper bound; see count_error).
+  std::uint64_t accesses = 0;
+  /// Overestimate inherited when this block took over a slot.
+  std::uint64_t count_error = 0;
+  std::uint64_t readonly_accesses = 0;
+  /// Accesses in the phase currently being accumulated.
+  std::uint64_t phase_accesses = 0;
+  /// Global access tick of the most recent touch.
+  std::uint64_t last_tick = 0;
+  /// EWMA accesses per phase (0 until the first end_phase()).
+  double hotness = 0;
+  /// EWMA gap between touches in global accesses; negative until the
+  /// block has been touched at least twice (never reused so far).
+  double reuse_distance = -1.0;
+
+  /// Hotness estimate usable mid-phase: the folded EWMA or, before the
+  /// first fold, what the current phase has seen.
+  double expected_accesses_per_phase() const {
+    return hotness > 0 ? hotness : static_cast<double>(phase_accesses);
+  }
+  double readonly_fraction() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(readonly_accesses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// What one phase (iteration) touched, returned by end_phase().
+struct PhaseSummary {
+  std::uint64_t accesses = 0;
+  /// Distinct tracked blocks touched this phase and their bytes.  An
+  /// under-approximation when more than top_k blocks are live — the
+  /// sketch cannot see what it is not tracking (documented bias).
+  std::uint64_t unique_blocks = 0;
+  std::uint64_t unique_bytes = 0;
+  /// Bytes reported via on_fetch this phase.
+  std::uint64_t fetched_bytes = 0;
+};
+
+class BlockProfiler {
+public:
+  explicit BlockProfiler(ProfilerConfig cfg);
+
+  const ProfilerConfig& config() const { return cfg_; }
+
+  /// One task dependence touched `b`.  `mode` feeds the read-only
+  /// share used by the advisor's pin rule.
+  void on_access(ooc::BlockId b, std::uint64_t bytes, ooc::AccessMode mode);
+
+  /// Convenience: one on_access per dependence of `t`, with bytes
+  /// resolved by the caller-supplied table (executors know block
+  /// sizes; the profiler does not keep its own registry).
+  template <typename BytesFn>
+  void on_task_arrived(const ooc::TaskDesc& t, BytesFn&& bytes_of) {
+    for (const auto& d : t.deps) on_access(d.block, bytes_of(d.block), d.mode);
+  }
+
+  /// The executor issued (or observed) a fetch of `b`.
+  void on_fetch(ooc::BlockId b, std::uint64_t bytes);
+
+  /// Phase boundary: fold phase access counts into the hotness EWMAs,
+  /// reset per-phase state, and return what the phase touched.
+  PhaseSummary end_phase();
+
+  /// Profile of `b`, or nullptr when the sketch is not tracking it
+  /// (which itself is signal: not tracked => not a heavy hitter).
+  const BlockProfile* find(ooc::BlockId b) const;
+
+  /// Number of tracked blocks; <= config().top_k always.
+  std::size_t tracked() const { return slots_.size(); }
+  std::uint64_t ticks() const { return tick_; }
+  int phases() const { return phases_; }
+
+  /// All tracked profiles (tests, debugging dumps).
+  const std::vector<BlockProfile>& profiles() const { return slots_; }
+
+private:
+  std::size_t slot_for(ooc::BlockId b, std::uint64_t bytes);
+
+  ProfilerConfig cfg_;
+  std::vector<BlockProfile> slots_;
+  std::unordered_map<ooc::BlockId, std::size_t> index_;
+  std::vector<std::uint8_t> touched_; // per-slot "seen this phase" flag
+  std::uint64_t tick_ = 0;
+  std::size_t evict_cursor_ = 0;
+  int phases_ = 0;
+  PhaseSummary cur_;
+};
+
+} // namespace hmr::adapt

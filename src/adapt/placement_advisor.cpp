@@ -1,0 +1,84 @@
+#include "adapt/placement_advisor.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hmr::adapt {
+
+AdvisorConfig AdvisorConfig::from_model(const hw::MachineModel& m) {
+  AdvisorConfig c;
+  const auto& fast = m.tier(m.fast);
+  const auto& slow = m.tier(m.slow);
+  const auto pes = static_cast<double>(m.num_pes);
+  // Per-access saving per byte at full concurrency: each PE's share of
+  // a tier's read bandwidth is bw/num_pes, so a byte read from the
+  // fast tier instead of the slow one saves pes/slow_bw - pes/fast_bw
+  // seconds (the compute_time2 roofline terms).
+  c.saved_seconds_per_byte_access =
+      pes / slow.read_bw - pes / fast.read_bw;
+  // Loaded channel: when every PE's data is in flight, a flow gets
+  // channel_capacity/num_pes — the regime where bypass matters.  With
+  // headroom the governor never arms bypass, so the loaded rate is the
+  // right cost basis.
+  c.fetch_seconds_per_byte_loaded =
+      pes / m.channel_capacity(m.slow, m.fast);
+  c.evict_seconds_per_byte_loaded =
+      pes / m.channel_capacity(m.fast, m.slow);
+  c.migration_fixed_seconds = m.alloc_overhead;
+  return c;
+}
+
+PlacementAdvisor::PlacementAdvisor(const BlockProfiler& profiler,
+                                   AdvisorConfig cfg)
+    : profiler_(&profiler), cfg_(cfg) {
+  HMR_CHECK(cfg_.pin_min_hotness >= 0 && cfg_.demote_max_hotness >= 0);
+  HMR_CHECK(cfg_.pin_min_readonly_frac >= 0 &&
+            cfg_.pin_min_readonly_frac <= 1.0);
+}
+
+double PlacementAdvisor::break_even_accesses(std::uint64_t bytes) const {
+  const auto b = static_cast<double>(bytes);
+  const double saving = b * cfg_.saved_seconds_per_byte_access;
+  if (saving <= 0) return std::numeric_limits<double>::infinity();
+  // Round trip: the fetch now plus the evict eager mode pays later,
+  // each with its fixed alloc/free overhead.
+  const double cost = 2.0 * cfg_.migration_fixed_seconds +
+                      b * (cfg_.fetch_seconds_per_byte_loaded +
+                           cfg_.evict_seconds_per_byte_loaded);
+  return cost / saving;
+}
+
+ooc::BlockAdvice PlacementAdvisor::advise(ooc::BlockId b,
+                                          std::uint64_t bytes) const {
+  ooc::BlockAdvice a;
+  const BlockProfile* p = profiler_->find(b);
+  if (p == nullptr) {
+    // Not in the top-K sketch: by construction not a heavy hitter, so
+    // it is a fine early reclaim victim — but never bypass on no data.
+    a.demote_first = cfg_.enable_demote;
+    return a;
+  }
+
+  const double hot = p->expected_accesses_per_phase();
+  if (cfg_.enable_pin && hot >= cfg_.pin_min_hotness &&
+      p->readonly_fraction() >= cfg_.pin_min_readonly_frac &&
+      p->reuse_distance >= 0 &&
+      p->reuse_distance <= cfg_.pin_max_reuse_distance) {
+    a.pin = true;
+    return a;
+  }
+
+  if (cfg_.enable_demote && hot <= cfg_.demote_max_hotness) {
+    a.demote_first = true;
+  }
+  if (cfg_.enable_bypass && streaming_bypass_ && p->reuse_distance < 0 &&
+      hot < break_even_accesses(bytes)) {
+    // Never reused so far and too few expected touches to amortise a
+    // loaded-channel round trip: run it from the slow tier.
+    a.bypass_fetch = true;
+  }
+  return a;
+}
+
+} // namespace hmr::adapt

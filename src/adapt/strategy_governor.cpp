@@ -1,0 +1,118 @@
+#include "adapt/strategy_governor.hpp"
+
+#include "util/check.hpp"
+
+namespace hmr::adapt {
+
+StrategyGovernor::StrategyGovernor(GovernorConfig cfg) : cfg_(cfg) {
+  HMR_CHECK_MSG(ooc::strategy_moves_data(cfg_.initial_strategy),
+                "the governor only steers the movement strategies");
+  HMR_CHECK(cfg_.cooldown_phases >= 0);
+  HMR_CHECK(cfg_.initial_lru_watermark > 0 &&
+            cfg_.initial_lru_watermark <= 1.0);
+  cur_.strategy = cfg_.initial_strategy;
+  cur_.eager_evict = cfg_.initial_eager_evict;
+  cur_.fair_admission = cfg_.initial_fair_admission;
+  cur_.lru_watermark = cfg_.initial_lru_watermark;
+}
+
+double StrategyGovernor::refetch_ratio(const PhaseObservation& obs) {
+  if (obs.unique_bytes == 0) return 0;
+  return static_cast<double>(obs.fetch_bytes) /
+         static_cast<double>(obs.unique_bytes);
+}
+
+Decision StrategyGovernor::on_phase_end(const PhaseObservation& obs) {
+  ++phases_;
+  const Decision prev = cur_;
+  cur_.changed = false;
+
+  // Channel utilization drives bypass arming regardless of cooldown —
+  // it is advice gating, not a policy flip, and must react fast when
+  // the channel saturates.
+  const double util =
+      (cfg_.channel_bytes_per_second > 0 && obs.phase_seconds > 0)
+          ? static_cast<double>(obs.fetch_bytes) /
+                (cfg_.channel_bytes_per_second * obs.phase_seconds)
+          : 0;
+  cur_.bypass_streaming = util > cfg_.bypass_utilization_threshold;
+
+  if (cooldown_ > 0) {
+    --cooldown_;
+    cur_.changed = cur_.bypass_streaming != prev.bypass_streaming;
+    return cur_;
+  }
+
+  const double refetch = refetch_ratio(obs);
+
+  // -- strategy escapes ------------------------------------------------
+  if (cur_.strategy == ooc::Strategy::SyncNoIo &&
+      obs.wait_fraction > cfg_.sync_wait_threshold) {
+    // Workers burn their own time on synchronous fetches: hand the
+    // traffic to asynchronous per-PE IO agents.
+    cur_.strategy = ooc::Strategy::MultiIo;
+  } else if (cur_.strategy == ooc::Strategy::SingleIo &&
+             static_cast<double>(obs.peak_inflight_fetches) >
+                 cfg_.single_backlog_threshold) {
+    // One IO thread is draining a deep backlog serially.
+    cur_.strategy = ooc::Strategy::MultiIo;
+  }
+
+  // -- eviction policy from measured reuse -----------------------------
+  if (cur_.eager_evict) {
+    if (refetch > cfg_.lazy_refetch_threshold) {
+      // The same bytes round-trip several times per phase: park
+      // refcount-0 blocks warm instead.
+      cur_.eager_evict = false;
+      cur_.lru_watermark = cfg_.reuse_lru_watermark;
+    }
+  } else {
+    // Reuse can hide from the refetch ratio: blocks held warm by live
+    // refcounts (concurrent sharers) are never refetched and never
+    // reclaimed from the LRU, they surface as fetch-dedup hits.
+    const bool warm_hits =
+        obs.lru_reclaims > 0 ||
+        static_cast<double>(obs.fetch_dedup_hits) >
+            cfg_.dedup_streaming_max * static_cast<double>(obs.fetches);
+    if (!warm_hits && refetch >= cfg_.eager_return_min &&
+        refetch <= cfg_.eager_return_threshold) {
+      // Streaming at ratio ~1 with nothing ever reused warm: back to
+      // the paper's eager mode.  (A ratio far below 1 is a warm
+      // working set served from the fast tier — lazy mode winning.)
+      cur_.eager_evict = true;
+      cur_.lru_watermark = cfg_.initial_lru_watermark;
+    } else if (refetch > cfg_.eager_return_threshold &&
+               obs.lru_reclaims == 0) {
+      // Still refetching but the parked blocks are not the ones coming
+      // back: cap how much of the fast tier the LRU may hold.
+      cur_.lru_watermark = cfg_.streaming_lru_watermark;
+    } else {
+      cur_.lru_watermark = cfg_.reuse_lru_watermark;
+    }
+  }
+
+  // -- fair admission ---------------------------------------------------
+  // Contended admission (tasks observed waiting, nonzero wait time)
+  // needs the per-PE claim cap so one drain cannot starve the rest;
+  // an uncontended phase does not.
+  if (obs.admission_contended &&
+      obs.wait_fraction > cfg_.fair_release_wait) {
+    cur_.fair_admission = true;
+  } else if (obs.wait_fraction <= cfg_.fair_release_wait) {
+    cur_.fair_admission = false;
+  }
+
+  if (cur_.strategy != prev.strategy ||
+      cur_.eager_evict != prev.eager_evict) {
+    ++switches_;
+    cooldown_ = cfg_.cooldown_phases;
+  }
+  cur_.changed = cur_.strategy != prev.strategy ||
+                 cur_.eager_evict != prev.eager_evict ||
+                 cur_.fair_admission != prev.fair_admission ||
+                 cur_.lru_watermark != prev.lru_watermark ||
+                 cur_.bypass_streaming != prev.bypass_streaming;
+  return cur_;
+}
+
+} // namespace hmr::adapt

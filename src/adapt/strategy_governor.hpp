@@ -1,0 +1,147 @@
+#pragma once
+// StrategyGovernor: the control half of the adaptive guidance
+// subsystem (docs/ADAPTIVE.md).  At every phase boundary (an
+// application iteration, or a wait_idle barrier in the threaded
+// runtime) the executor hands it one PhaseObservation — wait fraction
+// and fetch-lane load from trace::Tracer per-phase summaries, policy
+// counter deltas, and the profiler's phase summary — and gets back a
+// Decision: which ooc::Strategy to run, eager vs lazy eviction, the
+// fair-admission gate, the lazy-LRU watermark, and whether the
+// placement advisor should arm stream-once bypass.
+//
+// The rules are deliberately threshold + hysteresis, not a learned
+// policy — every transition is explainable from one phase's numbers:
+//
+//  * escape synchronous fetching: SyncNoIo with a high wait fraction
+//    means workers stall in pre-processing -> switch to MultiIo;
+//  * escape the single-IO bottleneck: SingleIo with a deep fetch
+//    backlog (peak in-flight fetches >> one agent) -> MultiIo;
+//  * exploit temporal reuse: refetch ratio (bytes fetched / distinct
+//    bytes touched) well above 1 under eager eviction means the same
+//    blocks round-trip repeatedly -> lazy LRU; when the reuse
+//    disappears again (ratio ~1 and no warm hits), return to eager,
+//    the paper's default;
+//  * fair admission stays on while admission is contended (waiting
+//    tasks observed) and relaxes when nothing ever waits;
+//  * the advisor's bypass arms only while the fetch channel is
+//    saturated (utilization above threshold) — with headroom,
+//    prefetching even single-use blocks is free.
+//
+// A cooldown of `cooldown_phases` follows every change so one noisy
+// phase cannot make the governor oscillate.  Pure state machine: no
+// clock, no threads, no sim/rt dependency; the executors drive it.
+
+#include <cstdint>
+
+#include "ooc/types.hpp"
+
+namespace hmr::adapt {
+
+struct GovernorConfig {
+  ooc::Strategy initial_strategy = ooc::Strategy::MultiIo;
+  bool initial_eager_evict = true;
+  bool initial_fair_admission = true;
+  double initial_lru_watermark = 1.0;
+
+  /// SyncNoIo wait-fraction above which workers are deemed stalled on
+  /// synchronous fetches.
+  double sync_wait_threshold = 0.30;
+  /// SingleIo: peak in-flight fetches above this many per IO agent
+  /// (it has exactly one) marks the agent as the bottleneck.
+  double single_backlog_threshold = 4.0;
+  /// Refetch ratio (fetched bytes / unique bytes touched) above which
+  /// eager eviction is discarding reused blocks.
+  double lazy_refetch_threshold = 1.5;
+  /// Refetch ratio at or below which (with no warm LRU hits) lazy mode
+  /// has nothing to keep warm and eager resumes.
+  double eager_return_threshold = 1.05;
+  /// ...but only from this ratio up: pure streaming fetches every
+  /// touched byte exactly once (ratio ~1), while a ratio far below 1
+  /// means the working set is already warm in the fast tier — the
+  /// best case for lazy mode, not a reason to leave it.
+  double eager_return_min = 0.9;
+  /// Dedup hits per fetch above which concurrent tasks are sharing
+  /// warm copies: reuse served by live refcounts never shows up in
+  /// the refetch ratio or the LRU reclaim counter, so a phase can
+  /// look perfectly streaming (ratio ~1, zero reclaims) while every
+  /// fetch is amortized across several tasks.  Such a phase must not
+  /// trigger the return to eager eviction.
+  double dedup_streaming_max = 0.5;
+  /// Fetch-channel utilization above which the advisor arms
+  /// stream-once bypass.
+  double bypass_utilization_threshold = 0.75;
+  /// Lazy-LRU watermark while reuse is being harvested / while the
+  /// phase looks streaming (cap parked bytes, leave admission room).
+  double reuse_lru_watermark = 1.0;
+  double streaming_lru_watermark = 0.5;
+  /// Wait fraction below which admission is uncontended and the
+  /// fair-admission gate relaxes.
+  double fair_release_wait = 0.02;
+
+  /// Phases to hold still after any change (hysteresis).
+  int cooldown_phases = 1;
+
+  /// Fetch-channel capacity in bytes/s (utilization denominator);
+  /// executors fill it from hw::MachineModel::channel_capacity.
+  double channel_bytes_per_second = 0;
+  int num_pes = 1;
+};
+
+/// One phase as the executor measured it.  Counter fields are deltas
+/// over the phase, not running totals.
+struct PhaseObservation {
+  double phase_seconds = 0;
+  /// Fraction of worker lane-time that was not compute (from the
+  /// tracer's per-phase summary, or the executor's compute delta).
+  double wait_fraction = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t fetches = 0;
+  std::uint64_t fetch_bytes = 0;
+  std::uint64_t evict_bytes = 0;
+  std::uint64_t fetch_dedup_hits = 0;
+  std::uint64_t lru_reclaims = 0;
+  /// High-water mark of in-flight fetches during the phase.
+  std::size_t peak_inflight_fetches = 0;
+  /// Distinct bytes touched (profiler PhaseSummary::unique_bytes).
+  std::uint64_t unique_bytes = 0;
+  /// Tasks observed waiting for admission at any point in the phase.
+  bool admission_contended = false;
+};
+
+struct Decision {
+  ooc::Strategy strategy = ooc::Strategy::MultiIo;
+  bool eager_evict = true;
+  bool fair_admission = true;
+  double lru_watermark = 1.0;
+  /// Arm the advisor's stream-once bypass for the next phase.
+  bool bypass_streaming = false;
+  /// True when anything above differs from the previous decision.
+  bool changed = false;
+};
+
+class StrategyGovernor {
+public:
+  explicit StrategyGovernor(GovernorConfig cfg);
+
+  const GovernorConfig& config() const { return cfg_; }
+
+  /// Consume one phase, return the configuration for the next one.
+  Decision on_phase_end(const PhaseObservation& obs);
+
+  const Decision& current() const { return cur_; }
+  /// Strategy or evict-policy changes made so far.
+  std::uint64_t switches() const { return switches_; }
+  int phases_observed() const { return phases_; }
+
+  /// Refetch ratio helper (also used by tests and bench output).
+  static double refetch_ratio(const PhaseObservation& obs);
+
+private:
+  GovernorConfig cfg_;
+  Decision cur_;
+  std::uint64_t switches_ = 0;
+  int phases_ = 0;
+  int cooldown_ = 0;
+};
+
+} // namespace hmr::adapt

@@ -42,11 +42,28 @@ const char* block_state_name(BlockState s) {
   return "?";
 }
 
-PolicyEngine::PolicyEngine(Config cfg) : cfg_(cfg) {
+PolicyEngine::PolicyEngine(Config cfg)
+    : cfg_(cfg), base_evict_by_worker_(cfg.evict_by_worker) {
   HMR_CHECK(cfg_.num_pes > 0);
+  HMR_CHECK(cfg_.lru_watermark > 0 && cfg_.lru_watermark <= 1.0);
   if (cfg_.strategy == Strategy::SyncNoIo) cfg_.evict_by_worker = true;
   wait_q_.resize(static_cast<std::size_t>(cfg_.num_pes));
   pe_claims_.resize(static_cast<std::size_t>(cfg_.num_pes), 0);
+}
+
+BlockAdvice PolicyEngine::advice_for(BlockId b, const BlockRec& br) const {
+  if (cfg_.advisor == nullptr) return BlockAdvice{};
+  return cfg_.advisor->advise(b, br.bytes);
+}
+
+bool PolicyEngine::dep_bypasses(BlockId b, const BlockRec& br) const {
+  if (br.state != BlockState::InSlow) return false;
+  if (br.slow_claims > 0) return true; // forced: a task is reading it
+  // may_bypass() keeps advise() off the admission scans while bypass
+  // is unarmed — the scans run per queued head per wakeup, and the
+  // per-block lookup dominated the adaptive overhead there.
+  return cfg_.advisor != nullptr && cfg_.advisor->may_bypass() &&
+         advice_for(b, br).bypass_fetch;
 }
 
 PolicyEngine::BlockRec& PolicyEngine::block(BlockId b) {
@@ -121,7 +138,9 @@ std::uint64_t PolicyEngine::admission_bytes(const TaskRec& tr,
     const BlockRec& br = block(d.block);
     switch (br.state) {
       case BlockState::InSlow:
-        extra += br.bytes;
+        // A bypass-advised dep is served from the slow tier and
+        // claims no fast-tier budget.
+        if (!dep_bypasses(d.block, br)) extra += br.bytes;
         break;
       case BlockState::EvictInFlight:
         // Must land on the slow tier before it can be fetched back.
@@ -158,6 +177,7 @@ void PolicyEngine::lru_touch(BlockId b) {
   if (br.in_lru) return;
   lru_.push_back(b);
   br.in_lru = true;
+  lru_bytes_ += br.bytes;
 }
 
 void PolicyEngine::lru_unlink(BlockId b) {
@@ -167,6 +187,8 @@ void PolicyEngine::lru_unlink(BlockId b) {
   HMR_DCHECK(it != lru_.end());
   lru_.erase(it);
   br.in_lru = false;
+  HMR_DCHECK(lru_bytes_ >= br.bytes);
+  lru_bytes_ -= br.bytes;
 }
 
 void PolicyEngine::admit(TaskId t, std::int32_t fetch_agent,
@@ -188,6 +210,14 @@ void PolicyEngine::admit(TaskId t, std::int32_t fetch_agent,
       case BlockState::InFast:
         break;
       case BlockState::InSlow: {
+        if (dep_bypasses(d.block, br)) {
+          // Bypass: the task will read the slow-tier copy in place.
+          // No migration, no fast-tier claim, not a missing dep.
+          ++br.slow_claims;
+          tr.bypassed.push_back(d.block);
+          ++stats_.advised_bypasses;
+          break;
+        }
         br.state = BlockState::FetchInFlight;
         fast_used_ += br.bytes;
         tr.claim_bytes += br.bytes;
@@ -240,13 +270,41 @@ std::uint64_t PolicyEngine::reclaim_lru(std::uint64_t need,
                                         std::int32_t agent, std::int32_t pe,
                                         std::vector<Command>& cmds) {
   std::uint64_t freed = 0;
-  while (freed < need && !lru_.empty()) {
-    const BlockId victim = lru_.front();
-    // evict_block unlinks it from the LRU.
-    freed += block(victim).bytes;
-    evict_block(victim, agent, pe, cmds);
+  // Victim priority: demote-advised blocks first, then plain LRU order
+  // (coldest first), then pinned blocks as a progress guarantee — a
+  // pin is a preference, not a reservation.  Without an advisor every
+  // block falls in the middle pass, preserving pure LRU behaviour.
+  // Without an advisor every block scores the middle pass — run only
+  // that one, preserving pure LRU behaviour.
+  const int first_pass = cfg_.advisor != nullptr ? 0 : 1;
+  const int last_pass = cfg_.advisor != nullptr ? 2 : 1;
+  for (int pass = first_pass; pass <= last_pass && freed < need; ++pass) {
+    const std::vector<BlockId> snapshot(lru_.begin(), lru_.end());
+    for (const BlockId victim : snapshot) {
+      if (freed >= need) break;
+      const BlockRec& br = block(victim);
+      if (!br.in_lru) continue;
+      const BlockAdvice adv = advice_for(victim, br);
+      const int victim_pass = adv.demote_first ? 0 : (adv.pin ? 2 : 1);
+      if (victim_pass != pass) continue;
+      freed += br.bytes;
+      if (pass == 0) ++stats_.advised_demotions;
+      evict_block(victim, agent, pe, cmds);
+    }
   }
   return freed;
+}
+
+void PolicyEngine::flush_lru_over(std::uint64_t limit, std::int32_t agent,
+                                  std::int32_t pe, bool evict_pinned,
+                                  std::vector<Command>& cmds) {
+  const std::vector<BlockId> snapshot(lru_.begin(), lru_.end());
+  for (const BlockId victim : snapshot) {
+    if (lru_bytes_ <= limit) return;
+    const BlockRec& br = block(victim);
+    if (!evict_pinned && advice_for(victim, br).pin) continue;
+    evict_block(victim, agent, pe, cmds);
+  }
 }
 
 void PolicyEngine::evict_block(BlockId b, std::int32_t agent,
@@ -285,7 +343,7 @@ void PolicyEngine::io_step_single(std::vector<Command>& cmds) {
         --n_waiting_;
         admit(t, /*fetch_agent=*/0, cmds);
         progressed = true;
-      } else if (!cfg_.eager_evict) {
+      } else if (lru_enabled()) {
         bool adm = true;
         const std::uint64_t extra = admission_bytes(head, &adm);
         if (adm && fast_used_ + extra > cfg_.fast_capacity) {
@@ -315,7 +373,7 @@ void PolicyEngine::io_step_multi(std::int32_t agent,
       admit(t, agent, cmds);
       continue;
     }
-    if (!cfg_.eager_evict) {
+    if (lru_enabled()) {
       bool adm = true;
       const std::uint64_t extra = admission_bytes(head, &adm);
       if (adm && fast_used_ + extra > cfg_.fast_capacity) {
@@ -342,7 +400,7 @@ void PolicyEngine::io_step_sync(std::int32_t pe, std::vector<Command>& cmds) {
       admit(t, kWorkerInline, cmds);
       continue;
     }
-    if (!cfg_.eager_evict) {
+    if (lru_enabled()) {
       bool adm = true;
       const std::uint64_t extra = admission_bytes(head, &adm);
       if (adm && fast_used_ + extra > cfg_.fast_capacity) {
@@ -422,7 +480,7 @@ std::vector<Command> PolicyEngine::on_task_arrived(const TaskDesc& desc) {
       } else {
         q.push_back(desc.id);
         ++n_waiting_;
-        if (!cfg_.eager_evict) io_step_sync(desc.pe, cmds);
+        if (lru_enabled()) io_step_sync(desc.pe, cmds);
       }
       break;
     }
@@ -511,16 +569,38 @@ std::vector<Command> PolicyEngine::on_task_complete(TaskId t) {
       cfg_.evict_by_worker
           ? kWorkerInline
           : (cfg_.strategy == Strategy::SingleIo ? 0 : tr.desc.pe);
+  bool parked = false;
   for (const Dep& d : tr.desc.deps) {
     BlockRec& br = block(d.block);
     HMR_CHECK_MSG(br.refcount > 0, "refcount underflow");
-    if (--br.refcount == 0 && br.state == BlockState::InFast) {
-      if (cfg_.eager_evict) {
-        evict_block(d.block, evict_agent, tr.desc.pe, cmds);
-      } else {
+    --br.refcount;
+    if (std::find(tr.bypassed.begin(), tr.bypassed.end(), d.block) !=
+        tr.bypassed.end()) {
+      // Bypass claim: the block never left the slow tier.
+      HMR_DCHECK(br.state == BlockState::InSlow && br.slow_claims > 0);
+      --br.slow_claims;
+      continue;
+    }
+    if (br.refcount == 0 && br.state == BlockState::InFast) {
+      if (!cfg_.eager_evict) {
         lru_touch(d.block);
+        parked = true;
+      } else if (advice_for(d.block, br).pin) {
+        // Pinned: skip the eager evict, park warm instead.
+        lru_touch(d.block);
+        parked = true;
+        ++stats_.advised_pins;
+      } else {
+        evict_block(d.block, evict_agent, tr.desc.pe, cmds);
       }
     }
+  }
+  tr.bypassed.clear();
+  if (lru_enabled() && cfg_.lru_watermark < 1.0) {
+    const auto limit = static_cast<std::uint64_t>(
+        cfg_.lru_watermark * static_cast<double>(cfg_.fast_capacity));
+    flush_lru_over(limit, evict_agent, tr.desc.pe,
+                   /*evict_pinned=*/false, cmds);
   }
 
   // "It then wakes up the IO thread ... so that more data can be
@@ -531,15 +611,18 @@ std::vector<Command> PolicyEngine::on_task_complete(TaskId t) {
       io_step_single(cmds);
       break;
     case Strategy::MultiIo:
-      if (cfg_.eager_evict) {
-        // Eager mode: freed budget arrives via on_evict_complete,
-        // which retries every queue; waking only our own is enough.
+      if (cfg_.eager_evict && !parked) {
+        // Eager with nothing parked: freed budget arrives via
+        // on_evict_complete, which retries every queue; waking only
+        // our own is enough.  (An advisor alone must not force the
+        // broad scan below — it dominated the adaptive overhead.)
         io_step_multi(tr.desc.pe, cmds);
       } else {
-        // Lazy mode: this completion may be the only future event (the
-        // released blocks just parked in the LRU, no eviction pending),
-        // so every queue whose head needs an LRU reclaim must get its
-        // chance now or the node wedges.
+        // Lazy mode, or a pin just parked a block: this completion
+        // may be the only future event (released blocks parked in the
+        // LRU, claims released, no eviction pending), so every queue
+        // whose head needs an LRU reclaim or claim headroom must get
+        // its chance now or the node wedges.
         for (std::int32_t a = 0; a < cfg_.num_pes; ++a) {
           if (!wait_q_[static_cast<std::size_t>(a)].empty()) {
             io_step_multi(a, cmds);
@@ -548,7 +631,7 @@ std::vector<Command> PolicyEngine::on_task_complete(TaskId t) {
       }
       break;
     case Strategy::SyncNoIo:
-      if (cfg_.eager_evict) {
+      if (cfg_.eager_evict && !parked) {
         io_step_sync(tr.desc.pe, cmds);
       } else {
         for (std::int32_t pe = 0; pe < cfg_.num_pes; ++pe) {
@@ -562,6 +645,52 @@ std::vector<Command> PolicyEngine::on_task_complete(TaskId t) {
       break;
   }
   check_progress();
+  return cmds;
+}
+
+void PolicyEngine::set_advisor(const AdviceProvider* advisor) {
+  cfg_.advisor = advisor;
+}
+
+void PolicyEngine::set_strategy(Strategy s) {
+  if (s == cfg_.strategy) return;
+  HMR_CHECK_MSG(strategy_moves_data(cfg_.strategy) && strategy_moves_data(s),
+                "online strategy switch is only defined between the "
+                "movement strategies");
+  HMR_CHECK_MSG(quiescent(), "strategy switch requires a quiescent engine");
+  cfg_.strategy = s;
+  cfg_.evict_by_worker =
+      s == Strategy::SyncNoIo ? true : base_evict_by_worker_;
+}
+
+std::vector<Command> PolicyEngine::set_eager_evict(bool eager) {
+  std::vector<Command> cmds;
+  if (eager == cfg_.eager_evict) return cmds;
+  cfg_.eager_evict = eager;
+  if (eager) {
+    // Flush the parked LRU back to the slow tier; pin-advised blocks
+    // stay (with an advisor they park there even under eager mode).
+    const std::int32_t agent =
+        cfg_.strategy == Strategy::SyncNoIo ? kWorkerInline : 0;
+    flush_lru_over(0, agent, /*pe=*/0, /*evict_pinned=*/false, cmds);
+  }
+  return cmds;
+}
+
+void PolicyEngine::set_fair_admission(bool fair) {
+  cfg_.fair_admission = fair;
+}
+
+std::vector<Command> PolicyEngine::set_lru_watermark(double frac) {
+  HMR_CHECK_MSG(frac > 0 && frac <= 1.0, "lru watermark must be in (0,1]");
+  cfg_.lru_watermark = frac;
+  std::vector<Command> cmds;
+  if (!lru_enabled() || frac >= 1.0) return cmds;
+  const auto limit = static_cast<std::uint64_t>(
+      frac * static_cast<double>(cfg_.fast_capacity));
+  const std::int32_t agent =
+      cfg_.strategy == Strategy::SyncNoIo ? kWorkerInline : 0;
+  flush_lru_over(limit, agent, /*pe=*/0, /*evict_pinned=*/false, cmds);
   return cmds;
 }
 
@@ -632,7 +761,7 @@ void PolicyEngine::check_progress() const {
     HMR_DCHECK(it != tasks_.end());
     if (can_admit(it->second)) return; // will be admitted on next drain
   }
-  if (!cfg_.eager_evict && !lru_.empty()) return;
+  if (lru_enabled() && !lru_.empty()) return;
   HMR_CHECK_MSG(false,
                 "scheduling wedge: a waiting task's dependences exceed the "
                 "fast-tier capacity (reduced working set must fit in HBM)");

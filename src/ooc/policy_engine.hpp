@@ -68,6 +68,15 @@ public:
     /// far-future blocks and starve the rest.  SingleIo's round-robin
     /// is already fair and ignores this.
     bool fair_admission = true;
+    /// Optional per-block guidance (adaptive subsystem).  Not owned;
+    /// must outlive the engine.  When set, the LRU machinery is active
+    /// even in eager mode (pinned blocks park there), advice can skip
+    /// fetches entirely, and reclaim prefers demote-advised victims.
+    const AdviceProvider* advisor = nullptr;
+    /// Lazy/pinned LRU cap as a fraction of fast_capacity: parking a
+    /// block that pushes parked bytes beyond the watermark evicts the
+    /// coldest unpinned parked blocks until back under.  1.0 = no cap.
+    double lru_watermark = 1.0;
   };
 
   struct Stats {
@@ -78,6 +87,9 @@ public:
     std::uint64_t evict_bytes = 0;
     std::uint64_t fetch_dedup_hits = 0; // dep already in/inbound to HBM
     std::uint64_t lru_reclaims = 0;     // lazy mode: warm block reused
+    std::uint64_t advised_pins = 0;      // eager evict skipped on advice
+    std::uint64_t advised_bypasses = 0;  // dep claimed in the slow tier
+    std::uint64_t advised_demotions = 0; // demote-advised reclaim victim
   };
 
   explicit PolicyEngine(Config cfg);
@@ -110,6 +122,30 @@ public:
   /// (post-processing step).
   std::vector<Command> on_task_complete(TaskId t);
 
+  // ---- online reconfiguration (adaptive governor) ----
+  //
+  // The governor retunes a quiescent engine between phases; each
+  // setter is also safe to call when the value does not change.
+
+  /// Install / replace / remove (nullptr) the advice provider.
+  void set_advisor(const AdviceProvider* advisor);
+
+  /// Switch the scheduling strategy online.  Only defined between the
+  /// movement strategies (they share block placement: everything
+  /// starts on the slow tier); the engine must be quiescent.
+  void set_strategy(Strategy s);
+
+  /// Flip eager/lazy eviction.  Turning eager on flushes the parked
+  /// LRU (pinned blocks stay when an advisor is installed) — execute
+  /// the returned eviction commands.
+  std::vector<Command> set_eager_evict(bool eager);
+
+  void set_fair_admission(bool fair);
+
+  /// Retune the parked-LRU watermark; returns the evictions needed to
+  /// get under the new cap (unpinned victims only).
+  std::vector<Command> set_lru_watermark(double frac);
+
   // ---- introspection (tests, executors, tracing) ----
 
   BlockState block_state(BlockId b) const;
@@ -122,6 +158,7 @@ public:
   std::size_t inflight_fetches() const { return n_inflight_fetch_; }
   std::size_t inflight_evicts() const { return n_inflight_evict_; }
   std::size_t lru_size() const { return lru_.size(); }
+  std::uint64_t lru_bytes() const { return lru_bytes_; }
   const Stats& stats() const { return stats_; }
 
   /// True when every arrived task has completed and nothing is queued
@@ -142,6 +179,11 @@ private:
     std::uint32_t refcount = 0;
     std::vector<TaskId> fetch_waiters; // admitted tasks awaiting fetch
     bool in_lru = false;
+    /// Admitted tasks reading this block from the slow tier on bypass
+    /// advice.  While nonzero, no fetch may be issued for the block
+    /// (the executors' migration would free the copy being read), so
+    /// later admissions are forced onto the bypass path too.
+    std::uint32_t slow_claims = 0;
   };
 
   struct TaskRec {
@@ -149,11 +191,30 @@ private:
     TaskState state = TaskState::Waiting;
     std::uint32_t missing = 0;      // deps not yet InFast
     std::uint64_t claim_bytes = 0;  // fresh fast-tier bytes it claimed
+    std::vector<BlockId> bypassed;  // deps claimed in the slow tier
   };
 
   BlockRec& block(BlockId b);
   const BlockRec& block(BlockId b) const;
   TaskRec& task(TaskId t);
+
+  /// Advice for `b`, or all-defaults when no advisor is installed.
+  BlockAdvice advice_for(BlockId b, const BlockRec& br) const;
+
+  /// True when this dependence is (or must be) served from the slow
+  /// tier: bypass advice, or an already-active slow claim.
+  bool dep_bypasses(BlockId b, const BlockRec& br) const;
+
+  /// The LRU can hold blocks: lazy mode, or an advisor that pins.
+  bool lru_enabled() const {
+    return !cfg_.eager_evict || cfg_.advisor != nullptr;
+  }
+
+  /// Evict parked blocks (coldest first, unpinned unless
+  /// `evict_pinned`) until parked bytes are <= `limit`.
+  void flush_lru_over(std::uint64_t limit, std::int32_t agent,
+                      std::int32_t pe, bool evict_pinned,
+                      std::vector<Command>& cmds);
 
   /// Bytes of additional fast-tier space task admission would claim.
   /// Returns false via `admissible` when a dep is mid-eviction (must
@@ -196,10 +257,13 @@ private:
   void check_progress() const;
 
   Config cfg_;
+  bool base_evict_by_worker_ = false; // Config value before strategy
+                                      // overrides (restored on switch)
   std::unordered_map<BlockId, BlockRec> blocks_;
   std::unordered_map<TaskId, TaskRec> tasks_;
   std::vector<std::deque<TaskId>> wait_q_;
-  std::deque<BlockId> lru_; // front = coldest (lazy mode only)
+  std::deque<BlockId> lru_; // front = coldest (lazy / pinned parking)
+  std::uint64_t lru_bytes_ = 0;
 
   std::uint64_t fast_used_ = 0;
   std::size_t n_live_tasks_ = 0; // Admitted + Ready (not yet completed)

@@ -121,4 +121,35 @@ struct Command {
 /// Agent id meaning "the worker thread handling the current event".
 inline constexpr std::int32_t kWorkerInline = -1;
 
+/// Per-block guidance the PolicyEngine consults at admission and
+/// eviction time when an AdviceProvider is installed (the adaptive
+/// subsystem's adapt::PlacementAdvisor is the real producer; the
+/// engine only sees this interface so ooc stays executor- and
+/// profiler-agnostic).
+struct BlockAdvice {
+  /// Keep the block resident when its refcount drops to zero, even
+  /// under eager eviction: park it warm in the LRU instead.
+  bool pin = false;
+  /// Preferred reclaim victim: evict ahead of plain LRU order.
+  bool demote_first = false;
+  /// Do not migrate: the task runs reading the slow-tier copy (the
+  /// block's measured reuse never amortises the migration cost).
+  bool bypass_fetch = false;
+};
+
+class AdviceProvider {
+public:
+  virtual ~AdviceProvider() = default;
+  /// Must be deterministic between engine events: the engine may ask
+  /// several times while deciding one admission and assumes the
+  /// answers agree.
+  virtual BlockAdvice advise(BlockId b, std::uint64_t bytes) const = 0;
+  /// Cheap gate the engine checks before consulting advise() on the
+  /// admission scan path (which runs for every queued head on every
+  /// wakeup): when no block could possibly receive bypass_fetch
+  /// advice, return false and the scans skip the per-block lookup
+  /// entirely.  Pin / demote advice is unaffected.
+  virtual bool may_bypass() const { return true; }
+};
+
 } // namespace hmr::ooc

@@ -1,5 +1,6 @@
 #include "rt/runtime.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #ifdef __linux__
@@ -26,6 +27,9 @@ ooc::PolicyEngine::Config engine_config(const Runtime::Config& cfg,
 }
 
 int io_thread_count(const Runtime::Config& cfg) {
+  // Adaptive runs may switch to MultiIo mid-run: give them the full
+  // complement (commands route via agent % io_.size()).
+  if (cfg.adaptive) return cfg.num_pes;
   switch (cfg.strategy) {
     case ooc::Strategy::SingleIo:
       return 1;
@@ -65,6 +69,21 @@ Runtime::Runtime(Config cfg)
       tracer_(cfg_.trace),
       t0_(std::chrono::steady_clock::now()) {
   HMR_CHECK(cfg_.num_pes > 0);
+  if (cfg_.adaptive) {
+    HMR_CHECK_MSG(ooc::strategy_moves_data(cfg_.strategy),
+                  "adaptive guidance requires a movement strategy");
+    profiler_ = std::make_unique<adapt::BlockProfiler>(cfg_.profiler_cfg);
+    adapt::AdvisorConfig ac = adapt::AdvisorConfig::from_model(cfg_.model);
+    advisor_ = std::make_unique<adapt::PlacementAdvisor>(*profiler_, ac);
+    adapt::GovernorConfig gc = cfg_.governor_cfg;
+    gc.initial_strategy = cfg_.strategy;
+    gc.initial_eager_evict = cfg_.eager_evict;
+    gc.num_pes = cfg_.num_pes;
+    gc.channel_bytes_per_second =
+        cfg_.model.channel_capacity(cfg_.model.slow, cfg_.model.fast);
+    governor_ = std::make_unique<adapt::StrategyGovernor>(gc);
+    engine_.set_advisor(advisor_.get()); // before any thread starts
+  }
   pes_.reserve(static_cast<std::size_t>(cfg_.num_pes));
   for (int pe = 0; pe < cfg_.num_pes; ++pe) {
     pes_.push_back(std::make_unique<PeWorker>());
@@ -243,7 +262,12 @@ void Runtime::intercept(int pe, Msg msg) {
   std::vector<ooc::Command> cmds;
   {
     std::lock_guard elk(engine_mu_);
+    if (profiler_) {
+      profiler_->on_task_arrived(
+          desc, [this](mem::BlockId b) { return mm_->block_bytes(b); });
+    }
     cmds = engine_.on_task_arrived(desc);
+    observe_locked(cmds);
   }
   process(std::move(cmds), pe);
 }
@@ -258,6 +282,7 @@ void Runtime::execute_task(int pe, const ReadyTask& task) {
   {
     std::lock_guard elk(engine_mu_);
     cmds = engine_.on_task_complete(task.id);
+    observe_locked(cmds);
   }
   process(std::move(cmds), pe);
   note_done();
@@ -282,6 +307,7 @@ void Runtime::perform_transfer(const ooc::Command& cmd, int trace_lane) {
     std::lock_guard elk(engine_mu_);
     cmds = fetch ? engine_.on_fetch_complete(cmd.block)
                  : engine_.on_evict_complete(cmd.block);
+    observe_locked(cmds);
   }
   process(std::move(cmds), trace_lane);
   {
@@ -332,6 +358,68 @@ void Runtime::process(std::vector<ooc::Command> cmds, int context_lane) {
   }
 }
 
+void Runtime::observe_locked(const std::vector<ooc::Command>& cmds) {
+  if (!governor_) return;
+  for (const auto& c : cmds) {
+    if (c.kind == ooc::Command::Kind::Fetch) {
+      profiler_->on_fetch(c.block, mm_->block_bytes(c.block));
+    }
+  }
+  peak_inflight_ = std::max(peak_inflight_, engine_.inflight_fetches());
+  if (engine_.total_waiting() > 0) phase_contended_ = true;
+}
+
+void Runtime::governor_phase_end() {
+  const double t_now = now();
+  std::vector<ooc::Command> cmds;
+  {
+    std::lock_guard elk(engine_mu_);
+    adapt::PhaseObservation obs;
+    obs.phase_seconds = t_now - phase_start_;
+    const ooc::PolicyEngine::Stats& st = engine_.stats();
+    obs.tasks = st.tasks_run - phase_base_.tasks_run;
+    obs.fetches = st.fetches - phase_base_.fetches;
+    obs.fetch_bytes = st.fetch_bytes - phase_base_.fetch_bytes;
+    obs.evict_bytes = st.evict_bytes - phase_base_.evict_bytes;
+    obs.fetch_dedup_hits =
+        st.fetch_dedup_hits - phase_base_.fetch_dedup_hits;
+    obs.lru_reclaims = st.lru_reclaims - phase_base_.lru_reclaims;
+    obs.peak_inflight_fetches = peak_inflight_;
+    obs.admission_contended = phase_contended_;
+    obs.unique_bytes = profiler_->end_phase().unique_bytes;
+    if (tracer_.enabled() && obs.phase_seconds > 0) {
+      const double compute =
+          tracer_.summarize(cfg_.num_pes, phase_start_, t_now)
+              .total_of(trace::Category::Compute);
+      obs.wait_fraction = std::clamp(
+          1.0 - compute / (obs.phase_seconds * cfg_.num_pes), 0.0, 1.0);
+    }
+    phase_base_ = st;
+    peak_inflight_ = 0;
+    phase_contended_ = false;
+
+    const adapt::Decision d = governor_->on_phase_end(obs);
+    advisor_->set_streaming_bypass(d.bypass_streaming);
+    engine_.set_fair_admission(d.fair_admission);
+    engine_.set_strategy(d.strategy);
+    auto flush = engine_.set_eager_evict(d.eager_evict);
+    cmds.insert(cmds.end(), flush.begin(), flush.end());
+    auto trim = engine_.set_lru_watermark(d.lru_watermark);
+    cmds.insert(cmds.end(), trim.begin(), trim.end());
+  }
+  phase_start_ = t_now;
+  if (cmds.empty()) return;
+  // Any LRU-flush evictions count as outstanding ops; push them and
+  // wait for the node to settle again before the next phase starts.
+  process(std::move(cmds), /*context_lane=*/0);
+  std::unique_lock lk(idle_mu_);
+  idle_cv_.wait(lk, [&] {
+    if (outstanding_msgs_ != 0 || outstanding_ops_ != 0) return false;
+    std::lock_guard elk(engine_mu_);
+    return engine_.quiescent();
+  });
+}
+
 void Runtime::note_done() {
   {
     std::lock_guard lk(idle_mu_);
@@ -341,12 +429,16 @@ void Runtime::note_done() {
 }
 
 void Runtime::wait_idle() {
-  std::unique_lock lk(idle_mu_);
-  idle_cv_.wait(lk, [&] {
-    if (outstanding_msgs_ != 0 || outstanding_ops_ != 0) return false;
-    std::lock_guard elk(engine_mu_);
-    return engine_.quiescent();
-  });
+  {
+    std::unique_lock lk(idle_mu_);
+    idle_cv_.wait(lk, [&] {
+      if (outstanding_msgs_ != 0 || outstanding_ops_ != 0) return false;
+      std::lock_guard elk(engine_mu_);
+      return engine_.quiescent();
+    });
+  }
+  // Each wait_idle barrier is a phase boundary for the governor.
+  if (governor_) governor_phase_end();
 }
 
 ooc::PolicyEngine::Stats Runtime::policy_stats() {

@@ -33,6 +33,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "adapt/block_profiler.hpp"
+#include "adapt/placement_advisor.hpp"
+#include "adapt/strategy_governor.hpp"
 #include "hw/machine_model.hpp"
 #include "mem/memory_manager.hpp"
 #include "ooc/policy_engine.hpp"
@@ -63,6 +66,16 @@ public:
     /// to the worker threads, so as to not increase the usage of the
     /// number of physical cores").  No-op when cores are scarce.
     bool pin_threads = false;
+    /// Online adaptive guidance (src/adapt/): same components as
+    /// hmr::sim, driven here under the engine lock.  Phase boundaries
+    /// are wait_idle() calls (one governor step per call).  Requires a
+    /// movement strategy; `strategy` / `eager_evict` above are the
+    /// starting point.  Wait fraction is read from the tracer when
+    /// tracing is on (0 otherwise — the thresholds that depend on it
+    /// simply never fire).
+    bool adaptive = false;
+    adapt::ProfilerConfig profiler_cfg;
+    adapt::GovernorConfig governor_cfg;
   };
 
   explicit Runtime(Config cfg);
@@ -119,6 +132,11 @@ public:
   ooc::PolicyEngine::Stats policy_stats();
   std::uint64_t tasks_executed() const { return tasks_done_.load(); }
 
+  /// Adaptive runs: the guidance components (nullptr otherwise).
+  /// Read only at quiescence — the PE/IO threads feed them.
+  const adapt::BlockProfiler* profiler() const { return profiler_.get(); }
+  const adapt::StrategyGovernor* governor() const { return governor_.get(); }
+
 private:
   struct Msg {
     Body body;
@@ -154,6 +172,11 @@ private:
   void perform_transfer(const ooc::Command& cmd, int trace_lane);
   void process(std::vector<ooc::Command> cmds, int context_lane);
   void note_done();
+  /// Called with engine_mu_ held after an engine event: feed the
+  /// profiler the fetches just issued and sample governor signals.
+  void observe_locked(const std::vector<ooc::Command>& cmds);
+  /// One governor step; called from wait_idle at quiescence.
+  void governor_phase_end();
 
   Config cfg_;
   hw::TierId fast_tier_;
@@ -163,6 +186,16 @@ private:
   std::mutex engine_mu_;
   ooc::PolicyEngine engine_;
   std::uint64_t blocks_created_ = 0; // guarded by engine_mu_
+
+  // Adaptive guidance; all state guarded by engine_mu_ (the advisor is
+  // only read by the engine, which is itself driven under that lock).
+  std::unique_ptr<adapt::BlockProfiler> profiler_;
+  std::unique_ptr<adapt::PlacementAdvisor> advisor_;
+  std::unique_ptr<adapt::StrategyGovernor> governor_;
+  ooc::PolicyEngine::Stats phase_base_;
+  std::size_t peak_inflight_ = 0;
+  bool phase_contended_ = false;
+  double phase_start_ = 0;
 
   std::vector<std::unique_ptr<PeWorker>> pes_;
   std::vector<std::unique_ptr<IoWorker>> io_;

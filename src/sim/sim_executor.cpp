@@ -34,6 +34,10 @@ ooc::PolicyEngine::Config engine_config(const SimConfig& cfg) {
 }
 
 int default_agents(const SimConfig& cfg) {
+  // Adaptive runs can switch strategy mid-run; provision one agent per
+  // PE so every movement strategy has its lanes (commands route via
+  // agent % num_agents, so SingleIo still funnels through agent 0).
+  if (cfg.adaptive) return cfg.model.num_pes;
   switch (cfg.strategy) {
     case ooc::Strategy::SingleIo:
       return 1;
@@ -58,6 +62,20 @@ SimExecutor::SimExecutor(SimConfig cfg)
       m.copy_rate(m.slow, m.fast), m.channel_capacity(m.slow, m.fast));
   evict_ch_ = std::make_unique<TransferChannel>(
       m.copy_rate(m.fast, m.slow), m.channel_capacity(m.fast, m.slow));
+  if (cfg_.adaptive) {
+    HMR_CHECK_MSG(ooc::strategy_moves_data(cfg_.strategy) && !cfg_.cache_mode,
+                  "adaptive guidance requires a movement strategy");
+    profiler_ = std::make_unique<adapt::BlockProfiler>(cfg_.profiler_cfg);
+    advisor_ = std::make_unique<adapt::PlacementAdvisor>(
+        *profiler_, adapt::AdvisorConfig::from_model(m));
+    adapt::GovernorConfig gc = cfg_.governor_cfg;
+    gc.initial_strategy = cfg_.strategy;
+    gc.initial_eager_evict = cfg_.eager_evict;
+    gc.num_pes = m.num_pes;
+    gc.channel_bytes_per_second = m.channel_capacity(m.slow, m.fast);
+    governor_ = std::make_unique<adapt::StrategyGovernor>(gc);
+    engine_.set_advisor(advisor_.get());
+  }
 }
 
 TransferChannel& SimExecutor::channel_for(bool fetch) {
@@ -143,6 +161,9 @@ void SimExecutor::process(std::vector<ooc::Command> cmds) {
       }
       case ooc::Command::Kind::Fetch:
       case ooc::Command::Kind::Evict: {
+        if (profiler_ && c.kind == ooc::Command::Kind::Fetch) {
+          profiler_->on_fetch(c.block, wl_->blocks()[c.block].bytes);
+        }
         Job j;
         j.cmd = c;
         if (c.agent == ooc::kWorkerInline) {
@@ -162,6 +183,10 @@ void SimExecutor::process(std::vector<ooc::Command> cmds) {
         break;
       }
     }
+  }
+  if (governor_) {
+    peak_inflight_ = std::max(peak_inflight_, engine_.inflight_fetches());
+    if (engine_.total_waiting() > 0) phase_contended_ = true;
   }
 }
 
@@ -304,6 +329,7 @@ void SimExecutor::finish_task(ooc::TaskId id, std::size_t pe, double t_start,
         HMR_CHECK(dit != descs_.end());
         ++dag_injected_;
         arrive_[succ] = now_;
+        profile_arrival(dit->second);
         process(engine_.on_task_arrived(dit->second));
       }
     }
@@ -315,7 +341,61 @@ void SimExecutor::finish_task(ooc::TaskId id, std::size_t pe, double t_start,
 void SimExecutor::inject_task(const ooc::TaskDesc& desc) {
   ++dag_injected_;
   arrive_[desc.id] = now_;
+  profile_arrival(desc);
   process(engine_.on_task_arrived(desc));
+}
+
+void SimExecutor::profile_arrival(const ooc::TaskDesc& desc) {
+  if (!profiler_) return;
+  profiler_->on_task_arrived(
+      desc, [this](ooc::BlockId b) { return wl_->blocks()[b].bytes; });
+}
+
+void SimExecutor::governor_phase_end(double t_iter) {
+  const double phase_seconds = now_ - t_iter;
+  adapt::PhaseObservation obs;
+  obs.phase_seconds = phase_seconds;
+  const ooc::PolicyEngine::Stats& st = engine_.stats();
+  obs.tasks = st.tasks_run - phase_base_.tasks_run;
+  obs.fetches = st.fetches - phase_base_.fetches;
+  obs.fetch_bytes = st.fetch_bytes - phase_base_.fetch_bytes;
+  obs.evict_bytes = st.evict_bytes - phase_base_.evict_bytes;
+  obs.fetch_dedup_hits = st.fetch_dedup_hits - phase_base_.fetch_dedup_hits;
+  obs.lru_reclaims = st.lru_reclaims - phase_base_.lru_reclaims;
+  obs.peak_inflight_fetches = peak_inflight_;
+  obs.admission_contended = phase_contended_;
+  obs.unique_bytes = profiler_->end_phase().unique_bytes;
+  if (phase_seconds > 0) {
+    // Wait fraction from the trace when one is being recorded (the
+    // per-phase summary window), else from the compute-seconds delta.
+    const double compute =
+        tracer_.enabled()
+            ? tracer_.summarize(cfg_.model.num_pes, t_iter, now_)
+                  .total_of(trace::Category::Compute)
+            : result_.compute_lane_seconds - phase_compute_base_;
+    const double lane_seconds = phase_seconds * cfg_.model.num_pes;
+    obs.wait_fraction =
+        std::clamp(1.0 - compute / lane_seconds, 0.0, 1.0);
+  }
+  phase_base_ = st;
+  phase_compute_base_ = result_.compute_lane_seconds;
+  peak_inflight_ = 0;
+  phase_contended_ = false;
+
+  const adapt::Decision d = governor_->on_phase_end(obs);
+  advisor_->set_streaming_bypass(d.bypass_streaming);
+  engine_.set_fair_admission(d.fair_admission);
+  engine_.set_strategy(d.strategy);
+  process(engine_.set_eager_evict(d.eager_evict));
+  process(engine_.set_lru_watermark(d.lru_watermark));
+  // Drain any LRU-flush evictions so the next phase starts clean.
+  while (!eq_.empty()) {
+    auto [t, fn] = eq_.pop();
+    now_ = t;
+    fn();
+  }
+  HMR_CHECK_MSG(engine_.quiescent(),
+                "governor reconfiguration left transfers outstanding");
 }
 
 SimResult SimExecutor::run(const Workload& w) {
@@ -388,6 +468,8 @@ SimResult SimExecutor::run(const Workload& w) {
     result_.iteration_times.push_back(now_);
     result_.total_time = now_;
     result_.policy = engine_.stats();
+    result_.final_strategy = engine_.config().strategy;
+    result_.final_eager_evict = engine_.config().eager_evict;
     if (tracer_.enabled()) tracer_.fill_idle(0, now_);
     return result_;
   }
@@ -398,6 +480,7 @@ SimResult SimExecutor::run(const Workload& w) {
       arrive_[t.id] = now_;
       auto [it, ins] = descs_.emplace(t.id, std::move(t));
       HMR_CHECK_MSG(ins, "duplicate task id across iterations");
+      profile_arrival(it->second);
       process(engine_.on_task_arrived(it->second));
     }
     while (!eq_.empty()) {
@@ -439,10 +522,16 @@ SimResult SimExecutor::run(const Workload& w) {
       HMR_CHECK(!lane.busy && lane.q.empty());
     }
     result_.iteration_times.push_back(now_ - t_iter);
+    // Phase boundary: the governor observes the finished iteration and
+    // retunes the engine for the next one (no point after the last).
+    if (governor_ && iter + 1 < w.iterations()) governor_phase_end(t_iter);
   }
 
   result_.total_time = now_;
   result_.policy = engine_.stats();
+  result_.final_strategy = engine_.config().strategy;
+  result_.final_eager_evict = engine_.config().eager_evict;
+  if (governor_) result_.governor_switches = governor_->switches();
   if (tracer_.enabled()) tracer_.fill_idle(0, now_);
   return result_;
 }

@@ -23,6 +23,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "adapt/block_profiler.hpp"
+#include "adapt/placement_advisor.hpp"
+#include "adapt/strategy_governor.hpp"
 #include "hw/machine_model.hpp"
 #include "ooc/policy_engine.hpp"
 #include "sim/event_queue.hpp"
@@ -75,6 +78,16 @@ struct SimConfig {
   /// cache-mode effective bandwidth instead of raw DDR4.  0 disables
   /// (pure flat mode); combine with any strategy.
   double hybrid_cache_fraction = 0.0;
+
+  /// Online adaptive guidance (src/adapt/): profile block accesses,
+  /// install a PlacementAdvisor on the engine, and let a
+  /// StrategyGovernor retune strategy / eviction / fair admission at
+  /// every iteration boundary.  `strategy` and `eager_evict` above are
+  /// the *starting* configuration.  Requires a movement strategy.
+  bool adaptive = false;
+  adapt::ProfilerConfig profiler_cfg;
+  adapt::GovernorConfig governor_cfg; // initial_*/machine fields are
+                                      // overwritten from this config
 };
 
 struct SimResult {
@@ -93,6 +106,13 @@ struct SimResult {
   double worker_transfer_seconds = 0;
   /// Total compute lane-seconds (for utilization figures).
   double compute_lane_seconds = 0;
+
+  // Adaptive runs only (SimConfig::adaptive):
+  /// Strategy / evict-policy changes the governor made.
+  std::uint64_t governor_switches = 0;
+  /// Configuration the run ended on.
+  ooc::Strategy final_strategy = ooc::Strategy::MultiIo;
+  bool final_eager_evict = true;
 
   /// Fraction of worker lane-time that is not compute over the run
   /// span (the "red" of the paper's projections figures).
@@ -116,6 +136,10 @@ public:
   trace::Tracer& tracer() { return tracer_; }
 
   int num_agents() const { return num_agents_; }
+
+  /// Adaptive runs: the guidance components (nullptr otherwise).
+  const adapt::BlockProfiler* profiler() const { return profiler_.get(); }
+  const adapt::StrategyGovernor* governor() const { return governor_.get(); }
 
 private:
   struct Job {
@@ -147,6 +171,8 @@ private:
   void finish_task(ooc::TaskId id, std::size_t pe, double t_start,
                    double duration);
   void inject_task(const ooc::TaskDesc& desc);
+  void profile_arrival(const ooc::TaskDesc& desc);
+  void governor_phase_end(double t_iter);
   double exec_duration(const ooc::TaskDesc& desc) const;
   TransferChannel& channel_for(bool fetch);
   void schedule_tick(bool fetch);
@@ -177,6 +203,15 @@ private:
   double hybrid_slow_bw_ = 0;      // effective bw of cached slow access
   std::unordered_map<ooc::TaskId, ooc::TaskDesc> descs_;
   std::unordered_map<ooc::TaskId, double> arrive_;
+
+  // Adaptive guidance (owned; engine holds a raw advisor pointer).
+  std::unique_ptr<adapt::BlockProfiler> profiler_;
+  std::unique_ptr<adapt::PlacementAdvisor> advisor_;
+  std::unique_ptr<adapt::StrategyGovernor> governor_;
+  ooc::PolicyEngine::Stats phase_base_;  // stats at last phase start
+  double phase_compute_base_ = 0;        // compute lane-seconds ditto
+  std::size_t peak_inflight_ = 0;
+  bool phase_contended_ = false;
 
   trace::Tracer tracer_;
   SimResult result_;

@@ -13,6 +13,8 @@ SyntheticWorkload::SyntheticWorkload(Params p) : p_(p) {
   HMR_CHECK(p_.reuse >= 0.0 && p_.reuse <= 1.0);
   HMR_CHECK(p_.num_pes > 0 && p_.num_iterations > 0);
   HMR_CHECK(p_.wf_min > 0 && p_.wf_max >= p_.wf_min);
+  HMR_CHECK(p_.flip_iteration < 0 ||
+            (p_.reuse_after >= 0.0 && p_.reuse_after <= 1.0));
 
   blocks_.reserve(static_cast<std::size_t>(p_.num_blocks));
   for (int b = 0; b < p_.num_blocks; ++b) {
@@ -23,7 +25,16 @@ SyntheticWorkload::SyntheticWorkload(Params p) : p_(p) {
   std::vector<ooc::BlockId> window;
   ooc::TaskId next_id = 0;
   per_iter_.resize(static_cast<std::size_t>(p_.num_iterations));
-  for (auto& tasks : per_iter_) {
+  for (int iter = 0; iter < p_.num_iterations; ++iter) {
+    auto& tasks = per_iter_[static_cast<std::size_t>(iter)];
+    const bool flipped =
+        p_.flip_iteration >= 0 && iter >= p_.flip_iteration;
+    const double reuse = flipped ? p_.reuse_after : p_.reuse;
+    const int win = flipped && p_.window_after > 0 ? p_.window_after
+                                                   : p_.window;
+    if (p_.flip_iteration >= 0 && iter == p_.flip_iteration) {
+      window.clear(); // the new phase has no affinity to the old one
+    }
     tasks.reserve(static_cast<std::size_t>(p_.tasks_per_iteration));
     for (int i = 0; i < p_.tasks_per_iteration; ++i) {
       ooc::TaskDesc t;
@@ -35,7 +46,7 @@ SyntheticWorkload::SyntheticWorkload(Params p) : p_(p) {
         ooc::BlockId b = 0;
         // Draw until the block is distinct within this task.
         for (;;) {
-          if (!window.empty() && rng.uniform() < p_.reuse) {
+          if (!window.empty() && rng.uniform() < reuse) {
             b = window[rng.below(window.size())];
           } else {
             b = static_cast<ooc::BlockId>(
@@ -51,7 +62,7 @@ SyntheticWorkload::SyntheticWorkload(Params p) : p_(p) {
                               : ooc::AccessMode::ReadWrite;
         t.deps.push_back({b, mode});
         window.push_back(b);
-        if (window.size() > static_cast<std::size_t>(p_.window)) {
+        if (window.size() > static_cast<std::size_t>(win)) {
           window.erase(window.begin());
         }
       }

@@ -34,6 +34,13 @@ public:
     /// task-time variance for load-balance experiments.
     double wf_min = 1.0;
     double wf_max = 1.0;
+    /// Phase change: from this iteration on, draw with `reuse_after` /
+    /// `window_after` instead (the reuse window is cleared at the
+    /// flip).  -1 = stationary.  Exercises the adaptive governor's
+    /// mid-run strategy switching.
+    int flip_iteration = -1;
+    double reuse_after = 0.0;
+    int window_after = -1; // -1 = keep `window`
   };
 
   explicit SyntheticWorkload(Params p);

@@ -86,6 +86,34 @@ TraceSummary Tracer::summarize(std::int32_t worker_lanes) const {
   return s;
 }
 
+TraceSummary Tracer::summarize(std::int32_t worker_lanes, double t0,
+                               double t1) const {
+  HMR_CHECK(t1 >= t0);
+  TraceSummary s;
+  std::lock_guard lock(mu_);
+  double lo = 0, hi = 0;
+  bool first = true;
+  for (const auto& iv : log_) {
+    if (worker_lanes >= 0 && iv.lane >= worker_lanes) continue;
+    const double start = std::max(iv.start, t0);
+    const double end = std::min(iv.end, t1);
+    if (end <= start) continue;
+    if (first) {
+      lo = start;
+      hi = end;
+      first = false;
+    } else {
+      lo = std::min(lo, start);
+      hi = std::max(hi, end);
+    }
+    s.lanes = std::max(s.lanes, iv.lane + 1);
+    s.total[static_cast<int>(iv.cat)] += end - start;
+    s.count[static_cast<int>(iv.cat)] += 1;
+  }
+  s.span = first ? 0 : hi - lo;
+  return s;
+}
+
 void Tracer::fill_idle(double t0, double t1) {
   if (!enabled_) return;
   HMR_CHECK(t1 >= t0);

@@ -77,6 +77,12 @@ public:
   /// < worker_lanes (< 0 means all lanes).
   TraceSummary summarize(std::int32_t worker_lanes = -1) const;
 
+  /// Windowed summary over [t0, t1): intervals are clipped to the
+  /// window, so per-phase summaries can be cut from one running trace
+  /// (the adaptive governor's per-phase wait fraction comes from this).
+  TraceSummary summarize(std::int32_t worker_lanes, double t0,
+                         double t1) const;
+
   /// Idle time is usually implicit (gaps between intervals).  This
   /// fills each lane's gaps within [t0, t1] with explicit Idle
   /// intervals, which makes summaries account for the full span.

@@ -1,0 +1,240 @@
+// PolicyEngine x advice integration: a stub AdviceProvider exercises
+// the engine-side guidance mechanics (pin parking, bypass claims,
+// demote-first reclaim, online reconfiguration) independently of the
+// adapt heuristics, which have their own suite in test_adapt.cpp.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "instant_executor.hpp"
+#include "ooc/policy_engine.hpp"
+
+namespace hmr::ooc {
+namespace {
+
+using hmr::testing::InstantExecutor;
+
+class StubAdvisor final : public AdviceProvider {
+public:
+  BlockAdvice advise(BlockId b, std::uint64_t) const override {
+    const auto it = advice_.find(b);
+    return it == advice_.end() ? BlockAdvice{} : it->second;
+  }
+  void set(BlockId b, BlockAdvice a) { advice_[b] = a; }
+  void clear(BlockId b) { advice_.erase(b); }
+
+private:
+  std::unordered_map<BlockId, BlockAdvice> advice_;
+};
+
+PolicyEngine::Config cfg(Strategy s, std::uint64_t cap,
+                         const AdviceProvider* adv, bool eager = true,
+                         int pes = 2) {
+  PolicyEngine::Config c;
+  c.strategy = s;
+  c.num_pes = pes;
+  c.fast_capacity = cap;
+  c.eager_evict = eager;
+  c.advisor = adv;
+  return c;
+}
+
+TaskDesc make_task(TaskId id, std::int32_t pe, std::vector<Dep> deps) {
+  TaskDesc t;
+  t.id = id;
+  t.pe = pe;
+  t.deps = std::move(deps);
+  return t;
+}
+
+TEST(PolicyAdvice, PinParksWarmUnderEagerAndSavesRefetch) {
+  StubAdvisor adv;
+  adv.set(0, {.pin = true});
+  PolicyEngine e(cfg(Strategy::MultiIo, 100, &adv));
+  e.add_block(0, 50);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadOnly}}));
+  // Eager mode would evict at refcount 0; the pin parks it instead.
+  EXPECT_EQ(x.evicts.size(), 0u);
+  EXPECT_EQ(e.block_state(0), BlockState::InFast);
+  EXPECT_EQ(e.lru_size(), 1u);
+  EXPECT_EQ(e.lru_bytes(), 50u);
+  EXPECT_EQ(e.stats().advised_pins, 1u);
+  // The next consumer reuses the warm copy: no second fetch.
+  x.arrive(make_task(2, 1, {{0, AccessMode::ReadOnly}}));
+  EXPECT_EQ(x.fetches.size(), 1u);
+  EXPECT_EQ(e.stats().lru_reclaims, 1u);
+  EXPECT_EQ(x.run_order.size(), 2u);
+  EXPECT_TRUE(e.quiescent());
+}
+
+TEST(PolicyAdvice, PinnedBlockYieldsWhenAdmissionNeedsSpace) {
+  // A pin is a preference, not a reservation: when the only way to
+  // admit the next task is evicting a pinned parked block, it goes.
+  StubAdvisor adv;
+  adv.set(0, {.pin = true});
+  PolicyEngine e(cfg(Strategy::MultiIo, 100, &adv));
+  e.add_block(0, 60);
+  e.add_block(1, 60);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadOnly}}));
+  ASSERT_EQ(e.lru_size(), 1u);
+  x.arrive(make_task(2, 0, {{1, AccessMode::ReadOnly}}));
+  // Two evictions: the pinned block 0 reclaimed to make room, then
+  // block 1's ordinary eager eviction after task 2 completes.
+  ASSERT_EQ(x.evicts.size(), 2u);
+  EXPECT_EQ(x.evicts[0].block, 0u);
+  EXPECT_EQ(x.evicts[1].block, 1u);
+  EXPECT_EQ(x.run_order.size(), 2u);
+  EXPECT_EQ(e.block_state(0), BlockState::InSlow);
+  EXPECT_TRUE(e.quiescent());
+}
+
+TEST(PolicyAdvice, DemoteAdvisedBlockIsReclaimedBeforeColderOnes) {
+  StubAdvisor adv;
+  adv.set(1, {.demote_first = true});
+  PolicyEngine e(cfg(Strategy::MultiIo, 100, &adv, /*eager=*/false));
+  e.add_block(0, 40);
+  e.add_block(1, 40);
+  e.add_block(2, 40);
+  InstantExecutor x(e);
+  // Park 0 then 1 (0 is the colder LRU victim by order).
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadOnly}}));
+  x.arrive(make_task(2, 0, {{1, AccessMode::ReadOnly}}));
+  ASSERT_EQ(e.lru_size(), 2u);
+  // Admitting block 2 needs 20 bytes: plain LRU would evict 0, the
+  // demote advice sends 1 first.
+  x.arrive(make_task(3, 0, {{2, AccessMode::ReadOnly}}));
+  ASSERT_GE(x.evicts.size(), 1u);
+  EXPECT_EQ(x.evicts[0].block, 1u);
+  EXPECT_EQ(e.stats().advised_demotions, 1u);
+  EXPECT_EQ(e.block_state(0), BlockState::InFast); // still parked warm
+  EXPECT_EQ(x.run_order.size(), 3u);
+}
+
+TEST(PolicyAdvice, BypassRunsFromSlowTierWithoutFetching) {
+  StubAdvisor adv;
+  adv.set(0, {.bypass_fetch = true});
+  PolicyEngine e(cfg(Strategy::MultiIo, 100, &adv));
+  e.add_block(0, 50);
+  InstantExecutor x(e, /*auto_run=*/false);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadOnly}}));
+  EXPECT_EQ(x.fetches.size(), 0u);
+  ASSERT_EQ(x.runnable.size(), 1u);
+  EXPECT_EQ(e.block_state(0), BlockState::InSlow);
+  EXPECT_EQ(e.refcount(0), 1u);
+  EXPECT_EQ(e.fast_used(), 0u);
+  EXPECT_EQ(e.stats().advised_bypasses, 1u);
+  x.complete(1);
+  EXPECT_TRUE(e.quiescent());
+  EXPECT_EQ(e.stats().fetches, 0u);
+  EXPECT_EQ(e.stats().evicts, 0u);
+}
+
+TEST(PolicyAdvice, ActiveSlowClaimForcesLaterTasksOntoBypass) {
+  // Once a task reads a block from the slow tier, fetching it would
+  // free the copy under the reader: later admissions must bypass too,
+  // even if the advice has changed its mind meanwhile.
+  StubAdvisor adv;
+  adv.set(0, {.bypass_fetch = true});
+  PolicyEngine e(cfg(Strategy::MultiIo, 100, &adv));
+  e.add_block(0, 50);
+  InstantExecutor x(e, /*auto_run=*/false);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadOnly}}));
+  ASSERT_EQ(x.runnable.size(), 1u);
+  adv.clear(0); // advice flips between events; the claim must win
+  x.arrive(make_task(2, 1, {{0, AccessMode::ReadOnly}}));
+  EXPECT_EQ(x.fetches.size(), 0u);
+  EXPECT_EQ(x.runnable.size(), 2u);
+  EXPECT_EQ(e.stats().advised_bypasses, 2u);
+  x.complete(1);
+  x.complete(2);
+  EXPECT_TRUE(e.quiescent());
+  EXPECT_EQ(e.block_state(0), BlockState::InSlow);
+  // With the claims gone the flipped advice applies again: task 3
+  // fetches normally.
+  x.arrive(make_task(3, 0, {{0, AccessMode::ReadOnly}}));
+  EXPECT_EQ(x.fetches.size(), 1u);
+}
+
+TEST(PolicyAdvice, SetEagerEvictFlushesLruButKeepsPinned) {
+  StubAdvisor adv;
+  adv.set(0, {.pin = true});
+  PolicyEngine e(cfg(Strategy::MultiIo, 100, &adv, /*eager=*/false));
+  e.add_block(0, 30);
+  e.add_block(1, 30);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadOnly}}));
+  x.arrive(make_task(2, 0, {{1, AccessMode::ReadOnly}}));
+  ASSERT_EQ(e.lru_size(), 2u);
+  x.drive(e.set_eager_evict(true));
+  EXPECT_TRUE(e.config().eager_evict);
+  // Only the unpinned parked block was flushed back to the slow tier.
+  EXPECT_EQ(e.lru_size(), 1u);
+  EXPECT_EQ(e.block_state(0), BlockState::InFast);
+  EXPECT_EQ(e.block_state(1), BlockState::InSlow);
+  // No-op when the value does not change.
+  EXPECT_TRUE(e.set_eager_evict(true).empty());
+}
+
+TEST(PolicyAdvice, SetLruWatermarkEvictsDownToTheCap) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100, nullptr, /*eager=*/false));
+  e.add_block(0, 40);
+  e.add_block(1, 40);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadOnly}}));
+  x.arrive(make_task(2, 0, {{1, AccessMode::ReadOnly}}));
+  ASSERT_EQ(e.lru_bytes(), 80u);
+  x.drive(e.set_lru_watermark(0.5)); // cap = 50 bytes
+  EXPECT_EQ(e.lru_bytes(), 40u);
+  // Coldest went first.
+  EXPECT_EQ(e.block_state(0), BlockState::InSlow);
+  EXPECT_EQ(e.block_state(1), BlockState::InFast);
+  EXPECT_DEATH(e.set_lru_watermark(0.0), "watermark");
+}
+
+TEST(PolicyAdvice, SetStrategyTogglesWorkerEviction) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100, nullptr));
+  EXPECT_FALSE(e.config().evict_by_worker);
+  e.set_strategy(Strategy::SyncNoIo);
+  EXPECT_EQ(e.config().strategy, Strategy::SyncNoIo);
+  EXPECT_TRUE(e.config().evict_by_worker); // SyncNoIo forces it
+  e.set_strategy(Strategy::SingleIo);
+  EXPECT_FALSE(e.config().evict_by_worker); // restored to the base
+  EXPECT_DEATH(e.set_strategy(Strategy::HbmOnly), "movement strategies");
+}
+
+TEST(PolicyAdvice, SetStrategyRequiresQuiescence) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100, nullptr));
+  e.add_block(0, 50);
+  auto cmds = e.on_task_arrived(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  ASSERT_FALSE(cmds.empty()); // fetch in flight
+  EXPECT_DEATH(e.set_strategy(Strategy::SingleIo), "quiescent");
+}
+
+TEST(PolicyAdvice, SwitchingStrategiesMidStreamKeepsProtocolSound) {
+  // Run a few tasks, switch strategy at quiescence, run a few more —
+  // accounting identities must hold across the switch.
+  PolicyEngine e(cfg(Strategy::SingleIo, 200, nullptr, true, /*pes=*/4));
+  for (BlockId b = 0; b < 6; ++b) e.add_block(b, 40);
+  InstantExecutor x(e);
+  for (TaskId t = 1; t <= 8; ++t) {
+    x.arrive(make_task(t, static_cast<std::int32_t>(t % 4),
+                       {{t % 6, AccessMode::ReadWrite}}));
+  }
+  ASSERT_TRUE(e.quiescent());
+  e.set_strategy(Strategy::SyncNoIo);
+  for (TaskId t = 9; t <= 16; ++t) {
+    x.arrive(make_task(t, static_cast<std::int32_t>(t % 4),
+                       {{t % 6, AccessMode::ReadWrite}}));
+  }
+  EXPECT_TRUE(e.quiescent());
+  const auto& s = e.stats();
+  EXPECT_EQ(s.tasks_run, 16u);
+  EXPECT_EQ(s.fetch_bytes, s.evict_bytes);
+  EXPECT_EQ(e.fast_used(), 0u);
+}
+
+} // namespace
+} // namespace hmr::ooc

@@ -189,5 +189,98 @@ TEST(PolicyEdge, DedupCountsOncePerExtraWaiter) {
   EXPECT_EQ(runs, 5u);
 }
 
+TEST(PolicyEdge, RemoveClaimedBlockDies) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  e.add_block(0, 50);
+  auto c = e.on_task_arrived(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  auto c2 = e.on_fetch_complete(0);
+  // Task 1 is running and holds a claim on the block.
+  EXPECT_DEATH(e.remove_block(0), "removing a claimed block");
+}
+
+TEST(PolicyEdge, RemoveBlockMidMigrationDies) {
+  PolicyEngine e(cfg(Strategy::MultiIo, 100));
+  e.add_block(0, 50);
+  auto c = e.on_task_arrived(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  ASSERT_EQ(e.block_state(0), BlockState::FetchInFlight);
+  // refcount is nonzero too, so the claim check fires first; what
+  // matters is that removal dies rather than corrupting the budget.
+  EXPECT_DEATH(e.remove_block(0), "removing a");
+  // Same for the evict leg, where the refcount is already zero.
+  auto c2 = e.on_fetch_complete(0);
+  auto c3 = e.on_task_complete(1);
+  ASSERT_EQ(e.block_state(0), BlockState::EvictInFlight);
+  EXPECT_DEATH(e.remove_block(0), "removing a block mid-migration");
+}
+
+TEST(PolicyEdge, OversizedBlockHbmOnlyDies) {
+  PolicyEngine e(cfg(Strategy::HbmOnly, 100));
+  EXPECT_DEATH(e.add_block(0, 101),
+               "requires the working set to fit");
+}
+
+TEST(PolicyEdge, OversizedBlockNaiveOverflowsToSlow) {
+  PolicyEngine e(cfg(Strategy::Naive, 100));
+  EXPECT_EQ(e.add_block(0, 101), Placement::Slow);
+  EXPECT_EQ(e.block_state(0), BlockState::InSlow);
+  EXPECT_EQ(e.fast_used(), 0u);
+  // A smaller block still packs into the fast tier afterwards.
+  EXPECT_EQ(e.add_block(1, 50), Placement::Fast);
+}
+
+TEST(PolicyEdge, OversizedBlockMovementStrategiesDieOnUse) {
+  // Movement strategies place any block on the slow tier, however
+  // large; the wedge check fires only when a task actually needs it
+  // fetched (its dependences can never fit).
+  for (const Strategy s :
+       {Strategy::SingleIo, Strategy::SyncNoIo, Strategy::MultiIo}) {
+    PolicyEngine e(cfg(s, 100));
+    EXPECT_EQ(e.add_block(0, 101), Placement::Slow);
+    EXPECT_DEATH(
+        e.on_task_arrived(make_task(1, 0, {{0, AccessMode::ReadWrite}})),
+        "exceed the fast-tier capacity");
+  }
+}
+
+TEST(PolicyEdge, LazyWarmReuseIncrementsLruReclaims) {
+  auto c = cfg(Strategy::MultiIo, 100);
+  c.eager_evict = false;
+  PolicyEngine e(c);
+  e.add_block(0, 50);
+  InstantExecutor x(e);
+  x.arrive(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
+  ASSERT_EQ(e.lru_size(), 1u);
+  EXPECT_EQ(e.stats().lru_reclaims, 0u);
+  // The parked warm block is reused without a round trip.
+  x.arrive(make_task(2, 0, {{0, AccessMode::ReadWrite}}));
+  EXPECT_EQ(e.stats().lru_reclaims, 1u);
+  EXPECT_EQ(e.stats().fetches, 1u); // no refetch
+  EXPECT_EQ(x.run_order.size(), 2u);
+}
+
+TEST(PolicyEdge, DedupHitAcrossTwoQueuedTasks) {
+  // Two queued tasks share a dependence; the second admission rides
+  // the first one's in-flight fetch and must say so in the stats.
+  PolicyEngine e(cfg(Strategy::MultiIo, 200, /*pes=*/2));
+  e.add_block(0, 50);
+  e.add_block(1, 50);
+  auto c1 = e.on_task_arrived(make_task(1, 0, {{0, AccessMode::ReadOnly}}));
+  auto c2 = e.on_task_arrived(make_task(2, 1, {{0, AccessMode::ReadOnly},
+                                               {1, AccessMode::ReadWrite}}));
+  std::size_t fetches0 = 0;
+  for (const auto& c : c1) fetches0 += c.kind == Command::Kind::Fetch;
+  for (const auto& c : c2) {
+    fetches0 += c.kind == Command::Kind::Fetch && c.block == 0;
+  }
+  EXPECT_EQ(fetches0, 1u);
+  EXPECT_EQ(e.stats().fetch_dedup_hits, 1u);
+  // Completing the shared fetch readies task 1 and unblocks task 2's
+  // remaining dependence as usual.
+  InstantExecutor x(e);
+  x.drive(e.on_fetch_complete(0));
+  x.drive(e.on_fetch_complete(1));
+  EXPECT_EQ(x.run_order.size(), 2u);
+}
+
 } // namespace
 } // namespace hmr::ooc

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <memory>
 #include <numeric>
 
 #include "rt/chare.hpp"
@@ -307,6 +308,36 @@ TEST(Runtime, LazyEvictionKeepsBlocksWarm) {
 
 namespace hmr::rt {
 namespace {
+
+TEST(Runtime, AdaptiveGuidanceStepsAtEveryIdleBarrier) {
+  // Adaptive mode in the threaded runtime: wait_idle() is the phase
+  // boundary.  The guidance components must see every phase and stay
+  // within their configured bounds while real tasks flow through.
+  auto cfg = small_config(ooc::Strategy::MultiIo, /*pes=*/2);
+  cfg.adaptive = true;
+  cfg.profiler_cfg.top_k = 4; // tighter than the block count below
+  Runtime rt(cfg);
+  std::vector<std::unique_ptr<IoHandle<double>>> blocks;
+  for (int i = 0; i < 6; ++i) {
+    blocks.push_back(std::make_unique<IoHandle<double>>(rt, 4096));
+  }
+  std::atomic<int> ran{0};
+  for (int phase = 0; phase < 3; ++phase) {
+    for (int t = 0; t < 12; ++t) {
+      auto& h = *blocks[static_cast<std::size_t>(t) % blocks.size()];
+      rt.send_prefetch(t % rt.num_pes(),
+                       {h.dep(ooc::AccessMode::ReadOnly)},
+                       [&ran] { ran.fetch_add(1); });
+    }
+    rt.wait_idle();
+  }
+  EXPECT_EQ(ran.load(), 36);
+  ASSERT_NE(rt.governor(), nullptr);
+  EXPECT_GE(rt.governor()->phases_observed(), 3);
+  ASSERT_NE(rt.profiler(), nullptr);
+  EXPECT_LE(rt.profiler()->tracked(), 4u);
+  EXPECT_EQ(rt.policy_stats().tasks_run, 36u);
+}
 
 TEST(Runtime, ThreadPinningOptionRuns) {
   // Functional smoke test: pinning must not break execution even when

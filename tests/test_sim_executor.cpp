@@ -216,5 +216,79 @@ TEST(SimExecutor, RunTwiceDies) {
   EXPECT_DEATH((void)ex.run(w), "only be called once");
 }
 
+TEST(SimExecutor, AdaptiveRequiresMovementStrategy) {
+  auto cfg = base_config(ooc::Strategy::Naive);
+  cfg.adaptive = true;
+  EXPECT_DEATH({ SimExecutor ex(cfg); }, "movement strategy");
+}
+
+TEST(SimExecutor, AdaptiveStationaryStencilMatchesFixed) {
+  // On a stationary workload the governor has nothing to fix: an
+  // adaptive run from the paper's default configuration must track the
+  // fixed MultiIo run closely.
+  const auto w = small_stencil(8, /*iters=*/4);
+  const auto fixed = SimExecutor(base_config(ooc::Strategy::MultiIo)).run(w);
+  auto cfg = base_config(ooc::Strategy::MultiIo);
+  cfg.adaptive = true;
+  SimExecutor ex(cfg);
+  const auto r = ex.run(w);
+  EXPECT_EQ(r.tasks_completed, fixed.tasks_completed);
+  EXPECT_LE(r.total_time, fixed.total_time * 1.05);
+  ASSERT_NE(ex.governor(), nullptr);
+  // One governor step per interior iteration boundary.
+  EXPECT_EQ(ex.governor()->phases_observed(), 3);
+}
+
+TEST(SimExecutor, AdaptivePhaseFlipSwitchesEvictionOnline) {
+  // Streaming first half, heavy read-mostly reuse of a small window in
+  // the second: the refetch ratio jumps at the flip and the governor
+  // must move off eager eviction mid-run.
+  SyntheticWorkload::Params p;
+  p.num_blocks = 96;
+  p.block_bytes = 4 * MiB; // 384 MiB working set vs 64 MiB fast tier
+  p.tasks_per_iteration = 64;
+  p.deps_per_task = 2;
+  p.num_pes = 8;
+  p.num_iterations = 8;
+  p.readonly_frac = 0.8;
+  p.reuse = 0.0;
+  p.flip_iteration = 4;
+  p.reuse_after = 0.9;
+  p.window_after = 8;
+  const SyntheticWorkload w(p);
+  auto cfg = base_config(ooc::Strategy::MultiIo);
+  cfg.adaptive = true;
+  cfg.profiler_cfg.top_k = 128;
+  SimExecutor ex(cfg);
+  const auto r = ex.run(w);
+  EXPECT_EQ(r.tasks_completed, 8u * 64u);
+  EXPECT_GE(r.governor_switches, 1u);
+  EXPECT_FALSE(r.final_eager_evict);
+  EXPECT_GT(r.policy.lru_reclaims, 0u);
+  ASSERT_NE(ex.profiler(), nullptr);
+  EXPECT_LE(ex.profiler()->tracked(), cfg.profiler_cfg.top_k);
+}
+
+TEST(SimExecutor, AdaptiveRunIsDeterministic) {
+  SyntheticWorkload::Params p;
+  p.num_blocks = 48;
+  p.block_bytes = 4 * MiB;
+  p.tasks_per_iteration = 32;
+  p.num_pes = 8;
+  p.num_iterations = 4;
+  p.flip_iteration = 2;
+  p.reuse_after = 0.8;
+  const SyntheticWorkload w(p);
+  auto cfg = base_config(ooc::Strategy::MultiIo);
+  cfg.adaptive = true;
+  SimExecutor a(cfg);
+  SimExecutor b(cfg);
+  const auto ra = a.run(w);
+  const auto rb = b.run(w);
+  EXPECT_DOUBLE_EQ(ra.total_time, rb.total_time);
+  EXPECT_EQ(ra.governor_switches, rb.governor_switches);
+  EXPECT_EQ(ra.final_eager_evict, rb.final_eager_evict);
+}
+
 } // namespace
 } // namespace hmr::sim
