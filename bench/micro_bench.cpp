@@ -5,12 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "adapt/block_profiler.hpp"
 #include "adapt/placement_advisor.hpp"
 #include "mem/arena.hpp"
+#include "mem/chunked_copy.hpp"
 #include "rt/ci_parser.hpp"
 #include "rt/load_balancer.hpp"
 #include "sim/sim_executor.hpp"
@@ -114,6 +117,71 @@ void BM_PolicyTaskCycle(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PolicyTaskCycle);
+
+void BM_PolicyTaskCycleBatched(benchmark::State& state) {
+  // BM_PolicyTaskCycle's four events handed to the engine as one
+  // step_batch call — the amortization the threaded runtime's PE/IO
+  // loops use.  The delta against BM_PolicyTaskCycle is the per-call
+  // dispatch overhead (the lock amortization on top of it only shows
+  // under contention; bench/rt_contention measures that part).
+  ooc::PolicyEngine::Config cfg;
+  cfg.strategy = ooc::Strategy::MultiIo;
+  cfg.num_pes = 4;
+  cfg.fast_capacity = 1 * GiB;
+  ooc::PolicyEngine eng(cfg);
+  eng.add_block(0, 1 * MiB);
+  ooc::TaskId next = 1;
+  for (auto _ : state) {
+    ooc::TaskDesc t;
+    t.id = next++;
+    t.pe = 0;
+    t.deps = {{0, ooc::AccessMode::ReadWrite}};
+    std::vector<ooc::PolicyEngine::Event> ev;
+    ev.push_back(ooc::PolicyEngine::Event::arrived(t));
+    ev.push_back(ooc::PolicyEngine::Event::fetched(0));
+    ev.push_back(ooc::PolicyEngine::Event::completed(t.id));
+    ev.push_back(ooc::PolicyEngine::Event::evicted(0));
+    auto cmds = eng.step_batch(std::move(ev));
+    benchmark::DoNotOptimize(cmds.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PolicyTaskCycleBatched);
+
+void BM_ChunkedMigrateRoundTrip(benchmark::State& state) {
+  // BM_MigrateRoundTrip with the copy streamed through the ChunkRing
+  // (256 KiB chunks), with 0 or 2 helper threads assisting.  Compare
+  // against BM_MigrateRoundTrip at the same size for the chunking
+  // overhead / cooperation speedup.
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  const int n_helpers = static_cast<int>(state.range(1));
+  mem::MemoryManager mm({{"DDR4", 128 * MiB}, {"MCDRAM", 128 * MiB}});
+  mm.set_chunked_copy(/*threshold=*/1 * MiB, /*chunk=*/256 * KiB);
+  const auto b = mm.register_block(bytes, 0);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> helpers;
+  for (int h = 0; h < n_helpers; ++h) {
+    helpers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (mm.assist_copies() == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mm.migrate(b, 1).ok);
+    benchmark::DoNotOptimize(mm.migrate(b, 0).ok);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : helpers) t.join();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ChunkedMigrateRoundTrip)
+    ->Args({4 << 20, 0})
+    ->Args({4 << 20, 2})
+    ->Args({16 << 20, 0})
+    ->Args({16 << 20, 2})
+    ->UseRealTime();
 
 void BM_BlockProfilerAccess(benchmark::State& state) {
   // Per-access cost of the hotness/reuse sketch, over more live blocks

@@ -178,11 +178,20 @@ MigrateResult MemoryManager::migrate(BlockId b, TierId dst,
     return r;
   }
 
-  // Step 2: move the data (memcpy), outside any lock so migrations of
-  // distinct blocks overlap.  Skipped for write-only destinations.
+  // Step 2: move the data, outside any lock so migrations of distinct
+  // blocks overlap.  Skipped for write-only destinations.  Large
+  // copies stream through the ChunkRing so idle IO threads can assist
+  // (several cores cooperating on one block).
   if (copy_contents) {
     const double t0 = now_s();
-    std::memcpy(dst_ptr, src_ptr, bytes);
+    if (chunk_threshold_ > 0 && bytes >= chunk_threshold_) {
+      const CopyOutcome co = ring_.run(dst_ptr, src_ptr, bytes);
+      r.chunked = true;
+      r.chunks = co.chunks;
+      r.assisted_chunks = co.assisted_chunks;
+    } else {
+      std::memcpy(dst_ptr, src_ptr, bytes);
+    }
     r.copy_s = now_s() - t0;
   }
 
@@ -210,6 +219,21 @@ MigrateResult MemoryManager::migrate(BlockId b, TierId dst,
   }
   r.ok = true;
   return r;
+}
+
+void MemoryManager::set_chunked_copy(std::uint64_t threshold,
+                                     std::uint64_t chunk) {
+  chunk_threshold_ = threshold;
+  if (threshold > 0) {
+    HMR_CHECK_MSG(chunk > 0, "chunk size must be positive");
+    ring_.set_chunk_bytes(chunk);
+  }
+}
+
+std::size_t MemoryManager::assist_copies() { return ring_.assist(); }
+
+bool MemoryManager::copy_assist_pending() const {
+  return chunk_threshold_ > 0 && ring_.assist_pending();
 }
 
 TierUsage MemoryManager::usage(TierId t) const {

@@ -30,6 +30,7 @@
 
 #include "hw/machine_model.hpp"
 #include "mem/arena.hpp"
+#include "mem/chunked_copy.hpp"
 #include "mem/pool.hpp"
 
 namespace hmr::mem {
@@ -47,6 +48,9 @@ struct MigrateResult {
   double copy_s = 0;     // step 2
   double free_s = 0;     // step 3 (0 when returned to the pool)
   bool pooled = false;   // destination buffer came from the pool
+  bool chunked = false;  // step 2 went through the ChunkRing
+  std::uint32_t chunks = 0;          // chunks copied (chunked only)
+  std::uint32_t assisted_chunks = 0; // copied by assisting threads
   double total() const { return alloc_s + copy_s + free_s; }
 };
 
@@ -119,6 +123,31 @@ public:
   /// the destination buffer's contents are then indeterminate.
   MigrateResult migrate(BlockId b, TierId dst, bool copy_contents = true);
 
+  // ---- cooperative chunked copies ----
+  //
+  // With chunking enabled, migrate() streams copies of at least
+  // `threshold` bytes through a ChunkRing in `chunk` -byte pieces, and
+  // idle threads (the runtime's IO threads) can join in via
+  // assist_copies() so several cores share one large transfer.
+
+  /// Enable (threshold > 0) or disable (threshold = 0) chunked copies.
+  /// Not thread-safe against concurrent migrate(): configure before
+  /// the executor starts moving data.
+  void set_chunked_copy(std::uint64_t threshold, std::uint64_t chunk);
+
+  bool chunked_copy_enabled() const { return chunk_threshold_ > 0; }
+  std::uint64_t chunk_threshold() const { return chunk_threshold_; }
+
+  /// Copy chunks of any in-flight chunked migration; returns chunks
+  /// copied (0 = nothing pending).  Safe from any thread.
+  std::size_t assist_copies();
+
+  /// Cheap poll for IO-thread idle loops.
+  bool copy_assist_pending() const;
+
+  /// The ring's monotonic counters (jobs / chunks / assisted chunks).
+  const ChunkRing& chunk_ring() const { return ring_; }
+
   // ---- introspection ----
 
   TierUsage usage(TierId t) const;
@@ -151,6 +180,8 @@ private:
 
   std::vector<std::unique_ptr<TierState>> arenas_;
   bool pool_enabled_;
+  std::uint64_t chunk_threshold_ = 0; // 0 = chunking off
+  ChunkRing ring_;
 
   mutable std::mutex blocks_mu_;
   std::vector<BlockRec> blocks_;

@@ -1,0 +1,95 @@
+#include "ooc/hbm_budget.hpp"
+
+#include "util/check.hpp"
+
+namespace hmr::ooc {
+
+HbmBudget::HbmBudget(std::uint64_t capacity, std::int32_t num_shards)
+    : capacity_(capacity), shards_(static_cast<std::size_t>(num_shards)) {
+  HMR_CHECK(num_shards > 0);
+  const std::uint64_t n = static_cast<std::uint64_t>(num_shards);
+  const std::uint64_t share = capacity / n;
+  for (auto& s : shards_) s.avail.store(share, std::memory_order_relaxed);
+  // Remainder goes to shard 0 so the shares sum to the capacity.
+  shards_[0].avail.fetch_add(capacity - share * n, std::memory_order_relaxed);
+}
+
+std::uint64_t HbmBudget::take(Shard& s, std::uint64_t want) {
+  std::uint64_t cur = s.avail.load(std::memory_order_relaxed);
+  while (true) {
+    const std::uint64_t got = cur < want ? cur : want;
+    if (got == 0) return 0;
+    if (s.avail.compare_exchange_weak(cur, cur - got,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      return got;
+    }
+  }
+}
+
+bool HbmBudget::try_claim(std::int32_t shard, std::uint64_t bytes) {
+  if (bytes == 0) return true;
+  auto& home = shards_[static_cast<std::size_t>(shard)];
+  // Fast path: the home sub-budget covers the claim.
+  {
+    std::uint64_t cur = home.avail.load(std::memory_order_relaxed);
+    while (cur >= bytes) {
+      if (home.avail.compare_exchange_weak(cur, cur - bytes,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+  // Slow path: pull slack from every shard (home included) under the
+  // steal mutex.  Serializing stealers makes the claim exact: two
+  // concurrent slow-path claims cannot both fail after splitting slack
+  // that would have satisfied either one alone.
+  std::lock_guard lk(steal_mu_);
+  std::uint64_t got = 0;
+  got += take(home, bytes);
+  for (std::size_t i = 0; i < shards_.size() && got < bytes; ++i) {
+    if (static_cast<std::int32_t>(i) == shard) continue;
+    got += take(shards_[i], bytes - got);
+  }
+  if (got < bytes) {
+    // Not enough node-wide: put back what was gathered.
+    if (got > 0) home.avail.fetch_add(got, std::memory_order_acq_rel);
+    return false;
+  }
+  // Steal in bulk: pull up to half a shard's nominal slice of extra
+  // slack into the home shard so the next few claims there hit the
+  // CAS fast path instead of re-entering this mutex.  When capacity
+  // is tight relative to claim size the per-claim steal rate would
+  // otherwise approach 100% and the slow path becomes a global lock.
+  std::uint64_t bonus_want = capacity_ / shards_.size() / 2;
+  std::uint64_t bonus = 0;
+  for (std::size_t i = 0; i < shards_.size() && bonus < bonus_want; ++i) {
+    if (static_cast<std::int32_t>(i) == shard) continue;
+    bonus += take(shards_[i], bonus_want - bonus);
+  }
+  if (bonus > 0) home.avail.fetch_add(bonus, std::memory_order_acq_rel);
+  steals_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void HbmBudget::release(std::int32_t shard, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  shards_[static_cast<std::size_t>(shard)].avail.fetch_add(
+      bytes, std::memory_order_acq_rel);
+}
+
+std::uint64_t HbmBudget::used() const {
+  std::uint64_t avail = 0;
+  for (const auto& s : shards_) {
+    avail += s.avail.load(std::memory_order_relaxed);
+  }
+  return capacity_ >= avail ? capacity_ - avail : 0;
+}
+
+std::uint64_t HbmBudget::available(std::int32_t shard) const {
+  return shards_[static_cast<std::size_t>(shard)].avail.load(
+      std::memory_order_relaxed);
+}
+
+} // namespace hmr::ooc

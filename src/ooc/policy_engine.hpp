@@ -92,6 +92,28 @@ public:
     std::uint64_t advised_demotions = 0; // demote-advised reclaim victim
   };
 
+  /// One engine event, reified so executors can hand the engine a
+  /// whole batch under a single lock acquisition (the threaded
+  /// runtime's IO/PE loops drain queues in batches; the DES keeps
+  /// calling the per-event entry points).
+  struct Event {
+    enum class Kind : std::uint8_t {
+      TaskArrived,
+      FetchComplete,
+      EvictComplete,
+      TaskComplete,
+    };
+    Kind kind = Kind::TaskArrived;
+    TaskDesc task;                      // TaskArrived
+    BlockId block = mem::kInvalidBlock; // Fetch/EvictComplete
+    TaskId task_id = kInvalidTask;      // TaskComplete
+
+    static Event arrived(TaskDesc t);
+    static Event fetched(BlockId b);
+    static Event evicted(BlockId b);
+    static Event completed(TaskId t);
+  };
+
   explicit PolicyEngine(Config cfg);
 
   const Config& config() const { return cfg_; }
@@ -121,6 +143,12 @@ public:
   /// A task previously issued via Command::Run finished executing
   /// (post-processing step).
   std::vector<Command> on_task_complete(TaskId t);
+
+  /// Process a batch of events in order, concatenating the resulting
+  /// commands.  Exactly equivalent to calling the per-event entry
+  /// points one by one; exists so a threaded executor can amortize one
+  /// engine-lock acquisition over the whole batch.
+  std::vector<Command> step_batch(std::vector<Event> events);
 
   // ---- online reconfiguration (adaptive governor) ----
   //

@@ -26,6 +26,15 @@ ooc::PolicyEngine::Config engine_config(const Runtime::Config& cfg,
   return ec;
 }
 
+/// The ShardedEngine covers exactly the MultiIo + eager-eviction hot
+/// path; everything global (SingleIo round-robin, SyncNoIo, the lazy
+/// LRU, the adaptive advisor) stays on the serial engine.
+bool sharded_eligible(const Runtime::Config& cfg) {
+  return cfg.engine_shards != 1 &&
+         cfg.strategy == ooc::Strategy::MultiIo && cfg.eager_evict &&
+         !cfg.adaptive;
+}
+
 int io_thread_count(const Runtime::Config& cfg) {
   // Adaptive runs may switch to MultiIo mid-run: give them the full
   // complement (commands route via agent % io_.size()).
@@ -66,9 +75,33 @@ Runtime::Runtime(Config cfg)
           mem::MemoryManager::specs_from_model(cfg_.model, cfg_.mem_scale),
           cfg_.memory_pool)),
       engine_(engine_config(cfg_, mm_->usage(cfg_.model.fast).capacity)),
+      pending_(static_cast<std::size_t>(std::max(1, cfg_.num_pes))),
+      tasks_done_(static_cast<std::size_t>(std::max(1, cfg_.num_pes))),
       tracer_(cfg_.trace),
       t0_(std::chrono::steady_clock::now()) {
   HMR_CHECK(cfg_.num_pes > 0);
+  cfg_.io_batch = std::max(1, cfg_.io_batch);
+  if (cfg_.chunk_threshold > 0) {
+    mm_->set_chunked_copy(cfg_.chunk_threshold, cfg_.chunk_bytes);
+  }
+  if (sharded_eligible(cfg_)) {
+    ShardedEngine::Config sc;
+    sc.num_pes = cfg_.num_pes;
+    sc.num_shards = std::max(0, cfg_.engine_shards);
+    sc.fast_capacity = mm_->usage(cfg_.model.fast).capacity;
+    sc.writeonly_nocopy = cfg_.writeonly_nocopy;
+    sc.evict_by_worker = cfg_.evict_by_worker;
+    if (cfg_.lock_stats) {
+      const auto n = sc.num_shards > 0
+                         ? std::min(sc.num_shards, sc.num_pes)
+                         : sc.num_pes;
+      lock_stats_ = std::make_unique<trace::ContentionStats>(
+          static_cast<std::size_t>(n));
+    }
+    sharded_ = std::make_unique<ShardedEngine>(sc, lock_stats_.get());
+  } else if (cfg_.lock_stats) {
+    lock_stats_ = std::make_unique<trace::ContentionStats>(1);
+  }
   if (cfg_.adaptive) {
     HMR_CHECK_MSG(ooc::strategy_moves_data(cfg_.strategy),
                   "adaptive guidance requires a movement strategy");
@@ -134,13 +167,18 @@ double Runtime::now() const {
 }
 
 mem::BlockId Runtime::alloc_block(std::uint64_t bytes) {
-  std::lock_guard elk(engine_mu_);
-  // MemoryManager hands out dense sequential ids, so the engine can
-  // share the id space; the CHECK below pins that assumption.
+  // One small lock keeps the engine's and the MemoryManager's dense
+  // sequential id spaces aligned under concurrent allocation.
+  std::lock_guard alk(alloc_mu_);
   const mem::BlockId expected = blocks_created_++;
-  const ooc::Placement p = engine_.add_block(expected, bytes);
-  const hw::TierId tier =
-      p == ooc::Placement::Fast ? fast_tier_ : slow_tier_;
+  hw::TierId tier = slow_tier_;
+  if (sharded_) {
+    sharded_->add_block(expected, bytes);
+  } else {
+    std::lock_guard elk(engine_mu_);
+    const ooc::Placement p = engine_.add_block(expected, bytes);
+    tier = p == ooc::Placement::Fast ? fast_tier_ : slow_tier_;
+  }
   const mem::BlockId b = mm_->register_block(bytes, tier);
   HMR_CHECK_MSG(b != mem::kInvalidBlock,
                 "tier out of memory while allocating a block");
@@ -150,18 +188,20 @@ mem::BlockId Runtime::alloc_block(std::uint64_t bytes) {
 
 void Runtime::free_block(mem::BlockId b) {
   {
-    std::lock_guard elk(engine_mu_);
-    engine_.remove_block(b);
+    std::lock_guard alk(alloc_mu_);
+    if (sharded_) {
+      sharded_->remove_block(b);
+    } else {
+      std::lock_guard elk(engine_mu_);
+      engine_.remove_block(b);
+    }
   }
   mm_->unregister_block(b);
 }
 
 void Runtime::send(int pe, Body body) {
   HMR_CHECK(pe >= 0 && pe < cfg_.num_pes);
-  {
-    std::lock_guard lk(idle_mu_);
-    ++outstanding_msgs_;
-  }
+  msgs_add(1);
   PeWorker& w = *pes_[static_cast<std::size_t>(pe)];
   std::lock_guard lk(w.mu);
   Msg m;
@@ -174,10 +214,7 @@ void Runtime::send(int pe, Body body) {
 void Runtime::send_prefetch(int pe, DepList deps, Body body,
                             double work_factor) {
   HMR_CHECK(pe >= 0 && pe < cfg_.num_pes);
-  {
-    std::lock_guard lk(idle_mu_);
-    ++outstanding_msgs_;
-  }
+  msgs_add(1);
   PeWorker& w = *pes_[static_cast<std::size_t>(pe)];
   std::lock_guard lk(w.mu);
   Msg m;
@@ -189,35 +226,73 @@ void Runtime::send_prefetch(int pe, DepList deps, Body body,
   w.cv.notify_one();
 }
 
+void Runtime::send_batch(int pe, std::vector<Body> bodies) {
+  HMR_CHECK(pe >= 0 && pe < cfg_.num_pes);
+  if (bodies.empty()) return;
+  msgs_add(bodies.size());
+  PeWorker& w = *pes_[static_cast<std::size_t>(pe)];
+  std::lock_guard lk(w.mu);
+  for (auto& body : bodies) {
+    Msg m;
+    m.body = std::move(body);
+    m.prefetch = false;
+    w.msgs.push_back(std::move(m));
+  }
+  w.cv.notify_one();
+}
+
+void Runtime::send_prefetch_batch(int pe, std::vector<PrefetchMsg> msgs) {
+  HMR_CHECK(pe >= 0 && pe < cfg_.num_pes);
+  if (msgs.empty()) return;
+  msgs_add(msgs.size());
+  PeWorker& w = *pes_[static_cast<std::size_t>(pe)];
+  std::lock_guard lk(w.mu);
+  for (auto& pm : msgs) {
+    Msg m;
+    m.body = std::move(pm.body);
+    m.deps = std::move(pm.deps);
+    m.work_factor = pm.work_factor;
+    m.prefetch = true;
+    w.msgs.push_back(std::move(m));
+  }
+  w.cv.notify_one();
+}
+
 void Runtime::pe_loop(int pe) {
   PeWorker& w = *pes_[static_cast<std::size_t>(pe)];
+  const auto depth = static_cast<std::size_t>(cfg_.io_batch);
+  std::vector<ReadyTask> tasks;
+  std::vector<Msg> msgs;
   for (;;) {
-    ReadyTask task;
-    Msg msg;
-    int kind = 0;
+    tasks.clear();
+    msgs.clear();
     {
       std::unique_lock lk(w.mu);
       w.cv.wait(lk, [&] {
         return stop_.load() || !w.run_q.empty() || !w.msgs.empty();
       });
-      if (!w.run_q.empty()) {
-        // Ready tasks (data resident) run before new messages are
-        // intercepted, keeping the PE's pipeline full.
-        task = std::move(w.run_q.front());
+      // Ready tasks (data resident) run before new messages are
+      // intercepted, keeping the PE's pipeline full.  Draining a
+      // batch amortizes the queue lock and, on the serial-engine
+      // path, the engine lock over the whole batch.
+      while (!w.run_q.empty() && tasks.size() < depth) {
+        tasks.push_back(std::move(w.run_q.front()));
         w.run_q.pop_front();
-        kind = 1;
-      } else if (!w.msgs.empty()) {
-        msg = std::move(w.msgs.front());
-        w.msgs.pop_front();
-        kind = 2;
-      } else {
+      }
+      if (tasks.empty()) {
+        while (!w.msgs.empty() && msgs.size() < depth) {
+          msgs.push_back(std::move(w.msgs.front()));
+          w.msgs.pop_front();
+        }
+      }
+      if (tasks.empty() && msgs.empty()) {
         return; // stop requested and nothing left to do
       }
     }
-    if (kind == 1) {
-      execute_task(pe, task);
+    if (!tasks.empty()) {
+      run_ready_batch(pe, tasks);
     } else {
-      intercept(pe, std::move(msg));
+      intercept_batch(pe, msgs);
     }
   }
 }
@@ -225,75 +300,152 @@ void Runtime::pe_loop(int pe) {
 void Runtime::io_loop(int io) {
   IoWorker& w = *io_[static_cast<std::size_t>(io)];
   const int lane = cfg_.num_pes + io;
+  const auto depth = static_cast<std::size_t>(cfg_.io_batch);
+  std::vector<ooc::Command> batch;
   for (;;) {
-    ooc::Command cmd;
+    batch.clear();
     {
       std::unique_lock lk(w.mu);
-      w.cv.wait(lk, [&] { return stop_.load() || !w.cmds.empty(); });
-      if (w.cmds.empty()) return;
-      cmd = w.cmds.front();
-      w.cmds.pop_front();
+      for (;;) {
+        if (!w.cmds.empty() || stop_.load()) break;
+        if (mm_->copy_assist_pending()) {
+          // Idle with a large chunked copy in flight somewhere: lend
+          // this core to it instead of sleeping.
+          lk.unlock();
+          mm_->assist_copies();
+          lk.lock();
+          continue;
+        }
+        w.cv.wait(lk, [&] {
+          return stop_.load() || !w.cmds.empty() ||
+                 mm_->copy_assist_pending();
+        });
+      }
+      if (w.cmds.empty()) return; // stop requested, queue drained
+      while (!w.cmds.empty() && batch.size() < depth) {
+        batch.push_back(w.cmds.front());
+        w.cmds.pop_front();
+      }
     }
-    perform_transfer(cmd, lane);
+    perform_transfer_batch(batch, lane);
   }
 }
 
-void Runtime::intercept(int pe, Msg msg) {
-  if (!msg.prefetch) {
-    // Plain entry method: the converse scheduler delivers it directly.
+void Runtime::intercept_batch(int pe, std::vector<Msg>& msgs) {
+  std::vector<ooc::TaskDesc> arrivals;
+  arrivals.reserve(msgs.size());
+  auto flush = [&] {
+    if (arrivals.empty()) return;
+    process(ev_arrivals(std::move(arrivals)), pe);
+    arrivals.clear();
+  };
+  for (auto& msg : msgs) {
+    if (!msg.prefetch) {
+      // Plain entry method: the converse scheduler delivers it
+      // directly.  Flush queued arrivals first to keep delivery order.
+      flush();
+      const double ts = now();
+      msg.body();
+      tracer_.record(pe, trace::Category::Compute, ts, now());
+      note_done(1);
+      continue;
+    }
+    // Pre-processing step of a [prefetch] entry method: wrap it as an
+    // OOCTask and hand it to the policy engine.
+    const ooc::TaskId id = next_task_.fetch_add(1);
+    {
+      PendingShard& ps = pending_[static_cast<std::size_t>(pe)];
+      std::lock_guard lk(ps.mu);
+      ps.map.emplace(id, ReadyTask{id, std::move(msg.body)});
+    }
+    ooc::TaskDesc desc;
+    desc.id = id;
+    desc.pe = pe;
+    desc.deps = std::move(msg.deps);
+    desc.work_factor = msg.work_factor;
+    arrivals.push_back(std::move(desc));
+  }
+  flush();
+}
+
+void Runtime::run_ready_batch(int pe, std::vector<ReadyTask>& tasks) {
+  for (const auto& task : tasks) {
     const double ts = now();
-    msg.body();
-    tracer_.record(pe, trace::Category::Compute, ts, now());
-    note_done();
-    return;
+    task.body();
+    tracer_.record(pe, trace::Category::Compute, ts, now(), task.id);
   }
-  // Pre-processing step of a [prefetch] entry method: wrap it as an
-  // OOCTask and hand it to the policy engine.
-  const ooc::TaskId id = next_task_.fetch_add(1);
-  {
-    std::lock_guard lk(tasks_mu_);
-    pending_.emplace(id, ReadyTask{id, std::move(msg.body)});
-  }
-  ooc::TaskDesc desc;
-  desc.id = id;
-  desc.pe = pe;
-  desc.deps = std::move(msg.deps);
-  desc.work_factor = msg.work_factor;
-  std::vector<ooc::Command> cmds;
-  {
-    std::lock_guard elk(engine_mu_);
-    if (profiler_) {
-      profiler_->on_task_arrived(
-          desc, [this](mem::BlockId b) { return mm_->block_bytes(b); });
+  tasks_done_[static_cast<std::size_t>(pe)].v.fetch_add(
+      tasks.size(), std::memory_order_relaxed);
+  // Post-processing step: release claims, trigger evictions — one
+  // engine visit for the whole batch.
+  process(ev_completions(tasks, pe), pe);
+  note_done(tasks.size());
+}
+
+std::vector<ooc::Command> Runtime::ev_arrivals(
+    std::vector<ooc::TaskDesc> descs) {
+  if (sharded_) {
+    std::vector<ooc::Command> cmds;
+    for (auto& d : descs) {
+      auto c = sharded_->on_task_arrived(d);
+      cmds.insert(cmds.end(), std::make_move_iterator(c.begin()),
+                  std::make_move_iterator(c.end()));
     }
-    cmds = engine_.on_task_arrived(desc);
-    observe_locked(cmds);
+    return cmds;
   }
-  process(std::move(cmds), pe);
-}
-
-void Runtime::execute_task(int pe, const ReadyTask& task) {
-  const double ts = now();
-  task.body();
-  tracer_.record(pe, trace::Category::Compute, ts, now(), task.id);
-  tasks_done_.fetch_add(1);
-  // Post-processing step: release claims, trigger evictions.
+  std::vector<ooc::PolicyEngine::Event> evs;
+  evs.reserve(descs.size());
+  for (auto& d : descs) {
+    evs.push_back(ooc::PolicyEngine::Event::arrived(std::move(d)));
+  }
   std::vector<ooc::Command> cmds;
-  {
-    std::lock_guard elk(engine_mu_);
-    cmds = engine_.on_task_complete(task.id);
-    observe_locked(cmds);
+  trace::lock_counted(engine_mu_, lock_stats_.get(), 0);
+  std::lock_guard elk(engine_mu_, std::adopt_lock);
+  if (profiler_) {
+    for (const auto& e : evs) {
+      profiler_->on_task_arrived(
+          e.task, [this](mem::BlockId b) { return mm_->block_bytes(b); });
+    }
   }
-  process(std::move(cmds), pe);
-  note_done();
+  cmds = engine_.step_batch(std::move(evs));
+  observe_locked(cmds);
+  return cmds;
 }
 
-void Runtime::perform_transfer(const ooc::Command& cmd, int trace_lane) {
+std::vector<ooc::Command> Runtime::ev_completions(
+    const std::vector<ReadyTask>& tasks, int pe) {
+  if (sharded_) {
+    std::vector<ooc::Command> cmds;
+    for (const auto& t : tasks) {
+      auto c = sharded_->on_task_complete(t.id, pe);
+      cmds.insert(cmds.end(), std::make_move_iterator(c.begin()),
+                  std::make_move_iterator(c.end()));
+    }
+    return cmds;
+  }
+  std::vector<ooc::PolicyEngine::Event> evs;
+  evs.reserve(tasks.size());
+  for (const auto& t : tasks) {
+    evs.push_back(ooc::PolicyEngine::Event::completed(t.id));
+  }
+  std::vector<ooc::Command> cmds;
+  trace::lock_counted(engine_mu_, lock_stats_.get(), 0);
+  std::lock_guard elk(engine_mu_, std::adopt_lock);
+  cmds = engine_.step_batch(std::move(evs));
+  observe_locked(cmds);
+  return cmds;
+}
+
+void Runtime::do_migrate(const ooc::Command& cmd, int trace_lane) {
   const bool fetch = cmd.kind == ooc::Command::Kind::Fetch;
   const double ts = now();
   // A write-only dependence's old contents are dead: skip the memcpy
   // (the paper's migration always copies; this is the optional
   // writeonly_nocopy extension).
+  if (mm_->chunked_copy_enabled() && !cmd.nocopy &&
+      mm_->block_bytes(cmd.block) >= mm_->chunk_threshold()) {
+    poke_io_for_assist(); // idle IO threads join the chunked copy
+  }
   const auto res = mm_->migrate(cmd.block, fetch ? fast_tier_ : slow_tier_,
                                 /*copy_contents=*/!cmd.nocopy);
   HMR_CHECK_MSG(res.ok,
@@ -302,19 +454,57 @@ void Runtime::perform_transfer(const ooc::Command& cmd, int trace_lane) {
   tracer_.record(trace_lane,
                  fetch ? trace::Category::Prefetch : trace::Category::Evict,
                  ts, now(), cmd.task);
+}
+
+void Runtime::perform_transfer(const ooc::Command& cmd, int trace_lane) {
+  do_migrate(cmd, trace_lane);
   std::vector<ooc::Command> cmds;
-  {
-    std::lock_guard elk(engine_mu_);
+  const bool fetch = cmd.kind == ooc::Command::Kind::Fetch;
+  if (sharded_) {
+    cmds = fetch ? sharded_->on_fetch_complete(cmd.block)
+                 : sharded_->on_evict_complete(cmd.block);
+  } else {
+    trace::lock_counted(engine_mu_, lock_stats_.get(), 0);
+    std::lock_guard elk(engine_mu_, std::adopt_lock);
     cmds = fetch ? engine_.on_fetch_complete(cmd.block)
                  : engine_.on_evict_complete(cmd.block);
     observe_locked(cmds);
   }
   process(std::move(cmds), trace_lane);
-  {
-    std::lock_guard lk(idle_mu_);
-    --outstanding_ops_;
+  ops_sub(1);
+}
+
+void Runtime::perform_transfer_batch(const std::vector<ooc::Command>& cmds,
+                                     int trace_lane) {
+  if (cmds.size() == 1) {
+    perform_transfer(cmds.front(), trace_lane);
+    return;
   }
-  idle_cv_.notify_all();
+  for (const auto& cmd : cmds) do_migrate(cmd, trace_lane);
+  std::vector<ooc::Command> out;
+  if (sharded_) {
+    for (const auto& cmd : cmds) {
+      auto c = cmd.kind == ooc::Command::Kind::Fetch
+                   ? sharded_->on_fetch_complete(cmd.block)
+                   : sharded_->on_evict_complete(cmd.block);
+      out.insert(out.end(), std::make_move_iterator(c.begin()),
+                 std::make_move_iterator(c.end()));
+    }
+  } else {
+    std::vector<ooc::PolicyEngine::Event> evs;
+    evs.reserve(cmds.size());
+    for (const auto& cmd : cmds) {
+      evs.push_back(cmd.kind == ooc::Command::Kind::Fetch
+                        ? ooc::PolicyEngine::Event::fetched(cmd.block)
+                        : ooc::PolicyEngine::Event::evicted(cmd.block));
+    }
+    trace::lock_counted(engine_mu_, lock_stats_.get(), 0);
+    std::lock_guard elk(engine_mu_, std::adopt_lock);
+    out = engine_.step_batch(std::move(evs));
+    observe_locked(out);
+  }
+  process(std::move(out), trace_lane);
+  ops_sub(cmds.size());
 }
 
 void Runtime::process(std::vector<ooc::Command> cmds, int context_lane) {
@@ -323,11 +513,12 @@ void Runtime::process(std::vector<ooc::Command> cmds, int context_lane) {
       case ooc::Command::Kind::Run: {
         ReadyTask task;
         {
-          std::lock_guard lk(tasks_mu_);
-          auto it = pending_.find(c.task);
-          HMR_CHECK_MSG(it != pending_.end(), "run of unknown task");
+          PendingShard& ps = pending_[static_cast<std::size_t>(c.pe)];
+          std::lock_guard lk(ps.mu);
+          auto it = ps.map.find(c.task);
+          HMR_CHECK_MSG(it != ps.map.end(), "run of unknown task");
           task = std::move(it->second);
-          pending_.erase(it);
+          ps.map.erase(it);
         }
         PeWorker& w = *pes_[static_cast<std::size_t>(c.pe)];
         std::lock_guard lk(w.mu);
@@ -337,10 +528,7 @@ void Runtime::process(std::vector<ooc::Command> cmds, int context_lane) {
       }
       case ooc::Command::Kind::Fetch:
       case ooc::Command::Kind::Evict: {
-        {
-          std::lock_guard lk(idle_mu_);
-          ++outstanding_ops_;
-        }
+        ops_add(1);
         if (c.agent == ooc::kWorkerInline) {
           // Synchronous pre/post-processing on the current thread.
           perform_transfer(c, context_lane);
@@ -414,27 +602,87 @@ void Runtime::governor_phase_end() {
   process(std::move(cmds), /*context_lane=*/0);
   std::unique_lock lk(idle_mu_);
   idle_cv_.wait(lk, [&] {
-    if (outstanding_msgs_ != 0 || outstanding_ops_ != 0) return false;
-    std::lock_guard elk(engine_mu_);
-    return engine_.quiescent();
+    if (outstanding_msgs_.load(std::memory_order_acquire) != 0 ||
+        outstanding_ops_.load(std::memory_order_acquire) != 0) {
+      return false;
+    }
+    return engine_quiescent();
   });
 }
 
-void Runtime::note_done() {
-  {
+void Runtime::msgs_add(std::uint64_t n) {
+  if (cfg_.legacy_idle_notify) {
+    // Pre-sharding protocol: the counter was a plain int guarded by
+    // the global idle lock, so every send serialized on it.
     std::lock_guard lk(idle_mu_);
-    --outstanding_msgs_;
+    outstanding_msgs_.fetch_add(n, std::memory_order_acq_rel);
+    return;
   }
-  idle_cv_.notify_all();
+  outstanding_msgs_.fetch_add(n, std::memory_order_acq_rel);
+}
+
+void Runtime::note_done(std::uint64_t n) {
+  if (n == 0) return;
+  if (cfg_.legacy_idle_notify) {
+    // Pre-sharding protocol: lock + notify_all on every retirement,
+    // waking the idle waiter (usually the main thread) each time.
+    {
+      std::lock_guard lk(idle_mu_);
+      outstanding_msgs_.fetch_sub(n, std::memory_order_acq_rel);
+    }
+    idle_cv_.notify_all();
+    return;
+  }
+  // Wake idle waiters only on the transition to zero: the hot path
+  // never touches idle_mu_.  Taking the mutex before notifying closes
+  // the race with a waiter that just evaluated its predicate.
+  if (outstanding_msgs_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    std::lock_guard lk(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void Runtime::ops_add(std::uint64_t n) {
+  outstanding_ops_.fetch_add(n, std::memory_order_acq_rel);
+}
+
+void Runtime::ops_sub(std::uint64_t n) {
+  if (cfg_.legacy_idle_notify) {
+    {
+      std::lock_guard lk(idle_mu_);
+      outstanding_ops_.fetch_sub(n, std::memory_order_acq_rel);
+    }
+    idle_cv_.notify_all();
+    return;
+  }
+  if (outstanding_ops_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    std::lock_guard lk(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+bool Runtime::engine_quiescent() {
+  if (sharded_) return sharded_->quiescent();
+  std::lock_guard elk(engine_mu_);
+  return engine_.quiescent();
+}
+
+void Runtime::poke_io_for_assist() {
+  for (auto& w : io_) {
+    std::lock_guard lk(w->mu);
+    w->cv.notify_all();
+  }
 }
 
 void Runtime::wait_idle() {
   {
     std::unique_lock lk(idle_mu_);
     idle_cv_.wait(lk, [&] {
-      if (outstanding_msgs_ != 0 || outstanding_ops_ != 0) return false;
-      std::lock_guard elk(engine_mu_);
-      return engine_.quiescent();
+      if (outstanding_msgs_.load(std::memory_order_acquire) != 0 ||
+          outstanding_ops_.load(std::memory_order_acquire) != 0) {
+        return false;
+      }
+      return engine_quiescent();
     });
   }
   // Each wait_idle barrier is a phase boundary for the governor.
@@ -442,8 +690,17 @@ void Runtime::wait_idle() {
 }
 
 ooc::PolicyEngine::Stats Runtime::policy_stats() {
+  if (sharded_) return sharded_->stats();
   std::lock_guard elk(engine_mu_);
   return engine_.stats();
+}
+
+std::uint64_t Runtime::tasks_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& c : tasks_done_) {
+    n += c.v.load(std::memory_order_relaxed);
+  }
+  return n;
 }
 
 } // namespace hmr::rt

@@ -8,18 +8,23 @@
 //   * entry methods are delivered as messages through a per-PE
 //     converse-style scheduler loop;
 //   * entry methods annotated `prefetch` are *intercepted*: instead of
-//     executing, the runtime registers an OOCTask with the
-//     PolicyEngine, whose commands drive real block migrations between
-//     two host-memory tier arenas (MemoryManager) before the method is
+//     executing, the runtime registers an OOCTask with the policy
+//     engine, whose commands drive real block migrations between two
+//     host-memory tier arenas (MemoryManager) before the method is
 //     queued on the PE's run queue;
 //   * IO threads (0, 1 or one per PE, by strategy) perform the
 //     asynchronous fetches and evictions; synchronous strategies run
 //     them inline on the worker, exactly like the paper's
 //     pre/post-processing steps.
 //
-// The same PolicyEngine state machine used by the simulator makes the
-// scheduling decisions here, so policy behaviour is identical across
-// both executors; only time and memory are real in this one.
+// Scheduling hot path: the default MultiIo + eager-eviction
+// configuration drives a ShardedEngine — per-PE-group engine shards,
+// striped block locks and a work-stealing HBM budget — so admission
+// and completion on different PEs never serialize.  Every other
+// configuration (SingleIo, SyncNoIo, lazy eviction, adaptive) drives
+// the serial ooc::PolicyEngine under one mutex, amortized by handing
+// it whole event batches (PolicyEngine::step_batch).  Both paths share
+// the same policy semantics; hmr::sim always uses the serial engine.
 
 #include <atomic>
 #include <condition_variable>
@@ -39,6 +44,8 @@
 #include "hw/machine_model.hpp"
 #include "mem/memory_manager.hpp"
 #include "ooc/policy_engine.hpp"
+#include "rt/sharded_engine.hpp"
+#include "trace/contention.hpp"
 #include "trace/tracer.hpp"
 
 namespace hmr::rt {
@@ -76,6 +83,32 @@ public:
     bool adaptive = false;
     adapt::ProfilerConfig profiler_cfg;
     adapt::GovernorConfig governor_cfg;
+
+    /// Engine sharding for the MultiIo + eager-eviction hot path:
+    /// 0 = one shard per PE (default), 1 = the serial global-lock
+    /// engine (the de-serialization baseline), N = N shards.  Other
+    /// strategies, lazy eviction and adaptive runs always use the
+    /// serial engine (their policies are inherently global).
+    int engine_shards = 0;
+    /// Max engine events a PE/IO thread hands the engine per lock
+    /// acquisition (serial-engine path) and the per-wakeup drain depth
+    /// of the worker loops.
+    int io_batch = 16;
+    /// Chunked cooperative migration: block copies of at least
+    /// `chunk_threshold` bytes stream through the MemoryManager's
+    /// ChunkRing in `chunk_bytes` pieces so idle IO threads can assist
+    /// on one large transfer.  0 disables chunking.
+    std::uint64_t chunk_threshold = 1ull << 20;
+    std::uint64_t chunk_bytes = 256ull << 10;
+    /// Collect scheduler lock-contention counters (bench/rt_contention
+    /// reads them via lock_stats()).
+    bool lock_stats = false;
+    /// Reproduce the pre-sharding quiescence protocol: every message
+    /// send and every message/op retirement takes the global idle lock
+    /// and wakes all idle waiters, instead of notifying only on the
+    /// counter's zero transition.  Exists solely so bench/rt_contention
+    /// can measure the old runtime's bookkeeping cost; leave off.
+    bool legacy_idle_notify = false;
   };
 
   explicit Runtime(Config cfg);
@@ -120,6 +153,18 @@ public:
   void send_prefetch(int pe, DepList deps, Body body,
                      double work_factor = 1.0);
 
+  /// Batched enqueue: one idle-counter update, one queue lock and one
+  /// wakeup for the whole vector (senders that fan out thousands of
+  /// fine-grained messages otherwise pay that per message).
+  void send_batch(int pe, std::vector<Body> bodies);
+
+  struct PrefetchMsg {
+    DepList deps;
+    Body body;
+    double work_factor = 1.0;
+  };
+  void send_prefetch_batch(int pe, std::vector<PrefetchMsg> msgs);
+
   /// Block until every delivered message has executed and all
   /// fetch/evict traffic has drained (quiescence detection).
   void wait_idle();
@@ -130,7 +175,24 @@ public:
   // ---- introspection ----
 
   ooc::PolicyEngine::Stats policy_stats();
-  std::uint64_t tasks_executed() const { return tasks_done_.load(); }
+  std::uint64_t tasks_executed() const;
+
+  /// True when this configuration runs the sharded engine.
+  bool sharded() const { return sharded_ != nullptr; }
+  /// Shards of the active engine (1 on the serial path).
+  int engine_shards() const {
+    return sharded_ ? sharded_->num_shards() : 1;
+  }
+  /// HbmBudget work-stealing rebalances (sharded path; 0 otherwise).
+  std::uint64_t budget_steals() const {
+    return sharded_ ? sharded_->budget_steals() : 0;
+  }
+  /// Scheduler-lock contention counters; nullptr unless
+  /// Config::lock_stats.  Slot i = engine shard i (serial path: one
+  /// slot for the global engine mutex).
+  const trace::ContentionStats* lock_stats() const {
+    return lock_stats_.get();
+  }
 
   /// Adaptive runs: the guidance components (nullptr otherwise).
   /// Read only at quiescence — the PE/IO threads feed them.
@@ -165,13 +227,42 @@ private:
     std::thread thread;
   };
 
+  /// Pending (intercepted, not yet runnable) task bodies, sharded per
+  /// PE: a task is inserted by its home PE and removed when its Run
+  /// command (always targeted at the same PE) arrives, so two PEs
+  /// never contend on one map.
+  struct alignas(64) PendingShard {
+    std::mutex mu;
+    std::unordered_map<ooc::TaskId, ReadyTask> map;
+  };
+
+  struct alignas(64) PadCounter {
+    std::atomic<std::uint64_t> v{0};
+  };
+
   void pe_loop(int pe);
   void io_loop(int io);
-  void intercept(int pe, Msg msg);
-  void execute_task(int pe, const ReadyTask& task);
+  void run_ready_batch(int pe, std::vector<ReadyTask>& tasks);
+  void intercept_batch(int pe, std::vector<Msg>& msgs);
   void perform_transfer(const ooc::Command& cmd, int trace_lane);
+  void perform_transfer_batch(const std::vector<ooc::Command>& cmds,
+                              int trace_lane);
+  /// Execute one migration (step 1-3) and record its trace interval.
+  void do_migrate(const ooc::Command& cmd, int trace_lane);
   void process(std::vector<ooc::Command> cmds, int context_lane);
-  void note_done();
+  /// Batch of arrival events against the active engine.
+  std::vector<ooc::Command> ev_arrivals(std::vector<ooc::TaskDesc> descs);
+  /// Batch of completion events for tasks that ran on `pe`.
+  std::vector<ooc::Command> ev_completions(
+      const std::vector<ReadyTask>& tasks, int pe);
+  /// `outstanding_msgs_` -= n, waking idle waiters on the final one.
+  void msgs_add(std::uint64_t n);
+  void note_done(std::uint64_t n);
+  void ops_add(std::uint64_t n);
+  void ops_sub(std::uint64_t n);
+  bool engine_quiescent();
+  /// Wake every IO thread so idle ones can assist a chunked copy.
+  void poke_io_for_assist();
   /// Called with engine_mu_ held after an engine event: feed the
   /// profiler the fetches just issued and sample governor signals.
   void observe_locked(const std::vector<ooc::Command>& cmds);
@@ -183,9 +274,19 @@ private:
   hw::TierId slow_tier_;
   std::unique_ptr<mem::MemoryManager> mm_;
 
+  /// Serial-engine path (every configuration the ShardedEngine does
+  /// not cover); all access under engine_mu_.
   std::mutex engine_mu_;
   ooc::PolicyEngine engine_;
-  std::uint64_t blocks_created_ = 0; // guarded by engine_mu_
+
+  /// Sharded hot path (MultiIo + eager eviction, engine_shards != 1).
+  std::unique_ptr<trace::ContentionStats> lock_stats_;
+  std::unique_ptr<ShardedEngine> sharded_;
+
+  /// Serializes block id allocation across the engine and the
+  /// MemoryManager so their dense id spaces stay aligned.
+  std::mutex alloc_mu_;
+  std::uint64_t blocks_created_ = 0; // guarded by alloc_mu_
 
   // Adaptive guidance; all state guarded by engine_mu_ (the advisor is
   // only read by the engine, which is itself driven under that lock).
@@ -200,16 +301,17 @@ private:
   std::vector<std::unique_ptr<PeWorker>> pes_;
   std::vector<std::unique_ptr<IoWorker>> io_;
 
-  std::mutex tasks_mu_;
-  std::unordered_map<ooc::TaskId, ReadyTask> pending_;
+  std::vector<PendingShard> pending_;
   std::atomic<ooc::TaskId> next_task_{1};
 
+  // Quiescence detection: contention-free atomic counters; the
+  // condvar is only touched on a counter's final decrement.
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;
-  std::uint64_t outstanding_msgs_ = 0; // delivered, not yet executed
-  std::uint64_t outstanding_ops_ = 0;  // fetch/evict in flight
+  alignas(64) std::atomic<std::uint64_t> outstanding_msgs_{0};
+  alignas(64) std::atomic<std::uint64_t> outstanding_ops_{0};
 
-  std::atomic<std::uint64_t> tasks_done_{0};
+  std::vector<PadCounter> tasks_done_; // per PE, padded
   std::atomic<bool> stop_{false};
 
   trace::Tracer tracer_;

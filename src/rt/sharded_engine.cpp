@@ -1,0 +1,430 @@
+#include "rt/sharded_engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hmr::rt {
+
+using ooc::BlockState;
+using ooc::Command;
+
+ShardedEngine::ShardedEngine(Config cfg, trace::ContentionStats* lock_stats)
+    : cfg_(cfg),
+      budget_(cfg.fast_capacity,
+              cfg.num_shards > 0 ? std::min(cfg.num_shards, cfg.num_pes)
+                                 : cfg.num_pes),
+      lock_stats_(lock_stats),
+      shards_(static_cast<std::size_t>(budget_.num_shards())),
+      pe_claims_(static_cast<std::size_t>(cfg.num_pes)),
+      chunks_(kMaxChunks) {
+  HMR_CHECK(cfg_.num_pes > 0);
+  const auto n_shards = static_cast<std::int32_t>(shards_.size());
+  pes_per_shard_ = (cfg_.num_pes + n_shards - 1) / n_shards;
+  for (std::int32_t s = 0; s < n_shards; ++s) {
+    const std::int32_t first = s * pes_per_shard_;
+    const std::int32_t count =
+        std::min(pes_per_shard_, cfg_.num_pes - first);
+    shards_[static_cast<std::size_t>(s)].wait_q.resize(
+        static_cast<std::size_t>(count));
+  }
+  for (auto& c : chunks_) c.store(nullptr, std::memory_order_relaxed);
+}
+
+ShardedEngine::~ShardedEngine() {
+  for (auto& c : chunks_) {
+    delete[] c.load(std::memory_order_relaxed);
+  }
+}
+
+ShardedEngine::BlockRec& ShardedEngine::block(ooc::BlockId b) const {
+  HMR_DCHECK(b < n_blocks_.load(std::memory_order_acquire));
+  BlockRec* chunk =
+      chunks_[static_cast<std::size_t>(b) >> kChunkShift].load(
+          std::memory_order_acquire);
+  HMR_CHECK_MSG(chunk != nullptr, "unknown block id");
+  return chunk[static_cast<std::size_t>(b) & (kChunkSize - 1)];
+}
+
+void ShardedEngine::add_block(ooc::BlockId b, std::uint64_t bytes) {
+  HMR_CHECK_MSG(bytes > 0, "zero-byte block");
+  std::lock_guard lk(registry_mu_);
+  const std::size_t ci = static_cast<std::size_t>(b) >> kChunkShift;
+  HMR_CHECK_MSG(ci < kMaxChunks, "block id space exhausted");
+  BlockRec* chunk = chunks_[ci].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new BlockRec[kChunkSize];
+    chunks_[ci].store(chunk, std::memory_order_release);
+  }
+  BlockRec& rec = chunk[static_cast<std::size_t>(b) & (kChunkSize - 1)];
+  {
+    std::lock_guard slk(stripe(b).mu);
+    HMR_CHECK_MSG(!rec.live, "duplicate block id");
+    rec.bytes = bytes;
+    rec.state = BlockState::InSlow; // movement strategies start on DDR
+    rec.refcount = 0;
+    rec.claim_shard = 0;
+    rec.live = true;
+    rec.waiters.clear();
+  }
+  std::uint64_t n = n_blocks_.load(std::memory_order_relaxed);
+  while (n <= b &&
+         !n_blocks_.compare_exchange_weak(n, b + 1,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+void ShardedEngine::remove_block(ooc::BlockId b) {
+  std::lock_guard lk(registry_mu_);
+  BlockRec& rec = block(b);
+  std::lock_guard slk(stripe(b).mu);
+  HMR_CHECK_MSG(rec.live, "unknown block id");
+  HMR_CHECK_MSG(rec.refcount == 0, "removing a claimed block");
+  HMR_CHECK_MSG(rec.state == BlockState::InSlow ||
+                    rec.state == BlockState::InFast,
+                "removing a block mid-migration");
+  if (rec.state == BlockState::InFast) {
+    budget_.release(rec.claim_shard, rec.bytes);
+  }
+  rec.live = false;
+}
+
+// Locks the stripes of a task's dependences in ascending stripe order
+// (deadlock-free against concurrent multi-stripe admissions).
+class ShardedEngine::StripeLockSet {
+public:
+  StripeLockSet(ShardedEngine& eng, const std::vector<ooc::Dep>& deps) {
+    ids_.reserve(deps.size());
+    for (const auto& d : deps) {
+      ids_.push_back(static_cast<std::size_t>(d.block) % kStripes);
+    }
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+    for (const std::size_t s : ids_) eng.stripes_[s].mu.lock();
+    eng_ = &eng;
+  }
+  ~StripeLockSet() {
+    for (auto it = ids_.rbegin(); it != ids_.rend(); ++it) {
+      eng_->stripes_[*it].mu.unlock();
+    }
+  }
+  StripeLockSet(const StripeLockSet&) = delete;
+  StripeLockSet& operator=(const StripeLockSet&) = delete;
+
+private:
+  ShardedEngine* eng_ = nullptr;
+  std::vector<std::size_t> ids_;
+};
+
+bool ShardedEngine::try_admit(Shard& sh, TaskRec& tr, bool only_if_free,
+                              std::vector<Command>& cmds) {
+  const std::int32_t pe = tr.desc.pe;
+  const std::int32_t shard_idx = shard_of(pe);
+  StripeLockSet locks(*this, tr.desc.deps);
+
+  // Pass 1: the all-or-nothing admission decision.
+  std::uint64_t extra = 0;
+  for (const auto& d : tr.desc.deps) {
+    const BlockRec& br = block(d.block);
+    switch (br.state) {
+      case BlockState::InSlow:
+        extra += br.bytes;
+        break;
+      case BlockState::EvictInFlight:
+        // Must land on the slow tier before it can be re-fetched.
+        return false;
+      case BlockState::InFast:
+      case BlockState::FetchInFlight:
+        break; // already claimed in the budget
+    }
+  }
+  if (only_if_free) {
+    // Arrival fast path (paper: all deps already INHBM): no fresh
+    // bytes, no queue, no fairness gate.
+    if (extra != 0) return false;
+  } else {
+    if (cfg_.fair_admission) {
+      const auto& pc = pe_claims_[static_cast<std::size_t>(pe)];
+      const std::uint64_t held = pc.bytes.load(std::memory_order_relaxed);
+      const std::uint64_t share =
+          cfg_.fast_capacity / static_cast<std::uint64_t>(cfg_.num_pes);
+      if (held != 0 && held + extra > share) return false;
+    }
+    if (extra > 0 && !budget_.try_claim(shard_idx, extra)) {
+      HMR_CHECK_MSG(extra <= cfg_.fast_capacity,
+                    "scheduling wedge: a waiting task's dependences exceed "
+                    "the fast-tier capacity (reduced working set must fit "
+                    "in HBM)");
+      return false;
+    }
+  }
+
+  // Pass 2: commit — claim every dependence and plan the fetches.
+  std::uint32_t missing = 0;
+  for (const auto& d : tr.desc.deps) {
+    BlockRec& br = block(d.block);
+    ++br.refcount;
+    switch (br.state) {
+      case BlockState::InFast:
+        break;
+      case BlockState::InSlow: {
+        br.state = BlockState::FetchInFlight;
+        br.claim_shard = shard_idx;
+        br.waiters.push_back(&tr);
+        ++missing;
+        n_inflight_fetch_.fetch_add(1, std::memory_order_acq_rel);
+        ++sh.stats.fetches;
+        sh.stats.fetch_bytes += br.bytes;
+        Command c;
+        c.kind = Command::Kind::Fetch;
+        c.block = d.block;
+        c.task = tr.desc.id;
+        c.agent = pe; // MultiIo: the PE's own IO thread
+        c.pe = pe;
+        c.nocopy =
+            cfg_.writeonly_nocopy && d.mode == ooc::AccessMode::WriteOnly;
+        cmds.push_back(c);
+        break;
+      }
+      case BlockState::FetchInFlight:
+        // Another admitted task is already pulling this block in; wait
+        // for the same fetch (no duplicate traffic).
+        br.waiters.push_back(&tr);
+        ++missing;
+        ++sh.stats.fetch_dedup_hits;
+        break;
+      case BlockState::EvictInFlight:
+        HMR_CHECK_MSG(false, "admitted task depends on an evicting block");
+    }
+  }
+  tr.claim_bytes = only_if_free ? 0 : extra;
+  pe_claims_[static_cast<std::size_t>(pe)].bytes.fetch_add(
+      tr.claim_bytes, std::memory_order_relaxed);
+  n_live_.fetch_add(1, std::memory_order_acq_rel);
+  // Store while the stripes are held: any fetch completion that could
+  // decrement this counter serializes behind the stripe locks above.
+  tr.missing.store(missing, std::memory_order_release);
+  if (missing == 0) {
+    Command c;
+    c.kind = Command::Kind::Run;
+    c.task = tr.desc.id;
+    c.pe = pe;
+    cmds.push_back(c);
+  }
+  return true;
+}
+
+void ShardedEngine::drain_locked(Shard& sh, std::vector<Command>& cmds) {
+  for (auto& q : sh.wait_q) {
+    while (!q.empty()) {
+      TaskRec& head = *sh.tasks.at(q.front());
+      if (!try_admit(sh, head, /*only_if_free=*/false, cmds)) {
+        break; // FIFO: the head blocks its queue
+      }
+      q.pop_front();
+      n_waiting_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+void ShardedEngine::drain_shard(std::size_t s, std::vector<Command>& cmds) {
+  Shard& sh = shards_[s];
+  lock_shard(s);
+  std::lock_guard lk(sh.mu, std::adopt_lock);
+  drain_locked(sh, cmds);
+}
+
+std::vector<Command> ShardedEngine::on_task_arrived(
+    const ooc::TaskDesc& desc) {
+  HMR_CHECK_MSG(desc.id != ooc::kInvalidTask, "task needs a valid id");
+  HMR_CHECK_MSG(desc.pe >= 0 && desc.pe < cfg_.num_pes,
+                "task pe out of range");
+  for (std::size_t i = 0; i < desc.deps.size(); ++i) {
+    for (std::size_t j = i + 1; j < desc.deps.size(); ++j) {
+      HMR_CHECK_MSG(desc.deps[i].block != desc.deps[j].block,
+                    "duplicate dependence on one block");
+    }
+  }
+
+  std::vector<Command> cmds;
+  const auto s = static_cast<std::size_t>(shard_of(desc.pe));
+  Shard& sh = shards_[s];
+  const auto local_pe =
+      static_cast<std::size_t>(desc.pe - shard_of(desc.pe) * pes_per_shard_);
+
+  lock_shard(s);
+  std::lock_guard lk(sh.mu, std::adopt_lock);
+
+  auto rec = std::make_unique<TaskRec>();
+  rec->desc = desc;
+  rec->shard = static_cast<std::int32_t>(s);
+  TaskRec& tr = *rec;
+  HMR_CHECK_MSG(sh.tasks.emplace(desc.id, std::move(rec)).second,
+                "duplicate task id");
+
+  if (!desc.prefetch) {
+    // Non-annotated entry method: deliver directly.
+    n_live_.fetch_add(1, std::memory_order_acq_rel);
+    Command c;
+    c.kind = Command::Kind::Run;
+    c.task = desc.id;
+    c.pe = desc.pe;
+    cmds.push_back(c);
+    return cmds;
+  }
+
+  if (try_admit(sh, tr, /*only_if_free=*/true, cmds)) {
+    return cmds;
+  }
+  sh.wait_q[local_pe].push_back(desc.id);
+  n_waiting_.fetch_add(1, std::memory_order_acq_rel);
+  // Drain this PE's queue (the paper: the arriving task wakes its PE's
+  // IO thread, which admits FIFO heads until HBM is full).
+  auto& q = sh.wait_q[local_pe];
+  while (!q.empty()) {
+    TaskRec& head = *sh.tasks.at(q.front());
+    if (!try_admit(sh, head, /*only_if_free=*/false, cmds)) break;
+    q.pop_front();
+    n_waiting_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return cmds;
+}
+
+std::vector<Command> ShardedEngine::on_fetch_complete(ooc::BlockId b) {
+  std::vector<Command> cmds;
+  std::vector<TaskRec*> ready;
+  {
+    std::lock_guard slk(stripe(b).mu);
+    BlockRec& br = block(b);
+    HMR_CHECK_MSG(br.state == BlockState::FetchInFlight,
+                  "fetch completion for a block not being fetched");
+    br.state = BlockState::InFast;
+    for (TaskRec* w : br.waiters) {
+      if (w->missing.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        ready.push_back(w);
+      }
+    }
+    br.waiters.clear();
+  }
+  n_inflight_fetch_.fetch_sub(1, std::memory_order_acq_rel);
+  for (TaskRec* w : ready) {
+    Command c;
+    c.kind = Command::Kind::Run;
+    c.task = w->desc.id;
+    c.pe = w->desc.pe;
+    cmds.push_back(c);
+  }
+  return cmds;
+}
+
+std::vector<Command> ShardedEngine::on_evict_complete(ooc::BlockId b) {
+  std::uint64_t bytes = 0;
+  std::int32_t claim_shard = 0;
+  {
+    std::lock_guard slk(stripe(b).mu);
+    BlockRec& br = block(b);
+    HMR_CHECK_MSG(br.state == BlockState::EvictInFlight,
+                  "evict completion for a block not being evicted");
+    br.state = BlockState::InSlow;
+    bytes = br.bytes;
+    claim_shard = br.claim_shard;
+  }
+  budget_.release(claim_shard, bytes);
+  n_inflight_evict_.fetch_sub(1, std::memory_order_acq_rel);
+
+  // Freed capacity can unblock any PE's queue head (the serial engine
+  // retries every queue here too).
+  std::vector<Command> cmds;
+  if (n_waiting_.load(std::memory_order_acquire) > 0) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      drain_shard(s, cmds);
+    }
+  }
+  return cmds;
+}
+
+std::vector<Command> ShardedEngine::on_task_complete(ooc::TaskId t,
+                                                     std::int32_t pe) {
+  HMR_CHECK(pe >= 0 && pe < cfg_.num_pes);
+  const auto s = static_cast<std::size_t>(shard_of(pe));
+  Shard& sh = shards_[s];
+  std::vector<Command> cmds;
+
+  lock_shard(s);
+  std::lock_guard lk(sh.mu, std::adopt_lock);
+  auto it = sh.tasks.find(t);
+  HMR_CHECK_MSG(it != sh.tasks.end(), "completion for an unknown task");
+  std::unique_ptr<TaskRec> tr = std::move(it->second);
+  sh.tasks.erase(it);
+  HMR_CHECK_MSG(tr->missing.load(std::memory_order_acquire) == 0,
+                "completion for a task that was never made runnable");
+
+  ++sh.stats.tasks_run;
+  pe_claims_[static_cast<std::size_t>(pe)].bytes.fetch_sub(
+      tr->claim_bytes, std::memory_order_relaxed);
+
+  // Post-processing: release claims; blocks that drop to refcount 0
+  // are eagerly evicted (paper behaviour).
+  const std::int32_t evict_agent =
+      cfg_.evict_by_worker ? ooc::kWorkerInline : pe;
+  for (const auto& d : tr->desc.deps) {
+    std::lock_guard slk(stripe(d.block).mu);
+    BlockRec& br = block(d.block);
+    HMR_CHECK_MSG(br.refcount > 0, "refcount underflow");
+    --br.refcount;
+    if (br.refcount == 0 && br.state == BlockState::InFast) {
+      br.state = BlockState::EvictInFlight;
+      n_inflight_evict_.fetch_add(1, std::memory_order_acq_rel);
+      ++sh.stats.evicts;
+      sh.stats.evict_bytes += br.bytes;
+      Command c;
+      c.kind = Command::Kind::Evict;
+      c.block = d.block;
+      c.agent = evict_agent;
+      c.pe = pe;
+      cmds.push_back(c);
+    }
+  }
+  n_live_.fetch_sub(1, std::memory_order_acq_rel);
+
+  // Wake our own queues: shared blocks may have become resident.  The
+  // budget this completion frees arrives via on_evict_complete, which
+  // retries every shard.
+  drain_locked(sh, cmds);
+  return cmds;
+}
+
+ooc::PolicyEngine::Stats ShardedEngine::stats() const {
+  ooc::PolicyEngine::Stats out;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto& sh = const_cast<Shard&>(shards_[s]);
+    std::lock_guard lk(sh.mu);
+    out.tasks_run += sh.stats.tasks_run;
+    out.fetches += sh.stats.fetches;
+    out.fetch_bytes += sh.stats.fetch_bytes;
+    out.evicts += sh.stats.evicts;
+    out.evict_bytes += sh.stats.evict_bytes;
+    out.fetch_dedup_hits += sh.stats.fetch_dedup_hits;
+  }
+  return out;
+}
+
+bool ShardedEngine::quiescent() const {
+  return n_waiting_.load(std::memory_order_acquire) == 0 &&
+         n_live_.load(std::memory_order_acquire) == 0 &&
+         n_inflight_fetch_.load(std::memory_order_acquire) == 0 &&
+         n_inflight_evict_.load(std::memory_order_acquire) == 0;
+}
+
+ooc::BlockState ShardedEngine::block_state(ooc::BlockId b) const {
+  std::lock_guard slk(stripe(b).mu);
+  return block(b).state;
+}
+
+std::uint32_t ShardedEngine::refcount(ooc::BlockId b) const {
+  std::lock_guard slk(stripe(b).mu);
+  return block(b).refcount;
+}
+
+} // namespace hmr::rt

@@ -1,0 +1,197 @@
+#pragma once
+// ShardedEngine: a concurrent, sharded implementation of the
+// PolicyEngine protocol for the threaded runtime's hot path.
+//
+// The single ooc::PolicyEngine is a serial state machine: the runtime
+// wraps every event (task arrival, fetch/evict completion, task
+// completion) in one global mutex, so with many PEs the scheduler
+// itself becomes the bottleneck — exactly the overhead the paper's
+// runtime is supposed to avoid.  This engine de-serializes it:
+//
+//   * PEs are partitioned into shards; each shard owns the wait queues
+//     and task records of its PEs behind its own mutex, so admission
+//     and completion on different PE groups never contend;
+//   * block records live in a global table behind *striped* mutexes
+//     (stripe = block id mod 64); an admission locks only the stripes
+//     of its dependences, in sorted order, making the all-or-nothing
+//     claim atomic without any global lock;
+//   * HBM capacity is an ooc::HbmBudget: per-shard sub-budgets with
+//     atomic claim/release and a work-stealing slow path, so a claim
+//     fails only when the node genuinely lacks the bytes;
+//   * idle/quiescence counters and per-PE fairness claims are padded
+//     atomics.
+//
+// Scope: the MultiIo strategy with eager eviction (the paper's best
+// configuration and the runtime's default).  SingleIo's round-robin,
+// SyncNoIo, lazy eviction's shared LRU and the adaptive advisor are
+// inherently global and stay on the single-engine path; the Runtime
+// picks per configuration.  Policy semantics mirror the serial engine:
+// all-or-nothing admission, per-PE FIFO wait queues, fair-admission
+// share gate, fetch dedup via waiter lists, refcount-guarded eviction,
+// and capacity released only when an eviction has finished.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "ooc/hbm_budget.hpp"
+#include "ooc/policy_engine.hpp"
+#include "ooc/types.hpp"
+#include "trace/contention.hpp"
+
+namespace hmr::rt {
+
+class ShardedEngine {
+public:
+  struct Config {
+    std::int32_t num_pes = 1;
+    /// Number of shards (<= num_pes); 0 = one shard per PE.
+    std::int32_t num_shards = 0;
+    std::uint64_t fast_capacity = 0;
+    bool fair_admission = true;
+    bool writeonly_nocopy = false;
+    /// Evictions run inline on the completing worker (kWorkerInline)
+    /// instead of being queued on the PE's IO agent.
+    bool evict_by_worker = false;
+  };
+
+  explicit ShardedEngine(Config cfg,
+                         trace::ContentionStats* lock_stats = nullptr);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  const Config& config() const { return cfg_; }
+  std::int32_t num_shards() const {
+    return static_cast<std::int32_t>(shards_.size());
+  }
+
+  // ---- block registry ----
+  // Registration/removal may race with events on *other* blocks but
+  // callers serialize add/remove themselves (the Runtime allocates
+  // under one small mutex to keep id spaces aligned with the
+  // MemoryManager).  Movement strategies always place fresh blocks on
+  // the slow tier, so add_block returns no placement.
+
+  void add_block(ooc::BlockId b, std::uint64_t bytes);
+  void remove_block(ooc::BlockId b);
+
+  // ---- events (thread-safe; each returns commands to execute) ----
+
+  std::vector<ooc::Command> on_task_arrived(const ooc::TaskDesc& task);
+  std::vector<ooc::Command> on_fetch_complete(ooc::BlockId b);
+  std::vector<ooc::Command> on_evict_complete(ooc::BlockId b);
+  /// `pe` is the PE the task ran on (the executor always knows it; it
+  /// routes the completion to the right shard without a global map).
+  std::vector<ooc::Command> on_task_complete(ooc::TaskId t,
+                                             std::int32_t pe);
+
+  // ---- introspection ----
+
+  ooc::PolicyEngine::Stats stats() const; // summed over shards
+  bool quiescent() const;
+  std::uint64_t fast_used() const { return budget_.used(); }
+  std::uint64_t fast_capacity() const { return cfg_.fast_capacity; }
+  std::uint64_t budget_steals() const { return budget_.steals(); }
+  std::size_t total_waiting() const {
+    return n_waiting_.load(std::memory_order_acquire);
+  }
+  ooc::BlockState block_state(ooc::BlockId b) const;
+  std::uint32_t refcount(ooc::BlockId b) const;
+
+private:
+  static constexpr std::size_t kStripes = 64;
+  static constexpr std::size_t kChunkShift = 9; // 512 blocks per chunk
+  static constexpr std::size_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::size_t kMaxChunks = 1u << 15; // 16M blocks
+
+  struct TaskRec {
+    ooc::TaskDesc desc;
+    std::int32_t shard = 0;
+    std::uint64_t claim_bytes = 0;
+    std::atomic<std::uint32_t> missing{0};
+  };
+
+  struct BlockRec {
+    std::uint64_t bytes = 0;
+    ooc::BlockState state = ooc::BlockState::InSlow;
+    std::uint32_t refcount = 0;
+    std::int32_t claim_shard = 0; // sub-budget charged for residency
+    bool live = false;
+    std::vector<TaskRec*> waiters; // admitted tasks awaiting the fetch
+  };
+
+  struct alignas(64) Shard {
+    std::mutex mu;
+    /// Wait queues of the shard's PEs, indexed by (pe - first_pe).
+    std::vector<std::deque<ooc::TaskId>> wait_q;
+    std::unordered_map<ooc::TaskId, std::unique_ptr<TaskRec>> tasks;
+    ooc::PolicyEngine::Stats stats;
+  };
+
+  struct alignas(64) Stripe {
+    std::mutex mu;
+  };
+
+  struct alignas(64) PeClaim {
+    std::atomic<std::uint64_t> bytes{0};
+  };
+
+  std::int32_t shard_of(std::int32_t pe) const {
+    return pe / pes_per_shard_;
+  }
+
+  BlockRec& block(ooc::BlockId b) const;
+  Stripe& stripe(ooc::BlockId b) const {
+    return stripes_[static_cast<std::size_t>(b) % kStripes];
+  }
+
+  /// Lock the stripes of every dependence of `t`, in sorted order.
+  class StripeLockSet;
+
+  /// Attempt to admit `tr` (FIFO head or arrival fast path).  With
+  /// `only_if_free`, admits only when no fresh fast-tier bytes are
+  /// needed (the paper's arrival fast path, which skips the queue and
+  /// the fairness gate).  Caller holds tr's shard mutex.
+  bool try_admit(Shard& sh, TaskRec& tr, bool only_if_free,
+                 std::vector<ooc::Command>& cmds);
+
+  /// Admit admissible FIFO heads of every wait queue in `sh`.
+  /// Caller holds sh.mu.
+  void drain_locked(Shard& sh, std::vector<ooc::Command>& cmds);
+
+  /// Lock shard `s` (counted) and drain it.
+  void drain_shard(std::size_t s, std::vector<ooc::Command>& cmds);
+
+  void lock_shard(std::size_t s) {
+    trace::lock_counted(shards_[s].mu, lock_stats_, s);
+  }
+
+  Config cfg_;
+  std::int32_t pes_per_shard_ = 1;
+  ooc::HbmBudget budget_;
+  trace::ContentionStats* lock_stats_;
+
+  std::vector<Shard> shards_;
+  mutable std::array<Stripe, kStripes> stripes_;
+  std::vector<PeClaim> pe_claims_;
+
+  // Block table: chunked stable storage so readers index without a
+  // registry lock while add_block appends.
+  std::mutex registry_mu_;
+  std::vector<std::atomic<BlockRec*>> chunks_;
+  std::atomic<std::uint64_t> n_blocks_{0};
+
+  alignas(64) std::atomic<std::size_t> n_waiting_{0};
+  alignas(64) std::atomic<std::size_t> n_live_{0};
+  alignas(64) std::atomic<std::size_t> n_inflight_fetch_{0};
+  alignas(64) std::atomic<std::size_t> n_inflight_evict_{0};
+};
+
+} // namespace hmr::rt

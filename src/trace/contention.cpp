@@ -1,0 +1,38 @@
+#include "trace/contention.hpp"
+
+namespace hmr::trace {
+
+ContentionStats::ContentionStats(std::size_t shards)
+    : slots_(shards == 0 ? 1 : shards) {}
+
+ContentionStats::Totals ContentionStats::shard_totals(
+    std::size_t shard) const {
+  const Slot& s = slots_[shard];
+  Totals t;
+  t.acquisitions = s.acquisitions.load(std::memory_order_relaxed);
+  t.contended = s.contended.load(std::memory_order_relaxed);
+  t.wait_s = static_cast<double>(s.wait_ns.load(std::memory_order_relaxed)) *
+             1e-9;
+  return t;
+}
+
+ContentionStats::Totals ContentionStats::totals() const {
+  Totals t;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Totals s = shard_totals(i);
+    t.acquisitions += s.acquisitions;
+    t.contended += s.contended;
+    t.wait_s += s.wait_s;
+  }
+  return t;
+}
+
+void ContentionStats::reset() {
+  for (auto& s : slots_) {
+    s.acquisitions.store(0, std::memory_order_relaxed);
+    s.contended.store(0, std::memory_order_relaxed);
+    s.wait_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+} // namespace hmr::trace
