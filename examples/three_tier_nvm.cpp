@@ -3,13 +3,16 @@
 // architectures ... heterogeneity in both latency and bandwidth would
 // benefit even more").
 //
-// Runs the same stencil workload on two modeled nodes:
-//   * KNL flat:    DDR4 (slow) + MCDRAM (fast) — bandwidth-restricted,
-//   * NVM node:    NVM  (slow) + MCDRAM (fast) — bandwidth- AND
-//                  latency-restricted slow tier.
-// The prefetch runtime's win grows on the NVM node exactly as the
-// paper predicts, with zero application changes — only the machine
-// model differs.
+// One modeled node — HBM (16 GB) + DDR4 (96 GB) + NVM (512 GB) — runs
+// the same stencil workload under three placement hierarchies:
+//   * two-tier emulation: HBM fast, NVM far, DDR4 idle — all the
+//     runtime could express when placement was a fast/slow binary;
+//   * three tiers, no cascade: the engine knows all three levels but
+//     evictions go straight to NVM (the ablation baseline);
+//   * three tiers + demotion cascade: HBM evictions land on DDR4
+//     while it has room, so re-fetches stream from DDR4 (~36 GB/s
+//     channel) instead of NVM (~7 GB/s).
+// Zero application changes — only the SimConfig hierarchy differs.
 //
 //   ./build/examples/three_tier_nvm
 
@@ -24,38 +27,57 @@
 int main() {
   using namespace hmr;
 
-  TextTable t({"node", "slow tier", "slow-only (s)", "Naive (s)",
-               "MultipleIO (s)", "vs naive", "vs slow-only"});
-  for (const auto& model :
-       {hw::knl_flat_all_to_all(), hw::three_tier_hbm_ddr_nvm()}) {
-    const auto p = sim::StencilWorkload::params_for_reduced(
-        32 * GiB, 4 * GiB, model.num_pes, /*iterations=*/5);
-    sim::StencilWorkload w(p);
+  const auto model = hw::three_tier_hbm_ddr_nvm();
+  const auto p = sim::StencilWorkload::params_for_reduced(
+      32 * GiB, 4 * GiB, model.num_pes, /*iterations=*/5);
+  sim::StencilWorkload w(p);
 
-    auto run = [&](ooc::Strategy s) {
-      sim::SimConfig cfg;
-      cfg.model = model;
-      cfg.strategy = s;
-      return sim::SimExecutor(cfg).run(w).total_time;
-    };
-    const double slow_only = run(ooc::Strategy::DdrOnly);
-    const double naive = run(ooc::Strategy::Naive);
-    const double multi = run(ooc::Strategy::MultiIo);
-    t.add_row({model.name, model.tier(model.slow).name,
-               strfmt("%.2f", slow_only), strfmt("%.2f", naive),
-               strfmt("%.2f", multi), strfmt("%.2fx", naive / multi),
-               strfmt("%.2fx", slow_only / multi)});
+  struct Setup {
+    const char* name;
+    bool two_tier;
+    bool cascade;
+  };
+  const Setup setups[] = {
+      {"two-tier emulation (DDR4 idle)", true, false},
+      {"three tiers, no cascade", false, false},
+      {"three tiers + cascade", false, true},
+  };
+
+  TextTable t({"hierarchy", "total (s)", "cascade demotions",
+               "DDR4->HBM GiB", "NVM->HBM GiB"});
+  for (const auto& s : setups) {
+    sim::SimConfig cfg;
+    cfg.model = model;
+    cfg.strategy = ooc::Strategy::MultiIo;
+    cfg.trace = true;
+    cfg.demote_cascade = s.cascade;
+    if (s.two_tier) {
+      // The old fast/slow binary: HBM + NVM, the middle tier invisible.
+      cfg.tiers = {{model.fast, model.tier(model.fast).capacity, 1.0},
+                   {model.slow, 0, 1.0}};
+    }
+    sim::SimExecutor ex(cfg);
+    const auto r = ex.run(w);
+    const auto sum = ex.tracer().summarize();
+    const auto ddr_hbm = sum.migration_between(2, 1); // DDR4 -> MCDRAM
+    const auto nvm_hbm = sum.migration_between(0, 1); // NVM  -> MCDRAM
+    t.add_row({s.name, strfmt("%.2f", r.total_time),
+               strfmt("%llu", static_cast<unsigned long long>(
+                                  r.policy.cascade_demotions)),
+               strfmt("%.1f", static_cast<double>(ddr_hbm.bytes) / GiB),
+               strfmt("%.1f", static_cast<double>(nvm_hbm.bytes) / GiB)});
   }
+
   std::printf("Stencil3D 32 GB, reduced 4 GB, 5 iterations, MultipleIO "
-              "prefetch:\n\n");
+              "prefetch\non %s:\n\n",
+              model.name.c_str());
   t.print(std::cout);
   std::printf(
-      "\nwith an NVM far tier the penalty for leaving data in the slow "
-      "tier explodes\n(slow-only vs MultipleIO), so memory-aware "
-      "scheduling matters even more; the\nNVM's thin transfer bandwidth "
-      "also throttles the prefetcher itself, which is\nwhy the paper's "
-      "conclusion flags latency+bandwidth heterogeneity as the next\n"
-      "target.  No application change was needed: only the MachineModel "
-      "differs.\n");
+      "\nwith the demotion cascade, HBM evictions land on DDR4 while it "
+      "has room, so\nevery re-fetch streams from DDR4 instead of NVM — "
+      "the fetch channel runs ~5x\nfaster and the evict channel ~12x.  "
+      "The two-tier rows leave DDR4 idle: that\nis all the fast/slow "
+      "binary could express.  No application change was needed;\nonly "
+      "the placement hierarchy differs.\n");
   return 0;
 }

@@ -56,7 +56,10 @@ ooc::BlockAdvice PlacementAdvisor::advise(ooc::BlockId b,
   if (p == nullptr) {
     // Not in the top-K sketch: by construction not a heavy hitter, so
     // it is a fine early reclaim victim — but never bypass on no data.
+    // On deep hierarchies it should not squat in a middle tier either:
+    // its re-fetch savings cannot pay for the capacity it would hold.
     a.demote_first = cfg_.enable_demote;
+    if (cfg_.enable_demote) a.demote_level = ooc::kLevelFar;
     return a;
   }
 
@@ -70,13 +73,23 @@ ooc::BlockAdvice PlacementAdvisor::advise(ooc::BlockId b,
   }
 
   if (cfg_.enable_demote && hot <= cfg_.demote_max_hotness) {
+    // Cold: preferred reclaim victim, and on deep hierarchies demoted
+    // past the middle tiers (a block this cold will not be re-promoted
+    // soon enough to justify middle-tier residence).
     a.demote_first = true;
+    a.demote_level = ooc::kLevelFar;
   }
-  if (cfg_.enable_bypass && streaming_bypass_ && p->reuse_distance < 0 &&
-      hot < break_even_accesses(bytes)) {
-    // Never reused so far and too few expected touches to amortise a
-    // loaded-channel round trip: run it from the slow tier.
-    a.bypass_fetch = true;
+  if (p->reuse_distance < 0) {
+    // Never reused so far: streaming data.  Middle tiers are reserved
+    // for blocks with a re-promotion future; let this one fall through
+    // to the bottom when it is evicted.
+    a.demote_level = ooc::kLevelFar;
+    if (cfg_.enable_bypass && streaming_bypass_ &&
+        hot < break_even_accesses(bytes)) {
+      // Too few expected touches to amortise a loaded-channel round
+      // trip: run it from the slow tier.
+      a.bypass_fetch = true;
+    }
   }
   return a;
 }

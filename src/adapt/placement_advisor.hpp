@@ -13,6 +13,12 @@
 //  * bypass_fetch — stream-once blocks whose measured reuse never
 //    amortises the migration cost run straight from the slow tier.
 //
+// On hierarchies deeper than two levels the advisor also sets
+// BlockAdvice::demote_level: cold and streaming blocks are sent
+// straight to the bottom level (ooc::kLevelFar) instead of being
+// caught by a middle tier, which keeps middle-tier capacity for blocks
+// with a re-promotion future.  Two-level engines ignore the field.
+//
 // The bypass break-even test comes from hw::MachineModel: migrating a
 // block costs a fetch and (under eager eviction) an evict through the
 // loaded migration channel, while each access from the fast tier saves

@@ -1,10 +1,10 @@
-#include "ooc/hbm_budget.hpp"
+#include "ooc/tier_budget.hpp"
 
 #include "util/check.hpp"
 
 namespace hmr::ooc {
 
-HbmBudget::HbmBudget(std::uint64_t capacity, std::int32_t num_shards)
+TierBudget::TierBudget(std::uint64_t capacity, std::int32_t num_shards)
     : capacity_(capacity), shards_(static_cast<std::size_t>(num_shards)) {
   HMR_CHECK(num_shards > 0);
   const std::uint64_t n = static_cast<std::uint64_t>(num_shards);
@@ -14,7 +14,7 @@ HbmBudget::HbmBudget(std::uint64_t capacity, std::int32_t num_shards)
   shards_[0].avail.fetch_add(capacity - share * n, std::memory_order_relaxed);
 }
 
-std::uint64_t HbmBudget::take(Shard& s, std::uint64_t want) {
+std::uint64_t TierBudget::take(Shard& s, std::uint64_t want) {
   std::uint64_t cur = s.avail.load(std::memory_order_relaxed);
   while (true) {
     const std::uint64_t got = cur < want ? cur : want;
@@ -27,7 +27,7 @@ std::uint64_t HbmBudget::take(Shard& s, std::uint64_t want) {
   }
 }
 
-bool HbmBudget::try_claim(std::int32_t shard, std::uint64_t bytes) {
+bool TierBudget::try_claim(std::int32_t shard, std::uint64_t bytes) {
   if (bytes == 0) return true;
   auto& home = shards_[static_cast<std::size_t>(shard)];
   // Fast path: the home sub-budget covers the claim.
@@ -73,13 +73,13 @@ bool HbmBudget::try_claim(std::int32_t shard, std::uint64_t bytes) {
   return true;
 }
 
-void HbmBudget::release(std::int32_t shard, std::uint64_t bytes) {
+void TierBudget::release(std::int32_t shard, std::uint64_t bytes) {
   if (bytes == 0) return;
   shards_[static_cast<std::size_t>(shard)].avail.fetch_add(
       bytes, std::memory_order_acq_rel);
 }
 
-std::uint64_t HbmBudget::used() const {
+std::uint64_t TierBudget::used() const {
   std::uint64_t avail = 0;
   for (const auto& s : shards_) {
     avail += s.avail.load(std::memory_order_relaxed);
@@ -87,7 +87,7 @@ std::uint64_t HbmBudget::used() const {
   return capacity_ >= avail ? capacity_ - avail : 0;
 }
 
-std::uint64_t HbmBudget::available(std::int32_t shard) const {
+std::uint64_t TierBudget::available(std::int32_t shard) const {
   return shards_[static_cast<std::size_t>(shard)].avail.load(
       std::memory_order_relaxed);
 }

@@ -14,15 +14,34 @@ namespace hmr::rt {
 
 namespace {
 
+/// The runtime's placement hierarchy: the Config override verbatim, or
+/// the model's tiers in bandwidth order with non-bottom budgets equal
+/// to the *scaled* arenas (the engine must not admit bytes the
+/// MemoryManager cannot physically hold) and the bottom unbounded.
+std::vector<ooc::TierDesc> resolve_tiers(const Runtime::Config& cfg,
+                                         const mem::MemoryManager& mm) {
+  std::vector<ooc::TierDesc> tiers = cfg.tiers;
+  if (tiers.empty()) {
+    tiers = ooc::tiers_from_model(cfg.model);
+    for (std::size_t k = 0; k + 1 < tiers.size(); ++k) {
+      tiers[k].capacity = mm.usage(tiers[k].id).capacity;
+    }
+  }
+  tiers.back().capacity = 0;
+  return tiers;
+}
+
 ooc::PolicyEngine::Config engine_config(const Runtime::Config& cfg,
-                                        std::uint64_t fast_capacity) {
+                                        const mem::MemoryManager& mm) {
   ooc::PolicyEngine::Config ec;
   ec.strategy = cfg.strategy;
   ec.num_pes = cfg.num_pes;
-  ec.fast_capacity = fast_capacity;
+  ec.tiers = resolve_tiers(cfg, mm);
+  ec.fast_capacity = ec.tiers.front().capacity;
   ec.eager_evict = cfg.eager_evict;
   ec.evict_by_worker = cfg.evict_by_worker;
   ec.writeonly_nocopy = cfg.writeonly_nocopy;
+  ec.demote_cascade = cfg.demote_cascade;
   return ec;
 }
 
@@ -69,12 +88,10 @@ void pin_to_core(std::thread& t, int core) {
 
 Runtime::Runtime(Config cfg)
     : cfg_(std::move(cfg)),
-      fast_tier_(cfg_.model.fast),
-      slow_tier_(cfg_.model.slow),
       mm_(std::make_unique<mem::MemoryManager>(
           mem::MemoryManager::specs_from_model(cfg_.model, cfg_.mem_scale),
           cfg_.memory_pool)),
-      engine_(engine_config(cfg_, mm_->usage(cfg_.model.fast).capacity)),
+      engine_(engine_config(cfg_, *mm_)),
       pending_(static_cast<std::size_t>(std::max(1, cfg_.num_pes))),
       tasks_done_(static_cast<std::size_t>(std::max(1, cfg_.num_pes))),
       tracer_(cfg_.trace),
@@ -88,9 +105,11 @@ Runtime::Runtime(Config cfg)
     ShardedEngine::Config sc;
     sc.num_pes = cfg_.num_pes;
     sc.num_shards = std::max(0, cfg_.engine_shards);
-    sc.fast_capacity = mm_->usage(cfg_.model.fast).capacity;
+    sc.tiers = resolve_tiers(cfg_, *mm_);
+    sc.fast_capacity = sc.tiers.front().capacity;
     sc.writeonly_nocopy = cfg_.writeonly_nocopy;
     sc.evict_by_worker = cfg_.evict_by_worker;
+    sc.demote_cascade = cfg_.demote_cascade;
     if (cfg_.lock_stats) {
       const auto n = sc.num_shards > 0
                          ? std::min(sc.num_shards, sc.num_pes)
@@ -171,13 +190,12 @@ mem::BlockId Runtime::alloc_block(std::uint64_t bytes) {
   // sequential id spaces aligned under concurrent allocation.
   std::lock_guard alk(alloc_mu_);
   const mem::BlockId expected = blocks_created_++;
-  hw::TierId tier = slow_tier_;
+  hw::TierId tier;
   if (sharded_) {
-    sharded_->add_block(expected, bytes);
+    tier = sharded_->add_block(expected, bytes);
   } else {
     std::lock_guard elk(engine_mu_);
-    const ooc::Placement p = engine_.add_block(expected, bytes);
-    tier = p == ooc::Placement::Fast ? fast_tier_ : slow_tier_;
+    tier = engine_.add_block(expected, bytes);
   }
   const mem::BlockId b = mm_->register_block(bytes, tier);
   HMR_CHECK_MSG(b != mem::kInvalidBlock,
@@ -446,14 +464,15 @@ void Runtime::do_migrate(const ooc::Command& cmd, int trace_lane) {
       mm_->block_bytes(cmd.block) >= mm_->chunk_threshold()) {
     poke_io_for_assist(); // idle IO threads join the chunked copy
   }
-  const auto res = mm_->migrate(cmd.block, fetch ? fast_tier_ : slow_tier_,
+  const auto res = mm_->migrate(cmd.block, cmd.dst_tier,
                                 /*copy_contents=*/!cmd.nocopy);
   HMR_CHECK_MSG(res.ok,
                 "migration failed: tier fragmentation exceeded the policy "
                 "engine's byte budget");
-  tracer_.record(trace_lane,
-                 fetch ? trace::Category::Prefetch : trace::Category::Evict,
-                 ts, now(), cmd.task);
+  tracer_.record_migration(
+      trace_lane, fetch ? trace::Category::Prefetch : trace::Category::Evict,
+      ts, now(), cmd.task, cmd.src_tier, cmd.dst_tier,
+      cmd.nocopy ? 0 : mm_->block_bytes(cmd.block));
 }
 
 void Runtime::perform_transfer(const ooc::Command& cmd, int trace_lane) {

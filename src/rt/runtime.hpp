@@ -109,6 +109,18 @@ public:
     /// counter's zero transition.  Exists solely so bench/rt_contention
     /// can measure the old runtime's bookkeeping cost; leave off.
     bool legacy_idle_notify = false;
+
+    /// Placement hierarchy override, fastest level first (same contract
+    /// as ooc::PolicyEngine::Config::tiers, with capacities in
+    /// *post-mem_scale* bytes).  Empty = derive from `model`: levels in
+    /// bandwidth order, non-bottom budgets equal to the scaled arenas,
+    /// bottom unbounded.  A two-tier model therefore behaves exactly
+    /// like the classic fast/slow runtime.
+    std::vector<ooc::TierDesc> tiers;
+    /// Demotion cascade on >2-level hierarchies: evicted blocks land on
+    /// the first lower level with room instead of going straight to the
+    /// bottom.  No effect on two-level hierarchies.
+    bool demote_cascade = true;
   };
 
   explicit Runtime(Config cfg);
@@ -127,8 +139,9 @@ public:
   // ---- data blocks ----
 
   /// Allocate a migratable data block of `bytes`.  Placement follows
-  /// the strategy (movement strategies: slow tier; Naive: HBM-first).
-  /// Dies if the placement tier cannot hold it.
+  /// the strategy (movement strategies: the bottom hierarchy level;
+  /// Naive: fastest level with room).  Dies if the placement tier
+  /// cannot hold it.
   mem::BlockId alloc_block(std::uint64_t bytes);
 
   /// Current storage of a block (moves as the runtime migrates it).
@@ -183,7 +196,7 @@ public:
   int engine_shards() const {
     return sharded_ ? sharded_->num_shards() : 1;
   }
-  /// HbmBudget work-stealing rebalances (sharded path; 0 otherwise).
+  /// TierBudget work-stealing rebalances (sharded path; 0 otherwise).
   std::uint64_t budget_steals() const {
     return sharded_ ? sharded_->budget_steals() : 0;
   }
@@ -270,8 +283,6 @@ private:
   void governor_phase_end();
 
   Config cfg_;
-  hw::TierId fast_tier_;
-  hw::TierId slow_tier_;
   std::unique_ptr<mem::MemoryManager> mm_;
 
   /// Serial-engine path (every configuration the ShardedEngine does

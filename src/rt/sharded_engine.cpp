@@ -9,17 +9,36 @@ namespace hmr::rt {
 using ooc::BlockState;
 using ooc::Command;
 
+namespace {
+
+std::int32_t resolve_shard_count(const ShardedEngine::Config& cfg) {
+  return cfg.num_shards > 0 ? std::min(cfg.num_shards, cfg.num_pes)
+                            : cfg.num_pes;
+}
+
+} // namespace
+
 ShardedEngine::ShardedEngine(Config cfg, trace::ContentionStats* lock_stats)
-    : cfg_(cfg),
-      budget_(cfg.fast_capacity,
-              cfg.num_shards > 0 ? std::min(cfg.num_shards, cfg.num_pes)
-                                 : cfg.num_pes),
+    : cfg_(std::move(cfg)),
       lock_stats_(lock_stats),
-      shards_(static_cast<std::size_t>(budget_.num_shards())),
-      pe_claims_(static_cast<std::size_t>(cfg.num_pes)),
+      shards_(static_cast<std::size_t>(resolve_shard_count(cfg_))),
+      pe_claims_(static_cast<std::size_t>(cfg_.num_pes)),
       chunks_(kMaxChunks) {
   HMR_CHECK(cfg_.num_pes > 0);
+  if (cfg_.tiers.empty()) {
+    tiers_ = {ooc::TierDesc{1, cfg_.fast_capacity, 1.0},
+              ooc::TierDesc{0, 0, 1.0}};
+  } else {
+    tiers_ = cfg_.tiers;
+    HMR_CHECK_MSG(tiers_.size() >= 2, "placement hierarchy needs >= 2 levels");
+    cfg_.fast_capacity = tiers_.front().capacity;
+  }
   const auto n_shards = static_cast<std::int32_t>(shards_.size());
+  budgets_.resize(tiers_.size());
+  for (std::size_t k = 0; k + 1 < tiers_.size(); ++k) {
+    budgets_[k] =
+        std::make_unique<ooc::TierBudget>(tiers_[k].capacity, n_shards);
+  }
   pes_per_shard_ = (cfg_.num_pes + n_shards - 1) / n_shards;
   for (std::int32_t s = 0; s < n_shards; ++s) {
     const std::int32_t first = s * pes_per_shard_;
@@ -46,7 +65,7 @@ ShardedEngine::BlockRec& ShardedEngine::block(ooc::BlockId b) const {
   return chunk[static_cast<std::size_t>(b) & (kChunkSize - 1)];
 }
 
-void ShardedEngine::add_block(ooc::BlockId b, std::uint64_t bytes) {
+ooc::TierId ShardedEngine::add_block(ooc::BlockId b, std::uint64_t bytes) {
   HMR_CHECK_MSG(bytes > 0, "zero-byte block");
   std::lock_guard lk(registry_mu_);
   const std::size_t ci = static_cast<std::size_t>(b) >> kChunkShift;
@@ -61,9 +80,11 @@ void ShardedEngine::add_block(ooc::BlockId b, std::uint64_t bytes) {
     std::lock_guard slk(stripe(b).mu);
     HMR_CHECK_MSG(!rec.live, "duplicate block id");
     rec.bytes = bytes;
-    rec.state = BlockState::InSlow; // movement strategies start on DDR
+    rec.level = bottom(); // movement strategies start on the far tier
+    rec.from_level = -1;
     rec.refcount = 0;
     rec.claim_shard = 0;
+    rec.src_claim_shard = 0;
     rec.live = true;
     rec.waiters.clear();
   }
@@ -73,6 +94,7 @@ void ShardedEngine::add_block(ooc::BlockId b, std::uint64_t bytes) {
                                           std::memory_order_release,
                                           std::memory_order_relaxed)) {
   }
+  return tiers_.back().id;
 }
 
 void ShardedEngine::remove_block(ooc::BlockId b) {
@@ -81,11 +103,10 @@ void ShardedEngine::remove_block(ooc::BlockId b) {
   std::lock_guard slk(stripe(b).mu);
   HMR_CHECK_MSG(rec.live, "unknown block id");
   HMR_CHECK_MSG(rec.refcount == 0, "removing a claimed block");
-  HMR_CHECK_MSG(rec.state == BlockState::InSlow ||
-                    rec.state == BlockState::InFast,
-                "removing a block mid-migration");
-  if (rec.state == BlockState::InFast) {
-    budget_.release(rec.claim_shard, rec.bytes);
+  HMR_CHECK_MSG(rec.from_level < 0, "removing a block mid-migration");
+  if (rec.level < bottom()) {
+    budgets_[static_cast<std::size_t>(rec.level)]->release(rec.claim_shard,
+                                                           rec.bytes);
   }
   rec.live = false;
 }
@@ -127,17 +148,13 @@ bool ShardedEngine::try_admit(Shard& sh, TaskRec& tr, bool only_if_free,
   std::uint64_t extra = 0;
   for (const auto& d : tr.desc.deps) {
     const BlockRec& br = block(d.block);
-    switch (br.state) {
-      case BlockState::InSlow:
-        extra += br.bytes;
-        break;
-      case BlockState::EvictInFlight:
-        // Must land on the slow tier before it can be re-fetched.
-        return false;
-      case BlockState::InFast:
-      case BlockState::FetchInFlight:
-        break; // already claimed in the budget
+    if (br.from_level >= 0) {
+      // A demotion must land before the block can be re-fetched; an
+      // inbound promotion is already claimed in the level-0 budget.
+      if (br.level != 0) return false;
+      continue;
     }
+    if (br.level > 0) extra += br.bytes;
   }
   if (only_if_free) {
     // Arrival fast path (paper: all deps already INHBM): no fresh
@@ -151,7 +168,7 @@ bool ShardedEngine::try_admit(Shard& sh, TaskRec& tr, bool only_if_free,
           cfg_.fast_capacity / static_cast<std::uint64_t>(cfg_.num_pes);
       if (held != 0 && held + extra > share) return false;
     }
-    if (extra > 0 && !budget_.try_claim(shard_idx, extra)) {
+    if (extra > 0 && !budgets_[0]->try_claim(shard_idx, extra)) {
       HMR_CHECK_MSG(extra <= cfg_.fast_capacity,
                     "scheduling wedge: a waiting task's dependences exceed "
                     "the fast-tier capacity (reduced working set must fit "
@@ -165,38 +182,41 @@ bool ShardedEngine::try_admit(Shard& sh, TaskRec& tr, bool only_if_free,
   for (const auto& d : tr.desc.deps) {
     BlockRec& br = block(d.block);
     ++br.refcount;
-    switch (br.state) {
-      case BlockState::InFast:
-        break;
-      case BlockState::InSlow: {
-        br.state = BlockState::FetchInFlight;
-        br.claim_shard = shard_idx;
-        br.waiters.push_back(&tr);
-        ++missing;
-        n_inflight_fetch_.fetch_add(1, std::memory_order_acq_rel);
-        ++sh.stats.fetches;
-        sh.stats.fetch_bytes += br.bytes;
-        Command c;
-        c.kind = Command::Kind::Fetch;
-        c.block = d.block;
-        c.task = tr.desc.id;
-        c.agent = pe; // MultiIo: the PE's own IO thread
-        c.pe = pe;
-        c.nocopy =
-            cfg_.writeonly_nocopy && d.mode == ooc::AccessMode::WriteOnly;
-        cmds.push_back(c);
-        break;
-      }
-      case BlockState::FetchInFlight:
-        // Another admitted task is already pulling this block in; wait
-        // for the same fetch (no duplicate traffic).
-        br.waiters.push_back(&tr);
-        ++missing;
-        ++sh.stats.fetch_dedup_hits;
-        break;
-      case BlockState::EvictInFlight:
-        HMR_CHECK_MSG(false, "admitted task depends on an evicting block");
+    if (br.from_level >= 0) {
+      // Another admitted task is already pulling this block in; wait
+      // for the same fetch (no duplicate traffic).
+      HMR_CHECK_MSG(br.level == 0,
+                    "admitted task depends on a demoting block");
+      br.waiters.push_back(&tr);
+      ++missing;
+      ++sh.stats.fetch_dedup_hits;
+    } else if (br.level > 0) {
+      const std::int32_t src = br.level;
+      br.from_level = src;
+      br.level = 0;
+      // The source-level claim (if the source is bounded) is released
+      // when the promotion lands; the level-0 bytes were claimed in
+      // `extra` above.
+      br.src_claim_shard = br.claim_shard;
+      br.claim_shard = shard_idx;
+      br.waiters.push_back(&tr);
+      ++missing;
+      n_inflight_fetch_.fetch_add(1, std::memory_order_acq_rel);
+      ++sh.stats.fetches;
+      sh.stats.fetch_bytes += br.bytes;
+      Command c;
+      c.kind = Command::Kind::Fetch;
+      c.block = d.block;
+      c.task = tr.desc.id;
+      c.agent = pe; // MultiIo: the PE's own IO thread
+      c.pe = pe;
+      c.nocopy =
+          cfg_.writeonly_nocopy && d.mode == ooc::AccessMode::WriteOnly;
+      c.src_tier = tiers_[static_cast<std::size_t>(src)].id;
+      c.dst_tier = tiers_[0].id;
+      cmds.push_back(c);
     }
+    // else: already resident on the top level — nothing to plan.
   }
   tr.claim_bytes = only_if_free ? 0 : extra;
   pe_claims_[static_cast<std::size_t>(pe)].bytes.fetch_add(
@@ -294,18 +314,29 @@ std::vector<Command> ShardedEngine::on_task_arrived(
 std::vector<Command> ShardedEngine::on_fetch_complete(ooc::BlockId b) {
   std::vector<Command> cmds;
   std::vector<TaskRec*> ready;
+  std::int32_t src = -1;
+  std::int32_t src_shard = 0;
+  std::uint64_t bytes = 0;
   {
     std::lock_guard slk(stripe(b).mu);
     BlockRec& br = block(b);
-    HMR_CHECK_MSG(br.state == BlockState::FetchInFlight,
+    HMR_CHECK_MSG(br.from_level >= 0 && br.level == 0,
                   "fetch completion for a block not being fetched");
-    br.state = BlockState::InFast;
+    src = br.from_level;
+    src_shard = br.src_claim_shard;
+    bytes = br.bytes;
+    br.from_level = -1;
     for (TaskRec* w : br.waiters) {
       if (w->missing.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         ready.push_back(w);
       }
     }
     br.waiters.clear();
+  }
+  // The source copy is released on landing — a promotion out of a
+  // bounded middle level frees that level's budget here.
+  if (src < bottom()) {
+    budgets_[static_cast<std::size_t>(src)]->release(src_shard, bytes);
   }
   n_inflight_fetch_.fetch_sub(1, std::memory_order_acq_rel);
   for (TaskRec* w : ready) {
@@ -320,17 +351,21 @@ std::vector<Command> ShardedEngine::on_fetch_complete(ooc::BlockId b) {
 
 std::vector<Command> ShardedEngine::on_evict_complete(ooc::BlockId b) {
   std::uint64_t bytes = 0;
-  std::int32_t claim_shard = 0;
+  std::int32_t src = -1;
+  std::int32_t src_shard = 0;
   {
     std::lock_guard slk(stripe(b).mu);
     BlockRec& br = block(b);
-    HMR_CHECK_MSG(br.state == BlockState::EvictInFlight,
+    HMR_CHECK_MSG(br.from_level >= 0 && br.level > 0,
                   "evict completion for a block not being evicted");
-    br.state = BlockState::InSlow;
+    src = br.from_level;
+    src_shard = br.src_claim_shard;
     bytes = br.bytes;
-    claim_shard = br.claim_shard;
+    br.from_level = -1;
   }
-  budget_.release(claim_shard, bytes);
+  if (src < bottom()) {
+    budgets_[static_cast<std::size_t>(src)]->release(src_shard, bytes);
+  }
   n_inflight_evict_.fetch_sub(1, std::memory_order_acq_rel);
 
   // Freed capacity can unblock any PE's queue head (the serial engine
@@ -365,24 +400,47 @@ std::vector<Command> ShardedEngine::on_task_complete(ooc::TaskId t,
       tr->claim_bytes, std::memory_order_relaxed);
 
   // Post-processing: release claims; blocks that drop to refcount 0
-  // are eagerly evicted (paper behaviour).
+  // are eagerly evicted (paper behaviour).  Non-annotated entry
+  // methods never claimed their deps, so there is nothing to release.
   const std::int32_t evict_agent =
       cfg_.evict_by_worker ? ooc::kWorkerInline : pe;
-  for (const auto& d : tr->desc.deps) {
+  const std::int32_t shard_idx = static_cast<std::int32_t>(s);
+  const auto deps_held =
+      tr->desc.prefetch ? tr->desc.deps : std::vector<ooc::Dep>{};
+  for (const auto& d : deps_held) {
     std::lock_guard slk(stripe(d.block).mu);
     BlockRec& br = block(d.block);
     HMR_CHECK_MSG(br.refcount > 0, "refcount underflow");
     --br.refcount;
-    if (br.refcount == 0 && br.state == BlockState::InFast) {
-      br.state = BlockState::EvictInFlight;
+    if (br.refcount == 0 && br.level == 0 && br.from_level < 0) {
+      // Demotion cascade: probe the middle levels' budgets in speed
+      // order (try_claim doubles as an exact concurrent fit check);
+      // overflow to the unbounded bottom.
+      std::int32_t dst = bottom();
+      if (cfg_.demote_cascade) {
+        for (std::int32_t k = 1; k < bottom(); ++k) {
+          if (budgets_[static_cast<std::size_t>(k)]->try_claim(shard_idx,
+                                                               br.bytes)) {
+            dst = k;
+            break;
+          }
+        }
+      }
+      br.from_level = 0;
+      br.level = dst;
+      br.src_claim_shard = br.claim_shard; // level-0 claim, freed on landing
+      br.claim_shard = shard_idx;          // dst claim (bounded dst only)
       n_inflight_evict_.fetch_add(1, std::memory_order_acq_rel);
       ++sh.stats.evicts;
       sh.stats.evict_bytes += br.bytes;
+      if (dst < bottom()) ++sh.stats.cascade_demotions;
       Command c;
       c.kind = Command::Kind::Evict;
       c.block = d.block;
       c.agent = evict_agent;
       c.pe = pe;
+      c.src_tier = tiers_[0].id;
+      c.dst_tier = tiers_[static_cast<std::size_t>(dst)].id;
       cmds.push_back(c);
     }
   }
@@ -406,6 +464,7 @@ ooc::PolicyEngine::Stats ShardedEngine::stats() const {
     out.evicts += sh.stats.evicts;
     out.evict_bytes += sh.stats.evict_bytes;
     out.fetch_dedup_hits += sh.stats.fetch_dedup_hits;
+    out.cascade_demotions += sh.stats.cascade_demotions;
   }
   return out;
 }
@@ -419,7 +478,12 @@ bool ShardedEngine::quiescent() const {
 
 ooc::BlockState ShardedEngine::block_state(ooc::BlockId b) const {
   std::lock_guard slk(stripe(b).mu);
-  return block(b).state;
+  return state_of(block(b));
+}
+
+std::int32_t ShardedEngine::block_level(ooc::BlockId b) const {
+  std::lock_guard slk(stripe(b).mu);
+  return block(b).level;
 }
 
 std::uint32_t ShardedEngine::refcount(ooc::BlockId b) const {

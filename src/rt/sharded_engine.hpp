@@ -15,11 +15,22 @@
 //     (stripe = block id mod 64); an admission locks only the stripes
 //     of its dependences, in sorted order, making the all-or-nothing
 //     claim atomic without any global lock;
-//   * HBM capacity is an ooc::HbmBudget: per-shard sub-budgets with
-//     atomic claim/release and a work-stealing slow path, so a claim
-//     fails only when the node genuinely lacks the bytes;
+//   * every bounded hierarchy level has its own ooc::TierBudget:
+//     per-shard sub-budgets with atomic claim/release and a
+//     work-stealing slow path, so a claim fails only when the node
+//     genuinely lacks the bytes;
 //   * idle/quiescence counters and per-PE fairness claims are padded
 //     atomics.
+//
+// N-tier placement: fetches promote from any level to level 0;
+// evictions probe the middle levels' budgets in speed order
+// (try_claim = an exact, concurrent fit check) and land on the first
+// with room, overflowing to the unbounded bottom.  Unlike the serial
+// engine there is no watermark trim of middle levels — a middle tier
+// fills, then overflows; it drains when its blocks are promoted back.
+// The trade keeps every eviction a single-stripe operation (a trim
+// would lock victim stripes from a completion context).  Two-level
+// configs behave exactly like the PR 2 engine.
 //
 // Scope: the MultiIo strategy with eager eviction (the paper's best
 // configuration and the runtime's default).  SingleIo's round-robin,
@@ -39,8 +50,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "ooc/hbm_budget.hpp"
 #include "ooc/policy_engine.hpp"
+#include "ooc/tier_budget.hpp"
 #include "ooc/types.hpp"
 #include "trace/contention.hpp"
 
@@ -58,6 +69,13 @@ public:
     /// Evictions run inline on the completing worker (kWorkerInline)
     /// instead of being queued on the PE's IO agent.
     bool evict_by_worker = false;
+    /// Placement hierarchy, fastest level first (same contract as
+    /// ooc::PolicyEngine::Config::tiers).  Empty = the classic
+    /// two-level hierarchy from fast_capacity with tier ids 1/0.
+    std::vector<ooc::TierDesc> tiers;
+    /// Probe middle-level budgets before overflowing demotions to the
+    /// bottom.  false = always demote to the bottom level.
+    bool demote_cascade = true;
   };
 
   explicit ShardedEngine(Config cfg,
@@ -77,9 +95,9 @@ public:
   // callers serialize add/remove themselves (the Runtime allocates
   // under one small mutex to keep id spaces aligned with the
   // MemoryManager).  Movement strategies always place fresh blocks on
-  // the slow tier, so add_block returns no placement.
+  // the bottom level; the returned tier id says which one that is.
 
-  void add_block(ooc::BlockId b, std::uint64_t bytes);
+  ooc::TierId add_block(ooc::BlockId b, std::uint64_t bytes);
   void remove_block(ooc::BlockId b);
 
   // ---- events (thread-safe; each returns commands to execute) ----
@@ -96,13 +114,24 @@ public:
 
   ooc::PolicyEngine::Stats stats() const; // summed over shards
   bool quiescent() const;
-  std::uint64_t fast_used() const { return budget_.used(); }
+  std::uint64_t fast_used() const { return budgets_[0]->used(); }
   std::uint64_t fast_capacity() const { return cfg_.fast_capacity; }
-  std::uint64_t budget_steals() const { return budget_.steals(); }
+  std::uint64_t budget_steals() const { return budgets_[0]->steals(); }
   std::size_t total_waiting() const {
     return n_waiting_.load(std::memory_order_acquire);
   }
+  const std::vector<ooc::TierDesc>& tiers() const { return tiers_; }
+  std::int32_t num_levels() const {
+    return static_cast<std::int32_t>(tiers_.size());
+  }
+  /// Bytes claimed on a bounded hierarchy level (approximate under
+  /// concurrency, like TierBudget::used).
+  std::uint64_t tier_used(std::int32_t level) const {
+    const auto& b = budgets_[static_cast<std::size_t>(level)];
+    return b ? b->used() : 0;
+  }
   ooc::BlockState block_state(ooc::BlockId b) const;
+  std::int32_t block_level(ooc::BlockId b) const;
   std::uint32_t refcount(ooc::BlockId b) const;
 
 private:
@@ -120,12 +149,28 @@ private:
 
   struct BlockRec {
     std::uint64_t bytes = 0;
-    ooc::BlockState state = ooc::BlockState::InSlow;
+    /// Hierarchy level the block occupies; while migrating, the
+    /// destination (same encoding as the serial engine's BlockRec).
+    std::int32_t level = 0;
+    std::int32_t from_level = -1; // migration source, -1 = resident
     std::uint32_t refcount = 0;
-    std::int32_t claim_shard = 0; // sub-budget charged for residency
+    /// Sub-budget shard charged for the block's `level` claim.
+    std::int32_t claim_shard = 0;
+    /// Sub-budget shard charged for the `from_level` claim, released
+    /// when the migration lands (valid while from_level >= 0).
+    std::int32_t src_claim_shard = 0;
     bool live = false;
     std::vector<TaskRec*> waiters; // admitted tasks awaiting the fetch
   };
+
+  static ooc::BlockState state_of(const BlockRec& br) {
+    if (br.from_level >= 0) {
+      return br.level == 0 ? ooc::BlockState::FetchInFlight
+                           : ooc::BlockState::EvictInFlight;
+    }
+    return br.level == 0 ? ooc::BlockState::InFast
+                         : ooc::BlockState::InSlow;
+  }
 
   struct alignas(64) Shard {
     std::mutex mu;
@@ -173,9 +218,16 @@ private:
     trace::lock_counted(shards_[s].mu, lock_stats_, s);
   }
 
+  std::int32_t bottom() const {
+    return static_cast<std::int32_t>(tiers_.size()) - 1;
+  }
+
   Config cfg_;
   std::int32_t pes_per_shard_ = 1;
-  ooc::HbmBudget budget_;
+  std::vector<ooc::TierDesc> tiers_; // resolved hierarchy
+  /// One budget per bounded level (index = level); nullptr for the
+  /// unbounded bottom level.
+  std::vector<std::unique_ptr<ooc::TierBudget>> budgets_;
   trace::ContentionStats* lock_stats_;
 
   std::vector<Shard> shards_;

@@ -17,19 +17,26 @@ ooc::PolicyEngine::Config engine_config(const SimConfig& cfg) {
   ec.strategy =
       cfg.cache_mode ? ooc::Strategy::DdrOnly : cfg.strategy;
   ec.num_pes = cfg.model.num_pes;
-  ec.fast_capacity = cfg.fast_capacity
-                         ? cfg.fast_capacity
-                         : cfg.model.tier(cfg.model.fast).capacity;
+  ec.tiers = cfg.tiers.empty() ? ooc::tiers_from_model(cfg.model) : cfg.tiers;
+  ec.tiers.back().capacity = 0;
+  // Cache/hybrid mode model the two-tier KNL's MCDRAM-in-front-of-DDR4
+  // hardware; they have no N-level analogue here.
+  HMR_CHECK_MSG(ec.tiers.size() == 2 ||
+                    (!cfg.cache_mode && cfg.hybrid_cache_fraction == 0),
+                "cache/hybrid modes require a two-tier hierarchy");
+  if (cfg.fast_capacity) ec.tiers.front().capacity = cfg.fast_capacity;
   // Hybrid mode: only the flat part of MCDRAM is the prefetch budget.
   if (cfg.hybrid_cache_fraction > 0) {
     HMR_CHECK(cfg.hybrid_cache_fraction < 1.0);
-    ec.fast_capacity = static_cast<std::uint64_t>(
-        static_cast<double>(ec.fast_capacity) *
+    ec.tiers.front().capacity = static_cast<std::uint64_t>(
+        static_cast<double>(ec.tiers.front().capacity) *
         (1.0 - cfg.hybrid_cache_fraction));
   }
+  ec.fast_capacity = ec.tiers.front().capacity;
   ec.eager_evict = cfg.eager_evict;
   ec.evict_by_worker = cfg.evict_by_worker;
   ec.writeonly_nocopy = cfg.writeonly_nocopy;
+  ec.demote_cascade = cfg.demote_cascade;
   return ec;
 }
 
@@ -58,10 +65,6 @@ SimExecutor::SimExecutor(SimConfig cfg)
   pes_.resize(static_cast<std::size_t>(cfg_.model.num_pes));
   agents_.resize(static_cast<std::size_t>(num_agents_));
   const auto& m = cfg_.model;
-  fetch_ch_ = std::make_unique<TransferChannel>(
-      m.copy_rate(m.slow, m.fast), m.channel_capacity(m.slow, m.fast));
-  evict_ch_ = std::make_unique<TransferChannel>(
-      m.copy_rate(m.fast, m.slow), m.channel_capacity(m.fast, m.slow));
   if (cfg_.adaptive) {
     HMR_CHECK_MSG(ooc::strategy_moves_data(cfg_.strategy) && !cfg_.cache_mode,
                   "adaptive guidance requires a movement strategy");
@@ -78,23 +81,30 @@ SimExecutor::SimExecutor(SimConfig cfg)
   }
 }
 
-TransferChannel& SimExecutor::channel_for(bool fetch) {
-  return fetch ? *fetch_ch_ : *evict_ch_;
+TransferChannel& SimExecutor::channel_for(ooc::TierId src,
+                                          ooc::TierId dst) {
+  auto& slot = channels_[pair_key(src, dst)];
+  if (!slot) {
+    const auto& m = cfg_.model;
+    slot = std::make_unique<TransferChannel>(m.copy_rate(src, dst),
+                                             m.channel_capacity(src, dst));
+  }
+  return *slot;
 }
 
-void SimExecutor::drain_channel(bool fetch) {
-  for (const auto flow : channel_for(fetch).advance(now_)) {
+void SimExecutor::drain_channel(std::uint64_t key) {
+  for (const auto flow : channels_.at(key)->advance(now_)) {
     finish_transfer(flow);
   }
 }
 
-void SimExecutor::schedule_tick(bool fetch) {
-  TransferChannel& ch = channel_for(fetch);
+void SimExecutor::schedule_tick(std::uint64_t key) {
+  TransferChannel& ch = *channels_.at(key);
   const double t = ch.next_completion(now_);
   if (!std::isfinite(t)) return;
-  eq_.at(t, [this, fetch] {
-    drain_channel(fetch);
-    if (channel_for(fetch).has_flows()) schedule_tick(fetch);
+  eq_.at(t, [this, key] {
+    drain_channel(key);
+    if (channels_.at(key)->has_flows()) schedule_tick(key);
   });
 }
 
@@ -107,38 +117,34 @@ double SimExecutor::exec_duration(const ooc::TaskDesc& desc) const {
     return cfg_.model.cache_mode_compute_time(scaled, wss_,
                                               cfg_.model.num_pes);
   }
-  std::uint64_t fast_bytes = 0;
-  std::uint64_t slow_bytes = 0;
+  // Bytes stream from whichever tier each dependence is resident on —
+  // on a two-tier model this collapses to the classic fast/slow split.
+  const auto& m = cfg_.model;
+  std::vector<std::uint64_t> by_tier(m.tiers.size(), 0);
   for (const auto& d : desc.deps) {
     const auto st = engine_.block_state(d.block);
-    const std::uint64_t bytes = wl_->blocks()[d.block].bytes;
-    switch (st) {
-      case ooc::BlockState::InFast:
-        fast_bytes += bytes;
-        break;
-      case ooc::BlockState::InSlow:
-        slow_bytes += bytes;
-        break;
-      default:
-        HMR_CHECK_MSG(false, "running task depends on an in-flight block");
-    }
+    HMR_CHECK_MSG(st == ooc::BlockState::InFast ||
+                      st == ooc::BlockState::InSlow,
+                  "running task depends on an in-flight block");
+    by_tier[engine_.block_tier(d.block)] += wl_->blocks()[d.block].bytes;
   }
   const auto scale = [&](std::uint64_t b) {
     return static_cast<std::uint64_t>(static_cast<double>(b) *
                                       desc.work_factor);
   };
-  if (cfg_.hybrid_cache_fraction > 0 && slow_bytes > 0) {
-    // Hybrid: slow-resident accesses go through the cached part of
-    // MCDRAM at the cache-mode effective bandwidth.
-    const auto& m = cfg_.model;
-    const double t_fast = m.compute_time2(scale(fast_bytes), 0, m.num_pes);
+  if (cfg_.hybrid_cache_fraction > 0 && by_tier[m.slow] > 0) {
+    // Hybrid (two-tier only, enforced at construction): slow-resident
+    // accesses go through the cached part of MCDRAM at the cache-mode
+    // effective bandwidth.
+    const double t_fast =
+        m.compute_time2(scale(by_tier[m.fast]), 0, m.num_pes);
     const double share =
         hybrid_slow_bw_ / static_cast<double>(m.num_pes);
-    const double sb = static_cast<double>(scale(slow_bytes));
+    const double sb = static_cast<double>(scale(by_tier[m.slow]));
     return t_fast + sb / share + sb / m.compute_bw_per_pe;
   }
-  return cfg_.model.compute_time2(scale(fast_bytes), scale(slow_bytes),
-                                  cfg_.model.num_pes);
+  for (auto& b : by_tier) b = scale(b);
+  return m.compute_time(by_tier, m.num_pes);
 }
 
 void SimExecutor::process(std::vector<ooc::Command> cmds) {
@@ -270,8 +276,9 @@ void SimExecutor::start_transfer(const ooc::Command& cmd,
              }
              return;
            }
-           TransferChannel& ch = channel_for(fetch);
-           drain_channel(fetch);
+           const std::uint64_t key = pair_key(cmd.src_tier, cmd.dst_tier);
+           TransferChannel& ch = channel_for(cmd.src_tier, cmd.dst_tier);
+           drain_channel(key);
            const std::uint64_t id = next_flow_++;
            const double bytes =
                static_cast<double>(wl_->blocks()[cmd.block].bytes);
@@ -283,7 +290,7 @@ void SimExecutor::start_transfer(const ooc::Command& cmd,
            ctx.lane_index = lane_index;
            ctx.t0 = t0;
            flows_.emplace(id, ctx);
-           schedule_tick(fetch);
+           schedule_tick(key);
          });
 }
 
@@ -294,9 +301,11 @@ void SimExecutor::finish_transfer(std::uint64_t flow_id) {
   flows_.erase(it);
 
   const bool fetch = ctx.cmd.kind == ooc::Command::Kind::Fetch;
-  tracer_.record(ctx.trace_lane,
-                 fetch ? trace::Category::Prefetch : trace::Category::Evict,
-                 ctx.t0, now_, ctx.cmd.task);
+  tracer_.record_migration(
+      ctx.trace_lane,
+      fetch ? trace::Category::Prefetch : trace::Category::Evict, ctx.t0,
+      now_, ctx.cmd.task, ctx.cmd.src_tier, ctx.cmd.dst_tier,
+      wl_->blocks()[ctx.cmd.block].bytes);
   Lane& lane = ctx.on_worker ? pes_[ctx.lane_index] : agents_[ctx.lane_index];
   lane.busy = false;
   if (ctx.on_worker) result_.worker_transfer_seconds += now_ - ctx.t0;
@@ -491,13 +500,18 @@ SimResult SimExecutor::run(const Workload& w) {
     if (!engine_.quiescent()) {
       std::fprintf(stderr,
                    "hmr: sim wedge: waiting=%zu live=%zu inflight_fetch=%zu "
-                   "inflight_evict=%zu fast=%llu/%llu fetch_flows=%zu "
-                   "evict_flows=%zu\n",
+                   "inflight_evict=%zu fast=%llu/%llu\n",
                    engine_.total_waiting(), engine_.live_tasks(),
                    engine_.inflight_fetches(), engine_.inflight_evicts(),
                    static_cast<unsigned long long>(engine_.fast_used()),
-                   static_cast<unsigned long long>(engine_.fast_capacity()),
-                   fetch_ch_->flow_count(), evict_ch_->flow_count());
+                   static_cast<unsigned long long>(engine_.fast_capacity()));
+      for (const auto& [key, ch] : channels_) {
+        if (ch->flow_count() == 0) continue;
+        std::fprintf(stderr, "  channel %u->%u flows=%zu\n",
+                     static_cast<unsigned>(key >> 32),
+                     static_cast<unsigned>(key & 0xffffffffu),
+                     ch->flow_count());
+      }
       for (std::size_t pe = 0; pe < pes_.size(); ++pe) {
         if (pes_[pe].busy || !pes_[pe].q.empty()) {
           std::fprintf(stderr, "  pe %zu busy=%d jobs=%zu\n", pe,

@@ -6,9 +6,12 @@
 // on a virtual KNL (64 PEs, 16 GB MCDRAM, 96 GB DDR4) with virtual
 // time, so the figure benches can sweep working sets of tens of GB on
 // any host.  Timing comes from hw::MachineModel:
-//   * task execution: bandwidth-shared roofline (compute_time),
-//   * migrations: two fluid TransferChannels (fetch: slow->fast,
-//     evict: fast->slow), each capped per-flow and in aggregate,
+//   * task execution: bandwidth-shared roofline (compute_time) over
+//     the tier each dependence is resident on,
+//   * migrations: one fluid TransferChannel per ordered tier pair
+//     (created on first use), each capped per-flow and in aggregate —
+//     a two-tier model gets exactly the classic fetch (slow->fast) and
+//     evict (fast->slow) channels,
 //   * fixed overheads for scheduling and numa_alloc/free.
 //
 // Lanes: worker PEs are trace lanes [0, num_pes); IO agents are lanes
@@ -46,8 +49,18 @@ struct SimConfig {
   bool writeonly_nocopy = false;
 
   /// Fast-tier budget override in bytes; 0 = the model's fast tier
-  /// capacity (16 GB on KNL).
+  /// capacity (16 GB on KNL).  Applies to the top hierarchy level.
   std::uint64_t fast_capacity = 0;
+
+  /// Placement hierarchy override, fastest level first (contract of
+  /// ooc::PolicyEngine::Config::tiers).  Empty = derive from `model`:
+  /// its tiers in bandwidth order, bottom unbounded — so a two-tier
+  /// model behaves exactly like the classic fast/slow simulator and a
+  /// three-tier model gets a genuine three-level hierarchy.
+  std::vector<ooc::TierDesc> tiers;
+  /// Demotion cascade on >2-level hierarchies (see
+  /// ooc::PolicyEngine::Config::demote_cascade).
+  bool demote_cascade = true;
 
   /// Physical IO threads.  0 = strategy default (SingleIo: 1,
   /// MultiIo: one per PE).  For MultiIo, k < num_pes assigns each a
@@ -174,9 +187,15 @@ private:
   void profile_arrival(const ooc::TaskDesc& desc);
   void governor_phase_end(double t_iter);
   double exec_duration(const ooc::TaskDesc& desc) const;
-  TransferChannel& channel_for(bool fetch);
-  void schedule_tick(bool fetch);
-  void drain_channel(bool fetch);
+  /// Fluid channel for migrations src -> dst (created on first use
+  /// from the model's copy_rate / channel_capacity for that pair).
+  TransferChannel& channel_for(ooc::TierId src, ooc::TierId dst);
+  void schedule_tick(std::uint64_t pair_key);
+  void drain_channel(std::uint64_t pair_key);
+
+  static std::uint64_t pair_key(ooc::TierId src, ooc::TierId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
 
   SimConfig cfg_;
   ooc::PolicyEngine engine_;
@@ -188,8 +207,9 @@ private:
   std::vector<Lane> agents_;
   std::deque<ooc::TaskId> node_q_; // shared run queue (optional)
 
-  std::unique_ptr<TransferChannel> fetch_ch_;
-  std::unique_ptr<TransferChannel> evict_ch_;
+  /// Migration channels keyed by pair_key(src, dst); lazily created.
+  std::unordered_map<std::uint64_t, std::unique_ptr<TransferChannel>>
+      channels_;
   std::uint64_t next_flow_ = 1;
   std::unordered_map<std::uint64_t, FlowCtx> flows_;
 

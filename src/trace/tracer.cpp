@@ -34,6 +34,17 @@ char category_glyph(Category c) {
   return '?';
 }
 
+TraceSummary::TierPairTraffic TraceSummary::migration_between(
+    std::uint32_t src, std::uint32_t dst) const {
+  for (const auto& m : migrations) {
+    if (m.src_tier == src && m.dst_tier == dst) return m;
+  }
+  TierPairTraffic zero;
+  zero.src_tier = src;
+  zero.dst_tier = dst;
+  return zero;
+}
+
 double TraceSummary::overhead_fraction() const {
   double all = 0;
   for (double t : total) all += t;
@@ -47,8 +58,44 @@ void Tracer::record(std::int32_t lane, Category cat, double start,
   HMR_CHECK_MSG(end >= start, "interval ends before it starts");
   if (end == start) return; // zero-width intervals carry no information
   std::lock_guard lock(mu_);
-  log_.push_back({lane, cat, start, end, task});
+  log_.push_back({lane, cat, start, end, task, 0, 0, 0});
 }
+
+void Tracer::record_migration(std::int32_t lane, Category cat, double start,
+                              double end, std::uint64_t task,
+                              std::uint32_t src_tier, std::uint32_t dst_tier,
+                              std::uint64_t bytes) {
+  if (!enabled_) return;
+  HMR_CHECK_MSG(end >= start, "interval ends before it starts");
+  if (end == start) return; // zero-width intervals carry no information
+  std::lock_guard lock(mu_);
+  log_.push_back({lane, cat, start, end, task, src_tier, dst_tier, bytes});
+}
+
+namespace {
+
+using PairKey = std::pair<std::uint32_t, std::uint32_t>;
+using PairMap = std::map<PairKey, TraceSummary::TierPairTraffic>;
+
+void add_pair_traffic(PairMap& acc, const Interval& iv, double seconds,
+                      double byte_fraction) {
+  auto& t = acc[{iv.src_tier, iv.dst_tier}];
+  t.src_tier = iv.src_tier;
+  t.dst_tier = iv.dst_tier;
+  t.bytes += static_cast<std::uint64_t>(
+      static_cast<double>(iv.bytes) * byte_fraction + 0.5);
+  t.count += 1;
+  t.seconds += seconds;
+}
+
+std::vector<TraceSummary::TierPairTraffic> pair_vector(const PairMap& acc) {
+  std::vector<TraceSummary::TierPairTraffic> out;
+  out.reserve(acc.size());
+  for (const auto& [key, t] : acc) out.push_back(t);
+  return out;
+}
+
+} // namespace
 
 std::vector<Interval> Tracer::intervals() const {
   std::vector<Interval> out;
@@ -66,6 +113,7 @@ std::vector<Interval> Tracer::intervals() const {
 TraceSummary Tracer::summarize(std::int32_t worker_lanes) const {
   TraceSummary s;
   std::lock_guard lock(mu_);
+  PairMap pairs;
   double lo = 0, hi = 0;
   bool first = true;
   for (const auto& iv : log_) {
@@ -81,8 +129,10 @@ TraceSummary Tracer::summarize(std::int32_t worker_lanes) const {
     s.lanes = std::max(s.lanes, iv.lane + 1);
     s.total[static_cast<int>(iv.cat)] += iv.end - iv.start;
     s.count[static_cast<int>(iv.cat)] += 1;
+    if (iv.bytes > 0) add_pair_traffic(pairs, iv, iv.end - iv.start, 1.0);
   }
   s.span = first ? 0 : hi - lo;
+  s.migrations = pair_vector(pairs);
   return s;
 }
 
@@ -91,6 +141,7 @@ TraceSummary Tracer::summarize(std::int32_t worker_lanes, double t0,
   HMR_CHECK(t1 >= t0);
   TraceSummary s;
   std::lock_guard lock(mu_);
+  PairMap pairs;
   double lo = 0, hi = 0;
   bool first = true;
   for (const auto& iv : log_) {
@@ -109,8 +160,13 @@ TraceSummary Tracer::summarize(std::int32_t worker_lanes, double t0,
     s.lanes = std::max(s.lanes, iv.lane + 1);
     s.total[static_cast<int>(iv.cat)] += end - start;
     s.count[static_cast<int>(iv.cat)] += 1;
+    if (iv.bytes > 0) {
+      add_pair_traffic(pairs, iv, end - start,
+                       (end - start) / (iv.end - iv.start));
+    }
   }
   s.span = first ? 0 : hi - lo;
+  s.migrations = pair_vector(pairs);
   return s;
 }
 
@@ -129,10 +185,14 @@ void Tracer::fill_idle(double t0, double t1) {
     std::sort(spans.begin(), spans.end());
     double cursor = t0;
     for (const auto& [s, e] : spans) {
-      if (s > cursor) fillers.push_back({lane, Category::Idle, cursor, s, 0});
+      if (s > cursor) {
+        fillers.push_back({lane, Category::Idle, cursor, s, 0, 0, 0, 0});
+      }
       cursor = std::max(cursor, e);
     }
-    if (cursor < t1) fillers.push_back({lane, Category::Idle, cursor, t1, 0});
+    if (cursor < t1) {
+      fillers.push_back({lane, Category::Idle, cursor, t1, 0, 0, 0, 0});
+    }
   }
   for (auto& f : fillers) {
     if (f.end > f.start) log_.push_back(f);
@@ -141,13 +201,17 @@ void Tracer::fill_idle(double t0, double t1) {
 
 void Tracer::write_csv(std::ostream& os) const {
   hmr::CsvWriter csv(os);
-  csv.header({"lane", "category", "start", "end", "task"});
+  csv.header({"lane", "category", "start", "end", "task", "src_tier",
+              "dst_tier", "bytes"});
   for (const auto& iv : intervals()) {
     csv.field(static_cast<std::int64_t>(iv.lane))
         .field(std::string_view(category_name(iv.cat)))
         .field(iv.start)
         .field(iv.end)
-        .field(static_cast<std::uint64_t>(iv.task));
+        .field(static_cast<std::uint64_t>(iv.task))
+        .field(static_cast<std::uint64_t>(iv.src_tier))
+        .field(static_cast<std::uint64_t>(iv.dst_tier))
+        .field(iv.bytes);
     csv.end_row();
   }
 }

@@ -39,6 +39,11 @@ struct Interval {
   double start = 0;
   double end = 0;
   std::uint64_t task = 0; // 0 when not task-bound
+  // Migration intervals (record_migration) also carry the tier pair
+  // the bytes moved between; bytes == 0 marks a non-migration interval.
+  std::uint32_t src_tier = 0;
+  std::uint32_t dst_tier = 0;
+  std::uint64_t bytes = 0;
 };
 
 /// Aggregated view of a trace.
@@ -49,12 +54,29 @@ struct TraceSummary {
   double total[6] = {0, 0, 0, 0, 0, 0};
   std::uint64_t count[6] = {0, 0, 0, 0, 0, 0};
 
+  /// Migration traffic between one ordered tier pair (src -> dst),
+  /// summed over every migration interval that carried bytes.
+  struct TierPairTraffic {
+    std::uint32_t src_tier = 0;
+    std::uint32_t dst_tier = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t count = 0;
+    double seconds = 0; // lane-seconds spent on this pair's copies
+  };
+  /// Per-tier-pair migration traffic, sorted by (src, dst).  Windowed
+  /// summaries prorate bytes by the clipped fraction of each interval
+  /// (the fluid-flow approximation the simulator uses anyway).
+  std::vector<TierPairTraffic> migrations;
+
   double total_of(Category c) const {
     return total[static_cast<int>(c)];
   }
   std::uint64_t count_of(Category c) const {
     return count[static_cast<int>(c)];
   }
+  /// Traffic for one pair; zeros when the pair never moved bytes.
+  TierPairTraffic migration_between(std::uint32_t src,
+                                    std::uint32_t dst) const;
   /// Fraction of total lane-time that is not Compute (the "red" of
   /// Figs 5-6), over worker lanes only if workers > 0 was passed.
   double overhead_fraction() const;
@@ -69,6 +91,13 @@ public:
   /// Record one interval.  Thread-safe.  end >= start required.
   void record(std::int32_t lane, Category cat, double start, double end,
               std::uint64_t task = 0);
+
+  /// Record one migration interval (Prefetch/Evict) with the tier pair
+  /// the bytes moved between.  Thread-safe.
+  void record_migration(std::int32_t lane, Category cat, double start,
+                        double end, std::uint64_t task,
+                        std::uint32_t src_tier, std::uint32_t dst_tier,
+                        std::uint64_t bytes);
 
   /// All intervals, ordered by (lane, start).  Takes a snapshot.
   std::vector<Interval> intervals() const;
@@ -88,7 +117,8 @@ public:
   /// intervals, which makes summaries account for the full span.
   void fill_idle(double t0, double t1);
 
-  /// CSV dump: lane,category,start,end,task.
+  /// CSV dump: lane,category,start,end,task,src_tier,dst_tier,bytes
+  /// (tier columns are meaningful on rows with bytes > 0).
   void write_csv(std::ostream& os) const;
 
   /// Chrome trace-event JSON (open in chrome://tracing or Perfetto):

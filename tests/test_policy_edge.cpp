@@ -221,11 +221,11 @@ TEST(PolicyEdge, OversizedBlockHbmOnlyDies) {
 
 TEST(PolicyEdge, OversizedBlockNaiveOverflowsToSlow) {
   PolicyEngine e(cfg(Strategy::Naive, 100));
-  EXPECT_EQ(e.add_block(0, 101), Placement::Slow);
+  EXPECT_EQ(e.add_block(0, 101), 0u); // tier id 0 = the slow tier
   EXPECT_EQ(e.block_state(0), BlockState::InSlow);
   EXPECT_EQ(e.fast_used(), 0u);
   // A smaller block still packs into the fast tier afterwards.
-  EXPECT_EQ(e.add_block(1, 50), Placement::Fast);
+  EXPECT_EQ(e.add_block(1, 50), 1u);
 }
 
 TEST(PolicyEdge, OversizedBlockMovementStrategiesDieOnUse) {
@@ -235,7 +235,7 @@ TEST(PolicyEdge, OversizedBlockMovementStrategiesDieOnUse) {
   for (const Strategy s :
        {Strategy::SingleIo, Strategy::SyncNoIo, Strategy::MultiIo}) {
     PolicyEngine e(cfg(s, 100));
-    EXPECT_EQ(e.add_block(0, 101), Placement::Slow);
+    EXPECT_EQ(e.add_block(0, 101), 0u);
     EXPECT_DEATH(
         e.on_task_arrived(make_task(1, 0, {{0, AccessMode::ReadWrite}})),
         "exceed the fast-tier capacity");

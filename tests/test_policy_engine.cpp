@@ -36,9 +36,10 @@ TaskDesc make_task(TaskId id, std::int32_t pe,
 
 TEST(PolicyStatic, NaivePacksFastThenOverflows) {
   PolicyEngine e(cfg(Strategy::Naive, 100));
-  EXPECT_EQ(e.add_block(0, 60), Placement::Fast);
-  EXPECT_EQ(e.add_block(1, 40), Placement::Fast);
-  EXPECT_EQ(e.add_block(2, 1), Placement::Slow); // full
+  // Classic two-level hierarchy: tier id 1 = fast, 0 = slow.
+  EXPECT_EQ(e.add_block(0, 60), 1u);
+  EXPECT_EQ(e.add_block(1, 40), 1u);
+  EXPECT_EQ(e.add_block(2, 1), 0u); // full
   EXPECT_EQ(e.block_state(0), BlockState::InFast);
   EXPECT_EQ(e.block_state(2), BlockState::InSlow);
   EXPECT_EQ(e.fast_used(), 100u);
@@ -46,14 +47,14 @@ TEST(PolicyStatic, NaivePacksFastThenOverflows) {
 
 TEST(PolicyStatic, DdrOnlyPlacesEverythingSlow) {
   PolicyEngine e(cfg(Strategy::DdrOnly, 100));
-  EXPECT_EQ(e.add_block(0, 10), Placement::Slow);
+  EXPECT_EQ(e.add_block(0, 10), 0u);
   EXPECT_EQ(e.block_state(0), BlockState::InSlow);
   EXPECT_EQ(e.fast_used(), 0u);
 }
 
 TEST(PolicyStatic, HbmOnlyDiesWhenOverCapacity) {
   PolicyEngine e(cfg(Strategy::HbmOnly, 100));
-  EXPECT_EQ(e.add_block(0, 100), Placement::Fast);
+  EXPECT_EQ(e.add_block(0, 100), 1u);
   EXPECT_DEATH((void)e.add_block(1, 1), "fit in HBM");
 }
 
@@ -77,7 +78,7 @@ class PolicyMove : public ::testing::TestWithParam<Strategy> {};
 
 TEST_P(PolicyMove, FetchRunEvictRoundTrip) {
   PolicyEngine e(cfg(GetParam(), 100));
-  EXPECT_EQ(e.add_block(0, 50), Placement::Slow);
+  EXPECT_EQ(e.add_block(0, 50), 0u); // movement: start on the far tier
   InstantExecutor x(e);
   x.arrive(make_task(1, 0, {{0, AccessMode::ReadWrite}}));
   ASSERT_EQ(x.fetches.size(), 1u);

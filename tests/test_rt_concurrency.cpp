@@ -1,5 +1,5 @@
 // Concurrency tests for the de-serialized runtime hot path: the
-// work-stealing HbmBudget, the ShardedEngine's semantic parity with
+// work-stealing TierBudget, the ShardedEngine's semantic parity with
 // the serial PolicyEngine, batched message delivery, and a
 // multithreaded stress of the sharded MultiIo configuration.
 
@@ -13,7 +13,7 @@
 #include <thread>
 #include <vector>
 
-#include "ooc/hbm_budget.hpp"
+#include "ooc/tier_budget.hpp"
 #include "ooc/policy_engine.hpp"
 #include "rt/io_handle.hpp"
 #include "rt/runtime.hpp"
@@ -24,8 +24,8 @@ namespace {
 
 // ---------------------------------------------------------------- budget
 
-TEST(HbmBudget, LocalClaimAndRelease) {
-  ooc::HbmBudget b(/*capacity=*/1000, /*num_shards=*/4);
+TEST(TierBudget, LocalClaimAndRelease) {
+  ooc::TierBudget b(/*capacity=*/1000, /*num_shards=*/4);
   EXPECT_EQ(b.capacity(), 1000u);
   EXPECT_EQ(b.used(), 0u);
   EXPECT_TRUE(b.try_claim(0, 100));
@@ -34,9 +34,9 @@ TEST(HbmBudget, LocalClaimAndRelease) {
   EXPECT_EQ(b.used(), 0u);
 }
 
-TEST(HbmBudget, StealsAcrossShardsExactly) {
+TEST(TierBudget, StealsAcrossShardsExactly) {
   // 4 shards x 250.  A 900-byte claim must gather from every shard.
-  ooc::HbmBudget b(1000, 4);
+  ooc::TierBudget b(1000, 4);
   EXPECT_TRUE(b.try_claim(1, 900));
   EXPECT_EQ(b.used(), 900u);
   EXPECT_GE(b.steals(), 1u);
@@ -50,8 +50,8 @@ TEST(HbmBudget, StealsAcrossShardsExactly) {
   EXPECT_EQ(b.used(), 0u);
 }
 
-TEST(HbmBudget, UnevenCapacitySplitStillSumsToCapacity) {
-  ooc::HbmBudget b(1003, 4); // remainder lands on shard 0
+TEST(TierBudget, UnevenCapacitySplitStillSumsToCapacity) {
+  ooc::TierBudget b(1003, 4); // remainder lands on shard 0
   std::uint64_t total = 0;
   for (std::int32_t s = 0; s < b.num_shards(); ++s) {
     total += b.available(s);
@@ -61,8 +61,8 @@ TEST(HbmBudget, UnevenCapacitySplitStillSumsToCapacity) {
   EXPECT_FALSE(b.try_claim(0, 1));
 }
 
-TEST(HbmBudget, ConcurrentClaimReleaseConservesBytes) {
-  ooc::HbmBudget b(1 << 20, 8);
+TEST(TierBudget, ConcurrentClaimReleaseConservesBytes) {
+  ooc::TierBudget b(1 << 20, 8);
   std::atomic<bool> go{false};
   std::vector<std::thread> ts;
   for (int t = 0; t < 8; ++t) {
