@@ -8,21 +8,32 @@
 // picture — the fraction of worker-PE time that is not compute — plus
 // an ASCII timeline render of a slice of each run.
 
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "sim/sim_executor.hpp"
 #include "sim/stencil_workload.hpp"
+#include "telemetry/perfetto.hpp"
 
 int main(int argc, char** argv) {
   using namespace hmr;
   std::string csv_path;
   std::string dump_csv; // optional interval dump prefix
+  std::string perfetto; // Perfetto JSON of the MultiIo run
   bool timelines = true;
   ArgParser args("fig05_projections",
                  "Fig 5: worker wait/overhead by strategy (projections)");
   args.add_flag("csv", "write summary to this CSV file", &csv_path);
   args.add_flag("timelines", "render ASCII timelines", &timelines);
+  args.add_flag("dump-csv",
+                "dump each run's interval trace to <prefix>_<strategy>.csv "
+                "(inspect with tools/hmr_trace)",
+                &dump_csv);
+  args.add_flag("perfetto",
+                "write the MultiIo run's timeline as Chrome-trace JSON "
+                "here (open in ui.perfetto.dev; causal task flows linked)",
+                &perfetto);
   if (!args.parse(argc, argv)) return 1;
 
   bench::banner("Figure 5: projections — wait time by strategy",
@@ -74,6 +85,21 @@ int main(int argc, char** argv) {
         }
       }
       partial.ascii_timeline(std::cout, 96, 0.0, r.total_time);
+    }
+    if (!dump_csv.empty()) {
+      const std::string path =
+          dump_csv + "_" + ooc::strategy_name(s) + ".csv";
+      std::ofstream ofs(path);
+      ex.tracer().write_csv(ofs);
+      std::cout << "wrote " << path << "\n";
+    }
+    if (!perfetto.empty() && s == ooc::Strategy::MultiIo) {
+      std::ofstream ofs(perfetto);
+      telemetry::PerfettoOptions popt;
+      popt.worker_lanes = model.num_pes;
+      telemetry::write_perfetto(ofs, ex.tracer().intervals(), popt);
+      std::cout << "wrote " << perfetto
+                << " (open in ui.perfetto.dev)\n";
     }
   }
   std::cout << "\nsummary (the paper's 'red' = non-compute fraction):\n";

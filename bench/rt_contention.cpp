@@ -22,6 +22,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "mem/chunked_copy.hpp"
 #include "mem/memory_manager.hpp"
 #include "rt/runtime.hpp"
+#include "telemetry/perfetto.hpp"
 #include "util/argparse.hpp"
 #include "util/check.hpp"
 #include "util/units.hpp"
@@ -241,6 +243,72 @@ MigrateResultRow run_migrate(std::uint64_t block_bytes, int helpers,
   return row;
 }
 
+/// Separate traced run of the sharded configuration (tracing perturbs
+/// the timed comparisons above, so it never piggybacks on them):
+/// exports the timeline as Chrome-trace/Perfetto JSON with causal task
+/// flows, and the wall-clock metrics registry as Prometheus text.
+void run_traced(const BenchCfg& bc, const std::string& perfetto_path,
+                const std::string& prom_path) {
+  rt::Runtime::Config cfg;
+  cfg.strategy = ooc::Strategy::MultiIo;
+  cfg.num_pes = static_cast<int>(bc.pes);
+  cfg.mem_scale =
+      static_cast<double>(bc.fast_kib << 10) /
+      static_cast<double>(cfg.model.tier(cfg.model.fast).capacity);
+  cfg.engine_shards = 0;
+  cfg.io_batch = 16;
+  cfg.lock_stats = true;
+  cfg.trace = true;
+  cfg.metrics = true;
+  cfg.chunk_threshold = 0;
+  rt::Runtime run(cfg);
+
+  std::vector<std::vector<mem::BlockId>> blocks(
+      static_cast<std::size_t>(bc.pes));
+  for (auto& pool : blocks) {
+    for (std::int64_t i = 0; i < bc.blocks_per_pe; ++i) {
+      pool.push_back(run.alloc_block(bc.block_bytes));
+    }
+  }
+  std::atomic<std::uint64_t> bodies{0};
+  const std::int64_t rounds = std::min<std::int64_t>(bc.rounds, 4);
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    for (std::int64_t pe = 0; pe < bc.pes; ++pe) {
+      std::vector<rt::Runtime::PrefetchMsg> batch;
+      const auto& pool = blocks[static_cast<std::size_t>(pe)];
+      for (std::int64_t t = 0; t < bc.tasks_per_round; ++t) {
+        const std::size_t a = static_cast<std::size_t>(r + t) % pool.size();
+        const std::size_t b =
+            static_cast<std::size_t>(r + t + 7) % pool.size();
+        rt::Runtime::PrefetchMsg m;
+        m.deps = {{pool[a], ooc::AccessMode::ReadWrite}};
+        if (b != a) m.deps.push_back({pool[b], ooc::AccessMode::ReadOnly});
+        m.body = [&bodies] {
+          bodies.fetch_add(1, std::memory_order_relaxed);
+        };
+        batch.push_back(std::move(m));
+      }
+      run.send_prefetch_batch(static_cast<int>(pe), std::move(batch));
+    }
+    run.wait_idle();
+  }
+  if (!perfetto_path.empty()) {
+    std::ofstream ofs(perfetto_path);
+    telemetry::PerfettoOptions popt;
+    popt.worker_lanes = cfg.num_pes;
+    telemetry::write_perfetto(ofs, run.tracer().intervals(), popt);
+    std::printf("wrote %s (open in ui.perfetto.dev; %llu ring drops)\n",
+                perfetto_path.c_str(),
+                static_cast<unsigned long long>(run.tracer().dropped()));
+  }
+  if (!prom_path.empty()) {
+    std::ofstream ofs(prom_path);
+    telemetry::MetricsRegistry::write_prometheus(
+        ofs, run.metrics()->snapshot());
+    std::printf("wrote %s\n", prom_path.c_str());
+  }
+}
+
 void print_result(const RunResult& r) {
   std::printf(
       "%-16s shards=%-2d  %9.0f tasks/s  wall %6.3fs  fetches %llu  "
@@ -323,6 +391,8 @@ int main(int argc, char** argv) {
   std::int64_t helpers = 3;
   std::int64_t migrate_mib = 64;
   std::int64_t reps = 4;
+  std::string perfetto;
+  std::string prom;
   hmr::ArgParser ap("rt_contention",
                     "threaded-runtime scheduler contention bench: "
                     "global-lock vs sharded engine, monolithic vs "
@@ -342,6 +412,14 @@ int main(int argc, char** argv) {
   ap.add_flag("migrate-mib", "large-block size (MiB)", &migrate_mib);
   ap.add_flag("reps", "round trips in the migrate phase", &reps);
   ap.add_flag("json", "write BENCH_rt_contention.json", &json);
+  ap.add_flag("perfetto",
+              "run the sharded config once more with tracing on and "
+              "write its timeline as Chrome-trace JSON here",
+              &perfetto);
+  ap.add_flag("prom",
+              "with the traced run, also write the metrics registry as "
+              "Prometheus text here",
+              &prom);
   if (!ap.parse(argc, argv)) return 1;
 
   std::printf("== rt_contention: %lld PEs, %lld rounds x %lld tasks/PE, "
@@ -386,5 +464,6 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(mig.assisted_chunks));
 
   if (json) write_json("BENCH_rt_contention.json", bc, runs, mig);
+  if (!perfetto.empty() || !prom.empty()) run_traced(bc, perfetto, prom);
   return 0;
 }

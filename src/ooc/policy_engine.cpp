@@ -461,6 +461,7 @@ void PolicyEngine::demote_block(BlockId b, std::int32_t dst,
   Command c;
   c.kind = Command::Kind::Evict;
   c.block = b;
+  c.task = evict_cause_; // telemetry: the task that triggered this
   c.agent = agent;
   c.pe = pe;
   c.src_tier = tiers_[static_cast<std::size_t>(src)].id;
@@ -531,9 +532,11 @@ void PolicyEngine::io_step_single(std::vector<Command>& cmds) {
         if (adm && used_[0] + extra > cfg_.fast_capacity) {
           const std::uint64_t deficit =
               used_[0] + extra - cfg_.fast_capacity;
+          evict_cause_ = q.front(); // reclaiming on behalf of the head
           if (reclaim_lru(deficit, 0, static_cast<std::int32_t>(pe), cmds) > 0) {
             progressed = true;
           }
+          evict_cause_ = kInvalidTask;
         }
       }
     }
@@ -561,7 +564,9 @@ void PolicyEngine::io_step_multi(std::int32_t agent,
       if (adm && used_[0] + extra > cfg_.fast_capacity) {
         const std::uint64_t deficit =
             used_[0] + extra - cfg_.fast_capacity;
+        evict_cause_ = q.front(); // reclaiming on behalf of the head
         reclaim_lru(deficit, agent, agent, cmds);
+        evict_cause_ = kInvalidTask;
       }
     }
     break; // FIFO: the head blocks the queue
@@ -588,7 +593,9 @@ void PolicyEngine::io_step_sync(std::int32_t pe, std::vector<Command>& cmds) {
       if (adm && used_[0] + extra > cfg_.fast_capacity) {
         const std::uint64_t deficit =
             used_[0] + extra - cfg_.fast_capacity;
+        evict_cause_ = q.front(); // reclaiming on behalf of the head
         reclaim_lru(deficit, kWorkerInline, pe, cmds);
+        evict_cause_ = kInvalidTask;
       }
     }
     break;
@@ -760,6 +767,7 @@ std::vector<Command> PolicyEngine::on_task_complete(TaskId t) {
 
   // Post-processing: release claims; blocks that drop to refcount 0
   // are evicted (eager, paper behaviour) or parked warm (lazy).
+  evict_cause_ = t; // evictions below are triggered by this completion
   const std::int32_t evict_agent =
       cfg_.evict_by_worker
           ? kWorkerInline
@@ -797,6 +805,7 @@ std::vector<Command> PolicyEngine::on_task_complete(TaskId t) {
     flush_lru_over(limit, evict_agent, tr.desc.pe,
                    /*evict_pinned=*/false, cmds);
   }
+  evict_cause_ = kInvalidTask;
 
   // "It then wakes up the IO thread ... so that more data can be
   // prefetched" — some queued task may now be admissible (shared

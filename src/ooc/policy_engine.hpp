@@ -407,6 +407,13 @@ private:
   std::int32_t rr_cursor_ = 0; // SingleIo fairness cursor
   std::vector<std::uint64_t> pe_claims_; // outstanding claims per PE
   Stats stats_;
+  /// Telemetry annotation: the task whose completion (eager eviction)
+  /// or attempted admission (LRU reclaim) triggered the eviction being
+  /// built.  Stamped into Command::task on Evict commands so the trace
+  /// exporter can stitch fetch -> execute -> evict causal chains;
+  /// never read by the policy itself.  kInvalidTask = untriggered
+  /// (governor flushes, watermark trims at reconfiguration).
+  TaskId evict_cause_ = kInvalidTask;
 };
 
 } // namespace hmr::ooc

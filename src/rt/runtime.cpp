@@ -8,6 +8,7 @@
 #include <sched.h>
 #endif
 
+#include "telemetry/bridge.hpp"
 #include "util/check.hpp"
 
 namespace hmr::rt {
@@ -94,10 +95,27 @@ Runtime::Runtime(Config cfg)
       engine_(engine_config(cfg_, *mm_)),
       pending_(static_cast<std::size_t>(std::max(1, cfg_.num_pes))),
       tasks_done_(static_cast<std::size_t>(std::max(1, cfg_.num_pes))),
-      tracer_(cfg_.trace),
+      tracer_(cfg_.trace, cfg_.trace_opts),
       t0_(std::chrono::steady_clock::now()) {
   HMR_CHECK(cfg_.num_pes > 0);
   cfg_.io_batch = std::max(1, cfg_.io_batch);
+  if (cfg_.metrics) {
+    metrics_ = std::make_unique<telemetry::MetricsRegistry>();
+    mh_.fetch_ns = &metrics_->histogram(
+        "hmr_fetch_latency_ns", "", "Fetch migration wall time (ns)");
+    mh_.evict_ns = &metrics_->histogram(
+        "hmr_evict_latency_ns", "", "Evict migration wall time (ns)");
+    mh_.task_wait_ns = &metrics_->histogram(
+        "hmr_task_wait_ns", "",
+        "Interception-to-execution wait per prefetch task (ns)");
+    mh_.run_q_depth = &metrics_->histogram(
+        "hmr_run_queue_depth", "",
+        "Ready-queue depth observed per PE wakeup");
+  }
+  if (cfg_.flight_depth > 0) {
+    flight_ = std::make_unique<telemetry::BlockFlightRecorder>(
+        cfg_.flight_depth);
+  }
   if (cfg_.chunk_threshold > 0) {
     mm_->set_chunked_copy(cfg_.chunk_threshold, cfg_.chunk_bytes);
   }
@@ -297,6 +315,9 @@ void Runtime::pe_loop(int pe) {
         tasks.push_back(std::move(w.run_q.front()));
         w.run_q.pop_front();
       }
+      if (metrics_ && !tasks.empty()) {
+        mh_.run_q_depth->observe(tasks.size() + w.run_q.size());
+      }
       if (tasks.empty()) {
         while (!w.msgs.empty() && msgs.size() < depth) {
           msgs.push_back(std::move(w.msgs.front()));
@@ -374,7 +395,8 @@ void Runtime::intercept_batch(int pe, std::vector<Msg>& msgs) {
     {
       PendingShard& ps = pending_[static_cast<std::size_t>(pe)];
       std::lock_guard lk(ps.mu);
-      ps.map.emplace(id, ReadyTask{id, std::move(msg.body)});
+      ps.map.emplace(id, ReadyTask{id, std::move(msg.body),
+                                   metrics_ ? now() : 0});
     }
     ooc::TaskDesc desc;
     desc.id = id;
@@ -389,6 +411,10 @@ void Runtime::intercept_batch(int pe, std::vector<Msg>& msgs) {
 void Runtime::run_ready_batch(int pe, std::vector<ReadyTask>& tasks) {
   for (const auto& task : tasks) {
     const double ts = now();
+    if (metrics_) {
+      mh_.task_wait_ns->observe(
+          static_cast<std::uint64_t>((ts - task.t_arrive) * 1e9));
+    }
     task.body();
     tracer_.record(pe, trace::Category::Compute, ts, now(), task.id);
   }
@@ -469,10 +495,22 @@ void Runtime::do_migrate(const ooc::Command& cmd, int trace_lane) {
   HMR_CHECK_MSG(res.ok,
                 "migration failed: tier fragmentation exceeded the policy "
                 "engine's byte budget");
+  const double te = now();
+  // Interval.task == 0 means "not task-bound"; the engine uses
+  // kInvalidTask for untriggered evictions.
+  const ooc::TaskId cause = cmd.task == ooc::kInvalidTask ? 0 : cmd.task;
+  const std::uint64_t bytes = cmd.nocopy ? 0 : mm_->block_bytes(cmd.block);
   tracer_.record_migration(
       trace_lane, fetch ? trace::Category::Prefetch : trace::Category::Evict,
-      ts, now(), cmd.task, cmd.src_tier, cmd.dst_tier,
-      cmd.nocopy ? 0 : mm_->block_bytes(cmd.block));
+      ts, te, cause, cmd.src_tier, cmd.dst_tier, bytes);
+  if (metrics_) {
+    (fetch ? mh_.fetch_ns : mh_.evict_ns)
+        ->observe(static_cast<std::uint64_t>((te - ts) * 1e9));
+  }
+  if (flight_) {
+    flight_->record(cmd.block,
+                    {te, cause, cmd.src_tier, cmd.dst_tier, bytes, fetch});
+  }
 }
 
 void Runtime::perform_transfer(const ooc::Command& cmd, int trace_lane) {
@@ -706,6 +744,53 @@ void Runtime::wait_idle() {
   }
   // Each wait_idle barrier is a phase boundary for the governor.
   if (governor_) governor_phase_end();
+  sample_metrics();
+}
+
+void Runtime::sample_metrics() {
+  if (!metrics_) return;
+  telemetry::export_policy_stats(*metrics_, policy_stats());
+  if (sharded_) {
+    for (std::int32_t s = 0; s < sharded_->num_shards(); ++s) {
+      telemetry::export_policy_stats(
+          *metrics_, sharded_->shard_stats(s),
+          "shard=\"" + std::to_string(s) + "\"");
+    }
+  }
+  if (lock_stats_) telemetry::export_contention(*metrics_, *lock_stats_);
+  if (mm_->chunked_copy_enabled()) {
+    telemetry::export_chunk_ring(*metrics_, mm_->chunk_ring());
+  }
+  metrics_
+      ->counter("hmr_trace_events_dropped_total", "",
+                "Trace intervals lost to ring overflow")
+      .set(tracer_.dropped());
+  const auto tier_gauges = [&](std::int32_t level, std::uint64_t used,
+                               std::uint64_t cap) {
+    const std::string labels = "level=\"" + std::to_string(level) + "\"";
+    metrics_
+        ->gauge("hmr_tier_used_bytes", labels,
+                "Bytes claimed on the hierarchy level")
+        .set(static_cast<double>(used));
+    metrics_
+        ->gauge("hmr_tier_capacity_bytes", labels,
+                "Level budget (0 = unbounded bottom)")
+        .set(static_cast<double>(cap));
+  };
+  if (sharded_) {
+    const auto& tiers = sharded_->tiers();
+    for (std::int32_t k = 0; k < sharded_->num_levels(); ++k) {
+      tier_gauges(k, sharded_->tier_used(k),
+                  tiers[static_cast<std::size_t>(k)].capacity);
+    }
+  } else {
+    std::lock_guard elk(engine_mu_);
+    const auto& tiers = engine_.tiers();
+    for (std::int32_t k = 0; k < engine_.num_levels(); ++k) {
+      tier_gauges(k, engine_.tier_used(k),
+                  tiers[static_cast<std::size_t>(k)].capacity);
+    }
+  }
 }
 
 ooc::PolicyEngine::Stats Runtime::policy_stats() {

@@ -45,6 +45,8 @@
 #include "mem/memory_manager.hpp"
 #include "ooc/policy_engine.hpp"
 #include "rt/sharded_engine.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
 #include "trace/contention.hpp"
 #include "trace/tracer.hpp"
 
@@ -67,6 +69,18 @@ public:
     bool memory_pool = false;
     /// Record per-PE execution intervals.
     bool trace = false;
+    /// Tracer knobs (ring capacity, deprecated serial fallback).
+    trace::Tracer::Options trace_opts;
+    /// Maintain a MetricsRegistry: latency/wait/queue-depth histograms
+    /// updated inline, engine/lock/chunk counters mirrored at each
+    /// wait_idle() (and on demand via sample_metrics()).  Read it
+    /// through metrics().
+    bool metrics = false;
+    /// Block flight recorder depth: keep the last N residency
+    /// transitions per block for post-mortem debugging (0 disables).
+    /// Cheap — one striped-map update per migration — so it stays on
+    /// by default.
+    std::size_t flight_depth = 8;
     /// Pin threads to cores (Linux): PE i on core i, its IO thread on
     /// the SMT sibling when one exists — the paper's placement ("the
     /// IO threads are scheduled on the hyperthread cores corresponding
@@ -135,6 +149,20 @@ public:
 
   mem::MemoryManager& memory() { return *mm_; }
   trace::Tracer& tracer() { return tracer_; }
+
+  /// Metrics registry (nullptr unless Config::metrics).  Histograms
+  /// are live; mirrored counters are refreshed by sample_metrics().
+  telemetry::MetricsRegistry* metrics() { return metrics_.get(); }
+  /// Refresh every bridged counter/gauge (engine stats, per-shard
+  /// stats, lock contention, chunk ring, tier occupancy, trace drops)
+  /// into the registry.  Called from wait_idle(); also usable as a
+  /// SnapshotSampler pre-sample callback.  No-op when metrics are off.
+  void sample_metrics();
+
+  /// Block flight recorder (nullptr when Config::flight_depth == 0).
+  const telemetry::BlockFlightRecorder* flight_recorder() const {
+    return flight_.get();
+  }
 
   // ---- data blocks ----
 
@@ -223,6 +251,7 @@ private:
   struct ReadyTask {
     ooc::TaskId id;
     Body body;
+    double t_arrive = 0; // interception time (metrics runs only)
   };
 
   struct PeWorker {
@@ -327,6 +356,18 @@ private:
 
   trace::Tracer tracer_;
   std::chrono::steady_clock::time_point t0_;
+
+  // Telemetry (src/telemetry/): registry + cached instrument handles
+  // (so hot paths skip the name lookup), and the block flight
+  // recorder.  All thread-safe by construction.
+  std::unique_ptr<telemetry::MetricsRegistry> metrics_;
+  struct MetricHandles {
+    telemetry::Histogram* fetch_ns = nullptr;
+    telemetry::Histogram* evict_ns = nullptr;
+    telemetry::Histogram* task_wait_ns = nullptr;
+    telemetry::Histogram* run_q_depth = nullptr;
+  } mh_;
+  std::unique_ptr<telemetry::BlockFlightRecorder> flight_;
 };
 
 } // namespace hmr::rt

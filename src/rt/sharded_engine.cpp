@@ -437,6 +437,7 @@ std::vector<Command> ShardedEngine::on_task_complete(ooc::TaskId t,
       Command c;
       c.kind = Command::Kind::Evict;
       c.block = d.block;
+      c.task = t; // telemetry: the completion that triggered this
       c.agent = evict_agent;
       c.pe = pe;
       c.src_tier = tiers_[0].id;
@@ -467,6 +468,13 @@ ooc::PolicyEngine::Stats ShardedEngine::stats() const {
     out.cascade_demotions += sh.stats.cascade_demotions;
   }
   return out;
+}
+
+ooc::PolicyEngine::Stats ShardedEngine::shard_stats(std::int32_t s) const {
+  HMR_CHECK(s >= 0 && static_cast<std::size_t>(s) < shards_.size());
+  auto& sh = const_cast<Shard&>(shards_[static_cast<std::size_t>(s)]);
+  std::lock_guard lk(sh.mu);
+  return sh.stats;
 }
 
 bool ShardedEngine::quiescent() const {

@@ -113,6 +113,8 @@ public:
   // ---- introspection ----
 
   ooc::PolicyEngine::Stats stats() const; // summed over shards
+  /// One shard's counters (telemetry export labels them shard="s").
+  ooc::PolicyEngine::Stats shard_stats(std::int32_t s) const;
   bool quiescent() const;
   std::uint64_t fast_used() const { return budgets_[0]->used(); }
   std::uint64_t fast_capacity() const { return cfg_.fast_capacity; }

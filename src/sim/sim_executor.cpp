@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "telemetry/bridge.hpp"
 #include "util/check.hpp"
 
 namespace hmr::sim {
@@ -61,7 +62,24 @@ SimExecutor::SimExecutor(SimConfig cfg)
     : cfg_(std::move(cfg)),
       engine_(engine_config(cfg_)),
       num_agents_(default_agents(cfg_)),
-      tracer_(cfg_.trace) {
+      tracer_(cfg_.trace, cfg_.trace_opts) {
+  if (cfg_.metrics) {
+    // Same names as the rt executor; values are virtual time.
+    mh_.fetch_ns = &cfg_.metrics->histogram(
+        "hmr_fetch_latency_ns", "", "Fetch migration time (virtual ns)");
+    mh_.evict_ns = &cfg_.metrics->histogram(
+        "hmr_evict_latency_ns", "", "Evict migration time (virtual ns)");
+    mh_.task_wait_ns = &cfg_.metrics->histogram(
+        "hmr_task_wait_ns", "",
+        "Arrival-to-execution wait per task (virtual ns)");
+    mh_.run_q_depth = &cfg_.metrics->histogram(
+        "hmr_run_queue_depth", "",
+        "PE job-queue depth observed per task start");
+  }
+  if (cfg_.flight_depth > 0) {
+    flight_ = std::make_unique<telemetry::BlockFlightRecorder>(
+        cfg_.flight_depth);
+  }
   pes_.resize(static_cast<std::size_t>(cfg_.model.num_pes));
   agents_.resize(static_cast<std::size_t>(num_agents_));
   const auto& m = cfg_.model;
@@ -231,6 +249,11 @@ void SimExecutor::pump_pe(std::size_t pe) {
     HMR_CHECK(arrive_it != arrive_.end());
     result_.task_wait.add(start - arrive_it->second);
     result_.task_exec.add(dur);
+    if (mh_.task_wait_ns) {
+      mh_.task_wait_ns->observe(static_cast<std::uint64_t>(
+          (start - arrive_it->second) * 1e9));
+      mh_.run_q_depth->observe(lane.q.size() + 1);
+    }
     eq_.at(now_ + dur, [this, id = job.task, pe, start, dur] {
       finish_task(id, pe, start, dur);
     });
@@ -264,7 +287,7 @@ void SimExecutor::start_transfer(const ooc::Command& cmd,
            if (fetch && cmd.nocopy) {
              // writeonly_nocopy: the buffer exists, no bytes move.
              tracer_.record(trace_lane, trace::Category::Prefetch, t0, now_,
-                            cmd.task);
+                            cmd.task == ooc::kInvalidTask ? 0 : cmd.task);
              Lane& lane = on_worker ? pes_[lane_index] : agents_[lane_index];
              lane.busy = false;
              if (on_worker) result_.worker_transfer_seconds += now_ - t0;
@@ -301,11 +324,23 @@ void SimExecutor::finish_transfer(std::uint64_t flow_id) {
   flows_.erase(it);
 
   const bool fetch = ctx.cmd.kind == ooc::Command::Kind::Fetch;
+  // Interval.task == 0 means "not task-bound" (kInvalidTask = an
+  // untriggered eviction).
+  const ooc::TaskId cause =
+      ctx.cmd.task == ooc::kInvalidTask ? 0 : ctx.cmd.task;
+  const std::uint64_t bytes = wl_->blocks()[ctx.cmd.block].bytes;
   tracer_.record_migration(
       ctx.trace_lane,
       fetch ? trace::Category::Prefetch : trace::Category::Evict, ctx.t0,
-      now_, ctx.cmd.task, ctx.cmd.src_tier, ctx.cmd.dst_tier,
-      wl_->blocks()[ctx.cmd.block].bytes);
+      now_, cause, ctx.cmd.src_tier, ctx.cmd.dst_tier, bytes);
+  if (mh_.fetch_ns) {
+    (fetch ? mh_.fetch_ns : mh_.evict_ns)
+        ->observe(static_cast<std::uint64_t>((now_ - ctx.t0) * 1e9));
+  }
+  if (flight_) {
+    flight_->record(ctx.cmd.block, {now_, cause, ctx.cmd.src_tier,
+                                    ctx.cmd.dst_tier, bytes, fetch});
+  }
   Lane& lane = ctx.on_worker ? pes_[ctx.lane_index] : agents_[ctx.lane_index];
   lane.busy = false;
   if (ctx.on_worker) result_.worker_transfer_seconds += now_ - ctx.t0;
@@ -358,6 +393,26 @@ void SimExecutor::profile_arrival(const ooc::TaskDesc& desc) {
   if (!profiler_) return;
   profiler_->on_task_arrived(
       desc, [this](ooc::BlockId b) { return wl_->blocks()[b].bytes; });
+}
+
+void SimExecutor::export_metrics() {
+  if (!cfg_.metrics) return;
+  telemetry::MetricsRegistry& reg = *cfg_.metrics;
+  telemetry::export_policy_stats(reg, engine_.stats());
+  reg.counter("hmr_trace_events_dropped_total", "",
+              "Trace intervals lost to ring overflow")
+      .set(tracer_.dropped());
+  const auto& tiers = engine_.tiers();
+  for (std::int32_t k = 0; k < engine_.num_levels(); ++k) {
+    const std::string labels = "level=\"" + std::to_string(k) + "\"";
+    reg.gauge("hmr_tier_used_bytes", labels,
+              "Bytes claimed on the hierarchy level")
+        .set(static_cast<double>(engine_.tier_used(k)));
+    reg.gauge("hmr_tier_capacity_bytes", labels,
+              "Level budget (0 = unbounded bottom)")
+        .set(static_cast<double>(
+            tiers[static_cast<std::size_t>(k)].capacity));
+  }
 }
 
 void SimExecutor::governor_phase_end(double t_iter) {
@@ -480,6 +535,7 @@ SimResult SimExecutor::run(const Workload& w) {
     result_.final_strategy = engine_.config().strategy;
     result_.final_eager_evict = engine_.config().eager_evict;
     if (tracer_.enabled()) tracer_.fill_idle(0, now_);
+    export_metrics();
     return result_;
   }
 
@@ -547,6 +603,7 @@ SimResult SimExecutor::run(const Workload& w) {
   result_.final_eager_evict = engine_.config().eager_evict;
   if (governor_) result_.governor_switches = governor_->switches();
   if (tracer_.enabled()) tracer_.fill_idle(0, now_);
+  export_metrics();
   return result_;
 }
 

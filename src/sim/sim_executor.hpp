@@ -34,6 +34,8 @@
 #include "sim/event_queue.hpp"
 #include "sim/transfer_channel.hpp"
 #include "sim/workload.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
 #include "trace/tracer.hpp"
 #include "util/stats.hpp"
 
@@ -70,6 +72,17 @@ struct SimConfig {
 
   /// Record a full interval trace (needed for figs 5/6 and timelines).
   bool trace = false;
+  /// Tracer knobs (ring capacity, deprecated serial fallback).
+  trace::Tracer::Options trace_opts;
+
+  /// Caller-owned metrics registry (optional).  When set, the executor
+  /// maintains latency/wait/queue-depth histograms in *virtual*
+  /// nanoseconds and mirrors engine stats, tier occupancy and trace
+  /// drops into it at the end of run().
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Block flight recorder depth (0 = off; the DES can run millions of
+  /// virtual migrations, so this is opt-in unlike the rt executor).
+  std::size_t flight_depth = 0;
 
   /// Model KNL *cache mode* instead of flat mode (paper §III-B; the
   /// comparison the paper defers to future work).  All blocks live in
@@ -154,6 +167,11 @@ public:
   const adapt::BlockProfiler* profiler() const { return profiler_.get(); }
   const adapt::StrategyGovernor* governor() const { return governor_.get(); }
 
+  /// Block flight recorder (nullptr when SimConfig::flight_depth == 0).
+  const telemetry::BlockFlightRecorder* flight_recorder() const {
+    return flight_.get();
+  }
+
 private:
   struct Job {
     bool is_task = false;
@@ -232,6 +250,17 @@ private:
   double phase_compute_base_ = 0;        // compute lane-seconds ditto
   std::size_t peak_inflight_ = 0;
   bool phase_contended_ = false;
+
+  // Telemetry: cached instrument handles into the caller's registry
+  // (null when SimConfig::metrics is null) and the flight recorder.
+  struct MetricHandles {
+    telemetry::Histogram* fetch_ns = nullptr;
+    telemetry::Histogram* evict_ns = nullptr;
+    telemetry::Histogram* task_wait_ns = nullptr;
+    telemetry::Histogram* run_q_depth = nullptr;
+  } mh_;
+  std::unique_ptr<telemetry::BlockFlightRecorder> flight_;
+  void export_metrics();
 
   trace::Tracer tracer_;
   SimResult result_;

@@ -1,0 +1,70 @@
+#include "telemetry/bridge.hpp"
+
+namespace hmr::telemetry {
+
+void export_policy_stats(MetricsRegistry& reg,
+                         const ooc::PolicyEngine::Stats& st,
+                         const std::string& labels) {
+  const struct {
+    const char* name;
+    const char* help;
+    std::uint64_t value;
+  } fields[] = {
+      {"hmr_policy_tasks_run_total", "OOC tasks executed", st.tasks_run},
+      {"hmr_policy_fetches_total", "Block fetches issued", st.fetches},
+      {"hmr_policy_fetch_bytes_total", "Bytes fetched upward",
+       st.fetch_bytes},
+      {"hmr_policy_evicts_total", "Block evictions issued", st.evicts},
+      {"hmr_policy_evict_bytes_total", "Bytes evicted downward",
+       st.evict_bytes},
+      {"hmr_policy_fetch_dedup_hits_total",
+       "Fetches saved by in-flight dedup", st.fetch_dedup_hits},
+      {"hmr_policy_lru_reclaims_total", "Lazy LRU reclaim evictions",
+       st.lru_reclaims},
+      {"hmr_policy_advised_pins_total", "Advisor pin decisions honored",
+       st.advised_pins},
+      {"hmr_policy_advised_bypasses_total",
+       "Advisor streaming-bypass decisions", st.advised_bypasses},
+      {"hmr_policy_advised_demotions_total",
+       "Advisor demote-first victims", st.advised_demotions},
+      {"hmr_policy_cascade_demotions_total",
+       "Demotions that landed on a middle level", st.cascade_demotions},
+      {"hmr_policy_tier_trims_total",
+       "Evictions out of a middle level (watermark trims)",
+       st.tier_trims},
+  };
+  for (const auto& f : fields) {
+    reg.counter(f.name, labels, f.help).set(f.value);
+  }
+}
+
+void export_contention(MetricsRegistry& reg,
+                       const trace::ContentionStats& cs) {
+  for (std::size_t s = 0; s < cs.shards(); ++s) {
+    const auto t = cs.shard_totals(s);
+    const std::string labels = "shard=\"" + std::to_string(s) + "\"";
+    reg.counter("hmr_lock_acquisitions_total", labels,
+                "Scheduler lock acquisitions")
+        .set(t.acquisitions);
+    reg.counter("hmr_lock_contended_total", labels,
+                "Scheduler lock acquisitions that had to wait")
+        .set(t.contended);
+    reg.gauge("hmr_lock_wait_seconds", labels,
+              "Total time blocked on the scheduler lock")
+        .set(t.wait_s);
+  }
+}
+
+void export_chunk_ring(MetricsRegistry& reg, const mem::ChunkRing& ring) {
+  reg.counter("hmr_chunk_jobs_total", "",
+              "Large copies streamed through the chunk ring")
+      .set(ring.jobs());
+  reg.counter("hmr_chunk_chunks_copied_total", "",
+              "Chunks copied (all threads)")
+      .set(ring.chunks_copied());
+  reg.counter("hmr_chunk_chunks_assisted_total", "",
+              "Chunks copied by assisting threads")
+      .set(ring.chunks_assisted());
+}
+
+} // namespace hmr::telemetry

@@ -1,0 +1,239 @@
+#pragma once
+// MetricsRegistry: named counters, gauges and log2-bucketed histograms
+// with point-in-time snapshots and Prometheus-text / JSON writers.
+//
+// The engine's Stats counters (dedup hits, cascade demotions, tier
+// trims, ...) had no time-resolved or exportable surface; related work
+// (arXiv:2110.02150, arXiv:2505.14294) drives placement and pool
+// tuning from exactly this kind of always-on runtime telemetry.  The
+// registry is the standard-format end of that pipe:
+//
+//   * instruments are registered once (name + optional Prometheus-style
+//     label string) and return stable pointers; updates after that are
+//     single relaxed atomics, safe from any thread;
+//   * histograms bucket by log2: bucket i counts values v with
+//     bit_width(v) == i, i.e. bucket 0 is v == 0 and bucket i >= 1 is
+//     [2^(i-1), 2^i) — fixed 65 buckets, no configuration, covering
+//     the full uint64 range (latencies are recorded in nanoseconds);
+//   * snapshot() captures every instrument at once; SnapshotSampler
+//     optionally does so periodically from a background thread and
+//     keeps the last N snapshots for post-mortem inspection;
+//   * write_prometheus() emits text exposition format (histograms as
+//     cumulative _bucket{le=...} series), write_json() one JSON object
+//     per snapshot.
+//
+// Naming convention (the full catalog lives in docs/OBSERVABILITY.md):
+// hmr_<subsystem>_<what>[_total] — e.g. hmr_policy_fetches_total,
+// hmr_fetch_latency_ns, hmr_tier_used_bytes{level="0"}.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hmr::telemetry {
+
+class Counter {
+public:
+  void add(std::uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Mirror an external cumulative source (e.g. PolicyEngine::Stats):
+  /// overwrite with its current value.  The source must be monotone.
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> v_{0};
+};
+
+class Histogram {
+public:
+  /// bit_width of a uint64 is 0..64, one bucket each.
+  static constexpr int kBuckets = 65;
+
+  /// Upper inclusive bound of bucket i (the Prometheus `le`):
+  /// 0 for bucket 0, 2^i - 1 for i >= 1.
+  static std::uint64_t bucket_upper(int i) {
+    if (i <= 0) return 0;
+    if (i >= 64) return ~0ull;
+    return (1ull << i) - 1;
+  }
+  /// Bucket index for a value: bit_width(v).
+  static int bucket_of(std::uint64_t v) { return std::bit_width(v); }
+
+  void observe(std::uint64_t v) {
+    buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+
+private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Identity of one instrument: metric name plus an optional label
+/// string in Prometheus form *without* braces, e.g. `level="0"` or
+/// `shard="3"` (empty = no labels).
+struct MetricDesc {
+  std::string name;
+  std::string labels;
+  std::string help;
+};
+
+struct MetricsSnapshot {
+  double time = 0; // seconds since registry creation
+
+  struct CounterVal {
+    MetricDesc desc;
+    std::uint64_t value = 0;
+  };
+  struct GaugeVal {
+    MetricDesc desc;
+    double value = 0;
+  };
+  struct HistogramVal {
+    MetricDesc desc;
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+
+  std::vector<CounterVal> counters;
+  std::vector<GaugeVal> gauges;
+  std::vector<HistogramVal> histograms;
+
+  /// Lookup helpers (nullptr when absent); labels must match exactly.
+  const CounterVal* counter(const std::string& name,
+                            const std::string& labels = "") const;
+  const GaugeVal* gauge(const std::string& name,
+                        const std::string& labels = "") const;
+  const HistogramVal* histogram(const std::string& name,
+                                const std::string& labels = "") const;
+};
+
+class MetricsRegistry {
+public:
+  MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by (name, labels).  The returned reference stays
+  /// valid for the registry's lifetime; registering the same identity
+  /// again returns the same instrument.  Registering one name as two
+  /// different instrument types dies.
+  Counter& counter(const std::string& name, const std::string& labels = "",
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "",
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name,
+                       const std::string& labels = "",
+                       const std::string& help = "");
+
+  /// Seconds since the registry was created.
+  double uptime() const;
+
+  /// Point-in-time copy of every instrument, in registration order.
+  MetricsSnapshot snapshot() const;
+
+  /// Prometheus text exposition format.
+  static void write_prometheus(std::ostream& os, const MetricsSnapshot& s);
+  /// One JSON object: {"time":..,"counters":[..],"gauges":[..],
+  /// "histograms":[..]}.
+  static void write_json(std::ostream& os, const MetricsSnapshot& s);
+
+private:
+  enum class Type { Counter, Gauge, Histogram };
+  struct Registered {
+    Type type;
+    std::size_t index; // into the per-type deque
+  };
+
+  mutable std::mutex mu_; // registration and snapshot only
+  // Deques keep instrument addresses stable across registration.
+  std::deque<std::pair<MetricDesc, Counter>> counters_;
+  std::deque<std::pair<MetricDesc, Gauge>> gauges_;
+  std::deque<std::pair<MetricDesc, Histogram>> histograms_;
+  std::vector<std::pair<std::string, Registered>> index_; // key = name\1labels
+  std::chrono::steady_clock::time_point t0_;
+
+  const Registered* find_locked(const std::string& key) const;
+};
+
+/// Periodic snapshotter: every `interval` it runs the optional
+/// `pre_sample` callback (so callers can refresh bridged counters —
+/// see bridge.hpp), takes a snapshot, and appends it to a bounded
+/// history.  sample_now() does one synchronous round from the caller.
+class SnapshotSampler {
+public:
+  using PreSample = std::function<void()>;
+
+  SnapshotSampler(MetricsRegistry& reg, std::chrono::milliseconds interval,
+                  PreSample pre_sample = {}, std::size_t keep = 120);
+  ~SnapshotSampler();
+
+  SnapshotSampler(const SnapshotSampler&) = delete;
+  SnapshotSampler& operator=(const SnapshotSampler&) = delete;
+
+  void start(); // idempotent
+  void stop();  // idempotent; joins the thread
+
+  MetricsSnapshot sample_now();
+  std::vector<MetricsSnapshot> history() const;
+
+private:
+  void loop();
+  void append(MetricsSnapshot s);
+
+  MetricsRegistry& reg_;
+  std::chrono::milliseconds interval_;
+  PreSample pre_;
+  std::size_t keep_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<MetricsSnapshot> hist_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+};
+
+} // namespace hmr::telemetry

@@ -1,0 +1,124 @@
+#include "telemetry/perfetto.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace hmr::telemetry {
+
+namespace {
+
+/// 0 (and the engines' ~0 "invalid task" sentinel, if a caller leaks
+/// one through) mark intervals that belong to no task.
+bool task_bound(const trace::Interval& iv) {
+  return iv.task != 0 && iv.task != ~0ull;
+}
+
+void emit_event(std::ostream& os, bool& first, const char* body) {
+  os << (first ? "" : ",") << "\n" << body;
+  first = false;
+}
+
+} // namespace
+
+void write_perfetto(std::ostream& os,
+                    const std::vector<trace::Interval>& intervals,
+                    const PerfettoOptions& opt) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[512];
+
+  // Thread (lane) metadata: names and a stable sort order.
+  std::set<std::int32_t> lanes;
+  for (const auto& iv : intervals) lanes.insert(iv.lane);
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+                "\"tid\":0,\"args\":{\"name\":\"hmr\"}}");
+  emit_event(os, first, buf);
+  for (const std::int32_t lane : lanes) {
+    char lane_name[32];
+    if (opt.worker_lanes < 0) {
+      std::snprintf(lane_name, sizeof lane_name, "lane %d", lane);
+    } else if (lane < opt.worker_lanes) {
+      std::snprintf(lane_name, sizeof lane_name, "PE %d", lane);
+    } else {
+      std::snprintf(lane_name, sizeof lane_name, "IO %d",
+                    lane - opt.worker_lanes);
+    }
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                  lane, lane_name);
+    emit_event(os, first, buf);
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%d,\"args\":{\"sort_index\":%d}}",
+                  lane, lane);
+    emit_event(os, first, buf);
+  }
+
+  // Duration events, one per interval.
+  for (const auto& iv : intervals) {
+    if (!opt.idle && iv.cat == trace::Category::Idle) continue;
+    const double ts = iv.start * 1e6;
+    const double dur = (iv.end - iv.start) * 1e6;
+    char args[160];
+    if (iv.bytes > 0) {
+      std::snprintf(args, sizeof args,
+                    "{\"task\":%llu,\"src_tier\":%u,\"dst_tier\":%u,"
+                    "\"bytes\":%llu}",
+                    static_cast<unsigned long long>(iv.task), iv.src_tier,
+                    iv.dst_tier,
+                    static_cast<unsigned long long>(iv.bytes));
+    } else {
+      std::snprintf(args, sizeof args, "{\"task\":%llu}",
+                    static_cast<unsigned long long>(iv.task));
+    }
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"args\":%s}",
+                  trace::category_name(iv.cat),
+                  trace::category_name(iv.cat), iv.lane, ts, dur, args);
+    emit_event(os, first, buf);
+  }
+
+  if (!opt.flows) {
+    os << "\n]}\n";
+    return;
+  }
+
+  // Flow events: per task, its intervals in time order form one chain
+  // (fetches -> execute -> evictions), each step bound to its
+  // enclosing slice ("bp":"e"); the timestamp sits mid-slice so the
+  // binding is unambiguous.  Chains of one interval draw no arrow.
+  std::map<std::uint64_t, std::vector<const trace::Interval*>> chains;
+  for (const auto& iv : intervals) {
+    if (iv.cat == trace::Category::Idle || !task_bound(iv)) continue;
+    chains[iv.task].push_back(&iv);
+  }
+  for (auto& [task, chain] : chains) {
+    if (chain.size() < 2) continue;
+    std::sort(chain.begin(), chain.end(),
+              [](const trace::Interval* a, const trace::Interval* b) {
+                if (a->start != b->start) return a->start < b->start;
+                return a->lane < b->lane;
+              });
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      const trace::Interval& iv = *chain[i];
+      const char ph = i == 0 ? 's' : (i + 1 == chain.size() ? 'f' : 't');
+      const double ts = (iv.start + iv.end) * 0.5 * 1e6;
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"task %llu\",\"cat\":\"task_flow\","
+                    "\"ph\":\"%c\",\"bp\":\"e\",\"id\":%llu,\"pid\":0,"
+                    "\"tid\":%d,\"ts\":%.3f}",
+                    static_cast<unsigned long long>(task), ph,
+                    static_cast<unsigned long long>(task), iv.lane, ts);
+      emit_event(os, first, buf);
+    }
+  }
+  os << "\n]}\n";
+}
+
+} // namespace hmr::telemetry

@@ -1,0 +1,40 @@
+#pragma once
+// Chrome trace-event / Perfetto JSON export of a Tracer interval log.
+//
+// Writes the legacy trace-event JSON object ({"traceEvents":[...]})
+// that ui.perfetto.dev and chrome://tracing both load:
+//   * one complete ("X") duration event per interval, lane = tid,
+//     with task id, tier pair and bytes as args;
+//   * thread_name metadata naming worker lanes "PE n" and IO lanes
+//     "IO n" (given the worker-lane count);
+//   * flow events ("s"/"t"/"f") stitching each task's causal chain —
+//     fetch(es) -> execute -> eviction/demotion cascade — so the UI
+//     draws arrows across lanes.  Flow id = task id.
+//
+// Timestamps are microseconds, straight from the tracer's second
+// clock (virtual seconds in hmr::sim, wall seconds in hmr::rt).
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace hmr::telemetry {
+
+struct PerfettoOptions {
+  /// Lanes < worker_lanes are named "PE n", lanes >= worker_lanes
+  /// "IO n" (n relative to the cutoff); < 0 names every lane "lane n".
+  std::int32_t worker_lanes = -1;
+  /// Emit flow events linking each task's intervals across lanes.
+  bool flows = true;
+  /// Include Idle intervals (they dominate event count and carry no
+  /// information the gaps don't).
+  bool idle = false;
+};
+
+void write_perfetto(std::ostream& os,
+                    const std::vector<trace::Interval>& intervals,
+                    const PerfettoOptions& opt = {});
+
+} // namespace hmr::telemetry

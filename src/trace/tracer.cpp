@@ -3,12 +3,28 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 
 #include "util/check.hpp"
 #include "util/csv.hpp"
 
 namespace hmr::trace {
+
+namespace {
+
+bool env_forces_serial() {
+  const char* v = std::getenv("HMR_TRACE_SERIAL");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+} // namespace
+
+Tracer::Tracer(bool enabled, const Options& opt)
+    : enabled_(enabled),
+      serial_(opt.serial || env_forces_serial()),
+      rings_(opt.ring_capacity) {}
 
 const char* category_name(Category c) {
   switch (c) {
@@ -52,13 +68,28 @@ double TraceSummary::overhead_fraction() const {
   return (all - total_of(Category::Compute)) / all;
 }
 
+void Tracer::push(const Interval& iv) {
+  if (!serial_) {
+    if (telemetry::EventRing<Interval>* ring = rings_.lane(iv.lane)) {
+      ring->try_push(iv); // full ring: drop, counted in the ring
+      return;
+    }
+    // Lane id beyond the ring table: fall through to the serial path.
+  }
+  std::lock_guard lock(mu_);
+  log_.push_back(iv);
+}
+
+void Tracer::drain_locked() const {
+  rings_.drain_all(log_);
+}
+
 void Tracer::record(std::int32_t lane, Category cat, double start,
                     double end, std::uint64_t task) {
   if (!enabled_) return;
   HMR_CHECK_MSG(end >= start, "interval ends before it starts");
   if (end == start) return; // zero-width intervals carry no information
-  std::lock_guard lock(mu_);
-  log_.push_back({lane, cat, start, end, task, 0, 0, 0});
+  push({lane, cat, start, end, task, 0, 0, 0});
 }
 
 void Tracer::record_migration(std::int32_t lane, Category cat, double start,
@@ -68,8 +99,7 @@ void Tracer::record_migration(std::int32_t lane, Category cat, double start,
   if (!enabled_) return;
   HMR_CHECK_MSG(end >= start, "interval ends before it starts");
   if (end == start) return; // zero-width intervals carry no information
-  std::lock_guard lock(mu_);
-  log_.push_back({lane, cat, start, end, task, src_tier, dst_tier, bytes});
+  push({lane, cat, start, end, task, src_tier, dst_tier, bytes});
 }
 
 namespace {
@@ -101,6 +131,7 @@ std::vector<Interval> Tracer::intervals() const {
   std::vector<Interval> out;
   {
     std::lock_guard lock(mu_);
+    drain_locked();
     out = log_;
   }
   std::sort(out.begin(), out.end(), [](const Interval& a, const Interval& b) {
@@ -113,6 +144,7 @@ std::vector<Interval> Tracer::intervals() const {
 TraceSummary Tracer::summarize(std::int32_t worker_lanes) const {
   TraceSummary s;
   std::lock_guard lock(mu_);
+  drain_locked();
   PairMap pairs;
   double lo = 0, hi = 0;
   bool first = true;
@@ -141,6 +173,7 @@ TraceSummary Tracer::summarize(std::int32_t worker_lanes, double t0,
   HMR_CHECK(t1 >= t0);
   TraceSummary s;
   std::lock_guard lock(mu_);
+  drain_locked();
   PairMap pairs;
   double lo = 0, hi = 0;
   bool first = true;
@@ -174,6 +207,7 @@ void Tracer::fill_idle(double t0, double t1) {
   if (!enabled_) return;
   HMR_CHECK(t1 >= t0);
   std::lock_guard lock(mu_);
+  drain_locked();
   // Collect per-lane sorted busy intervals, then append gap fillers.
   std::map<std::int32_t, std::vector<std::pair<double, double>>> busy;
   for (const auto& iv : log_) {
@@ -289,6 +323,7 @@ void Tracer::ascii_timeline(std::ostream& os, int width, double t0,
 
 void Tracer::clear() {
   std::lock_guard lock(mu_);
+  drain_locked(); // frees the ring slots; dropped() stays monotonic
   log_.clear();
 }
 

@@ -10,6 +10,13 @@
 //
 // PE ids: worker PEs are 0..num_pes-1; IO agents may be traced as
 // pseudo-PEs at num_pes..2*num_pes-1 by the executors.
+//
+// Recording goes through lock-free per-lane rings
+// (telemetry::EventRing) so the hot path never takes a mutex; every
+// reader (intervals, summaries, renders) drains the rings into the
+// interval log first, under the tracer's single consumer mutex.  The
+// old mutex + push_back path survives only as the Options::serial /
+// HMR_TRACE_SERIAL=1 fallback.
 
 #include <cstdint>
 #include <mutex>
@@ -17,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/ring.hpp"
 #include "util/stats.hpp"
 
 namespace hmr::trace {
@@ -84,9 +92,27 @@ struct TraceSummary {
 
 class Tracer {
 public:
-  explicit Tracer(bool enabled = true) : enabled_(enabled) {}
+  struct Options {
+    /// Per-lane ring capacity in events, rounded up to a power of two.
+    /// A full ring drops events (counted in dropped()) until the next
+    /// drain; any reader drains, so size for the longest stretch of
+    /// recording between reads.
+    std::size_t ring_capacity = 1 << 14;
+    /// Deprecated serial path: record under the global mutex into the
+    /// log directly, exactly the pre-ring behaviour.  Also forced by
+    /// setting HMR_TRACE_SERIAL=1 in the environment (kill switch if
+    /// the lock-free path ever misbehaves on an exotic platform).
+    bool serial = false;
+  };
+
+  explicit Tracer(bool enabled = true) : Tracer(enabled, Options{}) {}
+  Tracer(bool enabled, const Options& opt);
 
   bool enabled() const { return enabled_; }
+
+  /// Events discarded because a lane ring was full between drains.
+  /// Monotonic across clear().
+  std::uint64_t dropped() const { return rings_.dropped(); }
 
   /// Record one interval.  Thread-safe.  end >= start required.
   void record(std::int32_t lane, Category cat, double start, double end,
@@ -134,9 +160,15 @@ public:
   void clear();
 
 private:
+  void push(const Interval& iv);
+  /// Move ring contents into log_; requires mu_ (single consumer).
+  void drain_locked() const;
+
   bool enabled_;
+  bool serial_;
+  mutable telemetry::LaneRings<Interval> rings_;
   mutable std::mutex mu_;
-  std::vector<Interval> log_;
+  mutable std::vector<Interval> log_;
 };
 
 } // namespace hmr::trace

@@ -160,7 +160,14 @@ void run_lockstep(const Scenario& sc, const ooc::PolicyEngine::Config& ncfg,
     for (std::size_t i = 0; i < nc.size(); ++i) {
       ASSERT_EQ(static_cast<int>(nc[i].kind), static_cast<int>(rc[i].kind));
       ASSERT_EQ(nc[i].block, rc[i].block);
-      ASSERT_EQ(nc[i].task, rc[i].task);
+      if (nc[i].kind != ooc::Command::Kind::Evict) {
+        // Evict commands now carry the triggering task as a telemetry
+        // annotation (flow stitching in the Perfetto export); the seed
+        // refimpl predates that and leaves kInvalidTask there.  The
+        // field is policy-inert on evictions, so it is exempt from the
+        // bit-identical comparison.
+        ASSERT_EQ(nc[i].task, rc[i].task);
+      }
       ASSERT_EQ(nc[i].agent, rc[i].agent);
       ASSERT_EQ(nc[i].pe, rc[i].pe);
       ASSERT_EQ(nc[i].nocopy, rc[i].nocopy);

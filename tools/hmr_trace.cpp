@@ -1,0 +1,209 @@
+// hmr_trace: offline inspector for Tracer CSV dumps.
+//
+// Reads the CSV written by trace::Tracer::write_csv (header:
+// lane,category,start,end,task,src_tier,dst_tier,bytes), prints the
+// per-category summary and per-tier-pair traffic table, optionally an
+// ASCII timeline, and converts to Chrome-trace/Perfetto JSON
+// (telemetry::write_perfetto) for ui.perfetto.dev.
+//
+//   hmr_trace --in trace.csv
+//   hmr_trace --in trace.csv --timeline --width 120
+//   hmr_trace --in trace.csv --workers 8 --perfetto out.json
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/perfetto.hpp"
+#include "trace/tracer.hpp"
+#include "util/argparse.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using hmr::trace::Category;
+using hmr::trace::Interval;
+
+bool parse_category(const std::string& s, Category& out) {
+  for (int c = 0; c < 6; ++c) {
+    if (s == hmr::trace::category_name(static_cast<Category>(c))) {
+      out = static_cast<Category>(c);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Tracer CSV has no quoted fields: a plain split is a full parser.
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char ch : line) {
+    if (ch == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else if (ch != '\r') {
+      cur.push_back(ch);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+bool read_trace(std::istream& is, std::vector<Interval>& out) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    std::fprintf(stderr, "hmr_trace: empty input\n");
+    return false;
+  }
+  if (split(line) !=
+      std::vector<std::string>{"lane", "category", "start", "end", "task",
+                               "src_tier", "dst_tier", "bytes"}) {
+    std::fprintf(stderr, "hmr_trace: unrecognized header: %s\n",
+                 line.c_str());
+    return false;
+  }
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto f = split(line);
+    Interval iv;
+    if (f.size() != 8 || !parse_category(f[1], iv.cat)) {
+      std::fprintf(stderr, "hmr_trace: bad row at line %zu\n", lineno);
+      return false;
+    }
+    try {
+      iv.lane = std::stoi(f[0]);
+      iv.start = std::stod(f[2]);
+      iv.end = std::stod(f[3]);
+      iv.task = std::stoull(f[4]);
+      iv.src_tier = static_cast<std::uint32_t>(std::stoul(f[5]));
+      iv.dst_tier = static_cast<std::uint32_t>(std::stoul(f[6]));
+      iv.bytes = std::stoull(f[7]);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "hmr_trace: bad row at line %zu\n", lineno);
+      return false;
+    }
+    out.push_back(iv);
+  }
+  return true;
+}
+
+void print_summary(const hmr::trace::TraceSummary& s,
+                   std::int64_t workers) {
+  std::printf("span: %.6f s over %d lanes", s.span, s.lanes);
+  if (workers >= 0) std::printf(" (workers only)");
+  std::printf("\n\n%-10s %14s %10s\n", "category", "lane-seconds",
+              "intervals");
+  for (int c = 0; c < 6; ++c) {
+    const auto cat = static_cast<Category>(c);
+    std::printf("%-10s %14.6f %10llu\n", hmr::trace::category_name(cat),
+                s.total_of(cat),
+                static_cast<unsigned long long>(s.count_of(cat)));
+  }
+  std::printf("overhead fraction: %.4f\n", s.overhead_fraction());
+  if (s.migrations.empty()) return;
+  std::printf("\n%-12s %12s %10s %12s %14s\n", "tier pair", "bytes",
+              "copies", "seconds", "effective b/w");
+  for (const auto& m : s.migrations) {
+    char pair[32];
+    std::snprintf(pair, sizeof pair, "%u -> %u", m.src_tier, m.dst_tier);
+    std::printf("%-12s %12s %10llu %12.6f %14s\n", pair,
+                hmr::fmt_bytes(m.bytes).c_str(),
+                static_cast<unsigned long long>(m.count), m.seconds,
+                m.seconds > 0
+                    ? hmr::fmt_bandwidth(static_cast<double>(m.bytes) /
+                                         m.seconds)
+                          .c_str()
+                    : "-");
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string in;
+  std::string perfetto;
+  std::int64_t workers = -1;
+  bool timeline = false;
+  std::int64_t width = 100;
+  bool flows = true;
+  bool idle = false;
+
+  hmr::ArgParser args("hmr_trace",
+                      "Summarize a Tracer CSV dump and convert it to "
+                      "Perfetto JSON");
+  args.add_flag("in", "trace CSV (from Tracer::write_csv)", &in);
+  args.add_flag("perfetto", "write Chrome-trace/Perfetto JSON here",
+                &perfetto);
+  args.add_flag("workers",
+                "worker-lane count: restricts the summary to workers and "
+                "names lanes PE/IO in the JSON (-1 = all lanes)",
+                &workers);
+  args.add_flag("timeline", "print an ASCII timeline", &timeline);
+  args.add_flag("width", "timeline width in characters", &width);
+  args.add_flag("flows", "emit causal task flow events (--flows=false "
+                         "to disable)",
+                &flows);
+  args.add_flag("idle", "include idle intervals in the JSON", &idle);
+  if (!args.parse(argc, argv)) return 1;
+  if (in.empty()) {
+    std::fprintf(stderr, "hmr_trace: --in is required\n%s",
+                 args.usage().c_str());
+    return 1;
+  }
+
+  std::ifstream ifs(in);
+  if (!ifs) {
+    std::fprintf(stderr, "hmr_trace: cannot open %s\n", in.c_str());
+    return 1;
+  }
+  std::vector<Interval> ivs;
+  if (!read_trace(ifs, ivs)) return 1;
+
+  // Re-inject into a serial-mode Tracer to reuse its summary and
+  // timeline code (serial: no ring capacity to size for a file of
+  // unknown length).
+  hmr::trace::Tracer::Options topt;
+  topt.serial = true;
+  hmr::trace::Tracer tracer(true, topt);
+  double t0 = 0, t1 = 0;
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    const auto& iv = ivs[i];
+    tracer.record_migration(iv.lane, iv.cat, iv.start, iv.end, iv.task,
+                            iv.src_tier, iv.dst_tier, iv.bytes);
+    t0 = i == 0 ? iv.start : std::min(t0, iv.start);
+    t1 = i == 0 ? iv.end : std::max(t1, iv.end);
+  }
+
+  std::printf("%s: %zu intervals\n", in.c_str(), ivs.size());
+  print_summary(tracer.summarize(static_cast<std::int32_t>(workers)),
+                workers);
+
+  if (timeline && t1 > t0) {
+    std::printf("\n");
+    tracer.ascii_timeline(std::cout, static_cast<int>(width), t0, t1);
+  }
+
+  if (!perfetto.empty()) {
+    std::ofstream ofs(perfetto);
+    if (!ofs) {
+      std::fprintf(stderr, "hmr_trace: cannot write %s\n",
+                   perfetto.c_str());
+      return 1;
+    }
+    hmr::telemetry::PerfettoOptions popt;
+    popt.worker_lanes = static_cast<std::int32_t>(workers);
+    popt.flows = flows;
+    popt.idle = idle;
+    hmr::telemetry::write_perfetto(ofs, tracer.intervals(), popt);
+    std::printf("\nwrote %s (open in ui.perfetto.dev)\n",
+                perfetto.c_str());
+  }
+  return 0;
+}
