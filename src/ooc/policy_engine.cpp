@@ -973,4 +973,202 @@ void PolicyEngine::check_progress() const {
                 "fast-tier capacity (reduced working set must fit in HBM)");
 }
 
+std::vector<std::string> PolicyEngine::audit_invariants(
+    bool at_quiescence) const {
+  std::vector<std::string> v;
+  const auto fail = [&v](std::string msg) { v.push_back(std::move(msg)); };
+  const std::size_t levels = tiers_.size();
+
+  // Ground truth recomputed from the block records.  A migrating block
+  // holds budget on both ends: its bytes were claimed on the
+  // destination at schedule time and are released from the source only
+  // when the copy lands (mirrors when numa_free returns the bytes).
+  std::vector<std::uint64_t> want_used(levels, 0);
+  std::vector<std::uint64_t> want_outbound(levels, 0);
+  std::uint64_t want_lru_bytes = 0;
+  std::size_t want_lru_count = 0, want_mid_count = 0;
+  std::size_t want_fetch = 0, want_evict = 0;
+  std::unordered_map<BlockId, std::uint32_t> want_ref;
+  std::unordered_map<BlockId, std::uint32_t> want_slow;
+
+  for (const auto& [id, br] : blocks_) {
+    const std::string tag = "block " + std::to_string(id) + ": ";
+    if (br.level < 0 || br.level >= static_cast<std::int32_t>(levels) ||
+        br.from_level < -1 ||
+        br.from_level >= static_cast<std::int32_t>(levels) ||
+        br.from_level == br.level) {
+      fail(tag + "bad level pair " + std::to_string(br.level) + " <- " +
+           std::to_string(br.from_level));
+      continue;
+    }
+    want_used[static_cast<std::size_t>(br.level)] += br.bytes;
+    if (br.from_level >= 0) {
+      want_used[static_cast<std::size_t>(br.from_level)] += br.bytes;
+      want_outbound[static_cast<std::size_t>(br.from_level)] += br.bytes;
+      if (br.level == 0) {
+        ++want_fetch;
+      } else {
+        ++want_evict;
+      }
+    }
+    if (br.in_lru) {
+      if (br.level != 0 || br.from_level >= 0) {
+        fail(tag + "parked in the level-0 LRU but not resident there");
+      }
+      want_lru_bytes += br.bytes;
+      ++want_lru_count;
+    }
+    if (br.in_mid) {
+      if (br.level <= 0 || br.level >= bottom() || br.from_level >= 0) {
+        fail(tag + "on a mid-level cold list but not a middle resident");
+      }
+      ++want_mid_count;
+    }
+    if (!br.fetch_waiters.empty() &&
+        state_of(br) != BlockState::FetchInFlight) {
+      fail(tag + "has fetch waiters but no fetch in flight");
+    }
+    if (at_quiescence) {
+      if (br.refcount != 0) {
+        fail(tag + "refcount " + std::to_string(br.refcount) +
+             " at quiescence (no task can be holding it)");
+      }
+      if (br.slow_claims != 0) fail(tag + "slow claims at quiescence");
+      if (br.from_level >= 0) fail(tag + "still migrating at quiescence");
+      if (!br.fetch_waiters.empty()) {
+        fail(tag + "waiter list not empty at quiescence");
+      }
+    }
+  }
+
+  // Ground truth from the task records: live (admitted / ready) tasks
+  // hold one refcount per dependence, one waiter entry per missing
+  // dep, one slow claim per bypassed dep, and their fresh claim bytes
+  // make up the per-PE fair-share ledger.
+  std::vector<std::uint64_t> want_claims(pe_claims_.size(), 0);
+  std::size_t want_live = 0;
+  for (const auto& [id, tr] : tasks_) {
+    if (tr.state != TaskState::Admitted && tr.state != TaskState::Ready) {
+      continue;
+    }
+    ++want_live;
+    want_claims[static_cast<std::size_t>(tr.desc.pe)] += tr.claim_bytes;
+    // Only admitted prefetch tasks under a movement strategy claimed
+    // their deps; non-annotated tasks and the static baselines run
+    // without touching refcounts.
+    if (!tr.desc.prefetch || !strategy_moves_data(cfg_.strategy)) {
+      continue;
+    }
+    for (const Dep& d : tr.desc.deps) ++want_ref[d.block];
+    for (const BlockId b : tr.bypassed) ++want_slow[b];
+  }
+  for (const auto& [id, br] : blocks_) {
+    for (const TaskId t : br.fetch_waiters) {
+      auto it = tasks_.find(t);
+      if (it == tasks_.end() ||
+          it->second.state != TaskState::Admitted) {
+        fail("block " + std::to_string(id) +
+             ": waiter task " + std::to_string(t) + " is not admitted");
+      }
+    }
+    const auto ref = want_ref.find(id);
+    const std::uint32_t wr = ref == want_ref.end() ? 0 : ref->second;
+    if (br.refcount != wr) {
+      fail("block " + std::to_string(id) + ": refcount " +
+           std::to_string(br.refcount) + " but live tasks reference it " +
+           std::to_string(wr) + "x");
+    }
+    const auto slow = want_slow.find(id);
+    const std::uint32_t ws = slow == want_slow.end() ? 0 : slow->second;
+    if (br.slow_claims != ws) {
+      fail("block " + std::to_string(id) + ": slow_claims " +
+           std::to_string(br.slow_claims) + " != " + std::to_string(ws) +
+           " bypassed live deps");
+    }
+  }
+  for (const auto& [id, tr] : tasks_) {
+    if (tr.state != TaskState::Admitted) continue;
+    std::uint32_t waits = 0;
+    for (const Dep& d : tr.desc.deps) {
+      const auto it = blocks_.find(d.block);
+      if (it == blocks_.end()) continue;
+      for (const TaskId t : it->second.fetch_waiters) {
+        if (t == id) ++waits;
+      }
+    }
+    if (tr.missing != waits) {
+      fail("task " + std::to_string(id) + ": missing " +
+           std::to_string(tr.missing) + " != " + std::to_string(waits) +
+           " waiter entries");
+    }
+  }
+
+  // Counters and ledgers vs the recomputation.
+  for (std::size_t k = 0; k < levels; ++k) {
+    if (used_[k] != want_used[k]) {
+      fail("level " + std::to_string(k) + ": used " +
+           std::to_string(used_[k]) + " != " + std::to_string(want_used[k]) +
+           " summed over block records");
+    }
+    if (outbound_[k] != want_outbound[k]) {
+      fail("level " + std::to_string(k) + ": outbound " +
+           std::to_string(outbound_[k]) + " != " +
+           std::to_string(want_outbound[k]));
+    }
+  }
+  if (used_[0] > cfg_.fast_capacity) {
+    fail("level 0 overcommitted: " + std::to_string(used_[0]) + " > " +
+         std::to_string(cfg_.fast_capacity));
+  }
+  if (lru_bytes_ != want_lru_bytes || lru_.size() != want_lru_count) {
+    fail("LRU ledger: " + std::to_string(lru_.size()) + " entries / " +
+         std::to_string(lru_bytes_) + " bytes, block flags say " +
+         std::to_string(want_lru_count) + " / " +
+         std::to_string(want_lru_bytes));
+  }
+  std::size_t mid_entries = 0;
+  for (const auto& q : mid_lru_) mid_entries += q.size();
+  if (mid_entries != want_mid_count) {
+    fail("mid-level cold lists hold " + std::to_string(mid_entries) +
+         " entries, block flags say " + std::to_string(want_mid_count));
+  }
+  std::size_t queued = 0;
+  for (std::size_t pe = 0; pe < wait_q_.size(); ++pe) {
+    for (const TaskId t : wait_q_[pe]) {
+      ++queued;
+      const auto it = tasks_.find(t);
+      if (it == tasks_.end() || it->second.state != TaskState::Waiting) {
+        fail("queued task " + std::to_string(t) + " on pe " +
+             std::to_string(pe) + " is not in Waiting state");
+      }
+    }
+  }
+  if (queued != n_waiting_) {
+    fail("n_waiting " + std::to_string(n_waiting_) + " != " +
+         std::to_string(queued) + " queued tasks");
+  }
+  if (want_live != n_live_tasks_) {
+    fail("n_live_tasks " + std::to_string(n_live_tasks_) + " != " +
+         std::to_string(want_live) + " admitted/ready records");
+  }
+  if (want_fetch != n_inflight_fetch_ || want_evict != n_inflight_evict_) {
+    fail("in-flight counters fetch=" + std::to_string(n_inflight_fetch_) +
+         "/evict=" + std::to_string(n_inflight_evict_) +
+         " != block records fetch=" + std::to_string(want_fetch) +
+         "/evict=" + std::to_string(want_evict));
+  }
+  for (std::size_t pe = 0; pe < pe_claims_.size(); ++pe) {
+    if (pe_claims_[pe] != want_claims[pe]) {
+      fail("pe " + std::to_string(pe) + ": claim ledger " +
+           std::to_string(pe_claims_[pe]) + " != " +
+           std::to_string(want_claims[pe]) + " over live tasks");
+    }
+  }
+  if (at_quiescence) {
+    if (!quiescent()) fail("quiescent() false at claimed quiescence");
+    if (queued != 0) fail("wait queues not empty at quiescence");
+  }
+  return v;
+}
+
 } // namespace hmr::ooc

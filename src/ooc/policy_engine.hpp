@@ -46,6 +46,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -248,6 +249,18 @@ public:
   /// none at quiescence under eager eviction) and the first waiting
   /// task's admissibility, dumped by executors on wedge detection.
   void debug_dump(std::FILE* out) const;
+
+  /// Cross-check the incremental bookkeeping against ground truth
+  /// recomputed from the block/task records: per-level used_/outbound_
+  /// bytes (a migrating block is counted on both its source and
+  /// destination level until it lands), LRU membership and byte
+  /// counts, waiting/live/in-flight counters, per-PE claims, block
+  /// refcounts vs live-task dependence lists, waiter-list sanity.
+  /// Returns one human-readable line per violation (empty = clean).
+  /// `at_quiescence` adds the idle-only invariants: nothing queued, in
+  /// flight, referenced or claimed.  O(blocks + tasks); callers
+  /// serialize like every other entry point.
+  std::vector<std::string> audit_invariants(bool at_quiescence) const;
 
 private:
   enum class TaskState : std::uint8_t { Waiting, Admitted, Ready, Done };

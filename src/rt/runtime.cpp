@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
 
 #ifdef __linux__
 #include <pthread.h>
@@ -9,6 +12,7 @@
 #endif
 
 #include "telemetry/bridge.hpp"
+#include "telemetry/crash.hpp"
 #include "util/check.hpp"
 
 namespace hmr::rt {
@@ -99,6 +103,7 @@ Runtime::Runtime(Config cfg)
       t0_(std::chrono::steady_clock::now()) {
   HMR_CHECK(cfg_.num_pes > 0);
   cfg_.io_batch = std::max(1, cfg_.io_batch);
+  if (cfg_.serve_port >= 0) cfg_.metrics = true; // /metrics needs them
   if (cfg_.metrics) {
     metrics_ = std::make_unique<telemetry::MetricsRegistry>();
     mh_.fetch_ns = &metrics_->histogram(
@@ -163,6 +168,10 @@ Runtime::Runtime(Config cfg)
   for (int i = 0; i < n_io; ++i) {
     io_.push_back(std::make_unique<IoWorker>());
   }
+  pe_beats_ =
+      std::vector<telemetry::Heartbeat>(static_cast<std::size_t>(cfg_.num_pes));
+  io_beats_ =
+      std::vector<telemetry::Heartbeat>(static_cast<std::size_t>(n_io));
   // Launch only after all structures exist.
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   for (int pe = 0; pe < cfg_.num_pes; ++pe) {
@@ -180,9 +189,11 @@ Runtime::Runtime(Config cfg)
       pin_to_core(th, sibling);
     }
   }
+  start_introspection();
 }
 
 Runtime::~Runtime() {
+  stop_introspection();
   wait_idle();
   stop_.store(true);
   for (auto& w : pes_) {
@@ -299,7 +310,12 @@ void Runtime::pe_loop(int pe) {
   const auto depth = static_cast<std::size_t>(cfg_.io_batch);
   std::vector<ReadyTask> tasks;
   std::vector<Msg> msgs;
+  telemetry::Heartbeat& hb = pe_beats_[static_cast<std::size_t>(pe)];
   for (;;) {
+    // Liveness stamp for /status and the watchdog.  A parked thread
+    // stops beating — that is the signal, not a bug: the watchdog only
+    // reads heartbeats while work is outstanding.
+    hb.beat(now_ns());
     tasks.clear();
     msgs.clear();
     {
@@ -341,7 +357,9 @@ void Runtime::io_loop(int io) {
   const int lane = cfg_.num_pes + io;
   const auto depth = static_cast<std::size_t>(cfg_.io_batch);
   std::vector<ooc::Command> batch;
+  telemetry::Heartbeat& hb = io_beats_[static_cast<std::size_t>(io)];
   for (;;) {
+    hb.beat(now_ns());
     batch.clear();
     {
       std::unique_lock lk(w.mu);
@@ -511,6 +529,10 @@ void Runtime::do_migrate(const ooc::Command& cmd, int trace_lane) {
     flight_->record(cmd.block,
                     {te, cause, cmd.src_tier, cmd.dst_tier, bytes, fetch});
   }
+  if (fetch) {
+    fetch_last_ns_.store(now_ns(), std::memory_order_relaxed);
+    fetch_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Runtime::perform_transfer(const ooc::Command& cmd, int trace_lane) {
@@ -586,6 +608,10 @@ void Runtime::process(std::vector<ooc::Command> cmds, int context_lane) {
       case ooc::Command::Kind::Fetch:
       case ooc::Command::Kind::Evict: {
         ops_add(1);
+        if (c.kind == ooc::Command::Kind::Fetch) {
+          fetch_last_ns_.store(now_ns(), std::memory_order_relaxed);
+          fetch_dispatched_.fetch_add(1, std::memory_order_relaxed);
+        }
         if (c.agent == ooc::kWorkerInline) {
           // Synchronous pre/post-processing on the current thread.
           perform_transfer(c, context_lane);
@@ -680,6 +706,7 @@ void Runtime::msgs_add(std::uint64_t n) {
 
 void Runtime::note_done(std::uint64_t n) {
   if (n == 0) return;
+  retired_.fetch_add(n, std::memory_order_relaxed);
   if (cfg_.legacy_idle_notify) {
     // Pre-sharding protocol: lock + notify_all on every retirement,
     // waking the idle waiter (usually the main thread) each time.
@@ -704,6 +731,7 @@ void Runtime::ops_add(std::uint64_t n) {
 }
 
 void Runtime::ops_sub(std::uint64_t n) {
+  retired_.fetch_add(n, std::memory_order_relaxed);
   if (cfg_.legacy_idle_notify) {
     {
       std::lock_guard lk(idle_mu_);
@@ -745,6 +773,11 @@ void Runtime::wait_idle() {
   // Each wait_idle barrier is a phase boundary for the governor.
   if (governor_) governor_phase_end();
   sample_metrics();
+  // Quiescence is the one point where every ledger must reconcile
+  // exactly — audit here, and refresh the crash bundle while the
+  // state is consistent.
+  if (telemetry::audit_enabled(cfg_.audit)) run_wait_idle_audit();
+  if (crash_installed_) publish_crash_bundle();
 }
 
 void Runtime::sample_metrics() {
@@ -754,7 +787,7 @@ void Runtime::sample_metrics() {
     for (std::int32_t s = 0; s < sharded_->num_shards(); ++s) {
       telemetry::export_policy_stats(
           *metrics_, sharded_->shard_stats(s),
-          "shard=\"" + std::to_string(s) + "\"");
+          telemetry::prom_label("shard", std::to_string(s)));
     }
   }
   if (lock_stats_) telemetry::export_contention(*metrics_, *lock_stats_);
@@ -767,7 +800,8 @@ void Runtime::sample_metrics() {
       .set(tracer_.dropped());
   const auto tier_gauges = [&](std::int32_t level, std::uint64_t used,
                                std::uint64_t cap) {
-    const std::string labels = "level=\"" + std::to_string(level) + "\"";
+    const std::string labels =
+        telemetry::prom_label("level", std::to_string(level));
     metrics_
         ->gauge("hmr_tier_used_bytes", labels,
                 "Bytes claimed on the hierarchy level")
@@ -805,6 +839,340 @@ std::uint64_t Runtime::tasks_executed() const {
     n += c.v.load(std::memory_order_relaxed);
   }
   return n;
+}
+
+std::uint64_t Runtime::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+}
+
+double Runtime::fetch_p99_seconds() const {
+  if (!metrics_) return 0;
+  const telemetry::Histogram& h = *mh_.fetch_ns;
+  const std::uint64_t n = h.count();
+  if (n == 0) return 0;
+  const std::uint64_t rank = n - n / 100; // the p99 sample, 1-based
+  std::uint64_t cum = 0;
+  for (int i = 0; i < telemetry::Histogram::kBuckets; ++i) {
+    cum += h.bucket_count(i);
+    if (cum >= rank) {
+      return static_cast<double>(telemetry::Histogram::bucket_upper(i)) *
+             1e-9;
+    }
+  }
+  return 0;
+}
+
+telemetry::AuditReport Runtime::audit_now() {
+  telemetry::AuditReport r;
+  r.time = now();
+  if (sharded_) {
+    // The sharded ledgers only reconcile exactly at quiescence
+    // (budget releases commit outside the stripe critical sections),
+    // so off-quiescence calls report nothing rather than guess.
+    if (!sharded_->quiescent()) return r;
+    r.at_quiescence = true;
+    r.violations = sharded_->audit_invariants(true);
+  } else {
+    std::lock_guard elk(engine_mu_);
+    r.at_quiescence = engine_.quiescent();
+    r.violations = engine_.audit_invariants(r.at_quiescence);
+  }
+  return r;
+}
+
+std::uint64_t Runtime::audit_runs() const {
+  std::lock_guard lk(audit_mu_);
+  return audit_runs_;
+}
+
+void Runtime::run_wait_idle_audit() {
+  telemetry::AuditReport r = audit_now();
+  {
+    std::lock_guard lk(audit_mu_);
+    last_audit_ = r;
+    ++audit_runs_;
+  }
+  telemetry::check_audit(r); // aborts on violations
+}
+
+std::string Runtime::status_json() {
+  std::ostringstream os;
+  const auto num = [&os](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    os << buf;
+  };
+  const std::uint64_t t = now_ns();
+  os << "{\"time_s\":";
+  num(static_cast<double>(t) * 1e-9);
+  os << ",\"strategy\":\"" << ooc::strategy_name(cfg_.strategy) << "\""
+     << ",\"sharded\":" << (sharded_ ? "true" : "false")
+     << ",\"engine_shards\":" << engine_shards()
+     << ",\"num_pes\":" << cfg_.num_pes
+     << ",\"num_io_threads\":" << io_.size() << ",\"outstanding_msgs\":"
+     << outstanding_msgs_.load(std::memory_order_acquire)
+     << ",\"outstanding_ops\":"
+     << outstanding_ops_.load(std::memory_order_acquire)
+     << ",\"tasks_executed\":" << tasks_executed()
+     << ",\"retired\":" << retired_.load(std::memory_order_relaxed);
+
+  const auto beat_json = [&](const telemetry::Heartbeat& hb) {
+    const std::uint64_t beats = hb.beats.load(std::memory_order_relaxed);
+    const std::uint64_t last = hb.last_ns.load(std::memory_order_relaxed);
+    os << "\"beats\":" << beats << ",\"beat_age_s\":";
+    if (beats == 0) {
+      os << "-1"; // never woke up (or just launched)
+    } else {
+      num(t > last ? static_cast<double>(t - last) * 1e-9 : 0.0);
+    }
+  };
+  os << ",\"pes\":[";
+  for (std::size_t pe = 0; pe < pes_.size(); ++pe) {
+    if (pe) os << ",";
+    std::size_t msgs = 0, run_q = 0;
+    {
+      std::lock_guard lk(pes_[pe]->mu);
+      msgs = pes_[pe]->msgs.size();
+      run_q = pes_[pe]->run_q.size();
+    }
+    os << "{\"msgs\":" << msgs << ",\"run_q\":" << run_q << ",";
+    beat_json(pe_beats_[pe]);
+    os << "}";
+  }
+  os << "],\"io_threads\":[";
+  for (std::size_t i = 0; i < io_.size(); ++i) {
+    if (i) os << ",";
+    std::size_t cmds = 0;
+    {
+      std::lock_guard lk(io_[i]->mu);
+      cmds = io_[i]->cmds.size();
+    }
+    os << "{\"cmds\":" << cmds << ",";
+    beat_json(io_beats_[i]);
+    os << "}";
+  }
+  os << "],\"tiers\":[";
+  const auto tier_json = [&](std::int32_t level, std::uint64_t used,
+                             std::uint64_t cap) {
+    if (level) os << ",";
+    os << "{\"level\":" << level << ",\"used_bytes\":" << used
+       << ",\"capacity_bytes\":" << cap << "}";
+  };
+  if (sharded_) {
+    const auto& tiers = sharded_->tiers();
+    for (std::int32_t k = 0; k < sharded_->num_levels(); ++k) {
+      tier_json(k, sharded_->tier_used(k),
+                tiers[static_cast<std::size_t>(k)].capacity);
+    }
+  } else {
+    std::lock_guard elk(engine_mu_);
+    const auto& tiers = engine_.tiers();
+    for (std::int32_t k = 0; k < engine_.num_levels(); ++k) {
+      tier_json(k, engine_.tier_used(k),
+                tiers[static_cast<std::size_t>(k)].capacity);
+    }
+  }
+  os << "]";
+
+  os << ",\"governor\":";
+  if (governor_) {
+    // The governor only mutates under engine_mu_ (phase boundaries).
+    std::lock_guard elk(engine_mu_);
+    const adapt::Decision& d = governor_->current();
+    os << "{\"strategy\":\"" << ooc::strategy_name(d.strategy) << "\""
+       << ",\"eager_evict\":" << (d.eager_evict ? "true" : "false")
+       << ",\"fair_admission\":" << (d.fair_admission ? "true" : "false")
+       << ",\"lru_watermark\":";
+    num(d.lru_watermark);
+    os << ",\"bypass_streaming\":"
+       << (d.bypass_streaming ? "true" : "false")
+       << ",\"switches\":" << governor_->switches()
+       << ",\"phases\":" << governor_->phases_observed() << "}";
+  } else {
+    os << "null";
+  }
+
+  os << ",\"watchdog\":";
+  if (watchdog_) {
+    os << "{\"trips\":" << watchdog_->trips()
+       << ",\"stalled\":" << (watchdog_->stalled() ? "true" : "false")
+       << ",\"last_reason\":\"";
+    telemetry::json_escape(os, watchdog_->last_reason());
+    os << "\"}";
+  } else {
+    os << "null";
+  }
+
+  {
+    std::lock_guard lk(audit_mu_);
+    os << ",\"audit_runs\":" << audit_runs_ << ",\"audit\":";
+    if (audit_runs_ == 0) {
+      os << "null";
+    } else {
+      telemetry::write_audit_json(os, last_audit_);
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+void Runtime::write_diagnostics(std::ostream& os) {
+  os << "==== status ====\n" << status_json() << "\n";
+  if (metrics_) {
+    sample_metrics();
+    os << "==== metrics ====\n";
+    telemetry::MetricsRegistry::write_prometheus(os, metrics_->snapshot());
+  }
+  if (flight_) {
+    os << "==== flight recorder ====\n";
+    flight_->dump(os);
+  }
+  os << "==== trace ====\n";
+  if (tracer_.enabled()) {
+    const trace::TraceSummary s = tracer_.summarize(cfg_.num_pes);
+    os << "span_s=" << s.span
+       << " compute_s=" << s.total_of(trace::Category::Compute)
+       << " prefetch_s=" << s.total_of(trace::Category::Prefetch)
+       << " evict_s=" << s.total_of(trace::Category::Evict)
+       << " dropped=" << s.dropped << "\n";
+  } else {
+    os << "(tracing off)\n";
+  }
+}
+
+void Runtime::publish_crash_bundle() {
+  std::ostringstream os;
+  write_diagnostics(os);
+  telemetry::CrashDumper::instance().publish(os.str());
+}
+
+void Runtime::start_introspection() {
+  if (cfg_.crash_dump) {
+    telemetry::CrashDumper::instance().install(cfg_.crash_dump_path);
+    crash_installed_ = true;
+    publish_crash_bundle(); // something to dump even before first idle
+  }
+  if (cfg_.watchdog) {
+    telemetry::Watchdog::Hooks h;
+    h.under_load = [this] {
+      return outstanding_msgs_.load(std::memory_order_acquire) != 0 ||
+             outstanding_ops_.load(std::memory_order_acquire) != 0;
+    };
+    h.progress = [this] {
+      // Retirements plus engine events: admissions count as progress
+      // even while no task has finished yet.
+      std::uint64_t p = retired_.load(std::memory_order_relaxed);
+      if (sharded_) p += sharded_->events_processed();
+      return p;
+    };
+    h.fetch_age = [this]() -> double {
+      const auto done = fetch_completed_.load(std::memory_order_relaxed);
+      const auto sent = fetch_dispatched_.load(std::memory_order_relaxed);
+      if (done >= sent) return -1; // nothing in flight
+      const auto last = fetch_last_ns_.load(std::memory_order_relaxed);
+      const std::uint64_t t = now_ns();
+      return t > last ? static_cast<double>(t - last) * 1e-9 : 0.0;
+    };
+    h.fetch_p99 = [this] { return fetch_p99_seconds(); };
+    h.dump = [this](std::ostream& os) { write_diagnostics(os); };
+    h.tick = [this] {
+      if (crash_installed_) publish_crash_bundle();
+    };
+    watchdog_ = std::make_unique<telemetry::Watchdog>(cfg_.watchdog_cfg,
+                                                      std::move(h));
+    watchdog_->start();
+  }
+  if (cfg_.serve_port >= 0) {
+    using Request = telemetry::StatusServer::Request;
+    using Response = telemetry::StatusServer::Response;
+    auto srv = std::make_unique<telemetry::StatusServer>();
+    srv->route("/healthz", [this](const Request&) {
+      Response r;
+      if (watchdog_ && watchdog_->stalled()) {
+        r.status = 503;
+        r.body = "stalled: " + watchdog_->last_reason() + "\n";
+      } else {
+        r.body = "ok\n";
+      }
+      return r;
+    });
+    srv->route("/metrics", [this](const Request&) {
+      sample_metrics();
+      Response r;
+      r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      std::ostringstream body;
+      telemetry::MetricsRegistry::write_prometheus(body,
+                                                   metrics_->snapshot());
+      r.body = body.str();
+      return r;
+    });
+    srv->route("/status", [this](const Request&) {
+      Response r;
+      r.content_type = "application/json";
+      r.body = status_json();
+      return r;
+    });
+    srv->route("/blocks", [this](const Request& rq) {
+      Response r;
+      if (!flight_) {
+        r.status = 404;
+        r.body = "flight recorder disabled (Config::flight_depth=0)\n";
+        return r;
+      }
+      const auto it = rq.query.find("id");
+      if (it == rq.query.end()) {
+        r.status = 400;
+        r.body = "usage: /blocks?id=<block id>\n";
+        return r;
+      }
+      char* end = nullptr;
+      const unsigned long long id =
+          std::strtoull(it->second.c_str(), &end, 10);
+      if (end == it->second.c_str() || *end != '\0') {
+        r.status = 400;
+        r.body = "bad block id: " + it->second + "\n";
+        return r;
+      }
+      const auto hist = flight_->history(static_cast<mem::BlockId>(id));
+      std::ostringstream body;
+      body << "{\"block\":" << id << ",\"transitions\":[";
+      for (std::size_t i = 0; i < hist.size(); ++i) {
+        if (i) body << ",";
+        char tbuf[32];
+        std::snprintf(tbuf, sizeof tbuf, "%.6f", hist[i].time);
+        body << "{\"time_s\":" << tbuf << ",\"task\":" << hist[i].task
+             << ",\"src_tier\":" << hist[i].src_tier
+             << ",\"dst_tier\":" << hist[i].dst_tier
+             << ",\"bytes\":" << hist[i].bytes
+             << ",\"fetch\":" << (hist[i].fetch ? "true" : "false")
+             << "}";
+      }
+      body << "]}";
+      r.content_type = "application/json";
+      r.body = body.str();
+      return r;
+    });
+    std::string err;
+    if (!srv->start(static_cast<std::uint16_t>(cfg_.serve_port), &err)) {
+      // Diagnostics must never kill the job: warn and run without.
+      std::fprintf(stderr, "hmr: status server disabled: %s\n",
+                   err.c_str());
+    } else {
+      server_ = std::move(srv);
+    }
+  }
+}
+
+void Runtime::stop_introspection() {
+  if (server_) server_->stop();
+  if (watchdog_) watchdog_->stop();
+  if (crash_installed_) {
+    telemetry::CrashDumper::instance().uninstall();
+    crash_installed_ = false;
+  }
 }
 
 } // namespace hmr::rt

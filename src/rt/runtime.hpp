@@ -45,8 +45,11 @@
 #include "mem/memory_manager.hpp"
 #include "ooc/policy_engine.hpp"
 #include "rt/sharded_engine.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/serve.hpp"
+#include "telemetry/watchdog.hpp"
 #include "trace/contention.hpp"
 #include "trace/tracer.hpp"
 
@@ -135,6 +138,28 @@ public:
     /// the first lower level with room instead of going straight to the
     /// bottom.  No effect on two-level hierarchies.
     bool demote_cascade = true;
+
+    // ---- live introspection & self-diagnosis (src/telemetry/) ----
+
+    /// Status server port: -1 = off (default), 0 = any free loopback
+    /// port (read it back with serve_port()), >0 = that port.  The
+    /// server binds 127.0.0.1 only and serves /healthz, /metrics,
+    /// /status and /blocks?id=N.  Enabling it forces `metrics` on so
+    /// /metrics has something to say.
+    int serve_port = -1;
+    /// Stall watchdog: a monitor thread that trips when outstanding
+    /// work stops retiring (see telemetry::Watchdog).  Off by default
+    /// so tests and benches stay byte-identical in output.
+    bool watchdog = false;
+    telemetry::Watchdog::Config watchdog_cfg;
+    /// Engine invariant audits at every wait_idle(): -1 = auto (on in
+    /// debug / sanitizer builds, HMR_AUDIT env overrides), 0 = off,
+    /// 1 = on.  A failed audit aborts (telemetry::check_audit).
+    int audit = -1;
+    /// Install SIGSEGV/SIGBUS/SIGABRT handlers that append the last
+    /// pre-rendered diagnostic bundle before re-raising.
+    bool crash_dump = false;
+    std::string crash_dump_path; // empty = stderr
   };
 
   explicit Runtime(Config cfg);
@@ -240,6 +265,33 @@ public:
   const adapt::BlockProfiler* profiler() const { return profiler_.get(); }
   const adapt::StrategyGovernor* governor() const { return governor_.get(); }
 
+  // ---- live introspection & self-diagnosis ----
+
+  /// Bound status-server port (0 when Config::serve_port was -1 or the
+  /// bind failed; the failure is a one-line stderr warning, not fatal).
+  std::uint16_t serve_port() const {
+    return server_ ? server_->port() : 0;
+  }
+  /// Stall watchdog (nullptr unless Config::watchdog).
+  const telemetry::Watchdog* watchdog() const { return watchdog_.get(); }
+
+  /// Run the engine invariant audit now.  The serial engine audits at
+  /// any time (under its lock); the sharded engine's ledgers are only
+  /// exact at quiescence, so off-quiescence sharded calls return an
+  /// empty report with at_quiescence=false rather than false-positive.
+  telemetry::AuditReport audit_now();
+  /// wait_idle() audits completed so far (0 when audits are disabled).
+  std::uint64_t audit_runs() const;
+
+  /// The /status document: one JSON object with queue depths,
+  /// heartbeat ages, tier occupancy, governor and watchdog state and
+  /// the last audit report.  Safe from any thread.
+  std::string status_json();
+  /// Full diagnostic bundle: status + metrics snapshot + flight
+  /// recorder + trace summary.  Shared by watchdog trips, crash dumps
+  /// and operators holding a core file.
+  void write_diagnostics(std::ostream& os);
+
 private:
   struct Msg {
     Body body;
@@ -310,6 +362,20 @@ private:
   void observe_locked(const std::vector<ooc::Command>& cmds);
   /// One governor step; called from wait_idle at quiescence.
   void governor_phase_end();
+  /// Steady-clock ns since t0_ (heartbeat / fetch-age timebase).
+  std::uint64_t now_ns() const;
+  /// Fetch-latency p99 in seconds from the metrics histogram (<= 0 =
+  /// unknown: metrics off or no fetches observed yet).
+  double fetch_p99_seconds() const;
+  /// Start status server / watchdog / crash handlers (constructor
+  /// tail, after the worker threads exist) and stop them (destructor
+  /// head, while the workers are still alive to answer hooks).
+  void start_introspection();
+  void stop_introspection();
+  /// wait_idle() audit step: run, record for /status, fail-stop.
+  void run_wait_idle_audit();
+  /// Re-render the crash bundle into the CrashDumper's buffers.
+  void publish_crash_bundle();
 
   Config cfg_;
   std::unique_ptr<mem::MemoryManager> mm_;
@@ -368,6 +434,24 @@ private:
     telemetry::Histogram* run_q_depth = nullptr;
   } mh_;
   std::unique_ptr<telemetry::BlockFlightRecorder> flight_;
+
+  // Live introspection: per-thread heartbeats (stamped each loop
+  // wakeup; parked threads do not beat, the watchdog only reads them
+  // under load), a monotonic retirement counter as the watchdog's
+  // progress signal, fetch-age tracking (dispatch/complete counts +
+  // last-activity stamp), and the server / watchdog / audit state.
+  std::vector<telemetry::Heartbeat> pe_beats_;
+  std::vector<telemetry::Heartbeat> io_beats_;
+  alignas(64) std::atomic<std::uint64_t> retired_{0};
+  alignas(64) std::atomic<std::uint64_t> fetch_dispatched_{0};
+  alignas(64) std::atomic<std::uint64_t> fetch_completed_{0};
+  std::atomic<std::uint64_t> fetch_last_ns_{0};
+  std::unique_ptr<telemetry::Watchdog> watchdog_;
+  std::unique_ptr<telemetry::StatusServer> server_;
+  bool crash_installed_ = false;
+  mutable std::mutex audit_mu_; // guards the two fields below
+  telemetry::AuditReport last_audit_;
+  std::uint64_t audit_runs_ = 0;
 };
 
 } // namespace hmr::rt

@@ -267,6 +267,7 @@ std::vector<Command> ShardedEngine::on_task_arrived(
     }
   }
 
+  events_.fetch_add(1, std::memory_order_relaxed);
   std::vector<Command> cmds;
   const auto s = static_cast<std::size_t>(shard_of(desc.pe));
   Shard& sh = shards_[s];
@@ -312,6 +313,7 @@ std::vector<Command> ShardedEngine::on_task_arrived(
 }
 
 std::vector<Command> ShardedEngine::on_fetch_complete(ooc::BlockId b) {
+  events_.fetch_add(1, std::memory_order_relaxed);
   std::vector<Command> cmds;
   std::vector<TaskRec*> ready;
   std::int32_t src = -1;
@@ -350,6 +352,7 @@ std::vector<Command> ShardedEngine::on_fetch_complete(ooc::BlockId b) {
 }
 
 std::vector<Command> ShardedEngine::on_evict_complete(ooc::BlockId b) {
+  events_.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t bytes = 0;
   std::int32_t src = -1;
   std::int32_t src_shard = 0;
@@ -381,6 +384,7 @@ std::vector<Command> ShardedEngine::on_evict_complete(ooc::BlockId b) {
 
 std::vector<Command> ShardedEngine::on_task_complete(ooc::TaskId t,
                                                      std::int32_t pe) {
+  events_.fetch_add(1, std::memory_order_relaxed);
   HMR_CHECK(pe >= 0 && pe < cfg_.num_pes);
   const auto s = static_cast<std::size_t>(shard_of(pe));
   Shard& sh = shards_[s];
@@ -497,6 +501,162 @@ std::int32_t ShardedEngine::block_level(ooc::BlockId b) const {
 std::uint32_t ShardedEngine::refcount(ooc::BlockId b) const {
   std::lock_guard slk(stripe(b).mu);
   return block(b).refcount;
+}
+
+std::vector<std::string> ShardedEngine::audit_invariants(
+    bool at_quiescence) const {
+  std::vector<std::string> v;
+  const auto fail = [&v](std::string msg) { v.push_back(std::move(msg)); };
+  auto* self = const_cast<ShardedEngine*>(this);
+
+  // Lock the world in the canonical order (shard mutexes, then the
+  // registry, then every stripe ascending) so the cross-check sees one
+  // consistent cut.  Event paths take shard -> stripes or registry ->
+  // stripe, never the reverse.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size() + 1 + kStripes);
+  for (auto& sh : self->shards_) locks.emplace_back(sh.mu);
+  locks.emplace_back(self->registry_mu_);
+  for (auto& st : self->stripes_) locks.emplace_back(st.mu);
+
+  const std::size_t levels = tiers_.size();
+  std::vector<std::uint64_t> want_used(levels, 0);
+  std::size_t want_fetch = 0, want_evict = 0;
+
+  // Task-side ground truth: queued ids per shard, and per-PE claims /
+  // per-block refcounts held by admitted prefetch tasks.
+  std::unordered_map<const TaskRec*, std::uint32_t> want_waits;
+  std::unordered_map<ooc::BlockId, std::uint32_t> want_ref;
+  std::vector<std::uint64_t> want_claims(pe_claims_.size(), 0);
+  std::size_t queued = 0, records = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& sh = shards_[s];
+    std::unordered_map<ooc::TaskId, std::size_t> in_q;
+    for (const auto& q : sh.wait_q) {
+      for (const ooc::TaskId t : q) {
+        ++queued;
+        ++in_q[t];
+        if (sh.tasks.find(t) == sh.tasks.end()) {
+          fail("shard " + std::to_string(s) + ": queued task " +
+               std::to_string(t) + " has no record");
+        }
+      }
+    }
+    records += sh.tasks.size();
+    for (const auto& [id, tr] : sh.tasks) {
+      if (in_q.count(id)) continue; // waiting: holds nothing yet
+      want_claims[static_cast<std::size_t>(tr->desc.pe)] += tr->claim_bytes;
+      if (tr->missing.load(std::memory_order_relaxed) > 0) {
+        want_waits.emplace(tr.get(), 0);
+      }
+      if (!tr->desc.prefetch) continue;
+      for (const auto& d : tr->desc.deps) ++want_ref[d.block];
+    }
+  }
+
+  const std::uint64_t n = n_blocks_.load(std::memory_order_acquire);
+  for (std::uint64_t b = 0; b < n; ++b) {
+    BlockRec* chunk =
+        chunks_[static_cast<std::size_t>(b) >> kChunkShift].load(
+            std::memory_order_acquire);
+    if (chunk == nullptr) continue;
+    const BlockRec& br =
+        chunk[static_cast<std::size_t>(b) & (kChunkSize - 1)];
+    if (!br.live) continue;
+    const std::string tag = "block " + std::to_string(b) + ": ";
+    if (br.level < 0 || br.level >= static_cast<std::int32_t>(levels) ||
+        br.from_level < -1 ||
+        br.from_level >= static_cast<std::int32_t>(levels) ||
+        br.from_level == br.level) {
+      fail(tag + "bad level pair " + std::to_string(br.level) + " <- " +
+           std::to_string(br.from_level));
+      continue;
+    }
+    want_used[static_cast<std::size_t>(br.level)] += br.bytes;
+    if (br.from_level >= 0) {
+      want_used[static_cast<std::size_t>(br.from_level)] += br.bytes;
+      if (br.level == 0) {
+        ++want_fetch;
+      } else {
+        ++want_evict;
+      }
+    }
+    if (!br.waiters.empty() &&
+        state_of(br) != ooc::BlockState::FetchInFlight) {
+      fail(tag + "has fetch waiters but no fetch in flight");
+    }
+    for (const TaskRec* w : br.waiters) {
+      auto it = want_waits.find(w);
+      if (it == want_waits.end()) {
+        fail(tag + "waiter is not an admitted task with missing deps");
+      } else {
+        ++it->second;
+      }
+    }
+    const auto ref = want_ref.find(b);
+    const std::uint32_t wr = ref == want_ref.end() ? 0 : ref->second;
+    if (br.refcount != wr) {
+      fail(tag + "refcount " + std::to_string(br.refcount) +
+           " but admitted tasks reference it " + std::to_string(wr) + "x");
+    }
+    if (at_quiescence) {
+      if (br.refcount != 0) fail(tag + "refcount held at quiescence");
+      if (br.from_level >= 0) fail(tag + "still migrating at quiescence");
+      if (!br.waiters.empty()) fail(tag + "waiters at quiescence");
+    }
+  }
+
+  for (const auto& [tr, seen] : want_waits) {
+    const std::uint32_t missing =
+        tr->missing.load(std::memory_order_relaxed);
+    if (missing != seen) {
+      fail("task " + std::to_string(tr->desc.id) + ": missing " +
+           std::to_string(missing) + " != " + std::to_string(seen) +
+           " waiter entries");
+    }
+  }
+
+  // Budgets: TierBudget::used() must equal the block-record sum for
+  // every bounded level (exact here — all mutators are locked out).
+  for (std::size_t k = 0; k + 1 < levels; ++k) {
+    const std::uint64_t used = budgets_[k]->used();
+    if (used != want_used[k]) {
+      fail("level " + std::to_string(k) + ": budget used " +
+           std::to_string(used) + " != " + std::to_string(want_used[k]) +
+           " summed over block records");
+    }
+  }
+
+  if (queued != n_waiting_.load(std::memory_order_acquire)) {
+    fail("n_waiting " + std::to_string(n_waiting_.load()) + " != " +
+         std::to_string(queued) + " queued tasks");
+  }
+  const std::size_t live = records - queued;
+  if (live != n_live_.load(std::memory_order_acquire)) {
+    fail("n_live " + std::to_string(n_live_.load()) + " != " +
+         std::to_string(live) + " admitted task records");
+  }
+  if (want_fetch != n_inflight_fetch_.load(std::memory_order_acquire) ||
+      want_evict != n_inflight_evict_.load(std::memory_order_acquire)) {
+    fail("in-flight counters fetch=" +
+         std::to_string(n_inflight_fetch_.load()) + "/evict=" +
+         std::to_string(n_inflight_evict_.load()) +
+         " != block records fetch=" + std::to_string(want_fetch) +
+         "/evict=" + std::to_string(want_evict));
+  }
+  for (std::size_t pe = 0; pe < pe_claims_.size(); ++pe) {
+    const std::uint64_t held =
+        pe_claims_[pe].bytes.load(std::memory_order_relaxed);
+    if (held != want_claims[pe]) {
+      fail("pe " + std::to_string(pe) + ": claim ledger " +
+           std::to_string(held) + " != " + std::to_string(want_claims[pe]) +
+           " over admitted tasks");
+    }
+  }
+  if (at_quiescence && !quiescent()) {
+    fail("quiescent() false at claimed quiescence");
+  }
+  return v;
 }
 
 } // namespace hmr::rt

@@ -136,6 +136,24 @@ public:
   std::int32_t block_level(ooc::BlockId b) const;
   std::uint32_t refcount(ooc::BlockId b) const;
 
+  /// Engine events processed since construction (any kind).  The stall
+  /// watchdog reads this as a progress signal: outstanding work with
+  /// this counter frozen means the protocol is wedged, not slow.
+  std::uint64_t events_processed() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+  /// Cross-check the bookkeeping against ground truth recomputed from
+  /// the block/task records: per-level TierBudget used-bytes vs the
+  /// sum of resident + in-flight block sizes, waiting/live/in-flight
+  /// counters, per-PE claim ledgers, refcounts vs admitted tasks'
+  /// dependence lists, waiter-list sanity.  Returns one line per
+  /// violation (empty = clean).  Takes every shard, registry and
+  /// stripe lock; exact only at quiescence (budget releases commit
+  /// outside the stripe critical sections), which is when the Runtime
+  /// calls it — from wait_idle with `at_quiescence = true`.
+  std::vector<std::string> audit_invariants(bool at_quiescence) const;
+
 private:
   static constexpr std::size_t kStripes = 64;
   static constexpr std::size_t kChunkShift = 9; // 512 blocks per chunk
@@ -242,6 +260,7 @@ private:
   std::vector<std::atomic<BlockRec*>> chunks_;
   std::atomic<std::uint64_t> n_blocks_{0};
 
+  alignas(64) std::atomic<std::uint64_t> events_{0};
   alignas(64) std::atomic<std::size_t> n_waiting_{0};
   alignas(64) std::atomic<std::size_t> n_live_{0};
   alignas(64) std::atomic<std::size_t> n_inflight_fetch_{0};

@@ -4,12 +4,25 @@
 #include <cmath>
 #include <cstdio>
 
+#include "telemetry/audit.hpp"
 #include "telemetry/bridge.hpp"
 #include "util/check.hpp"
 
 namespace hmr::sim {
 
 namespace {
+
+/// End-of-run invariant audit: the DES drives the serial engine from
+/// one thread and both run() exits require quiescence first, so the
+/// audit is always exact here.  Aborts on violation (check_audit).
+void final_audit(const ooc::PolicyEngine& engine, double now, int knob) {
+  if (!telemetry::audit_enabled(knob)) return;
+  telemetry::AuditReport r;
+  r.time = now;
+  r.at_quiescence = true;
+  r.violations = engine.audit_invariants(true);
+  telemetry::check_audit(r);
+}
 
 ooc::PolicyEngine::Config engine_config(const SimConfig& cfg) {
   ooc::PolicyEngine::Config ec;
@@ -404,7 +417,8 @@ void SimExecutor::export_metrics() {
       .set(tracer_.dropped());
   const auto& tiers = engine_.tiers();
   for (std::int32_t k = 0; k < engine_.num_levels(); ++k) {
-    const std::string labels = "level=\"" + std::to_string(k) + "\"";
+    const std::string labels =
+        telemetry::prom_label("level", std::to_string(k));
     reg.gauge("hmr_tier_used_bytes", labels,
               "Bytes claimed on the hierarchy level")
         .set(static_cast<double>(engine_.tier_used(k)));
@@ -535,6 +549,7 @@ SimResult SimExecutor::run(const Workload& w) {
     result_.final_strategy = engine_.config().strategy;
     result_.final_eager_evict = engine_.config().eager_evict;
     if (tracer_.enabled()) tracer_.fill_idle(0, now_);
+    final_audit(engine_, now_, cfg_.audit);
     export_metrics();
     return result_;
   }
@@ -603,6 +618,7 @@ SimResult SimExecutor::run(const Workload& w) {
   result_.final_eager_evict = engine_.config().eager_evict;
   if (governor_) result_.governor_switches = governor_->switches();
   if (tracer_.enabled()) tracer_.fill_idle(0, now_);
+  final_audit(engine_, now_, cfg_.audit);
   export_metrics();
   return result_;
 }

@@ -84,6 +84,11 @@ struct SimConfig {
   /// virtual migrations, so this is opt-in unlike the rt executor).
   std::size_t flight_depth = 0;
 
+  /// Engine invariant audit at the end of run(): -1 = auto (on in
+  /// debug / sanitizer builds, HMR_AUDIT env overrides), 0 = off,
+  /// 1 = on.  A violation aborts (telemetry::check_audit).
+  int audit = -1;
+
   /// Model KNL *cache mode* instead of flat mode (paper §III-B; the
   /// comparison the paper defers to future work).  All blocks live in
   /// DDR4 and the hardware transparently caches them in MCDRAM; task

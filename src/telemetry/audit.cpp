@@ -1,0 +1,64 @@
+#include "telemetry/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "telemetry/metrics.hpp" // json_escape
+
+namespace hmr::telemetry {
+
+bool audit_enabled(int config) {
+  if (const char* env = std::getenv("HMR_AUDIT");
+      env != nullptr && env[0] != '\0') {
+    return std::strcmp(env, "0") != 0;
+  }
+  if (config >= 0) return config != 0;
+#if !defined(NDEBUG) || defined(HMR_AUDIT_DEFAULT)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::string format_audit(const AuditReport& r) {
+  char head[96];
+  std::snprintf(head, sizeof head, "audit at t=%.3f s%s: ", r.time,
+                r.at_quiescence ? " (quiescent)" : "");
+  std::string out(head);
+  if (r.ok()) {
+    out += "clean\n";
+    return out;
+  }
+  out += std::to_string(r.violations.size()) + " violation(s)\n";
+  for (std::size_t i = 0; i < r.violations.size(); ++i) {
+    out += "  [" + std::to_string(i + 1) + "] " + r.violations[i] + "\n";
+  }
+  return out;
+}
+
+void write_audit_json(std::ostream& os, const AuditReport& r) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", r.time);
+  os << "{\"time\":" << buf
+     << ",\"at_quiescence\":" << (r.at_quiescence ? "true" : "false")
+     << ",\"ok\":" << (r.ok() ? "true" : "false") << ",\"violations\":[";
+  for (std::size_t i = 0; i < r.violations.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"";
+    json_escape(os, r.violations[i]);
+    os << "\"";
+  }
+  os << "]}";
+}
+
+void check_audit(const AuditReport& r) {
+  if (r.ok()) return;
+  std::fputs(format_audit(r).c_str(), stderr);
+  std::fprintf(stderr,
+               "hmr: invariant audit failed -- engine bookkeeping has "
+               "diverged from ground truth, aborting\n");
+  std::abort();
+}
+
+} // namespace hmr::telemetry

@@ -42,7 +42,7 @@ void export_contention(MetricsRegistry& reg,
                        const trace::ContentionStats& cs) {
   for (std::size_t s = 0; s < cs.shards(); ++s) {
     const auto t = cs.shard_totals(s);
-    const std::string labels = "shard=\"" + std::to_string(s) + "\"";
+    const std::string labels = prom_label("shard", std::to_string(s));
     reg.counter("hmr_lock_acquisitions_total", labels,
                 "Scheduler lock acquisitions")
         .set(t.acquisitions);

@@ -1,0 +1,117 @@
+#include "telemetry/crash.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace hmr::telemetry {
+
+namespace {
+
+// Previous dispositions, restored on uninstall and before re-raise.
+struct sigaction g_prev[3];
+const int g_sigs[3] = {SIGSEGV, SIGBUS, SIGABRT};
+
+// write() the whole buffer, tolerating short writes and EINTR.  Only
+// async-signal-safe calls.
+void raw_write(int fd, const char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return; // nothing more we can do in a handler
+    }
+    p += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void raw_puts(int fd, const char* s) { raw_write(fd, s, std::strlen(s)); }
+
+const char* sig_name(int sig) {
+  switch (sig) {
+  case SIGSEGV: return "SIGSEGV";
+  case SIGBUS: return "SIGBUS";
+  case SIGABRT: return "SIGABRT";
+  default: return "signal";
+  }
+}
+
+} // namespace
+
+CrashDumper& CrashDumper::instance() {
+  static CrashDumper d;
+  return d;
+}
+
+void CrashDumper::install(const std::string& path) {
+  int fd = 2;
+  if (!path.empty()) {
+    const int f = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (f >= 0) fd = f;
+  }
+  const int old_fd = fd_.exchange(fd, std::memory_order_acq_rel);
+  if (old_fd > 2) ::close(old_fd);
+
+  if (!installed_.exchange(true, std::memory_order_acq_rel)) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = &CrashDumper::handler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESETHAND: we restore the old disposition ourselves so the
+    // re-raise reaches whoever was there before (sanitizers, default).
+    sa.sa_flags = 0;
+    for (int i = 0; i < 3; ++i) sigaction(g_sigs[i], &sa, &g_prev[i]);
+  }
+}
+
+void CrashDumper::uninstall() {
+  if (!installed_.exchange(false, std::memory_order_acq_rel)) return;
+  for (int i = 0; i < 3; ++i) sigaction(g_sigs[i], &g_prev[i], nullptr);
+  const int old_fd = fd_.exchange(2, std::memory_order_acq_rel);
+  if (old_fd > 2) ::close(old_fd);
+}
+
+void CrashDumper::publish(std::string_view bundle) {
+  const int cur = current_.load(std::memory_order_acquire);
+  const int next = cur == 0 ? 1 : 0;
+  Buf& b = bufs_[next];
+  b.len = bundle.size() < kBufBytes ? bundle.size() : kBufBytes;
+  std::memcpy(b.data, bundle.data(), b.len);
+  current_.store(next, std::memory_order_release);
+}
+
+void CrashDumper::handler(int sig) { instance().on_signal(sig); }
+
+void CrashDumper::on_signal(int sig) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  raw_puts(fd, "\n==== hmr crash dump: caught ");
+  raw_puts(fd, sig_name(sig));
+  raw_puts(fd, " ====\n");
+
+  const int cur = current_.load(std::memory_order_acquire);
+  if (cur < 0) {
+    raw_puts(fd, "(no diagnostic bundle was published before the crash)\n");
+  } else {
+    raw_puts(fd,
+             "bundle below is from the last safe point before the crash "
+             "(wait_idle or watchdog tick), not the instant of death:\n");
+    raw_write(fd, bufs_[cur].data, bufs_[cur].len);
+  }
+  raw_puts(fd, "==== end hmr crash dump ====\n");
+
+  // Restore the previous disposition and re-raise so cores, sanitizer
+  // reports and the exit status are exactly what they would have been.
+  for (int i = 0; i < 3; ++i) {
+    if (g_sigs[i] == sig) {
+      sigaction(sig, &g_prev[i], nullptr);
+      break;
+    }
+  }
+  ::raise(sig);
+}
+
+} // namespace hmr::telemetry

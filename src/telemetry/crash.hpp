@@ -1,0 +1,79 @@
+#pragma once
+// CrashDumper: leave a usable diagnostic bundle when the process dies.
+//
+// A SIGSEGV inside a memcpy or a CHECK-abort deep in the policy
+// leaves nothing but a core file — the flight recorder, metrics and
+// status that would explain the death evaporate with the process.
+// Almost nothing is legal in a signal handler, so the design inverts
+// the usual dump-on-crash flow:
+//
+//   * the owner (the Runtime) *pre-renders* the bundle at safe points
+//     (every wait_idle and watchdog tick) into one of two buffers and
+//     publishes it with an atomic index — plain memory, no locks held
+//     by the handler's victim;
+//   * the handler itself only write()s: a banner with the signal
+//     number, then the most recently published buffer, to stderr or
+//     an fd opened at install time.  write(), the two atomic loads
+//     and raise() are all async-signal-safe;
+//   * then it restores the previous disposition and re-raises, so
+//     cores, sanitizer reports and exit codes are unchanged.
+//
+// The bundle is therefore as stale as the last safe point — honest
+// best-effort, stated in the banner.  Opt-in via Config::crash_dump.
+// Process-global (signal dispositions are): one instance, last
+// install wins.
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace hmr::telemetry {
+
+class CrashDumper {
+public:
+  /// The process-wide instance (signal handlers need a global).
+  static CrashDumper& instance();
+
+  /// Install handlers for SIGSEGV / SIGBUS / SIGABRT.  `path` empty =
+  /// dump to stderr, else append to the file (opened now, so the
+  /// handler never calls open()).  Idempotent; re-install switches
+  /// the destination.
+  void install(const std::string& path = "");
+
+  /// Restore the previous signal dispositions.  The published bundle
+  /// survives (harmless: nothing reads it).
+  void uninstall();
+
+  bool installed() const {
+    return installed_.load(std::memory_order_acquire);
+  }
+
+  /// Publish a fresh bundle snapshot (called from normal context at
+  /// safe points; any thread, but callers serialize — the Runtime
+  /// publishes under its idle mutex).  Truncates to the fixed buffer.
+  void publish(std::string_view bundle);
+
+  static constexpr std::size_t kBufBytes = 128 * 1024;
+
+private:
+  CrashDumper() = default;
+
+  static void handler(int sig);
+  void on_signal(int sig);
+
+  // Double buffer + atomic index: publish() fills the inactive half
+  // and flips; the handler reads whichever index is current.  A
+  // publish racing the handler can at worst hand it the previous
+  // complete bundle.
+  struct Buf {
+    char data[kBufBytes];
+    std::size_t len = 0;
+  };
+  Buf bufs_[2];
+  std::atomic<int> current_{-1}; // -1 = nothing published yet
+  std::atomic<int> fd_{2};       // destination; 2 = stderr
+  std::atomic<bool> installed_{false};
+};
+
+} // namespace hmr::telemetry

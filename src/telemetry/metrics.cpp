@@ -23,7 +23,75 @@ std::string full_name(const MetricDesc& d) {
   return d.name + "{" + d.labels + "}";
 }
 
-void json_escape(std::ostream& os, const std::string& s) {
+/// HELP text escaping per the exposition format: only `\` and
+/// newline are special (label *values* additionally escape `"`, done
+/// in prom_label at construction time since labels are stored as
+/// already-rendered `key="value"` text).
+void prom_escape_help(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+}
+
+/// HELP/TYPE preamble, once per metric name (labeled series share it).
+void prometheus_preamble(std::ostream& os, const MetricDesc& d,
+                         const char* type, std::string& last_name) {
+  if (d.name == last_name) return;
+  last_name = d.name;
+  if (!d.help.empty()) {
+    os << "# HELP " << d.name << " ";
+    prom_escape_help(os, d.help);
+    os << "\n";
+  }
+  os << "# TYPE " << d.name << " " << type << "\n";
+}
+
+/// A raw newline inside a stored label string would break the
+/// line-oriented exposition format no matter how values were escaped.
+void validate_desc(const std::string& name, const std::string& labels) {
+  HMR_CHECK_MSG(valid_metric_name(name),
+                "invalid metric name (want [a-zA-Z_:][a-zA-Z0-9_:]*)");
+  HMR_CHECK_MSG(labels.find('\n') == std::string::npos,
+                "raw newline in label string (use prom_label)");
+}
+
+} // namespace
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+std::string prom_label(std::string_view key, std::string_view value) {
+  HMR_CHECK_MSG(valid_metric_name(key) &&
+                    key.find(':') == std::string_view::npos,
+                "invalid label key");
+  std::string out(key);
+  out += "=\"";
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+void json_escape(std::ostream& os, std::string_view s) {
   for (const char c : s) {
     switch (c) {
       case '"': os << "\\\""; break;
@@ -41,17 +109,6 @@ void json_escape(std::ostream& os, const std::string& s) {
     }
   }
 }
-
-/// HELP/TYPE preamble, once per metric name (labeled series share it).
-void prometheus_preamble(std::ostream& os, const MetricDesc& d,
-                         const char* type, std::string& last_name) {
-  if (d.name == last_name) return;
-  last_name = d.name;
-  if (!d.help.empty()) os << "# HELP " << d.name << " " << d.help << "\n";
-  os << "# TYPE " << d.name << " " << type << "\n";
-}
-
-} // namespace
 
 const MetricsSnapshot::CounterVal* MetricsSnapshot::counter(
     const std::string& name, const std::string& labels) const {
@@ -97,6 +154,7 @@ const MetricsRegistry::Registered* MetricsRegistry::find_locked(
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& labels,
                                   const std::string& help) {
+  validate_desc(name, labels);
   std::lock_guard lk(mu_);
   const std::string key = key_of(name, labels);
   if (const Registered* r = find_locked(key)) {
@@ -113,6 +171,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& labels,
                               const std::string& help) {
+  validate_desc(name, labels);
   std::lock_guard lk(mu_);
   const std::string key = key_of(name, labels);
   if (const Registered* r = find_locked(key)) {
@@ -129,6 +188,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const std::string& labels,
                                       const std::string& help) {
+  validate_desc(name, labels);
   std::lock_guard lk(mu_);
   const std::string key = key_of(name, labels);
   if (const Registered* r = find_locked(key)) {

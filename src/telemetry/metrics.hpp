@@ -37,10 +37,26 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 namespace hmr::telemetry {
+
+/// Prometheus metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*.  The
+/// registry rejects (HMR_CHECK) anything else at registration — a bad
+/// name would silently corrupt the whole exposition page.
+bool valid_metric_name(std::string_view name);
+
+/// Build one `key="value"` label pair with the value escaped per the
+/// exposition format (`\` -> `\\`, `"` -> `\"`, newline -> `\n`).
+/// Join pairs with "," to form MetricDesc::labels.  Dies on an invalid
+/// key (same charset as metric names, minus ':').
+std::string prom_label(std::string_view key, std::string_view value);
+
+/// JSON string-body escaping (no surrounding quotes); shared by the
+/// metrics JSON writer and the status server.
+void json_escape(std::ostream& os, std::string_view s);
 
 class Counter {
 public:

@@ -1,0 +1,222 @@
+#include "telemetry/serve.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace hmr::telemetry {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+/// Write all of `s`, tolerating short writes; false on error.
+bool write_all(int fd, const std::string& s) {
+  std::size_t off = 0;
+  while (off < s.size()) {
+    const ssize_t n = ::write(fd, s.data() + off, s.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string pct_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_val(s[i + 1]), lo = hex_val(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i] == '+' ? ' ' : s[i]);
+  }
+  return out;
+}
+
+} // namespace
+
+std::map<std::string, std::string> StatusServer::parse_query(
+    const std::string& raw) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    std::size_t amp = raw.find('&', pos);
+    if (amp == std::string::npos) amp = raw.size();
+    const std::string pair = raw.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      if (!pair.empty()) out[pct_decode(pair)] = "";
+    } else {
+      out[pct_decode(pair.substr(0, eq))] = pct_decode(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+StatusServer::~StatusServer() { stop(); }
+
+void StatusServer::route(std::string path, Handler h) {
+  HMR_CHECK_MSG(!running(), "route() after start()");
+  routes_.emplace_back(std::move(path), std::move(h));
+}
+
+bool StatusServer::start(std::uint16_t port, std::string* err) {
+  if (running()) return true;
+  const auto fail = [&](const char* what) {
+    if (err != nullptr) {
+      *err = std::string(what) + ": " + std::strerror(errno);
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 16) != 0) return fail("listen");
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void StatusServer::stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void StatusServer::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (r <= 0) continue; // timeout or EINTR: re-check the stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    serve_client(fd);
+    ::close(fd);
+  }
+}
+
+void StatusServer::serve_client(int fd) {
+  // Read until the end of the request head; diagnostics GETs have no
+  // body.  Cap the head and bound the wait so a stuck client cannot
+  // pin the accept thread.
+  std::string head;
+  char buf[2048];
+  while (head.size() < 16 * 1024 &&
+         head.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/2000) <= 0) return;
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // Request line: METHOD SP target SP version.
+  const std::size_t eol = head.find("\r\n");
+  if (eol == std::string::npos) return;
+  const std::string line = head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  Response resp;
+  Request req;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp = {400, "text/plain; charset=utf-8", "malformed request line\n"};
+  } else if (line.substr(0, sp1) != "GET") {
+    resp = {400, "text/plain; charset=utf-8", "only GET is supported\n"};
+  } else {
+    const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t qm = target.find('?');
+    req.path = qm == std::string::npos ? target : target.substr(0, qm);
+    if (qm != std::string::npos) {
+      req.query = parse_query(target.substr(qm + 1));
+    }
+    const Handler* handler = nullptr;
+    for (const auto& [path, h] : routes_) {
+      if (path == req.path) {
+        handler = &h;
+        break;
+      }
+    }
+    if (handler != nullptr) {
+      resp = (*handler)(req);
+    } else {
+      resp.status = 404;
+      resp.body = "unknown path " + req.path + "; routes:\n";
+      for (const auto& [path, h] : routes_) resp.body += "  " + path + "\n";
+    }
+  }
+
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    status_text(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  write_all(fd, out);
+}
+
+} // namespace hmr::telemetry

@@ -1,0 +1,90 @@
+#pragma once
+// StatusServer: a tiny dependency-free HTTP/1.1 endpoint for live
+// introspection of a running runtime.
+//
+// The telemetry stack so far is strictly post-mortem: rings are
+// drained into CSV/Perfetto dumps and the metrics registry is read
+// after the fact.  Related work argues for *live* feedback on
+// heterogeneous-memory placement (arXiv:2110.02150 drives placement
+// from online profiles; arXiv:2505.14294 tunes pool ratios while the
+// application runs); the operational half of that is being able to
+// curl a running job.  This server is deliberately minimal:
+//
+//   * plain POSIX sockets, one accept thread, loopback by default —
+//     no TLS, no auth, no framework.  It serves diagnostics, not
+//     traffic; binding beyond 127.0.0.1 is the caller's decision;
+//   * GET only; handlers are registered per exact path and receive
+//     the parsed query string (`/blocks?id=7`);
+//   * requests are served sequentially on the accept thread.  A
+//     handler runs runtime introspection (mutex + snapshot work, no
+//     blocking I/O), so one slow client cannot wedge anything but its
+//     own curl.
+//
+// The Runtime wires /metrics, /status, /blocks and /healthz
+// (docs/OBSERVABILITY.md §7); the server itself is generic and
+// testable with a plain client socket.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hmr::telemetry {
+
+class StatusServer {
+public:
+  struct Request {
+    std::string path;
+    std::map<std::string, std::string> query;
+  };
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  using Handler = std::function<Response(const Request&)>;
+
+  StatusServer() = default;
+  ~StatusServer();
+
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  /// Register a handler for an exact path (no patterns).  Must be
+  /// called before start().
+  void route(std::string path, Handler h);
+
+  /// Bind 127.0.0.1:port (0 = ephemeral, read back via port()) and
+  /// start the accept thread.  Returns false with *err filled on any
+  /// socket failure.  Idempotent once started.
+  bool start(std::uint16_t port, std::string* err = nullptr);
+
+  /// Stop the accept thread and close the socket.  Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (after start(); the actual one when port 0 was
+  /// requested).
+  std::uint16_t port() const { return port_; }
+
+  /// Percent-decode + split a raw query string ("a=1&b=x%2Fy").
+  /// Exposed for tests.
+  static std::map<std::string, std::string> parse_query(
+      const std::string& raw);
+
+private:
+  void accept_loop();
+  void serve_client(int fd);
+
+  std::vector<std::pair<std::string, Handler>> routes_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+};
+
+} // namespace hmr::telemetry

@@ -1,0 +1,135 @@
+#include "telemetry/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace hmr::telemetry {
+
+Watchdog::Watchdog(Config cfg, Hooks hooks)
+    : cfg_(std::move(cfg)), hooks_(std::move(hooks)) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start() {
+  std::lock_guard lk(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard lk(mu_);
+  running_ = false;
+}
+
+std::string Watchdog::last_reason() const {
+  std::lock_guard lk(mu_);
+  return reason_;
+}
+
+void Watchdog::loop() {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    {
+      std::unique_lock lk(mu_);
+      if (cv_.wait_for(lk, cfg_.interval, [&] { return stop_; })) return;
+    }
+    if (hooks_.tick) hooks_.tick();
+    evaluate(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count());
+  }
+}
+
+void Watchdog::evaluate(double now_seconds) {
+  const std::uint64_t progress = hooks_.progress ? hooks_.progress() : 0;
+  const bool loaded = hooks_.under_load && hooks_.under_load();
+
+  if (progress != last_progress_ || !loaded) {
+    // Forward motion (or nothing outstanding): reset the window and
+    // re-arm the trip for the next episode.
+    last_progress_ = progress;
+    stall_since_ = -1;
+    fired_ = false;
+    stalled_.store(false, std::memory_order_relaxed);
+  } else {
+    if (stall_since_ < 0) stall_since_ = now_seconds;
+    if (!fired_ && now_seconds - stall_since_ >= cfg_.stall_seconds) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "no progress under load for %.2f s (progress counter "
+                    "frozen at %llu with work outstanding)",
+                    now_seconds - stall_since_,
+                    static_cast<unsigned long long>(progress));
+      trip(now_seconds, buf);
+    }
+  }
+
+  // Independent check: a single stuck fetch stalls its waiters long
+  // before the global counters freeze.
+  const double age = hooks_.fetch_age ? hooks_.fetch_age() : -1;
+  if (!fired_ && age >= 0) {
+    const double p99 = hooks_.fetch_p99 ? hooks_.fetch_p99() : 0;
+    const double limit =
+        std::max(cfg_.stall_seconds,
+                 p99 > 0 ? cfg_.fetch_factor * p99 : cfg_.stall_seconds);
+    if (age > limit) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "fetch in flight for %.2f s (limit %.2f s = max(stall "
+                    "window, %.0fx observed p99))",
+                    age, limit, cfg_.fetch_factor);
+      trip(now_seconds, buf);
+    }
+  }
+}
+
+void Watchdog::trip(double now_seconds, const std::string& reason) {
+  fired_ = true;
+  stalled_.store(true, std::memory_order_relaxed);
+  trips_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lk(mu_);
+    reason_ = reason;
+  }
+  std::fprintf(stderr, "hmr: WATCHDOG at t=%.2f s: %s\n", now_seconds,
+               reason.c_str());
+  if (cfg_.escalation == Escalation::Warn) return;
+
+  if (hooks_.dump) {
+    if (cfg_.dump_path.empty()) {
+      std::ostringstream os;
+      hooks_.dump(os);
+      std::fputs(os.str().c_str(), stderr);
+    } else {
+      std::ofstream f(cfg_.dump_path, std::ios::app);
+      if (f) {
+        f << "==== watchdog trip at t=" << now_seconds << " s: " << reason
+          << " ====\n";
+        hooks_.dump(f);
+      } else {
+        std::fprintf(stderr, "hmr: watchdog cannot open dump file %s\n",
+                     cfg_.dump_path.c_str());
+      }
+    }
+  }
+  if (cfg_.escalation == Escalation::Abort) {
+    std::fprintf(stderr, "hmr: watchdog escalation=abort\n");
+    std::abort();
+  }
+}
+
+} // namespace hmr::telemetry

@@ -165,6 +165,7 @@ TraceSummary Tracer::summarize(std::int32_t worker_lanes) const {
   }
   s.span = first ? 0 : hi - lo;
   s.migrations = pair_vector(pairs);
+  s.dropped = rings_.dropped();
   return s;
 }
 
@@ -200,6 +201,7 @@ TraceSummary Tracer::summarize(std::int32_t worker_lanes, double t0,
   }
   s.span = first ? 0 : hi - lo;
   s.migrations = pair_vector(pairs);
+  s.dropped = rings_.dropped();
   return s;
 }
 
@@ -248,6 +250,9 @@ void Tracer::write_csv(std::ostream& os) const {
         .field(iv.bytes);
     csv.end_row();
   }
+  // Trailer comment so offline consumers (tools/hmr_trace) can see
+  // drops the rows themselves cannot show.
+  os << "# dropped=" << dropped() << "\n";
 }
 
 void Tracer::write_chrome_trace(std::ostream& os) const {

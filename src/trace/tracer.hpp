@@ -61,6 +61,10 @@ struct TraceSummary {
   // Per-category totals in lane-seconds.
   double total[6] = {0, 0, 0, 0, 0, 0};
   std::uint64_t count[6] = {0, 0, 0, 0, 0, 0};
+  /// Ring-full drops at the time the summary was cut.  Nonzero means
+  /// the totals above undercount: that many events never made it into
+  /// the log at all (lane attribution of the loss is unknown).
+  std::uint64_t dropped = 0;
 
   /// Migration traffic between one ordered tier pair (src -> dst),
   /// summed over every migration interval that carried bytes.

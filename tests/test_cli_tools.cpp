@@ -1,0 +1,150 @@
+// Golden-file tests for the CLI tools (tools/hmr_trace,
+// tools/hmr_bench_diff), driven through popen the way a user or a CI
+// step would run them.  The binaries' paths and the golden directory
+// arrive as compile definitions from tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run(const std::string& cmd) {
+  RunResult r;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (!pipe) return r;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    r.output.append(buf, n);
+  }
+  const int status = ::pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string golden(const std::string& file) {
+  std::ifstream f(std::string(HMR_GOLDEN_DIR) + "/" + file);
+  EXPECT_TRUE(f.good()) << "missing golden file " << file;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// Tools are run from inside the golden directory so the input path the
+// tool echoes back is the stable relative name, not a build path.
+std::string in_golden_dir(const std::string& tool_and_args) {
+  return "cd '" HMR_GOLDEN_DIR "' && " + tool_and_args;
+}
+
+// ---- hmr_trace ----
+
+TEST(HmrTrace, SummaryMatchesGolden) {
+  const RunResult r = run(
+      in_golden_dir(std::string("'") + HMR_TRACE_TOOL +
+                    "' --in trace_small.csv 2>/dev/null"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, golden("trace_small.out"));
+}
+
+TEST(HmrTrace, TimelineMatchesGolden) {
+  const RunResult r = run(
+      in_golden_dir(std::string("'") + HMR_TRACE_TOOL +
+                    "' --in trace_small.csv --timeline --width 60 "
+                    "2>/dev/null"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, golden("trace_small_timeline.out"));
+}
+
+TEST(HmrTrace, CleanTraceEmitsNoWarning) {
+  const RunResult r = run(
+      in_golden_dir(std::string("'") + HMR_TRACE_TOOL +
+                    "' --in trace_small.csv 2>&1 1>/dev/null"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, ""); // stderr must stay silent on a clean trace
+}
+
+TEST(HmrTrace, DroppedTrailerCountsAndWarns) {
+  const RunResult out = run(
+      in_golden_dir(std::string("'") + HMR_TRACE_TOOL +
+                    "' --in trace_drops.csv 2>/dev/null"));
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_NE(out.output.find("ring drops: 7"), std::string::npos);
+  const RunResult err = run(
+      in_golden_dir(std::string("'") + HMR_TRACE_TOOL +
+                    "' --in trace_drops.csv 2>&1 1>/dev/null"));
+  EXPECT_NE(err.output.find("WARNING: 7 events were dropped"),
+            std::string::npos);
+}
+
+TEST(HmrTrace, RejectsBadHeader) {
+  const RunResult r = run(
+      in_golden_dir(std::string("'") + HMR_TRACE_TOOL +
+                    "' --in bench_old.json 2>&1"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unrecognized header"), std::string::npos);
+}
+
+// ---- hmr_bench_diff ----
+
+std::string diff_cmd(const std::string& oldf, const std::string& newf,
+                     const std::string& extra = "") {
+  return in_golden_dir(std::string("'") + HMR_BENCH_DIFF_TOOL +
+                       "' --old " + oldf + " --new " + newf + " " +
+                       extra + " 2>&1");
+}
+
+TEST(HmrBenchDiff, WithinToleranceExitsZero) {
+  const RunResult r = run(diff_cmd("bench_old.json", "bench_new_ok.json"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("ok: "), std::string::npos);
+  EXPECT_EQ(r.output.find("REGRESSION"), std::string::npos);
+}
+
+TEST(HmrBenchDiff, SelfDiffIsExact) {
+  const RunResult r = run(
+      diff_cmd("bench_old.json", "bench_old.json", "--tolerance 0"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(HmrBenchDiff, RegressionsExitTwo) {
+  const RunResult r =
+      run(diff_cmd("bench_old.json", "bench_new_regress.json"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  // Slower wall clock, lower throughput, lower speedup, and a
+  // disappeared metric must each be flagged.
+  EXPECT_NE(r.output.find("configs.sharded.wall_s"), std::string::npos);
+  EXPECT_NE(r.output.find("metric disappeared"), std::string::npos);
+  EXPECT_NE(r.output.find("4 regression(s)"), std::string::npos);
+}
+
+TEST(HmrBenchDiff, OnlyRestrictsTheGate) {
+  // The regressing file passes when gated on its stable counters only.
+  const RunResult ok = run(diff_cmd("bench_old.json",
+                                    "bench_new_regress.json",
+                                    "--only bytes --tolerance 0"));
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+  // A suffix must match at a path-component boundary: "asks" is not
+  // a component of configs.global.tasks.
+  const RunResult none = run(
+      diff_cmd("bench_old.json", "bench_new_ok.json", "--only asks"));
+  EXPECT_EQ(none.exit_code, 1);
+  EXPECT_NE(none.output.find("matched no metric"), std::string::npos);
+}
+
+TEST(HmrBenchDiff, MissingFileExitsOne) {
+  const RunResult r = run(diff_cmd("bench_old.json", "no_such.json"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos);
+}
+
+} // namespace

@@ -386,6 +386,58 @@ TEST(TelemetryMetrics, PrometheusExposition) {
   EXPECT_TRUE(has_line(text, "hmr_lab_ns_count{shard=\"1\"} 1"));
 }
 
+TEST(TelemetryMetrics, PromLabelEscapesValues) {
+  EXPECT_EQ(telemetry::prom_label("app", "plain"), "app=\"plain\"");
+  EXPECT_EQ(telemetry::prom_label("app", "a\"b\\c\nd"),
+            "app=\"a\\\"b\\\\c\\nd\"");
+  // The result drops into an exposition line verbatim.
+  MetricsRegistry reg;
+  reg.counter("hmr_esc_total", telemetry::prom_label("cfg", "x\"y"))
+      .add(3);
+  std::ostringstream os;
+  MetricsRegistry::write_prometheus(os, reg.snapshot());
+  EXPECT_TRUE(has_line(os.str(), "hmr_esc_total{cfg=\"x\\\"y\"} 3"));
+}
+
+TEST(TelemetryMetrics, HelpTextEscaping) {
+  MetricsRegistry reg;
+  reg.counter("hmr_h_total", "", "line one\nback\\slash").add(1);
+  std::ostringstream os;
+  MetricsRegistry::write_prometheus(os, reg.snapshot());
+  EXPECT_TRUE(has_line(
+      os.str(), "# HELP hmr_h_total line one\\nback\\\\slash"));
+}
+
+TEST(TelemetryMetrics, MetricNameValidation) {
+  EXPECT_TRUE(telemetry::valid_metric_name("hmr_ok_total"));
+  EXPECT_TRUE(telemetry::valid_metric_name("ns:sub_total"));
+  EXPECT_TRUE(telemetry::valid_metric_name("_x9"));
+  EXPECT_FALSE(telemetry::valid_metric_name(""));
+  EXPECT_FALSE(telemetry::valid_metric_name("9starts_with_digit"));
+  EXPECT_FALSE(telemetry::valid_metric_name("has-dash"));
+  EXPECT_FALSE(telemetry::valid_metric_name("has space"));
+}
+
+TEST(TelemetryMetricsDeathTest, RejectsMalformedRegistrations) {
+  MetricsRegistry reg;
+  EXPECT_DEATH(reg.counter("bad name"), "invalid metric name");
+  EXPECT_DEATH(reg.counter("hmr_ok", "a=\"b\nc\""), "raw newline");
+  EXPECT_DEATH(telemetry::prom_label("bad-key", "v"),
+               "invalid label key");
+}
+
+TEST(TelemetryTracer, SummaryCarriesRingDropCount) {
+  trace::Tracer::Options opt;
+  opt.ring_capacity = 8;
+  trace::Tracer t(true, opt);
+  for (int i = 0; i < 50; ++i) {
+    t.record(0, Category::Compute, i, i + 0.5, 1);
+  }
+  const auto s = t.summarize();
+  EXPECT_GT(s.dropped, 0u);
+  EXPECT_EQ(s.dropped, t.dropped());
+}
+
 TEST(TelemetryMetrics, JsonWriterIsStructurallySound) {
   MetricsRegistry reg;
   reg.counter("hmr_a_total").add(1);

@@ -1,0 +1,357 @@
+// hmr_bench_diff: compare two BENCH_*.json files and gate on trend.
+//
+// The benches write structured results (BENCH_rt_contention.json,
+// BENCH_abl_tier_cascade.json, ...) that CI has so far only uploaded.
+// This tool turns them into a regression gate: flatten every numeric
+// leaf of both files to a dotted path (array elements are keyed by
+// their "name"/"config"/"bench" string member when they have one, so
+// `configs.sharded.wall_s` stays stable when rows reorder), compare
+// old vs new, and exit nonzero when a metric moved the wrong way by
+// more than --tolerance.
+//
+// Direction is inferred from the metric name: throughput-ish names
+// (per_sec, speedup, gbps) must not drop, latency-ish names (wall_s,
+// total_s, lock_wait, contended, ctx_switches) must not grow, and
+// everything else is treated as a deterministic count that must not
+// move in either direction.  --only restricts the gate to a
+// comma-separated list of path suffixes, which is how CI checks a
+// wall-clock-noisy bench on its deterministic counters alone.
+//
+// Exit codes: 0 = within tolerance, 1 = usage/parse error,
+// 2 = regression.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/argparse.hpp"
+
+namespace {
+
+// ---- minimal JSON reader (objects/arrays/strings/numbers/literals),
+// just enough for the benches' own writers; no dependency added ----
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind =
+      Kind::Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj; // insertion order
+};
+
+class Parser {
+public:
+  Parser(const std::string& text, std::string* err)
+      : s_(text), err_(err) {}
+
+  bool parse(Value& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing garbage");
+    return true;
+  }
+
+private:
+  bool fail(const std::string& what) {
+    if (err_ && err_->empty()) {
+      *err_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string(std::string& out) {
+    if (s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case '"': case '\\': case '/': c = e; break;
+        default: return fail("unsupported escape"); // \uXXXX: benches
+        }                                           // never emit it
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= s_.size()) return fail("unterminated string");
+    ++pos_; // closing quote
+    return true;
+  }
+  bool value(Value& out) {
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    const char c = s_[pos_];
+    if (c == '{') {
+      out.kind = Value::Kind::Object;
+      ++pos_;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!string(key)) return false;
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_] != ':') {
+          return fail("expected ':'");
+        }
+        ++pos_;
+        skip_ws();
+        Value v;
+        if (!value(v)) return false;
+        out.obj.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (pos_ >= s_.size()) return fail("unterminated object");
+        if (s_[pos_] == ',') { ++pos_; continue; }
+        if (s_[pos_] == '}') { ++pos_; return true; }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      out.kind = Value::Kind::Array;
+      ++pos_;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+      for (;;) {
+        skip_ws();
+        Value v;
+        if (!value(v)) return false;
+        out.arr.push_back(std::move(v));
+        skip_ws();
+        if (pos_ >= s_.size()) return fail("unterminated array");
+        if (s_[pos_] == ',') { ++pos_; continue; }
+        if (s_[pos_] == ']') { ++pos_; return true; }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.kind = Value::Kind::String;
+      return string(out.str);
+    }
+    if (literal("true")) { out.kind = Value::Kind::Bool; out.b = true;
+                           return true; }
+    if (literal("false")) { out.kind = Value::Kind::Bool; return true; }
+    if (literal("null")) { return true; }
+    char* end = nullptr;
+    const double d = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return fail("expected value");
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    out.kind = Value::Kind::Number;
+    out.num = d;
+    return true;
+  }
+
+  const std::string& s_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+/// Stable key for an array element: a self-describing string member
+/// beats a positional index, which changes meaning when rows reorder.
+std::string element_key(const Value& v, std::size_t index) {
+  if (v.kind == Value::Kind::Object) {
+    for (const char* k : {"name", "config", "bench"}) {
+      for (const auto& [key, member] : v.obj) {
+        if (key == k && member.kind == Value::Kind::String) {
+          return member.str;
+        }
+      }
+    }
+  }
+  return std::to_string(index);
+}
+
+void flatten(const Value& v, const std::string& prefix,
+             std::map<std::string, double>& out) {
+  switch (v.kind) {
+  case Value::Kind::Number:
+    out[prefix] = v.num;
+    break;
+  case Value::Kind::Object:
+    for (const auto& [key, member] : v.obj) {
+      flatten(member, prefix.empty() ? key : prefix + "." + key, out);
+    }
+    break;
+  case Value::Kind::Array:
+    for (std::size_t i = 0; i < v.arr.size(); ++i) {
+      const std::string key = element_key(v.arr[i], i);
+      flatten(v.arr[i], prefix.empty() ? key : prefix + "." + key, out);
+    }
+    break;
+  default:
+    break; // strings/bools/null carry no trend to gate on
+  }
+}
+
+bool load(const std::string& path, std::map<std::string, double>& out) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "hmr_bench_diff: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  std::string err;
+  Value root;
+  if (!Parser(text, &err).parse(root)) {
+    std::fprintf(stderr, "hmr_bench_diff: %s: %s\n", path.c_str(),
+                 err.c_str());
+    return false;
+  }
+  flatten(root, "", out);
+  return true;
+}
+
+enum class Direction { HigherBetter, LowerBetter, Exact };
+
+bool contains_any(const std::string& s,
+                  std::initializer_list<const char*> tokens) {
+  for (const char* t : tokens) {
+    if (s.find(t) != std::string::npos) return true;
+  }
+  return false;
+}
+
+Direction direction_of(const std::string& path) {
+  // Classify by the leaf name only: a config called "throughput" must
+  // not drag every metric under it into higher-is-better.
+  const std::size_t dot = path.rfind('.');
+  const std::string leaf =
+      dot == std::string::npos ? path : path.substr(dot + 1);
+  if (contains_any(leaf, {"per_sec", "speedup", "gbps"})) {
+    return Direction::HigherBetter;
+  }
+  if (contains_any(leaf, {"wall_s", "total_s", "mono_s", "chunked_s",
+                          "wait", "contended", "ctx_switches"})) {
+    return Direction::LowerBetter;
+  }
+  return Direction::Exact; // deterministic count: no move allowed
+}
+
+/// --only suffix match on the dotted path: "tasks" or ".tasks" selects
+/// `configs.global.tasks` but not `tasks_per_sec` (the match must
+/// start at a path-component boundary).
+bool selected(const std::string& path,
+              const std::vector<std::string>& only) {
+  if (only.empty()) return true;
+  for (const std::string& pat : only) {
+    const std::string p = pat.front() == '.' ? pat.substr(1) : pat;
+    if (path == p) return true;
+    if (path.size() > p.size() &&
+        path.compare(path.size() - p.size(), p.size(), p) == 0 &&
+        path[path.size() - p.size() - 1] == '.') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string old_path, new_path, only_arg;
+  double tolerance = 0.10;
+  hmr::ArgParser ap("hmr_bench_diff",
+                    "Compare two BENCH_*.json files and fail on metric "
+                    "regressions beyond --tolerance.");
+  ap.add_flag("old", "baseline BENCH_*.json", &old_path);
+  ap.add_flag("new", "candidate BENCH_*.json", &new_path);
+  ap.add_flag("tolerance",
+              "allowed relative drift (0.10 = 10%)", &tolerance);
+  ap.add_flag("only",
+              "comma-separated path suffixes to gate on (default: all)",
+              &only_arg);
+  if (!ap.parse(argc, argv)) return 1;
+  if (old_path.empty() || new_path.empty()) {
+    std::fprintf(stderr, "hmr_bench_diff: --old and --new are required\n%s",
+                 ap.usage().c_str());
+    return 1;
+  }
+
+  std::map<std::string, double> oldm, newm;
+  if (!load(old_path, oldm) || !load(new_path, newm)) return 1;
+  const std::vector<std::string> only = split_commas(only_arg);
+
+  int regressions = 0;
+  int checked = 0;
+  for (const auto& [path, oldv] : oldm) {
+    if (!selected(path, only)) continue;
+    const auto it = newm.find(path);
+    if (it == newm.end()) {
+      std::printf("%-52s %14.6g %14s  REGRESSION (metric disappeared)\n",
+                  path.c_str(), oldv, "-");
+      ++regressions;
+      continue;
+    }
+    ++checked;
+    const double newv = it->second;
+    const double delta =
+        oldv != 0 ? (newv - oldv) / std::fabs(oldv)
+                  : (newv == 0 ? 0 : std::copysign(HUGE_VAL, newv));
+    bool bad = false;
+    switch (direction_of(path)) {
+    case Direction::HigherBetter: bad = delta < -tolerance; break;
+    case Direction::LowerBetter: bad = delta > tolerance; break;
+    case Direction::Exact: bad = std::fabs(delta) > tolerance; break;
+    }
+    std::printf("%-52s %14.6g %14.6g  %+7.2f%%%s\n", path.c_str(), oldv,
+                newv, delta * 100, bad ? "  REGRESSION" : "");
+    if (bad) ++regressions;
+  }
+  for (const auto& [path, newv] : newm) {
+    if (oldm.count(path) == 0 && selected(path, only)) {
+      std::printf("%-52s %14s %14.6g  (new metric, not gated)\n",
+                  path.c_str(), "-", newv);
+    }
+  }
+  if (checked == 0 && regressions == 0) {
+    std::fprintf(stderr,
+                 "hmr_bench_diff: --only matched no metric in %s\n",
+                 old_path.c_str());
+    return 1;
+  }
+  if (regressions > 0) {
+    std::printf("%d regression(s) beyond %.0f%% tolerance\n", regressions,
+                tolerance * 100);
+    return 2;
+  }
+  std::printf("ok: %d metric(s) within %.0f%% tolerance\n", checked,
+              tolerance * 100);
+  return 0;
+}

@@ -54,7 +54,8 @@ std::vector<std::string> split(const std::string& line) {
   return out;
 }
 
-bool read_trace(std::istream& is, std::vector<Interval>& out) {
+bool read_trace(std::istream& is, std::vector<Interval>& out,
+                std::uint64_t& dropped) {
   std::string line;
   if (!std::getline(is, line)) {
     std::fprintf(stderr, "hmr_trace: empty input\n");
@@ -71,6 +72,21 @@ bool read_trace(std::istream& is, std::vector<Interval>& out) {
   while (std::getline(is, line)) {
     ++lineno;
     if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Trailer comments from Tracer::write_csv; the only one today is
+      // "# dropped=N" (ring-full losses at dump time).
+      const auto eq = line.find("dropped=");
+      if (eq != std::string::npos) {
+        try {
+          dropped = std::stoull(line.substr(eq + 8));
+        } catch (const std::exception&) {
+          std::fprintf(stderr, "hmr_trace: bad comment at line %zu\n",
+                       lineno);
+          return false;
+        }
+      }
+      continue;
+    }
     const auto f = split(line);
     Interval iv;
     if (f.size() != 8 || !parse_category(f[1], iv.cat)) {
@@ -95,7 +111,7 @@ bool read_trace(std::istream& is, std::vector<Interval>& out) {
 }
 
 void print_summary(const hmr::trace::TraceSummary& s,
-                   std::int64_t workers) {
+                   std::int64_t workers, std::uint64_t dropped) {
   std::printf("span: %.6f s over %d lanes", s.span, s.lanes);
   if (workers >= 0) std::printf(" (workers only)");
   std::printf("\n\n%-10s %14s %10s\n", "category", "lane-seconds",
@@ -107,6 +123,16 @@ void print_summary(const hmr::trace::TraceSummary& s,
                 static_cast<unsigned long long>(s.count_of(cat)));
   }
   std::printf("overhead fraction: %.4f\n", s.overhead_fraction());
+  std::printf("ring drops: %llu\n",
+              static_cast<unsigned long long>(dropped));
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "hmr_trace: WARNING: %llu events were dropped at record "
+                 "time (ring full) -- every figure above undercounts.  "
+                 "Re-run with a larger Tracer::Options::ring_capacity or "
+                 "drain more often.\n",
+                 static_cast<unsigned long long>(dropped));
+  }
   if (s.migrations.empty()) return;
   std::printf("\n%-12s %12s %10s %12s %14s\n", "tier pair", "bytes",
               "copies", "seconds", "effective b/w");
@@ -164,7 +190,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::vector<Interval> ivs;
-  if (!read_trace(ifs, ivs)) return 1;
+  std::uint64_t dropped = 0;
+  if (!read_trace(ifs, ivs, dropped)) return 1;
 
   // Re-inject into a serial-mode Tracer to reuse its summary and
   // timeline code (serial: no ring capacity to size for a file of
@@ -183,7 +210,7 @@ int main(int argc, char** argv) {
 
   std::printf("%s: %zu intervals\n", in.c_str(), ivs.size());
   print_summary(tracer.summarize(static_cast<std::int32_t>(workers)),
-                workers);
+                workers, dropped);
 
   if (timeline && t1 > t0) {
     std::printf("\n");
