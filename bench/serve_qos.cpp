@@ -1,0 +1,297 @@
+// Multi-tenant serving under contention (docs/SERVING.md).
+//
+// One latency-SLO stencil tenant shares a node with three best-effort
+// streaming tenants at 4x fast-tier oversubscription, all fetches
+// funneled through a single IO thread so dispatch order is the whole
+// game.  Three runs:
+//
+//  * solo:     the SLO tenant alone — its achievable p99 fetch latency
+//              with nobody else on the node;
+//  * admission: all four tenants with QoS admission + priority
+//              dispatch ON — best-effort prefetches are rate-limited
+//              and displaced by SLO fetches;
+//  * free-for-all: the same four tenants with admission and priority
+//              dispatch OFF — every stream hits the engine FIFO.
+//
+// `--check` asserts the serving bound: with admission ON the SLO
+// tenant's p99 fetch latency stays within 1.5x of its solo baseline
+// while every best-effort tenant still completes work; with admission
+// OFF the same bound is demonstrably violated.  `--json` writes
+// BENCH_serve_qos.json for the CI trend gate.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/tenant_engine.hpp"
+
+namespace {
+
+using namespace hmr;
+
+constexpr std::uint64_t MiB = 1ull << 20;
+
+// Four job streams over one block namespace: tenant 0 owns blocks
+// [0, kSloBlocks); best-effort tenant t owns the next kBeBlocks each.
+constexpr int kSloBlocks = 4;
+constexpr std::uint64_t kSloBlockBytes = 16 * MiB;
+constexpr int kBeTenants = 3;
+constexpr int kBeBlocks = 40;
+constexpr std::uint64_t kBeBlockBytes = 8 * MiB;
+constexpr int kIterations = 6;
+constexpr int kNumPes = 8;
+
+class ServeWorkload : public sim::Workload {
+public:
+  explicit ServeWorkload(bool slo_only) : slo_only_(slo_only) {
+    ooc::BlockId id = 0;
+    for (int b = 0; b < kSloBlocks; ++b) {
+      blocks_.push_back({id++, kSloBlockBytes});
+    }
+    if (!slo_only_) {
+      for (int t = 0; t < kBeTenants; ++t) {
+        for (int b = 0; b < kBeBlocks; ++b) {
+          blocks_.push_back({id++, kBeBlockBytes});
+        }
+      }
+    }
+  }
+
+  std::string name() const override { return "serve_qos"; }
+  int iterations() const override { return kIterations; }
+  const std::vector<sim::BlockSpec>& blocks() const override {
+    return blocks_;
+  }
+
+  std::vector<ooc::TaskDesc> iteration_tasks(int iter) const override {
+    std::vector<ooc::TaskDesc> tasks;
+    ooc::TaskId next = 1 + static_cast<ooc::TaskId>(iter) * 1000;
+    // Best-effort tenants first: one streaming pass over all their
+    // blocks per iteration on PEs [4, 8) — a burst of single-dependence
+    // prefetch jobs already sitting on the (single) IO lane when the
+    // latency-critical work shows up.  That head start is exactly what
+    // admission + priority dispatch must neutralize.
+    if (!slo_only_) {
+      for (int t = 0; t < kBeTenants; ++t) {
+        const int base = kSloBlocks + t * kBeBlocks;
+        for (int c = 0; c < kBeBlocks; ++c) {
+          ooc::TaskDesc d;
+          d.id = next++;
+          d.pe = 4 + (c % 4);
+          d.tenant = static_cast<std::uint32_t>(1 + t);
+          d.deps = {{static_cast<ooc::BlockId>(base + c),
+                     ooc::AccessMode::ReadWrite}};
+          tasks.push_back(std::move(d));
+        }
+      }
+    }
+    // SLO tenant: a stencil sweep over its blocks on PEs [0, 4) — each
+    // task reads two neighbouring blocks, revisited every iteration.
+    for (int c = 0; c < kSloBlocks; ++c) {
+      ooc::TaskDesc d;
+      d.id = next++;
+      d.pe = c % 4;
+      d.tenant = 0;
+      d.work_factor = 4.0;
+      d.deps = {{static_cast<ooc::BlockId>(c), ooc::AccessMode::ReadWrite},
+                {static_cast<ooc::BlockId>((c + 1) % kSloBlocks),
+                 ooc::AccessMode::ReadOnly}};
+      tasks.push_back(std::move(d));
+    }
+    return tasks;
+  }
+
+private:
+  bool slo_only_;
+  std::vector<sim::BlockSpec> blocks_;
+};
+
+serve::ServeConfig serve_config(bool slo_only, bool admission) {
+  serve::ServeConfig sc;
+  serve::TenantDesc slo;
+  slo.id = 0;
+  slo.name = "slo";
+  slo.qos = serve::QosClass::LatencySLO;
+  slo.slo_p99_fetch_s = 0.05;
+  slo.tier_reserve = {0.5};
+  sc.tenants.push_back(std::move(slo));
+  if (!slo_only) {
+    for (int t = 0; t < kBeTenants; ++t) {
+      serve::TenantDesc be;
+      be.id = static_cast<serve::TenantId>(1 + t);
+      be.name = "be-" + std::to_string(t);
+      be.qos = serve::QosClass::BestEffort;
+      be.rate_tasks_per_s = 50;
+      be.burst_tasks = 4;
+      be.tier_reserve = {0.125};
+      sc.tenants.push_back(std::move(be));
+    }
+  }
+  sc.admission.enabled = admission;
+  sc.admission.priority_dispatch = admission;
+  return sc;
+}
+
+struct Outcome {
+  std::string name;
+  sim::SimResult result;
+  std::vector<serve::TenantSnapshot> tenants;
+};
+
+Outcome run_case(const std::string& name, bool slo_only, bool admission) {
+  sim::SimConfig cfg;
+  cfg.model = hw::knl_flat_all_to_all();
+  cfg.model.num_pes = kNumPes;
+  cfg.strategy = ooc::Strategy::MultiIo;
+  // One IO thread: dispatch order on its queue decides who waits.
+  cfg.io_threads = 1;
+  // 4x oversubscription of the prefetch budget.
+  const ServeWorkload probe(/*slo_only=*/false);
+  cfg.fast_capacity = probe.total_bytes() / 4;
+  cfg.serve = serve_config(slo_only, admission);
+  sim::SimExecutor ex(cfg);
+  const ServeWorkload w(slo_only);
+  Outcome o;
+  o.name = name;
+  o.result = ex.run(w);
+  o.tenants = ex.tenancy()->snapshots();
+  return o;
+}
+
+void write_json(const std::vector<Outcome>& outcomes) {
+  FILE* f = std::fopen("BENCH_serve_qos.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_serve_qos.json");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve_qos\",\n  \"configs\": [\n");
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& o = outcomes[i];
+    std::fprintf(f, "    {\"config\": \"%s\", \"total_s\": %.6f, "
+                 "\"tenants\": [\n", o.name.c_str(), o.result.total_time);
+    for (std::size_t j = 0; j < o.tenants.size(); ++j) {
+      const auto& s = o.tenants[j];
+      std::fprintf(
+          f,
+          "      {\"tenant\": \"%s\", \"qos\": \"%s\", "
+          "\"submitted\": %llu, \"admitted\": %llu, \"deferred\": %llu, "
+          "\"rejected\": %llu, \"completed\": %llu, \"fetches\": %llu, "
+          "\"fetch_bytes\": %llu, \"borrows\": %llu, "
+          "\"displaced\": %llu, \"displaced_by\": %llu, "
+          "\"fetch_p50_s\": %.6f, \"fetch_p99_s\": %.6f}%s\n",
+          s.desc.name.c_str(), serve::qos_class_name(s.desc.qos),
+          static_cast<unsigned long long>(s.submitted),
+          static_cast<unsigned long long>(s.admitted),
+          static_cast<unsigned long long>(s.deferred),
+          static_cast<unsigned long long>(s.rejected),
+          static_cast<unsigned long long>(s.completed),
+          static_cast<unsigned long long>(s.fetches),
+          static_cast<unsigned long long>(s.fetch_bytes),
+          static_cast<unsigned long long>(s.borrows),
+          static_cast<unsigned long long>(s.displaced),
+          static_cast<unsigned long long>(s.displaced_by),
+          s.fetch_p50_s, s.fetch_p99_s,
+          j + 1 < o.tenants.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", i + 1 < outcomes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::cout << "\nwrote BENCH_serve_qos.json\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_path;
+  bool check = false;
+  bool json = false;
+  ArgParser args("serve_qos",
+                 "multi-tenant serving: SLO isolation under admission "
+                 "control vs a free-for-all");
+  args.add_flag("csv", "write results to this CSV file", &csv_path);
+  args.add_flag("json", "write BENCH_serve_qos.json", &json);
+  args.add_flag("check",
+                "exit nonzero unless admission keeps the SLO tenant's "
+                "p99 fetch latency within 1.5x of its solo baseline "
+                "(and the free-for-all violates that bound)",
+                &check);
+  if (!args.parse(argc, argv)) return 1;
+
+  bench::banner("Multi-tenant serving: QoS isolation",
+                "extension beyond the paper (one bandwidth-sensitive app "
+                "-> many concurrent job streams)");
+
+  std::vector<Outcome> outcomes;
+  outcomes.push_back(run_case("solo", /*slo_only=*/true, /*admission=*/true));
+  outcomes.push_back(
+      run_case("admission", /*slo_only=*/false, /*admission=*/true));
+  outcomes.push_back(
+      run_case("free-for-all", /*slo_only=*/false, /*admission=*/false));
+
+  TextTable t({"config", "tenant", "qos", "completed", "deferred",
+               "displaced", "fetch p50 (ms)", "fetch p99 (ms)"});
+  bench::CsvSink csv(csv_path,
+                     {"config", "tenant", "qos", "completed", "deferred",
+                      "displaced", "fetch_p50_ms", "fetch_p99_ms"});
+  for (const auto& o : outcomes) {
+    for (const auto& s : o.tenants) {
+      t.add_row({o.name, s.desc.name, serve::qos_class_name(s.desc.qos),
+                 strfmt("%llu", static_cast<unsigned long long>(s.completed)),
+                 strfmt("%llu", static_cast<unsigned long long>(s.deferred)),
+                 strfmt("%llu", static_cast<unsigned long long>(s.displaced)),
+                 strfmt("%.2f", s.fetch_p50_s * 1e3),
+                 strfmt("%.2f", s.fetch_p99_s * 1e3)});
+      if (csv) {
+        csv->field(std::string_view(o.name))
+            .field(std::string_view(s.desc.name))
+            .field(std::string_view(serve::qos_class_name(s.desc.qos)))
+            .field(static_cast<double>(s.completed))
+            .field(static_cast<double>(s.deferred))
+            .field(static_cast<double>(s.displaced))
+            .field(s.fetch_p50_s * 1e3)
+            .field(s.fetch_p99_s * 1e3);
+        csv->end_row();
+      }
+    }
+  }
+  t.print(std::cout);
+
+  if (json) write_json(outcomes);
+
+  if (check) {
+    int rc = 0;
+    auto expect = [&](bool ok, const std::string& what) {
+      if (!ok) {
+        std::cerr << "CHECK FAILED: " << what << "\n";
+        rc = 2;
+      }
+    };
+    const auto& solo = outcomes[0].tenants[0];
+    const auto& on = outcomes[1];
+    const auto& off = outcomes[2];
+    const double bound = 1.5 * solo.fetch_p99_s;
+    expect(solo.fetch_samples > 0, "solo run recorded no fetches");
+    expect(on.tenants[0].fetch_p99_s <= bound,
+           strfmt("admission ON: SLO p99 %.2fms above 1.5x solo %.2fms",
+                  on.tenants[0].fetch_p99_s * 1e3, bound * 1e3));
+    expect(off.tenants[0].fetch_p99_s > bound,
+           strfmt("admission OFF: SLO p99 %.2fms does not violate the "
+                  "1.5x bound %.2fms — the ablation shows nothing",
+                  off.tenants[0].fetch_p99_s * 1e3, bound * 1e3));
+    for (std::size_t j = 1; j < on.tenants.size(); ++j) {
+      expect(on.tenants[j].completed > 0,
+             on.tenants[j].desc.name + " starved under admission");
+    }
+    expect(on.tenants[0].displaced > 0,
+           "priority dispatch never displaced a best-effort prefetch");
+    for (const auto& s : on.tenants) {
+      expect(s.completed == s.submitted,
+             s.desc.name + " finished short of its submissions");
+    }
+    if (rc == 0) std::cout << "\nserve_qos checks passed\n";
+    return rc;
+  }
+  return 0;
+}

@@ -9,10 +9,12 @@
 //
 // The demo cycles [prefetch] tasks over more blocks than the fast
 // tier holds, so /status shows live queue depths and tier occupancy
-// and /metrics shows fetch/evict traffic accumulating.  --port 0
-// picks any free port (printed on stdout); CI's smoke test drives
-// this binary.  A line "serving on 127.0.0.1:<port>" is printed once
-// the server is up.
+// and /metrics shows fetch/evict traffic accumulating.  Two tenants
+// (an SLO "interactive" and a rate-limited "batch") are registered so
+// /tenants serves real admission/quota counters.  --port 0 picks any
+// free port (printed on stdout); CI's smoke test drives this binary.
+// A line "serving on 127.0.0.1:<port>" is printed once the server is
+// up.
 
 #include <chrono>
 #include <cstdio>
@@ -40,6 +42,27 @@ int main(int argc, char** argv) {
   cfg.serve_port = static_cast<int>(port); // implies metrics
   cfg.watchdog = true;
   cfg.watchdog_cfg.stall_seconds = 5.0; // generous: demo never stalls
+
+  // Two tenants so /tenants has real counters to serve: tenant 0 is
+  // the latency-sensitive default, tenant 1 a rate-limited batch.
+  {
+    serve::TenantDesc slo;
+    slo.id = 0;
+    slo.name = "interactive";
+    slo.qos = serve::QosClass::LatencySLO;
+    slo.slo_p99_fetch_s = 0.050;
+    slo.tier_reserve = {0.5};
+    serve::TenantDesc batch;
+    batch.id = 1;
+    batch.name = "batch";
+    batch.qos = serve::QosClass::Batch;
+    batch.rate_tasks_per_s = 200;
+    batch.burst_tasks = 8;
+    batch.tier_reserve = {0.25};
+    cfg.serve.tenants = {slo, batch};
+    cfg.serve.admission.enabled = true;
+    cfg.serve.admission.priority_dispatch = true;
+  }
   rt::Runtime rt(cfg);
 
   if (rt.serve_port() == 0) {
@@ -59,13 +82,17 @@ int main(int argc, char** argv) {
   while (std::chrono::steady_clock::now() < deadline) {
     for (std::size_t i = 0; i < blocks.size(); ++i) {
       auto& blk = blocks[i];
+      // Alternate submissions between the two tenants so /tenants
+      // shows both making progress (and the batch bucket refilling).
       rt.send_prefetch(
           static_cast<int>(i) % cfg.num_pes,
-          {blk.dep(ooc::AccessMode::ReadWrite)}, [&blk] {
+          {blk.dep(ooc::AccessMode::ReadWrite)},
+          [&blk] {
             for (std::uint64_t j = 0; j < blk.size(); j += 512) {
               blk[j] += 1.0;
             }
-          });
+          },
+          1.0, static_cast<std::uint32_t>(i % 2));
     }
     rt.wait_idle();
     ++rounds;

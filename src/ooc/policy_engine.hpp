@@ -50,11 +50,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ooc/engine.hpp"
 #include "ooc/types.hpp"
 
 namespace hmr::ooc {
 
-class PolicyEngine {
+class PolicyEngine : public Engine {
 public:
   struct Config {
     Strategy strategy = Strategy::MultiIo;
@@ -104,20 +105,8 @@ public:
     bool demote_cascade = true;
   };
 
-  struct Stats {
-    std::uint64_t tasks_run = 0;
-    std::uint64_t fetches = 0;
-    std::uint64_t fetch_bytes = 0;
-    std::uint64_t evicts = 0;
-    std::uint64_t evict_bytes = 0;
-    std::uint64_t fetch_dedup_hits = 0; // dep already in/inbound to HBM
-    std::uint64_t lru_reclaims = 0;     // lazy mode: warm block reused
-    std::uint64_t advised_pins = 0;      // eager evict skipped on advice
-    std::uint64_t advised_bypasses = 0;  // dep claimed in the slow tier
-    std::uint64_t advised_demotions = 0; // demote-advised reclaim victim
-    std::uint64_t cascade_demotions = 0; // evictions caught by a middle level
-    std::uint64_t tier_trims = 0;        // watermark demotions off middle levels
-  };
+  /// Historical name for the shared counter struct (ooc/types.hpp).
+  using Stats = EngineStats;
 
   /// One engine event, reified so executors can hand the engine a
   /// whole batch under a single lock acquisition (the threaded
@@ -151,7 +140,7 @@ public:
   /// placed on (strategy-dependent: movement strategies start
   /// everything on the bottom level; Naive packs the bounded levels
   /// first-fit in speed order; HbmOnly requires it to fit on level 0).
-  TierId add_block(BlockId b, std::uint64_t bytes);
+  TierId add_block(BlockId b, std::uint64_t bytes) override;
 
   /// Deprecated: collapse a tier id returned by add_block onto the old
   /// two-tier vocabulary (Fast == the hierarchy's top level).  Kept
@@ -161,23 +150,29 @@ public:
   }
 
   /// Forget a block.  Must be unreferenced and not in flight.
-  void remove_block(BlockId b);
+  void remove_block(BlockId b) override;
 
   // ---- events (each returns the commands to execute) ----
 
   /// A message for a [prefetch] entry method arrived at the converse
   /// scheduler (pre-processing step).
-  std::vector<Command> on_task_arrived(const TaskDesc& task);
+  std::vector<Command> on_task_arrived(const TaskDesc& task) override;
 
   /// The executor finished migrating `b` slow -> fast.
-  std::vector<Command> on_fetch_complete(BlockId b);
+  std::vector<Command> on_fetch_complete(BlockId b) override;
 
   /// The executor finished migrating `b` fast -> slow.
-  std::vector<Command> on_evict_complete(BlockId b);
+  std::vector<Command> on_evict_complete(BlockId b) override;
 
   /// A task previously issued via Command::Run finished executing
   /// (post-processing step).
   std::vector<Command> on_task_complete(TaskId t);
+
+  /// ooc::Engine signature: this engine's task records know their PE,
+  /// so the hint is unused.
+  std::vector<Command> on_task_complete(TaskId t, std::int32_t) override {
+    return on_task_complete(t);
+  }
 
   /// Process a batch of events in order, concatenating the resulting
   /// commands.  Exactly equivalent to calling the per-event entry
@@ -211,39 +206,42 @@ public:
 
   // ---- introspection (tests, executors, tracing) ----
 
-  BlockState block_state(BlockId b) const;
-  std::uint32_t refcount(BlockId b) const;
+  BlockState block_state(BlockId b) const override;
+  std::uint32_t refcount(BlockId b) const override;
   std::uint64_t fast_used() const { return used_.front(); }
   std::uint64_t fast_capacity() const { return cfg_.fast_capacity; }
 
   /// The placement hierarchy (levels, fastest first).
-  const std::vector<TierDesc>& tiers() const { return tiers_; }
+  const std::vector<TierDesc>& tiers() const override { return tiers_; }
   std::int32_t num_levels() const {
     return static_cast<std::int32_t>(tiers_.size());
   }
   /// Hierarchy level the block occupies (for an in-flight block, the
   /// migration destination).
-  std::int32_t block_level(BlockId b) const { return block(b).level; }
+  std::int32_t block_level(BlockId b) const override {
+    return block(b).level;
+  }
   /// Tier id of block_level(b) — what executors key arenas/channels by.
   TierId block_tier(BlockId b) const {
     return tiers_[static_cast<std::size_t>(block(b).level)].id;
   }
   /// Bytes resident on (or in flight to) a hierarchy level.
-  std::uint64_t tier_used(std::int32_t level) const {
+  std::uint64_t tier_used(std::int32_t level) const override {
     return used_[static_cast<std::size_t>(level)];
   }
   std::size_t waiting_tasks(std::int32_t pe) const;
-  std::size_t total_waiting() const;
+  std::size_t total_waiting() const override;
   std::size_t live_tasks() const { return n_live_tasks_; }
   std::size_t inflight_fetches() const { return n_inflight_fetch_; }
   std::size_t inflight_evicts() const { return n_inflight_evict_; }
   std::size_t lru_size() const { return lru_.size(); }
   std::uint64_t lru_bytes() const { return lru_bytes_; }
   const Stats& stats() const { return stats_; }
+  EngineStats engine_stats() const override { return stats_; }
 
   /// True when every arrived task has completed and nothing is queued
   /// or in flight — used by executors to assert quiescence.
-  bool quiescent() const;
+  bool quiescent() const override;
 
   /// Debug: number of fast-resident blocks with refcount 0 (should be
   /// none at quiescence under eager eviction) and the first waiting
@@ -260,7 +258,8 @@ public:
   /// `at_quiescence` adds the idle-only invariants: nothing queued, in
   /// flight, referenced or claimed.  O(blocks + tasks); callers
   /// serialize like every other entry point.
-  std::vector<std::string> audit_invariants(bool at_quiescence) const;
+  std::vector<std::string> audit_invariants(
+      bool at_quiescence) const override;
 
 private:
   enum class TaskState : std::uint8_t { Waiting, Admitted, Ready, Done };

@@ -52,6 +52,12 @@ struct TaskDesc {
   /// the PolicyEngine (which, like the paper's runtime, only sees
   /// messages that have arrived).
   std::vector<TaskId> predecessors;
+
+  /// Owning tenant for multi-tenant serving (src/serve).  Ignored by
+  /// the core engines; the serve::TenantEngine decorator keys
+  /// admission, quotas and per-tenant stats on it.  0 is the default
+  /// tenant, so single-tenant callers never have to set it.
+  std::uint32_t tenant = 0;
 };
 
 /// Scheduling strategies evaluated in the paper (§IV-B / §V).
@@ -105,6 +111,25 @@ struct TierDesc {
 /// the slowest tier left unbounded.  This is how executors hand an
 /// N-tier node to the engine with zero application changes.
 std::vector<TierDesc> tiers_from_model(const hw::MachineModel& m);
+
+/// Counters every engine implementation maintains (one struct so the
+/// serial and sharded engines — and decorators over either — report
+/// through the same telemetry plumbing).  Historically nested as
+/// PolicyEngine::Stats; that name remains as an alias.
+struct EngineStats {
+  std::uint64_t tasks_run = 0;
+  std::uint64_t fetches = 0;
+  std::uint64_t fetch_bytes = 0;
+  std::uint64_t evicts = 0;
+  std::uint64_t evict_bytes = 0;
+  std::uint64_t fetch_dedup_hits = 0; // dep already in/inbound to HBM
+  std::uint64_t lru_reclaims = 0;     // lazy mode: warm block reused
+  std::uint64_t advised_pins = 0;      // eager evict skipped on advice
+  std::uint64_t advised_bypasses = 0;  // dep claimed in the slow tier
+  std::uint64_t advised_demotions = 0; // demote-advised reclaim victim
+  std::uint64_t cascade_demotions = 0; // evictions caught by a middle level
+  std::uint64_t tier_trims = 0;        // watermark demotions off middle levels
+};
 
 /// Logical block residency, the paper's INHBM / INDDR states plus the
 /// two in-flight states of the asynchronous protocol.

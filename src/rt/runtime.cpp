@@ -159,6 +159,21 @@ Runtime::Runtime(Config cfg)
     governor_ = std::make_unique<adapt::StrategyGovernor>(gc);
     engine_.set_advisor(advisor_.get()); // before any thread starts
   }
+  if (cfg_.serve.enabled()) {
+    HMR_CHECK_MSG(!cfg_.adaptive,
+                  "multi-tenant serving and adaptive guidance both claim "
+                  "the engine's advisor slot; enable one");
+    ooc::Engine& inner = sharded_ ? static_cast<ooc::Engine&>(*sharded_)
+                                  : static_cast<ooc::Engine&>(engine_);
+    tenancy_ =
+        std::make_unique<serve::TenantEngine>(inner, cfg_.serve, now());
+    tenancy_->set_clock([this] { return now(); });
+    if (!sharded_) {
+      // Quota-aware victim selection; the sharded engine takes no
+      // advisor, its tenancy lever is priority dispatch alone.
+      if (auto* adv = tenancy_->advisor()) engine_.set_advisor(adv);
+    }
+  }
   pes_.reserve(static_cast<std::size_t>(cfg_.num_pes));
   for (int pe = 0; pe < cfg_.num_pes; ++pe) {
     pes_.push_back(std::make_unique<PeWorker>());
@@ -220,7 +235,13 @@ mem::BlockId Runtime::alloc_block(std::uint64_t bytes) {
   std::lock_guard alk(alloc_mu_);
   const mem::BlockId expected = blocks_created_++;
   hw::TierId tier;
-  if (sharded_) {
+  if (tenancy_) {
+    // Serial inner engine still wants engine_mu_ held around every
+    // visit (lock order: engine_mu_ -> TenantEngine's mutex).
+    std::unique_lock<std::mutex> elk;
+    if (!sharded_) elk = std::unique_lock(engine_mu_);
+    tier = tenancy_->add_block(expected, bytes);
+  } else if (sharded_) {
     tier = sharded_->add_block(expected, bytes);
   } else {
     std::lock_guard elk(engine_mu_);
@@ -236,7 +257,11 @@ mem::BlockId Runtime::alloc_block(std::uint64_t bytes) {
 void Runtime::free_block(mem::BlockId b) {
   {
     std::lock_guard alk(alloc_mu_);
-    if (sharded_) {
+    if (tenancy_) {
+      std::unique_lock<std::mutex> elk;
+      if (!sharded_) elk = std::unique_lock(engine_mu_);
+      tenancy_->remove_block(b);
+    } else if (sharded_) {
       sharded_->remove_block(b);
     } else {
       std::lock_guard elk(engine_mu_);
@@ -259,7 +284,7 @@ void Runtime::send(int pe, Body body) {
 }
 
 void Runtime::send_prefetch(int pe, DepList deps, Body body,
-                            double work_factor) {
+                            double work_factor, std::uint32_t tenant) {
   HMR_CHECK(pe >= 0 && pe < cfg_.num_pes);
   msgs_add(1);
   PeWorker& w = *pes_[static_cast<std::size_t>(pe)];
@@ -269,6 +294,7 @@ void Runtime::send_prefetch(int pe, DepList deps, Body body,
   m.deps = std::move(deps);
   m.work_factor = work_factor;
   m.prefetch = true;
+  m.tenant = tenant;
   w.msgs.push_back(std::move(m));
   w.cv.notify_one();
 }
@@ -300,6 +326,7 @@ void Runtime::send_prefetch_batch(int pe, std::vector<PrefetchMsg> msgs) {
     m.deps = std::move(pm.deps);
     m.work_factor = pm.work_factor;
     m.prefetch = true;
+    m.tenant = pm.tenant;
     w.msgs.push_back(std::move(m));
   }
   w.cv.notify_one();
@@ -421,6 +448,7 @@ void Runtime::intercept_batch(int pe, std::vector<Msg>& msgs) {
     desc.pe = pe;
     desc.deps = std::move(msg.deps);
     desc.work_factor = msg.work_factor;
+    desc.tenant = msg.tenant;
     arrivals.push_back(std::move(desc));
   }
   flush();
@@ -446,6 +474,24 @@ void Runtime::run_ready_batch(int pe, std::vector<ReadyTask>& tasks) {
 
 std::vector<ooc::Command> Runtime::ev_arrivals(
     std::vector<ooc::TaskDesc> descs) {
+  if (tenancy_) {
+    // Per-event visits through the decorator (admission may defer or
+    // reorder, so batching buys nothing).  Serial inner engine keeps
+    // engine_mu_ as the outer lock; the adaptive profiler is excluded
+    // by construction.
+    std::unique_lock<std::mutex> elk;
+    if (!sharded_) {
+      trace::lock_counted(engine_mu_, lock_stats_.get(), 0);
+      elk = std::unique_lock(engine_mu_, std::adopt_lock);
+    }
+    std::vector<ooc::Command> cmds;
+    for (auto& d : descs) {
+      auto c = tenancy_->on_task_arrived(d);
+      cmds.insert(cmds.end(), std::make_move_iterator(c.begin()),
+                  std::make_move_iterator(c.end()));
+    }
+    return cmds;
+  }
   if (sharded_) {
     std::vector<ooc::Command> cmds;
     for (auto& d : descs) {
@@ -476,6 +522,20 @@ std::vector<ooc::Command> Runtime::ev_arrivals(
 
 std::vector<ooc::Command> Runtime::ev_completions(
     const std::vector<ReadyTask>& tasks, int pe) {
+  if (tenancy_) {
+    std::unique_lock<std::mutex> elk;
+    if (!sharded_) {
+      trace::lock_counted(engine_mu_, lock_stats_.get(), 0);
+      elk = std::unique_lock(engine_mu_, std::adopt_lock);
+    }
+    std::vector<ooc::Command> cmds;
+    for (const auto& t : tasks) {
+      auto c = tenancy_->on_task_complete(t.id, pe);
+      cmds.insert(cmds.end(), std::make_move_iterator(c.begin()),
+                  std::make_move_iterator(c.end()));
+    }
+    return cmds;
+  }
   if (sharded_) {
     std::vector<ooc::Command> cmds;
     for (const auto& t : tasks) {
@@ -539,7 +599,15 @@ void Runtime::perform_transfer(const ooc::Command& cmd, int trace_lane) {
   do_migrate(cmd, trace_lane);
   std::vector<ooc::Command> cmds;
   const bool fetch = cmd.kind == ooc::Command::Kind::Fetch;
-  if (sharded_) {
+  if (tenancy_) {
+    std::unique_lock<std::mutex> elk;
+    if (!sharded_) {
+      trace::lock_counted(engine_mu_, lock_stats_.get(), 0);
+      elk = std::unique_lock(engine_mu_, std::adopt_lock);
+    }
+    cmds = fetch ? tenancy_->on_fetch_complete(cmd.block)
+                 : tenancy_->on_evict_complete(cmd.block);
+  } else if (sharded_) {
     cmds = fetch ? sharded_->on_fetch_complete(cmd.block)
                  : sharded_->on_evict_complete(cmd.block);
   } else {
@@ -561,7 +629,20 @@ void Runtime::perform_transfer_batch(const std::vector<ooc::Command>& cmds,
   }
   for (const auto& cmd : cmds) do_migrate(cmd, trace_lane);
   std::vector<ooc::Command> out;
-  if (sharded_) {
+  if (tenancy_) {
+    std::unique_lock<std::mutex> elk;
+    if (!sharded_) {
+      trace::lock_counted(engine_mu_, lock_stats_.get(), 0);
+      elk = std::unique_lock(engine_mu_, std::adopt_lock);
+    }
+    for (const auto& cmd : cmds) {
+      auto c = cmd.kind == ooc::Command::Kind::Fetch
+                   ? tenancy_->on_fetch_complete(cmd.block)
+                   : tenancy_->on_evict_complete(cmd.block);
+      out.insert(out.end(), std::make_move_iterator(c.begin()),
+                 std::make_move_iterator(c.end()));
+    }
+  } else if (sharded_) {
     for (const auto& cmd : cmds) {
       auto c = cmd.kind == ooc::Command::Kind::Fetch
                    ? sharded_->on_fetch_complete(cmd.block)
@@ -620,7 +701,31 @@ void Runtime::process(std::vector<ooc::Command> cmds, int context_lane) {
           IoWorker& w =
               *io_[static_cast<std::size_t>(c.agent) % io_.size()];
           std::lock_guard lk(w.mu);
-          w.cmds.push_back(c);
+          if (tenancy_ && tenancy_->priority_dispatch()) {
+            // QoS preemption of not-yet-started transfers: slot ahead
+            // of every queued command with a worse dispatch rank.
+            const int rank = tenancy_->dispatch_rank(c);
+            auto pos = w.cmds.end();
+            for (auto it = w.cmds.begin(); it != w.cmds.end(); ++it) {
+              if (tenancy_->dispatch_rank(*it) > rank) {
+                pos = it;
+                break;
+              }
+            }
+            if (pos != w.cmds.end() &&
+                c.kind == ooc::Command::Kind::Fetch) {
+              const auto winner = tenancy_->command_tenant(c);
+              for (auto it = pos; it != w.cmds.end(); ++it) {
+                if (it->kind == ooc::Command::Kind::Fetch) {
+                  tenancy_->note_displacement(winner,
+                                              tenancy_->command_tenant(*it));
+                }
+              }
+            }
+            w.cmds.insert(pos, c);
+          } else {
+            w.cmds.push_back(c);
+          }
           w.cv.notify_one();
         }
         break;
@@ -747,6 +852,13 @@ void Runtime::ops_sub(std::uint64_t n) {
 }
 
 bool Runtime::engine_quiescent() {
+  if (tenancy_) {
+    // Deferred submissions parked in the decorator count as pending
+    // work; its quiescent() folds them in with the inner engine's.
+    std::unique_lock<std::mutex> elk;
+    if (!sharded_) elk = std::unique_lock(engine_mu_);
+    return tenancy_->quiescent();
+  }
   if (sharded_) return sharded_->quiescent();
   std::lock_guard elk(engine_mu_);
   return engine_.quiescent();
@@ -790,6 +902,7 @@ void Runtime::sample_metrics() {
           telemetry::prom_label("shard", std::to_string(s)));
     }
   }
+  if (tenancy_) tenancy_->export_metrics(*metrics_);
   if (lock_stats_) telemetry::export_contention(*metrics_, *lock_stats_);
   if (mm_->chunked_copy_enabled()) {
     telemetry::export_chunk_ring(*metrics_, mm_->chunk_ring());
@@ -868,6 +981,17 @@ double Runtime::fetch_p99_seconds() const {
 telemetry::AuditReport Runtime::audit_now() {
   telemetry::AuditReport r;
   r.time = now();
+  if (tenancy_) {
+    // Tenancy audit = inner audit + quota-ledger conservation +
+    // admitted/completed bookkeeping, under the same quiescence rules
+    // as the wrapped engine.
+    std::unique_lock<std::mutex> elk;
+    if (!sharded_) elk = std::unique_lock(engine_mu_);
+    if (sharded_ && !tenancy_->quiescent()) return r;
+    r.at_quiescence = tenancy_->quiescent();
+    r.violations = tenancy_->audit_invariants(r.at_quiescence);
+    return r;
+  }
   if (sharded_) {
     // The sharded ledgers only reconcile exactly at quiescence
     // (budget releases commit outside the stripe critical sections),
@@ -1113,6 +1237,19 @@ void Runtime::start_introspection() {
       Response r;
       r.content_type = "application/json";
       r.body = status_json();
+      return r;
+    });
+    srv->route("/tenants", [this](const Request&) {
+      Response r;
+      if (!tenancy_) {
+        r.status = 404;
+        r.body = "multi-tenant serving disabled (Config::serve empty)\n";
+        return r;
+      }
+      r.content_type = "application/json";
+      std::ostringstream body;
+      tenancy_->write_json(body);
+      r.body = body.str();
       return r;
     });
     srv->route("/blocks", [this](const Request& rq) {

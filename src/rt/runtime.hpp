@@ -45,6 +45,7 @@
 #include "mem/memory_manager.hpp"
 #include "ooc/policy_engine.hpp"
 #include "rt/sharded_engine.hpp"
+#include "serve/tenant_engine.hpp"
 #include "telemetry/audit.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
@@ -160,6 +161,18 @@ public:
     /// pre-rendered diagnostic bundle before re-raising.
     bool crash_dump = false;
     std::string crash_dump_path; // empty = stderr
+
+    /// Multi-tenant serving (src/serve/): registering tenants wraps
+    /// the active engine (serial or sharded) in a serve::TenantEngine
+    /// — QoS-aware admission, per-tenant placement quotas, priority
+    /// dispatch on the IO queues, a /tenants status route and
+    /// tenant-labeled metrics.  Tag work via send_prefetch's tenant
+    /// argument.  Note the decorator serializes engine events, so the
+    /// sharded path loses shard concurrency while tenancy is on
+    /// (docs/SERVING.md).  Incompatible with `adaptive` (both claim
+    /// the engine's advisor slot).  With no tenants registered the
+    /// runtime is byte-identical to the pre-tenancy build.
+    serve::ServeConfig serve;
   };
 
   explicit Runtime(Config cfg);
@@ -216,8 +229,10 @@ public:
   /// converse scheduler on `pe` will intercept it, ensure `deps` are
   /// resident in the fast tier under the configured strategy, and only
   /// then execute `body`.
+  /// `tenant` keys tenancy admission/quotas/stats when Config::serve
+  /// registered tenants (ignored — and must stay 0 — otherwise).
   void send_prefetch(int pe, DepList deps, Body body,
-                     double work_factor = 1.0);
+                     double work_factor = 1.0, std::uint32_t tenant = 0);
 
   /// Batched enqueue: one idle-counter update, one queue lock and one
   /// wakeup for the whole vector (senders that fan out thousands of
@@ -228,6 +243,7 @@ public:
     DepList deps;
     Body body;
     double work_factor = 1.0;
+    std::uint32_t tenant = 0;
   };
   void send_prefetch_batch(int pe, std::vector<PrefetchMsg> msgs);
 
@@ -265,6 +281,11 @@ public:
   const adapt::BlockProfiler* profiler() const { return profiler_.get(); }
   const adapt::StrategyGovernor* governor() const { return governor_.get(); }
 
+  /// Multi-tenant serving decorator (nullptr unless Config::serve
+  /// registered tenants).  Snapshot/JSON reads are safe from any
+  /// thread.
+  const serve::TenantEngine* tenancy() const { return tenancy_.get(); }
+
   // ---- live introspection & self-diagnosis ----
 
   /// Bound status-server port (0 when Config::serve_port was -1 or the
@@ -298,6 +319,7 @@ private:
     DepList deps;
     double work_factor = 1.0;
     bool prefetch = false;
+    std::uint32_t tenant = 0;
   };
 
   struct ReadyTask {
@@ -388,6 +410,12 @@ private:
   /// Sharded hot path (MultiIo + eager eviction, engine_shards != 1).
   std::unique_ptr<trace::ContentionStats> lock_stats_;
   std::unique_ptr<ShardedEngine> sharded_;
+
+  /// Tenancy decorator over the active engine (null = single-tenant:
+  /// events go straight to the engine, exactly as before).  Serial
+  /// path: event calls still hold engine_mu_ (lock order engine_mu_
+  /// -> TenantEngine's mutex; the decorator never locks back).
+  std::unique_ptr<serve::TenantEngine> tenancy_;
 
   /// Serializes block id allocation across the engine and the
   /// MemoryManager so their dense id spaces stay aligned.

@@ -50,6 +50,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ooc/engine.hpp"
 #include "ooc/policy_engine.hpp"
 #include "ooc/tier_budget.hpp"
 #include "ooc/types.hpp"
@@ -57,7 +58,7 @@
 
 namespace hmr::rt {
 
-class ShardedEngine {
+class ShardedEngine : public ooc::Engine {
 public:
   struct Config {
     std::int32_t num_pes = 1;
@@ -97,44 +98,48 @@ public:
   // MemoryManager).  Movement strategies always place fresh blocks on
   // the bottom level; the returned tier id says which one that is.
 
-  ooc::TierId add_block(ooc::BlockId b, std::uint64_t bytes);
-  void remove_block(ooc::BlockId b);
+  ooc::TierId add_block(ooc::BlockId b, std::uint64_t bytes) override;
+  void remove_block(ooc::BlockId b) override;
 
   // ---- events (thread-safe; each returns commands to execute) ----
 
-  std::vector<ooc::Command> on_task_arrived(const ooc::TaskDesc& task);
-  std::vector<ooc::Command> on_fetch_complete(ooc::BlockId b);
-  std::vector<ooc::Command> on_evict_complete(ooc::BlockId b);
+  std::vector<ooc::Command> on_task_arrived(
+      const ooc::TaskDesc& task) override;
+  std::vector<ooc::Command> on_fetch_complete(ooc::BlockId b) override;
+  std::vector<ooc::Command> on_evict_complete(ooc::BlockId b) override;
   /// `pe` is the PE the task ran on (the executor always knows it; it
   /// routes the completion to the right shard without a global map).
   std::vector<ooc::Command> on_task_complete(ooc::TaskId t,
-                                             std::int32_t pe);
+                                             std::int32_t pe) override;
 
   // ---- introspection ----
 
   ooc::PolicyEngine::Stats stats() const; // summed over shards
+  ooc::EngineStats engine_stats() const override { return stats(); }
   /// One shard's counters (telemetry export labels them shard="s").
   ooc::PolicyEngine::Stats shard_stats(std::int32_t s) const;
-  bool quiescent() const;
+  bool quiescent() const override;
   std::uint64_t fast_used() const { return budgets_[0]->used(); }
   std::uint64_t fast_capacity() const { return cfg_.fast_capacity; }
   std::uint64_t budget_steals() const { return budgets_[0]->steals(); }
-  std::size_t total_waiting() const {
+  std::size_t total_waiting() const override {
     return n_waiting_.load(std::memory_order_acquire);
   }
-  const std::vector<ooc::TierDesc>& tiers() const { return tiers_; }
+  const std::vector<ooc::TierDesc>& tiers() const override {
+    return tiers_;
+  }
   std::int32_t num_levels() const {
     return static_cast<std::int32_t>(tiers_.size());
   }
   /// Bytes claimed on a bounded hierarchy level (approximate under
   /// concurrency, like TierBudget::used).
-  std::uint64_t tier_used(std::int32_t level) const {
+  std::uint64_t tier_used(std::int32_t level) const override {
     const auto& b = budgets_[static_cast<std::size_t>(level)];
     return b ? b->used() : 0;
   }
-  ooc::BlockState block_state(ooc::BlockId b) const;
-  std::int32_t block_level(ooc::BlockId b) const;
-  std::uint32_t refcount(ooc::BlockId b) const;
+  ooc::BlockState block_state(ooc::BlockId b) const override;
+  std::int32_t block_level(ooc::BlockId b) const override;
+  std::uint32_t refcount(ooc::BlockId b) const override;
 
   /// Engine events processed since construction (any kind).  The stall
   /// watchdog reads this as a progress signal: outstanding work with
@@ -152,7 +157,8 @@ public:
   /// stripe lock; exact only at quiescence (budget releases commit
   /// outside the stripe critical sections), which is when the Runtime
   /// calls it — from wait_idle with `at_quiescence = true`.
-  std::vector<std::string> audit_invariants(bool at_quiescence) const;
+  std::vector<std::string> audit_invariants(
+      bool at_quiescence) const override;
 
 private:
   static constexpr std::size_t kStripes = 64;

@@ -1,0 +1,121 @@
+#include "serve/admission.hpp"
+
+#include "util/check.hpp"
+
+namespace hmr::serve {
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::Admit: return "admit";
+    case Verdict::Defer: return "defer";
+    case Verdict::Reject: return "reject";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const TenantRegistry& reg,
+                                         AdmissionConfig cfg, double now)
+    : reg_(reg),
+      cfg_(cfg),
+      order_(reg.by_priority()),
+      q_(reg.size()),
+      skips_(reg.size(), 0),
+      last_rel_(reg.size(), 0) {
+  buckets_.reserve(reg.size());
+  for (const auto& d : reg.all()) {
+    buckets_.emplace_back(d.rate_tasks_per_s, d.burst_tasks, now);
+  }
+}
+
+Verdict AdmissionController::decide(TenantId t, double now,
+                                    bool would_borrow, bool contended,
+                                    bool engine_idle) {
+  if (!cfg_.enabled) return Verdict::Admit;
+  const auto& d = reg_.desc(t);
+  // Queue-depth backpressure fires first: a tenant that cannot even
+  // park more work gets the Reject verdict, not a longer queue.
+  if (d.max_queued > 0 && queued(t) >= d.max_queued) {
+    return Verdict::Reject;
+  }
+  // Tasks of one tenant admit in submission order.
+  if (queued(t) > 0) return Verdict::Defer;
+  if (engine_idle) return Verdict::Admit; // work conserving
+  // Quota gate: a borrower yields only while someone with unused
+  // reservation is actually waiting — otherwise idle capacity flows.
+  if (would_borrow && contended) return Verdict::Defer;
+  if (!buckets_[static_cast<std::size_t>(t)].try_take(now)) {
+    return Verdict::Defer;
+  }
+  return Verdict::Admit;
+}
+
+void AdmissionController::push(TenantId t, ooc::TaskDesc task) {
+  q_[static_cast<std::size_t>(t)].push_back(std::move(task));
+  ++n_queued_;
+}
+
+bool AdmissionController::pop(double now, bool engine_idle,
+                              ooc::TaskDesc& out, bool& forced) {
+  forced = false;
+  if (n_queued_ == 0) return false;
+
+  std::size_t pick = q_.size();
+  // Starvation guard: an aged head outranks everyone.
+  if (cfg_.starvation_limit > 0) {
+    for (const TenantId t : order_) {
+      const std::size_t s = static_cast<std::size_t>(t);
+      if (!q_[s].empty() && skips_[s] >= cfg_.starvation_limit) {
+        pick = s;
+        forced = true;
+        break;
+      }
+    }
+  }
+  if (pick == q_.size()) {
+    // Strict QoS-rank order; round-robin (least recently released
+    // first) among equal ranks.  Buckets gate unless the engine is
+    // idle — pacing shapes contention, never idles the machine.
+    int best_rank = 0;
+    std::uint64_t best_seq = 0;
+    for (const TenantId t : order_) {
+      const std::size_t s = static_cast<std::size_t>(t);
+      const int rank = qos_rank(reg_.desc(t).qos);
+      // order_ is rank-sorted: with a candidate in hand, later
+      // entries can only rank worse.
+      if (pick != q_.size() && rank > best_rank) break;
+      if (q_[s].empty()) continue;
+      // Peek, don't take: only the picked tenant pays a token.
+      if (!engine_idle && buckets_[s].tokens(now) < 1.0) continue;
+      if (pick == q_.size() || rank < best_rank ||
+          (rank == best_rank && last_rel_[s] < best_seq)) {
+        pick = s;
+        best_rank = rank;
+        best_seq = last_rel_[s];
+      }
+    }
+    if (pick == q_.size()) return false;
+    if (!engine_idle) {
+      buckets_[pick].try_take(now);
+    }
+  }
+
+  // Everyone of lower priority who still waits was just passed over.
+  const int picked_rank = qos_rank(reg_.desc(
+      static_cast<TenantId>(pick)).qos);
+  for (std::size_t s = 0; s < q_.size(); ++s) {
+    if (s != pick && !q_[s].empty() &&
+        qos_rank(reg_.desc(static_cast<TenantId>(s)).qos) >=
+            picked_rank) {
+      ++skips_[s];
+    }
+  }
+  skips_[pick] = 0;
+  last_rel_[pick] = ++seq_;
+
+  out = std::move(q_[pick].front());
+  q_[pick].pop_front();
+  --n_queued_;
+  return true;
+}
+
+} // namespace hmr::serve

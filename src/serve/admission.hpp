@@ -1,0 +1,137 @@
+#pragma once
+// QoS-aware admission control for multi-tenant serving.
+//
+// The AdmissionController fronts the engine's own wait queues with a
+// per-tenant gate: a token bucket paces each tenant's arrival rate, a
+// queue-depth bound gives backpressure verdicts, and deferred work is
+// released in QoS-priority order with a starvation guard so best-
+// effort tenants always make progress.  Verdicts are advisory — the
+// caller (serve::TenantEngine) executes them: Admit forwards to the
+// inner engine immediately, Defer parks the task here, Reject tells a
+// verdict-aware submitter to drop it (fire-and-forget paths degrade
+// Reject to Defer; the rejection is still counted by the caller).
+//
+// Work conserving by design: when the inner engine has no live work,
+// decide() always admits and release() ignores empty buckets — pacing
+// must shape contention, never idle the machine.
+//
+// Not thread-safe; TenantEngine guards it with its event mutex.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ooc/types.hpp"
+#include "serve/tenant.hpp"
+
+namespace hmr::serve {
+
+enum class Verdict : std::uint8_t { Admit = 0, Defer = 1, Reject = 2 };
+
+const char* verdict_name(Verdict v);
+
+struct AdmissionConfig {
+  /// Master switch.  Off = every submission admits straight through
+  /// (quotas still account, dispatch still prioritizes if enabled).
+  bool enabled = true;
+  /// Executors order queued (not-yet-started) fetches by tenant QoS
+  /// rank, letting an SLO tenant's fetch displace a best-effort
+  /// tenant's queued prefetch.
+  bool priority_dispatch = true;
+  /// Force-release a deferred head after this many higher-priority
+  /// releases passed it over (0 = never force).  The aging guard that
+  /// turns priority order into mere preference, not starvation.
+  std::uint32_t starvation_limit = 64;
+};
+
+/// Standard token bucket; time comes from the caller so the sim can
+/// feed virtual seconds.
+class TokenBucket {
+public:
+  TokenBucket() = default;
+  TokenBucket(double rate_per_s, double burst, double now)
+      : rate_(rate_per_s), burst_(burst), tokens_(burst), last_(now) {}
+
+  bool try_take(double now) {
+    if (rate_ <= 0) return true; // unlimited
+    refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens(double now) {
+    refill(now);
+    return rate_ <= 0 ? burst_ : tokens_;
+  }
+
+private:
+  void refill(double now) {
+    if (now > last_) {
+      tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
+      last_ = now;
+    }
+  }
+
+  double rate_ = 0;
+  double burst_ = 0;
+  double tokens_ = 0;
+  double last_ = 0;
+};
+
+class AdmissionController {
+public:
+  AdmissionController(const TenantRegistry& reg, AdmissionConfig cfg,
+                      double now);
+
+  const AdmissionConfig& config() const { return cfg_; }
+
+  /// Verdict for one submission by tenant `t` at time `now`.
+  /// `would_borrow`: the tenant is over its top-level reservation;
+  /// `contended`: an under-reserve tenant has deferred work waiting;
+  /// `engine_idle`: the inner engine has nothing live (always admit).
+  Verdict decide(TenantId t, double now, bool would_borrow,
+                 bool contended, bool engine_idle);
+
+  /// Park a deferred (or degraded-rejected) task.
+  void push(TenantId t, ooc::TaskDesc task);
+
+  /// Pop the next releasable deferred task: tenants in (QoS rank, id)
+  /// order, bucket-gated unless `engine_idle`, with the starvation
+  /// guard force-releasing an aged head (`forced` reports it).
+  /// False = nothing releasable right now.
+  bool pop(double now, bool engine_idle, ooc::TaskDesc& out,
+           bool& forced);
+
+  std::size_t queued(TenantId t) const {
+    return q_[static_cast<std::size_t>(t)].size();
+  }
+  std::size_t total_queued() const { return n_queued_; }
+  /// Any tenant under its reservation with deferred work?  The caller
+  /// supplies the per-tenant over-reserve test.
+  template <typename OverReserveFn>
+  bool underreserve_waiter(OverReserveFn over_reserve) const {
+    for (std::size_t t = 0; t < q_.size(); ++t) {
+      if (!q_[t].empty() && !over_reserve(static_cast<TenantId>(t))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+private:
+  const TenantRegistry& reg_;
+  AdmissionConfig cfg_;
+  std::vector<TenantId> order_; // by (qos rank, id)
+  std::vector<std::deque<ooc::TaskDesc>> q_;
+  /// Times a lower-priority head was passed over by a release.
+  std::vector<std::uint32_t> skips_;
+  std::vector<TokenBucket> buckets_;
+  std::size_t n_queued_ = 0;
+  /// Release sequence stamps: least-recently-released wins ties
+  /// among equal QoS ranks (round-robin fairness).
+  std::vector<std::uint64_t> last_rel_;
+  std::uint64_t seq_ = 0;
+};
+
+} // namespace hmr::serve

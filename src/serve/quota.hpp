@@ -1,0 +1,92 @@
+#pragma once
+// QuotaLedger: per-tenant byte accounting over the placement
+// hierarchy, driven purely by observing the commands an ooc::Engine
+// emits (serve::TenantEngine is the observer).
+//
+// Every block has exactly one owner at a time: the tenant whose fetch
+// last promoted it (blocks start life unowned on the bottom level).
+// A Fetch command moves the block's bytes from the previous owner's
+// source-level balance to the requester's top-level balance; an Evict
+// command moves them between the owner's levels; remove_block releases
+// them.  Because each transition is a single move, the per-level sum
+// over owners is conserved by construction — `audit` cross-checks it
+// against the inner engine's tier_used at quiescence (in-flight
+// migrations make the comparison approximate otherwise, exactly like
+// Engine::audit_invariants).
+//
+// A tenant's *reservation* on a bounded level is its TenantDesc
+// fraction of that level's capacity.  Usage beyond it is *borrowing*
+// — allowed (idle capacity must not go to waste) but revocable: the
+// admission gate defers over-reserve tenants while an under-reserve
+// tenant waits, and QuotaAdvisor marks over-reserve tenants' blocks
+// demote-first so reclaim preys on borrowers.
+//
+// Not thread-safe; TenantEngine guards it with its event mutex.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ooc/engine.hpp"
+#include "ooc/types.hpp"
+#include "serve/tenant.hpp"
+
+namespace hmr::serve {
+
+class QuotaLedger {
+public:
+  /// Owner id for bytes no tenant has claimed yet (fresh blocks).
+  static constexpr TenantId kUnowned = ~TenantId{0};
+
+  QuotaLedger(const TenantRegistry& reg,
+              const std::vector<ooc::TierDesc>& tiers);
+
+  // ---- transitions (bytes must match the block's size) ----
+
+  /// Fetch observed: `bytes` leave (`prev_owner`, from_level) and are
+  /// charged to (`owner`, to_level).  Returns true when the charge
+  /// pushed `owner` past its reservation on `to_level` (a borrow).
+  bool transfer(TenantId prev_owner, TenantId owner,
+                std::int32_t from_level, std::int32_t to_level,
+                std::uint64_t bytes);
+  /// Evict observed: the owner's bytes move between levels.
+  void move(TenantId owner, std::int32_t from_level,
+            std::int32_t to_level, std::uint64_t bytes);
+  /// Block registered: charge the unowned balance on `level`.
+  void charge(TenantId owner, std::int32_t level, std::uint64_t bytes);
+  /// Block removed: release from the owner's `level` balance.
+  void release(TenantId owner, std::int32_t level, std::uint64_t bytes);
+
+  // ---- balances ----
+
+  std::uint64_t used(TenantId t, std::int32_t level) const;
+  /// reserve fraction * level capacity; 0 on the unbounded bottom.
+  std::uint64_t reserved(TenantId t, std::int32_t level) const;
+  bool over_reserve(TenantId t, std::int32_t level) const {
+    return used(t, level) > reserved(t, level);
+  }
+  /// Sum over all owners (tenants + unowned) on `level`.
+  std::uint64_t level_total(std::int32_t level) const;
+  std::int32_t num_levels() const {
+    return static_cast<std::int32_t>(capacity_.size());
+  }
+
+  /// Internal consistency plus (at quiescence) conservation against
+  /// the engine the observed commands came from.  One line per
+  /// violation; empty = clean.
+  std::vector<std::string> audit(const ooc::Engine& inner,
+                                 bool at_quiescence) const;
+
+private:
+  std::size_t slot(TenantId t) const {
+    return t == kUnowned ? n_tenants_ : static_cast<std::size_t>(t);
+  }
+
+  std::size_t n_tenants_;
+  std::vector<std::uint64_t> capacity_; // per level; 0 = unbounded
+  /// used_[slot(t) * levels + level]; the extra slot is kUnowned.
+  std::vector<std::uint64_t> used_;
+  std::vector<std::uint64_t> reserved_; // same layout, tenants only
+};
+
+} // namespace hmr::serve

@@ -1,0 +1,27 @@
+#include "serve/tenant.hpp"
+
+#include <algorithm>
+
+namespace hmr::serve {
+
+const char* qos_class_name(QosClass q) {
+  switch (q) {
+    case QosClass::LatencySLO: return "latency_slo";
+    case QosClass::BestEffort: return "best_effort";
+    case QosClass::Batch: return "batch";
+  }
+  return "?";
+}
+
+std::vector<TenantId> TenantRegistry::by_priority() const {
+  std::vector<TenantId> ids(descs_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<TenantId>(i);
+  }
+  std::stable_sort(ids.begin(), ids.end(), [&](TenantId a, TenantId b) {
+    return qos_rank(descs_[a].qos) < qos_rank(descs_[b].qos);
+  });
+  return ids;
+}
+
+} // namespace hmr::serve

@@ -1,0 +1,153 @@
+#pragma once
+// Tenant model for multi-tenant serving (docs/SERVING.md).
+//
+// The paper's runtime assumes one bandwidth-sensitive application owns
+// the memory hierarchy; the serving subsystem fields many concurrent
+// job streams over it.  A *tenant* is one such stream: a QoS class, an
+// optional latency SLO, a token-bucket arrival rate, and a guaranteed
+// share of each bounded placement level.  Tenant descriptors are fixed
+// at registration time (before the engine starts taking events); all
+// mutable per-tenant state lives in serve::TenantEngine, which guards
+// it with its own mutex.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hmr::serve {
+
+using TenantId = std::uint32_t;
+
+/// Priority classes, highest first.  Admission releases deferred work
+/// in rank order and the executors' priority dispatch lets a
+/// higher-rank tenant's fetch displace a lower-rank tenant's queued
+/// (not-yet-started) prefetch.
+enum class QosClass : std::uint8_t {
+  LatencySLO = 0, // interactive / latency-bound: admitted first
+  BestEffort = 1, // throughput jobs: admitted when SLO demand is met
+  Batch = 2,      // background: admitted last
+};
+
+const char* qos_class_name(QosClass q);
+
+/// Lower = more important.
+inline int qos_rank(QosClass q) { return static_cast<int>(q); }
+
+struct TenantDesc {
+  /// Dense ids starting at 0 (TaskDesc::tenant defaults to 0, so the
+  /// first registered tenant is the default tenant).
+  TenantId id = 0;
+  std::string name;
+  QosClass qos = QosClass::BestEffort;
+
+  /// Informational SLO: target p99 fetch latency in seconds (virtual
+  /// seconds under the DES).  0 = no SLO.  Exported with the tenant's
+  /// stats so operators and benches can compare attained vs target;
+  /// admission uses the QoS class, not this number.
+  double slo_p99_fetch_s = 0;
+
+  /// Token-bucket rate limit on task admission: sustained tasks per
+  /// second (0 = unlimited) with `burst_tasks` of depth.  Work
+  /// conserving: the bucket only defers work while the engine has
+  /// other live work to run.
+  double rate_tasks_per_s = 0;
+  double burst_tasks = 32;
+
+  /// Queue-depth backpressure: a submission whose tenant already has
+  /// this many deferred tasks gets a Reject verdict (0 = unbounded).
+  /// Fire-and-forget submission paths (rt::Runtime::send_prefetch)
+  /// cannot drop work and degrade Reject to Defer; the rejection is
+  /// still counted.
+  std::size_t max_queued = 0;
+
+  /// Guaranteed fraction of each bounded placement level's capacity,
+  /// indexed by hierarchy level (missing levels = 0).  The sum over
+  /// tenants must be <= 1 per level.  Usage beyond the reservation is
+  /// *borrowing*: allowed while the pool has free bytes and no
+  /// under-reserve tenant is waiting, and revocable — quota-aware
+  /// demotion prefers victim blocks owned by over-quota tenants.
+  std::vector<double> tier_reserve;
+
+  double reserve_for(std::size_t level) const {
+    return level < tier_reserve.size() ? tier_reserve[level] : 0.0;
+  }
+};
+
+/// Immutable tenant table: descriptors + priority order.  Mutable
+/// per-tenant state (queues, counters, quota usage) lives in
+/// TenantEngine / QuotaLedger.
+class TenantRegistry {
+public:
+  /// Register a tenant; ids must arrive dense and in order (0, 1, …).
+  void add(TenantDesc d) {
+    HMR_CHECK_MSG(d.id == descs_.size(),
+                  "tenant ids must be dense and registered in order");
+    HMR_CHECK_MSG(!d.name.empty(), "tenant needs a name");
+    for (std::size_t l = 0; l < d.tier_reserve.size(); ++l) {
+      HMR_CHECK_MSG(d.tier_reserve[l] >= 0 && d.tier_reserve[l] <= 1.0,
+                    "tier_reserve fractions must be within [0, 1]");
+    }
+    descs_.push_back(std::move(d));
+  }
+
+  std::size_t size() const { return descs_.size(); }
+  bool empty() const { return descs_.empty(); }
+
+  const TenantDesc& desc(TenantId t) const {
+    HMR_CHECK_MSG(t < descs_.size(), "unknown tenant id");
+    return descs_[t];
+  }
+
+  const std::vector<TenantDesc>& all() const { return descs_; }
+
+  /// Tenant ids sorted by (qos rank, id): the admission release order.
+  std::vector<TenantId> by_priority() const;
+
+private:
+  std::vector<TenantDesc> descs_;
+};
+
+/// Per-tenant observable state, snapshotted by TenantEngine for the
+/// /tenants route, metrics export and the serve_qos bench.
+struct TenantSnapshot {
+  TenantDesc desc;
+
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;  // handed to the inner engine
+  std::uint64_t deferred = 0;  // total Defer verdicts
+  std::uint64_t rejected = 0;  // queue-depth backpressure verdicts
+  std::uint64_t forced = 0;    // starvation-guard force admissions
+  std::uint64_t completed = 0;
+  std::uint64_t queued_now = 0; // currently deferred
+
+  std::uint64_t fetches = 0;
+  std::uint64_t fetch_bytes = 0;
+  std::uint64_t evicts = 0;
+  std::uint64_t evict_bytes = 0;
+
+  /// Executor priority dispatch: queued prefetches of other tenants
+  /// this tenant's fetches jumped ahead of / times this tenant's
+  /// queued prefetches were jumped.
+  std::uint64_t displaced = 0;
+  std::uint64_t displaced_by = 0;
+
+  /// Level-0 claims made beyond the tenant's reservation.
+  std::uint64_t borrows = 0;
+
+  /// Bytes currently charged per hierarchy level.
+  std::vector<std::uint64_t> quota_used;
+  std::vector<std::uint64_t> quota_reserved;
+
+  /// Fetch command-to-completion latency (queueing included).
+  std::uint64_t fetch_samples = 0;
+  double fetch_p50_s = 0;
+  double fetch_p99_s = 0;
+  double fetch_max_s = 0;
+
+  double first_completion_s = 0; // clock() at first/last completion
+  double last_completion_s = 0;
+};
+
+} // namespace hmr::serve

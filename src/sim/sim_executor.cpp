@@ -12,18 +12,6 @@ namespace hmr::sim {
 
 namespace {
 
-/// End-of-run invariant audit: the DES drives the serial engine from
-/// one thread and both run() exits require quiescence first, so the
-/// audit is always exact here.  Aborts on violation (check_audit).
-void final_audit(const ooc::PolicyEngine& engine, double now, int knob) {
-  if (!telemetry::audit_enabled(knob)) return;
-  telemetry::AuditReport r;
-  r.time = now;
-  r.at_quiescence = true;
-  r.violations = engine.audit_invariants(true);
-  telemetry::check_audit(r);
-}
-
 ooc::PolicyEngine::Config engine_config(const SimConfig& cfg) {
   ooc::PolicyEngine::Config ec;
   // Cache mode is a hardware configuration, not a scheduling strategy:
@@ -110,6 +98,48 @@ SimExecutor::SimExecutor(SimConfig cfg)
     governor_ = std::make_unique<adapt::StrategyGovernor>(gc);
     engine_.set_advisor(advisor_.get());
   }
+  if (cfg_.serve.enabled()) {
+    HMR_CHECK_MSG(!cfg_.adaptive,
+                  "tenancy and adaptive guidance are mutually exclusive "
+                  "(both claim the engine's advisor slot)");
+    tenancy_ =
+        std::make_unique<serve::TenantEngine>(engine_, cfg_.serve, 0.0);
+    // Token buckets and latency percentiles run on virtual time.
+    tenancy_->set_clock([this] { return now_; });
+    if (auto* adv = tenancy_->advisor()) engine_.set_advisor(adv);
+  }
+}
+
+/// End-of-run invariant audit: the DES drives the serial engine from
+/// one thread and both run() exits require quiescence first, so the
+/// audit is always exact here.  Aborts on violation (check_audit).
+/// Under tenancy the decorator's audit adds ledger conservation and
+/// admission bookkeeping on top of the inner engine's.
+void SimExecutor::final_audit() {
+  if (!telemetry::audit_enabled(cfg_.audit)) return;
+  telemetry::AuditReport r;
+  r.time = now_;
+  r.at_quiescence = true;
+  r.violations = tenancy_ ? tenancy_->audit_invariants(true)
+                          : engine_.audit_invariants(true);
+  telemetry::check_audit(r);
+}
+
+void SimExecutor::dispatch_arrival(const ooc::TaskDesc& desc) {
+  if (!tenancy_) {
+    process(engine_.on_task_arrived(desc));
+    return;
+  }
+  std::vector<ooc::Command> cmds;
+  const serve::Verdict v = tenancy_->submit(desc, cmds);
+  if (v == serve::Verdict::Reject) {
+    // The verdict dropped the task (counted in its tenant's stats).
+    // A dropped task must not gate successors forever.
+    HMR_CHECK_MSG(dependents_.find(desc.id) == dependents_.end(),
+                  "task with dependents rejected by admission; raise the "
+                  "tenant's max_queued");
+  }
+  process(std::move(cmds));
 }
 
 TransferChannel& SimExecutor::channel_for(ooc::TierId src,
@@ -211,11 +241,7 @@ void SimExecutor::process(std::vector<ooc::Command> cmds) {
           pes_[pe].q.push_front(std::move(j));
           pump_pe(pe);
         } else {
-          HMR_CHECK(num_agents_ > 0);
-          const auto a =
-              static_cast<std::size_t>(c.agent % num_agents_);
-          agents_[a].q.push_back(std::move(j));
-          pump_agent(a);
+          enqueue_agent(c);
         }
         break;
       }
@@ -225,6 +251,41 @@ void SimExecutor::process(std::vector<ooc::Command> cmds) {
     peak_inflight_ = std::max(peak_inflight_, engine_.inflight_fetches());
     if (engine_.total_waiting() > 0) phase_contended_ = true;
   }
+}
+
+void SimExecutor::enqueue_agent(const ooc::Command& c) {
+  HMR_CHECK(num_agents_ > 0);
+  const auto a = static_cast<std::size_t>(c.agent % num_agents_);
+  Job j;
+  j.cmd = c;
+  auto& q = agents_[a].q;
+  if (tenancy_ && tenancy_->priority_dispatch()) {
+    // Priority-aware preemption of queued work: this command enters
+    // ahead of every queued command of worse dispatch rank (evicts
+    // outrank fetches; fetches rank by tenant QoS).  In-progress
+    // transfers are never interrupted.
+    const int rank = tenancy_->dispatch_rank(c);
+    auto pos = q.end();
+    for (auto qit = q.begin(); qit != q.end(); ++qit) {
+      if (tenancy_->dispatch_rank(qit->cmd) > rank) {
+        pos = qit;
+        break;
+      }
+    }
+    if (pos != q.end() && c.kind == ooc::Command::Kind::Fetch) {
+      const serve::TenantId w = tenancy_->command_tenant(c);
+      for (auto qit = pos; qit != q.end(); ++qit) {
+        if (qit->cmd.kind == ooc::Command::Kind::Fetch) {
+          tenancy_->note_displacement(
+              w, tenancy_->command_tenant(qit->cmd));
+        }
+      }
+    }
+    q.insert(pos, std::move(j));
+  } else {
+    q.push_back(std::move(j));
+  }
+  pump_agent(a);
 }
 
 void SimExecutor::pump_node_queue() {
@@ -304,7 +365,8 @@ void SimExecutor::start_transfer(const ooc::Command& cmd,
              Lane& lane = on_worker ? pes_[lane_index] : agents_[lane_index];
              lane.busy = false;
              if (on_worker) result_.worker_transfer_seconds += now_ - t0;
-             process(engine_.on_fetch_complete(cmd.block));
+             process(tenancy_ ? tenancy_->on_fetch_complete(cmd.block)
+                              : engine_.on_fetch_complete(cmd.block));
              if (on_worker) {
                pump_pe(lane_index);
              } else {
@@ -358,8 +420,13 @@ void SimExecutor::finish_transfer(std::uint64_t flow_id) {
   lane.busy = false;
   if (ctx.on_worker) result_.worker_transfer_seconds += now_ - ctx.t0;
 
-  process(fetch ? engine_.on_fetch_complete(ctx.cmd.block)
-                : engine_.on_evict_complete(ctx.cmd.block));
+  if (tenancy_) {
+    process(fetch ? tenancy_->on_fetch_complete(ctx.cmd.block)
+                  : tenancy_->on_evict_complete(ctx.cmd.block));
+  } else {
+    process(fetch ? engine_.on_fetch_complete(ctx.cmd.block)
+                  : engine_.on_evict_complete(ctx.cmd.block));
+  }
   if (ctx.on_worker) {
     pump_pe(ctx.lane_index);
     if (cfg_.node_run_queue) pump_node_queue();
@@ -375,7 +442,24 @@ void SimExecutor::finish_task(ooc::TaskId id, std::size_t pe, double t_start,
   result_.compute_lane_seconds += duration;
   ++result_.tasks_completed;
   pes_[pe].busy = false;
-  process(engine_.on_task_complete(id));
+  if (tenancy_) {
+    // Mirror the compute interval onto the task's tenant lane (lanes
+    // after the workers and IO agents) for per-tenant timelines.
+    // Tracer::summarize(worker_lanes) clips to the worker lanes, so
+    // utilization figures are unaffected.
+    if (tracer_.enabled()) {
+      const auto dit = descs_.find(id);
+      if (dit != descs_.end()) {
+        tracer_.record(
+            cfg_.model.num_pes + num_agents_ +
+                static_cast<std::int32_t>(dit->second.tenant),
+            trace::Category::Compute, t_start, now_, id);
+      }
+    }
+    process(tenancy_->on_task_complete(id, static_cast<std::int32_t>(pe)));
+  } else {
+    process(engine_.on_task_complete(id));
+  }
   // DAG delivery: completion releases successor messages.
   if (const auto it = dependents_.find(id); it != dependents_.end()) {
     for (const auto succ : it->second) {
@@ -387,7 +471,7 @@ void SimExecutor::finish_task(ooc::TaskId id, std::size_t pe, double t_start,
         ++dag_injected_;
         arrive_[succ] = now_;
         profile_arrival(dit->second);
-        process(engine_.on_task_arrived(dit->second));
+        dispatch_arrival(dit->second);
       }
     }
   }
@@ -399,7 +483,7 @@ void SimExecutor::inject_task(const ooc::TaskDesc& desc) {
   ++dag_injected_;
   arrive_[desc.id] = now_;
   profile_arrival(desc);
-  process(engine_.on_task_arrived(desc));
+  dispatch_arrival(desc);
 }
 
 void SimExecutor::profile_arrival(const ooc::TaskDesc& desc) {
@@ -412,6 +496,7 @@ void SimExecutor::export_metrics() {
   if (!cfg_.metrics) return;
   telemetry::MetricsRegistry& reg = *cfg_.metrics;
   telemetry::export_policy_stats(reg, engine_.stats());
+  if (tenancy_) tenancy_->export_metrics(reg);
   reg.counter("hmr_trace_events_dropped_total", "",
               "Trace intervals lost to ring overflow")
       .set(tracer_.dropped());
@@ -484,7 +569,11 @@ SimResult SimExecutor::run(const Workload& w) {
   const auto& blocks = w.blocks();
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     HMR_CHECK_MSG(blocks[i].id == i, "workload block ids must be dense");
-    engine_.add_block(blocks[i].id, blocks[i].bytes);
+    if (tenancy_) {
+      tenancy_->add_block(blocks[i].id, blocks[i].bytes);
+    } else {
+      engine_.add_block(blocks[i].id, blocks[i].bytes);
+    }
     wss_ += blocks[i].bytes;
   }
 
@@ -541,7 +630,7 @@ SimResult SimExecutor::run(const Workload& w) {
     }
     HMR_CHECK_MSG(dag_injected_ == descs_.size(),
                   "dependency cycle: some tasks were never released");
-    HMR_CHECK_MSG(engine_.quiescent(),
+    HMR_CHECK_MSG(engine_quiescent(),
                   "DAG run ended with tasks or transfers outstanding");
     result_.iteration_times.push_back(now_);
     result_.total_time = now_;
@@ -549,7 +638,7 @@ SimResult SimExecutor::run(const Workload& w) {
     result_.final_strategy = engine_.config().strategy;
     result_.final_eager_evict = engine_.config().eager_evict;
     if (tracer_.enabled()) tracer_.fill_idle(0, now_);
-    final_audit(engine_, now_, cfg_.audit);
+    final_audit();
     export_metrics();
     return result_;
   }
@@ -561,14 +650,18 @@ SimResult SimExecutor::run(const Workload& w) {
       auto [it, ins] = descs_.emplace(t.id, std::move(t));
       HMR_CHECK_MSG(ins, "duplicate task id across iterations");
       profile_arrival(it->second);
-      process(engine_.on_task_arrived(it->second));
+      dispatch_arrival(it->second);
     }
     while (!eq_.empty()) {
       auto [t, fn] = eq_.pop();
       now_ = t;
       fn();
     }
-    if (!engine_.quiescent()) {
+    if (!engine_quiescent()) {
+      if (tenancy_) {
+        std::fprintf(stderr, "hmr: sim wedge: tenancy deferred=%zu\n",
+                     tenancy_->total_waiting() - engine_.total_waiting());
+      }
       std::fprintf(stderr,
                    "hmr: sim wedge: waiting=%zu live=%zu inflight_fetch=%zu "
                    "inflight_evict=%zu fast=%llu/%llu\n",
@@ -618,7 +711,7 @@ SimResult SimExecutor::run(const Workload& w) {
   result_.final_eager_evict = engine_.config().eager_evict;
   if (governor_) result_.governor_switches = governor_->switches();
   if (tracer_.enabled()) tracer_.fill_idle(0, now_);
-  final_audit(engine_, now_, cfg_.audit);
+  final_audit();
   export_metrics();
   return result_;
 }

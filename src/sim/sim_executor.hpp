@@ -31,6 +31,7 @@
 #include "adapt/strategy_governor.hpp"
 #include "hw/machine_model.hpp"
 #include "ooc/policy_engine.hpp"
+#include "serve/tenant_engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/transfer_channel.hpp"
 #include "sim/workload.hpp"
@@ -110,6 +111,17 @@ struct SimConfig {
   /// (pure flat mode); combine with any strategy.
   double hybrid_cache_fraction = 0.0;
 
+  /// Multi-tenant serving (src/serve/): when tenants are registered,
+  /// the engine is wrapped in a serve::TenantEngine keyed on
+  /// TaskDesc::tenant — QoS-aware admission (token buckets, queue
+  /// backpressure, quota gate, starvation aging), per-tenant placement
+  /// quotas with quota-aware demotion advice, and priority dispatch
+  /// (an SLO tenant's fetch displaces a best-effort tenant's queued
+  /// prefetch on the IO agent lanes).  Token buckets and latency
+  /// percentiles run on virtual time.  Incompatible with `adaptive`
+  /// (both want the engine's advisor slot).
+  serve::ServeConfig serve;
+
   /// Online adaptive guidance (src/adapt/): profile block accesses,
   /// install a PlacementAdvisor on the engine, and let a
   /// StrategyGovernor retune strategy / eviction / fair admission at
@@ -177,6 +189,10 @@ public:
     return flight_.get();
   }
 
+  /// Multi-tenant serving decorator (nullptr unless SimConfig::serve
+  /// registered tenants).
+  const serve::TenantEngine* tenancy() const { return tenancy_.get(); }
+
 private:
   struct Job {
     bool is_task = false;
@@ -198,6 +214,17 @@ private:
   };
 
   void process(std::vector<ooc::Command> cmds);
+  /// Route one arrival: straight to the engine, or through tenancy
+  /// admission (Reject drops the task; Defer parks it for release on
+  /// a later engine event).
+  void dispatch_arrival(const ooc::TaskDesc& desc);
+  /// Queue an IO command on its agent lane — QoS-priority insertion
+  /// when tenancy's priority dispatch is on, FIFO otherwise.
+  void enqueue_agent(const ooc::Command& c);
+  bool engine_quiescent() const {
+    return tenancy_ ? tenancy_->quiescent() : engine_.quiescent();
+  }
+  void final_audit();
   void pump_pe(std::size_t pe);
   void pump_node_queue();
   void pump_agent(std::size_t a);
@@ -222,6 +249,9 @@ private:
 
   SimConfig cfg_;
   ooc::PolicyEngine engine_;
+  /// Tenancy decorator over engine_ (null = single-tenant: events go
+  /// straight to engine_, byte-identical to the pre-tenancy executor).
+  std::unique_ptr<serve::TenantEngine> tenancy_;
   EventQueue eq_;
   double now_ = 0;
   int num_agents_ = 0;

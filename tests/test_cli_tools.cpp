@@ -141,6 +141,34 @@ TEST(HmrBenchDiff, OnlyRestrictsTheGate) {
   EXPECT_NE(none.output.find("matched no metric"), std::string::npos);
 }
 
+TEST(HmrBenchDiff, DecodesUnicodeEscapes) {
+  // bench_unicode.json carries \uXXXX escapes (BMP code points and a
+  // surrogate pair) in object keys and element-key "name" members; the
+  // parser must decode them to UTF-8 instead of rejecting the file.
+  const RunResult r = run(
+      diff_cmd("bench_unicode.json", "bench_unicode.json", "--tolerance 0"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("unsupported escape"), std::string::npos);
+  // é -> C3 A9: the decoded name keys the flattened path.
+  EXPECT_NE(r.output.find("configs.caf\xC3\xA9.wall_s"), std::string::npos)
+      << r.output;
+  // € (3-byte) inside a key.
+  EXPECT_NE(r.output.find("euro\xE2\x82\xAC"), std::string::npos) << r.output;
+}
+
+TEST(HmrBenchDiff, RejectsUnpairedSurrogate) {
+  const std::string path = "/tmp/hmr_bad_surrogate.json";
+  {
+    std::ofstream f(path);
+    f << "{\"na\\ud83dme\": 1}\n";
+  }
+  const RunResult r = run(diff_cmd(path, path));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("unpaired surrogate"), std::string::npos)
+      << r.output;
+  std::remove(path.c_str());
+}
+
 TEST(HmrBenchDiff, MissingFileExitsOne) {
   const RunResult r = run(diff_cmd("bench_old.json", "no_such.json"));
   EXPECT_EQ(r.exit_code, 1);

@@ -81,6 +81,38 @@ private:
     pos_ += n;
     return true;
   }
+  /// Four hex digits at pos_ -> code unit; advances past them.
+  bool hex4(std::uint32_t& out) {
+    if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = s_[pos_++];
+      std::uint32_t d;
+      if (h >= '0' && h <= '9') d = static_cast<std::uint32_t>(h - '0');
+      else if (h >= 'a' && h <= 'f') d = static_cast<std::uint32_t>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') d = static_cast<std::uint32_t>(h - 'A' + 10);
+      else return fail("bad hex digit in \\u escape");
+      out = (out << 4) | d;
+    }
+    return true;
+  }
+  static void append_utf8(std::uint32_t cp, std::string& out) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
   bool string(std::string& out) {
     if (s_[pos_] != '"') return fail("expected string");
     ++pos_;
@@ -95,8 +127,30 @@ private:
         case 't': c = '\t'; break;
         case 'r': c = '\r'; break;
         case '"': case '\\': case '/': c = e; break;
-        default: return fail("unsupported escape"); // \uXXXX: benches
-        }                                           // never emit it
+        case 'u': {
+          std::uint32_t cp;
+          if (!hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos_ + 2 > s_.size() || s_[pos_] != '\\' ||
+                s_[pos_ + 1] != 'u') {
+              return fail("unpaired surrogate in \\u escape");
+            }
+            pos_ += 2;
+            std::uint32_t lo;
+            if (!hex4(lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return fail("unpaired surrogate in \\u escape");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate in \\u escape");
+          }
+          append_utf8(cp, out);
+          continue;
+        }
+        default: return fail("unsupported escape");
+        }
       }
       out.push_back(c);
     }
