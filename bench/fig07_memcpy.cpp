@@ -6,8 +6,15 @@
 // DDR->HBM.  We reproduce the sweep on the modeled channels (64
 // concurrent flows) and, alongside, measure the real memcpy step of
 // MemoryManager::migrate on this host at MiB scale.
+//
+// --json writes BENCH_fig07_memcpy.json.  The modeled sweep is
+// deterministic (pure channel arithmetic) and CI gates on it exactly;
+// the host table is wall-clock and only recorded.
 
+#include <cstdio>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "mem/memory_manager.hpp"
@@ -15,8 +22,10 @@
 int main(int argc, char** argv) {
   using namespace hmr;
   std::string csv_path;
+  bool json = false;
   ArgParser args("fig07_memcpy", "Fig 7: migration memcpy cost by size");
   args.add_flag("csv", "write results to this CSV file", &csv_path);
+  args.add_flag("json", "write BENCH_fig07_memcpy.json", &json);
   if (!args.parse(argc, argv)) return 1;
 
   bench::banner("Figure 7: memcpy cost for data migration",
@@ -27,6 +36,11 @@ int main(int argc, char** argv) {
   TextTable t({"total moved", "DDR->HBM (s)", "HBM->DDR (s)", "ratio"});
   bench::CsvSink csv(csv_path,
                      {"gib", "ddr_to_hbm_s", "hbm_to_ddr_s"});
+  struct ModeledRow {
+    std::uint64_t gib;
+    double to_hbm, to_ddr;
+  };
+  std::vector<ModeledRow> modeled;
   for (std::uint64_t gib : {1, 2, 4, 8, 12, 16}) {
     // 64 threads move the total concurrently: each flow carries 1/64.
     const std::uint64_t per_flow = gib * GiB / 64;
@@ -41,6 +55,7 @@ int main(int argc, char** argv) {
       csv->field(gib).field(to_hbm).field(to_ddr);
       csv->end_row();
     }
+    modeled.push_back({gib, to_hbm, to_ddr});
   }
   std::cout << "modeled 64-thread migration stress:\n";
   t.print(std::cout);
@@ -52,6 +67,11 @@ int main(int argc, char** argv) {
   mem::MemoryManager mm({{"DDR4", 512 * MiB}, {"MCDRAM", 512 * MiB}});
   TextTable rt({"block", "alloc (us)", "copy (us)", "free (us)",
                 "copy GB/s"});
+  struct HostRow {
+    std::uint64_t mib;
+    double copy_gbps;
+  };
+  std::vector<HostRow> host;
   for (std::uint64_t mib : {1, 4, 16, 64, 128}) {
     const auto b = mm.register_block(mib * MiB, 0);
     HMR_CHECK(b != mem::kInvalidBlock);
@@ -75,8 +95,44 @@ int main(int argc, char** argv) {
                 strfmt("%.1f", free_s / n * 1e6),
                 strfmt("%.2f",
                        static_cast<double>(mib * MiB) / (copy_s / n) / GB)});
+    host.push_back(
+        {mib, static_cast<double>(mib * MiB) / (copy_s / n) / GB});
     mm.unregister_block(b);
   }
   rt.print(std::cout);
+
+  if (json) {
+    const char* path = "BENCH_fig07_memcpy.json";
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig07_memcpy\",\n");
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    // Modeled channel sweep: deterministic, gate with --tolerance 0.
+    std::fprintf(f, "  \"modeled\": [\n");
+    for (std::size_t i = 0; i < modeled.size(); ++i) {
+      const auto& m = modeled[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%llugib\", "
+                   "\"ddr_to_hbm_s\": %.6f, \"hbm_to_ddr_s\": %.6f}%s\n",
+                   static_cast<unsigned long long>(m.gib), m.to_hbm,
+                   m.to_ddr, i + 1 < modeled.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    // Host memcpy bandwidth: wall-clock, recorded but not gated.
+    std::fprintf(f, "  \"host\": [\n");
+    for (std::size_t i = 0; i < host.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"name\": \"%llumib\", \"copy_gbps\": %.3f}%s\n",
+                   static_cast<unsigned long long>(host[i].mib),
+                   host[i].copy_gbps, i + 1 < host.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  }
   return 0;
 }

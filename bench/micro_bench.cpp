@@ -14,6 +14,7 @@
 #include "adapt/placement_advisor.hpp"
 #include "mem/arena.hpp"
 #include "mem/chunked_copy.hpp"
+#include "mem/copy_kernel.hpp"
 #include "rt/ci_parser.hpp"
 #include "rt/load_balancer.hpp"
 #include "sim/sim_executor.hpp"
@@ -63,6 +64,25 @@ void BM_ArenaFragmentedAlloc(benchmark::State& state) {
 }
 BENCHMARK(BM_ArenaFragmentedAlloc);
 
+void BM_ArenaLargestFreeRange(benchmark::State& state) {
+  // Heavily fragmented arena: the pre-index implementation walked every
+  // free range per query; the multiset max-hint answers from the back.
+  mem::TierArena arena("t", 64 * MiB);
+  std::vector<void*> keep;
+  for (int i = 0; i < 512; ++i) {
+    void* a = arena.alloc(32 * KiB);
+    void* b = arena.alloc(32 * KiB);
+    keep.push_back(a);
+    arena.free(b);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena.largest_free_range());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  for (void* p : keep) arena.free(p);
+}
+BENCHMARK(BM_ArenaLargestFreeRange);
+
 void BM_MigrateRoundTrip(benchmark::State& state) {
   const auto bytes = static_cast<std::uint64_t>(state.range(0));
   const bool pool = state.range(1) != 0;
@@ -94,6 +114,29 @@ void BM_RawMemcpy(benchmark::State& state) {
                           static_cast<std::int64_t>(bytes));
 }
 BENCHMARK(BM_RawMemcpy)->Arg(4 * KiB)->Arg(256 * KiB)->Arg(16 << 20);
+
+void BM_CopyKernel(benchmark::State& state) {
+  // mem::copy dispatched kernel vs BM_RawMemcpy above; range(1) forces
+  // streaming stores on/off so the NT threshold tradeoff is visible at
+  // each size.
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const auto stream =
+      state.range(1) != 0 ? mem::Stream::Always : mem::Stream::Never;
+  std::vector<char> src(bytes, 1), dst(bytes);
+  for (auto _ : state) {
+    mem::copy(dst.data(), src.data(), bytes, stream);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.SetLabel(mem::copy_impl_name(mem::copy_impl()));
+}
+BENCHMARK(BM_CopyKernel)
+    ->Args({4 * KiB, 0})
+    ->Args({256 * KiB, 0})
+    ->Args({256 * KiB, 1})
+    ->Args({16 << 20, 0})
+    ->Args({16 << 20, 1});
 
 void BM_PolicyTaskCycle(benchmark::State& state) {
   // One full task lifecycle (arrive -> fetch -> run -> complete ->

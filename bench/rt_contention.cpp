@@ -19,6 +19,7 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -60,6 +61,7 @@ struct RunResult {
   std::uint64_t budget_steals = 0;
   std::uint64_t ctx_switches = 0; // voluntary + involuntary, process-wide
   int engine_shards = 1;
+  int run_threads = 0; // PEs + IO threads actually spawned
 };
 
 std::uint64_t ctx_switch_count() {
@@ -70,6 +72,10 @@ std::uint64_t ctx_switch_count() {
 }
 
 struct BenchCfg {
+  // 0 = auto-detect: one PE per hardware thread, floor 2 so the
+  // scheduler contention being measured actually exists even on a
+  // single-core host (threads then timeshare, which is still the
+  // multi-thread code path).
   std::int64_t pes = 8;
   std::int64_t rounds = 40;
   std::int64_t tasks_per_round = 32; // per PE
@@ -84,6 +90,7 @@ struct BenchCfg {
   // oversubscribed host adds multi-10% run-to-run noise.
   std::int64_t sched_reps = 3;
   bool evict_by_worker = false;
+  bool pin = false; // pin PEs + IO siblings to cores (Linux only)
 };
 
 /// Fine-grained MultiIo workload: every PE cycles over its own block
@@ -102,6 +109,7 @@ RunResult run_config(const std::string& name, const BenchCfg& bc,
   cfg.lock_stats = true;
   cfg.legacy_idle_notify = legacy;
   cfg.evict_by_worker = bc.evict_by_worker;
+  cfg.pin_threads = bc.pin;
   cfg.chunk_threshold = 0; // blocks are tiny; isolate scheduler cost
   rt::Runtime run(cfg);
 
@@ -160,6 +168,7 @@ RunResult run_config(const std::string& name, const BenchCfg& bc,
   res.evicts = st.evicts;
   res.engine_shards = run.engine_shards();
   res.budget_steals = run.budget_steals();
+  res.run_threads = run.num_pes() + run.num_io_threads();
   if (const trace::ContentionStats* cs = run.lock_stats()) {
     const auto t = cs->totals();
     res.lock_acquisitions = t.acquisitions;
@@ -336,6 +345,8 @@ void write_json(const std::string& path, const BenchCfg& bc,
   std::fprintf(f, "{\n  \"bench\": \"rt_contention\",\n");
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"run_threads\": %d,\n",
+               runs.empty() ? 0 : runs.back().run_threads);
   std::fprintf(
       f,
       "  \"workload\": {\"pes\": %lld, \"rounds\": %lld, "
@@ -397,7 +408,8 @@ int main(int argc, char** argv) {
                     "threaded-runtime scheduler contention bench: "
                     "global-lock vs sharded engine, monolithic vs "
                     "chunked migration");
-  ap.add_flag("pes", "worker threads", &bc.pes);
+  ap.add_flag("pes", "worker threads (0 = one per hardware thread)",
+              &bc.pes);
   ap.add_flag("rounds", "wait_idle-separated rounds", &bc.rounds);
   ap.add_flag("tasks-per-round", "tasks per PE per round",
               &bc.tasks_per_round);
@@ -408,6 +420,8 @@ int main(int argc, char** argv) {
               &bc.sched_reps);
   ap.add_flag("evict-by-worker", "run evictions inline on the worker",
               &bc.evict_by_worker);
+  ap.add_flag("pin", "pin worker/IO threads to cores (best effort)",
+              &bc.pin);
   ap.add_flag("helpers", "assist threads for the migrate phase", &helpers);
   ap.add_flag("migrate-mib", "large-block size (MiB)", &migrate_mib);
   ap.add_flag("reps", "round trips in the migrate phase", &reps);
@@ -421,6 +435,12 @@ int main(int argc, char** argv) {
               "Prometheus text here",
               &prom);
   if (!ap.parse(argc, argv)) return 1;
+  if (bc.pes <= 0) {
+    bc.pes = std::max(2u, std::thread::hardware_concurrency());
+    std::printf("auto-detected %lld PEs (%u hardware threads)\n",
+                static_cast<long long>(bc.pes),
+                std::thread::hardware_concurrency());
+  }
 
   std::printf("== rt_contention: %lld PEs, %lld rounds x %lld tasks/PE, "
               "%llu KiB blocks ==\n\n",

@@ -21,6 +21,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -165,7 +166,10 @@ void write_json(const std::vector<Outcome>& outcomes) {
     std::perror("BENCH_serve_qos.json");
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"serve_qos\",\n  \"configs\": [\n");
+  std::fprintf(f, "{\n  \"bench\": \"serve_qos\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"configs\": [\n");
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const auto& o = outcomes[i];
     std::fprintf(f, "    {\"config\": \"%s\", \"total_s\": %.6f, "

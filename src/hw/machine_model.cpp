@@ -117,10 +117,10 @@ MachineModel knl_flat_all_to_all() {
   m.num_pes = 64;
   m.tiers = {
       // Tier 0 = DDR4: libnuma memory node 0 on KNL.
-      {"DDR4", 96 * GiB, 90.0 * GB, 70.0 * GB, 130e-9},
+      {"DDR4", 96 * GiB, 90.0 * GB, 70.0 * GB, 130e-9, /*numa_node=*/0},
       // Tier 1 = MCDRAM: libnuma memory node 1; ~4-5x bandwidth,
       // comparable latency (paper §I).
-      {"MCDRAM", 16 * GiB, 480.0 * GB, 380.0 * GB, 150e-9},
+      {"MCDRAM", 16 * GiB, 480.0 * GB, 380.0 * GB, 150e-9, /*numa_node=*/1},
   };
   m.slow = 0;
   m.fast = 1;
@@ -143,9 +143,9 @@ MachineModel three_tier_hbm_ddr_nvm() {
   m.tiers = {
       // Tier 0 = NVM: both bandwidth- and latency-restricted (paper §II
       // contrasts this with DDR4 which is only bandwidth-restricted).
-      {"NVM", 512 * GiB, 18.0 * GB, 6.0 * GB, 1200e-9},
-      {"MCDRAM", 16 * GiB, 480.0 * GB, 380.0 * GB, 150e-9},
-      {"DDR4", 96 * GiB, 90.0 * GB, 70.0 * GB, 130e-9},
+      {"NVM", 512 * GiB, 18.0 * GB, 6.0 * GB, 1200e-9, /*numa_node=*/2},
+      {"MCDRAM", 16 * GiB, 480.0 * GB, 380.0 * GB, 150e-9, /*numa_node=*/1},
+      {"DDR4", 96 * GiB, 90.0 * GB, 70.0 * GB, 130e-9, /*numa_node=*/0},
   };
   m.slow = 0; // NVM is the overflow pool in this configuration
   m.fast = 1;
@@ -157,8 +157,8 @@ MachineModel exascale_near_far() {
   m.name = "Traleika-Glacier-style near/far node";
   m.num_pes = 128;
   m.tiers = {
-      {"FarDRAM", 256 * GiB, 120.0 * GB, 100.0 * GB, 200e-9},
-      {"NearBSM", 8 * GiB, 1000.0 * GB, 800.0 * GB, 60e-9},
+      {"FarDRAM", 256 * GiB, 120.0 * GB, 100.0 * GB, 200e-9, /*numa_node=*/0},
+      {"NearBSM", 8 * GiB, 1000.0 * GB, 800.0 * GB, 60e-9, /*numa_node=*/1},
   };
   m.slow = 0;
   m.fast = 1;
@@ -171,9 +171,9 @@ MachineModel spr_hbm_flat() {
   m.num_pes = 56;
   m.tiers = {
       // 8-channel DDR5-4800: ~300 GB/s read on a socket.
-      {"DDR5", 512 * GiB, 300.0 * GB, 250.0 * GB, 100e-9},
+      {"DDR5", 512 * GiB, 300.0 * GB, 250.0 * GB, 100e-9, /*numa_node=*/0},
       // 4 HBM2e stacks: ~800 GB/s sustained.
-      {"HBM2e", 64 * GiB, 800.0 * GB, 650.0 * GB, 120e-9},
+      {"HBM2e", 64 * GiB, 800.0 * GB, 650.0 * GB, 120e-9, /*numa_node=*/1},
   };
   m.slow = 0;
   m.fast = 1;

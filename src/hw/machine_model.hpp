@@ -41,6 +41,11 @@ struct MemoryTier {
   /// Idle access latency in seconds.  The paper notes MCDRAM and DDR4
   /// have comparable latency; NVM-style tiers have much higher.
   double latency = 0;
+
+  /// OS NUMA node exposing this pool (-1 = unknown/none).  On the
+  /// paper's KNL flat mode DDR4 is node 0 and MCDRAM node 1; HMR_NUMA
+  /// builds bind mmap-backed tier arenas to this node.
+  int numa_node = -1;
 };
 
 /// A node with heterogeneous memory and `num_pes` worker PEs.

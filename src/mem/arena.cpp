@@ -1,21 +1,100 @@
 #include "mem/arena.hpp"
 
 #include <algorithm>
+#include <new>
 
 #include "util/check.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define HMR_ARENA_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define HMR_ARENA_HAVE_MMAP 0
+#endif
+
+#if defined(HMR_HAVE_NUMA)
+#include <numa.h>
+#endif
+
 namespace hmr::mem {
 
+namespace {
+
+void erase_one_len(std::multiset<std::uint64_t>& lens, std::uint64_t len) {
+  const auto it = lens.find(len);
+  HMR_CHECK_MSG(it != lens.end(), "free-range length index out of sync");
+  lens.erase(it);
+}
+
+} // namespace
+
 TierArena::TierArena(std::string name, std::uint64_t capacity,
-                     std::size_t alignment)
+                     std::size_t alignment, Options opts)
     : name_(std::move(name)), capacity_(capacity), alignment_(alignment) {
   HMR_CHECK_MSG(alignment_ != 0 && (alignment_ & (alignment_ - 1)) == 0,
                 "alignment must be a power of two");
   // Round the region itself so every offset-aligned pointer is aligned.
   if (capacity_ > 0) {
-    base_.reset(new (std::align_val_t(alignment_)) std::byte[capacity_]);
+    reserve_region(opts);
     free_ranges_.emplace(0, capacity_);
+    free_lens_.insert(capacity_);
   }
+}
+
+TierArena::~TierArena() { release_region(); }
+
+void TierArena::reserve_region(const Options& opts) {
+#if HMR_ARENA_HAVE_MMAP
+  const auto page = static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+  // mmap returns page-aligned memory; offsets are alignment_-rounded,
+  // so the backing works whenever the alignment divides the page size.
+  if (opts.backing == Backing::Mmap && page % alignment_ == 0) {
+    region_len_ = (capacity_ + page - 1) / page * page;
+    void* p = ::mmap(nullptr, region_len_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+      base_ = static_cast<std::byte*>(p);
+      actual_backing_ = Backing::Mmap;
+#if defined(MADV_HUGEPAGE)
+      // Transparent hugepages are advisory; ignore rejection (e.g.
+      // THP disabled host-wide).
+      if (opts.hugepage) (void)::madvise(p, region_len_, MADV_HUGEPAGE);
+#endif
+#if defined(HMR_HAVE_NUMA)
+      if (opts.numa_node >= 0 && ::numa_available() != -1 &&
+          opts.numa_node <= ::numa_max_node()) {
+        ::numa_tonode_memory(p, region_len_, opts.numa_node);
+        bound_node_ = opts.numa_node;
+      }
+#endif
+      return;
+    }
+    region_len_ = 0; // mmap failed: fall through to the portable path
+  }
+#else
+  (void)opts;
+#endif
+  base_ = static_cast<std::byte*>(
+      ::operator new[](capacity_, std::align_val_t(alignment_)));
+  actual_backing_ = Backing::NewDelete;
+}
+
+void TierArena::release_region() {
+  if (base_ == nullptr) return;
+#if HMR_ARENA_HAVE_MMAP
+  if (actual_backing_ == Backing::Mmap) {
+    ::munmap(base_, region_len_);
+    base_ = nullptr;
+    return;
+  }
+#endif
+  ::operator delete[](base_, std::align_val_t(alignment_));
+  base_ = nullptr;
+}
+
+const char* TierArena::backing_name() const {
+  return actual_backing_ == Backing::Mmap ? "mmap" : "new[]";
 }
 
 std::uint64_t TierArena::round_up(std::uint64_t bytes) const {
@@ -26,17 +105,23 @@ std::uint64_t TierArena::round_up(std::uint64_t bytes) const {
 void* TierArena::alloc(std::uint64_t bytes) {
   HMR_CHECK_MSG(bytes > 0, "zero-byte tier allocation");
   const std::uint64_t need = round_up(bytes);
+  // Cheap reject via the length index before the first-fit walk.
+  if (free_lens_.empty() || *free_lens_.rbegin() < need) return nullptr;
   for (auto it = free_ranges_.begin(); it != free_ranges_.end(); ++it) {
     if (it->second < need) continue;
     const std::uint64_t off = it->first;
     const std::uint64_t len = it->second;
     free_ranges_.erase(it);
-    if (len > need) free_ranges_.emplace(off + need, len - need);
+    erase_one_len(free_lens_, len);
+    if (len > need) {
+      free_ranges_.emplace(off + need, len - need);
+      free_lens_.insert(len - need);
+    }
     live_.emplace(off, need);
     used_ += need;
     high_water_ = std::max(high_water_, used_);
     ++total_allocs_;
-    return base_.get() + off;
+    return base_ + off;
   }
   return nullptr;
 }
@@ -44,9 +129,9 @@ void* TierArena::alloc(std::uint64_t bytes) {
 void TierArena::free(void* p) {
   HMR_CHECK_MSG(p != nullptr, "freeing nullptr");
   const auto* bp = static_cast<const std::byte*>(p);
-  HMR_CHECK_MSG(base_ && bp >= base_.get() && bp < base_.get() + capacity_,
+  HMR_CHECK_MSG(base_ != nullptr && bp >= base_ && bp < base_ + capacity_,
                 "pointer not from this arena");
-  const std::uint64_t off = static_cast<std::uint64_t>(bp - base_.get());
+  const std::uint64_t off = static_cast<std::uint64_t>(bp - base_);
   auto it = live_.find(off);
   HMR_CHECK_MSG(it != live_.end(), "double free or interior pointer");
   std::uint64_t len = it->second;
@@ -57,6 +142,7 @@ void TierArena::free(void* p) {
   auto next = free_ranges_.lower_bound(off);
   if (next != free_ranges_.end() && off + len == next->first) {
     len += next->second;
+    erase_one_len(free_lens_, next->second);
     next = free_ranges_.erase(next);
   }
   std::uint64_t start = off;
@@ -65,23 +151,23 @@ void TierArena::free(void* p) {
     if (prev->first + prev->second == off) {
       start = prev->first;
       len += prev->second;
+      erase_one_len(free_lens_, prev->second);
       free_ranges_.erase(prev);
     }
   }
   free_ranges_.emplace(start, len);
+  free_lens_.insert(len);
 }
 
 bool TierArena::owns(const void* p) const {
-  if (!base_ || p == nullptr) return false;
+  if (base_ == nullptr || p == nullptr) return false;
   const auto* bp = static_cast<const std::byte*>(p);
-  if (bp < base_.get() || bp >= base_.get() + capacity_) return false;
-  return live_.count(static_cast<std::uint64_t>(bp - base_.get())) != 0;
+  if (bp < base_ || bp >= base_ + capacity_) return false;
+  return live_.count(static_cast<std::uint64_t>(bp - base_)) != 0;
 }
 
 std::uint64_t TierArena::largest_free_range() const {
-  std::uint64_t best = 0;
-  for (const auto& [off, len] : free_ranges_) best = std::max(best, len);
-  return best;
+  return free_lens_.empty() ? 0 : *free_lens_.rbegin();
 }
 
 } // namespace hmr::mem

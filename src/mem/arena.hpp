@@ -8,23 +8,44 @@
 // fixed-capacity region per tier, allocation failure (nullptr) when the
 // tier is full, and real pointers so migration can actually memcpy.
 //
+// Two backing modes (docs/PERF.md §4):
+//   NewDelete — aligned operator new[], the portable default.
+//   Mmap      — anonymous mmap with MADV_HUGEPAGE, and, when the build
+//               has libnuma (-DHMR_NUMA=ON) and the tier's MachineModel
+//               entry names a node, the region is bound to that NUMA
+//               node the way the paper binds MCDRAM.  Every step
+//               degrades gracefully (mmap -> new[], no THP, no NUMA).
+//
 // Not thread-safe by itself: MemoryManager serializes access.
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 
 namespace hmr::mem {
 
+enum class ArenaBacking : std::uint8_t { NewDelete = 0, Mmap };
+
+struct ArenaOptions {
+  ArenaBacking backing = ArenaBacking::NewDelete;
+  bool hugepage = true; ///< MADV_HUGEPAGE on Mmap backing
+  int numa_node = -1;   ///< bind Mmap region to this node (-1 = none;
+                        ///< needs an HMR_NUMA build + NUMA hardware)
+};
+
 class TierArena {
 public:
+  using Backing = ArenaBacking;
+  using Options = ArenaOptions;
+
   /// Reserves `capacity` bytes of host memory up front.  All returned
   /// pointers are aligned to `alignment` (default one cache line).
   TierArena(std::string name, std::uint64_t capacity,
-            std::size_t alignment = 64);
+            std::size_t alignment = 64, Options opts = Options());
+  ~TierArena();
 
   TierArena(const TierArena&) = delete;
   TierArena& operator=(const TierArena&) = delete;
@@ -49,22 +70,40 @@ public:
   std::uint64_t high_water() const { return high_water_; }
   std::uint64_t live_allocations() const { return live_.size(); }
 
-  /// Size of the largest single allocatable range (fragmentation probe).
+  /// Size of the largest single allocatable range (fragmentation
+  /// probe).  O(1): the free-range lengths are mirrored in an ordered
+  /// multiset maintained by alloc/free.
   std::uint64_t largest_free_range() const;
 
   /// Total allocations served over the arena's lifetime.
   std::uint64_t total_allocs() const { return total_allocs_; }
 
+  /// Backing actually in effect ("new[]" or "mmap"); Mmap requests fall
+  /// back to "new[]" when mmap is unavailable or fails.
+  const char* backing_name() const;
+  Backing backing() const { return actual_backing_; }
+  /// NUMA node the region was bound to, or -1 (no binding requested,
+  /// non-NUMA build, or no NUMA hardware at runtime).
+  int bound_node() const { return bound_node_; }
+
 private:
   std::uint64_t round_up(std::uint64_t bytes) const;
+  void reserve_region(const Options& opts);
+  void release_region();
 
   std::string name_;
   std::uint64_t capacity_;
   std::size_t alignment_;
-  std::unique_ptr<std::byte[]> base_;
+  std::byte* base_ = nullptr;
+  std::uint64_t region_len_ = 0; // page-rounded length of a Mmap region
+  Backing actual_backing_ = Backing::NewDelete;
+  int bound_node_ = -1;
 
-  // Free ranges keyed by offset (ordered, for coalescing) -> length.
+  // Free ranges keyed by offset (ordered, for coalescing) -> length,
+  // plus a multiset of the same lengths so largest_free_range() is the
+  // max element instead of an O(ranges) scan.
   std::map<std::uint64_t, std::uint64_t> free_ranges_;
+  std::multiset<std::uint64_t> free_lens_;
   // Live allocations: offset -> length.
   std::unordered_map<std::uint64_t, std::uint64_t> live_;
 

@@ -1,8 +1,8 @@
 #include "mem/chunked_copy.hpp"
 
-#include <cstring>
 #include <thread>
 
+#include "mem/copy_kernel.hpp"
 #include "util/check.hpp"
 
 namespace hmr::mem {
@@ -34,7 +34,14 @@ std::uint32_t ChunkRing::work_on(Job& job) {
     const std::uint64_t off = static_cast<std::uint64_t>(i) * chunk_bytes_;
     const std::uint64_t len =
         off + chunk_bytes_ <= job.bytes ? chunk_bytes_ : job.bytes - off;
-    std::memcpy(job.dst + off, job.src + off, len);
+    // NT policy is decided by the *job* size, not the chunk size: a
+    // 16 MiB migration should stream even though each 256 KiB slice
+    // sits below the threshold.
+    const Stream stream =
+        copy_nt_threshold() != 0 && job.bytes >= copy_nt_threshold()
+            ? Stream::Always
+            : Stream::Never;
+    copy(job.dst + off, job.src + off, len, stream);
     job.done.fetch_add(1, std::memory_order_release);
     ++copied;
   }
@@ -46,7 +53,7 @@ CopyOutcome ChunkRing::run(void* dst, const void* src, std::uint64_t bytes,
   CopyOutcome out;
   if (bytes == 0) return out;
   if (bytes <= chunk_bytes_) {
-    std::memcpy(dst, src, bytes);
+    copy(dst, src, bytes);
     out.chunks = 1;
     chunks_copied_.fetch_add(1, std::memory_order_relaxed);
     return out;
@@ -70,7 +77,9 @@ CopyOutcome ChunkRing::run(void* dst, const void* src, std::uint64_t bytes,
       out.cancelled = true;
       return out;
     }
-    std::memcpy(dst, src, bytes);
+    out.ring_fallback = true;
+    ring_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    copy(dst, src, bytes);
     out.chunks = 1;
     chunks_copied_.fetch_add(1, std::memory_order_relaxed);
     return out;

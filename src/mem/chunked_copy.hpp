@@ -41,6 +41,7 @@ struct CopyOutcome {
   std::uint32_t chunks = 0;          // chunks copied (all, on success)
   std::uint32_t assisted_chunks = 0; // copied by helpers, not the owner
   bool cancelled = false;            // flag tripped before completion
+  bool ring_fallback = false;        // all slots busy: un-assisted copy
 };
 
 class ChunkRing {
@@ -88,6 +89,14 @@ public:
   std::uint64_t chunks_assisted() const {
     return chunks_assisted_.load(std::memory_order_relaxed);
   }
+  /// Large copies that found every slot busy and degraded to a single
+  /// un-assisted copy (still correct, but no helper bandwidth).  A
+  /// nonzero value means the ring is undersized for the migration
+  /// concurrency — exported as hmr_copy_ring_fallbacks and flagged in
+  /// hmr_trace summaries.
+  std::uint64_t ring_fallbacks() const {
+    return ring_fallbacks_.load(std::memory_order_relaxed);
+  }
 
 private:
   enum : std::uint32_t { kEmpty = 0, kSetup = 1, kActive = 2, kDraining = 3 };
@@ -114,6 +123,7 @@ private:
   std::atomic<std::uint64_t> jobs_{0};
   std::atomic<std::uint64_t> chunks_copied_{0};
   std::atomic<std::uint64_t> chunks_assisted_{0};
+  std::atomic<std::uint64_t> ring_fallbacks_{0};
 };
 
 } // namespace hmr::mem

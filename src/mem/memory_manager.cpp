@@ -2,8 +2,8 @@
 
 #include <chrono>
 #include <cmath>
-#include <cstring>
 
+#include "mem/copy_kernel.hpp"
 #include "util/check.hpp"
 
 namespace hmr::mem {
@@ -24,10 +24,16 @@ MemoryManager::MemoryManager(std::vector<TierSpec> tiers, bool enable_pool)
   arenas_.reserve(tiers.size());
   for (auto& spec : tiers) {
     auto ts = std::make_unique<TierState>();
-    ts->arena = std::make_unique<TierArena>(spec.name, spec.capacity);
+    TierArena::Options opts;
+    opts.backing = spec.backing;
+    opts.hugepage = spec.hugepage;
+    opts.numa_node = spec.numa_node;
+    ts->arena = std::make_unique<TierArena>(spec.name, spec.capacity,
+                                            /*alignment=*/64, opts);
     arenas_.push_back(std::move(ts));
   }
   stats_.resize(arenas_.size() * arenas_.size());
+  shadow_bytes_.resize(arenas_.size(), 0);
 }
 
 std::vector<MemoryManager::TierSpec> MemoryManager::specs_from_model(
@@ -36,9 +42,12 @@ std::vector<MemoryManager::TierSpec> MemoryManager::specs_from_model(
   std::vector<TierSpec> specs;
   specs.reserve(model.tiers.size());
   for (const auto& t : model.tiers) {
-    specs.push_back(
-        {t.name, static_cast<std::uint64_t>(
-                     std::llround(static_cast<double>(t.capacity) * scale))});
+    TierSpec spec;
+    spec.name = t.name;
+    spec.capacity = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(t.capacity) * scale));
+    spec.numa_node = t.numa_node;
+    specs.push_back(std::move(spec));
   }
   return specs;
 }
@@ -94,6 +103,11 @@ BlockId MemoryManager::register_block(std::uint64_t bytes, TierId initial) {
     std::lock_guard lock(ts.mu);
     p = alloc_locked(ts, bytes, nullptr);
   }
+  if (!p && zero_copy_ && reclaim_shadows(initial) > 0) {
+    TierState& ts = *arenas_[initial];
+    std::lock_guard lock(ts.mu);
+    p = alloc_locked(ts, bytes, nullptr);
+  }
   if (!p) return kInvalidBlock;
   std::lock_guard lock(blocks_mu_);
   blocks_.push_back({p, bytes, initial, /*live=*/true, /*migrating=*/false});
@@ -104,6 +118,8 @@ void MemoryManager::unregister_block(BlockId b) {
   void* p = nullptr;
   std::uint64_t bytes = 0;
   TierId tier = 0;
+  void* shadow = nullptr;
+  TierId shadow_tier = 0;
   {
     std::lock_guard lock(blocks_mu_);
     HMR_CHECK_MSG(b < blocks_.size() && blocks_[b].live,
@@ -112,12 +128,23 @@ void MemoryManager::unregister_block(BlockId b) {
     p = blocks_[b].ptr;
     bytes = blocks_[b].bytes;
     tier = blocks_[b].tier;
+    shadow = blocks_[b].shadow;
+    shadow_tier = blocks_[b].shadow_tier;
     blocks_[b].live = false;
     blocks_[b].ptr = nullptr;
+    blocks_[b].shadow = nullptr;
+    if (shadow != nullptr) shadow_bytes_[shadow_tier] -= bytes;
   }
-  TierState& ts = *arenas_[tier];
-  std::lock_guard lock(ts.mu);
-  free_locked(ts, p, bytes);
+  {
+    TierState& ts = *arenas_[tier];
+    std::lock_guard lock(ts.mu);
+    free_locked(ts, p, bytes);
+  }
+  if (shadow != nullptr) {
+    TierState& ts = *arenas_[shadow_tier];
+    std::lock_guard lock(ts.mu);
+    free_locked(ts, shadow, bytes);
+  }
 }
 
 void* MemoryManager::block_ptr(BlockId b) const {
@@ -146,6 +173,8 @@ MigrateResult MemoryManager::migrate(BlockId b, TierId dst,
   void* src_ptr = nullptr;
   std::uint64_t bytes = 0;
   TierId src_tier = 0;
+  void* old_shadow = nullptr;
+  TierId old_shadow_tier = 0;
   {
     std::lock_guard lock(blocks_mu_);
     HMR_CHECK_MSG(b < blocks_.size() && blocks_[b].live, "dead block");
@@ -156,10 +185,60 @@ MigrateResult MemoryManager::migrate(BlockId b, TierId dst,
       r.ok = true;
       return r;
     }
-    rec.migrating = true;
-    src_ptr = rec.ptr;
-    bytes = rec.bytes;
     src_tier = rec.tier;
+    bytes = rec.bytes;
+
+    // Zero-copy admission: the destination still holds this block's
+    // shadow — a byte-identical stale residence — so the migration is
+    // a pointer swap.  No alloc, no copy, no free; the old primary
+    // stays behind as the new shadow.  (With copy_contents == false
+    // the writer is about to rewrite the block, so the swapped-out
+    // primary is dropped instead of retained: its contents will no
+    // longer match.)
+    if (rec.shadow != nullptr && rec.shadow_tier == dst) {
+      std::swap(rec.ptr, rec.shadow);
+      rec.shadow_tier = src_tier;
+      shadow_bytes_[dst] -= bytes;
+      if (copy_contents) {
+        shadow_bytes_[src_tier] += bytes;
+      } else {
+        old_shadow = rec.shadow;
+        old_shadow_tier = src_tier;
+        rec.shadow = nullptr;
+      }
+      rec.tier = dst;
+      zero_copy_admissions_.fetch_add(1, std::memory_order_relaxed);
+      zero_copy_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      r.ok = true;
+      r.zero_copy = true;
+    } else {
+      rec.migrating = true;
+      src_ptr = rec.ptr;
+      // A single shadow per block: this migration will retain the
+      // source buffer (or none), so any older shadow goes now — before
+      // step 1, since it may be holding the very capacity the
+      // destination alloc needs.
+      if (rec.shadow != nullptr) {
+        old_shadow = rec.shadow;
+        old_shadow_tier = rec.shadow_tier;
+        rec.shadow = nullptr;
+        shadow_bytes_[old_shadow_tier] -= bytes;
+      }
+    }
+  }
+  if (old_shadow != nullptr) {
+    TierState& ts = *arenas_[old_shadow_tier];
+    std::lock_guard lock(ts.mu);
+    free_locked(ts, old_shadow, bytes);
+  }
+  if (r.zero_copy) {
+    std::lock_guard lock(stats_mu_);
+    // The logical migration still happened: traffic stats stay
+    // identical with zero-copy on or off (equivalence contract).
+    MigrationStats& s = stats_[src_tier * arenas_.size() + dst];
+    ++s.count;
+    s.bytes += bytes;
+    return r;
   }
 
   // Step 1: create space on the destination (numa_alloc_onnode).
@@ -170,6 +249,15 @@ MigrateResult MemoryManager::migrate(BlockId b, TierId dst,
     std::lock_guard lock(ts.mu);
     dst_ptr = alloc_locked(ts, bytes, &r.pooled);
     r.alloc_s = now_s() - t0;
+  }
+  if (!dst_ptr && zero_copy_ && reclaim_shadows(dst) > 0) {
+    // Shadows are a cache, not a reservation: other blocks' stale
+    // residences on the destination yield to a real allocation.
+    const double t0 = now_s();
+    TierState& ts = *arenas_[dst];
+    std::lock_guard lock(ts.mu);
+    dst_ptr = alloc_locked(ts, bytes, &r.pooled);
+    r.alloc_s += now_s() - t0;
   }
   if (!dst_ptr) {
     std::lock_guard lock(blocks_mu_);
@@ -190,13 +278,15 @@ MigrateResult MemoryManager::migrate(BlockId b, TierId dst,
       r.chunks = co.chunks;
       r.assisted_chunks = co.assisted_chunks;
     } else {
-      std::memcpy(dst_ptr, src_ptr, bytes);
+      copy(dst_ptr, src_ptr, bytes);
     }
     r.copy_s = now_s() - t0;
   }
 
-  // Step 3: free the source buffer (numa_free).
-  {
+  // Step 3: free the source buffer (numa_free) — unless zero-copy
+  // retention keeps it as the block's shadow for a later swap back.
+  const bool retain = zero_copy_ && copy_contents;
+  if (!retain) {
     const double t0 = now_s();
     TierState& ts = *arenas_[src_tier];
     std::lock_guard lock(ts.mu);
@@ -210,6 +300,12 @@ MigrateResult MemoryManager::migrate(BlockId b, TierId dst,
     rec.ptr = dst_ptr;
     rec.tier = dst;
     rec.migrating = false;
+    if (retain) {
+      HMR_DCHECK(rec.shadow == nullptr);
+      rec.shadow = src_ptr;
+      rec.shadow_tier = src_tier;
+      shadow_bytes_[src_tier] += bytes;
+    }
   }
   {
     std::lock_guard lock(stats_mu_);
@@ -219,6 +315,56 @@ MigrateResult MemoryManager::migrate(BlockId b, TierId dst,
   }
   r.ok = true;
   return r;
+}
+
+void MemoryManager::mark_dirty(BlockId b) {
+  void* shadow = nullptr;
+  TierId shadow_tier = 0;
+  std::uint64_t bytes = 0;
+  {
+    std::lock_guard lock(blocks_mu_);
+    HMR_CHECK_MSG(b < blocks_.size() && blocks_[b].live, "dead block");
+    BlockRec& rec = blocks_[b];
+    if (rec.shadow == nullptr) return;
+    shadow = rec.shadow;
+    shadow_tier = rec.shadow_tier;
+    bytes = rec.bytes;
+    rec.shadow = nullptr;
+    shadow_bytes_[shadow_tier] -= bytes;
+  }
+  shadow_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  TierState& ts = *arenas_[shadow_tier];
+  std::lock_guard lock(ts.mu);
+  free_locked(ts, shadow, bytes);
+}
+
+std::uint64_t MemoryManager::reclaim_shadows(TierId t) {
+  std::vector<std::pair<void*, std::uint64_t>> victims;
+  {
+    std::lock_guard lock(blocks_mu_);
+    for (BlockRec& rec : blocks_) {
+      if (!rec.live || rec.shadow == nullptr || rec.shadow_tier != t) {
+        continue;
+      }
+      victims.emplace_back(rec.shadow, rec.bytes);
+      rec.shadow = nullptr;
+      shadow_bytes_[t] -= rec.bytes;
+    }
+  }
+  if (victims.empty()) return 0;
+  std::uint64_t released = 0;
+  TierState& ts = *arenas_[t];
+  std::lock_guard lock(ts.mu);
+  for (const auto& [p, bytes] : victims) {
+    // Straight to the arena (bypassing the pool): reclaim exists to
+    // release capacity, and a pooled buffer only helps same-size
+    // requests.
+    ts.arena->free(p);
+    released += bytes;
+  }
+  shadow_invalidations_.fetch_add(victims.size(),
+                                  std::memory_order_relaxed);
+  return released;
 }
 
 void MemoryManager::set_chunked_copy(std::uint64_t threshold,
@@ -238,15 +384,26 @@ bool MemoryManager::copy_assist_pending() const {
 
 TierUsage MemoryManager::usage(TierId t) const {
   HMR_CHECK_MSG(t < arenas_.size(), "bad tier id");
-  const TierState& ts = *arenas_[t];
-  std::lock_guard lock(ts.mu);
   TierUsage u;
-  u.capacity = ts.arena->capacity();
-  u.used = ts.arena->used();
-  u.pooled = ts.pool.pooled_bytes();
-  u.high_water = ts.arena->high_water();
-  u.live_blocks = ts.arena->live_allocations();
+  {
+    const TierState& ts = *arenas_[t];
+    std::lock_guard lock(ts.mu);
+    u.capacity = ts.arena->capacity();
+    u.used = ts.arena->used();
+    u.pooled = ts.pool.pooled_bytes();
+    u.high_water = ts.arena->high_water();
+    u.live_blocks = ts.arena->live_allocations();
+  }
+  {
+    std::lock_guard lock(blocks_mu_);
+    u.shadow = shadow_bytes_[t];
+  }
   return u;
+}
+
+const TierArena& MemoryManager::tier_arena(TierId t) const {
+  HMR_CHECK_MSG(t < arenas_.size(), "bad tier id");
+  return *arenas_[t]->arena;
 }
 
 MigrationStats MemoryManager::migration_stats(TierId src, TierId dst) const {

@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -49,6 +50,7 @@ struct MigrateResult {
   double free_s = 0;     // step 3 (0 when returned to the pool)
   bool pooled = false;   // destination buffer came from the pool
   bool chunked = false;  // step 2 went through the ChunkRing
+  bool zero_copy = false; // admitted via a retained shadow: no memcpy
   std::uint32_t chunks = 0;          // chunks copied (chunked only)
   std::uint32_t assisted_chunks = 0; // copied by assisting threads
   double total() const { return alloc_s + copy_s + free_s; }
@@ -58,6 +60,7 @@ struct TierUsage {
   std::uint64_t capacity = 0;
   std::uint64_t used = 0;        // live blocks + pooled buffers
   std::uint64_t pooled = 0;      // bytes parked in the pool
+  std::uint64_t shadow = 0;      // bytes held by zero-copy shadows
   std::uint64_t high_water = 0;
   std::uint64_t live_blocks = 0;
 };
@@ -77,6 +80,9 @@ public:
   struct TierSpec {
     std::string name;
     std::uint64_t capacity = 0;
+    TierArena::Backing backing = TierArena::Backing::NewDelete;
+    bool hugepage = true; ///< MADV_HUGEPAGE when backing == Mmap
+    int numa_node = -1;   ///< libnuma binding (HMR_NUMA builds only)
   };
 
   explicit MemoryManager(std::vector<TierSpec> tiers,
@@ -148,6 +154,41 @@ public:
   /// The ring's monotonic counters (jobs / chunks / assisted chunks).
   const ChunkRing& chunk_ring() const { return ring_; }
 
+  // ---- zero-copy admission (docs/PERF.md §4) ----
+  //
+  // With zero-copy enabled, a copying migration retains the *source*
+  // buffer as the block's "shadow": a byte-identical stale residence.
+  // A later migration whose destination still holds a valid shadow is
+  // admitted by swapping primary and shadow — no alloc, no memcpy, no
+  // free — which covers both a re-fetch of a block that was demoted
+  // unmodified and a demotion returning to where the block came from.
+  // Shadows are invalidated by writes (the runtime calls mark_dirty
+  // after every writing task) and reclaimed transparently when their
+  // tier runs out of space for real allocations.  One shadow per
+  // block: a newer residence replaces an older one.
+
+  /// Enable/disable shadow retention.  Configure before traffic;
+  /// disabling does not free already-retained shadows.
+  void set_zero_copy(bool on) { zero_copy_ = on; }
+  bool zero_copy_enabled() const { return zero_copy_; }
+
+  /// The block's contents changed: drop its shadow (if any).  Must be
+  /// called between a write and the block's next migration; the
+  /// runtime does this for every ReadWrite/WriteOnly dependency.
+  void mark_dirty(BlockId b);
+
+  /// Migrations admitted without a copy, and the bytes they skipped.
+  std::uint64_t zero_copy_admissions() const {
+    return zero_copy_admissions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t zero_copy_bytes() const {
+    return zero_copy_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Shadows dropped by mark_dirty (writes) and by capacity reclaim.
+  std::uint64_t shadow_invalidations() const {
+    return shadow_invalidations_.load(std::memory_order_relaxed);
+  }
+
   // ---- introspection ----
 
   TierUsage usage(TierId t) const;
@@ -160,6 +201,9 @@ public:
   /// Drop all pooled buffers back to the arenas (frees their capacity).
   void trim_pools();
 
+  /// The arena backing tier `t` (backing mode / NUMA introspection).
+  const TierArena& tier_arena(TierId t) const;
+
 private:
   struct BlockRec {
     void* ptr = nullptr;
@@ -167,6 +211,10 @@ private:
     TierId tier = 0;
     bool live = false;
     bool migrating = false; // guards the paper's "one migration at a time"
+    // Zero-copy shadow: a stale residence whose contents are
+    // byte-identical to ptr's (or nullptr).  Guarded by blocks_mu_.
+    void* shadow = nullptr;
+    TierId shadow_tier = 0;
   };
 
   struct TierState {
@@ -177,14 +225,24 @@ private:
 
   void* alloc_locked(TierState& ts, std::uint64_t bytes, bool* from_pool);
   void free_locked(TierState& ts, void* p, std::uint64_t bytes);
+  /// Free every retained shadow on tier `t` (capacity reclaim before
+  /// failing a real allocation).  Returns bytes released.  Takes
+  /// blocks_mu_ then t's tier mutex, never nested.
+  std::uint64_t reclaim_shadows(TierId t);
 
   std::vector<std::unique_ptr<TierState>> arenas_;
   bool pool_enabled_;
+  bool zero_copy_ = false;
   std::uint64_t chunk_threshold_ = 0; // 0 = chunking off
   ChunkRing ring_;
 
+  std::atomic<std::uint64_t> zero_copy_admissions_{0};
+  std::atomic<std::uint64_t> zero_copy_bytes_{0};
+  std::atomic<std::uint64_t> shadow_invalidations_{0};
+
   mutable std::mutex blocks_mu_;
   std::vector<BlockRec> blocks_;
+  std::vector<std::uint64_t> shadow_bytes_; // per tier, under blocks_mu_
 
   // stats_[src * num_tiers + dst]
   std::vector<MigrationStats> stats_;

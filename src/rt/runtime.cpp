@@ -89,13 +89,22 @@ void pin_to_core(std::thread& t, int core) {
 #endif
 }
 
+std::vector<mem::MemoryManager::TierSpec> tier_specs(
+    const Runtime::Config& cfg) {
+  auto specs =
+      mem::MemoryManager::specs_from_model(cfg.model, cfg.mem_scale);
+  if (cfg.mmap_arenas) {
+    for (auto& spec : specs) spec.backing = mem::ArenaBacking::Mmap;
+  }
+  return specs;
+}
+
 } // namespace
 
 Runtime::Runtime(Config cfg)
     : cfg_(std::move(cfg)),
-      mm_(std::make_unique<mem::MemoryManager>(
-          mem::MemoryManager::specs_from_model(cfg_.model, cfg_.mem_scale),
-          cfg_.memory_pool)),
+      mm_(std::make_unique<mem::MemoryManager>(tier_specs(cfg_),
+                                               cfg_.memory_pool)),
       engine_(engine_config(cfg_, *mm_)),
       pending_(static_cast<std::size_t>(std::max(1, cfg_.num_pes))),
       tasks_done_(static_cast<std::size_t>(std::max(1, cfg_.num_pes))),
@@ -124,6 +133,7 @@ Runtime::Runtime(Config cfg)
   if (cfg_.chunk_threshold > 0) {
     mm_->set_chunked_copy(cfg_.chunk_threshold, cfg_.chunk_bytes);
   }
+  if (cfg_.zero_copy) mm_->set_zero_copy(true);
   if (sharded_eligible(cfg_)) {
     ShardedEngine::Config sc;
     sc.num_pes = cfg_.num_pes;
@@ -437,11 +447,18 @@ void Runtime::intercept_batch(int pe, std::vector<Msg>& msgs) {
     // Pre-processing step of a [prefetch] entry method: wrap it as an
     // OOCTask and hand it to the policy engine.
     const ooc::TaskId id = next_task_.fetch_add(1);
+    std::vector<mem::BlockId> writes;
+    if (cfg_.zero_copy) {
+      for (const auto& d : msg.deps) {
+        if (d.mode != ooc::AccessMode::ReadOnly) writes.push_back(d.block);
+      }
+    }
     {
       PendingShard& ps = pending_[static_cast<std::size_t>(pe)];
       std::lock_guard lk(ps.mu);
       ps.map.emplace(id, ReadyTask{id, std::move(msg.body),
-                                   metrics_ ? now() : 0});
+                                   metrics_ ? now() : 0,
+                                   std::move(writes)});
     }
     ooc::TaskDesc desc;
     desc.id = id;
@@ -462,6 +479,11 @@ void Runtime::run_ready_batch(int pe, std::vector<ReadyTask>& tasks) {
           static_cast<std::uint64_t>((ts - task.t_arrive) * 1e9));
     }
     task.body();
+    // Zero-copy runs: written blocks' shadows are stale now.  Safe
+    // here — the engine still holds this task's claims, so none of
+    // these blocks can be mid-migration until the completion event
+    // below releases them.
+    for (const mem::BlockId b : task.writes) mm_->mark_dirty(b);
     tracer_.record(pe, trace::Category::Compute, ts, now(), task.id);
   }
   tasks_done_[static_cast<std::size_t>(pe)].v.fetch_add(
@@ -577,7 +599,10 @@ void Runtime::do_migrate(const ooc::Command& cmd, int trace_lane) {
   // Interval.task == 0 means "not task-bound"; the engine uses
   // kInvalidTask for untriggered evictions.
   const ooc::TaskId cause = cmd.task == ooc::kInvalidTask ? 0 : cmd.task;
-  const std::uint64_t bytes = cmd.nocopy ? 0 : mm_->block_bytes(cmd.block);
+  // Traced traffic is *physical* bytes: nocopy skips the copy by
+  // contract, zero-copy admissions skip it via a shadow swap.
+  const std::uint64_t bytes =
+      cmd.nocopy || res.zero_copy ? 0 : mm_->block_bytes(cmd.block);
   tracer_.record_migration(
       trace_lane, fetch ? trace::Category::Prefetch : trace::Category::Evict,
       ts, te, cause, cmd.src_tier, cmd.dst_tier, bytes);
@@ -906,7 +931,11 @@ void Runtime::sample_metrics() {
   if (lock_stats_) telemetry::export_contention(*metrics_, *lock_stats_);
   if (mm_->chunked_copy_enabled()) {
     telemetry::export_chunk_ring(*metrics_, mm_->chunk_ring());
+    // Mirror the cumulative fallback count onto the tracer so trace
+    // summaries / CSV dumps carry it next to the timing data.
+    tracer_.note_copy_fallbacks(mm_->chunk_ring().ring_fallbacks());
   }
+  telemetry::export_data_movement(*metrics_, *mm_);
   metrics_
       ->counter("hmr_trace_events_dropped_total", "",
                 "Trace intervals lost to ring overflow")

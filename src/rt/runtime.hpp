@@ -118,6 +118,20 @@ public:
     /// on one large transfer.  0 disables chunking.
     std::uint64_t chunk_threshold = 1ull << 20;
     std::uint64_t chunk_bytes = 256ull << 10;
+    /// Zero-copy admission (docs/PERF.md §4): copying migrations
+    /// retain their source buffer as a byte-identical shadow, and a
+    /// later migration whose destination still holds a valid shadow is
+    /// admitted as a pointer swap — no alloc, no memcpy, no free.  The
+    /// runtime invalidates a block's shadow after every task that
+    /// declared it ReadWrite/WriteOnly; code writing through
+    /// block_ptr() outside a declared dependency must call
+    /// memory().mark_dirty() itself.  Policy-inert: engine decisions
+    /// and migration stats are identical with this on or off.
+    bool zero_copy = false;
+    /// Back tier arenas with mmap + MADV_HUGEPAGE instead of new[];
+    /// HMR_NUMA builds additionally bind each arena to its model
+    /// tier's numa_node.  Graceful fallback at every step.
+    bool mmap_arenas = false;
     /// Collect scheduler lock-contention counters (bench/rt_contention
     /// reads them via lock_stats()).
     bool lock_stats = false;
@@ -326,6 +340,9 @@ private:
     ooc::TaskId id;
     Body body;
     double t_arrive = 0; // interception time (metrics runs only)
+    // Blocks this task declared writable (zero-copy runs only): their
+    // shadows are invalidated right after the body executes.
+    std::vector<mem::BlockId> writes;
   };
 
   struct PeWorker {

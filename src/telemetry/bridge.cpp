@@ -1,5 +1,7 @@
 #include "telemetry/bridge.hpp"
 
+#include "mem/copy_kernel.hpp"
+
 namespace hmr::telemetry {
 
 void export_policy_stats(MetricsRegistry& reg,
@@ -65,6 +67,29 @@ void export_chunk_ring(MetricsRegistry& reg, const mem::ChunkRing& ring) {
   reg.counter("hmr_chunk_chunks_assisted_total", "",
               "Chunks copied by assisting threads")
       .set(ring.chunks_assisted());
+  reg.counter("hmr_copy_ring_fallbacks_total", "",
+              "Large copies that found all ring slots busy and degraded "
+              "to a single un-assisted copy")
+      .set(ring.ring_fallbacks());
+}
+
+void export_data_movement(MetricsRegistry& reg,
+                          const mem::MemoryManager& mm) {
+  reg.counter("hmr_copy_nt_copies_total", "",
+              "Copies routed through the non-temporal-store kernel")
+      .set(mem::copy_nt_copies());
+  reg.counter("hmr_copy_nt_bytes_total", "",
+              "Bytes moved with non-temporal stores")
+      .set(mem::copy_nt_bytes());
+  reg.counter("hmr_zero_copy_admissions_total", "",
+              "Migrations admitted by shadow swap (no copy)")
+      .set(mm.zero_copy_admissions());
+  reg.counter("hmr_zero_copy_bytes_total", "",
+              "Bytes whose migration copy was skipped")
+      .set(mm.zero_copy_bytes());
+  reg.counter("hmr_shadow_invalidations_total", "",
+              "Shadows dropped by writes or capacity reclaim")
+      .set(mm.shadow_invalidations());
 }
 
 } // namespace hmr::telemetry

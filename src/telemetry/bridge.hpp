@@ -15,6 +15,7 @@
 #include <string>
 
 #include "mem/chunked_copy.hpp"
+#include "mem/memory_manager.hpp"
 #include "ooc/policy_engine.hpp"
 #include "telemetry/metrics.hpp"
 #include "trace/contention.hpp"
@@ -34,7 +35,15 @@ void export_contention(MetricsRegistry& reg,
                        const trace::ContentionStats& cs);
 
 /// hmr_chunk_jobs_total / hmr_chunk_chunks_copied_total /
-/// hmr_chunk_chunks_assisted_total.
+/// hmr_chunk_chunks_assisted_total / hmr_copy_ring_fallbacks_total.
 void export_chunk_ring(MetricsRegistry& reg, const mem::ChunkRing& ring);
+
+/// Copy-kernel and zero-copy admission counters:
+/// hmr_copy_nt_copies_total / hmr_copy_nt_bytes_total (process-wide
+/// non-temporal-store path) and hmr_zero_copy_admissions_total /
+/// hmr_zero_copy_bytes_total / hmr_shadow_invalidations_total from the
+/// MemoryManager's shadow machinery.
+void export_data_movement(MetricsRegistry& reg,
+                          const mem::MemoryManager& mm);
 
 } // namespace hmr::telemetry

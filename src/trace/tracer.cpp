@@ -166,6 +166,7 @@ TraceSummary Tracer::summarize(std::int32_t worker_lanes) const {
   s.span = first ? 0 : hi - lo;
   s.migrations = pair_vector(pairs);
   s.dropped = rings_.dropped();
+  s.ring_fallbacks = copy_fallbacks();
   return s;
 }
 
@@ -202,6 +203,7 @@ TraceSummary Tracer::summarize(std::int32_t worker_lanes, double t0,
   s.span = first ? 0 : hi - lo;
   s.migrations = pair_vector(pairs);
   s.dropped = rings_.dropped();
+  s.ring_fallbacks = copy_fallbacks();
   return s;
 }
 
@@ -253,6 +255,7 @@ void Tracer::write_csv(std::ostream& os) const {
   // Trailer comment so offline consumers (tools/hmr_trace) can see
   // drops the rows themselves cannot show.
   os << "# dropped=" << dropped() << "\n";
+  os << "# ring_fallbacks=" << copy_fallbacks() << "\n";
 }
 
 void Tracer::write_chrome_trace(std::ostream& os) const {

@@ -18,6 +18,7 @@
 // old mutex + push_back path survives only as the Options::serial /
 // HMR_TRACE_SERIAL=1 fallback.
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <ostream>
@@ -65,6 +66,11 @@ struct TraceSummary {
   /// the totals above undercount: that many events never made it into
   /// the log at all (lane attribution of the loss is unknown).
   std::uint64_t dropped = 0;
+  /// ChunkRing full-ring fallbacks noted on the tracer (see
+  /// Tracer::note_copy_fallbacks).  Nonzero means some large copies ran
+  /// un-assisted — single-thread bandwidth where cooperation was
+  /// expected.
+  std::uint64_t ring_fallbacks = 0;
 
   /// Migration traffic between one ordered tier pair (src -> dst),
   /// summed over every migration interval that carried bytes.
@@ -118,6 +124,16 @@ public:
   /// Monotonic across clear().
   std::uint64_t dropped() const { return rings_.dropped(); }
 
+  /// Executors note the ChunkRing's cumulative full-ring fallback count
+  /// here (at quiescence), so summaries and CSV dumps carry the "some
+  /// copies degraded to un-assisted" warning alongside the data.
+  void note_copy_fallbacks(std::uint64_t n) {
+    copy_fallbacks_.store(n, std::memory_order_relaxed);
+  }
+  std::uint64_t copy_fallbacks() const {
+    return copy_fallbacks_.load(std::memory_order_relaxed);
+  }
+
   /// Record one interval.  Thread-safe.  end >= start required.
   void record(std::int32_t lane, Category cat, double start, double end,
               std::uint64_t task = 0);
@@ -170,6 +186,7 @@ private:
 
   bool enabled_;
   bool serial_;
+  std::atomic<std::uint64_t> copy_fallbacks_{0};
   mutable telemetry::LaneRings<Interval> rings_;
   mutable std::mutex mu_;
   mutable std::vector<Interval> log_;

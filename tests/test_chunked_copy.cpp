@@ -132,6 +132,50 @@ TEST(ChunkRing, CancellationStopsMidStreamAndRingStaysUsable) {
   ASSERT_EQ(std::memcmp(dst.data(), src.data(), n), 0);
 }
 
+TEST(ChunkRing, FallbackCounterMatchesFlaggedOutcomes) {
+  // More concurrent owners than kSlots: whichever jobs find the ring
+  // full must (a) flag ring_fallback on their outcome, (b) advance the
+  // cumulative counter by exactly the number of flagged outcomes, and
+  // (c) still copy bit-exactly.  Whether any fallback actually occurs
+  // is scheduler-dependent (a single-core host may serialize the
+  // owners), so only the consistency of the three is asserted.
+  ChunkRing ring(/*chunk_bytes=*/1024);
+  const std::size_t n = 2 * 1024 * 1024 + 7;
+  const auto src = pattern(n);
+  constexpr int kOwners = static_cast<int>(ChunkRing::kSlots) + 8;
+  std::vector<std::vector<std::uint8_t>> dsts(
+      kOwners, std::vector<std::uint8_t>(n, 0));
+  std::atomic<int> flagged{0};
+  const std::uint64_t before = ring.ring_fallbacks();
+  std::vector<std::thread> owners;
+  for (int o = 0; o < kOwners; ++o) {
+    owners.emplace_back([&, o] {
+      const CopyOutcome out = ring.run(dsts[o].data(), src.data(), n);
+      EXPECT_FALSE(out.cancelled);
+      if (out.ring_fallback) flagged.fetch_add(1);
+    });
+  }
+  for (auto& t : owners) t.join();
+  EXPECT_EQ(ring.ring_fallbacks() - before,
+            static_cast<std::uint64_t>(flagged.load()));
+  for (int o = 0; o < kOwners; ++o) {
+    ASSERT_EQ(std::memcmp(dsts[o].data(), src.data(), n), 0) << o;
+  }
+}
+
+TEST(ChunkRing, SmallAndRingCopiesAreNotFallbacks) {
+  ChunkRing ring(/*chunk_bytes=*/1024);
+  const auto src = pattern(8192);
+  std::vector<std::uint8_t> dst(8192, 0);
+  // Sub-chunk bypass: not a fallback.
+  CopyOutcome out = ring.run(dst.data(), src.data(), 512);
+  EXPECT_FALSE(out.ring_fallback);
+  // Uncontended ring copy: not a fallback.
+  out = ring.run(dst.data(), src.data(), 8192);
+  EXPECT_FALSE(out.ring_fallback);
+  EXPECT_EQ(ring.ring_fallbacks(), 0u);
+}
+
 TEST(ChunkedMigrate, RoundTripIntegrityThroughMemoryManager) {
   const std::uint64_t n = 4 * 1024 * 1024 + 321; // odd size, > threshold
   MemoryManager mm({{"fast", 8u << 20}, {"slow", 8u << 20}});

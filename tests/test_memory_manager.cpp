@@ -167,6 +167,126 @@ TEST(MemoryManager, ConcurrentMigrationsOfDistinctBlocks) {
   }
 }
 
+// ------------------------------------------------ zero-copy admission
+
+TEST(MemoryManagerZeroCopy, RoundTripMigrationBecomesSwap) {
+  auto mm = make_two_tier();
+  mm.set_zero_copy(true);
+  const BlockId b = mm.register_block(256 * KiB, 0);
+  auto* p = static_cast<unsigned char*>(mm.block_ptr(b));
+  std::memset(p, 0x5A, 256 * KiB);
+
+  // First hop copies (no shadow yet) but retains the source buffer.
+  const auto up = mm.migrate(b, 1);
+  ASSERT_TRUE(up.ok);
+  EXPECT_FALSE(up.zero_copy);
+  EXPECT_EQ(mm.usage(0).shadow, 256 * KiB);
+
+  // The hop back lands where the shadow lives: pointer swap, no copy.
+  const auto down = mm.migrate(b, 0);
+  ASSERT_TRUE(down.ok);
+  EXPECT_TRUE(down.zero_copy);
+  EXPECT_EQ(mm.zero_copy_admissions(), 1u);
+  EXPECT_EQ(mm.zero_copy_bytes(), 256 * KiB);
+
+  // Data must be byte-identical through the swap.
+  p = static_cast<unsigned char*>(mm.block_ptr(b));
+  for (std::size_t i = 0; i < 256 * KiB; i += 997) ASSERT_EQ(p[i], 0x5A);
+
+  // Ping-pong stays zero-copy: the displaced buffer is the new shadow.
+  EXPECT_TRUE(mm.migrate(b, 1).zero_copy);
+  EXPECT_TRUE(mm.migrate(b, 0).zero_copy);
+  EXPECT_EQ(mm.zero_copy_admissions(), 3u);
+}
+
+TEST(MemoryManagerZeroCopy, LogicalStatsMatchCopyingRun) {
+  // The equivalence contract: migration_stats() counts logical moves,
+  // so a zero-copy run reports exactly what the copying run would.
+  auto run = [](bool zc) {
+    auto mm = make_two_tier();
+    mm.set_zero_copy(zc);
+    const BlockId b = mm.register_block(128 * KiB, 0);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(mm.migrate(b, 1).ok);
+      EXPECT_TRUE(mm.migrate(b, 0).ok);
+    }
+    return std::pair{mm.migration_stats(0, 1), mm.migration_stats(1, 0)};
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  EXPECT_EQ(off.first.count, on.first.count);
+  EXPECT_EQ(off.first.bytes, on.first.bytes);
+  EXPECT_EQ(off.second.count, on.second.count);
+  EXPECT_EQ(off.second.bytes, on.second.bytes);
+}
+
+TEST(MemoryManagerZeroCopy, MarkDirtyInvalidatesShadow) {
+  auto mm = make_two_tier();
+  mm.set_zero_copy(true);
+  const BlockId b = mm.register_block(64 * KiB, 0);
+  std::memset(mm.block_ptr(b), 1, 64 * KiB);
+  ASSERT_TRUE(mm.migrate(b, 1).ok);
+  ASSERT_EQ(mm.usage(0).shadow, 64 * KiB);
+
+  // A write makes the shadow stale; the next hop must copy.
+  std::memset(mm.block_ptr(b), 2, 64 * KiB);
+  mm.mark_dirty(b);
+  EXPECT_EQ(mm.shadow_invalidations(), 1u);
+  EXPECT_EQ(mm.usage(0).shadow, 0u);
+  const auto down = mm.migrate(b, 0);
+  ASSERT_TRUE(down.ok);
+  EXPECT_FALSE(down.zero_copy);
+  EXPECT_EQ(static_cast<unsigned char*>(mm.block_ptr(b))[0], 2);
+}
+
+TEST(MemoryManagerZeroCopy, MarkDirtyWithoutShadowIsANoop) {
+  auto mm = make_two_tier();
+  mm.set_zero_copy(true);
+  const BlockId b = mm.register_block(64 * KiB, 0);
+  mm.mark_dirty(b);
+  EXPECT_EQ(mm.shadow_invalidations(), 0u);
+}
+
+TEST(MemoryManagerZeroCopy, ShadowsAreReclaimedUnderPressure) {
+  // Fast tier: 2 MiB.  Park a 1 MiB shadow there, then demand more
+  // fast memory than remains free — the shadow must be sacrificed
+  // rather than failing the allocation.
+  auto mm = make_two_tier();
+  mm.set_zero_copy(true);
+  const BlockId a = mm.register_block(1 * MiB, 1);
+  ASSERT_TRUE(mm.migrate(a, 0).ok); // leaves a 1 MiB shadow on fast
+  ASSERT_EQ(mm.usage(1).shadow, 1 * MiB);
+
+  const BlockId b = mm.register_block(1536 * KiB, 1);
+  ASSERT_NE(b, kInvalidBlock);
+  EXPECT_EQ(mm.usage(1).shadow, 0u); // reclaimed to make room
+  EXPECT_GE(mm.shadow_invalidations(), 1u);
+  mm.unregister_block(b);
+  mm.unregister_block(a);
+}
+
+TEST(MemoryManagerZeroCopy, UnregisterFreesShadowCapacity) {
+  auto mm = make_two_tier();
+  mm.set_zero_copy(true);
+  const BlockId b = mm.register_block(512 * KiB, 0);
+  ASSERT_TRUE(mm.migrate(b, 1).ok);
+  EXPECT_EQ(mm.usage(0).shadow, 512 * KiB);
+  mm.unregister_block(b);
+  EXPECT_EQ(mm.usage(0).shadow, 0u);
+  EXPECT_EQ(mm.usage(0).used, 0u);
+  EXPECT_EQ(mm.usage(1).used, 0u);
+}
+
+TEST(MemoryManagerZeroCopy, DisabledManagerNeverRetains) {
+  auto mm = make_two_tier();
+  const BlockId b = mm.register_block(128 * KiB, 0);
+  ASSERT_TRUE(mm.migrate(b, 1).ok);
+  ASSERT_TRUE(mm.migrate(b, 0).ok);
+  EXPECT_EQ(mm.zero_copy_admissions(), 0u);
+  EXPECT_EQ(mm.usage(0).shadow, 0u);
+  EXPECT_EQ(mm.usage(1).shadow, 0u);
+}
+
 TEST(MemoryManager, DeadBlockAccessDies) {
   auto mm = make_two_tier();
   const BlockId b = mm.register_block(64 * KiB, 0);

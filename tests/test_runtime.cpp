@@ -355,5 +355,88 @@ TEST(Runtime, ThreadPinningOptionRuns) {
   EXPECT_EQ(runs.load(), 4);
 }
 
+/// Shared driver for the zero-copy on/off equivalence check: a
+/// streaming working set (re-fetch after evict keeps shadows hot),
+/// read-only verification rounds plus serialized read-write rounds
+/// (exercising mark_dirty invalidation).  Returns the final contents.
+/// Threaded fetch/evict counts are interleaving-dependent, so only
+/// deterministic invariants are compared here; the byte-exact stats
+/// lock against the seed engine lives in test_tier_equivalence.cpp.
+struct ZeroCopyRun {
+  std::vector<std::vector<double>> contents;
+  std::uint64_t tasks = 0;
+  std::uint64_t admissions = 0;
+};
+
+ZeroCopyRun run_zero_copy_workload(bool zero_copy) {
+  auto cfg = small_config(ooc::Strategy::MultiIo, /*pes=*/2);
+  cfg.zero_copy = zero_copy;
+  ZeroCopyRun out;
+  Runtime rt(cfg);
+  constexpr int kBlocks = 12;
+  std::vector<std::unique_ptr<IoHandle<double>>> hs;
+  for (int b = 0; b < kBlocks; ++b) {
+    hs.push_back(std::make_unique<IoHandle<double>>(rt, 64 * KiB));
+    auto& h = *hs.back();
+    for (std::uint64_t i = 0; i < h.size(); ++i) {
+      h[i] = b * 1000.0 + static_cast<double>(i % 251);
+    }
+  }
+  std::atomic<int> bad{0};
+  for (int round = 0; round < 3; ++round) {
+    // Read-only sweep: evict/refetch cycles where swaps may be admitted.
+    for (int b = 0; b < kBlocks; ++b) {
+      auto& h = *hs[static_cast<std::size_t>(b)];
+      rt.send_prefetch(b % 2, {h.dep(ooc::AccessMode::ReadOnly)},
+                       [&h, &bad, b] {
+                         for (std::uint64_t i = 0; i < h.size(); i += 83) {
+                           if (h[i] !=
+                               b * 1000.0 + static_cast<double>(i % 251) +
+                                   /*writes so far*/ 0.0) {
+                             // RW rounds below adjust all elements back,
+                             // so reads always see the base pattern.
+                             bad.fetch_add(1);
+                             break;
+                           }
+                         }
+                       });
+    }
+    rt.wait_idle();
+    // Read-write round (serialized): dirties blocks, invalidating any
+    // retained shadow; a stale-swap bug would surface in the next
+    // read-only sweep.
+    for (int b = 0; b < kBlocks; ++b) {
+      auto& h = *hs[static_cast<std::size_t>(b)];
+      rt.send_prefetch(b % 2, {h.dep(ooc::AccessMode::ReadWrite)}, [&h] {
+        for (std::uint64_t i = 0; i < h.size(); i += 7) h[i] += 1.0;
+      });
+      rt.wait_idle();
+      rt.send_prefetch(b % 2, {h.dep(ooc::AccessMode::ReadWrite)}, [&h] {
+        for (std::uint64_t i = 0; i < h.size(); i += 7) h[i] -= 1.0;
+      });
+      rt.wait_idle();
+    }
+  }
+  EXPECT_EQ(bad.load(), 0);
+  out.tasks = rt.policy_stats().tasks_run;
+  out.admissions = rt.memory().zero_copy_admissions();
+  for (auto& hp : hs) {
+    out.contents.emplace_back(&(*hp)[0], &(*hp)[0] + hp->size());
+  }
+  return out;
+}
+
+TEST(Runtime, ZeroCopyAdmissionIsTransparentUnderThreads) {
+  const ZeroCopyRun off = run_zero_copy_workload(false);
+  const ZeroCopyRun on = run_zero_copy_workload(true);
+  EXPECT_EQ(off.admissions, 0u);
+  EXPECT_GT(on.admissions, 0u);
+  EXPECT_EQ(on.tasks, off.tasks);
+  ASSERT_EQ(on.contents.size(), off.contents.size());
+  for (std::size_t b = 0; b < on.contents.size(); ++b) {
+    ASSERT_EQ(on.contents[b], off.contents[b]) << "block " << b;
+  }
+}
+
 } // namespace
 } // namespace hmr::rt

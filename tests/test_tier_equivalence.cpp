@@ -11,12 +11,14 @@
 // stats on sequential drives instead, mirroring the PR-2 parity test.
 
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <random>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "mem/memory_manager.hpp"
 #include "ooc/policy_engine.hpp"
 #include "refimpl/reference_engine.hpp"
 #include "rt/sharded_engine.hpp"
@@ -415,6 +417,145 @@ TEST(TierEquivalence, ShardedMatchesSeedStatsSequential) {
   EXPECT_EQ(a.evict_bytes, b.evict_bytes);
   EXPECT_EQ(sh.fast_used(), se.fast_used());
   EXPECT_EQ(sh.fast_used(), 0u);
+}
+
+// ------------------------------- zero-copy admission vs seed engine
+
+/// Physical equivalence of zero-copy admission (docs/PERF.md §4): one
+/// seed engine drives the SAME sequential command stream into two
+/// MemoryManagers, one copying every migration and one admitting
+/// shadow swaps.  Zero-copy is below the policy layer, so both
+/// managers must report migration stats that lock exactly to the
+/// engine's fetch/evict totals (logical moves), and every block must
+/// end byte-identical across the two managers.  Writes are mirrored
+/// through mark_dirty exactly as the threaded runtime does after each
+/// Run command.
+TEST(TierEquivalence, ZeroCopyManagerLocksToSeedEngineStats) {
+  const auto sc = make_scenario(71, 4, 24, 160);
+  const std::uint64_t cap = sc.total_bytes() / 3 + 64 * 32;
+
+  ref::PolicyEngine::Config rc;
+  rc.strategy = ref::Strategy::MultiIo;
+  rc.num_pes = sc.num_pes;
+  rc.fast_capacity = cap;
+  ref::PolicyEngine se(rc);
+
+  // Tier 0 = slow home, tier 1 = fast.  Slow holds everything plus
+  // retained shadows; fast gets the engine's capacity plus headroom
+  // for shadows (reclaimed on demand when a fetch needs the room).
+  mem::MemoryManager mm_off(
+      {{"slow", sc.total_bytes() * 2 + (64u << 10)},
+       {"fast", cap + (64u << 10)}});
+  mem::MemoryManager mm_on(
+      {{"slow", sc.total_bytes() * 2 + (64u << 10)},
+       {"fast", cap + (64u << 10)}});
+  mm_on.set_zero_copy(true);
+
+  std::vector<mem::BlockId> ids_off, ids_on;
+  for (std::uint64_t b = 0; b < sc.block_bytes.size(); ++b) {
+    se.add_block(b, sc.block_bytes[b]);
+    ids_off.push_back(mm_off.register_block(sc.block_bytes[b], 0));
+    ids_on.push_back(mm_on.register_block(sc.block_bytes[b], 0));
+    ASSERT_NE(ids_off.back(), mem::kInvalidBlock);
+    ASSERT_NE(ids_on.back(), mem::kInvalidBlock);
+    // Same deterministic contents in both managers.
+    for (auto* mm : {&mm_off, &mm_on}) {
+      auto* p = static_cast<unsigned char*>(
+          mm->block_ptr(mm == &mm_off ? ids_off[b] : ids_on[b]));
+      for (std::uint64_t i = 0; i < sc.block_bytes[b]; ++i) {
+        p[i] = static_cast<unsigned char>(b * 97 + i);
+      }
+    }
+  }
+
+  // Task id -> blocks it writes (mirrors Runtime::run_ready_batch's
+  // mark_dirty sweep after the body runs).
+  std::vector<std::vector<std::uint64_t>> writes(sc.tasks.size() + 2);
+  for (const auto& ts : sc.tasks) {
+    for (const auto& d : ts.deps) {
+      if (static_cast<ooc::AccessMode>(d.mode) !=
+          ooc::AccessMode::ReadOnly) {
+        writes[ts.id].push_back(d.block);
+      }
+    }
+  }
+
+  auto apply = [&](const ref::Command& c) {
+    switch (c.kind) {
+      case ref::Command::Kind::Fetch: {
+        const auto off = mm_off.migrate(ids_off[c.block], 1);
+        const auto on = mm_on.migrate(ids_on[c.block], 1);
+        ASSERT_TRUE(off.ok && on.ok);
+        break;
+      }
+      case ref::Command::Kind::Evict: {
+        const auto off =
+            mm_off.migrate(ids_off[c.block], 0, !c.nocopy);
+        const auto on = mm_on.migrate(ids_on[c.block], 0, !c.nocopy);
+        ASSERT_TRUE(off.ok && on.ok);
+        break;
+      }
+      case ref::Command::Kind::Run:
+        // The "body" wrote its write-mode deps: simulate the write so
+        // stale shadows would be observable, then invalidate.
+        for (const std::uint64_t b : writes[c.task]) {
+          for (auto* mm : {&mm_off, &mm_on}) {
+            const mem::BlockId id =
+                mm == &mm_off ? ids_off[b] : ids_on[b];
+            auto* p = static_cast<unsigned char*>(mm->block_ptr(id));
+            p[0] = static_cast<unsigned char>(c.task);
+            mm->mark_dirty(id);
+          }
+        }
+        break;
+    }
+  };
+  auto pump = [&](std::vector<ref::Command> cmds) {
+    for (std::size_t i = 0; i < cmds.size(); ++i) {
+      apply(cmds[i]);
+      std::vector<ref::Command> more;
+      switch (cmds[i].kind) {
+        case ref::Command::Kind::Fetch:
+          more = se.on_fetch_complete(cmds[i].block);
+          break;
+        case ref::Command::Kind::Evict:
+          more = se.on_evict_complete(cmds[i].block);
+          break;
+        case ref::Command::Kind::Run:
+          more = se.on_task_complete(cmds[i].task);
+          break;
+      }
+      cmds.insert(cmds.end(), more.begin(), more.end());
+    }
+  };
+  for (const auto& ts : sc.tasks) pump(se.on_task_arrived(to_seed(ts)));
+  EXPECT_TRUE(se.quiescent());
+
+  // Both managers' logical migration stats lock to the engine's.
+  const auto& st = se.stats();
+  for (auto* mm : {&mm_off, &mm_on}) {
+    const auto up = mm->migration_stats(0, 1);
+    const auto down = mm->migration_stats(1, 0);
+    EXPECT_EQ(up.count, st.fetches);
+    EXPECT_EQ(up.bytes, st.fetch_bytes);
+    EXPECT_EQ(down.count, st.evicts);
+    EXPECT_EQ(down.bytes, st.evict_bytes);
+  }
+
+  // The workload re-fetches evicted blocks, so swaps must have been
+  // admitted — and only on the manager that has them enabled.
+  EXPECT_GT(mm_on.zero_copy_admissions(), 0u);
+  EXPECT_EQ(mm_off.zero_copy_admissions(), 0u);
+
+  // Byte-identical contents, block by block.
+  for (std::uint64_t b = 0; b < sc.block_bytes.size(); ++b) {
+    const auto* p_off =
+        static_cast<const unsigned char*>(mm_off.block_ptr(ids_off[b]));
+    const auto* p_on =
+        static_cast<const unsigned char*>(mm_on.block_ptr(ids_on[b]));
+    ASSERT_EQ(std::memcmp(p_off, p_on, sc.block_bytes[b]), 0)
+        << "block " << b;
+  }
 }
 
 } // namespace

@@ -100,6 +100,19 @@ TEST(Tracer, ClearEmptiesLog) {
   EXPECT_TRUE(t.intervals().empty());
 }
 
+TEST(Tracer, CopyFallbacksFlowIntoSummaryAndCsvTrailer) {
+  Tracer t;
+  t.record(0, Category::Compute, 0.0, 1.0);
+  EXPECT_EQ(t.summarize().ring_fallbacks, 0u);
+  t.note_copy_fallbacks(3);
+  EXPECT_EQ(t.copy_fallbacks(), 3u);
+  EXPECT_EQ(t.summarize().ring_fallbacks, 3u);
+  EXPECT_EQ(t.summarize(-1, 0.0, 1.0).ring_fallbacks, 3u);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("# ring_fallbacks=3"), std::string::npos);
+}
+
 TEST(Tracer, CategoryNamesAndGlyphs) {
   EXPECT_STREQ(category_name(Category::Evict), "evict");
   EXPECT_EQ(category_glyph(Category::Wait), 'w');

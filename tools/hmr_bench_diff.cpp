@@ -15,7 +15,10 @@
 // everything else is treated as a deterministic count that must not
 // move in either direction.  --only restricts the gate to a
 // comma-separated list of path suffixes, which is how CI checks a
-// wall-clock-noisy bench on its deterministic counters alone.
+// wall-clock-noisy bench on its deterministic counters alone;
+// --ignore drops matching suffixes from the gate (applied after
+// --only), for host-dependent fields like hardware_threads that a
+// baseline recorded on a different machine cannot pin down.
 //
 // Exit codes: 0 = within tolerance, 1 = usage/parse error,
 // 2 = regression.
@@ -128,7 +131,7 @@ private:
         case 'r': c = '\r'; break;
         case '"': case '\\': case '/': c = e; break;
         case 'u': {
-          std::uint32_t cp;
+          std::uint32_t cp = 0;
           if (!hex4(cp)) return false;
           if (cp >= 0xD800 && cp <= 0xDBFF) {
             // High surrogate: must be followed by \uDC00..\uDFFF.
@@ -137,7 +140,7 @@ private:
               return fail("unpaired surrogate in \\u escape");
             }
             pos_ += 2;
-            std::uint32_t lo;
+            std::uint32_t lo = 0;
             if (!hex4(lo)) return false;
             if (lo < 0xDC00 || lo > 0xDFFF) {
               return fail("unpaired surrogate in \\u escape");
@@ -308,13 +311,13 @@ Direction direction_of(const std::string& path) {
   return Direction::Exact; // deterministic count: no move allowed
 }
 
-/// --only suffix match on the dotted path: "tasks" or ".tasks" selects
-/// `configs.global.tasks` but not `tasks_per_sec` (the match must
-/// start at a path-component boundary).
-bool selected(const std::string& path,
-              const std::vector<std::string>& only) {
-  if (only.empty()) return true;
-  for (const std::string& pat : only) {
+/// Suffix match on the dotted path (shared by --only and --ignore):
+/// "tasks" or ".tasks" matches `configs.global.tasks` but not
+/// `tasks_per_sec` (the match must start at a path-component
+/// boundary).
+bool matches_any(const std::string& path,
+                 const std::vector<std::string>& pats) {
+  for (const std::string& pat : pats) {
     const std::string p = pat.front() == '.' ? pat.substr(1) : pat;
     if (path == p) return true;
     if (path.size() > p.size() &&
@@ -324,6 +327,12 @@ bool selected(const std::string& path,
     }
   }
   return false;
+}
+
+bool selected(const std::string& path, const std::vector<std::string>& only,
+              const std::vector<std::string>& ignore) {
+  if (!only.empty() && !matches_any(path, only)) return false;
+  return !matches_any(path, ignore);
 }
 
 std::vector<std::string> split_commas(const std::string& s) {
@@ -339,7 +348,7 @@ std::vector<std::string> split_commas(const std::string& s) {
 } // namespace
 
 int main(int argc, char** argv) {
-  std::string old_path, new_path, only_arg;
+  std::string old_path, new_path, only_arg, ignore_arg;
   double tolerance = 0.10;
   hmr::ArgParser ap("hmr_bench_diff",
                     "Compare two BENCH_*.json files and fail on metric "
@@ -351,6 +360,10 @@ int main(int argc, char** argv) {
   ap.add_flag("only",
               "comma-separated path suffixes to gate on (default: all)",
               &only_arg);
+  ap.add_flag("ignore",
+              "comma-separated path suffixes to exclude from the gate "
+              "(host-dependent fields like hardware_threads)",
+              &ignore_arg);
   if (!ap.parse(argc, argv)) return 1;
   if (old_path.empty() || new_path.empty()) {
     std::fprintf(stderr, "hmr_bench_diff: --old and --new are required\n%s",
@@ -361,11 +374,12 @@ int main(int argc, char** argv) {
   std::map<std::string, double> oldm, newm;
   if (!load(old_path, oldm) || !load(new_path, newm)) return 1;
   const std::vector<std::string> only = split_commas(only_arg);
+  const std::vector<std::string> ignore = split_commas(ignore_arg);
 
   int regressions = 0;
   int checked = 0;
   for (const auto& [path, oldv] : oldm) {
-    if (!selected(path, only)) continue;
+    if (!selected(path, only, ignore)) continue;
     const auto it = newm.find(path);
     if (it == newm.end()) {
       std::printf("%-52s %14.6g %14s  REGRESSION (metric disappeared)\n",
@@ -389,7 +403,7 @@ int main(int argc, char** argv) {
     if (bad) ++regressions;
   }
   for (const auto& [path, newv] : newm) {
-    if (oldm.count(path) == 0 && selected(path, only)) {
+    if (oldm.count(path) == 0 && selected(path, only, ignore)) {
       std::printf("%-52s %14s %14.6g  (new metric, not gated)\n",
                   path.c_str(), "-", newv);
     }

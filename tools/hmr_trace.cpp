@@ -55,7 +55,7 @@ std::vector<std::string> split(const std::string& line) {
 }
 
 bool read_trace(std::istream& is, std::vector<Interval>& out,
-                std::uint64_t& dropped) {
+                std::uint64_t& dropped, std::uint64_t& ring_fallbacks) {
   std::string line;
   if (!std::getline(is, line)) {
     std::fprintf(stderr, "hmr_trace: empty input\n");
@@ -73,17 +73,22 @@ bool read_trace(std::istream& is, std::vector<Interval>& out,
     ++lineno;
     if (line.empty()) continue;
     if (line[0] == '#') {
-      // Trailer comments from Tracer::write_csv; the only one today is
-      // "# dropped=N" (ring-full losses at dump time).
-      const auto eq = line.find("dropped=");
-      if (eq != std::string::npos) {
-        try {
+      // Trailer comments from Tracer::write_csv: "# dropped=N"
+      // (ring-full losses at dump time) and "# ring_fallbacks=N"
+      // (ChunkRing full-ring un-assisted copies).  Match the longer
+      // key first -- "ring_fallbacks=" does not contain "dropped=".
+      try {
+        if (const auto rf = line.find("ring_fallbacks=");
+            rf != std::string::npos) {
+          ring_fallbacks = std::stoull(line.substr(rf + 15));
+        } else if (const auto eq = line.find("dropped=");
+                   eq != std::string::npos) {
           dropped = std::stoull(line.substr(eq + 8));
-        } catch (const std::exception&) {
-          std::fprintf(stderr, "hmr_trace: bad comment at line %zu\n",
-                       lineno);
-          return false;
         }
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "hmr_trace: bad comment at line %zu\n",
+                     lineno);
+        return false;
       }
       continue;
     }
@@ -111,7 +116,8 @@ bool read_trace(std::istream& is, std::vector<Interval>& out,
 }
 
 void print_summary(const hmr::trace::TraceSummary& s,
-                   std::int64_t workers, std::uint64_t dropped) {
+                   std::int64_t workers, std::uint64_t dropped,
+                   std::uint64_t ring_fallbacks) {
   std::printf("span: %.6f s over %d lanes", s.span, s.lanes);
   if (workers >= 0) std::printf(" (workers only)");
   std::printf("\n\n%-10s %14s %10s\n", "category", "lane-seconds",
@@ -132,6 +138,17 @@ void print_summary(const hmr::trace::TraceSummary& s,
                  "Re-run with a larger Tracer::Options::ring_capacity or "
                  "drain more often.\n",
                  static_cast<unsigned long long>(dropped));
+  }
+  std::printf("copy ring fallbacks: %llu\n",
+              static_cast<unsigned long long>(ring_fallbacks));
+  if (ring_fallbacks > 0) {
+    std::fprintf(stderr,
+                 "hmr_trace: WARNING: %llu large copies found every "
+                 "ChunkRing slot busy and ran un-assisted (single-thread "
+                 "bandwidth).  Prefetch/Evict lane-seconds above are "
+                 "slower than the cooperative path would be; consider a "
+                 "larger ChunkRing or fewer concurrent migrations.\n",
+                 static_cast<unsigned long long>(ring_fallbacks));
   }
   if (s.migrations.empty()) return;
   std::printf("\n%-12s %12s %10s %12s %14s\n", "tier pair", "bytes",
@@ -191,7 +208,8 @@ int main(int argc, char** argv) {
   }
   std::vector<Interval> ivs;
   std::uint64_t dropped = 0;
-  if (!read_trace(ifs, ivs, dropped)) return 1;
+  std::uint64_t ring_fallbacks = 0;
+  if (!read_trace(ifs, ivs, dropped, ring_fallbacks)) return 1;
 
   // Re-inject into a serial-mode Tracer to reuse its summary and
   // timeline code (serial: no ring capacity to size for a file of
@@ -210,7 +228,7 @@ int main(int argc, char** argv) {
 
   std::printf("%s: %zu intervals\n", in.c_str(), ivs.size());
   print_summary(tracer.summarize(static_cast<std::int32_t>(workers)),
-                workers, dropped);
+                workers, dropped, ring_fallbacks);
 
   if (timeline && t1 > t0) {
     std::printf("\n");
