@@ -1,72 +1,335 @@
-// Extension — weak scaling on a multi-node cluster (paper §VI future
-// work: "We will also perform comparisons ... in multi-node cluster
-// settings").
+// Extension — multi-node cluster scaling on the real cluster DES
+// (paper §VI future work: "We will also perform comparisons ... in
+// multi-node cluster settings").
 //
-// Every node holds a constant 32 GB stencil sub-domain (2x its MCDRAM)
-// and exchanges halos over an Aries-class interconnect.  The question:
-// does the within-node prefetch runtime's advantage survive at scale,
-// and how much of the iteration does communication claim as nodes
-// multiply?  (Weak scaling keeps per-node halo constant, so the comm
-// fraction is flat beyond 1 node — the within-node win carries over
-// undiminished.)
+// Three phases, all through cluster::ClusterSim (a
+// PlacementCoordinator homing objects onto per-node BlockStores, with
+// a cluster-level event queue advancing the ring halo protocol):
+//
+//  * weak scaling — every node holds a constant 32 GB stencil
+//    sub-domain (2x its MCDRAM) and exchanges halos over an
+//    Aries-class interconnect; the within-node prefetch speedup must
+//    survive at every node count;
+//  * strong scaling — a fixed 64 GB global set split across nodes, so
+//    per-node work shrinks while the halo shrinks only with the
+//    sub-domain surface: time falls monotonically but sublinearly;
+//  * disaggregated remote tier — nodes whose local home budget holds
+//    only part of the sub-domain, the rest homed on a remote memory
+//    pool behind latency/bandwidth/message-rate limits.  The
+//    coordinator's promote-on-access + spill-to-remote cascade must
+//    beat the naive all-remote placement by a measured margin.
+//
+// `--check` gates (CI, zero tolerance on the DES counters):
+//  (a) the cascade beats naive all-remote placement,
+//  (b) a single-node no-remote cluster is byte-identical to the
+//      standalone single-node simulator (same virtual seconds, same
+//      engine counters),
+//  (c) remote-transfer counters byte-conserve against the
+//      coordinator's ledgers (every audit/reconcile pass is empty).
+// `--json` writes BENCH_ext_cluster_scaling.json for the
+// hmr_bench_diff trend gate.
 
+#include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "sim/cluster.hpp"
+#include "cluster/cluster_sim.hpp"
+#include "sim/sim_executor.hpp"
+#include "sim/stencil_workload.hpp"
+
+namespace {
+
+using namespace hmr;
+
+constexpr std::uint64_t kBytesPerNode = 32ull << 30;
+constexpr std::uint64_t kReduced = 4ull << 30;
+constexpr std::uint64_t kStrongTotal = 64ull << 30;
+constexpr std::uint64_t kLocalBudget = 12ull << 30;
+constexpr int kIters = 5;
+
+cluster::ClusterConfig base_config() {
+  cluster::ClusterConfig c;
+  c.bytes_per_node = kBytesPerNode;
+  c.reduced_bytes = kReduced;
+  c.iterations = kIters;
+  return c;
+}
+
+struct WeakRow {
+  int nodes = 0;
+  cluster::ClusterRunResult naive;
+  cluster::ClusterRunResult multi;
+};
+
+struct StrongRow {
+  int nodes = 0;
+  cluster::ClusterRunResult r;
+};
+
+void write_json(const std::vector<WeakRow>& weak,
+                const std::vector<StrongRow>& strong,
+                const cluster::ClusterRunResult& cascade,
+                const cluster::ClusterRunResult& allremote,
+                std::size_t audit_violations) {
+  FILE* f = std::fopen("BENCH_ext_cluster_scaling.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_ext_cluster_scaling.json");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ext_cluster_scaling\",\n");
+  std::fprintf(f, "  \"weak\": [\n");
+  for (std::size_t i = 0; i < weak.size(); ++i) {
+    const auto& w = weak[i];
+    std::fprintf(f,
+                 "    {\"nodes\": %d, \"naive_iter_s\": %.6f, "
+                 "\"multi_iter_s\": %.6f, \"comm_fraction\": %.6f, "
+                 "\"halo_bytes\": %llu, \"halo_messages\": %llu}%s\n",
+                 w.nodes, w.naive.iteration_s, w.multi.iteration_s,
+                 w.multi.comm_fraction,
+                 static_cast<unsigned long long>(w.multi.halo_bytes_per_node),
+                 static_cast<unsigned long long>(w.multi.halo_messages),
+                 i + 1 < weak.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"strong\": [\n");
+  for (std::size_t i = 0; i < strong.size(); ++i) {
+    const auto& s = strong[i];
+    std::fprintf(f,
+                 "    {\"nodes\": %d, \"total_s\": %.6f, "
+                 "\"comm_fraction\": %.6f, "
+                 "\"strong_halo_messages\": %llu}%s\n",
+                 s.nodes, s.r.total_s, s.r.comm_fraction,
+                 static_cast<unsigned long long>(s.r.halo_messages),
+                 i + 1 < strong.size() ? "," : "");
+  }
+  std::fprintf(
+      f,
+      "  ],\n  \"remote\": {\"cascade_total_s\": %.6f, "
+      "\"all_remote_total_s\": %.6f, \"margin\": %.3f,\n"
+      "    \"remote_fetch_bytes\": %llu, \"remote_evict_bytes\": %llu, "
+      "\"remote_fetches\": %llu, \"remote_evicts\": %llu,\n"
+      "    \"remote_messages\": %llu, \"placements_local\": %llu, "
+      "\"placements_remote\": %llu},\n",
+      cascade.total_s, allremote.total_s,
+      allremote.total_s / cascade.total_s,
+      static_cast<unsigned long long>(cascade.remote_fetch_bytes),
+      static_cast<unsigned long long>(cascade.remote_evict_bytes),
+      static_cast<unsigned long long>(cascade.remote_fetches),
+      static_cast<unsigned long long>(cascade.remote_evicts),
+      static_cast<unsigned long long>(cascade.remote_messages),
+      static_cast<unsigned long long>(cascade.placements_local),
+      static_cast<unsigned long long>(cascade.placements_remote));
+  std::fprintf(f, "  \"audit_violations\": %llu\n}\n",
+               static_cast<unsigned long long>(audit_violations));
+  std::fclose(f);
+  std::printf("\nwrote BENCH_ext_cluster_scaling.json\n");
+}
+
+} // namespace
 
 int main(int argc, char** argv) {
   using namespace hmr;
   std::string csv_path;
+  bool json = false;
+  bool check = false;
   ArgParser args("ext_cluster_scaling",
-                 "extension: multi-node weak scaling of the runtime");
-  args.add_flag("csv", "write results to this CSV file", &csv_path);
+                 "extension: multi-node cluster scaling (weak + strong + "
+                 "disaggregated remote tier)");
+  args.add_flag("csv", "write weak-scaling results to this CSV file",
+                &csv_path);
+  args.add_flag("json", "write BENCH_ext_cluster_scaling.json", &json);
+  args.add_flag("check", "verify scaling/equivalence/conservation gates",
+                &check);
   if (!args.parse(argc, argv)) return 1;
 
-  bench::banner("Extension: multi-node weak scaling",
-                "paper future work §VI — 32 GB stencil per node, halo "
-                "exchange over a 12.5 GB/s interconnect");
+  bench::banner("Extension: multi-node cluster scaling",
+                "paper future work §VI — placement coordinator + per-node "
+                "block stores on a 12.5 GB/s interconnect");
 
-  sim::ClusterParams base;
-  base.bytes_per_node = 32ull << 30;
-  base.reduced_bytes = 4ull << 30;
-  base.iterations = 5;
+  std::size_t audit_violations = 0;
+  auto audited = [&](cluster::ClusterSim& sim) {
+    auto r = sim.run();
+    for (const auto& v : r.audit) {
+      std::cerr << "LEDGER VIOLATION: " << v << "\n";
+    }
+    audit_violations += r.audit.size();
+    return r;
+  };
 
-  const std::vector<int> nodes{1, 2, 8, 64, 512};
+  // ---- weak scaling: constant 32 GB per node --------------------------
+  const std::vector<int> weak_nodes{1, 2, 8, 64, 512};
+  std::vector<WeakRow> weak;
+  for (const int n : weak_nodes) {
+    WeakRow row;
+    row.nodes = n;
+    auto naive_cfg = base_config();
+    naive_cfg.nodes = n;
+    naive_cfg.strategy = ooc::Strategy::Naive;
+    cluster::ClusterSim naive_sim(naive_cfg);
+    row.naive = audited(naive_sim);
 
-  TextTable t({"nodes", "naive iter (s)", "MultiIO iter (s)", "speedup",
-               "halo/iter", "comm frac (MultiIO)"});
+    auto multi_cfg = base_config();
+    multi_cfg.nodes = n;
+    cluster::ClusterSim multi_sim(multi_cfg);
+    row.multi = audited(multi_sim);
+    weak.push_back(std::move(row));
+  }
+
+  TextTable wt({"nodes", "naive iter (s)", "MultiIO iter (s)", "speedup",
+                "halo/iter", "halo msgs", "comm frac"});
   bench::CsvSink csv(csv_path, {"nodes", "naive_iter_s", "multiio_iter_s",
                                 "speedup", "comm_fraction"});
-
-  for (const int n : nodes) {
-    sim::ClusterParams naive_p = base;
-    naive_p.nodes = n;
-    naive_p.strategy = ooc::Strategy::Naive;
-    const auto naive = sim::run_cluster(naive_p);
-
-    sim::ClusterParams multi_p = base;
-    multi_p.nodes = n;
-    multi_p.strategy = ooc::Strategy::MultiIo;
-    const auto multi = sim::run_cluster(multi_p);
-
-    t.add_row({strfmt("%d", n), strfmt("%.3f", naive.iteration_s),
-               strfmt("%.3f", multi.iteration_s),
-               strfmt("%.2fx", naive.iteration_s / multi.iteration_s),
-               fmt_bytes(multi.halo_bytes_per_node),
-               strfmt("%.1f%%", 100 * multi.comm_fraction)});
+  for (const auto& w : weak) {
+    wt.add_row({strfmt("%d", w.nodes), strfmt("%.3f", w.naive.iteration_s),
+                strfmt("%.3f", w.multi.iteration_s),
+                strfmt("%.2fx", w.naive.iteration_s / w.multi.iteration_s),
+                fmt_bytes(w.multi.halo_bytes_per_node),
+                strfmt("%llu", static_cast<unsigned long long>(
+                                   w.multi.halo_messages)),
+                strfmt("%.1f%%", 100 * w.multi.comm_fraction)});
     if (csv) {
-      csv->field(static_cast<std::int64_t>(n))
-          .field(naive.iteration_s)
-          .field(multi.iteration_s)
-          .field(naive.iteration_s / multi.iteration_s)
-          .field(multi.comm_fraction);
+      csv->field(static_cast<std::int64_t>(w.nodes))
+          .field(w.naive.iteration_s)
+          .field(w.multi.iteration_s)
+          .field(w.naive.iteration_s / w.multi.iteration_s)
+          .field(w.multi.comm_fraction);
       csv->end_row();
     }
   }
-  t.print(std::cout);
-  std::cout << "\nexpected shape: the within-node speedup is preserved at "
-               "every node count;\nhalo cost is constant per node under "
-               "weak scaling (surface vs volume)\n";
+  std::cout << "weak scaling (32 GB per node):\n";
+  wt.print(std::cout);
+
+  // ---- strong scaling: fixed 64 GB global set -------------------------
+  const std::vector<int> strong_nodes{1, 2, 4, 8, 16};
+  std::vector<StrongRow> strong;
+  for (const int n : strong_nodes) {
+    auto cfg = base_config();
+    cfg.nodes = n;
+    cfg.total_bytes = kStrongTotal;
+    cluster::ClusterSim sim(cfg);
+    strong.push_back({n, audited(sim)});
+  }
+  TextTable st({"nodes", "total (s)", "speedup", "efficiency", "comm frac"});
+  for (const auto& s : strong) {
+    const double sp = strong.front().r.total_s / s.r.total_s;
+    st.add_row({strfmt("%d", s.nodes), strfmt("%.3f", s.r.total_s),
+                strfmt("%.2fx", sp),
+                strfmt("%.0f%%", 100 * sp / s.nodes),
+                strfmt("%.1f%%", 100 * s.r.comm_fraction)});
+  }
+  std::cout << "\nstrong scaling (64 GB total):\n";
+  st.print(std::cout);
+
+  // ---- disaggregated remote tier: cascade vs all-remote ---------------
+  auto cascade_cfg = base_config();
+  cascade_cfg.nodes = 4;
+  cascade_cfg.remote_tier = true;
+  cascade_cfg.node_local_capacity = kLocalBudget;
+  cluster::ClusterSim cascade_sim(cascade_cfg);
+  const auto cascade = audited(cascade_sim);
+
+  auto naive_remote_cfg = base_config();
+  naive_remote_cfg.nodes = 4;
+  naive_remote_cfg.all_remote = true;
+  cluster::ClusterSim allremote_sim(naive_remote_cfg);
+  const auto allremote = audited(allremote_sim);
+
+  std::printf(
+      "\ndisaggregated remote tier (4 nodes, 12 GB local home budget, "
+      "32 GB sub-domain):\n"
+      "  coordinator cascade: %.3f s  (placements %llu local / %llu "
+      "remote,\n"
+      "    remote fetch %.1f GiB in %llu transfers / %llu network msgs, "
+      "spill %.1f GiB)\n"
+      "  naive all-remote:    %.3f s  (everything streams from the "
+      "pool)\n"
+      "  margin: %.2fx\n",
+      cascade.total_s,
+      static_cast<unsigned long long>(cascade.placements_local),
+      static_cast<unsigned long long>(cascade.placements_remote),
+      static_cast<double>(cascade.remote_fetch_bytes) / GiB,
+      static_cast<unsigned long long>(cascade.remote_fetches),
+      static_cast<unsigned long long>(cascade.remote_messages),
+      static_cast<double>(cascade.remote_evict_bytes) / GiB,
+      allremote.total_s, allremote.total_s / cascade.total_s);
+
+  // ---- single-node equivalence: cluster-of-one == standalone DES ------
+  auto one_cfg = base_config();
+  one_cfg.nodes = 1;
+  cluster::ClusterSim one_sim(one_cfg);
+  const auto one = audited(one_sim);
+
+  const auto wp = sim::StencilWorkload::params_for_reduced(
+      kBytesPerNode, kReduced, one_cfg.node.num_pes, kIters);
+  const sim::StencilWorkload w(wp);
+  sim::SimConfig scfg;
+  scfg.model = one_cfg.node;
+  scfg.strategy = one_cfg.strategy;
+  sim::SimExecutor ex(scfg);
+  const auto direct = ex.run(w);
+  const bool equiv = one.total_s == direct.total_time &&
+                     one.node_stats.size() == 1 &&
+                     one.node_stats[0].policy.fetches ==
+                         direct.policy.fetches &&
+                     one.node_stats[0].policy.fetch_bytes ==
+                         direct.policy.fetch_bytes &&
+                     one.node_stats[0].policy.evicts == direct.policy.evicts;
+  std::printf(
+      "\nsingle-node equivalence: cluster %.6f s vs standalone %.6f s "
+      "(%s)\n",
+      one.total_s, direct.total_time, equiv ? "identical" : "DIVERGED");
+  std::printf("ledger conservation: %llu violation(s) across %zu runs\n",
+              static_cast<unsigned long long>(audit_violations),
+              weak.size() * 2 + strong.size() + 3);
+
+  if (json) {
+    write_json(weak, strong, cascade, allremote, audit_violations);
+  }
+
+  if (check) {
+    int rc = 0;
+    auto expect = [&](bool ok, const std::string& what) {
+      if (!ok) {
+        std::cerr << "CHECK FAILED: " << what << "\n";
+        rc = 2;
+      }
+    };
+    // Weak scaling: within-node speedup survives at every node count,
+    // comm fraction flat beyond one node.
+    for (const auto& wr : weak) {
+      expect(wr.naive.iteration_s / wr.multi.iteration_s > 1.2,
+             strfmt("weak %d nodes: naive/multi speedup collapsed",
+                    wr.nodes));
+      expect(wr.nodes == 1 ? wr.multi.comm_fraction == 0
+                           : wr.multi.comm_fraction > 0,
+             strfmt("weak %d nodes: wrong comm fraction", wr.nodes));
+    }
+    // Strong scaling: more nodes never slower, and genuinely faster
+    // end to end.
+    for (std::size_t i = 1; i < strong.size(); ++i) {
+      expect(strong[i].r.total_s <= strong[i - 1].r.total_s,
+             strfmt("strong scaling not monotone at %d nodes",
+                    strong[i].nodes));
+    }
+    expect(strong.back().r.total_s < 0.6 * strong.front().r.total_s,
+           "strong scaling gained less than 1.67x at 16 nodes");
+    // Gate (a): the placement cascade beats naive all-remote.
+    expect(allremote.total_s > 1.2 * cascade.total_s,
+           strfmt("cascade %.3fs not >=1.2x better than all-remote %.3fs",
+                  cascade.total_s, allremote.total_s));
+    expect(cascade.placements_remote > 0 && cascade.placements_local > 0,
+           "cascade run did not split the working set across pools");
+    expect(cascade.remote_fetch_bytes > 0 && cascade.remote_messages > 0,
+           "cascade run moved no bytes over the network");
+    // Gate (b): a cluster of one with no remote pool is the
+    // single-node simulator, exactly.
+    expect(equiv, "single-node cluster diverged from the standalone DES");
+    // Gate (c): every coordinator ledger byte-conserved against its
+    // node engine.
+    expect(audit_violations == 0,
+           "coordinator ledgers failed byte conservation");
+    if (rc == 0) std::cout << "\ncluster scaling checks passed\n";
+    return rc;
+  }
   return 0;
 }

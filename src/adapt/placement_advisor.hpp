@@ -72,6 +72,26 @@ struct AdvisorConfig {
   /// Thresholds keep their defaults; the bandwidth/channel fields are
   /// derived from the model's tier shapes at full concurrency.
   static AdvisorConfig from_model(const hw::MachineModel& m);
+
+  /// Remote-backend costing: when the hierarchy's backing store is a
+  /// disaggregated pool (ooc::TierBackendKind::Remote), migrations pay
+  /// the network instead of the local copy channel.  Raises the
+  /// migration cost fields to at least the network path's
+  /// seconds-per-byte and adds its per-transfer latency to the fixed
+  /// cost, so break_even_accesses demands more reuse before moving a
+  /// block across the wire.  Plain numbers keep adapt sim-free; the
+  /// caller derives them from its network model (executors pass
+  /// 1/bandwidth and the message latency of the remote tier's
+  /// ooc::RemoteTierParams).
+  void apply_remote(double seconds_per_byte, double fixed_seconds) {
+    if (seconds_per_byte > fetch_seconds_per_byte_loaded) {
+      fetch_seconds_per_byte_loaded = seconds_per_byte;
+    }
+    if (seconds_per_byte > evict_seconds_per_byte_loaded) {
+      evict_seconds_per_byte_loaded = seconds_per_byte;
+    }
+    migration_fixed_seconds += fixed_seconds;
+  }
 };
 
 class PlacementAdvisor final : public ooc::AdviceProvider {

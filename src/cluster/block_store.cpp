@@ -1,0 +1,48 @@
+#include "cluster/block_store.hpp"
+
+#include "util/check.hpp"
+
+namespace hmr::cluster {
+
+BlockStore::BlockStore(Config cfg)
+    : node_(cfg.node), ex_(std::move(cfg.sim)) {}
+
+const sim::SimResult& BlockStore::run(const sim::Workload& w) {
+  HMR_CHECK_MSG(!ran_, "a BlockStore runs one workload");
+  result_ = ex_.run(w);
+  ran_ = true;
+  return result_;
+}
+
+const sim::SimResult& BlockStore::result() const {
+  HMR_CHECK_MSG(ran_, "BlockStore::result before run");
+  return result_;
+}
+
+std::uint64_t BlockStore::local_resident_bytes() const {
+  HMR_CHECK_MSG(ran_, "residency is read at quiescence, after run");
+  const ooc::PolicyEngine& e = engine();
+  std::uint64_t sum = 0;
+  for (std::int32_t k = 0; k < e.num_levels(); ++k) {
+    if (e.tiers()[static_cast<std::size_t>(k)].backend ==
+        ooc::TierBackendKind::LocalArena) {
+      sum += e.tier_used(k);
+    }
+  }
+  return sum;
+}
+
+std::uint64_t BlockStore::remote_resident_bytes() const {
+  HMR_CHECK_MSG(ran_, "residency is read at quiescence, after run");
+  const ooc::PolicyEngine& e = engine();
+  std::uint64_t sum = 0;
+  for (std::int32_t k = 0; k < e.num_levels(); ++k) {
+    if (e.tiers()[static_cast<std::size_t>(k)].backend ==
+        ooc::TierBackendKind::Remote) {
+      sum += e.tier_used(k);
+    }
+  }
+  return sum;
+}
+
+} // namespace hmr::cluster

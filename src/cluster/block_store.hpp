@@ -1,0 +1,52 @@
+#pragma once
+// BlockStore: the cluster's per-node storage/execution role (the
+// "fst" to the PlacementCoordinator's "mgm").  One BlockStore owns one
+// node's full single-node discrete-event simulation — PolicyEngine,
+// tier hierarchy (local arenas plus, on disaggregated clusters, the
+// Remote-backed pool level), IO agents, transfer channels — and
+// exposes the engine's ground-truth residency and remote-traffic
+// counters so the coordinator can byte-reconcile its ledgers against
+// what the node actually did.
+
+#include <cstdint>
+
+#include "cluster/coordinator.hpp"
+#include "sim/sim_executor.hpp"
+#include "sim/workload.hpp"
+
+namespace hmr::cluster {
+
+class BlockStore {
+public:
+  struct Config {
+    NodeId node = 0;
+    /// Full per-node DES configuration (model, strategy, hierarchy —
+    /// including any Remote tier appended by sim::add_remote_tier).
+    sim::SimConfig sim;
+  };
+
+  explicit BlockStore(Config cfg);
+
+  /// Run the node's workload to quiescence (once per instance).
+  const sim::SimResult& run(const sim::Workload& w);
+
+  NodeId node() const { return node_; }
+  bool ran() const { return ran_; }
+  const sim::SimResult& result() const;
+  const sim::SimExecutor& executor() const { return ex_; }
+  const ooc::PolicyEngine& engine() const { return ex_.engine(); }
+
+  /// Engine ground truth at quiescence: bytes resident on the node's
+  /// local (arena-backed) levels / on Remote-backed levels.  These are
+  /// what PlacementCoordinator::reconcile checks its ledger against.
+  std::uint64_t local_resident_bytes() const;
+  std::uint64_t remote_resident_bytes() const;
+
+private:
+  NodeId node_;
+  sim::SimExecutor ex_;
+  sim::SimResult result_;
+  bool ran_ = false;
+};
+
+} // namespace hmr::cluster

@@ -1,0 +1,179 @@
+#include "cluster/coordinator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hmr::cluster {
+
+PlacementCoordinator::PlacementCoordinator(const Config& cfg) : cfg_(cfg) {
+  HMR_CHECK_MSG(cfg.nodes >= 1, "a cluster has at least one node");
+  ledgers_.resize(static_cast<std::size_t>(cfg.nodes));
+  for (auto& l : ledgers_) l.capacity = cfg.node_capacity;
+}
+
+PlacementCoordinator::Placement PlacementCoordinator::place(
+    ObjectId object, std::uint64_t bytes, NodeId preferred) {
+  HMR_CHECK_MSG(map_.find(object) == map_.end(),
+                "object placed twice");
+  NodeId n = preferred;
+  if (n == kAnyNode) {
+    // Least-loaded by free local budget; unbounded nodes compare by
+    // total placed bytes.  Ties go to the lowest id (determinism).
+    n = 0;
+    for (NodeId c = 1; c < nodes(); ++c) {
+      const NodeLedger& best = ledgers_[static_cast<std::size_t>(n)];
+      const NodeLedger& cand = ledgers_[static_cast<std::size_t>(c)];
+      const std::uint64_t best_load = best.placed_local + best.placed_remote;
+      const std::uint64_t cand_load = cand.placed_local + cand.placed_remote;
+      if (cand_load < best_load) n = c;
+    }
+  }
+  HMR_CHECK_MSG(n >= 0 && n < nodes(), "placement names an unknown node");
+  NodeLedger& l = ledgers_[static_cast<std::size_t>(n)];
+
+  Placement p;
+  p.node = n;
+  const bool fits_local =
+      l.capacity == 0 || l.placed_local + bytes <= l.capacity;
+  if (cfg_.all_remote) {
+    p.remote = true;
+  } else if (fits_local) {
+    p.remote = false;
+  } else {
+    HMR_CHECK_MSG(cfg_.allow_remote,
+                  "object exceeds the node's local budget and the "
+                  "cluster has no remote pool to spill to");
+    p.remote = true;
+  }
+  if (p.remote) {
+    HMR_CHECK_MSG(cfg_.allow_remote || cfg_.all_remote,
+                  "remote placement without a remote pool");
+    l.placed_remote += bytes;
+  } else {
+    l.placed_local += bytes;
+  }
+  ++l.objects;
+  total_bytes_ += bytes;
+  map_.emplace(object, p);
+  return p;
+}
+
+PlacementCoordinator::Placement PlacementCoordinator::placement_of(
+    ObjectId object) const {
+  auto it = map_.find(object);
+  HMR_CHECK_MSG(it != map_.end(), "placement_of: unknown object");
+  return it->second;
+}
+
+bool PlacementCoordinator::knows(ObjectId object) const {
+  return map_.find(object) != map_.end();
+}
+
+void PlacementCoordinator::record_promotions(NodeId n, std::uint64_t count,
+                                             std::uint64_t bytes) {
+  NodeLedger& l = ledgers_.at(static_cast<std::size_t>(n));
+  l.promotions += count;
+  l.promoted_bytes += bytes;
+}
+
+void PlacementCoordinator::record_spills(NodeId n, std::uint64_t count,
+                                         std::uint64_t bytes) {
+  NodeLedger& l = ledgers_.at(static_cast<std::size_t>(n));
+  l.spills += count;
+  l.spilled_bytes += bytes;
+}
+
+const NodeLedger& PlacementCoordinator::node(NodeId n) const {
+  return ledgers_.at(static_cast<std::size_t>(n));
+}
+
+std::int64_t PlacementCoordinator::pool_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto& l : ledgers_) sum += l.remote_now();
+  return sum;
+}
+
+std::vector<std::string> PlacementCoordinator::audit() const {
+  std::vector<std::string> v;
+  std::uint64_t objects = 0, bytes = 0;
+  for (std::size_t n = 0; n < ledgers_.size(); ++n) {
+    const NodeLedger& l = ledgers_[n];
+    objects += l.objects;
+    bytes += l.placed_local + l.placed_remote;
+    std::ostringstream tag;
+    tag << "node " << n << ": ";
+    if (l.local_now() < 0) {
+      v.push_back(tag.str() + "negative local residency (spilled more "
+                              "bytes than it ever held)");
+    }
+    if (l.remote_now() < 0) {
+      v.push_back(tag.str() + "negative remote residency (promoted more "
+                              "bytes than the pool held)");
+    }
+    const std::int64_t placed =
+        static_cast<std::int64_t>(l.placed_local + l.placed_remote);
+    if (l.local_now() + l.remote_now() != placed) {
+      v.push_back(tag.str() + "local+remote residency does not conserve "
+                              "placed bytes");
+    }
+    if (l.capacity != 0 && l.placed_local > l.capacity) {
+      v.push_back(tag.str() + "placed more local bytes than the budget");
+    }
+  }
+  if (objects != map_.size()) {
+    v.push_back("ledger object count disagrees with the object map");
+  }
+  if (bytes != total_bytes_) {
+    v.push_back("ledger byte totals disagree with placed bytes");
+  }
+  return v;
+}
+
+std::vector<std::string> PlacementCoordinator::reconcile(
+    NodeId n, std::uint64_t engine_local_bytes,
+    std::uint64_t engine_remote_bytes) const {
+  std::vector<std::string> v;
+  const NodeLedger& l = ledgers_.at(static_cast<std::size_t>(n));
+  std::ostringstream tag;
+  tag << "node " << n << ": ";
+  if (l.local_now() != static_cast<std::int64_t>(engine_local_bytes)) {
+    std::ostringstream os;
+    os << tag.str() << "ledger local residency " << l.local_now()
+       << " != engine local residency " << engine_local_bytes;
+    v.push_back(os.str());
+  }
+  if (l.remote_now() != static_cast<std::int64_t>(engine_remote_bytes)) {
+    std::ostringstream os;
+    os << tag.str() << "ledger remote residency " << l.remote_now()
+       << " != engine remote residency " << engine_remote_bytes;
+    v.push_back(os.str());
+  }
+  return v;
+}
+
+std::string PlacementCoordinator::to_json() const {
+  std::ostringstream os;
+  os << "{\"nodes\":" << nodes() << ",\"objects\":" << total_objects()
+     << ",\"total_bytes\":" << total_bytes_
+     << ",\"pool_bytes\":" << pool_bytes() << ",\"node_ledgers\":[";
+  for (std::size_t n = 0; n < ledgers_.size(); ++n) {
+    const NodeLedger& l = ledgers_[n];
+    if (n) os << ",";
+    os << "{\"node\":" << n << ",\"capacity\":" << l.capacity
+       << ",\"objects\":" << l.objects
+       << ",\"placed_local\":" << l.placed_local
+       << ",\"placed_remote\":" << l.placed_remote
+       << ",\"promotions\":" << l.promotions
+       << ",\"promoted_bytes\":" << l.promoted_bytes
+       << ",\"spills\":" << l.spills
+       << ",\"spilled_bytes\":" << l.spilled_bytes
+       << ",\"local_now\":" << l.local_now()
+       << ",\"remote_now\":" << l.remote_now() << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+} // namespace hmr::cluster

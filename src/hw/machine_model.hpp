@@ -46,6 +46,14 @@ struct MemoryTier {
   /// paper's KNL flat mode DDR4 is node 0 and MCDRAM node 1; HMR_NUMA
   /// builds bind mmap-backed tier arenas to this node.
   int numa_node = -1;
+
+  /// Disaggregated pool reached over the interconnect instead of the
+  /// local memory bus.  read_bw/write_bw/latency then describe the
+  /// network path (sim::add_remote_tier fills them from a
+  /// NetworkModel); ooc::tiers_from_model turns the flag into a
+  /// Remote tier backend so engines count network traffic separately
+  /// and executors charge network messages instead of local copies.
+  bool remote = false;
 };
 
 /// A node with heterogeneous memory and `num_pes` worker PEs.

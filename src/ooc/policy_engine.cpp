@@ -42,23 +42,43 @@ const char* block_state_name(BlockState s) {
   return "?";
 }
 
+const char* tier_backend_name(TierBackendKind k) {
+  switch (k) {
+    case TierBackendKind::LocalArena: return "local";
+    case TierBackendKind::Remote: return "remote";
+  }
+  return "?";
+}
+
 std::vector<TierDesc> tiers_from_model(const hw::MachineModel& m) {
   HMR_CHECK_MSG(m.tiers.size() >= 2, "placement hierarchy needs >= 2 tiers");
   std::vector<std::size_t> order(m.tiers.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Local tiers first (bandwidth order); remote pools always sit below
+  // every local pool — a disaggregated tier is a backing store, not a
+  // middle level, even when its nominal bandwidth beats local NVM.
   std::stable_sort(order.begin(), order.end(),
                    [&m](std::size_t a, std::size_t b) {
+                     if (m.tiers[a].remote != m.tiers[b].remote) {
+                       return !m.tiers[a].remote;
+                     }
                      return m.tiers[a].read_bw > m.tiers[b].read_bw;
                    });
   std::vector<TierDesc> out;
   out.reserve(order.size());
   for (std::size_t i = 0; i < order.size(); ++i) {
+    const hw::MemoryTier& t = m.tiers[order[i]];
     TierDesc d;
     d.id = static_cast<TierId>(order[i]);
     // The slowest tier is the unbounded backing store (the paper's
     // "data always fits DDR" assumption, transplanted to the far end
     // of whatever hierarchy the model describes).
-    d.capacity = i + 1 < order.size() ? m.tiers[order[i]].capacity : 0;
+    d.capacity = i + 1 < order.size() ? t.capacity : 0;
+    if (t.remote) {
+      d.backend = TierBackendKind::Remote;
+      if (t.read_bw > 0) d.remote.bandwidth = t.read_bw;
+      if (t.latency > 0) d.remote.latency = t.latency;
+    }
     out.push_back(d);
   }
   return out;
@@ -127,8 +147,13 @@ PolicyEngine::PolicyEngine(Config cfg)
   if (cfg_.tiers.empty()) {
     // Classic two-level hierarchy; ids follow the hw preset convention
     // (tier 1 = fast, tier 0 = slow).
-    tiers_ = {TierDesc{1, cfg_.fast_capacity, cfg_.lru_watermark},
-              TierDesc{0, 0, 1.0}};
+    TierDesc fast;
+    fast.id = 1;
+    fast.capacity = cfg_.fast_capacity;
+    fast.watermark = cfg_.lru_watermark;
+    TierDesc slow;
+    slow.id = 0;
+    tiers_ = {fast, slow};
   } else {
     tiers_ = cfg_.tiers;
     HMR_CHECK_MSG(tiers_.size() >= 2, "placement hierarchy needs >= 2 levels");
@@ -217,6 +242,30 @@ TierId PolicyEngine::add_block(BlockId b, std::uint64_t bytes) {
   used_[static_cast<std::size_t>(level)] += bytes;
   blocks_.emplace(b, rec);
   return tiers_[static_cast<std::size_t>(level)].id;
+}
+
+TierId PolicyEngine::add_block(BlockId b, std::uint64_t bytes,
+                               std::int32_t home_level) {
+  if (home_level < 0 || !strategy_moves_data(cfg_.strategy) ||
+      home_level >= bottom()) {
+    return add_block(b, bytes);
+  }
+  HMR_CHECK_MSG(home_level > 0,
+                "home_level 0 (the prefetch budget) is not a valid home");
+  HMR_CHECK_MSG(bytes > 0, "zero-byte block");
+  HMR_CHECK_MSG(blocks_.find(b) == blocks_.end(), "duplicate block id");
+  const auto lvl = static_cast<std::size_t>(home_level);
+  HMR_CHECK_MSG(used_[lvl] + bytes <= tiers_[lvl].capacity,
+                "home_level placement overcommits the level");
+  BlockRec rec;
+  rec.bytes = bytes;
+  rec.level = home_level;
+  used_[lvl] += bytes;
+  blocks_.emplace(b, rec);
+  // Parked refcount-0 resident of a middle level: joins that level's
+  // LRU so watermark trims and the demotion cascade can see it.
+  mid_touch(b);
+  return tiers_[lvl].id;
 }
 
 void PolicyEngine::remove_block(BlockId b) {
@@ -354,6 +403,11 @@ void PolicyEngine::admit(TaskId t, std::int32_t fetch_agent,
       ++n_inflight_fetch_;
       ++stats_.fetches;
       stats_.fetch_bytes += br.bytes;
+      if (tiers_[static_cast<std::size_t>(src)].backend ==
+          TierBackendKind::Remote) {
+        ++stats_.remote_fetches;
+        stats_.remote_fetch_bytes += br.bytes;
+      }
       br.fetch_waiters.push_back(t);
       ++tr.missing;
       Command c;
@@ -458,6 +512,11 @@ void PolicyEngine::demote_block(BlockId b, std::int32_t dst,
   stats_.evict_bytes += br.bytes;
   if (src > 0) ++stats_.tier_trims;
   if (dst < bottom()) ++stats_.cascade_demotions;
+  if (tiers_[static_cast<std::size_t>(dst)].backend ==
+      TierBackendKind::Remote) {
+    ++stats_.remote_evicts;
+    stats_.remote_evict_bytes += br.bytes;
+  }
   Command c;
   c.kind = Command::Kind::Evict;
   c.block = b;

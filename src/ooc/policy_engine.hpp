@@ -142,6 +142,17 @@ public:
   /// first-fit in speed order; HbmOnly requires it to fit on level 0).
   TierId add_block(BlockId b, std::uint64_t bytes) override;
 
+  /// Register a block with an explicit home: under a movement
+  /// strategy the block starts on hierarchy level `home_level`
+  /// instead of the bottom (a placement coordinator homing objects on
+  /// a node's local pool rather than the disaggregated remote tier —
+  /// DOLMA-style object-level placement).  Only middle levels are
+  /// valid homes: level 0 is the prefetch budget and the bottom is
+  /// the default.  `home_level < 0` or a non-movement strategy falls
+  /// back to the plain overload.
+  TierId add_block(BlockId b, std::uint64_t bytes,
+                   std::int32_t home_level);
+
   /// Deprecated: collapse a tier id returned by add_block onto the old
   /// two-tier vocabulary (Fast == the hierarchy's top level).  Kept
   /// one release for downstream callers.

@@ -89,6 +89,49 @@ bool strategy_moves_data(Strategy s);
 /// PolicyEngine::add_block (Fast == the hierarchy's top level).
 enum class Placement : std::uint8_t { Fast, Slow };
 
+/// How a hierarchy level's bytes are physically realized.  The engine
+/// treats every backend identically for placement (capacity, cascade,
+/// watermark); the distinction is what a migration touching the level
+/// *costs* — executors charge a Remote level's transfers against a
+/// network channel (latency + bandwidth + message rate) instead of a
+/// local copy channel, and engines count the traffic separately
+/// (EngineStats::remote_*).
+enum class TierBackendKind : std::uint8_t {
+  LocalArena, // node-local memory pool (the classic tier)
+  Remote,     // disaggregated pool reached over the interconnect
+};
+
+const char* tier_backend_name(TierBackendKind k);
+
+/// Cost parameters of the network path behind a Remote tier backend.
+/// Plain numbers (no sim dependency): sim::NetworkModel::tier_params
+/// produces them, and the DES reconstructs message timing from them.
+/// A transfer of B bytes is segmented into ceil(B / max_msg_bytes)
+/// messages and costs
+///   latency + max(B / bandwidth, messages / msg_rate)
+/// — the message-rate term dominates in the small-message regime.
+struct RemoteTierParams {
+  double latency = 2e-6;     // per transfer, seconds (message chain setup)
+  double bandwidth = 10.0e9; // serialization bytes/s (link/injection min)
+  double msg_rate = 2.5e7;   // messages/s the NIC can issue
+  std::uint64_t max_msg_bytes = 64ull << 10; // segmentation unit
+
+  std::uint64_t messages(std::uint64_t bytes) const {
+    if (max_msg_bytes == 0) return 1;
+    const std::uint64_t n = (bytes + max_msg_bytes - 1) / max_msg_bytes;
+    return n > 0 ? n : 1;
+  }
+  double serialize_seconds(std::uint64_t bytes) const {
+    const double bw_term = static_cast<double>(bytes) / bandwidth;
+    const double msg_term =
+        static_cast<double>(messages(bytes)) / msg_rate;
+    return bw_term > msg_term ? bw_term : msg_term;
+  }
+  double transfer_seconds(std::uint64_t bytes) const {
+    return latency + serialize_seconds(bytes);
+  }
+};
+
 /// One level of the engine's placement hierarchy, ordered fastest
 /// first.  `id` is the executor-facing tier id (the hw/mem tier
 /// index); the engine itself reasons in hierarchy levels (vector
@@ -104,12 +147,27 @@ struct TierDesc {
   TierId id = 0;
   std::uint64_t capacity = 0;
   double watermark = 1.0;
+  /// Pluggable backend: LocalArena behaves exactly as before (the
+  /// default keeps every existing hierarchy byte-identical); Remote
+  /// marks the level as a disaggregated pool and `remote` carries its
+  /// network cost parameters.
+  TierBackendKind backend = TierBackendKind::LocalArena;
+  RemoteTierParams remote; // read only when backend == Remote
+
+  TierDesc() = default;
+  TierDesc(TierId id_, std::uint64_t capacity_ = 0, double watermark_ = 1.0)
+      : id(id_), capacity(capacity_), watermark(watermark_) {}
 };
 
-/// Placement hierarchy for a machine model: every memory tier, sorted
-/// by read bandwidth descending, capacities taken from the model and
-/// the slowest tier left unbounded.  This is how executors hand an
-/// N-tier node to the engine with zero application changes.
+/// Placement hierarchy for a machine model: every memory tier, local
+/// tiers first sorted by read bandwidth descending, then remote tiers
+/// (a disaggregated pool is always below every local pool, whatever
+/// its nominal bandwidth), capacities taken from the model and the
+/// slowest tier left unbounded.  Tiers flagged hw::MemoryTier::remote
+/// become Remote backends with bandwidth/latency from the model tier
+/// (sim::tiers_with_remote refines the message-rate parameters from a
+/// full NetworkModel).  This is how executors hand an N-tier node to
+/// the engine with zero application changes.
 std::vector<TierDesc> tiers_from_model(const hw::MachineModel& m);
 
 /// Counters every engine implementation maintains (one struct so the
@@ -129,6 +187,11 @@ struct EngineStats {
   std::uint64_t advised_demotions = 0; // demote-advised reclaim victim
   std::uint64_t cascade_demotions = 0; // evictions caught by a middle level
   std::uint64_t tier_trims = 0;        // watermark demotions off middle levels
+  // Remote tier backend traffic (zero on all-local hierarchies).
+  std::uint64_t remote_fetches = 0;     // promotions sourced from a Remote level
+  std::uint64_t remote_fetch_bytes = 0; // bytes pulled over the network
+  std::uint64_t remote_evicts = 0;      // demotions landing on a Remote level
+  std::uint64_t remote_evict_bytes = 0; // bytes spilled over the network
 };
 
 /// Logical block residency, the paper's INHBM / INDDR states plus the

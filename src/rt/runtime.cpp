@@ -1281,6 +1281,17 @@ void Runtime::start_introspection() {
       r.body = body.str();
       return r;
     });
+    srv->route("/cluster", [this](const Request&) {
+      Response r;
+      if (!cfg_.cluster_json) {
+        r.status = 404;
+        r.body = "no cluster attached (Config::cluster_json unset)\n";
+        return r;
+      }
+      r.content_type = "application/json";
+      r.body = cfg_.cluster_json();
+      return r;
+    });
     srv->route("/blocks", [this](const Request& rq) {
       Response r;
       if (!flight_) {

@@ -159,9 +159,14 @@ public:
     /// Status server port: -1 = off (default), 0 = any free loopback
     /// port (read it back with serve_port()), >0 = that port.  The
     /// server binds 127.0.0.1 only and serves /healthz, /metrics,
-    /// /status and /blocks?id=N.  Enabling it forces `metrics` on so
-    /// /metrics has something to say.
+    /// /status, /cluster and /blocks?id=N.  Enabling it forces
+    /// `metrics` on so /metrics has something to say.
     int serve_port = -1;
+    /// /cluster route payload provider.  Kept as a plain callable so
+    /// rt does not link the cluster library: wire in
+    /// cluster::ClusterSim::to_json (or any JSON producer) after the
+    /// sim has run.  Unset, the route answers 404.
+    std::function<std::string()> cluster_json;
     /// Stall watchdog: a monitor thread that trips when outstanding
     /// work stops retiring (see telemetry::Watchdog).  Off by default
     /// so tests and benches stay byte-identical in output.

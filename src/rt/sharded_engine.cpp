@@ -204,6 +204,11 @@ bool ShardedEngine::try_admit(Shard& sh, TaskRec& tr, bool only_if_free,
       n_inflight_fetch_.fetch_add(1, std::memory_order_acq_rel);
       ++sh.stats.fetches;
       sh.stats.fetch_bytes += br.bytes;
+      if (tiers_[static_cast<std::size_t>(src)].backend ==
+          ooc::TierBackendKind::Remote) {
+        ++sh.stats.remote_fetches;
+        sh.stats.remote_fetch_bytes += br.bytes;
+      }
       Command c;
       c.kind = Command::Kind::Fetch;
       c.block = d.block;
@@ -438,6 +443,11 @@ std::vector<Command> ShardedEngine::on_task_complete(ooc::TaskId t,
       ++sh.stats.evicts;
       sh.stats.evict_bytes += br.bytes;
       if (dst < bottom()) ++sh.stats.cascade_demotions;
+      if (tiers_[static_cast<std::size_t>(dst)].backend ==
+          ooc::TierBackendKind::Remote) {
+        ++sh.stats.remote_evicts;
+        sh.stats.remote_evict_bytes += br.bytes;
+      }
       Command c;
       c.kind = Command::Kind::Evict;
       c.block = d.block;
@@ -470,6 +480,10 @@ ooc::PolicyEngine::Stats ShardedEngine::stats() const {
     out.evict_bytes += sh.stats.evict_bytes;
     out.fetch_dedup_hits += sh.stats.fetch_dedup_hits;
     out.cascade_demotions += sh.stats.cascade_demotions;
+    out.remote_fetches += sh.stats.remote_fetches;
+    out.remote_fetch_bytes += sh.stats.remote_fetch_bytes;
+    out.remote_evicts += sh.stats.remote_evicts;
+    out.remote_evict_bytes += sh.stats.remote_evict_bytes;
   }
   return out;
 }

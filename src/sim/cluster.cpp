@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/sim_executor.hpp"
-#include "sim/stencil_workload.hpp"
 #include "util/check.hpp"
 
 namespace hmr::sim {
@@ -19,48 +17,37 @@ std::uint64_t halo_bytes(std::uint64_t bytes_per_node) {
 
 double halo_time(const NetworkModel& net, std::uint64_t bytes) {
   // Six face messages pipelined onto the NIC: latency for the message
-  // chain plus serialization at the injection/link bandwidth.
-  const double bw = std::min(net.link_bw, net.injection_bw);
-  return 6.0 * net.latency + static_cast<double>(bytes) / bw;
+  // chain plus serialization at the injection/link bandwidth — or the
+  // NIC message rate when the faces fragment into many small messages.
+  return 6.0 * net.latency + net.serialize_seconds(bytes);
 }
 
-ClusterResult run_cluster(const ClusterParams& p) {
-  HMR_CHECK(p.nodes >= 1);
-  ClusterResult r;
-  r.nodes = p.nodes;
-
-  // Node-local part: the usual single-node DES on the per-node set.
-  const auto wp = StencilWorkload::params_for_reduced(
-      p.bytes_per_node, p.reduced_bytes, p.node.num_pes, p.iterations);
-  StencilWorkload w(wp);
-  SimConfig cfg;
-  cfg.model = p.node;
-  cfg.strategy = p.strategy;
-  SimExecutor ex(cfg);
-  const auto local = ex.run(w);
-  r.node_iteration_s =
-      local.total_time / static_cast<double>(p.iterations);
-
-  // Inter-node part: halo exchange each iteration (none for 1 node).
-  r.halo_bytes_per_node = p.nodes > 1 ? halo_bytes(p.bytes_per_node) : 0;
-  r.halo_s = p.nodes > 1 ? halo_time(p.net, r.halo_bytes_per_node) : 0.0;
-
-  r.iteration_s = r.node_iteration_s + r.halo_s;
-  r.total_s = r.iteration_s * static_cast<double>(p.iterations);
-  r.comm_fraction = r.iteration_s > 0 ? r.halo_s / r.iteration_s : 0.0;
-  return r;
+hw::TierId add_remote_tier(hw::MachineModel& m, const NetworkModel& net,
+                           std::uint64_t capacity) {
+  hw::MemoryTier t;
+  t.name = "remote";
+  t.capacity = capacity;
+  // Streaming compute from the remote pool and migration channel
+  // sizing both key off read_bw/write_bw: the network path is the
+  // bottleneck in both directions.
+  t.read_bw = std::min(net.link_bw, net.injection_bw);
+  t.write_bw = t.read_bw;
+  t.latency = net.latency;
+  t.numa_node = -1;
+  t.remote = true;
+  m.tiers.push_back(std::move(t));
+  return static_cast<hw::TierId>(m.tiers.size() - 1);
 }
 
-std::vector<ClusterResult> weak_scaling_sweep(const ClusterParams& base,
-                                              const std::vector<int>& nodes) {
-  std::vector<ClusterResult> out;
-  out.reserve(nodes.size());
-  for (const int n : nodes) {
-    ClusterParams p = base;
-    p.nodes = n;
-    out.push_back(run_cluster(p));
+std::vector<ooc::TierDesc> tiers_with_remote(const hw::MachineModel& m,
+                                             const NetworkModel& net) {
+  std::vector<ooc::TierDesc> tiers = ooc::tiers_from_model(m);
+  for (auto& t : tiers) {
+    if (t.backend == ooc::TierBackendKind::Remote) {
+      t.remote = net.tier_params();
+    }
   }
-  return out;
+  return tiers;
 }
 
 } // namespace hmr::sim

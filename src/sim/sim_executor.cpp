@@ -84,12 +84,31 @@ SimExecutor::SimExecutor(SimConfig cfg)
   pes_.resize(static_cast<std::size_t>(cfg_.model.num_pes));
   agents_.resize(static_cast<std::size_t>(num_agents_));
   const auto& m = cfg_.model;
+  for (const auto& t : engine_.tiers()) {
+    // exec_duration buckets resident bytes by tier id, so every level
+    // must name a model tier (a remote level requires the model to be
+    // augmented too — sim::add_remote_tier does both together).
+    HMR_CHECK_MSG(t.id < m.tiers.size(),
+                  "hierarchy level names a tier the model lacks");
+    if (t.backend == ooc::TierBackendKind::Remote) {
+      remote_params_.emplace(t.id, t.remote);
+    }
+  }
   if (cfg_.adaptive) {
     HMR_CHECK_MSG(ooc::strategy_moves_data(cfg_.strategy) && !cfg_.cache_mode,
                   "adaptive guidance requires a movement strategy");
     profiler_ = std::make_unique<adapt::BlockProfiler>(cfg_.profiler_cfg);
-    advisor_ = std::make_unique<adapt::PlacementAdvisor>(
-        *profiler_, adapt::AdvisorConfig::from_model(m));
+    adapt::AdvisorConfig acfg = adapt::AdvisorConfig::from_model(m);
+    if (!remote_params_.empty()) {
+      // The backing store is a remote pool: re-fetching a bypassed
+      // block pays the network, raising the bypass break-even.  The
+      // loaded basis matches from_model: every PE's flow sharing the
+      // NIC leaves each pes/bandwidth seconds per byte.
+      const auto& rp = remote_params_.begin()->second;
+      acfg.apply_remote(static_cast<double>(m.num_pes) / rp.bandwidth,
+                        rp.latency);
+    }
+    advisor_ = std::make_unique<adapt::PlacementAdvisor>(*profiler_, acfg);
     adapt::GovernorConfig gc = cfg_.governor_cfg;
     gc.initial_strategy = cfg_.strategy;
     gc.initial_eager_evict = cfg_.eager_evict;
@@ -142,13 +161,34 @@ void SimExecutor::dispatch_arrival(const ooc::TaskDesc& desc) {
   process(std::move(cmds));
 }
 
+const ooc::RemoteTierParams* SimExecutor::remote_path(
+    ooc::TierId src, ooc::TierId dst) const {
+  if (const auto it = remote_params_.find(src);
+      it != remote_params_.end()) {
+    return &it->second;
+  }
+  if (const auto it = remote_params_.find(dst);
+      it != remote_params_.end()) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
 TransferChannel& SimExecutor::channel_for(ooc::TierId src,
                                           ooc::TierId dst) {
   auto& slot = channels_[pair_key(src, dst)];
   if (!slot) {
-    const auto& m = cfg_.model;
-    slot = std::make_unique<TransferChannel>(m.copy_rate(src, dst),
-                                             m.channel_capacity(src, dst));
+    if (const auto* rp = remote_path(src, dst)) {
+      // Remote migration: the NIC serializes every flow of this
+      // direction at the network bandwidth — per-flow and aggregate
+      // limits coincide (one NIC, no per-thread memcpy inefficiency).
+      slot = std::make_unique<TransferChannel>(rp->bandwidth,
+                                               rp->bandwidth);
+    } else {
+      const auto& m = cfg_.model;
+      slot = std::make_unique<TransferChannel>(
+          m.copy_rate(src, dst), m.channel_capacity(src, dst));
+    }
   }
   return *slot;
 }
@@ -355,9 +395,15 @@ void SimExecutor::start_transfer(const ooc::Command& cmd,
                 : cfg_.model.num_pes + static_cast<std::int32_t>(lane_index);
   // Step 1 of the paper's migration: numa_alloc_onnode on the
   // destination (plus the numa_free at the end) — a fixed overhead
-  // before the copy proper starts.
-  eq_.at(now_ + cfg_.model.alloc_overhead,
-         [this, cmd, lane_index, on_worker, fetch, t0, trace_lane] {
+  // before the copy proper starts.  A remote endpoint adds the
+  // network's per-transfer latency (the message chain setup) before
+  // the serialization phase.
+  const ooc::RemoteTierParams* rp =
+      remote_path(cmd.src_tier, cmd.dst_tier);
+  const double start_delay =
+      cfg_.model.alloc_overhead + (rp != nullptr ? rp->latency : 0.0);
+  eq_.at(now_ + start_delay,
+         [this, cmd, rp, lane_index, on_worker, fetch, t0, trace_lane] {
            if (fetch && cmd.nocopy) {
              // writeonly_nocopy: the buffer exists, no bytes move.
              tracer_.record(trace_lane, trace::Category::Prefetch, t0, now_,
@@ -378,8 +424,15 @@ void SimExecutor::start_transfer(const ooc::Command& cmd,
            TransferChannel& ch = channel_for(cmd.src_tier, cmd.dst_tier);
            drain_channel(key);
            const std::uint64_t id = next_flow_++;
+           const std::uint64_t raw = wl_->blocks()[cmd.block].bytes;
+           // Remote flow: scale the bytes so a solo flow takes exactly
+           // the network's serialize time — when the message-rate term
+           // dominates (small blocks), the flow occupies the NIC
+           // longer than bytes/bandwidth would.
            const double bytes =
-               static_cast<double>(wl_->blocks()[cmd.block].bytes);
+               rp != nullptr
+                   ? rp->serialize_seconds(raw) * rp->bandwidth
+                   : static_cast<double>(raw);
            ch.add_flow(id, bytes, now_);
            FlowCtx ctx;
            ctx.cmd = cmd;
@@ -415,6 +468,9 @@ void SimExecutor::finish_transfer(std::uint64_t flow_id) {
   if (flight_) {
     flight_->record(ctx.cmd.block, {now_, cause, ctx.cmd.src_tier,
                                     ctx.cmd.dst_tier, bytes, fetch});
+  }
+  if (const auto* rp = remote_path(ctx.cmd.src_tier, ctx.cmd.dst_tier)) {
+    result_.remote_messages += rp->messages(bytes);
   }
   Lane& lane = ctx.on_worker ? pes_[ctx.lane_index] : agents_[ctx.lane_index];
   lane.busy = false;
@@ -570,9 +626,12 @@ SimResult SimExecutor::run(const Workload& w) {
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     HMR_CHECK_MSG(blocks[i].id == i, "workload block ids must be dense");
     if (tenancy_) {
+      HMR_CHECK_MSG(blocks[i].home_level < 0,
+                    "home_level placement is not supported under tenancy");
       tenancy_->add_block(blocks[i].id, blocks[i].bytes);
     } else {
-      engine_.add_block(blocks[i].id, blocks[i].bytes);
+      engine_.add_block(blocks[i].id, blocks[i].bytes,
+                        blocks[i].home_level);
     }
     wss_ += blocks[i].bytes;
   }

@@ -149,6 +149,9 @@ struct SimResult {
   double worker_transfer_seconds = 0;
   /// Total compute lane-seconds (for utilization figures).
   double compute_lane_seconds = 0;
+  /// Network messages the remote-tier migrations decomposed into
+  /// (zero on all-local hierarchies; deterministic, so CI gates on it).
+  std::uint64_t remote_messages = 0;
 
   // Adaptive runs only (SimConfig::adaptive):
   /// Strategy / evict-policy changes the governor made.
@@ -192,6 +195,10 @@ public:
   /// Multi-tenant serving decorator (nullptr unless SimConfig::serve
   /// registered tenants).
   const serve::TenantEngine* tenancy() const { return tenancy_.get(); }
+
+  /// The engine's ledgers after run() — cluster BlockStores reconcile
+  /// per-level residency against the PlacementCoordinator with this.
+  const ooc::PolicyEngine& engine() const { return engine_; }
 
 private:
   struct Job {
@@ -238,8 +245,13 @@ private:
   void governor_phase_end(double t_iter);
   double exec_duration(const ooc::TaskDesc& desc) const;
   /// Fluid channel for migrations src -> dst (created on first use
-  /// from the model's copy_rate / channel_capacity for that pair).
+  /// from the model's copy_rate / channel_capacity for that pair, or
+  /// from the remote tier's network path when either end is Remote).
   TransferChannel& channel_for(ooc::TierId src, ooc::TierId dst);
+  /// Network parameters when either endpoint is a Remote-backed tier
+  /// (nullptr for local-to-local migrations).
+  const ooc::RemoteTierParams* remote_path(ooc::TierId src,
+                                           ooc::TierId dst) const;
   void schedule_tick(std::uint64_t pair_key);
   void drain_channel(std::uint64_t pair_key);
 
@@ -263,6 +275,9 @@ private:
   /// Migration channels keyed by pair_key(src, dst); lazily created.
   std::unordered_map<std::uint64_t, std::unique_ptr<TransferChannel>>
       channels_;
+  /// Network path per Remote-backed tier id (from the engine's
+  /// TierDesc::remote params at construction).
+  std::unordered_map<ooc::TierId, ooc::RemoteTierParams> remote_params_;
   std::uint64_t next_flow_ = 1;
   std::unordered_map<std::uint64_t, FlowCtx> flows_;
 

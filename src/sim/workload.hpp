@@ -18,6 +18,11 @@ namespace hmr::sim {
 struct BlockSpec {
   ooc::BlockId id = 0;
   std::uint64_t bytes = 0;
+  /// Initial hierarchy level under a movement strategy (-1 = strategy
+  /// default, the bottom).  A placement coordinator homes objects on
+  /// a node's local pool by setting a middle level here (see
+  /// ooc::PolicyEngine::add_block's home_level overload).
+  std::int32_t home_level = -1;
 };
 
 class Workload {

@@ -34,6 +34,14 @@ void export_policy_stats(MetricsRegistry& reg,
       {"hmr_policy_tier_trims_total",
        "Evictions out of a middle level (watermark trims)",
        st.tier_trims},
+      {"hmr_remote_fetches_total",
+       "Promotions pulled from a Remote-backed tier", st.remote_fetches},
+      {"hmr_remote_fetch_bytes_total",
+       "Bytes promoted over the network", st.remote_fetch_bytes},
+      {"hmr_remote_evicts_total",
+       "Demotions spilled to a Remote-backed tier", st.remote_evicts},
+      {"hmr_remote_evict_bytes_total",
+       "Bytes spilled over the network", st.remote_evict_bytes},
   };
   for (const auto& f : fields) {
     reg.counter(f.name, labels, f.help).set(f.value);

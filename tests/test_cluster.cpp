@@ -1,0 +1,362 @@
+// Tests for the disaggregated-cluster subsystem: the NetworkModel's
+// message-rate limit, the PlacementCoordinator's ledgers, the
+// remote-backed tier in the policy engine, and the multi-node
+// ClusterSim (scaling shapes, comm-fraction identities, ledger/engine
+// byte conservation, single-node equivalence).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "adapt/block_profiler.hpp"
+#include "adapt/placement_advisor.hpp"
+#include "cluster/cluster_sim.hpp"
+#include "hw/machine_model.hpp"
+#include "ooc/policy_engine.hpp"
+#include "sim/cluster.hpp"
+#include "sim/sim_executor.hpp"
+#include "sim/stencil_workload.hpp"
+#include "util/units.hpp"
+
+namespace hmr {
+namespace {
+
+// ---------- network model: message-rate limiting ----------
+
+TEST(NetworkModel, SmallMessageRegimeIsMessageRateBound) {
+  sim::NetworkModel net;
+  net.link_bw = 12.5e9;
+  net.injection_bw = 10.0e9;
+  net.msg_rate = 1e6; // 1 M msgs/s
+  net.max_msg_bytes = 4 << 10;
+
+  // 400 KiB fragments into 100 messages: 100 us at the NIC message
+  // rate vs 41 us of serialization — the message rate wins.
+  const std::uint64_t bytes = 400ull << 10;
+  EXPECT_EQ(net.messages(bytes), 100u);
+  EXPECT_DOUBLE_EQ(net.serialize_seconds(bytes), 100.0 / net.msg_rate);
+  EXPECT_LT(net.effective_bw(bytes), net.injection_bw);
+
+  // This NIC sustains at most max_msg_bytes * msg_rate = 4 GB/s, so
+  // even bulk transfers stay message-rate-bound.
+  const std::uint64_t big = 4ull << 30;
+  EXPECT_NEAR(net.effective_bw(big),
+              static_cast<double>(net.max_msg_bytes) * net.msg_rate, 1.0);
+
+  // The default NIC (64 KiB segments at 25 M msgs/s) amortizes the
+  // per-message cost: bulk transfers are bandwidth-bound.
+  sim::NetworkModel fat;
+  EXPECT_DOUBLE_EQ(fat.serialize_seconds(big),
+                   static_cast<double>(big) / fat.injection_bw);
+  EXPECT_NEAR(fat.effective_bw(big), fat.injection_bw, 1.0);
+
+  // Even one byte is one message.
+  EXPECT_EQ(net.messages(1), 1u);
+  EXPECT_GE(net.transfer_seconds(1), net.latency);
+}
+
+TEST(NetworkModel, TierParamsMirrorTheNetworkPath) {
+  sim::NetworkModel net;
+  net.msg_rate = 2e6;
+  net.max_msg_bytes = 8 << 10;
+  const ooc::RemoteTierParams p = net.tier_params();
+  EXPECT_DOUBLE_EQ(p.latency, net.latency);
+  EXPECT_DOUBLE_EQ(p.bandwidth, net.injection_bw); // min(link, injection)
+  EXPECT_DOUBLE_EQ(p.msg_rate, net.msg_rate);
+  EXPECT_EQ(p.max_msg_bytes, net.max_msg_bytes);
+  const std::uint64_t b = 100ull << 10;
+  EXPECT_EQ(net.messages(b), p.messages(b));
+  EXPECT_DOUBLE_EQ(net.serialize_seconds(b), p.serialize_seconds(b));
+}
+
+// ---------- remote-backed tiers in the engine ----------
+
+TEST(RemoteTier, ModelFlagSortsRemoteBelowLocalAndStampsBackend) {
+  auto m = hw::knl_flat_all_to_all();
+  sim::NetworkModel net;
+  const auto id = sim::add_remote_tier(m, net);
+  const auto tiers = sim::tiers_with_remote(m, net);
+  ASSERT_EQ(tiers.size(), 3u);
+  EXPECT_EQ(tiers[0].backend, ooc::TierBackendKind::LocalArena);
+  EXPECT_EQ(tiers[1].backend, ooc::TierBackendKind::LocalArena);
+  EXPECT_EQ(tiers[2].backend, ooc::TierBackendKind::Remote);
+  EXPECT_EQ(tiers[2].id, id);
+  EXPECT_EQ(tiers[2].capacity, 0u); // bottom level is unbounded
+  EXPECT_DOUBLE_EQ(tiers[2].remote.msg_rate, net.msg_rate);
+  EXPECT_STREQ(ooc::tier_backend_name(tiers[2].backend), "remote");
+}
+
+TEST(RemoteTier, HomeLevelPlacementAndRemoteTrafficCounters) {
+  auto m = hw::knl_flat_all_to_all();
+  sim::NetworkModel net;
+  sim::add_remote_tier(m, net);
+
+  ooc::PolicyEngine::Config cfg;
+  cfg.strategy = ooc::Strategy::MultiIo;
+  cfg.num_pes = 1;
+  cfg.fast_capacity = 64 * MiB;
+  cfg.tiers = sim::tiers_with_remote(m, net);
+  cfg.tiers[1].capacity = 64 * MiB;
+  ooc::PolicyEngine eng(cfg);
+
+  // Block 1 homes on the middle (local) level, block 2 defaults to
+  // the remote bottom.
+  eng.add_block(1, 16 * MiB, /*home_level=*/1);
+  eng.add_block(2, 16 * MiB, /*home_level=*/-1);
+  EXPECT_EQ(eng.block_level(1), 1);
+  EXPECT_EQ(eng.block_level(2), 2);
+  EXPECT_EQ(eng.tier_used(1), 16 * MiB);
+  EXPECT_EQ(eng.tier_used(2), 16 * MiB);
+
+  // Fetching the locally-homed block is not network traffic; fetching
+  // the remote-homed one is.
+  ooc::TaskDesc t1;
+  t1.id = 1;
+  t1.pe = 0;
+  t1.deps = {{1, ooc::AccessMode::ReadOnly}};
+  auto cmds = eng.on_task_arrived(t1);
+  for (const auto& c : cmds) {
+    if (c.kind == ooc::Command::Kind::Fetch) eng.on_fetch_complete(c.block);
+  }
+  EXPECT_EQ(eng.stats().remote_fetches, 0u);
+
+  ooc::TaskDesc t2;
+  t2.id = 2;
+  t2.pe = 0;
+  t2.deps = {{2, ooc::AccessMode::ReadOnly}};
+  cmds = eng.on_task_arrived(t2);
+  bool fetched = false;
+  for (const auto& c : cmds) {
+    if (c.kind == ooc::Command::Kind::Fetch) {
+      fetched = true;
+      eng.on_fetch_complete(c.block);
+    }
+  }
+  EXPECT_TRUE(fetched);
+  EXPECT_EQ(eng.stats().remote_fetches, 1u);
+  EXPECT_EQ(eng.stats().remote_fetch_bytes, 16 * MiB);
+}
+
+TEST(RemoteTier, AdvisorRemoteCostingRaisesBreakEven) {
+  const auto m = hw::knl_flat_all_to_all();
+  auto base = adapt::AdvisorConfig::from_model(m);
+  auto remote = base;
+  // A 10 GB/s network with 2 us latency is far costlier than the
+  // local migration channel.
+  remote.apply_remote(1.0 / 10.0e9, 2e-6);
+  EXPECT_GE(remote.fetch_seconds_per_byte_loaded, 1.0 / 10.0e9);
+  EXPECT_GT(remote.migration_fixed_seconds, base.migration_fixed_seconds);
+
+  adapt::BlockProfiler prof{adapt::ProfilerConfig{}};
+  adapt::PlacementAdvisor local_adv(prof, base);
+  adapt::PlacementAdvisor remote_adv(prof, remote);
+  const std::uint64_t bytes = 64 * MiB;
+  EXPECT_GT(remote_adv.break_even_accesses(bytes),
+            local_adv.break_even_accesses(bytes));
+}
+
+// ---------- placement coordinator ledgers ----------
+
+TEST(Coordinator, PlacesByAffinityAndBudget) {
+  cluster::PlacementCoordinator::Config cfg;
+  cfg.nodes = 2;
+  cfg.node_capacity = 100;
+  cfg.allow_remote = true;
+  cluster::PlacementCoordinator c(cfg);
+
+  auto p = c.place(1, 60, /*preferred=*/0);
+  EXPECT_EQ(p.node, 0);
+  EXPECT_FALSE(p.remote);
+  p = c.place(2, 60, 0); // over budget -> spills to the pool
+  EXPECT_EQ(p.node, 0);
+  EXPECT_TRUE(p.remote);
+  p = c.place(3, 60, cluster::kAnyNode); // least-loaded -> node 1
+  EXPECT_EQ(p.node, 1);
+  EXPECT_FALSE(p.remote);
+
+  EXPECT_EQ(c.node(0).placed_local, 60u);
+  EXPECT_EQ(c.node(0).placed_remote, 60u);
+  EXPECT_EQ(c.node(1).placed_local, 60u);
+  EXPECT_EQ(c.total_bytes(), 180u);
+  EXPECT_TRUE(c.knows(2));
+  EXPECT_TRUE(c.placement_of(2).remote);
+  EXPECT_TRUE(c.audit().empty());
+}
+
+TEST(Coordinator, LedgerConservationAndReconcile) {
+  cluster::PlacementCoordinator::Config cfg;
+  cfg.nodes = 1;
+  cfg.node_capacity = 100;
+  cfg.allow_remote = true;
+  cluster::PlacementCoordinator c(cfg);
+  c.place(1, 80, 0);  // local
+  c.place(2, 50, 0);  // remote (over budget)
+
+  // The node promotes 30 pool bytes and spills 40 local bytes.
+  c.record_promotions(0, 1, 30);
+  c.record_spills(0, 2, 40);
+  EXPECT_EQ(c.node(0).local_now(), 80 + 30 - 40);
+  EXPECT_EQ(c.node(0).remote_now(), 50 - 30 + 40);
+  EXPECT_EQ(c.pool_bytes(), 60);
+  EXPECT_TRUE(c.audit().empty());
+
+  // Reconcile against engine ground truth: matching values pass,
+  // anything else is reported.
+  EXPECT_TRUE(c.reconcile(0, 70, 60).empty());
+  const auto bad = c.reconcile(0, 71, 60);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_NE(bad[0].find("local residency"), std::string::npos);
+
+  // Over-promotion drives the pool negative: the audit catches it.
+  c.record_promotions(0, 1, 1000);
+  EXPECT_FALSE(c.audit().empty());
+}
+
+TEST(Coordinator, JsonSnapshotCarriesLedgers) {
+  cluster::PlacementCoordinator::Config cfg;
+  cfg.nodes = 2;
+  cluster::PlacementCoordinator c(cfg);
+  c.place(7, 42, 1);
+  const std::string j = c.to_json();
+  EXPECT_NE(j.find("\"nodes\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"placed_local\":42"), std::string::npos);
+  EXPECT_NE(j.find("\"node_ledgers\":["), std::string::npos);
+}
+
+// ---------- the multi-node cluster DES ----------
+
+cluster::ClusterConfig small_cluster(int nodes) {
+  cluster::ClusterConfig c;
+  c.nodes = nodes;
+  c.bytes_per_node = 1 * GiB;
+  c.reduced_bytes = 256 * MiB;
+  c.iterations = 3;
+  return c;
+}
+
+TEST(ClusterSim, CommFractionIdentities) {
+  cluster::ClusterSim sim(small_cluster(4));
+  const auto r = sim.run();
+  EXPECT_EQ(r.nodes, 4);
+  // iteration = local + halo; comm fraction is the halo share.
+  EXPECT_DOUBLE_EQ(r.iteration_s, r.node_iteration_s + r.halo_s);
+  EXPECT_DOUBLE_EQ(r.comm_fraction, r.halo_s / r.iteration_s);
+  EXPECT_GT(r.comm_fraction, 0.0);
+  // Homogeneous ring: the DES end time is the per-iteration critical
+  // path summed over iterations.
+  EXPECT_NEAR(r.total_s, r.iteration_s * 3, 1e-9 * r.total_s);
+  EXPECT_TRUE(r.audit.empty());
+}
+
+TEST(ClusterSim, WeakScalingIsFlatAndStrongScalingMonotone) {
+  // Weak: per-node share constant -> per-iteration time flat, halo
+  // messages grow linearly with the node count.
+  const auto w2 = cluster::ClusterSim(small_cluster(2)).run();
+  const auto w8 = cluster::ClusterSim(small_cluster(8)).run();
+  EXPECT_DOUBLE_EQ(w2.iteration_s, w8.iteration_s);
+  EXPECT_EQ(w8.halo_messages, 4 * w2.halo_messages);
+  EXPECT_EQ(w2.halo_bytes_per_node, w8.halo_bytes_per_node);
+
+  // Strong: fixed global set -> more nodes, never slower.
+  double prev = 0;
+  for (const int n : {1, 2, 4}) {
+    auto cfg = small_cluster(n);
+    cfg.bytes_per_node = 0;
+    cfg.total_bytes = 2 * GiB;
+    const auto r = cluster::ClusterSim(cfg).run();
+    EXPECT_TRUE(r.audit.empty());
+    if (n > 1) {
+      EXPECT_LT(r.total_s, prev);
+    }
+    prev = r.total_s;
+  }
+}
+
+TEST(ClusterSim, SingleNodeNoRemoteEqualsStandaloneEngine) {
+  auto cfg = small_cluster(1);
+  cluster::ClusterSim sim(cfg);
+  const auto r = sim.run();
+
+  const auto wp = sim::StencilWorkload::params_for_reduced(
+      cfg.bytes_per_node, cfg.reduced_bytes, cfg.node.num_pes,
+      cfg.iterations);
+  const sim::StencilWorkload w(wp);
+  sim::SimConfig scfg;
+  scfg.model = cfg.node;
+  scfg.strategy = cfg.strategy;
+  sim::SimExecutor ex(scfg);
+  const auto direct = ex.run(w);
+
+  // Byte-identical: same virtual seconds, same engine counters.
+  EXPECT_EQ(r.total_s, direct.total_time);
+  ASSERT_EQ(r.node_stats.size(), 1u);
+  EXPECT_EQ(r.node_stats[0].policy.fetches, direct.policy.fetches);
+  EXPECT_EQ(r.node_stats[0].policy.fetch_bytes, direct.policy.fetch_bytes);
+  EXPECT_EQ(r.node_stats[0].policy.evicts, direct.policy.evicts);
+  EXPECT_EQ(r.node_stats[0].policy.tasks_run, direct.policy.tasks_run);
+  EXPECT_EQ(r.halo_messages, 0u);
+  EXPECT_EQ(r.remote_messages, 0u);
+  EXPECT_TRUE(r.audit.empty());
+}
+
+TEST(ClusterSim, RemoteTierConservesBytesAgainstLedgers) {
+  auto cfg = small_cluster(2);
+  cfg.remote_tier = true;
+  cfg.node_local_capacity = 256 * MiB; // 1 GiB share: 3/4 homes remote
+  cluster::ClusterSim sim(cfg);
+  const auto r = sim.run();
+
+  EXPECT_TRUE(r.audit.empty()) << r.audit.front();
+  EXPECT_GT(r.placements_remote, 0u);
+  EXPECT_GT(r.placements_local, 0u);
+  EXPECT_GT(r.remote_fetch_bytes, 0u);
+  EXPECT_GT(r.remote_messages, 0u);
+  ASSERT_EQ(r.ledgers.size(), 2u);
+  // The engine's network counters are exactly the coordinator's flows.
+  std::uint64_t promoted = 0, spilled = 0;
+  for (const auto& l : r.ledgers) {
+    promoted += l.promoted_bytes;
+    spilled += l.spilled_bytes;
+  }
+  EXPECT_EQ(promoted, r.remote_fetch_bytes);
+  EXPECT_EQ(spilled, r.remote_evict_bytes);
+}
+
+TEST(ClusterSim, AllRemoteAblationIsSlowerThanCascade) {
+  auto cascade_cfg = small_cluster(2);
+  cascade_cfg.remote_tier = true;
+  cascade_cfg.node_local_capacity = 256 * MiB;
+  const auto cascade = cluster::ClusterSim(cascade_cfg).run();
+
+  auto naive_cfg = small_cluster(2);
+  naive_cfg.all_remote = true;
+  const auto naive = cluster::ClusterSim(naive_cfg).run();
+
+  EXPECT_TRUE(naive.audit.empty());
+  EXPECT_EQ(naive.placements_local, 0u);
+  // DdrOnly on the remote-augmented model: nothing ever migrates, all
+  // compute streams over the wire.
+  EXPECT_EQ(naive.remote_fetch_bytes, 0u);
+  EXPECT_GT(naive.total_s, cascade.total_s);
+}
+
+TEST(ClusterSim, TracerRecordsPerNodeLanes) {
+  auto cfg = small_cluster(2);
+  cfg.trace = true;
+  cluster::ClusterSim sim(cfg);
+  const auto r = sim.run();
+  const auto s = sim.tracer().summarize();
+  EXPECT_EQ(s.lanes, 2);
+  EXPECT_GT(s.count_of(trace::Category::Compute), 0u);
+  EXPECT_GT(s.count_of(trace::Category::Prefetch), 0u);
+  // Each node's halo bytes ride on its lane's Prefetch intervals.
+  EXPECT_EQ(s.migration_between(0, 0).bytes,
+            2 * 3 * r.halo_bytes_per_node);
+
+  const std::string j = sim.to_json();
+  EXPECT_NE(j.find("\"coordinator\""), std::string::npos);
+  EXPECT_NE(j.find("\"halo_messages\""), std::string::npos);
+}
+
+} // namespace
+} // namespace hmr

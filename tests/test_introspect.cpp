@@ -318,6 +318,24 @@ TEST(RuntimeIntrospect, StatusEndpointsEndToEnd) {
             std::string::npos);
   EXPECT_NE(http_get(rt.serve_port(), "/blocks?id=junk").find("400"),
             std::string::npos);
+
+  // No cluster sim attached: the route exists but answers 404.
+  EXPECT_NE(http_get(rt.serve_port(), "/cluster").find("404"),
+            std::string::npos);
+}
+
+TEST(RuntimeIntrospect, ClusterRouteServesAttachedSnapshot) {
+  auto cfg = busy_config();
+  cfg.serve_port = 0;
+  cfg.cluster_json = [] {
+    return std::string("{\"nodes\":4,\"halo_messages\":42}");
+  };
+  rt::Runtime rt(cfg);
+  ASSERT_NE(rt.serve_port(), 0);
+  const std::string resp = http_get(rt.serve_port(), "/cluster");
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("application/json"), std::string::npos);
+  EXPECT_NE(resp.find("\"halo_messages\":42"), std::string::npos);
 }
 
 TEST(RuntimeIntrospect, WatchdogSilentOnHealthyRun) {
