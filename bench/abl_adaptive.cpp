@@ -19,14 +19,22 @@
 #include "sim/matmul_workload.hpp"
 #include "sim/stencil_workload.hpp"
 #include "sim/synthetic_workload.hpp"
+#include "telemetry/decision_log.hpp"
 
 namespace {
 
 using namespace hmr;
 
-sim::SimResult run_adaptive(const hw::MachineModel& model,
-                            const sim::Workload& w,
-                            ooc::Strategy start) {
+struct AdaptiveRun {
+  sim::SimResult result;
+  /// Decision provenance captured from the executor's DecisionLog —
+  /// the --check gate reconstructs the governor's story from this
+  /// alone, proving the log carries enough to explain the run.
+  std::vector<telemetry::DecisionLog::Record> decisions;
+};
+
+AdaptiveRun run_adaptive(const hw::MachineModel& model,
+                         const sim::Workload& w, ooc::Strategy start) {
   sim::SimConfig cfg;
   cfg.model = model;
   cfg.strategy = start;
@@ -36,7 +44,29 @@ sim::SimResult run_adaptive(const hw::MachineModel& model,
   // spurious refetching.
   cfg.profiler_cfg.top_k = 4096;
   sim::SimExecutor ex(cfg);
-  return ex.run(w);
+  AdaptiveRun out;
+  out.result = ex.run(w);
+  if (ex.decision_log()) out.decisions = ex.decision_log()->snapshot();
+  return out;
+}
+
+/// Reconstruct the eager->lazy eviction flip from governor records
+/// alone: walking the eager_evict sequence (initial state is eager)
+/// must reach a record that (a) flips it off, (b) is marked changed,
+/// and (c) carries a refetch_ratio above `threshold` — the input that
+/// triggered it.  Returns false when the log tells no such story.
+bool provenance_explains_flip(
+    const std::vector<telemetry::DecisionLog::Record>& recs,
+    double threshold) {
+  bool eager = true; // GovernorConfig::initial_eager_evict in this bench
+  for (const auto& r : recs) {
+    if (r.ev.kind != adapt::DecisionKind::GovernorPhase) continue;
+    if (eager && !r.ev.eager_evict) {
+      return r.ev.changed && r.ev.refetch_ratio > threshold;
+    }
+    eager = r.ev.eager_evict;
+  }
+  return false;
 }
 
 } // namespace
@@ -89,7 +119,7 @@ int main(int argc, char** argv) {
   struct Outcome {
     double best_fixed = 0;
     double worst_fixed = 0;
-    sim::SimResult adaptive;
+    AdaptiveRun adaptive;
   };
 
   auto sweep = [&](const char* wname, const sim::Workload& w) {
@@ -102,7 +132,7 @@ int main(int argc, char** argv) {
       o.worst_fixed = std::max(o.worst_fixed, r.total_time);
     }
     o.adaptive = run_adaptive(model, w, ooc::Strategy::MultiIo);
-    emit(wname, "adaptive", o.adaptive, true);
+    emit(wname, "adaptive", o.adaptive.result, true);
     return o;
   };
 
@@ -136,7 +166,7 @@ int main(int argc, char** argv) {
   // Recovery: start adaptive from the worst fixed point (SyncNoIo) and
   // let the governor find its own way out.
   const auto rescue = run_adaptive(model, pw, ooc::Strategy::SyncNoIo);
-  emit("PhaseFlip 36G", "adaptive(SyncNoIo)", rescue, true);
+  emit("PhaseFlip 36G", "adaptive(SyncNoIo)", rescue.result, true);
 
   t.print(std::cout);
 
@@ -148,20 +178,30 @@ int main(int argc, char** argv) {
         rc = 2;
       }
     };
-    expect(stencil.adaptive.total_time <= 1.05 * stencil.best_fixed,
+    expect(stencil.adaptive.result.total_time <= 1.05 * stencil.best_fixed,
            strfmt("stencil adaptive %.3fs > 1.05 x best fixed %.3fs",
-                  stencil.adaptive.total_time, stencil.best_fixed));
-    expect(matmul.adaptive.total_time <= 1.05 * matmul.best_fixed,
+                  stencil.adaptive.result.total_time, stencil.best_fixed));
+    expect(matmul.adaptive.result.total_time <= 1.05 * matmul.best_fixed,
            strfmt("matmul adaptive %.3fs > 1.05 x best fixed %.3fs",
-                  matmul.adaptive.total_time, matmul.best_fixed));
-    expect(phase.worst_fixed >= 1.3 * phase.adaptive.total_time,
+                  matmul.adaptive.result.total_time, matmul.best_fixed));
+    expect(phase.worst_fixed >= 1.3 * phase.adaptive.result.total_time,
            strfmt("phase-flip adaptive %.3fs not 1.3x faster than worst "
                   "fixed %.3fs",
-                  phase.adaptive.total_time, phase.worst_fixed));
-    expect(rescue.final_strategy != ooc::Strategy::SyncNoIo,
+                  phase.adaptive.result.total_time, phase.worst_fixed));
+    expect(rescue.result.final_strategy != ooc::Strategy::SyncNoIo,
            "governor never escaped SyncNoIo on the phase-flip workload");
-    expect(rescue.governor_switches > 0,
+    expect(rescue.result.governor_switches > 0,
            "adaptive(SyncNoIo) made no governor switches");
+    // Provenance gate: the phase-flip run's eager->lazy eviction flip
+    // must be reconstructible from the DecisionLog alone — the flip
+    // record exists, is marked as a change, and carries the
+    // over-threshold refetch ratio that triggered it (the governor's
+    // lazy_refetch_threshold default).
+    expect(!phase.adaptive.decisions.empty(),
+           "phase-flip adaptive run produced no decision records");
+    expect(provenance_explains_flip(phase.adaptive.decisions, 1.5),
+           "DecisionLog does not explain the eager->lazy flip (missing "
+           "record, changed flag, or triggering refetch_ratio)");
     if (rc == 0) std::cout << "\nadaptive checks passed\n";
     return rc;
   }

@@ -114,7 +114,10 @@ serve::ServeConfig serve_config(bool slo_only, bool admission) {
   slo.id = 0;
   slo.name = "slo";
   slo.qos = serve::QosClass::LatencySLO;
-  slo.slo_p99_fetch_s = 0.05;
+  // Attainable under admission (~12 ms window p99), demonstrably
+  // burned in the free-for-all (~28 ms) — so the slo_burn gauge gates
+  // cleanly on both sides of 1.0.
+  slo.slo_p99_fetch_s = 0.02;
   slo.tier_reserve = {0.5};
   sc.tenants.push_back(std::move(slo));
   if (!slo_only) {
@@ -183,7 +186,8 @@ void write_json(const std::vector<Outcome>& outcomes) {
           "\"rejected\": %llu, \"completed\": %llu, \"fetches\": %llu, "
           "\"fetch_bytes\": %llu, \"borrows\": %llu, "
           "\"displaced\": %llu, \"displaced_by\": %llu, "
-          "\"fetch_p50_s\": %.6f, \"fetch_p99_s\": %.6f}%s\n",
+          "\"fetch_p50_s\": %.6f, \"fetch_p99_s\": %.6f, "
+          "\"window_p99_s\": %.6f, \"slo_burn\": %.4f}%s\n",
           s.desc.name.c_str(), serve::qos_class_name(s.desc.qos),
           static_cast<unsigned long long>(s.submitted),
           static_cast<unsigned long long>(s.admitted),
@@ -195,7 +199,7 @@ void write_json(const std::vector<Outcome>& outcomes) {
           static_cast<unsigned long long>(s.borrows),
           static_cast<unsigned long long>(s.displaced),
           static_cast<unsigned long long>(s.displaced_by),
-          s.fetch_p50_s, s.fetch_p99_s,
+          s.fetch_p50_s, s.fetch_p99_s, s.window_p99_s, s.slo_burn,
           j + 1 < o.tenants.size() ? "," : "");
     }
     std::fprintf(f, "    ]}%s\n", i + 1 < outcomes.size() ? "," : "");
@@ -235,10 +239,12 @@ int main(int argc, char** argv) {
       run_case("free-for-all", /*slo_only=*/false, /*admission=*/false));
 
   TextTable t({"config", "tenant", "qos", "completed", "deferred",
-               "displaced", "fetch p50 (ms)", "fetch p99 (ms)"});
+               "displaced", "fetch p50 (ms)", "fetch p99 (ms)",
+               "slo burn"});
   bench::CsvSink csv(csv_path,
                      {"config", "tenant", "qos", "completed", "deferred",
-                      "displaced", "fetch_p50_ms", "fetch_p99_ms"});
+                      "displaced", "fetch_p50_ms", "fetch_p99_ms",
+                      "slo_burn"});
   for (const auto& o : outcomes) {
     for (const auto& s : o.tenants) {
       t.add_row({o.name, s.desc.name, serve::qos_class_name(s.desc.qos),
@@ -246,7 +252,9 @@ int main(int argc, char** argv) {
                  strfmt("%llu", static_cast<unsigned long long>(s.deferred)),
                  strfmt("%llu", static_cast<unsigned long long>(s.displaced)),
                  strfmt("%.2f", s.fetch_p50_s * 1e3),
-                 strfmt("%.2f", s.fetch_p99_s * 1e3)});
+                 strfmt("%.2f", s.fetch_p99_s * 1e3),
+                 s.desc.slo_p99_fetch_s > 0 ? strfmt("%.2f", s.slo_burn)
+                                            : "-"});
       if (csv) {
         csv->field(std::string_view(o.name))
             .field(std::string_view(s.desc.name))
@@ -255,7 +263,8 @@ int main(int argc, char** argv) {
             .field(static_cast<double>(s.deferred))
             .field(static_cast<double>(s.displaced))
             .field(s.fetch_p50_s * 1e3)
-            .field(s.fetch_p99_s * 1e3);
+            .field(s.fetch_p99_s * 1e3)
+            .field(s.slo_burn);
         csv->end_row();
       }
     }
@@ -290,6 +299,19 @@ int main(int argc, char** argv) {
     }
     expect(on.tenants[0].displaced > 0,
            "priority dispatch never displaced a best-effort prefetch");
+    // SLO burn-rate gates: the rolling-window attained p99 over the
+    // tenant's declared target.  Admission must keep the SLO tenant
+    // out of burn (<= 1.0); the free-for-all must demonstrably burn
+    // (> 1.0), or the gauge could never alert on anything.
+    expect(on.tenants[0].slo_burn <= 1.0,
+           strfmt("admission ON: SLO tenant burning at %.2f (window p99 "
+                  "%.2fms over target %.2fms)",
+                  on.tenants[0].slo_burn, on.tenants[0].window_p99_s * 1e3,
+                  on.tenants[0].desc.slo_p99_fetch_s * 1e3));
+    expect(off.tenants[0].slo_burn > 1.0,
+           strfmt("admission OFF: SLO tenant burn %.2f not above 1.0 — "
+                  "the burn gauge shows no contention signal",
+                  off.tenants[0].slo_burn));
     for (const auto& s : on.tenants) {
       expect(s.completed == s.submitted,
              s.desc.name + " finished short of its submissions");

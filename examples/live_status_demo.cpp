@@ -30,10 +30,16 @@ int main(int argc, char** argv) {
 
   std::int64_t port = 18080;
   std::int64_t seconds = 20;
+  bool adaptive = false;
   ArgParser ap("live_status_demo",
                "Run a busy runtime with the status server for curling.");
   ap.add_flag("port", "status server port (0 = any free port)", &port);
   ap.add_flag("seconds", "how long to keep working", &seconds);
+  ap.add_flag("adaptive",
+              "run the adaptive stack instead of the two tenants "
+              "(tenancy and adaptive are mutually exclusive) — /decisions "
+              "and the hot-block panel serve live data",
+              &adaptive);
   if (!ap.parse(argc, argv)) return 1;
 
   rt::Runtime::Config cfg;
@@ -45,7 +51,9 @@ int main(int argc, char** argv) {
 
   // Two tenants so /tenants has real counters to serve: tenant 0 is
   // the latency-sensitive default, tenant 1 a rate-limited batch.
-  {
+  if (adaptive) {
+    cfg.adaptive = true;
+  } else {
     serve::TenantDesc slo;
     slo.id = 0;
     slo.name = "interactive";
@@ -92,7 +100,7 @@ int main(int argc, char** argv) {
               blk[j] += 1.0;
             }
           },
-          1.0, static_cast<std::uint32_t>(i % 2));
+          1.0, static_cast<std::uint32_t>(adaptive ? 0 : i % 2));
     }
     rt.wait_idle();
     ++rounds;

@@ -1,0 +1,105 @@
+#pragma once
+// DecisionSink: the provenance tap of the adaptive guidance subsystem.
+//
+// The advisor and governor are pure state machines: they decide, the
+// engine obeys, and afterwards nobody can say *why* a block was pinned
+// or when (and on which inputs) the governor flipped eviction policy.
+// Related work treats that as a first-class requirement — online
+// guidance is only trustworthy when its inputs are observable and
+// replayable (arXiv:2110.02150 §5, arXiv:2505.14294) — so every
+// decision is mirrored, with the numbers that triggered it, into a
+// caller-supplied sink.
+//
+// The sink is an abstract interface on purpose: adapt/ stays
+// executor- and telemetry-free (it links only ooc/hw/util), while
+// telemetry::DecisionLog implements the sink and the executors wire
+// the two together.  A null sink costs one pointer test per decision.
+//
+// DecisionEvent is one flat POD covering both sources; unused fields
+// stay zero.  Advisor events carry the per-block profile inputs
+// (hotness, read-only fraction, reuse distance, break-even accesses);
+// governor events carry the phase observation (wait fraction, refetch
+// ratio, channel utilization, peak in-flight) plus the full Decision.
+// Flat and trivially copyable so a lock-free log can seqlock-copy it.
+
+#include <cstdint>
+
+#include "ooc/types.hpp"
+
+namespace hmr::adapt {
+
+enum class DecisionKind : std::uint8_t {
+  /// PlacementAdvisor advice for one block (recorded on change only —
+  /// advise() runs on the engine's admission path).
+  AdvisePin = 0,
+  AdviseDemote = 1,
+  AdviseBypass = 2,
+  AdviseKeep = 3, // no special treatment (advice reverted to default)
+  /// StrategyGovernor phase-boundary decision (one per phase).
+  GovernorPhase = 4,
+};
+
+/// Printable name ("pin", "demote", "bypass", "keep", "governor").
+const char* decision_kind_name(DecisionKind k);
+
+struct DecisionEvent {
+  DecisionKind kind = DecisionKind::GovernorPhase;
+
+  // ---- advisor events ----
+  ooc::BlockId block = 0; // 0 for governor events
+  std::uint64_t bytes = 0;
+  /// Profile inputs at decision time (expected accesses/phase, share
+  /// of read-only touches, EWMA reuse gap, break-even accesses for
+  /// this block's size under a loaded channel).
+  double hotness = 0;
+  double readonly_frac = 0;
+  double reuse_distance = 0;
+  double break_even = 0;
+  /// Chosen advice bits (ooc::BlockAdvice mirrored flat).
+  bool pin = false;
+  bool demote_first = false;
+  bool bypass_fetch = false;
+  std::int32_t demote_level = 0; // ooc::kLevelAuto / kLevelFar / index
+
+  // ---- governor events ----
+  /// Phase index (1-based, == StrategyGovernor::phases_observed()).
+  std::int32_t phase = 0;
+  /// PhaseObservation inputs the rules fired on.
+  double phase_seconds = 0;
+  double wait_fraction = 0;
+  double refetch_ratio = 0;
+  double channel_util = 0;
+  std::uint64_t peak_inflight = 0;
+  std::uint64_t lru_reclaims = 0;
+  bool in_cooldown = false;
+  /// The resulting Decision.
+  ooc::Strategy strategy = ooc::Strategy::MultiIo;
+  bool eager_evict = true;
+  bool fair_admission = true;
+  double lru_watermark = 1.0;
+  bool bypass_streaming = false;
+  bool changed = false;
+};
+
+/// Receives every decision.  Implementations must be safe to call from
+/// whatever thread drives the advisor/governor (the executors already
+/// serialize both under the engine lock) and must not call back into
+/// adapt/.
+class DecisionSink {
+public:
+  virtual ~DecisionSink() = default;
+  virtual void record(const DecisionEvent& e) = 0;
+};
+
+inline const char* decision_kind_name(DecisionKind k) {
+  switch (k) {
+    case DecisionKind::AdvisePin: return "pin";
+    case DecisionKind::AdviseDemote: return "demote";
+    case DecisionKind::AdviseBypass: return "bypass";
+    case DecisionKind::AdviseKeep: return "keep";
+    case DecisionKind::GovernorPhase: return "governor";
+  }
+  return "?";
+}
+
+} // namespace hmr::adapt

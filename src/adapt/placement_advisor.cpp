@@ -49,6 +49,45 @@ double PlacementAdvisor::break_even_accesses(std::uint64_t bytes) const {
   return cost / saving;
 }
 
+void PlacementAdvisor::record_advice(ooc::BlockId b, std::uint64_t bytes,
+                                     const BlockProfile* p,
+                                     const ooc::BlockAdvice& a) const {
+  // Flat encoding of the advice for the per-block change test.
+  const std::uint64_t key =
+      (a.pin ? 1u : 0u) | (a.demote_first ? 2u : 0u) |
+      (a.bypass_fetch ? 4u : 0u) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.demote_level))
+       << 3);
+  {
+    std::lock_guard lk(dedup_mu_);
+    auto [it, inserted] = last_advice_.emplace(b, key);
+    if (!inserted) {
+      if (it->second == key) return; // unchanged: do not flood the log
+      it->second = key;
+    }
+  }
+  DecisionEvent e;
+  e.kind = a.pin            ? DecisionKind::AdvisePin
+           : a.bypass_fetch ? DecisionKind::AdviseBypass
+           : a.demote_first ? DecisionKind::AdviseDemote
+                            : DecisionKind::AdviseKeep;
+  e.block = b;
+  e.bytes = bytes;
+  if (p != nullptr) {
+    e.hotness = p->expected_accesses_per_phase();
+    e.readonly_frac = p->readonly_fraction();
+    e.reuse_distance = p->reuse_distance;
+  } else {
+    e.reuse_distance = -1.0; // untracked: never observed reused
+  }
+  e.break_even = break_even_accesses(bytes);
+  e.pin = a.pin;
+  e.demote_first = a.demote_first;
+  e.bypass_fetch = a.bypass_fetch;
+  e.demote_level = a.demote_level;
+  sink_->record(e);
+}
+
 ooc::BlockAdvice PlacementAdvisor::advise(ooc::BlockId b,
                                           std::uint64_t bytes) const {
   ooc::BlockAdvice a;
@@ -60,6 +99,7 @@ ooc::BlockAdvice PlacementAdvisor::advise(ooc::BlockId b,
     // its re-fetch savings cannot pay for the capacity it would hold.
     a.demote_first = cfg_.enable_demote;
     if (cfg_.enable_demote) a.demote_level = ooc::kLevelFar;
+    if (sink_ != nullptr) record_advice(b, bytes, nullptr, a);
     return a;
   }
 
@@ -69,6 +109,7 @@ ooc::BlockAdvice PlacementAdvisor::advise(ooc::BlockId b,
       p->reuse_distance >= 0 &&
       p->reuse_distance <= cfg_.pin_max_reuse_distance) {
     a.pin = true;
+    if (sink_ != nullptr) record_advice(b, bytes, p, a);
     return a;
   }
 
@@ -91,6 +132,7 @@ ooc::BlockAdvice PlacementAdvisor::advise(ooc::BlockId b,
       a.bypass_fetch = true;
     }
   }
+  if (sink_ != nullptr) record_advice(b, bytes, p, a);
   return a;
 }
 

@@ -34,8 +34,11 @@
 // Pure state machine: no clock, no threads, no sim/rt dependency.
 
 #include <cstdint>
+#include <mutex>
+#include <unordered_map>
 
 #include "adapt/block_profiler.hpp"
+#include "adapt/decision_sink.hpp"
 #include "hw/machine_model.hpp"
 #include "ooc/types.hpp"
 
@@ -119,10 +122,27 @@ public:
   /// channel.  +inf when the model fields make fast placement free.
   double break_even_accesses(std::uint64_t bytes) const;
 
+  /// Mirror advice *changes* into a provenance sink (decision_sink.hpp;
+  /// nullptr = off, the default).  advise() runs on the engine's
+  /// admission path, so identical repeat advice for a block is
+  /// deduplicated — the sink sees each block's advice only when it
+  /// differs from the last advice recorded for that block.
+  void set_decision_sink(DecisionSink* sink) { sink_ = sink; }
+  DecisionSink* decision_sink() const { return sink_; }
+
 private:
+  void record_advice(ooc::BlockId b, std::uint64_t bytes,
+                     const BlockProfile* p,
+                     const ooc::BlockAdvice& a) const;
+
   const BlockProfiler* profiler_;
   AdvisorConfig cfg_;
   bool streaming_bypass_ = false;
+  DecisionSink* sink_ = nullptr;
+  /// Last advice recorded per block, encoded flat for the dedup test.
+  /// Guarded by dedup_mu_; touched only when a sink is installed.
+  mutable std::mutex dedup_mu_;
+  mutable std::unordered_map<ooc::BlockId, std::uint64_t> last_advice_;
 };
 
 } // namespace hmr::adapt

@@ -22,6 +22,28 @@ double StrategyGovernor::refetch_ratio(const PhaseObservation& obs) {
          static_cast<double>(obs.unique_bytes);
 }
 
+void StrategyGovernor::record_phase(const PhaseObservation& obs,
+                                    double channel_util,
+                                    bool in_cooldown) const {
+  DecisionEvent e;
+  e.kind = DecisionKind::GovernorPhase;
+  e.phase = phases_;
+  e.phase_seconds = obs.phase_seconds;
+  e.wait_fraction = obs.wait_fraction;
+  e.refetch_ratio = refetch_ratio(obs);
+  e.channel_util = channel_util;
+  e.peak_inflight = obs.peak_inflight_fetches;
+  e.lru_reclaims = obs.lru_reclaims;
+  e.in_cooldown = in_cooldown;
+  e.strategy = cur_.strategy;
+  e.eager_evict = cur_.eager_evict;
+  e.fair_admission = cur_.fair_admission;
+  e.lru_watermark = cur_.lru_watermark;
+  e.bypass_streaming = cur_.bypass_streaming;
+  e.changed = cur_.changed;
+  sink_->record(e);
+}
+
 Decision StrategyGovernor::on_phase_end(const PhaseObservation& obs) {
   ++phases_;
   const Decision prev = cur_;
@@ -40,6 +62,7 @@ Decision StrategyGovernor::on_phase_end(const PhaseObservation& obs) {
   if (cooldown_ > 0) {
     --cooldown_;
     cur_.changed = cur_.bypass_streaming != prev.bypass_streaming;
+    if (sink_ != nullptr) record_phase(obs, util, /*in_cooldown=*/true);
     return cur_;
   }
 
@@ -112,6 +135,7 @@ Decision StrategyGovernor::on_phase_end(const PhaseObservation& obs) {
                  cur_.fair_admission != prev.fair_admission ||
                  cur_.lru_watermark != prev.lru_watermark ||
                  cur_.bypass_streaming != prev.bypass_streaming;
+  if (sink_ != nullptr) record_phase(obs, util, /*in_cooldown=*/false);
   return cur_;
 }
 

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 
+#include "adapt/decision_sink.hpp"
 #include "ooc/types.hpp"
 
 namespace hmr::adapt {
@@ -136,12 +137,22 @@ public:
   /// Refetch ratio helper (also used by tests and bench output).
   static double refetch_ratio(const PhaseObservation& obs);
 
+  /// Mirror every phase decision (one GovernorPhase event per
+  /// on_phase_end, inputs + resulting Decision) into a provenance sink
+  /// (decision_sink.hpp; nullptr = off, the default).
+  void set_decision_sink(DecisionSink* sink) { sink_ = sink; }
+  DecisionSink* decision_sink() const { return sink_; }
+
 private:
+  void record_phase(const PhaseObservation& obs, double channel_util,
+                    bool in_cooldown) const;
+
   GovernorConfig cfg_;
   Decision cur_;
   std::uint64_t switches_ = 0;
   int phases_ = 0;
   int cooldown_ = 0;
+  DecisionSink* sink_ = nullptr;
 };
 
 } // namespace hmr::adapt

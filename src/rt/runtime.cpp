@@ -126,6 +126,12 @@ Runtime::Runtime(Config cfg)
         "hmr_run_queue_depth", "",
         "Ready-queue depth observed per PE wakeup");
   }
+  if (cfg_.metrics && cfg_.history_depth > 0) {
+    history_ = std::make_unique<telemetry::HistoryBuffer>(
+        *metrics_, cfg_.history_depth);
+    history_->set_clock([this] { return now(); });
+  }
+  cfg_.flight_depth = telemetry::flight_depth_from_env(cfg_.flight_depth);
   if (cfg_.flight_depth > 0) {
     flight_ = std::make_unique<telemetry::BlockFlightRecorder>(
         cfg_.flight_depth);
@@ -168,6 +174,13 @@ Runtime::Runtime(Config cfg)
         cfg_.model.channel_capacity(cfg_.model.slow, cfg_.model.fast);
     governor_ = std::make_unique<adapt::StrategyGovernor>(gc);
     engine_.set_advisor(advisor_.get()); // before any thread starts
+    if (cfg_.decision_log_depth > 0) {
+      decisions_ =
+          std::make_unique<telemetry::DecisionLog>(cfg_.decision_log_depth);
+      decisions_->set_clock([this] { return now(); });
+      advisor_->set_decision_sink(decisions_.get());
+      governor_->set_decision_sink(decisions_.get());
+    }
   }
   if (cfg_.serve.enabled()) {
     HMR_CHECK_MSG(!cfg_.adaptive,
@@ -910,6 +923,9 @@ void Runtime::wait_idle() {
   // Each wait_idle barrier is a phase boundary for the governor.
   if (governor_) governor_phase_end();
   sample_metrics();
+  // ...and a history tick: the bridged counters were just refreshed,
+  // so the snapshot that lands in the ring is coherent.
+  if (history_) history_->sample();
   // Quiescence is the one point where every ledger must reconcile
   // exactly — audit here, and refresh the crash bundle while the
   // state is consistent.
@@ -1130,6 +1146,33 @@ std::string Runtime::status_json() {
   }
   os << "]";
 
+  // Top-N hottest tracked blocks (adaptive runs; [] otherwise) — the
+  // hmr_top dashboard's hot-block panel.
+  os << ",\"hot_blocks\":[";
+  if (profiler_) {
+    std::lock_guard elk(engine_mu_);
+    std::vector<adapt::BlockProfile> profs = profiler_->profiles();
+    std::sort(profs.begin(), profs.end(),
+              [](const adapt::BlockProfile& a, const adapt::BlockProfile& b) {
+                return a.expected_accesses_per_phase() >
+                       b.expected_accesses_per_phase();
+              });
+    const std::size_t n = std::min<std::size_t>(profs.size(), 8);
+    for (std::size_t i = 0; i < n; ++i) {
+      const adapt::BlockProfile& p = profs[i];
+      if (i) os << ",";
+      os << "{\"block\":" << p.block << ",\"bytes\":" << p.bytes
+         << ",\"hotness\":";
+      num(p.expected_accesses_per_phase());
+      os << ",\"readonly_frac\":";
+      num(p.readonly_fraction());
+      os << ",\"reuse_distance\":";
+      num(p.reuse_distance);
+      os << "}";
+    }
+  }
+  os << "]";
+
   os << ",\"governor\":";
   if (governor_) {
     // The governor only mutates under engine_mu_ (phase boundaries).
@@ -1230,6 +1273,12 @@ void Runtime::start_introspection() {
       return t > last ? static_cast<double>(t - last) * 1e-9 : 0.0;
     };
     h.fetch_p99 = [this] { return fetch_p99_seconds(); };
+    h.trace_drops = [this] { return tracer_.dropped(); };
+    h.remote_fetches = [this] {
+      // hmr_remote_fetches_total's source counter (engine stats); the
+      // monitor tick cadence makes the engine-lock grab negligible.
+      return policy_stats().remote_fetches;
+    };
     h.dump = [this](std::ostream& os) { write_diagnostics(os); };
     h.tick = [this] {
       if (crash_installed_) publish_crash_bundle();
@@ -1329,6 +1378,69 @@ void Runtime::start_introspection() {
       }
       body << "]}";
       r.content_type = "application/json";
+      r.body = body.str();
+      return r;
+    });
+    srv->route("/history", [this](const Request& rq) {
+      Response r;
+      if (!history_) {
+        r.status = 404;
+        r.body = "history disabled (Config::history_depth=0)\n";
+        return r;
+      }
+      std::string metric;
+      double window = 0;
+      if (const auto it = rq.query.find("metric"); it != rq.query.end()) {
+        metric = it->second;
+      }
+      if (const auto it = rq.query.find("window"); it != rq.query.end()) {
+        char* end = nullptr;
+        window = std::strtod(it->second.c_str(), &end);
+        if (end == it->second.c_str() || *end != '\0' || window < 0) {
+          r.status = 400;
+          r.body = "bad window (seconds): " + it->second + "\n";
+          return r;
+        }
+      }
+      r.content_type = "application/json";
+      std::ostringstream body;
+      history_->write_json(body, metric, window);
+      r.body = body.str();
+      return r;
+    });
+    srv->route("/decisions", [this](const Request& rq) {
+      Response r;
+      if (!decisions_) {
+        r.status = 404;
+        r.body = "no decision log (Config::adaptive off or "
+                 "decision_log_depth=0)\n";
+        return r;
+      }
+      std::vector<telemetry::DecisionLog::Record> recs;
+      if (const auto it = rq.query.find("block"); it != rq.query.end()) {
+        char* end = nullptr;
+        const unsigned long long id =
+            std::strtoull(it->second.c_str(), &end, 10);
+        if (end == it->second.c_str() || *end != '\0') {
+          r.status = 400;
+          r.body = "bad block id: " + it->second + "\n";
+          return r;
+        }
+        recs = decisions_->snapshot_block(static_cast<mem::BlockId>(id));
+      } else {
+        recs = decisions_->snapshot();
+      }
+      std::ostringstream body;
+      if (const auto it = rq.query.find("format");
+          it != rq.query.end() && it->second == "csv") {
+        telemetry::DecisionLog::write_csv(body, recs);
+        r.content_type = "text/csv; charset=utf-8";
+      } else {
+        telemetry::DecisionLog::write_json(body, recs,
+                                           decisions_->total_recorded(),
+                                           decisions_->overwritten());
+        r.content_type = "application/json";
+      }
       r.body = body.str();
       return r;
     });

@@ -47,7 +47,9 @@
 #include "rt/sharded_engine.hpp"
 #include "serve/tenant_engine.hpp"
 #include "telemetry/audit.hpp"
+#include "telemetry/decision_log.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/history.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/serve.hpp"
 #include "telemetry/watchdog.hpp"
@@ -83,8 +85,17 @@ public:
     /// Block flight recorder depth: keep the last N residency
     /// transitions per block for post-mortem debugging (0 disables).
     /// Cheap — one striped-map update per migration — so it stays on
-    /// by default.
+    /// by default.  The HMR_FLIGHT_DEPTH environment variable
+    /// overrides this at construction (clamped to [0, 1024]).
     std::size_t flight_depth = 8;
+    /// Metrics history ring: keep the last N registry snapshots, one
+    /// sampled at every wait_idle() quiescence tick, served via
+    /// /history and tools/hmr_top (0 disables; needs `metrics`).
+    std::size_t history_depth = 240;
+    /// Decision provenance ring (adaptive runs): keep the last N
+    /// advisor/governor decisions with their triggering inputs, served
+    /// via /decisions and hmr_trace --decisions (0 disables).
+    std::size_t decision_log_depth = 1024;
     /// Pin threads to cores (Linux): PE i on core i, its IO thread on
     /// the SMT sibling when one exists — the paper's placement ("the
     /// IO threads are scheduled on the hyperthread cores corresponding
@@ -219,6 +230,15 @@ public:
   /// Block flight recorder (nullptr when Config::flight_depth == 0).
   const telemetry::BlockFlightRecorder* flight_recorder() const {
     return flight_.get();
+  }
+
+  /// Metrics history ring (nullptr unless metrics + history_depth).
+  /// One sample per wait_idle() quiescence tick.
+  const telemetry::HistoryBuffer* history() const { return history_.get(); }
+  /// Decision provenance log (nullptr unless adaptive +
+  /// decision_log_depth).  Snapshot reads are safe from any thread.
+  const telemetry::DecisionLog* decisions() const {
+    return decisions_.get();
   }
 
   // ---- data blocks ----
@@ -484,6 +504,8 @@ private:
     telemetry::Histogram* run_q_depth = nullptr;
   } mh_;
   std::unique_ptr<telemetry::BlockFlightRecorder> flight_;
+  std::unique_ptr<telemetry::HistoryBuffer> history_;
+  std::unique_ptr<telemetry::DecisionLog> decisions_;
 
   // Live introspection: per-thread heartbeats (stamped each loop
   // wakeup; parked threads do not beat, the watchdog only reads them

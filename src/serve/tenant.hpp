@@ -146,6 +146,13 @@ struct TenantSnapshot {
   double fetch_p99_s = 0;
   double fetch_max_s = 0;
 
+  /// Attained fetch p99 over the rolling ServeConfig::burn_window_s
+  /// window, and the SLO burn rate (window p99 / slo_p99_fetch_s).
+  /// Burn > 1 = the tenant is currently missing its SLO; 0 when the
+  /// tenant has no SLO target or no completions in the window.
+  double window_p99_s = 0;
+  double slo_burn = 0;
+
   double first_completion_s = 0; // clock() at first/last completion
   double last_completion_s = 0;
 };

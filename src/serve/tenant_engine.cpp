@@ -63,6 +63,7 @@ TenantEngine::TenantEngine(ooc::Engine& inner, ServeConfig cfg,
       ledger_(reg_, inner.tiers()),
       adm_(reg_, cfg.admission, now),
       tenants_(reg_.size()) {
+  burn_window_s_ = cfg.burn_window_s;
   HMR_CHECK_MSG(!reg_.empty(),
                 "TenantEngine needs at least one tenant");
   const auto& tiers = inner_.tiers();
@@ -188,10 +189,19 @@ std::vector<ooc::Command> TenantEngine::on_fetch_complete(
   const auto it = fetch_inflight_.find(b);
   if (it != fetch_inflight_.end()) {
     TenantState& st = tenants_[it->second.tenant];
-    const double s = now_locked() - it->second.issued_s;
+    const double now = now_locked();
+    const double s = now - it->second.issued_s;
     ++st.fetch_samples;
     if (st.samples.size() < kMaxSamples) st.samples.push_back(s);
     st.fetch_max_s = std::max(st.fetch_max_s, s);
+    if (burn_window_s_ > 0) {
+      st.window_samples.emplace_back(now, s);
+      const double cutoff = now - burn_window_s_;
+      while (!st.window_samples.empty() &&
+             st.window_samples.front().first < cutoff) {
+        st.window_samples.pop_front();
+      }
+    }
     fetch_inflight_.erase(it);
   }
   std::vector<ooc::Command> cmds = inner_.on_fetch_complete(b);
@@ -392,6 +402,20 @@ std::vector<TenantSnapshot> TenantEngine::snapshots() const {
       s.fetch_p99_s = hmr::percentile(st.samples, 0.99);
     }
     s.fetch_max_s = st.fetch_max_s;
+    if (burn_window_s_ > 0 && !st.window_samples.empty()) {
+      // Re-filter against *now* (trimming happens on completions, so
+      // an idle tenant's stale samples age out here too).
+      const double cutoff = now_locked() - burn_window_s_;
+      std::vector<double> w;
+      w.reserve(st.window_samples.size());
+      for (const auto& [at, lat] : st.window_samples) {
+        if (at >= cutoff) w.push_back(lat);
+      }
+      if (!w.empty()) s.window_p99_s = hmr::percentile(w, 0.99);
+    }
+    if (s.desc.slo_p99_fetch_s > 0 && s.window_p99_s > 0) {
+      s.slo_burn = s.window_p99_s / s.desc.slo_p99_fetch_s;
+    }
     s.first_completion_s = st.first_completion_s;
     s.last_completion_s = st.last_completion_s;
     out.push_back(std::move(s));
@@ -433,7 +457,9 @@ void TenantEngine::write_json(std::ostream& os) const {
     os << "],\"fetch_samples\":" << s.fetch_samples
        << ",\"fetch_p50_s\":" << s.fetch_p50_s
        << ",\"fetch_p99_s\":" << s.fetch_p99_s
-       << ",\"fetch_max_s\":" << s.fetch_max_s << "}";
+       << ",\"fetch_max_s\":" << s.fetch_max_s
+       << ",\"window_p99_s\":" << s.window_p99_s
+       << ",\"slo_burn\":" << s.slo_burn << "}";
   }
   os << "]}";
 }
@@ -459,6 +485,12 @@ void TenantEngine::export_metrics(telemetry::MetricsRegistry& reg) const {
         static_cast<double>(s.queued_now));
     reg.gauge("hmr_tenant_fetch_p99_seconds", labels)
         .set(s.fetch_p99_s);
+    reg.gauge("hmr_tenant_window_p99_seconds", labels,
+              "Attained fetch p99 over the rolling burn window")
+        .set(s.window_p99_s);
+    reg.gauge("hmr_tenant_slo_burn", labels,
+              "Window p99 over SLO target (>1 = missing the SLO)")
+        .set(s.slo_burn);
     for (std::size_t l = 0; l < s.quota_used.size(); ++l) {
       const std::string ll =
           labels + ",level=\"" + std::to_string(l) + "\"";

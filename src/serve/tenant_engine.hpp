@@ -28,11 +28,13 @@
 // runtime feeds a steady_clock (the default).
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ooc/engine.hpp"
@@ -50,6 +52,12 @@ namespace hmr::serve {
 struct ServeConfig {
   std::vector<TenantDesc> tenants;
   AdmissionConfig admission;
+  /// Rolling window (seconds; virtual under the DES) for the SLO
+  /// burn-rate gauge: attained fetch p99 over this window divided by
+  /// the tenant's slo_p99_fetch_s target.  Burn > 1 means the tenant
+  /// is *currently* missing its SLO — unlike the lifetime percentiles,
+  /// a recovered tenant's burn falls back under 1.  0 disables.
+  double burn_window_s = 30.0;
   bool enabled() const { return !tenants.empty(); }
 };
 
@@ -163,6 +171,10 @@ private:
     /// Exact samples up to a cap (kMaxSamples); beyond it only the
     /// count grows and percentiles describe the prefix.
     std::vector<double> samples;
+    /// (completion time, latency) pairs inside the burn window —
+    /// trimmed on every completion, so the deque stays bounded by the
+    /// window's arrival rate.
+    std::deque<std::pair<double, double>> window_samples;
     double fetch_max_s = 0;
     double first_completion_s = 0;
     double last_completion_s = 0;
@@ -195,6 +207,7 @@ private:
 
   ooc::Engine& inner_;
   TenantRegistry reg_;
+  double burn_window_s_ = 30.0;
   mutable std::mutex mu_;
   std::function<double()> clock_;
   QuotaLedger ledger_;

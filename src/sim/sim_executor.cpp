@@ -77,6 +77,12 @@ SimExecutor::SimExecutor(SimConfig cfg)
         "hmr_run_queue_depth", "",
         "PE job-queue depth observed per task start");
   }
+  if (cfg_.metrics && cfg_.history_depth > 0) {
+    history_ = std::make_unique<telemetry::HistoryBuffer>(
+        *cfg_.metrics, cfg_.history_depth);
+    history_->set_clock([this] { return now_; }); // virtual seconds
+  }
+  cfg_.flight_depth = telemetry::flight_depth_from_env(cfg_.flight_depth);
   if (cfg_.flight_depth > 0) {
     flight_ = std::make_unique<telemetry::BlockFlightRecorder>(
         cfg_.flight_depth);
@@ -116,6 +122,13 @@ SimExecutor::SimExecutor(SimConfig cfg)
     gc.channel_bytes_per_second = m.channel_capacity(m.slow, m.fast);
     governor_ = std::make_unique<adapt::StrategyGovernor>(gc);
     engine_.set_advisor(advisor_.get());
+    if (cfg_.decision_log_depth > 0) {
+      decisions_ =
+          std::make_unique<telemetry::DecisionLog>(cfg_.decision_log_depth);
+      decisions_->set_clock([this] { return now_; }); // virtual seconds
+      advisor_->set_decision_sink(decisions_.get());
+      governor_->set_decision_sink(decisions_.get());
+    }
   }
   if (cfg_.serve.enabled()) {
     HMR_CHECK_MSG(!cfg_.adaptive,
@@ -762,6 +775,12 @@ SimResult SimExecutor::run(const Workload& w) {
     // Phase boundary: the governor observes the finished iteration and
     // retunes the engine for the next one (no point after the last).
     if (governor_ && iter + 1 < w.iterations()) governor_phase_end(t_iter);
+    if (history_) {
+      // Refresh the registry (the DES otherwise exports only at the
+      // end of run()) so each sample carries current engine counters.
+      export_metrics();
+      history_->sample();
+    }
   }
 
   result_.total_time = now_;

@@ -35,7 +35,9 @@
 #include "sim/event_queue.hpp"
 #include "sim/transfer_channel.hpp"
 #include "sim/workload.hpp"
+#include "telemetry/decision_log.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/history.hpp"
 #include "telemetry/metrics.hpp"
 #include "trace/tracer.hpp"
 #include "util/stats.hpp"
@@ -83,7 +85,17 @@ struct SimConfig {
   telemetry::MetricsRegistry* metrics = nullptr;
   /// Block flight recorder depth (0 = off; the DES can run millions of
   /// virtual migrations, so this is opt-in unlike the rt executor).
+  /// The HMR_FLIGHT_DEPTH environment variable overrides a non-zero
+  /// value at construction (clamped to [0, 1024]).
   std::size_t flight_depth = 0;
+  /// Metrics history ring: with `metrics` set, sample the registry at
+  /// every iteration boundary (virtual timestamps) into a bounded ring
+  /// readable through history() (0 disables).
+  std::size_t history_depth = 240;
+  /// Decision provenance ring (adaptive runs): keep the last N
+  /// advisor/governor decisions with their triggering inputs,
+  /// timestamped in virtual seconds (0 disables).
+  std::size_t decision_log_depth = 1024;
 
   /// Engine invariant audit at the end of run(): -1 = auto (on in
   /// debug / sanitizer builds, HMR_AUDIT env overrides), 0 = off,
@@ -190,6 +202,16 @@ public:
   /// Block flight recorder (nullptr when SimConfig::flight_depth == 0).
   const telemetry::BlockFlightRecorder* flight_recorder() const {
     return flight_.get();
+  }
+
+  /// Metrics history ring sampled at iteration boundaries (nullptr
+  /// unless SimConfig::metrics and history_depth > 0).
+  const telemetry::HistoryBuffer* history() const { return history_.get(); }
+
+  /// Decision provenance log (nullptr unless SimConfig::adaptive and
+  /// decision_log_depth > 0).
+  const telemetry::DecisionLog* decision_log() const {
+    return decisions_.get();
   }
 
   /// Multi-tenant serving decorator (nullptr unless SimConfig::serve
@@ -310,6 +332,8 @@ private:
     telemetry::Histogram* run_q_depth = nullptr;
   } mh_;
   std::unique_ptr<telemetry::BlockFlightRecorder> flight_;
+  std::unique_ptr<telemetry::HistoryBuffer> history_;
+  std::unique_ptr<telemetry::DecisionLog> decisions_;
   void export_metrics();
 
   trace::Tracer tracer_;

@@ -1,0 +1,106 @@
+#pragma once
+// DecisionLog: a lock-free bounded ring of adaptive-guidance decisions
+// (adapt::DecisionSink implementation), the provenance half of the
+// historical observability plane (docs/OBSERVABILITY.md §9).
+//
+// The trace rings answer "what moved when"; this log answers "what did
+// the advisor/governor decide, and on which inputs".  Requirements
+// differ from EventRing in one crucial way: EventRing::drain is
+// destructive (one consumer owns the events), while /decisions, the
+// hmr_trace --decisions view and the abl_adaptive provenance gate all
+// want *repeatable* reads of the same recent window.  So the log is an
+// overwrite ring with per-slot sequence locks:
+//
+//   * record(): one relaxed fetch_add to claim a monotonic write
+//     index, then seq -> odd, payload, seq -> even.  Lock-free, no
+//     allocation — cheap enough for the engine-lock hot path
+//     (bench/micro_bench BM_DecisionLogRecord);
+//   * snapshot(): non-destructive; copies each slot's payload word-wise
+//     through std::atomic_ref between two sequence reads and keeps it
+//     only if the sequence was stable and even — torn reads are
+//     impossible, and readers never block writers;
+//   * bounded: capacity slots, oldest overwritten first;
+//     total_recorded()/overwritten() make the loss visible.
+//
+// Writers may run concurrently as long as fewer than `capacity` writes
+// are ever in flight at once (both executors serialize recording under
+// the engine lock anyway); readers are unrestricted.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "adapt/decision_sink.hpp"
+
+namespace hmr::telemetry {
+
+class DecisionLog final : public adapt::DecisionSink {
+public:
+  struct Record {
+    /// Monotonic write index (0-based): snapshot order, survives wrap.
+    std::uint64_t seq = 0;
+    /// Clock at record time (executor clock: wall or virtual seconds).
+    double time = 0;
+    adapt::DecisionEvent ev;
+  };
+
+  explicit DecisionLog(std::size_t capacity = 1024);
+  ~DecisionLog() override = default;
+
+  DecisionLog(const DecisionLog&) = delete;
+  DecisionLog& operator=(const DecisionLog&) = delete;
+
+  std::size_t capacity() const { return cap_; }
+
+  /// Timestamp source (seconds).  Unset, records carry time 0 — the
+  /// executors inject their own clock (rt: wall since start, sim:
+  /// virtual time) before any recording starts.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  /// adapt::DecisionSink: lock-free, wait-free but for the slot claim.
+  void record(const adapt::DecisionEvent& e) override;
+
+  /// Total decisions recorded / overwritten (lost to wrap) so far.
+  std::uint64_t total_recorded() const {
+    return widx_.load(std::memory_order_acquire);
+  }
+  std::uint64_t overwritten() const {
+    const std::uint64_t n = total_recorded();
+    return n > cap_ ? n - cap_ : 0;
+  }
+
+  /// Every retained decision, oldest first.  Non-destructive and safe
+  /// concurrently with writers (slots mid-overwrite are skipped).
+  std::vector<Record> snapshot() const;
+  /// Only this block's advisor decisions plus every governor decision
+  /// (governor events carry block 0 and phase-global context).
+  std::vector<Record> snapshot_block(ooc::BlockId b) const;
+
+  /// JSON for /decisions: {"total":..,"overwritten":..,
+  /// "decisions":[{..}, ..]} — one flat object per record.
+  static void write_json(std::ostream& os, const std::vector<Record>& recs,
+                         std::uint64_t total, std::uint64_t overwritten);
+  /// CSV with a header row; the hmr_trace --decisions input format.
+  static void write_csv(std::ostream& os, const std::vector<Record>& recs);
+
+private:
+  // Payload stored as a word array so readers can copy it through
+  // std::atomic_ref (no C++ data race, TSan-clean).
+  static constexpr std::size_t kWords =
+      (sizeof(Record) + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t);
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> seq{0}; // 0 empty; odd writing; even done
+    alignas(8) std::uint64_t words[kWords] = {};
+  };
+
+  std::size_t cap_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<std::uint64_t> widx_{0};
+  std::function<double()> clock_;
+};
+
+} // namespace hmr::telemetry

@@ -1,10 +1,20 @@
 #include "telemetry/flight_recorder.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/check.hpp"
 
 namespace hmr::telemetry {
+
+std::size_t flight_depth_from_env(std::size_t fallback) {
+  const char* env = std::getenv("HMR_FLIGHT_DEPTH");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return fallback; // not a number
+  return static_cast<std::size_t>(std::min(v, 1024ull));
+}
 
 BlockFlightRecorder::BlockFlightRecorder(std::size_t depth)
     : depth_(depth) {

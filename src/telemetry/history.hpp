@@ -1,0 +1,108 @@
+#pragma once
+// HistoryBuffer: a bounded ring of timestamped MetricsRegistry
+// snapshots with derived per-counter rates — the time-series half of
+// the historical observability plane (docs/OBSERVABILITY.md §9).
+//
+// /metrics and /status are point-in-time: they show *that* the runtime
+// is in a bad state, not how it got there.  The paper reads every
+// claim off a timeline; arXiv:2110.02150 and arXiv:2505.14294 both
+// tune placement from exactly this kind of windowed history.  The
+// buffer keeps the last `capacity` snapshots, sampled by the executors
+// at their natural phase points (rt: every wait_idle() quiescence
+// tick, sim: every iteration boundary), and serves them through the
+// /history route and tools/hmr_top.
+//
+// Rate derivation, for counter series over consecutive samples:
+//   * rate_i = (v_i - v_{i-1}) / (t_i - t_{i-1});
+//   * a zero-elapsed window (t_i <= t_{i-1}: two quiescence ticks in
+//     the same clock quantum, or a virtual clock that did not move)
+//     yields rate 0 rather than a division blow-up;
+//   * a counter reset (v_i < v_{i-1}: a bridged source re-created or
+//     wrapped) treats v_i itself as the delta, the Prometheus reset
+//     convention, so one restart does not print a huge negative rate.
+//
+// Sampling takes the registry's snapshot mutex and copies every
+// instrument; it belongs at quiescence points, not on the task hot
+// path (bench/micro_bench BM_HistoryBufferSample measures the cost).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace hmr::telemetry {
+
+class HistoryBuffer {
+public:
+  /// Keep the last `capacity` samples of `reg`.
+  explicit HistoryBuffer(MetricsRegistry& reg, std::size_t capacity = 240);
+
+  std::size_t capacity() const { return cap_; }
+
+  /// Timestamp source (seconds).  Unset, samples carry the registry's
+  /// own uptime; executors inject their clock (rt: seconds since
+  /// start, sim: virtual time) so history lines up with /status.
+  void set_clock(std::function<double()> clock);
+
+  /// Snapshot the registry now and append (oldest sample dropped once
+  /// the ring is full).  Thread-safe; call at quiescence points.
+  void sample();
+
+  /// Retained / lifetime sample counts.
+  std::size_t size() const;
+  std::uint64_t total_samples() const;
+
+  struct Point {
+    double time = 0;
+    double value = 0;
+    /// Counters: per-second rate vs the previous sample (0 at the
+    /// first point).  Gauges/histogram counts: 0.
+    double rate = 0;
+  };
+  struct Series {
+    std::string name;
+    std::string labels;
+    const char* type = "counter"; // "counter" | "gauge"
+    std::vector<Point> points;
+  };
+
+  /// Every series whose metric name equals `metric` (one per label
+  /// set), windowed to the last `window` seconds of samples (<= 0 =
+  /// everything retained).  Histograms surface as their _count.
+  std::vector<Series> series(const std::string& metric,
+                             double window = 0) const;
+
+  /// Instrument names present in the newest sample (no labels).
+  std::vector<std::string> metric_names() const;
+
+  /// The /history document.  Without `metric`: sample counts + the
+  /// instrument-name catalog.  With `metric`: the windowed series with
+  /// per-point time/value/rate.
+  void write_json(std::ostream& os, const std::string& metric = "",
+                  double window = 0) const;
+
+  /// Rate between two samples under the zero-elapsed / counter-reset
+  /// rules above (exposed for tests).
+  static double rate_between(double t_prev, std::uint64_t v_prev,
+                             double t_cur, std::uint64_t v_cur);
+
+private:
+  struct Sample {
+    double time = 0;
+    MetricsSnapshot snap;
+  };
+
+  MetricsRegistry& reg_;
+  std::size_t cap_;
+  std::function<double()> clock_;
+  mutable std::mutex mu_;
+  std::deque<Sample> samples_;
+  std::uint64_t total_ = 0;
+};
+
+} // namespace hmr::telemetry

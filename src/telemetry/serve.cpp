@@ -183,11 +183,17 @@ void StatusServer::serve_client(int fd) {
       sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
   Response resp;
   Request req;
+  // HEAD runs the handler like GET but sends headers only (with the
+  // body's Content-Length, per RFC 9110) — curl -I / load balancers.
+  bool head_only = false;
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
     resp = {400, "text/plain; charset=utf-8", "malformed request line\n"};
-  } else if (line.substr(0, sp1) != "GET") {
-    resp = {400, "text/plain; charset=utf-8", "only GET is supported\n"};
+  } else if (line.substr(0, sp1) != "GET" &&
+             line.substr(0, sp1) != "HEAD") {
+    resp = {400, "text/plain; charset=utf-8",
+            "only GET and HEAD are supported\n"};
   } else {
+    head_only = line.substr(0, sp1) == "HEAD";
     const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
     const std::size_t qm = target.find('?');
     req.path = qm == std::string::npos ? target : target.substr(0, qm);
@@ -215,7 +221,7 @@ void StatusServer::serve_client(int fd) {
   out += "Content-Type: " + resp.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
   out += "Connection: close\r\n\r\n";
-  out += resp.body;
+  if (!head_only) out += resp.body;
   write_all(fd, out);
 }
 

@@ -78,6 +78,56 @@ void Watchdog::evaluate(double now_seconds) {
     }
   }
 
+  // Rate anomalies: counter deltas per tick against the storm
+  // thresholds.  The first tick only records baselines (no elapsed
+  // window yet); a sustained storm reports once per episode, re-armed
+  // when the rate falls back under the threshold.
+  const double dt = last_eval_s_ >= 0 ? now_seconds - last_eval_s_ : 0;
+  if (hooks_.trace_drops && cfg_.trace_drop_storm_per_s > 0) {
+    const std::uint64_t drops = hooks_.trace_drops();
+    if (storm_seen_baseline_ && dt > 0) {
+      const double rate =
+          static_cast<double>(drops - last_trace_drops_) / dt;
+      if (rate > cfg_.trace_drop_storm_per_s) {
+        if (!trace_storm_fired_) {
+          char buf[160];
+          std::snprintf(buf, sizeof buf,
+                        "trace-drop storm: %.0f events/s discarded "
+                        "(threshold %.0f/s) — ring evidence is being lost",
+                        rate, cfg_.trace_drop_storm_per_s);
+          trace_storm_fired_ = true;
+          alert(now_seconds, buf);
+        }
+      } else {
+        trace_storm_fired_ = false;
+      }
+    }
+    last_trace_drops_ = drops;
+  }
+  if (hooks_.remote_fetches && cfg_.remote_fetch_storm_per_s > 0) {
+    const std::uint64_t rf = hooks_.remote_fetches();
+    if (storm_seen_baseline_ && dt > 0) {
+      const double rate =
+          static_cast<double>(rf - last_remote_fetches_) / dt;
+      if (rate > cfg_.remote_fetch_storm_per_s) {
+        if (!remote_storm_fired_) {
+          char buf[160];
+          std::snprintf(buf, sizeof buf,
+                        "remote-fetch storm: %.0f promotions/s over the "
+                        "network (threshold %.0f/s) — placement thrashing",
+                        rate, cfg_.remote_fetch_storm_per_s);
+          remote_storm_fired_ = true;
+          alert(now_seconds, buf);
+        }
+      } else {
+        remote_storm_fired_ = false;
+      }
+    }
+    last_remote_fetches_ = rf;
+  }
+  storm_seen_baseline_ = true;
+  last_eval_s_ = now_seconds;
+
   // Independent check: a single stuck fetch stalls its waiters long
   // before the global counters freeze.
   const double age = hooks_.fetch_age ? hooks_.fetch_age() : -1;
@@ -100,6 +150,13 @@ void Watchdog::evaluate(double now_seconds) {
 void Watchdog::trip(double now_seconds, const std::string& reason) {
   fired_ = true;
   stalled_.store(true, std::memory_order_relaxed);
+  alert(now_seconds, reason);
+}
+
+// Report + escalate without latching the stall state: storm trips are
+// anomalies (the runtime is making progress, too fast in the wrong
+// direction), so /healthz must not turn 503 on them.
+void Watchdog::alert(double now_seconds, const std::string& reason) {
   trips_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lk(mu_);

@@ -65,6 +65,15 @@ public:
     Escalation escalation = Escalation::Dump;
     /// Dump destination; empty = stderr.  Appended, not truncated.
     std::string dump_path;
+    /// Rate-anomaly (storm) thresholds in events/second, measured as
+    /// counter deltas between monitor ticks; 0 disables each check.
+    /// A trace-drop storm means the trace rings are overrunning (the
+    /// evidence for any later diagnosis is being discarded); a
+    /// remote-fetch storm means the placement is thrashing blocks
+    /// across the network (hmr_remote_* counters climbing faster than
+    /// any sane working-set migration).
+    double trace_drop_storm_per_s = 0;
+    double remote_fetch_storm_per_s = 0;
   };
 
   /// Everything the monitor reads, supplied by the owner.  All
@@ -79,6 +88,10 @@ public:
     std::function<double()> fetch_age;
     /// Observed fetch-latency p99 in seconds; <= 0 = unknown.
     std::function<double()> fetch_p99;
+    /// Cumulative trace-ring drop count (storm check; may be empty).
+    std::function<std::uint64_t()> trace_drops;
+    /// Cumulative remote-tier fetch count (storm check; may be empty).
+    std::function<std::uint64_t()> remote_fetches;
     /// Writes the diagnostic bundle (may be empty).
     std::function<void(std::ostream&)> dump;
     /// Called once per monitor interval regardless of state — the
@@ -113,6 +126,8 @@ public:
 private:
   void loop();
   void trip(double now_seconds, const std::string& reason);
+  /// Report + escalate without latching stalled() (storm trips).
+  void alert(double now_seconds, const std::string& reason);
 
   Config cfg_;
   Hooks hooks_;
@@ -124,6 +139,15 @@ private:
   std::uint64_t last_progress_ = 0;
   double stall_since_ = -1; // first tick of the current frozen window
   bool fired_ = false;      // this episode already reported
+  // Storm-check state: previous tick's counter values and timestamp
+  // (rates are per-tick deltas), plus per-check episode latches so a
+  // sustained storm reports once, not once per tick.
+  double last_eval_s_ = -1;
+  std::uint64_t last_trace_drops_ = 0;
+  std::uint64_t last_remote_fetches_ = 0;
+  bool storm_seen_baseline_ = false;
+  bool trace_storm_fired_ = false;
+  bool remote_storm_fired_ = false;
 
   mutable std::mutex mu_; // guards reason_ and the cv below
   std::string reason_;

@@ -1,0 +1,233 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hmr::json {
+
+const Value* Value::find(const std::string& key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string& text, std::string* err)
+      : s_(text), err_(err) {}
+
+  bool run(Value& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing content");
+    return true;
+  }
+
+private:
+  bool fail(const char* what) {
+    if (err_) {
+      *err_ = std::string(what) + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (s_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return fail("dangling escape");
+        const char e = s_[++pos_];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return fail("short \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_ + 1 + static_cast<std::size_t>(i)];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') {
+                cp |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (no surrogate pairing —
+            // the emitters here never produce astral characters).
+            if (cp < 0x80) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        ++pos_;
+      } else {
+        out.push_back(c);
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected number");
+    const std::string tok = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out.number = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    out.kind = Value::Kind::Number;
+    return true;
+  }
+
+  bool value(Value& out) {
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{': {
+        ++pos_;
+        out.kind = Value::Kind::Object;
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!string(key)) return false;
+          skip_ws();
+          if (pos_ >= s_.size() || s_[pos_] != ':') {
+            return fail("expected ':'");
+          }
+          ++pos_;
+          skip_ws();
+          Value v;
+          if (!value(v)) return false;
+          out.obj.emplace_back(std::move(key), std::move(v));
+          skip_ws();
+          if (pos_ >= s_.size()) return fail("unterminated object");
+          if (s_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (s_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos_;
+        out.kind = Value::Kind::Array;
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          Value v;
+          if (!value(v)) return false;
+          out.arr.push_back(std::move(v));
+          skip_ws();
+          if (pos_ >= s_.size()) return fail("unterminated array");
+          if (s_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (s_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out.kind = Value::Kind::String;
+        return string(out.str);
+      case 't':
+        out.kind = Value::Kind::Bool;
+        out.boolean = true;
+        return literal("true", 4);
+      case 'f':
+        out.kind = Value::Kind::Bool;
+        out.boolean = false;
+        return literal("false", 5);
+      case 'n':
+        out.kind = Value::Kind::Null;
+        return literal("null", 4);
+      default:
+        return number(out);
+    }
+  }
+
+  const std::string& s_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool parse(const std::string& text, Value& out, std::string* err) {
+  return Parser(text, err).run(out);
+}
+
+} // namespace hmr::json

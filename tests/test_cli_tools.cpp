@@ -94,6 +94,71 @@ TEST(HmrTrace, RejectsBadHeader) {
   EXPECT_NE(r.output.find("unrecognized header"), std::string::npos);
 }
 
+TEST(HmrTrace, JsonSummaryIsMachineReadable) {
+  const RunResult r = run(
+      in_golden_dir(std::string("'") + HMR_TRACE_TOOL +
+                    "' --in trace_small.csv --json 2>/dev/null"));
+  EXPECT_EQ(r.exit_code, 0);
+  // Spot-check the document rather than pinning every float digit.
+  EXPECT_NE(r.output.find("\"intervals\":7"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"categories\":{"), std::string::npos);
+  EXPECT_NE(r.output.find("\"compute\":{"), std::string::npos);
+  EXPECT_NE(r.output.find("\"migrations\":["), std::string::npos);
+  EXPECT_NE(r.output.find("\"dropped\":0"), std::string::npos);
+  // And it must parse: feed it through python3 if available.
+  const RunResult py = run(
+      in_golden_dir(std::string("'") + HMR_TRACE_TOOL +
+                    "' --in trace_small.csv --json 2>/dev/null | "
+                    "python3 -c 'import json,sys; json.load(sys.stdin)' "
+                    "2>&1 || true"));
+  EXPECT_EQ(py.output, "") << py.output;
+}
+
+TEST(HmrTrace, DecisionViewMatchesGolden) {
+  const RunResult r = run(
+      in_golden_dir(std::string("'") + HMR_TRACE_TOOL +
+                    "' --decisions decisions_small.csv 2>/dev/null"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, golden("decisions_small.out"));
+}
+
+TEST(HmrTrace, DecisionViewRejectsWrongHeader) {
+  const RunResult r = run(
+      in_golden_dir(std::string("'") + HMR_TRACE_TOOL +
+                    "' --decisions trace_small.csv 2>&1"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unrecognized decisions header"),
+            std::string::npos)
+      << r.output;
+}
+
+// ---- hmr_top ----
+
+TEST(HmrTop, OfflineFrameMatchesGolden) {
+  const RunResult r = run(
+      in_golden_dir(std::string("'") + HMR_TOP_TOOL +
+                    "' --once --from hmr_top_status.json "
+                    "--history-file hmr_top_history.json 2>/dev/null"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, golden("hmr_top.out"));
+}
+
+TEST(HmrTop, MissingHistoryDropsOnlySparklines) {
+  const RunResult r = run(
+      in_golden_dir(std::string("'") + HMR_TOP_TOOL +
+                    "' --once --from hmr_top_status.json 2>/dev/null"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("Tiers:"), std::string::npos);
+  EXPECT_EQ(r.output.find("|"), std::string::npos); // no sparkline pipes
+  EXPECT_NE(r.output.find("watchdog trip(s)"), std::string::npos);
+}
+
+TEST(HmrTop, RequiresPortOrFile) {
+  const RunResult r = run(std::string("'") + HMR_TOP_TOOL + "' 2>&1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("--port or --from"), std::string::npos);
+}
+
 // ---- hmr_bench_diff ----
 
 std::string diff_cmd(const std::string& oldf, const std::string& newf,

@@ -1,0 +1,336 @@
+// Historical observability plane: HistoryBuffer sampling/rates,
+// DecisionLog seqlock ring, and EventRing drop accounting under
+// sustained overflow (docs/OBSERVABILITY.md §9).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "adapt/decision_sink.hpp"
+#include "telemetry/decision_log.hpp"
+#include "telemetry/history.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/ring.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace hmr;
+
+// ---- HistoryBuffer ----
+
+class HistoryTest : public ::testing::Test {
+protected:
+  telemetry::MetricsRegistry reg;
+  double now = 0;
+  std::unique_ptr<telemetry::HistoryBuffer> hist;
+
+  // HistoryBuffer holds a mutex (not movable): build into the fixture.
+  telemetry::HistoryBuffer& make(std::size_t cap) {
+    hist = std::make_unique<telemetry::HistoryBuffer>(reg, cap);
+    hist->set_clock([this] { return now; });
+    return *hist;
+  }
+};
+
+TEST_F(HistoryTest, RatesFromConsecutiveSamples) {
+  auto& c = reg.counter("hmr_test_total", "");
+  auto& h = make(16);
+  c.set(100);
+  now = 1.0;
+  h.sample();
+  c.set(300);
+  now = 3.0;
+  h.sample();
+
+  const auto series = h.series("hmr_test_total");
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(series[0].points.size(), 2u);
+  EXPECT_EQ(series[0].type, std::string("counter"));
+  EXPECT_DOUBLE_EQ(series[0].points[0].rate, 0);   // no predecessor
+  EXPECT_DOUBLE_EQ(series[0].points[1].value, 300);
+  EXPECT_DOUBLE_EQ(series[0].points[1].rate, 100); // 200 over 2 s
+}
+
+TEST_F(HistoryTest, ZeroElapsedWindowYieldsZeroRate) {
+  auto& c = reg.counter("hmr_test_total", "");
+  auto& h = make(16);
+  c.set(10);
+  now = 2.0;
+  h.sample();
+  c.set(50);
+  h.sample(); // same timestamp: dt = 0
+  const auto series = h.series("hmr_test_total");
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_EQ(series[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].points[1].rate, 0);
+}
+
+TEST_F(HistoryTest, CounterResetUsesNewValueAsDelta) {
+  auto& c = reg.counter("hmr_test_total", "");
+  auto& h = make(16);
+  c.set(1000);
+  now = 1.0;
+  h.sample();
+  c.set(30); // source restarted
+  now = 2.0;
+  h.sample();
+  const auto series = h.series("hmr_test_total");
+  ASSERT_EQ(series[0].points.size(), 2u);
+  // Prometheus reset convention: delta = v_cur, not v_cur - v_prev.
+  EXPECT_DOUBLE_EQ(series[0].points[1].rate, 30);
+}
+
+TEST_F(HistoryTest, GaugeSeriesCarryNoCounterSemantics) {
+  auto& g = reg.gauge("hmr_test_gauge", "");
+  auto& h = make(16);
+  g.set(5);
+  now = 1.0;
+  h.sample();
+  g.set(2); // gauges go down without being a "reset"
+  now = 2.0;
+  h.sample();
+  const auto series = h.series("hmr_test_gauge");
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].type, std::string("gauge"));
+  EXPECT_DOUBLE_EQ(series[0].points[1].value, 2);
+}
+
+TEST_F(HistoryTest, RingWrapKeepsNewestAndCountsTotal) {
+  auto& c = reg.counter("hmr_test_total", "");
+  auto& h = make(4);
+  for (int i = 0; i < 10; ++i) {
+    c.set(static_cast<std::uint64_t>(i));
+    now = static_cast<double>(i);
+    h.sample();
+  }
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_EQ(h.total_samples(), 10u);
+  const auto series = h.series("hmr_test_total");
+  ASSERT_EQ(series[0].points.size(), 4u);
+  EXPECT_DOUBLE_EQ(series[0].points.front().time, 6.0); // oldest kept
+  EXPECT_DOUBLE_EQ(series[0].points.back().time, 9.0);
+  // Rates keep working across the wrap: +1 per second throughout.
+  EXPECT_DOUBLE_EQ(series[0].points.back().rate, 1.0);
+}
+
+TEST_F(HistoryTest, WindowFiltersOldPoints) {
+  auto& c = reg.counter("hmr_test_total", "");
+  auto& h = make(16);
+  for (int i = 0; i < 8; ++i) {
+    c.set(static_cast<std::uint64_t>(i * 10));
+    now = static_cast<double>(i);
+    h.sample();
+  }
+  const auto series = h.series("hmr_test_total", /*window=*/2.5);
+  ASSERT_EQ(series.size(), 1u);
+  // newest.time = 7, cutoff 4.5 -> points at t = 5, 6, 7.
+  ASSERT_EQ(series[0].points.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].points.front().time, 5.0);
+  // Rate at the window edge still derives from its out-of-window
+  // predecessor (full retained history is used for deltas).
+  EXPECT_DOUBLE_EQ(series[0].points.front().rate, 10.0);
+}
+
+TEST_F(HistoryTest, WriteJsonParsesAndListsMetrics) {
+  reg.counter("hmr_a_total", "").set(1);
+  reg.gauge("hmr_b", "").set(2);
+  auto& h = make(8);
+  now = 1.0;
+  h.sample();
+  now = 2.0;
+  h.sample();
+
+  std::ostringstream index;
+  h.write_json(index);
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(index.str(), v, &err)) << err;
+  EXPECT_EQ(v.find("samples")->num_or(-1), 2);
+  ASSERT_TRUE(v.find("metrics")->is_array());
+  EXPECT_GE(v.find("metrics")->arr.size(), 2u);
+
+  std::ostringstream one;
+  h.write_json(one, "hmr_a_total", 0);
+  ASSERT_TRUE(json::parse(one.str(), v, &err)) << err;
+  EXPECT_EQ(v.find("metric")->str_or(""), "hmr_a_total");
+  ASSERT_TRUE(v.find("series")->is_array());
+  ASSERT_EQ(v.find("series")->arr.size(), 1u);
+  EXPECT_EQ(v.find("series")->arr[0].find("points")->arr.size(), 2u);
+}
+
+TEST_F(HistoryTest, RateBetweenEdgeRules) {
+  using HB = telemetry::HistoryBuffer;
+  EXPECT_DOUBLE_EQ(HB::rate_between(1.0, 10, 3.0, 30), 10.0);
+  EXPECT_DOUBLE_EQ(HB::rate_between(2.0, 10, 2.0, 30), 0.0); // dt = 0
+  EXPECT_DOUBLE_EQ(HB::rate_between(3.0, 10, 2.0, 30), 0.0); // dt < 0
+  EXPECT_DOUBLE_EQ(HB::rate_between(1.0, 100, 2.0, 40), 40.0); // reset
+}
+
+// ---- DecisionLog ----
+
+adapt::DecisionEvent advice_event(ooc::BlockId b, double hotness) {
+  adapt::DecisionEvent e;
+  e.kind = adapt::DecisionKind::AdvisePin;
+  e.block = b;
+  e.bytes = 1024;
+  e.hotness = hotness;
+  e.pin = true;
+  return e;
+}
+
+adapt::DecisionEvent governor_event(std::int32_t phase, bool changed) {
+  adapt::DecisionEvent e;
+  e.kind = adapt::DecisionKind::GovernorPhase;
+  e.phase = phase;
+  e.refetch_ratio = 2.0;
+  e.changed = changed;
+  return e;
+}
+
+TEST(DecisionLog, RecordsInOrderWithTimestamps) {
+  telemetry::DecisionLog log(8);
+  double now = 0;
+  log.set_clock([&now] { return now; });
+  for (int i = 0; i < 5; ++i) {
+    now = static_cast<double>(i);
+    log.record(advice_event(static_cast<ooc::BlockId>(i), i * 1.0));
+  }
+  EXPECT_EQ(log.total_recorded(), 5u);
+  EXPECT_EQ(log.overwritten(), 0u);
+  const auto recs = log.snapshot();
+  ASSERT_EQ(recs.size(), 5u);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].seq, i);
+    EXPECT_DOUBLE_EQ(recs[i].time, static_cast<double>(i));
+    EXPECT_EQ(recs[i].ev.block, static_cast<ooc::BlockId>(i));
+  }
+}
+
+TEST(DecisionLog, WrapKeepsNewestAndCountsOverwritten) {
+  telemetry::DecisionLog log(4);
+  for (int i = 0; i < 11; ++i) {
+    log.record(advice_event(static_cast<ooc::BlockId>(i), 0));
+  }
+  EXPECT_EQ(log.total_recorded(), 11u);
+  EXPECT_EQ(log.overwritten(), 7u);
+  const auto recs = log.snapshot();
+  ASSERT_EQ(recs.size(), 4u);
+  EXPECT_EQ(recs.front().seq, 7u);
+  EXPECT_EQ(recs.back().seq, 10u);
+}
+
+TEST(DecisionLog, BlockFilterKeepsGovernorContext) {
+  telemetry::DecisionLog log(32);
+  log.record(advice_event(1, 0));
+  log.record(advice_event(2, 0));
+  log.record(governor_event(0, true));
+  log.record(advice_event(2, 1));
+  const auto recs = log.snapshot_block(2);
+  // Block 2's two advisor events plus the governor record (phase
+  // context always survives a block filter).
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].ev.block, 2u);
+  EXPECT_EQ(recs[1].ev.kind, adapt::DecisionKind::GovernorPhase);
+  EXPECT_EQ(recs[2].ev.block, 2u);
+}
+
+TEST(DecisionLog, JsonAndCsvRoundTrip) {
+  telemetry::DecisionLog log(8);
+  log.record(advice_event(7, 3.5));
+  log.record(governor_event(1, true));
+  const auto recs = log.snapshot();
+
+  std::ostringstream js;
+  telemetry::DecisionLog::write_json(js, recs, log.total_recorded(),
+                                     log.overwritten());
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(js.str(), v, &err)) << err;
+  EXPECT_EQ(v.find("total")->num_or(-1), 2);
+  ASSERT_EQ(v.find("decisions")->arr.size(), 2u);
+  EXPECT_EQ(v.find("decisions")->arr[0].find("kind")->str_or(""), "pin");
+  EXPECT_EQ(v.find("decisions")->arr[1].find("kind")->str_or(""),
+            "governor");
+  EXPECT_TRUE(v.find("decisions")->arr[1].find("changed")->bool_or(false));
+
+  std::ostringstream csv;
+  telemetry::DecisionLog::write_csv(csv, recs);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("seq,time,kind"), std::string::npos);
+  EXPECT_NE(text.find("pin"), std::string::npos);
+  EXPECT_NE(text.find("governor"), std::string::npos);
+}
+
+TEST(DecisionLog, ConcurrentReadersSeeConsistentRecords) {
+  telemetry::DecisionLog log(64);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // hotness mirrors block id: a torn record would disagree.
+      auto e = advice_event(static_cast<ooc::BlockId>(i % 1024),
+                            static_cast<double>(i % 1024));
+      log.record(e);
+      ++i;
+    }
+  });
+  for (int r = 0; r < 200; ++r) {
+    const auto recs = log.snapshot();
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const auto& rec : recs) {
+      EXPECT_EQ(rec.ev.block, static_cast<ooc::BlockId>(
+                                  static_cast<std::uint64_t>(rec.ev.hotness)))
+          << "torn decision record";
+      if (!first) {
+        EXPECT_GT(rec.seq, prev);
+      }
+      prev = rec.seq;
+      first = false;
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// ---- EventRing drop accounting under sustained overflow ----
+
+TEST(EventRing, SustainedOverflowCountsEveryDrop) {
+  telemetry::EventRing<int> ring(8); // power of two, kept as-is
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  // Ring full and nobody draining: every further push must fail and
+  // count, no matter how long the storm lasts.
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(ring.try_push(100 + i));
+  EXPECT_EQ(ring.dropped(), 1000u);
+
+  std::vector<int> out;
+  EXPECT_EQ(ring.drain(out), 8u);
+  ASSERT_EQ(out.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], i); // drops lost, FIFO kept
+  // Capacity is available again after the drain; the drop counter is
+  // cumulative (evidence of the storm survives).
+  EXPECT_TRUE(ring.try_push(42));
+  EXPECT_EQ(ring.dropped(), 1000u);
+}
+
+TEST(EventRing, InterleavedOverflowAccounting) {
+  telemetry::EventRing<int> ring(8);
+  std::uint64_t expect_dropped = 0;
+  std::vector<int> out;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 12; ++i) {
+      if (!ring.try_push(i)) ++expect_dropped;
+    }
+    ring.drain(out);
+    out.clear();
+  }
+  EXPECT_EQ(ring.dropped(), expect_dropped);
+  EXPECT_EQ(ring.dropped(), 50u * 4u); // 12 pushes into 8 slots per round
+}
+
+} // namespace

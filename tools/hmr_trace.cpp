@@ -9,6 +9,12 @@
 //   hmr_trace --in trace.csv
 //   hmr_trace --in trace.csv --timeline --width 120
 //   hmr_trace --in trace.csv --workers 8 --perfetto out.json
+//   hmr_trace --in trace.csv --json          # machine summary to stdout
+//   hmr_trace --decisions decisions.csv      # DecisionLog provenance view
+//
+// --decisions reads the CSV the /decisions?format=csv route serves
+// (telemetry::DecisionLog::write_csv) and renders the advisor/governor
+// decision history with the inputs that triggered each one.
 
 #include <cstdio>
 #include <cstring>
@@ -167,16 +173,105 @@ void print_summary(const hmr::trace::TraceSummary& s,
   }
 }
 
+/// Machine-readable twin of print_summary for scripting and CI.
+void print_json(const hmr::trace::TraceSummary& s, std::size_t intervals,
+                std::uint64_t dropped, std::uint64_t ring_fallbacks) {
+  std::printf("{\"intervals\":%zu,\"span_s\":%.9f,\"lanes\":%d",
+              intervals, s.span, s.lanes);
+  std::printf(",\"categories\":{");
+  for (int c = 0; c < 6; ++c) {
+    const auto cat = static_cast<Category>(c);
+    std::printf("%s\"%s\":{\"lane_seconds\":%.9f,\"intervals\":%llu}",
+                c ? "," : "", hmr::trace::category_name(cat),
+                s.total_of(cat),
+                static_cast<unsigned long long>(s.count_of(cat)));
+  }
+  std::printf("},\"overhead_fraction\":%.6f,\"dropped\":%llu"
+              ",\"ring_fallbacks\":%llu,\"migrations\":[",
+              s.overhead_fraction(),
+              static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(ring_fallbacks));
+  for (std::size_t i = 0; i < s.migrations.size(); ++i) {
+    const auto& m = s.migrations[i];
+    std::printf("%s{\"src_tier\":%u,\"dst_tier\":%u,\"bytes\":%llu,"
+                "\"count\":%llu,\"seconds\":%.9f}",
+                i ? "," : "", m.src_tier, m.dst_tier,
+                static_cast<unsigned long long>(m.bytes),
+                static_cast<unsigned long long>(m.count), m.seconds);
+  }
+  std::printf("]}\n");
+}
+
+/// Pretty-print a DecisionLog CSV (/decisions?format=csv).  Governor
+/// rows show the phase inputs and the decision (with a marker on
+/// changes); advisor rows show the profile inputs and the placement
+/// action.  Returns false on malformed input.
+bool print_decisions(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    std::fprintf(stderr, "hmr_trace: empty decisions input\n");
+    return false;
+  }
+  const auto header = split(line);
+  if (header.size() != 27 || header[0] != "seq" || header[2] != "kind") {
+    std::fprintf(stderr,
+                 "hmr_trace: unrecognized decisions header (expected the "
+                 "/decisions?format=csv columns): %s\n",
+                 line.c_str());
+    return false;
+  }
+  std::printf("%6s %12s %-9s %s\n", "seq", "time_s", "kind", "detail");
+  std::size_t lineno = 1;
+  std::size_t governor_flips = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto f = split(line);
+    if (f.size() != 27) {
+      std::fprintf(stderr, "hmr_trace: bad decisions row at line %zu\n",
+                   lineno);
+      return false;
+    }
+    const std::string& kind = f[2];
+    char detail[256];
+    if (kind == "governor") {
+      const bool changed = f[26] == "1";
+      if (changed) ++governor_flips;
+      std::snprintf(detail, sizeof detail,
+                    "phase=%s wait=%s refetch=%s util=%s -> strategy=%s "
+                    "eager=%s fair=%s%s%s",
+                    f[13].c_str(), f[15].c_str(), f[16].c_str(),
+                    f[17].c_str(), f[21].c_str(), f[22].c_str(),
+                    f[23].c_str(), f[20] == "1" ? " (cooldown)" : "",
+                    changed ? "  <== CHANGED" : "");
+    } else {
+      std::snprintf(detail, sizeof detail,
+                    "block=%s bytes=%s hotness=%s ro=%s reuse=%s "
+                    "break_even=%s pin=%s demote_first=%s bypass=%s",
+                    f[3].c_str(), f[4].c_str(), f[5].c_str(),
+                    f[6].c_str(), f[7].c_str(), f[8].c_str(),
+                    f[9].c_str(), f[10].c_str(), f[11].c_str());
+    }
+    std::printf("%6s %12s %-9s %s\n", f[0].c_str(), f[1].c_str(),
+                kind.c_str(), detail);
+  }
+  std::printf("\n%zu decision(s), %zu governor change(s)\n", lineno - 1,
+              governor_flips);
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
   std::string in;
   std::string perfetto;
+  std::string decisions;
   std::int64_t workers = -1;
   bool timeline = false;
   std::int64_t width = 100;
   bool flows = true;
   bool idle = false;
+  bool json = false;
 
   hmr::ArgParser args("hmr_trace",
                       "Summarize a Tracer CSV dump and convert it to "
@@ -194,7 +289,26 @@ int main(int argc, char** argv) {
                          "to disable)",
                 &flows);
   args.add_flag("idle", "include idle intervals in the JSON", &idle);
+  args.add_flag("json",
+                "print the summary as JSON instead of tables (category "
+                "totals, tier-pair traffic, drop counters)",
+                &json);
+  args.add_flag("decisions",
+                "DecisionLog CSV (from /decisions?format=csv): print the "
+                "decision provenance view and exit",
+                &decisions);
   if (!args.parse(argc, argv)) return 1;
+
+  if (!decisions.empty()) {
+    std::ifstream dfs(decisions);
+    if (!dfs) {
+      std::fprintf(stderr, "hmr_trace: cannot open %s\n",
+                   decisions.c_str());
+      return 1;
+    }
+    return print_decisions(dfs) ? 0 : 1;
+  }
+
   if (in.empty()) {
     std::fprintf(stderr, "hmr_trace: --in is required\n%s",
                  args.usage().c_str());
@@ -226,9 +340,14 @@ int main(int argc, char** argv) {
     t1 = i == 0 ? iv.end : std::max(t1, iv.end);
   }
 
-  std::printf("%s: %zu intervals\n", in.c_str(), ivs.size());
-  print_summary(tracer.summarize(static_cast<std::int32_t>(workers)),
-                workers, dropped, ring_fallbacks);
+  if (json) {
+    print_json(tracer.summarize(static_cast<std::int32_t>(workers)),
+               ivs.size(), dropped, ring_fallbacks);
+  } else {
+    std::printf("%s: %zu intervals\n", in.c_str(), ivs.size());
+    print_summary(tracer.summarize(static_cast<std::int32_t>(workers)),
+                  workers, dropped, ring_fallbacks);
+  }
 
   if (timeline && t1 > t0) {
     std::printf("\n");
