@@ -22,15 +22,21 @@
 // swaps while staying equivalent; `--json` writes the result to
 // BENCH_abl_tier_cascade.json for CI artifact upload.
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "rt/runtime.hpp"
 #include "sim/stencil_workload.hpp"
+#include "telemetry/attrib.hpp"
+#include "telemetry/critpath.hpp"
+#include "telemetry/perfetto.hpp"
 
 namespace {
 
@@ -40,7 +46,45 @@ struct Outcome {
   std::string name;
   sim::SimResult result;
   trace::TraceSummary trace;
+  std::vector<trace::Interval> intervals;
+  telemetry::AttributionTable::Rollup attrib;
+  /// Task -> bytes_by_tier, for the what-if compute re-costing.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> task_bytes;
 };
+
+struct Setup {
+  const char* name;
+  bool two_tier;
+  bool cascade;
+};
+
+Outcome run_setup(const Setup& s, const hw::MachineModel& model,
+                  const sim::StencilWorkload& w) {
+  sim::SimConfig cfg;
+  cfg.model = model;
+  cfg.strategy = ooc::Strategy::MultiIo;
+  cfg.trace = true;
+  cfg.attrib = true;
+  cfg.attrib_keep_tasks = true;
+  cfg.demote_cascade = s.cascade;
+  if (s.two_tier) {
+    cfg.tiers = {{model.fast, model.tier(model.fast).capacity, 1.0},
+                 {model.slow, 0, 1.0}};
+  }
+  sim::SimExecutor ex(cfg);
+  Outcome o;
+  o.name = s.name;
+  o.result = ex.run(w);
+  o.trace = ex.tracer().summarize();
+  o.intervals = ex.tracer().intervals();
+  if (const auto* at = ex.attribution()) {
+    o.attrib = at->rollup();
+    for (const auto& a : at->tasks()) {
+      o.task_bytes.emplace(a.task, a.bytes_by_tier);
+    }
+  }
+  return o;
+}
 
 double pair_gib(const trace::TraceSummary& s, std::uint32_t src,
                 std::uint32_t dst) {
@@ -118,7 +162,8 @@ ZcRun run_zero_copy(bool zero_copy) {
 }
 
 void write_json(const std::vector<Outcome>& outcomes,
-                const hw::MachineModel& model, const ZcRun& zc) {
+                const hw::MachineModel& model, const ZcRun& zc,
+                double predicted_speedup, double measured_speedup) {
   FILE* f = std::fopen("BENCH_abl_tier_cascade.json", "w");
   if (f == nullptr) {
     std::perror("BENCH_abl_tier_cascade.json");
@@ -133,12 +178,18 @@ void write_json(const std::vector<Outcome>& outcomes,
     const auto& o = outcomes[i];
     std::fprintf(f,
                  "    {\"config\": \"%s\", \"total_s\": %.6f, "
-                 "\"cascade_demotions\": %llu, \"fetch_bytes\": %llu, "
-                 "\"migrations\": [",
+                 "\"cascade_demotions\": %llu, \"fetch_bytes\": %llu, ",
                  o.name.c_str(), o.result.total_time,
                  static_cast<unsigned long long>(
                      o.result.policy.cascade_demotions),
                  static_cast<unsigned long long>(o.result.policy.fetch_bytes));
+    std::fprintf(f, "\"attrib\": {");
+    for (int b = 0; b < telemetry::kBucketCount; ++b) {
+      std::fprintf(f, "%s\"%s_s\": %.6f", b ? ", " : "",
+                   telemetry::bucket_name(static_cast<telemetry::Bucket>(b)),
+                   o.attrib.seconds[b]);
+    }
+    std::fprintf(f, "}, \"migrations\": [");
     for (std::size_t j = 0; j < o.trace.migrations.size(); ++j) {
       const auto& m = o.trace.migrations[j];
       std::fprintf(f,
@@ -151,6 +202,12 @@ void write_json(const std::vector<Outcome>& outcomes,
     std::fprintf(f, "]}%s\n", i + 1 < outcomes.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  // Deterministic (DES): the what-if gate's inputs, kept so baseline
+  // drift in the estimator itself is visible in CI diffs.
+  std::fprintf(f,
+               "  \"whatif_fast2x\": {\"predicted_speedup\": %.6f, "
+               "\"measured_speedup\": %.6f},\n",
+               predicted_speedup, measured_speedup);
   // admissions / bytes_saved depend on thread interleaving; CI ignores
   // them (--ignore) and gates on the deterministic task count.
   std::fprintf(f,
@@ -167,15 +224,22 @@ void write_json(const std::vector<Outcome>& outcomes,
 
 int main(int argc, char** argv) {
   std::string csv_path;
+  std::string perfetto_prefix;
   bool check = false;
   bool json = false;
   ArgParser args("abl_tier_cascade",
                  "ablation: demotion cascade on a three-tier node");
   args.add_flag("csv", "write results to this CSV file", &csv_path);
   args.add_flag("json", "write BENCH_abl_tier_cascade.json", &json);
+  args.add_flag("perfetto",
+                "write one Perfetto JSON trace per config to "
+                "<prefix>_<config>.json (feed them to hmr_explain)",
+                &perfetto_prefix);
   args.add_flag("check",
                 "exit nonzero unless the cascade demotes through the "
-                "middle tier and beats direct-to-NVM",
+                "middle tier, beats direct-to-NVM, and the what-if "
+                "estimator predicts the 2x-fast-bandwidth re-run within "
+                "15%",
                 &check);
   if (!args.parse(argc, argv)) return 1;
 
@@ -190,11 +254,6 @@ int main(int argc, char** argv) {
   const hw::TierId nvm = model.slow, hbm = model.fast;
   const hw::TierId ddr = 2; // see hw::three_tier_hbm_ddr_nvm()
 
-  struct Setup {
-    const char* name;
-    bool two_tier;
-    bool cascade;
-  };
   const Setup setups[] = {
       {"two-tier", true, false},
       {"direct", false, false},
@@ -203,20 +262,7 @@ int main(int argc, char** argv) {
 
   std::vector<Outcome> outcomes;
   for (const auto& s : setups) {
-    sim::SimConfig cfg;
-    cfg.model = model;
-    cfg.strategy = ooc::Strategy::MultiIo;
-    cfg.trace = true;
-    cfg.demote_cascade = s.cascade;
-    if (s.two_tier) {
-      cfg.tiers = {{hbm, model.tier(hbm).capacity, 1.0}, {nvm, 0, 1.0}};
-    }
-    sim::SimExecutor ex(cfg);
-    Outcome o;
-    o.name = s.name;
-    o.result = ex.run(w);
-    o.trace = ex.tracer().summarize();
-    outcomes.push_back(std::move(o));
+    outcomes.push_back(run_setup(s, model, w));
   }
 
   TextTable t({"config", "total (s)", "cascade demotions", "DDR4->HBM GiB",
@@ -248,6 +294,49 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
+  if (!perfetto_prefix.empty()) {
+    for (const auto& o : outcomes) {
+      const std::string path = perfetto_prefix + "_" + o.name + ".json";
+      std::ofstream ofs(path);
+      telemetry::PerfettoOptions po;
+      po.worker_lanes = model.num_pes;
+      telemetry::write_perfetto(ofs, o.intervals, po);
+      std::cout << "wrote " << path << "\n";
+    }
+  }
+
+  // Attribution verdicts + what-if validation: the critical-path
+  // estimator predicts the speedup of doubling the fast tier's
+  // bandwidth; the DES then actually re-runs the cascade config with
+  // the modified MachineModel, and --check gates the prediction within
+  // 15% relative error of the measured speedup.
+  std::printf("\nbottleneck verdicts (critical path):\n");
+  for (const auto& o : outcomes) {
+    const auto cp = telemetry::critical_path(o.intervals);
+    const auto v = telemetry::classify(cp, &model);
+    std::printf("  %-9s %-18s %s\n", o.name.c_str(),
+                telemetry::verdict_name(v.verdict), v.reason.c_str());
+  }
+  telemetry::HwDelta fast2x;
+  fast2x.name = "2x fast-tier bandwidth";
+  fast2x.fast_bw_scale = 2.0;
+  const auto& cas = outcomes[2];
+  const auto cas_cp = telemetry::critical_path(cas.intervals);
+  const auto pred =
+      telemetry::whatif(cas_cp, model, fast2x, &cas.task_bytes);
+  const Outcome rerun =
+      run_setup(setups[2], telemetry::apply_delta(model, fast2x), w);
+  const double measured =
+      cas.result.total_time / rerun.result.total_time;
+  const double relerr =
+      measured > 0 ? std::abs(pred.speedup - measured) / measured : 1.0;
+  std::printf(
+      "\nwhat-if: %s on the cascade config\n"
+      "  predicted %.2fx (re-costed critical path), measured %.2fx "
+      "(DES re-run: %.2fs -> %.2fs), relative error %.1f%%\n",
+      fast2x.name.c_str(), pred.speedup, measured, cas.result.total_time,
+      rerun.result.total_time, relerr * 100);
+
   // Zero-copy admission phase: same workload, shadow retention off/on.
   const ZcRun zc_off = run_zero_copy(false);
   const ZcRun zc_on = run_zero_copy(true);
@@ -275,7 +364,7 @@ int main(int argc, char** argv) {
       zc_identical ? "byte-identical" : "DIVERGED",
       zc_tasks_equal ? "identical" : "DIVERGED");
 
-  if (json) write_json(outcomes, model, zc_on);
+  if (json) write_json(outcomes, model, zc_on, pred.speedup, measured);
 
   if (check) {
     int rc = 0;
@@ -311,6 +400,19 @@ int main(int argc, char** argv) {
            "zero-copy run diverged from the copying run (contents)");
     expect(zc_tasks_equal,
            "zero-copy run diverged from the copying run (task count)");
+    expect(relerr <= 0.15,
+           strfmt("what-if estimator off by %.1f%% (predicted %.2fx, "
+                  "measured %.2fx; bound 15%%)",
+                  relerr * 100, pred.speedup, measured));
+    // Per-task buckets must sum to wall time (1% tolerance) in every
+    // config — the same invariant HMR_AUDIT enforces at quiescence.
+    for (const auto& o : outcomes) {
+      expect(o.attrib.sum_violations == 0,
+             strfmt("%s: %llu attribution sum violations (worst %.2f%%)",
+                    o.name.c_str(),
+                    static_cast<unsigned long long>(o.attrib.sum_violations),
+                    o.attrib.worst_rel_err * 100));
+    }
     if (rc == 0) std::cout << "\ncascade + zero-copy checks passed\n";
     return rc;
   }

@@ -19,6 +19,7 @@
 #include "rt/load_balancer.hpp"
 #include "sim/sim_executor.hpp"
 #include "sim/stencil_workload.hpp"
+#include "telemetry/attrib.hpp"
 #include "telemetry/decision_log.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/history.hpp"
@@ -399,6 +400,35 @@ void BM_TracerRecordDrop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TracerRecordDrop);
+
+void BM_AttribRecord(benchmark::State& state) {
+  // AttributionTable::record on an uncontended shard — the per-task
+  // cost the executors add on top of the 22 ns trace record
+  // (acceptance: <= ~30 ns/task).  The record carries the typical
+  // shape of a stencil task: two covered tier pairs and two waited-on
+  // blocks.
+  telemetry::AttributionTable::Options opt;
+  opt.shards = 1;
+  telemetry::AttributionTable table(opt);
+  telemetry::TaskAttribution a;
+  a.pe = 0;
+  a.phase = 3;
+  a.arrive = 0;
+  a.start = 1e-4;
+  a.end = 3e-4;
+  a.seconds[static_cast<int>(telemetry::Bucket::Compute)] = 2e-4;
+  a.seconds[static_cast<int>(telemetry::Bucket::FetchWait)] = 6e-5;
+  a.seconds[static_cast<int>(telemetry::Bucket::QueueWait)] = 4e-5;
+  a.pairs = {{0, 1, 4e-5}, {2, 1, 2e-5}};
+  a.blocks = {{7, 4e-5}, {9, 2e-5}};
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    a.task = ++id;
+    table.record(0, a);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AttribRecord);
 
 void BM_TracerRecordMT(benchmark::State& state) {
   // Concurrent producers, one lane each (the executor's layout: no

@@ -175,7 +175,9 @@ ClusterRunResult ClusterSim::run() {
     g.members.push_back(n);
   }
 
-  // Per-node DES: one BlockStore per group.
+  // Per-node DES: one BlockStore per group.  Group registries live
+  // only for the run; the federation keeps value snapshots.
+  std::vector<std::unique_ptr<telemetry::MetricsRegistry>> regs;
   for (std::size_t gi = 0; gi < groups.size(); ++gi) {
     Group& g = groups[gi];
     BlockStore::Config bcfg;
@@ -184,11 +186,26 @@ ClusterRunResult ClusterSim::run() {
     bcfg.sim.strategy =
         cfg_.all_remote ? ooc::Strategy::DdrOnly : cfg_.strategy;
     bcfg.sim.tiers = tiers;
+    if (cfg_.metrics) {
+      regs.push_back(std::make_unique<telemetry::MetricsRegistry>());
+      bcfg.sim.metrics = regs.back().get();
+      bcfg.sim.history_depth = 0; // the federation snapshots instead
+    }
     g.bs = std::make_unique<BlockStore>(std::move(bcfg));
     const sim::SimResult& r = g.bs->run(*g.w);
     g.iter_s = r.iteration_times;
     HMR_CHECK(static_cast<int>(g.iter_s.size()) == cfg_.iterations);
     g.mean_iter_s = r.total_time / static_cast<double>(cfg_.iterations);
+    if (cfg_.metrics) {
+      const std::string name =
+          "node" + std::to_string(g.members.front());
+      const auto weight =
+          static_cast<std::uint64_t>(g.members.size());
+      fed_.add(name, regs.back()->snapshot(), weight);
+      if (const auto* at = g.bs->executor().attribution()) {
+        attribs_.push_back({name, weight, at->rollup()});
+      }
+    }
   }
 
   // Reconcile the coordinator's ledgers against every node engine's
@@ -362,6 +379,36 @@ std::string ClusterSim::to_json() const {
      << ",\"placements_remote\":" << result_.placements_remote
      << ",\"audit_violations\":" << result_.audit.size()
      << ",\"coordinator\":" << coord_->to_json() << "}";
+  return os.str();
+}
+
+std::string ClusterSim::metrics_json() const {
+  HMR_CHECK_MSG(ran_, "metrics_json after run()");
+  HMR_CHECK_MSG(cfg_.metrics,
+                "metrics_json needs ClusterConfig::metrics");
+  std::ostringstream os;
+  fed_.write_json(os);
+  return os.str();
+}
+
+std::string ClusterSim::attrib_json() const {
+  HMR_CHECK_MSG(ran_, "attrib_json after run()");
+  HMR_CHECK_MSG(cfg_.metrics,
+                "attrib_json needs ClusterConfig::metrics");
+  std::ostringstream os;
+  std::uint64_t total = 0;
+  for (const auto& a : attribs_) total += a.weight;
+  os << "{\"total_nodes\":" << total << ",\"nodes\":[";
+  for (std::size_t i = 0; i < attribs_.size(); ++i) {
+    if (i) os << ",";
+    const NodeAttrib& a = attribs_[i];
+    os << "{\"node\":\"";
+    telemetry::json_escape(os, a.name);
+    os << "\",\"weight\":" << a.weight << ",\"attrib\":";
+    telemetry::AttributionTable::write_rollup_json(os, a.roll);
+    os << "}";
+  }
+  os << "]}\n";
   return os.str();
 }
 

@@ -39,6 +39,8 @@
 #include "cluster/block_store.hpp"
 #include "cluster/coordinator.hpp"
 #include "sim/cluster.hpp"
+#include "telemetry/attrib.hpp"
+#include "telemetry/federate.hpp"
 #include "trace/tracer.hpp"
 
 namespace hmr::cluster {
@@ -74,6 +76,14 @@ struct ClusterConfig {
   /// Record cluster-level lanes (lane n = node n: Compute bars and
   /// halo-injection Prefetch bars), readable via ClusterSim::tracer.
   bool trace = false;
+
+  /// Give every share-group's node DES its own MetricsRegistry and
+  /// stall-attribution table, and fold the per-node snapshots into a
+  /// telemetry::Federation after the run (one snapshot per group,
+  /// weighted by the nodes it stands for).  Read them back via
+  /// federation() / metrics_json() / attrib_json() — the payloads of
+  /// the /cluster/metrics and /cluster/attrib status routes.
+  bool metrics = false;
 };
 
 /// Per-node outcome (nodes sharing a BlockStore report equal values).
@@ -131,11 +141,29 @@ public:
   /// plus the run's deterministic counters.
   std::string to_json() const;
 
+  /// Federated per-node metrics (empty unless ClusterConfig::metrics).
+  const telemetry::Federation& federation() const { return fed_; }
+  /// The /cluster/metrics payload: per-group node snapshots plus the
+  /// weighted aggregate (telemetry::Federation::write_json).
+  std::string metrics_json() const;
+  /// The /cluster/attrib payload: each group's stall-attribution
+  /// rollup, weighted by the nodes it stands for.
+  std::string attrib_json() const;
+
 private:
+  /// One share-group's attribution rollup (stands for `weight` nodes).
+  struct NodeAttrib {
+    std::string name;
+    std::uint64_t weight = 1;
+    telemetry::AttributionTable::Rollup roll;
+  };
+
   ClusterConfig cfg_;
   std::unique_ptr<PlacementCoordinator> coord_;
   trace::Tracer tracer_;
   ClusterRunResult result_;
+  telemetry::Federation fed_;
+  std::vector<NodeAttrib> attribs_;
   bool ran_ = false;
 };
 

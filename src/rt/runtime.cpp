@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -125,6 +126,9 @@ Runtime::Runtime(Config cfg)
     mh_.run_q_depth = &metrics_->histogram(
         "hmr_run_queue_depth", "",
         "Ready-queue depth observed per PE wakeup");
+    telemetry::AttributionTable::Options ao;
+    ao.shards = static_cast<std::size_t>(cfg_.num_pes);
+    attrib_ = std::make_unique<telemetry::AttributionTable>(ao);
   }
   if (cfg_.metrics && cfg_.history_depth > 0) {
     history_ = std::make_unique<telemetry::HistoryBuffer>(
@@ -467,11 +471,15 @@ void Runtime::intercept_batch(int pe, std::vector<Msg>& msgs) {
       }
     }
     {
+      ReadyTask rt;
+      rt.id = id;
+      rt.body = std::move(msg.body);
+      rt.t_arrive = metrics_ ? now() : 0;
+      rt.tenant = msg.tenant;
+      rt.writes = std::move(writes);
       PendingShard& ps = pending_[static_cast<std::size_t>(pe)];
       std::lock_guard lk(ps.mu);
-      ps.map.emplace(id, ReadyTask{id, std::move(msg.body),
-                                   metrics_ ? now() : 0,
-                                   std::move(writes)});
+      ps.map.emplace(id, std::move(rt));
     }
     ooc::TaskDesc desc;
     desc.id = id;
@@ -497,7 +505,25 @@ void Runtime::run_ready_batch(int pe, std::vector<ReadyTask>& tasks) {
     // these blocks can be mid-migration until the completion event
     // below releases them.
     for (const mem::BlockId b : task.writes) mm_->mark_dirty(b);
-    tracer_.record(pe, trace::Category::Compute, ts, now(), task.id);
+    const double te = now();
+    tracer_.record(pe, trace::Category::Compute, ts, te, task.id);
+    if (attrib_) {
+      telemetry::TaskAttribution a;
+      a.task = task.id;
+      a.pe = pe;
+      a.tenant = task.tenant;
+      a.arrive = task.t_arrive;
+      a.start = ts;
+      a.end = te;
+      const double window = std::max(0.0, ts - a.arrive);
+      const double fetch =
+          std::clamp(task.t_ready - a.arrive, 0.0, window);
+      a.seconds[static_cast<int>(telemetry::Bucket::Compute)] = te - ts;
+      a.seconds[static_cast<int>(telemetry::Bucket::FetchWait)] = fetch;
+      a.seconds[static_cast<int>(telemetry::Bucket::QueueWait)] =
+          window - fetch;
+      attrib_->record(static_cast<std::size_t>(pe), a);
+    }
   }
   tasks_done_[static_cast<std::size_t>(pe)].v.fetch_add(
       tasks.size(), std::memory_order_relaxed);
@@ -718,6 +744,9 @@ void Runtime::process(std::vector<ooc::Command> cmds, int context_lane) {
           task = std::move(it->second);
           ps.map.erase(it);
         }
+        // Deps are resident from here; start - t_ready is pure run
+        // queue wait, t_ready - t_arrive is the fetch wait.
+        if (attrib_) task.t_ready = now();
         PeWorker& w = *pes_[static_cast<std::size_t>(c.pe)];
         std::lock_guard lk(w.mu);
         w.run_q.push_back(std::move(task));
@@ -936,6 +965,7 @@ void Runtime::wait_idle() {
 void Runtime::sample_metrics() {
   if (!metrics_) return;
   telemetry::export_policy_stats(*metrics_, policy_stats());
+  if (attrib_) attrib_->export_metrics(*metrics_);
   if (sharded_) {
     for (std::int32_t s = 0; s < sharded_->num_shards(); ++s) {
       telemetry::export_policy_stats(
@@ -1341,6 +1371,38 @@ void Runtime::start_introspection() {
       r.body = cfg_.cluster_json();
       return r;
     });
+    srv->route("/cluster/metrics", [this](const Request&) {
+      Response r;
+      if (!cfg_.cluster_metrics_json) {
+        r.status = 404;
+        r.body = "no federated metrics attached "
+                 "(Config::cluster_metrics_json unset)\n";
+        return r;
+      }
+      r.content_type = "application/json";
+      r.body = cfg_.cluster_metrics_json();
+      return r;
+    });
+    srv->route("/cluster/attrib", [this](const Request&) {
+      Response r;
+      if (!cfg_.cluster_attrib_json) {
+        r.status = 404;
+        r.body = "no federated attribution attached "
+                 "(Config::cluster_attrib_json unset)\n";
+        return r;
+      }
+      r.content_type = "application/json";
+      r.body = cfg_.cluster_attrib_json();
+      return r;
+    });
+    srv->route("/attrib", [this](const Request&) {
+      Response r;
+      r.content_type = "application/json";
+      std::ostringstream body;
+      attrib_->write_json(body); // serve_port forces metrics on
+      r.body = body.str();
+      return r;
+    });
     srv->route("/blocks", [this](const Request& rq) {
       Response r;
       if (!flight_) {
@@ -1396,9 +1458,13 @@ void Runtime::start_introspection() {
       if (const auto it = rq.query.find("window"); it != rq.query.end()) {
         char* end = nullptr;
         window = std::strtod(it->second.c_str(), &end);
-        if (end == it->second.c_str() || *end != '\0' || window < 0) {
+        // !isfinite catches "nan"/"inf", which strtod accepts.
+        if (end == it->second.c_str() || *end != '\0' ||
+            !std::isfinite(window) || window < 0) {
           r.status = 400;
-          r.body = "bad window (seconds): " + it->second + "\n";
+          r.body = "bad window (seconds): " + it->second +
+                   "\nusage: /history?metric=<name>&window=<finite "
+                   "seconds >= 0>\n";
           return r;
         }
       }

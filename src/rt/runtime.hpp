@@ -46,6 +46,7 @@
 #include "ooc/policy_engine.hpp"
 #include "rt/sharded_engine.hpp"
 #include "serve/tenant_engine.hpp"
+#include "telemetry/attrib.hpp"
 #include "telemetry/audit.hpp"
 #include "telemetry/decision_log.hpp"
 #include "telemetry/flight_recorder.hpp"
@@ -178,6 +179,12 @@ public:
     /// cluster::ClusterSim::to_json (or any JSON producer) after the
     /// sim has run.  Unset, the route answers 404.
     std::function<std::string()> cluster_json;
+    /// Same pattern for the federated cluster views: /cluster/metrics
+    /// (per-node + aggregate registry snapshots) and /cluster/attrib
+    /// (per-node stall attribution).  Wire in ClusterSim's
+    /// metrics_json / attrib_json after a run; unset = 404.
+    std::function<std::string()> cluster_metrics_json;
+    std::function<std::string()> cluster_attrib_json;
     /// Stall watchdog: a monitor thread that trips when outstanding
     /// work stops retiring (see telemetry::Watchdog).  Off by default
     /// so tests and benches stay byte-identical in output.
@@ -239,6 +246,14 @@ public:
   /// decision_log_depth).  Snapshot reads are safe from any thread.
   const telemetry::DecisionLog* decisions() const {
     return decisions_.get();
+  }
+
+  /// Per-task stall attribution (nullptr unless Config::metrics):
+  /// fetch-wait / queue-wait / compute per retired prefetch task,
+  /// rolled up per tenant and served via /attrib.  Sharded per PE;
+  /// read rollup() at quiescence for exact totals.
+  const telemetry::AttributionTable* attribution() const {
+    return attrib_.get();
   }
 
   // ---- data blocks ----
@@ -365,6 +380,8 @@ private:
     ooc::TaskId id;
     Body body;
     double t_arrive = 0; // interception time (metrics runs only)
+    double t_ready = 0;  // Run-command time: deps resident, queued
+    std::uint32_t tenant = 0;
     // Blocks this task declared writable (zero-copy runs only): their
     // shadows are invalidated right after the body executes.
     std::vector<mem::BlockId> writes;
@@ -506,6 +523,7 @@ private:
   std::unique_ptr<telemetry::BlockFlightRecorder> flight_;
   std::unique_ptr<telemetry::HistoryBuffer> history_;
   std::unique_ptr<telemetry::DecisionLog> decisions_;
+  std::unique_ptr<telemetry::AttributionTable> attrib_;
 
   // Live introspection: per-thread heartbeats (stamped each loop
   // wakeup; parked threads do not beat, the watchdog only reads them

@@ -87,6 +87,12 @@ SimExecutor::SimExecutor(SimConfig cfg)
     flight_ = std::make_unique<telemetry::BlockFlightRecorder>(
         cfg_.flight_depth);
   }
+  if (cfg_.attrib || cfg_.metrics) {
+    telemetry::AttributionTable::Options ao;
+    ao.shards = 1; // the DES is single-threaded
+    ao.keep_tasks = cfg_.attrib_keep_tasks;
+    attrib_ = std::make_unique<telemetry::AttributionTable>(ao);
+  }
   pes_.resize(static_cast<std::size_t>(cfg_.model.num_pes));
   agents_.resize(static_cast<std::size_t>(num_agents_));
   const auto& m = cfg_.model;
@@ -154,6 +160,15 @@ void SimExecutor::final_audit() {
   r.at_quiescence = true;
   r.violations = tenancy_ ? tenancy_->audit_invariants(true)
                           : engine_.audit_invariants(true);
+  if (attrib_) {
+    const auto roll = attrib_->rollup();
+    if (roll.sum_violations > 0) {
+      r.violations.push_back(
+          "attribution buckets fail to sum to wall time on " +
+          std::to_string(roll.sum_violations) + " tasks (worst rel err " +
+          std::to_string(roll.worst_rel_err) + ")");
+    }
+  }
   telemetry::check_audit(r);
 }
 
@@ -421,6 +436,9 @@ void SimExecutor::start_transfer(const ooc::Command& cmd,
              // writeonly_nocopy: the buffer exists, no bytes move.
              tracer_.record(trace_lane, trace::Category::Prefetch, t0, now_,
                             cmd.task == ooc::kInvalidTask ? 0 : cmd.task);
+             if (cmd.task != ooc::kInvalidTask) {
+               note_wait(cmd.task, t0, cmd);
+             }
              Lane& lane = on_worker ? pes_[lane_index] : agents_[lane_index];
              lane.busy = false;
              if (on_worker) result_.worker_transfer_seconds += now_ - t0;
@@ -485,6 +503,7 @@ void SimExecutor::finish_transfer(std::uint64_t flow_id) {
   if (const auto* rp = remote_path(ctx.cmd.src_tier, ctx.cmd.dst_tier)) {
     result_.remote_messages += rp->messages(bytes);
   }
+  if (cause != 0) note_wait(cause, ctx.t0, ctx.cmd);
   Lane& lane = ctx.on_worker ? pes_[ctx.lane_index] : agents_[ctx.lane_index];
   lane.busy = false;
   if (ctx.on_worker) result_.worker_transfer_seconds += now_ - ctx.t0;
@@ -504,10 +523,63 @@ void SimExecutor::finish_transfer(std::uint64_t flow_id) {
   }
 }
 
+/// Remember one migration the task caused; decomposed into stall
+/// buckets when the task retires.  Dedup'd fetches attribute to their
+/// causing task only — other tasks behind the same block count the
+/// time as queue wait.
+void SimExecutor::note_wait(ooc::TaskId cause, double t0,
+                            const ooc::Command& cmd) {
+  if (!attrib_) return;
+  telemetry::WaitSegment s;
+  s.t0 = t0;
+  s.t1 = now_;
+  s.src = cmd.src_tier;
+  s.dst = cmd.dst_tier;
+  s.remote = remote_path(cmd.src_tier, cmd.dst_tier) != nullptr;
+  s.evict = cmd.kind == ooc::Command::Kind::Evict;
+  s.block = cmd.block;
+  waits_[cause].push_back(s);
+}
+
 void SimExecutor::finish_task(ooc::TaskId id, std::size_t pe, double t_start,
                               double duration) {
   tracer_.record(static_cast<std::int32_t>(pe), trace::Category::Compute,
                  t_start, now_, id);
+  if (attrib_) {
+    telemetry::TaskAttribution a;
+    a.task = id;
+    a.pe = static_cast<std::int32_t>(pe);
+    a.phase = attrib_phase_;
+    const auto dit = descs_.find(id);
+    if (dit != descs_.end()) {
+      a.tenant = dit->second.tenant;
+      if (attrib_->keep_tasks() && !cfg_.cache_mode) {
+        // Residency at retirement == residency at launch: dependency
+        // pins keep the blocks in place while the task runs.
+        a.bytes_by_tier.assign(cfg_.model.tiers.size(), 0);
+        for (const auto& d : dit->second.deps) {
+          a.bytes_by_tier[engine_.block_tier(d.block)] +=
+              wl_->blocks()[d.block].bytes;
+        }
+        // Store what exec_duration fed the roofline (work_factor in).
+        for (auto& b : a.bytes_by_tier) {
+          b = static_cast<std::uint64_t>(static_cast<double>(b) *
+                                         dit->second.work_factor);
+        }
+      }
+    }
+    const auto ait = arrive_.find(id);
+    a.arrive = ait != arrive_.end() ? ait->second : t_start;
+    a.start = t_start;
+    a.end = now_;
+    std::vector<telemetry::WaitSegment> segs;
+    if (const auto wit = waits_.find(id); wit != waits_.end()) {
+      segs = std::move(wit->second);
+      waits_.erase(wit);
+    }
+    telemetry::decompose_wait(a, std::move(segs));
+    attrib_->record(0, a);
+  }
   result_.compute_lane_seconds += duration;
   ++result_.tasks_completed;
   pes_[pe].busy = false;
@@ -565,6 +637,7 @@ void SimExecutor::export_metrics() {
   if (!cfg_.metrics) return;
   telemetry::MetricsRegistry& reg = *cfg_.metrics;
   telemetry::export_policy_stats(reg, engine_.stats());
+  if (attrib_) attrib_->export_metrics(reg);
   if (tenancy_) tenancy_->export_metrics(reg);
   reg.counter("hmr_trace_events_dropped_total", "",
               "Trace intervals lost to ring overflow")
@@ -717,6 +790,7 @@ SimResult SimExecutor::run(const Workload& w) {
 
   for (int iter = 0; iter < w.iterations(); ++iter) {
     const double t_iter = now_;
+    attrib_phase_ = iter;
     for (auto& t : w.iteration_tasks(iter)) {
       arrive_[t.id] = now_;
       auto [it, ins] = descs_.emplace(t.id, std::move(t));

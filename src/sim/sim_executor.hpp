@@ -35,6 +35,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/transfer_channel.hpp"
 #include "sim/workload.hpp"
+#include "telemetry/attrib.hpp"
 #include "telemetry/decision_log.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/history.hpp"
@@ -96,6 +97,17 @@ struct SimConfig {
   /// advisor/governor decisions with their triggering inputs,
   /// timestamped in virtual seconds (0 disables).
   std::size_t decision_log_depth = 1024;
+
+  /// Per-task stall attribution (telemetry::AttributionTable): every
+  /// retired task's wall time decomposed into compute / fetch-wait /
+  /// queue-wait / remote-serialization / eviction-stall buckets with
+  /// per-phase, per-tenant, per-tier-pair and per-block rollups.  On
+  /// automatically whenever `metrics` is set (rollups are O(1) per
+  /// task); set this to force it on without a registry.
+  bool attrib = false;
+  /// Retain each task's full TaskAttribution record (bytes-by-tier
+  /// included) so the what-if estimator can re-cost individual tasks.
+  bool attrib_keep_tasks = false;
 
   /// Engine invariant audit at the end of run(): -1 = auto (on in
   /// debug / sanitizer builds, HMR_AUDIT env overrides), 0 = off,
@@ -212,6 +224,12 @@ public:
   /// decision_log_depth > 0).
   const telemetry::DecisionLog* decision_log() const {
     return decisions_.get();
+  }
+
+  /// Per-task stall attribution (nullptr unless SimConfig::attrib or
+  /// SimConfig::metrics).
+  const telemetry::AttributionTable* attribution() const {
+    return attrib_.get();
   }
 
   /// Multi-tenant serving decorator (nullptr unless SimConfig::serve
@@ -334,6 +352,13 @@ private:
   std::unique_ptr<telemetry::BlockFlightRecorder> flight_;
   std::unique_ptr<telemetry::HistoryBuffer> history_;
   std::unique_ptr<telemetry::DecisionLog> decisions_;
+  // Stall attribution: migrations a task caused, keyed by that task,
+  // consumed (decomposed into buckets) when the task retires.
+  std::unique_ptr<telemetry::AttributionTable> attrib_;
+  std::unordered_map<ooc::TaskId, std::vector<telemetry::WaitSegment>>
+      waits_;
+  std::int64_t attrib_phase_ = 0;
+  void note_wait(ooc::TaskId cause, double t0, const ooc::Command& cmd);
   void export_metrics();
 
   trace::Tracer tracer_;

@@ -1,0 +1,385 @@
+#include "telemetry/attrib.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/metrics.hpp"
+#include "util/check.hpp"
+
+namespace hmr::telemetry {
+
+const char* bucket_name(Bucket b) {
+  switch (b) {
+    case Bucket::Compute: return "compute";
+    case Bucket::FetchWait: return "fetch_wait";
+    case Bucket::QueueWait: return "queue_wait";
+    case Bucket::RemoteSerial: return "remote_serial";
+    case Bucket::EvictStall: return "evict_stall";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Minimal uncontended lock: each shard is written by one thread, read
+/// rarely (rollup / export), so a spinlock stays cheaper than a mutex
+/// on the record path.
+class SpinLock {
+ public:
+  void lock() {
+    while (f_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { f_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag f_ = ATOMIC_FLAG_INIT;
+};
+
+struct BucketAcc {
+  std::uint64_t tasks = 0;
+  double wall = 0;
+  double seconds[kBucketCount] = {0, 0, 0, 0, 0};
+
+  void add(const TaskAttribution& a) {
+    ++tasks;
+    wall += a.wall();
+    for (int i = 0; i < kBucketCount; ++i) seconds[i] += a.seconds[i];
+  }
+};
+
+void merge_pair(std::vector<TaskAttribution::PairSeconds>& dst,
+                std::uint32_t src, std::uint32_t d, double s) {
+  for (auto& p : dst) {
+    if (p.src == src && p.dst == d) {
+      p.seconds += s;
+      return;
+    }
+  }
+  dst.push_back({src, d, s});
+}
+
+} // namespace
+
+struct alignas(64) AttributionTable::Shard {
+  SpinLock mu;
+  BucketAcc total;
+  std::vector<BucketAcc> phases;   // indexed by phase (>= 0)
+  std::vector<BucketAcc> tenants;  // indexed by tenant id
+  std::vector<TaskAttribution::PairSeconds> pairs;
+  std::vector<double> block_seconds; // indexed by dense block id
+  std::vector<TaskAttribution> kept;
+  std::uint64_t sum_violations = 0;
+  double worst_rel_err = 0;
+};
+
+AttributionTable::AttributionTable(Options opt) : opt_(opt) {
+  HMR_CHECK(opt_.shards > 0);
+  shards_.reserve(opt_.shards);
+  for (std::size_t i = 0; i < opt_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+AttributionTable::~AttributionTable() = default;
+
+void AttributionTable::record(std::size_t shard, const TaskAttribution& a) {
+  Shard& s = *shards_[shard % shards_.size()];
+  std::lock_guard lk(s.mu);
+  s.total.add(a);
+  if (a.phase >= 0) {
+    const auto idx = static_cast<std::size_t>(a.phase);
+    if (idx >= s.phases.size()) s.phases.resize(idx + 1);
+    s.phases[idx].add(a);
+  }
+  {
+    const std::size_t t = a.tenant;
+    if (t >= s.tenants.size()) s.tenants.resize(t + 1);
+    s.tenants[t].add(a);
+  }
+  for (const auto& p : a.pairs) merge_pair(s.pairs, p.src, p.dst, p.seconds);
+  for (const auto& b : a.blocks) {
+    const auto idx = static_cast<std::size_t>(b.block);
+    if (idx >= s.block_seconds.size()) s.block_seconds.resize(idx + 1, 0.0);
+    s.block_seconds[idx] += b.seconds;
+  }
+  const double wall = a.wall();
+  if (wall > 0) {
+    const double err = std::abs(wall - a.bucket_sum()) / wall;
+    if (err > s.worst_rel_err) s.worst_rel_err = err;
+    if (err > kSumTolerance) ++s.sum_violations;
+  }
+  if (opt_.keep_tasks && s.kept.size() < opt_.max_kept / shards_.size() + 1) {
+    s.kept.push_back(a);
+  }
+}
+
+AttributionTable::Rollup AttributionTable::rollup() const {
+  Rollup r;
+  std::vector<BucketAcc> phases;
+  std::vector<BucketAcc> tenants;
+  std::vector<double> blocks;
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard lk(s.mu);
+    r.tasks += s.total.tasks;
+    r.wall += s.total.wall;
+    for (int i = 0; i < kBucketCount; ++i) {
+      r.seconds[i] += s.total.seconds[i];
+    }
+    if (s.phases.size() > phases.size()) phases.resize(s.phases.size());
+    for (std::size_t i = 0; i < s.phases.size(); ++i) {
+      const BucketAcc& a = s.phases[i];
+      phases[i].tasks += a.tasks;
+      phases[i].wall += a.wall;
+      for (int b = 0; b < kBucketCount; ++b) {
+        phases[i].seconds[b] += a.seconds[b];
+      }
+    }
+    if (s.tenants.size() > tenants.size()) tenants.resize(s.tenants.size());
+    for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+      const BucketAcc& a = s.tenants[i];
+      tenants[i].tasks += a.tasks;
+      tenants[i].wall += a.wall;
+      for (int b = 0; b < kBucketCount; ++b) {
+        tenants[i].seconds[b] += a.seconds[b];
+      }
+    }
+    for (const auto& p : s.pairs) {
+      merge_pair(r.pairs, p.src, p.dst, p.seconds);
+    }
+    if (s.block_seconds.size() > blocks.size()) {
+      blocks.resize(s.block_seconds.size(), 0.0);
+    }
+    for (std::size_t i = 0; i < s.block_seconds.size(); ++i) {
+      blocks[i] += s.block_seconds[i];
+    }
+    r.sum_violations += s.sum_violations;
+    r.worst_rel_err = std::max(r.worst_rel_err, s.worst_rel_err);
+  }
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (phases[i].tasks == 0) continue;
+    Rollup::PhaseRow row;
+    row.phase = static_cast<std::int64_t>(i);
+    row.tasks = phases[i].tasks;
+    row.wall = phases[i].wall;
+    for (int b = 0; b < kBucketCount; ++b) row.seconds[b] = phases[i].seconds[b];
+    r.phases.push_back(row);
+  }
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    if (tenants[i].tasks == 0) continue;
+    Rollup::TenantRow row;
+    row.tenant = static_cast<std::uint32_t>(i);
+    row.tasks = tenants[i].tasks;
+    row.wall = tenants[i].wall;
+    for (int b = 0; b < kBucketCount; ++b) {
+      row.seconds[b] = tenants[i].seconds[b];
+    }
+    r.tenants.push_back(row);
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i] > 0) r.blocks.push_back({i, blocks[i]});
+  }
+  std::sort(r.blocks.begin(), r.blocks.end(),
+            [](const Rollup::BlockRow& a, const Rollup::BlockRow& b) {
+              if (a.seconds != b.seconds) return a.seconds > b.seconds;
+              return a.block < b.block;
+            });
+  std::sort(r.pairs.begin(), r.pairs.end(),
+            [](const TaskAttribution::PairSeconds& a,
+               const TaskAttribution::PairSeconds& b) {
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  return r;
+}
+
+std::vector<TaskAttribution> AttributionTable::tasks() const {
+  std::vector<TaskAttribution> out;
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard lk(s.mu);
+    out.insert(out.end(), s.kept.begin(), s.kept.end());
+  }
+  return out;
+}
+
+namespace {
+
+std::uint64_t to_ns(double seconds) {
+  if (seconds <= 0) return 0;
+  return static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+} // namespace
+
+void AttributionTable::export_metrics(MetricsRegistry& reg) const {
+  const Rollup r = rollup();
+  reg.counter("hmr_attrib_tasks_total", "",
+              "tasks with a stall-accounting record")
+      .set(r.tasks);
+  for (int b = 0; b < kBucketCount; ++b) {
+    reg.counter("hmr_attrib_ns_total",
+                prom_label("bucket", bucket_name(static_cast<Bucket>(b))),
+                "per-bucket task wall time, virtual ns")
+        .set(to_ns(r.seconds[b]));
+  }
+  for (const auto& p : r.pairs) {
+    const std::string pair =
+        std::to_string(p.src) + "->" + std::to_string(p.dst);
+    reg.counter("hmr_attrib_wait_ns_total", prom_label("pair", pair),
+                "covered wait time per tier pair, virtual ns")
+        .set(to_ns(p.seconds));
+  }
+}
+
+namespace {
+
+void write_buckets(std::ostream& os, const double seconds[kBucketCount]) {
+  os << "{";
+  for (int b = 0; b < kBucketCount; ++b) {
+    if (b > 0) os << ",";
+    os << "\"" << bucket_name(static_cast<Bucket>(b)) << "\":" << seconds[b];
+  }
+  os << "}";
+}
+
+} // namespace
+
+void AttributionTable::write_rollup_json(std::ostream& os, const Rollup& r,
+                                         std::size_t top_blocks) {
+  os << "{\"tasks\":" << r.tasks << ",\"wall_s\":" << r.wall
+     << ",\"buckets\":";
+  write_buckets(os, r.seconds);
+  os << ",\"phases\":[";
+  for (std::size_t i = 0; i < r.phases.size(); ++i) {
+    if (i > 0) os << ",";
+    const auto& p = r.phases[i];
+    os << "{\"phase\":" << p.phase << ",\"tasks\":" << p.tasks
+       << ",\"wall_s\":" << p.wall << ",\"buckets\":";
+    write_buckets(os, p.seconds);
+    os << "}";
+  }
+  os << "],\"tenants\":[";
+  for (std::size_t i = 0; i < r.tenants.size(); ++i) {
+    if (i > 0) os << ",";
+    const auto& t = r.tenants[i];
+    os << "{\"tenant\":" << t.tenant << ",\"tasks\":" << t.tasks
+       << ",\"wall_s\":" << t.wall << ",\"buckets\":";
+    write_buckets(os, t.seconds);
+    os << "}";
+  }
+  os << "],\"tier_pairs\":[";
+  for (std::size_t i = 0; i < r.pairs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"src_tier\":" << r.pairs[i].src
+       << ",\"dst_tier\":" << r.pairs[i].dst
+       << ",\"seconds\":" << r.pairs[i].seconds << "}";
+  }
+  os << "],\"top_blocks\":[";
+  const std::size_t n = std::min(top_blocks, r.blocks.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) os << ",";
+    os << "{\"block\":" << r.blocks[i].block
+       << ",\"seconds\":" << r.blocks[i].seconds << "}";
+  }
+  os << "],\"audit\":{\"sum_violations\":" << r.sum_violations
+     << ",\"worst_rel_err\":" << r.worst_rel_err << "}}";
+}
+
+void AttributionTable::write_json(std::ostream& os,
+                                  std::size_t top_blocks) const {
+  write_rollup_json(os, rollup(), top_blocks);
+  os << "\n";
+}
+
+namespace {
+
+using Seg = std::pair<double, double>;
+
+/// Merge overlapping/touching segments in place; returns covered length.
+double merge_segments(std::vector<Seg>& v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  std::vector<Seg> out;
+  out.push_back(v.front());
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i].first <= out.back().second) {
+      out.back().second = std::max(out.back().second, v[i].second);
+    } else {
+      out.push_back(v[i]);
+    }
+  }
+  v = std::move(out);
+  double len = 0;
+  for (const Seg& s : v) len += s.second - s.first;
+  return len;
+}
+
+} // namespace
+
+void decompose_wait(TaskAttribution& a, std::vector<WaitSegment> segs) {
+  const double w0 = a.arrive;
+  const double w1 = a.start;
+  a.seconds[static_cast<int>(Bucket::Compute)] = a.end - a.start;
+
+  std::vector<Seg> remote;
+  std::vector<Seg> fetch; // remote + local: fetch coverage as a whole
+  std::vector<Seg> all;   // + evictions
+  std::vector<std::pair<std::uint64_t, std::vector<Seg>>> by_pair;
+  std::vector<std::pair<std::uint64_t, std::vector<Seg>>> by_block;
+  for (WaitSegment& s : segs) {
+    const double t0 = std::max(s.t0, w0);
+    const double t1 = std::min(s.t1, w1);
+    if (t1 <= t0) continue;
+    const Seg seg{t0, t1};
+    if (!s.evict) {
+      if (s.remote) remote.push_back(seg);
+      fetch.push_back(seg);
+    }
+    all.push_back(seg);
+    const std::uint64_t pk =
+        (static_cast<std::uint64_t>(s.src) << 32) | s.dst;
+    auto pit = std::find_if(by_pair.begin(), by_pair.end(),
+                            [&](const auto& p) { return p.first == pk; });
+    if (pit == by_pair.end()) {
+      by_pair.push_back({pk, {seg}});
+    } else {
+      pit->second.push_back(seg);
+    }
+    auto bit = std::find_if(by_block.begin(), by_block.end(),
+                            [&](const auto& p) { return p.first == s.block; });
+    if (bit == by_block.end()) {
+      by_block.push_back({s.block, {seg}});
+    } else {
+      bit->second.push_back(seg);
+    }
+  }
+
+  const double remote_len = merge_segments(remote);
+  // Fetch coverage includes the remote segments, so local-only fetch
+  // wait is the difference — the two buckets cannot double-count.
+  const double fetch_len = merge_segments(fetch);
+  const double all_len = merge_segments(all);
+  const double window = std::max(0.0, w1 - w0);
+  a.seconds[static_cast<int>(Bucket::RemoteSerial)] = remote_len;
+  a.seconds[static_cast<int>(Bucket::FetchWait)] =
+      std::max(0.0, fetch_len - remote_len);
+  a.seconds[static_cast<int>(Bucket::EvictStall)] =
+      std::max(0.0, all_len - fetch_len);
+  a.seconds[static_cast<int>(Bucket::QueueWait)] =
+      std::max(0.0, window - all_len);
+
+  for (auto& [pk, v] : by_pair) {
+    const double len = merge_segments(v);
+    if (len <= 0) continue;
+    a.pairs.push_back({static_cast<std::uint32_t>(pk >> 32),
+                       static_cast<std::uint32_t>(pk & 0xffffffffu), len});
+  }
+  for (auto& [block, v] : by_block) {
+    const double len = merge_segments(v);
+    if (len > 0) a.blocks.push_back({block, len});
+  }
+}
+
+} // namespace hmr::telemetry

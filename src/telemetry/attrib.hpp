@@ -1,0 +1,216 @@
+#pragma once
+// AttributionTable: per-task wall-time stall accounting.
+//
+// Every retired task's wall time (arrive -> finish) is decomposed into
+// five disjoint buckets:
+//
+//   compute       - the task body itself (start -> end)
+//   fetch_wait    - pre-start time covered by local fetches of the
+//                   task's dependency blocks
+//   remote_serial - pre-start time covered by fetches over a Remote
+//                   (disaggregated) tier path: network serialization
+//   evict_stall   - pre-start time covered by evictions this task's
+//                   admission forced (and nothing was fetching)
+//   queue_wait    - the remainder: the task was runnable-or-blocked
+//                   with no migration of its own in flight (queue
+//                   depth, PE contention, scheduler latency)
+//
+// Buckets are disjoint by construction (coverage priority: remote >
+// fetch > evict; queue is the remainder clamped at zero), so per task
+//   sum(buckets) == wall within floating-point error — that identity
+// is the audit invariant checked at quiescence under HMR_AUDIT=1.
+//
+// Rollups: totals, per-phase (iteration), per-tenant, per-tier-pair
+// (which channel the covered wait was spent on) and per-block (which
+// block's fetch the task sat behind).  The table is sharded so each
+// PE records into its own cache line; record() is a handful of
+// indexed adds behind an uncontended spinlock (see BM_AttribRecord,
+// target <= 30 ns/task on top of the 22 ns trace record).
+//
+// "Heterogeneous Memory Pool Tuning" (arXiv 2505.14294) motivates the
+// layer: lightweight measurement-driven attribution is enough to tune
+// heterogeneous pools — this is that measurement surface, and the
+// critical-path analyzer (critpath.hpp) consumes the same records for
+// its what-if re-costing.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hmr::telemetry {
+
+class MetricsRegistry;
+
+enum class Bucket : int {
+  Compute = 0,
+  FetchWait,
+  QueueWait,
+  RemoteSerial,
+  EvictStall,
+};
+inline constexpr int kBucketCount = 5;
+
+/// Stable snake_case bucket name ("compute", "fetch_wait", ...) used
+/// in JSON, metric labels and docs.
+const char* bucket_name(Bucket b);
+
+/// One retired task's decomposition.  `seconds` are the five buckets
+/// (indexed by Bucket); executors fill them so they sum to
+/// end - arrive exactly (QueueWait is the remainder).
+struct TaskAttribution {
+  std::uint64_t task = 0;
+  std::int32_t pe = -1;
+  std::uint32_t tenant = 0;
+  std::int64_t phase = -1; // iteration index; -1 = outside any phase
+  double arrive = 0;
+  double start = 0;
+  double end = 0;
+  double seconds[kBucketCount] = {0, 0, 0, 0, 0};
+
+  /// Wait seconds attributed to one ordered tier pair (the channel a
+  /// covering fetch ran on).  Informative: pair coverage may overlap
+  /// across pairs, so pair seconds are not required to sum to a bucket.
+  struct PairSeconds {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    double seconds = 0;
+  };
+  std::vector<PairSeconds> pairs;
+
+  /// Wait seconds attributed to individual dependency blocks.
+  struct BlockSeconds {
+    std::uint64_t block = 0;
+    double seconds = 0;
+  };
+  std::vector<BlockSeconds> blocks;
+
+  /// Bytes the task streamed per tier during compute (executor's
+  /// placement at launch).  Feeds the what-if compute re-costing; may
+  /// be empty when the executor does not track placement.
+  std::vector<std::uint64_t> bytes_by_tier;
+
+  double wall() const { return end - arrive; }
+  double bucket_sum() const {
+    double s = 0;
+    for (double v : seconds) s += v;
+    return s;
+  }
+};
+
+class AttributionTable {
+ public:
+  struct Options {
+    /// Number of independent accumulators; writers pass their shard
+    /// index to record().  One per PE removes cross-thread contention.
+    std::size_t shards = 1;
+    /// Retain every TaskAttribution record (bounded by max_kept) so
+    /// the what-if estimator can re-cost individual tasks.  Off by
+    /// default: rollups alone are O(1) per task.
+    bool keep_tasks = false;
+    std::size_t max_kept = 1u << 20;
+  };
+
+  AttributionTable() : AttributionTable(Options{}) {}
+  explicit AttributionTable(Options opt);
+  ~AttributionTable();
+
+  AttributionTable(const AttributionTable&) = delete;
+  AttributionTable& operator=(const AttributionTable&) = delete;
+
+  std::size_t shards() const { return shards_.size(); }
+  bool keep_tasks() const { return opt_.keep_tasks; }
+
+  /// Record one retired task.  Thread-safe per shard (each shard has
+  /// its own spinlock; concurrent writers should use distinct shards).
+  void record(std::size_t shard, const TaskAttribution& a);
+
+  /// Merged view of every shard.
+  struct Rollup {
+    std::uint64_t tasks = 0;
+    double wall = 0;
+    double seconds[kBucketCount] = {0, 0, 0, 0, 0};
+
+    struct PhaseRow {
+      std::int64_t phase = -1;
+      std::uint64_t tasks = 0;
+      double wall = 0;
+      double seconds[kBucketCount] = {0, 0, 0, 0, 0};
+    };
+    std::vector<PhaseRow> phases; // sorted by phase
+
+    struct TenantRow {
+      std::uint32_t tenant = 0;
+      std::uint64_t tasks = 0;
+      double wall = 0;
+      double seconds[kBucketCount] = {0, 0, 0, 0, 0};
+    };
+    std::vector<TenantRow> tenants; // sorted by tenant; only nonzero
+
+    std::vector<TaskAttribution::PairSeconds> pairs; // sorted (src,dst)
+
+    struct BlockRow {
+      std::uint64_t block = 0;
+      double seconds = 0;
+    };
+    /// Blocks by descending wait seconds, zero rows omitted.
+    std::vector<BlockRow> blocks;
+
+    /// Audit: tasks whose buckets failed to sum to wall within
+    /// tolerance (1%), and the worst relative error observed.
+    std::uint64_t sum_violations = 0;
+    double worst_rel_err = 0;
+  };
+  Rollup rollup() const;
+
+  /// Kept task records (empty unless Options::keep_tasks).
+  std::vector<TaskAttribution> tasks() const;
+
+  /// Relative |wall - sum(buckets)| / wall a record may carry before
+  /// it counts as a sum violation (the 1% acceptance bound).
+  static constexpr double kSumTolerance = 0.01;
+
+  /// Mirror the rollup into cumulative registry counters:
+  ///   hmr_attrib_tasks_total
+  ///   hmr_attrib_ns_total{bucket="..."}
+  ///   hmr_attrib_wait_ns_total{pair="s->d"}
+  /// Times are virtual nanoseconds (counters are integers).
+  void export_metrics(MetricsRegistry& reg) const;
+
+  /// The /attrib route body: rollup as one JSON object.
+  void write_json(std::ostream& os, std::size_t top_blocks = 10) const;
+  static void write_rollup_json(std::ostream& os, const Rollup& r,
+                                std::size_t top_blocks = 10);
+
+ private:
+  struct Shard;
+
+  Options opt_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// One migration the executor observed while a task waited: a fetch of
+/// a dependency block (evict == false) or an eviction the task's
+/// admission forced (evict == true).
+struct WaitSegment {
+  double t0 = 0;
+  double t1 = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  bool remote = false;
+  bool evict = false;
+  std::uint64_t block = 0;
+};
+
+/// Fill `a.seconds`, `a.pairs` and `a.blocks` from the observed
+/// segments.  `a.arrive/start/end` must already be set.  Segments are
+/// clipped to the wait window [arrive, start] and their unions taken
+/// with priority remote > fetch > evict; the uncovered remainder is
+/// QueueWait and Compute is end - start, so the five buckets sum to
+/// wall exactly.  Per-pair and per-block attributions are each that
+/// key's own merged coverage (they may overlap across keys).
+void decompose_wait(TaskAttribution& a, std::vector<WaitSegment> segs);
+
+} // namespace hmr::telemetry

@@ -1,0 +1,360 @@
+#include "telemetry/critpath.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hmr::telemetry {
+
+namespace {
+
+using trace::Category;
+using trace::Interval;
+
+constexpr double kEps = 1e-12;
+constexpr std::uint64_t kSmallTransfer = 64ull << 10;
+
+bool task_bound(const Interval& iv) {
+  return iv.task != 0 && iv.task != ~0ull;
+}
+
+bool is_migration(const Interval& iv) {
+  return iv.bytes > 0 && iv.src_tier != iv.dst_tier;
+}
+
+/// Latest-ending unused interval in `v` (indices sorted by end
+/// ascending) with end <= t + eps; -1 when none.
+int latest_before(const std::vector<int>& v,
+                  const std::vector<Interval>& ivs,
+                  const std::vector<char>& used, double t) {
+  auto it = std::upper_bound(
+      v.begin(), v.end(), t + kEps,
+      [&](double val, int i) { return val < ivs[static_cast<std::size_t>(i)].end; });
+  while (it != v.begin()) {
+    --it;
+    if (!used[static_cast<std::size_t>(*it)]) return *it;
+  }
+  return -1;
+}
+
+} // namespace
+
+CritPath critical_path(const std::vector<Interval>& all) {
+  CritPath cp;
+  // Idle intervals are explicit gap filler (fill_idle); drop them so
+  // the chain walks over work, not its absence.
+  std::vector<Interval> ivs;
+  ivs.reserve(all.size());
+  for (const Interval& iv : all) {
+    if (iv.cat == Category::Idle) continue;
+    if (iv.end < iv.start) continue;
+    ivs.push_back(iv);
+  }
+  if (ivs.empty()) return cp;
+
+  cp.t0 = ivs.front().start;
+  cp.t1 = ivs.front().end;
+  for (const Interval& iv : ivs) {
+    cp.t0 = std::min(cp.t0, iv.start);
+    cp.t1 = std::max(cp.t1, iv.end);
+  }
+
+  const std::size_t n = ivs.size();
+  std::vector<int> by_end(n);
+  for (std::size_t i = 0; i < n; ++i) by_end[i] = static_cast<int>(i);
+  std::sort(by_end.begin(), by_end.end(), [&](int a, int b) {
+    const auto& ia = ivs[static_cast<std::size_t>(a)];
+    const auto& ib = ivs[static_cast<std::size_t>(b)];
+    if (ia.end != ib.end) return ia.end < ib.end;
+    return ia.start < ib.start;
+  });
+
+  std::unordered_map<std::uint64_t, std::vector<int>> by_task;
+  std::unordered_map<std::int32_t, std::vector<int>> by_lane;
+  for (int i : by_end) {
+    const Interval& iv = ivs[static_cast<std::size_t>(i)];
+    if (task_bound(iv)) by_task[iv.task].push_back(i);
+    by_lane[iv.lane].push_back(i);
+  }
+
+  std::vector<char> used(n, 0);
+  std::vector<CritStep> rev;
+  int cur = by_end.back();
+  while (cur >= 0 && rev.size() <= n) {
+    used[static_cast<std::size_t>(cur)] = 1;
+    CritStep step;
+    step.iv = ivs[static_cast<std::size_t>(cur)];
+    const double t = step.iv.start;
+
+    int pred = -1;
+    CritStep::Link link = CritStep::Link::Root;
+    if (task_bound(step.iv)) {
+      pred = latest_before(by_task[step.iv.task], ivs, used, t);
+      if (pred >= 0) link = CritStep::Link::SameTask;
+    }
+    const int lane_pred = latest_before(by_lane[step.iv.lane], ivs, used, t);
+    if (lane_pred >= 0 &&
+        (pred < 0 || ivs[static_cast<std::size_t>(lane_pred)].end >
+                         ivs[static_cast<std::size_t>(pred)].end)) {
+      pred = lane_pred;
+      link = CritStep::Link::SameLane;
+    }
+    if (pred < 0) {
+      pred = latest_before(by_end, ivs, used, t);
+      if (pred >= 0) link = CritStep::Link::Jump;
+    }
+
+    if (pred >= 0) {
+      step.link = link;
+      step.gap_before =
+          std::max(0.0, t - ivs[static_cast<std::size_t>(pred)].end);
+    } else {
+      step.link = CritStep::Link::Root;
+      step.gap_before = 0;
+    }
+    rev.push_back(step);
+    cur = pred;
+  }
+  std::reverse(rev.begin(), rev.end());
+  cp.steps = std::move(rev);
+
+  for (const CritStep& s : cp.steps) {
+    const double dur = s.iv.end - s.iv.start;
+    cp.step_seconds += dur;
+    cp.gap_seconds += s.gap_before;
+    cp.cat_seconds[static_cast<int>(s.iv.cat)] += dur;
+    if (is_migration(s.iv)) {
+      auto it = std::find_if(cp.pairs.begin(), cp.pairs.end(),
+                             [&](const CritPath::PairSeconds& p) {
+                               return p.src == s.iv.src_tier &&
+                                      p.dst == s.iv.dst_tier;
+                             });
+      if (it == cp.pairs.end()) {
+        cp.pairs.push_back({s.iv.src_tier, s.iv.dst_tier, 0, 0, 0});
+        it = cp.pairs.end() - 1;
+      }
+      it->seconds += dur;
+      it->bytes += s.iv.bytes;
+      ++it->count;
+    }
+  }
+  std::sort(cp.pairs.begin(), cp.pairs.end(),
+            [](const CritPath::PairSeconds& a, const CritPath::PairSeconds& b) {
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  if (!cp.steps.empty()) {
+    cp.lead_seconds = std::max(0.0, cp.steps.front().iv.start - cp.t0);
+  }
+  return cp;
+}
+
+// ---------------------------------------------------------------- verdict
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::ComputeBound: return "compute-bound";
+    case Verdict::BandwidthBound: return "bandwidth-bound";
+    case Verdict::LatencyBound: return "latency-bound";
+    case Verdict::MessageRateBound: return "message-rate-bound";
+    case Verdict::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string pair_label(std::uint32_t src, std::uint32_t dst,
+                       const hw::MachineModel* model) {
+  auto name = [&](std::uint32_t t) {
+    if (model != nullptr && t < model->tiers.size() &&
+        !model->tiers[t].name.empty()) {
+      return model->tiers[t].name;
+    }
+    return "tier" + std::to_string(t);
+  };
+  return name(src) + "->" + name(dst);
+}
+
+} // namespace
+
+VerdictReport classify(
+    const CritPath& cp, const hw::MachineModel* model,
+    const std::unordered_map<std::uint32_t, ooc::RemoteTierParams>* remote) {
+  VerdictReport r;
+  const double m = cp.makespan();
+  if (m <= 0 || cp.steps.empty()) {
+    r.reason = "empty trace";
+    return r;
+  }
+  const double compute = cp.cat_seconds[static_cast<int>(Category::Compute)];
+  const double migrate = cp.cat_seconds[static_cast<int>(Category::Prefetch)] +
+                         cp.cat_seconds[static_cast<int>(Category::Evict)];
+  r.compute_frac = compute / m;
+  r.migrate_frac = migrate / m;
+  r.gap_frac = (cp.gap_seconds + cp.lead_seconds) / m;
+
+  for (const CritStep& s : cp.steps) {
+    if (!is_migration(s.iv)) continue;
+    const double dur = s.iv.end - s.iv.start;
+    if (model != nullptr && s.iv.src_tier < model->tiers.size() &&
+        s.iv.dst_tier < model->tiers.size()) {
+      const hw::MemoryTier& st = model->tiers[s.iv.src_tier];
+      const hw::MemoryTier& dt = model->tiers[s.iv.dst_tier];
+      const bool is_remote = st.remote || dt.remote;
+      const std::uint32_t remote_id =
+          st.remote ? s.iv.src_tier : s.iv.dst_tier;
+      const ooc::RemoteTierParams* rp = nullptr;
+      if (is_remote && remote != nullptr) {
+        auto it = remote->find(remote_id);
+        if (it != remote->end()) rp = &it->second;
+      }
+      double overhead = model->alloc_overhead;
+      if (is_remote) {
+        overhead +=
+            rp != nullptr ? rp->latency : model->tiers[remote_id].latency;
+      }
+      const double serial = std::max(0.0, dur - overhead);
+      r.latency_seconds += std::min(dur, overhead);
+      if (rp != nullptr) {
+        const double t_bw = static_cast<double>(s.iv.bytes) / rp->bandwidth;
+        const double t_msg =
+            static_cast<double>(rp->messages(s.iv.bytes)) / rp->msg_rate;
+        if (t_msg > t_bw) {
+          r.msgrate_seconds += serial;
+        } else {
+          r.bandwidth_seconds += serial;
+        }
+      } else if (is_remote && s.iv.bytes < kSmallTransfer) {
+        r.msgrate_seconds += serial;
+      } else {
+        r.bandwidth_seconds += serial;
+      }
+    } else if (s.iv.bytes < kSmallTransfer) {
+      r.latency_seconds += dur;
+    } else {
+      r.bandwidth_seconds += dur;
+    }
+  }
+
+  const CritPath::PairSeconds* top = nullptr;
+  for (const auto& p : cp.pairs) {
+    if (top == nullptr || p.seconds > top->seconds) top = &p;
+  }
+
+  if (compute >= 0.5 * m) {
+    r.verdict = Verdict::ComputeBound;
+    r.reason = "compute covers " +
+               std::to_string(static_cast<int>(r.compute_frac * 100)) +
+               "% of the critical path";
+    return r;
+  }
+  if (r.bandwidth_seconds >= r.latency_seconds &&
+      r.bandwidth_seconds >= r.msgrate_seconds && r.bandwidth_seconds > 0) {
+    r.verdict = Verdict::BandwidthBound;
+  } else if (r.msgrate_seconds >= r.latency_seconds &&
+             r.msgrate_seconds > 0) {
+    r.verdict = Verdict::MessageRateBound;
+  } else if (r.latency_seconds > 0) {
+    r.verdict = Verdict::LatencyBound;
+  } else if (compute > 0) {
+    // No migrations on the path at all: whatever compute there is
+    // carries the run.
+    r.verdict = Verdict::ComputeBound;
+    r.reason = "no data movement on the critical path";
+    return r;
+  } else {
+    r.verdict = Verdict::Unknown;
+    r.reason = "no compute or migration steps on the critical path";
+    return r;
+  }
+  r.reason = std::string(verdict_name(r.verdict)) + ": migrations cover " +
+             std::to_string(static_cast<int>(r.migrate_frac * 100)) +
+             "% of the critical path";
+  if (top != nullptr) {
+    r.reason += ", dominated by " + pair_label(top->src, top->dst, model);
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------- what-if
+
+hw::MachineModel apply_delta(hw::MachineModel m, const HwDelta& d) {
+  HMR_CHECK(d.fast_bw_scale > 0 && d.compute_scale > 0 &&
+            d.remote_bw_scale > 0 && d.remote_latency_scale > 0);
+  if (m.fast < m.tiers.size()) {
+    m.tiers[m.fast].read_bw *= d.fast_bw_scale;
+    m.tiers[m.fast].write_bw *= d.fast_bw_scale;
+  }
+  for (const auto& [tier, scale] : d.tier_bw_scale) {
+    HMR_CHECK(scale > 0);
+    if (tier < m.tiers.size()) {
+      m.tiers[tier].read_bw *= scale;
+      m.tiers[tier].write_bw *= scale;
+    }
+  }
+  m.compute_bw_per_pe *= d.compute_scale;
+  for (auto& t : m.tiers) {
+    if (!t.remote) continue;
+    t.read_bw *= d.remote_bw_scale;
+    t.write_bw *= d.remote_bw_scale;
+    t.latency *= d.remote_latency_scale;
+  }
+  return m;
+}
+
+WhatIfResult whatif(
+    const CritPath& cp, const hw::MachineModel& base, const HwDelta& delta,
+    const std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>*
+        task_bytes) {
+  WhatIfResult r;
+  r.base_seconds = cp.makespan();
+  if (r.base_seconds <= 0) return r;
+  const hw::MachineModel mod = apply_delta(base, delta);
+
+  double pred = cp.lead_seconds;
+  for (const CritStep& s : cp.steps) {
+    pred += s.gap_before;
+    const double dur = s.iv.end - s.iv.start;
+    double ndur = dur;
+    if (is_migration(s.iv) && s.iv.src_tier < base.tiers.size() &&
+        s.iv.dst_tier < base.tiers.size()) {
+      const bool is_remote = base.tiers[s.iv.src_tier].remote ||
+                             base.tiers[s.iv.dst_tier].remote;
+      const std::uint32_t remote_id = base.tiers[s.iv.src_tier].remote
+                                          ? s.iv.src_tier
+                                          : s.iv.dst_tier;
+      const double over_old =
+          base.alloc_overhead +
+          (is_remote ? base.tiers[remote_id].latency : 0.0);
+      const double over_new =
+          mod.alloc_overhead + (is_remote ? mod.tiers[remote_id].latency : 0.0);
+      const double rate_old = base.channel_capacity(s.iv.src_tier, s.iv.dst_tier);
+      const double rate_new = mod.channel_capacity(s.iv.src_tier, s.iv.dst_tier);
+      const double serial = std::max(0.0, dur - over_old);
+      if (rate_old > 0 && rate_new > 0) {
+        ndur = over_new + serial * (rate_old / rate_new);
+      }
+    } else if (s.iv.cat == Category::Compute) {
+      const std::vector<std::uint64_t>* by = nullptr;
+      if (task_bytes != nullptr && task_bound(s.iv)) {
+        auto it = task_bytes->find(s.iv.task);
+        if (it != task_bytes->end() && !it->second.empty()) by = &it->second;
+      }
+      if (by != nullptr) {
+        const double t_old = base.compute_time(*by, base.num_pes);
+        const double t_new = mod.compute_time(*by, mod.num_pes);
+        if (t_old > 0) ndur = dur * (t_new / t_old);
+      } else if (delta.compute_scale != 1.0) {
+        ndur = dur / delta.compute_scale;
+      }
+    }
+    pred += ndur;
+  }
+  r.predicted_seconds = pred;
+  r.speedup = pred > 0 ? r.base_seconds / pred : 0;
+  return r;
+}
+
+} // namespace hmr::telemetry

@@ -1,0 +1,160 @@
+#pragma once
+// Critical-path analysis over trace intervals, phase verdicts, and the
+// what-if hardware estimator.
+//
+// The tracer already records the causal fetch -> execute -> evict
+// chains (the Perfetto flow arrows of docs/OBSERVABILITY.md §5); this
+// module walks the same intervals backwards from the last-finishing
+// one to extract the longest dependency chain of a run:
+//
+//   * a step's predecessor is the latest-ending interval that ends at
+//     or before the step starts, preferring (1) an interval of the
+//     same task (the fetch that fed this compute, the compute that
+//     produced this evict), then (2) the previous occupant of the same
+//     lane (resource dependence), then (3) any interval (a "jump" —
+//     the machine was busy elsewhere; kept so the path still spans the
+//     makespan);
+//   * time not inside any step is recorded as gap (scheduler idle on
+//     the chain).
+//
+// The per-category and per-tier-pair composition of the path feeds a
+// phase verdict — bandwidth-bound / latency-bound / message-rate-bound
+// / compute-bound, the classification arXiv 1704.08273 shows is the
+// prerequisite for placement decisions — and the what-if estimator
+// re-costs each step under a hypothetical hardware delta (2x HBM
+// bandwidth, halved remote latency, ...) to predict speedup.  The
+// estimator is validated in ctest by actually re-running the sim with
+// the modified MachineModel (bench/abl_tier_cascade.cpp --check).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/machine_model.hpp"
+#include "ooc/types.hpp"
+#include "trace/tracer.hpp"
+
+namespace hmr::telemetry {
+
+struct CritStep {
+  trace::Interval iv;
+  /// Idle time between the predecessor's end and this interval's
+  /// start (0 for the root step).
+  double gap_before = 0;
+  enum class Link : std::uint8_t { Root, SameTask, SameLane, Jump };
+  Link link = Link::Root;
+};
+
+struct CritPath {
+  /// Trace extent: earliest start / latest end over *all* intervals.
+  double t0 = 0;
+  double t1 = 0;
+  double makespan() const { return t1 - t0; }
+
+  std::vector<CritStep> steps; // chronological order
+  double step_seconds = 0;     // sum of step durations
+  double gap_seconds = 0;      // sum of gaps inside the path
+  /// Lead time between t0 and the first step's start (work before the
+  /// chain's root; usually ~0).
+  double lead_seconds = 0;
+
+  /// Step durations summed per trace category (indexed by
+  /// trace::Category).
+  double cat_seconds[6] = {0, 0, 0, 0, 0, 0};
+
+  struct PairSeconds {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    double seconds = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t count = 0;
+  };
+  /// Migration steps on the path grouped by ordered tier pair.
+  std::vector<PairSeconds> pairs; // sorted by (src, dst)
+
+  /// Fraction of the makespan the chain accounts for (steps + gaps +
+  /// lead cover it exactly by construction).
+  double step_coverage() const {
+    const double m = makespan();
+    return m > 0 ? step_seconds / m : 0;
+  }
+};
+
+/// Extract the critical path.  Idle intervals are ignored (they are
+/// explicit gap filler); an empty interval set yields an empty path.
+CritPath critical_path(const std::vector<trace::Interval>& ivs);
+
+// ---------------------------------------------------------------- verdict
+
+enum class Verdict : int {
+  ComputeBound = 0,
+  BandwidthBound,
+  LatencyBound,
+  MessageRateBound,
+  Unknown,
+};
+const char* verdict_name(Verdict v);
+
+struct VerdictReport {
+  Verdict verdict = Verdict::Unknown;
+  /// Path composition as fractions of the makespan.
+  double compute_frac = 0;
+  double migrate_frac = 0;
+  double gap_frac = 0;
+  /// Decomposition of migration step time into its limiting terms.
+  double bandwidth_seconds = 0;
+  double latency_seconds = 0;
+  double msgrate_seconds = 0;
+  std::string reason; // one human-readable sentence
+};
+
+/// Classify the path.  With a model, migration steps are split into
+/// per-transfer overhead (alloc + remote latency), message-rate and
+/// bandwidth terms analytically (`remote` maps a remote tier id to its
+/// network cost parameters for the message-rate term); without one, a
+/// byte-count heuristic is used (transfers under 64 KiB count as
+/// latency-dominated).  Compute wins when it covers >= half the
+/// makespan.
+VerdictReport classify(
+    const CritPath& cp, const hw::MachineModel* model = nullptr,
+    const std::unordered_map<std::uint32_t, ooc::RemoteTierParams>* remote =
+        nullptr);
+
+// ---------------------------------------------------------------- what-if
+
+/// A hypothetical hardware change, applied multiplicatively to a
+/// MachineModel copy.  1.0 everywhere = no change.
+struct HwDelta {
+  std::string name;          // label for reports ("2x fast bw", ...)
+  double fast_bw_scale = 1;  // model.fast tier read+write bandwidth
+  std::vector<std::pair<std::uint32_t, double>> tier_bw_scale;
+  double compute_scale = 1;        // compute_bw_per_pe
+  double remote_bw_scale = 1;      // every tier flagged remote
+  double remote_latency_scale = 1; // remote tier latency
+};
+
+hw::MachineModel apply_delta(hw::MachineModel m, const HwDelta& d);
+
+struct WhatIfResult {
+  double base_seconds = 0;      // observed makespan
+  double predicted_seconds = 0; // re-costed makespan under the delta
+  double speedup = 0;           // base / predicted
+};
+
+/// Re-cost the critical path under `delta`:
+///   * migration steps scale their serialization portion (duration
+///     minus alloc overhead and channel latency) by the ratio of old
+///     to new channel capacity for that tier pair;
+///   * compute steps scale by the model compute-time ratio when the
+///     task's bytes_by_tier placement is available in `task_bytes`
+///     (see AttributionTable::Options::keep_tasks), else only by a
+///     uniform compute_scale;
+///   * gaps and lead time are assumed unchanged.
+WhatIfResult whatif(
+    const CritPath& cp, const hw::MachineModel& base, const HwDelta& delta,
+    const std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>*
+        task_bytes = nullptr);
+
+} // namespace hmr::telemetry

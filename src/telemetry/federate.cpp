@@ -1,0 +1,75 @@
+#include "telemetry/federate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hmr::telemetry {
+
+void Federation::add(std::string name, MetricsSnapshot snap,
+                     std::uint64_t weight) {
+  nodes_.push_back({std::move(name), weight == 0 ? 1 : weight,
+                    std::move(snap)});
+}
+
+std::uint64_t Federation::total_nodes() const {
+  std::uint64_t n = 0;
+  for (const Node& node : nodes_) n += node.weight;
+  return n;
+}
+
+MetricsSnapshot Federation::aggregate() const {
+  MetricsSnapshot out;
+  std::unordered_map<std::string, std::size_t> cidx;
+  std::unordered_map<std::string, std::size_t> gidx;
+  std::unordered_map<std::string, std::size_t> hidx;
+  const auto key = [](const MetricDesc& d) {
+    return d.name + '\1' + d.labels;
+  };
+  for (const Node& node : nodes_) {
+    const double w = static_cast<double>(node.weight);
+    out.time = std::max(out.time, node.snap.time);
+    for (const auto& c : node.snap.counters) {
+      auto [it, fresh] = cidx.try_emplace(key(c.desc), out.counters.size());
+      if (fresh) out.counters.push_back({c.desc, 0});
+      out.counters[it->second].value += c.value * node.weight;
+    }
+    for (const auto& g : node.snap.gauges) {
+      auto [it, fresh] = gidx.try_emplace(key(g.desc), out.gauges.size());
+      if (fresh) out.gauges.push_back({g.desc, 0});
+      out.gauges[it->second].value += g.value * w;
+    }
+    for (const auto& h : node.snap.histograms) {
+      auto [it, fresh] = hidx.try_emplace(key(h.desc), out.histograms.size());
+      if (fresh) {
+        MetricsSnapshot::HistogramVal hv;
+        hv.desc = h.desc;
+        out.histograms.push_back(hv);
+      }
+      auto& acc = out.histograms[it->second];
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        acc.buckets[b] += h.buckets[b] * node.weight;
+      }
+      acc.count += h.count * node.weight;
+      acc.sum += h.sum * node.weight;
+    }
+  }
+  return out;
+}
+
+void Federation::write_json(std::ostream& os) const {
+  os << "{\"total_nodes\":" << total_nodes() << ",\"nodes\":[";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) os << ",";
+    const Node& n = nodes_[i];
+    os << "{\"node\":\"";
+    json_escape(os, n.name);
+    os << "\",\"weight\":" << n.weight << ",\"metrics\":";
+    MetricsRegistry::write_json(os, n.snap);
+    os << "}";
+  }
+  os << "],\"aggregate\":";
+  MetricsRegistry::write_json(os, aggregate());
+  os << "}\n";
+}
+
+} // namespace hmr::telemetry

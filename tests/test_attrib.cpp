@@ -1,0 +1,612 @@
+// Tests for the bottleneck attribution plane: per-task stall
+// accounting (decompose_wait + AttributionTable), critical-path
+// extraction and phase verdicts, the what-if hardware estimator, and
+// cluster metrics federation — plus the executors' integration
+// (buckets sum to wall, rollups exported as metrics).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+#include <set>
+#include <sstream>
+
+#include "cluster/cluster_sim.hpp"
+#include "rt/io_handle.hpp"
+#include "rt/runtime.hpp"
+#include "sim/sim_executor.hpp"
+#include "sim/stencil_workload.hpp"
+#include "telemetry/attrib.hpp"
+#include "telemetry/critpath.hpp"
+#include "telemetry/federate.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/perfetto.hpp"
+#include "util/json.hpp"
+#include "util/units.hpp"
+
+namespace hmr {
+namespace {
+
+using telemetry::AttributionTable;
+using telemetry::Bucket;
+using telemetry::TaskAttribution;
+using telemetry::WaitSegment;
+
+double bucket(const TaskAttribution& a, Bucket b) {
+  return a.seconds[static_cast<int>(b)];
+}
+
+// ---------------------------------------------------------- decompose_wait
+
+TEST(DecomposeWait, DisjointSegmentsFillTheirBuckets) {
+  TaskAttribution a;
+  a.arrive = 0;
+  a.start = 1.0;
+  a.end = 1.5;
+  std::vector<WaitSegment> segs = {
+      {0.0, 0.3, 2, 1, false, false, 5},  // local fetch of block 5
+      {0.5, 0.7, 1, 2, false, true, 9},   // forced eviction
+      {0.8, 0.9, 3, 1, true, false, 7},   // remote fetch
+  };
+  telemetry::decompose_wait(a, segs);
+  EXPECT_DOUBLE_EQ(bucket(a, Bucket::Compute), 0.5);
+  EXPECT_DOUBLE_EQ(bucket(a, Bucket::FetchWait), 0.3);
+  EXPECT_DOUBLE_EQ(bucket(a, Bucket::EvictStall), 0.2);
+  EXPECT_DOUBLE_EQ(bucket(a, Bucket::RemoteSerial), 0.1);
+  EXPECT_NEAR(bucket(a, Bucket::QueueWait), 0.4, 1e-12);
+  EXPECT_NEAR(a.bucket_sum(), a.wall(), 1e-12);
+
+  // Per-pair and per-block coverage.
+  ASSERT_EQ(a.pairs.size(), 3u);
+  ASSERT_EQ(a.blocks.size(), 3u);
+  double p21 = 0;
+  for (const auto& p : a.pairs) {
+    if (p.src == 2 && p.dst == 1) p21 = p.seconds;
+  }
+  EXPECT_DOUBLE_EQ(p21, 0.3);
+}
+
+TEST(DecomposeWait, OverlapPriorityRemoteOverFetchOverEvict) {
+  TaskAttribution a;
+  a.arrive = 0;
+  a.start = 1.0;
+  a.end = 1.0; // zero compute; only the wait window matters
+  std::vector<WaitSegment> segs = {
+      {0.0, 0.5, 3, 1, true, false, 1},  // remote
+      {0.2, 0.6, 0, 1, false, false, 2}, // local fetch overlapping it
+      {0.1, 0.8, 1, 0, false, true, 3},  // eviction overlapping both
+  };
+  telemetry::decompose_wait(a, segs);
+  EXPECT_DOUBLE_EQ(bucket(a, Bucket::RemoteSerial), 0.5);
+  // fetch coverage [0, 0.6] minus the remote's 0.5.
+  EXPECT_NEAR(bucket(a, Bucket::FetchWait), 0.1, 1e-12);
+  // everything covered [0, 0.8] minus fetch∪remote [0, 0.6].
+  EXPECT_NEAR(bucket(a, Bucket::EvictStall), 0.2, 1e-12);
+  EXPECT_NEAR(bucket(a, Bucket::QueueWait), 0.2, 1e-12);
+  EXPECT_NEAR(a.bucket_sum(), a.wall(), 1e-12);
+}
+
+TEST(DecomposeWait, SegmentsClippedToWaitWindow) {
+  TaskAttribution a;
+  a.arrive = 1.0;
+  a.start = 2.0;
+  a.end = 2.5;
+  std::vector<WaitSegment> segs = {
+      {0.0, 0.9, 0, 1, false, false, 1},  // entirely before arrive
+      {1.5, 3.0, 0, 1, false, false, 2},  // clipped to [1.5, 2.0]
+      {2.1, 2.4, 0, 1, false, false, 3},  // after start: ignored
+  };
+  telemetry::decompose_wait(a, segs);
+  EXPECT_NEAR(bucket(a, Bucket::FetchWait), 0.5, 1e-12);
+  EXPECT_NEAR(bucket(a, Bucket::QueueWait), 0.5, 1e-12);
+  EXPECT_NEAR(a.bucket_sum(), a.wall(), 1e-12);
+}
+
+TEST(DecomposeWait, NoSegmentsMeansPureQueueWait) {
+  TaskAttribution a;
+  a.arrive = 0;
+  a.start = 2.0;
+  a.end = 3.0;
+  telemetry::decompose_wait(a, {});
+  EXPECT_DOUBLE_EQ(bucket(a, Bucket::QueueWait), 2.0);
+  EXPECT_DOUBLE_EQ(bucket(a, Bucket::Compute), 1.0);
+  EXPECT_TRUE(a.pairs.empty());
+  EXPECT_TRUE(a.blocks.empty());
+}
+
+// ------------------------------------------------------- AttributionTable
+
+TaskAttribution make_task(std::uint64_t id, std::int64_t phase,
+                          std::uint32_t tenant, double t0) {
+  TaskAttribution a;
+  a.task = id;
+  a.phase = phase;
+  a.tenant = tenant;
+  a.arrive = t0;
+  a.start = t0 + 0.25;
+  a.end = t0 + 1.0;
+  a.seconds[static_cast<int>(Bucket::Compute)] = 0.75;
+  a.seconds[static_cast<int>(Bucket::FetchWait)] = 0.15;
+  a.seconds[static_cast<int>(Bucket::QueueWait)] = 0.10;
+  a.pairs = {{0, 1, 0.15}};
+  a.blocks = {{id % 2, 0.15}};
+  return a;
+}
+
+TEST(AttributionTable, ShardedRollupMergesEverything) {
+  AttributionTable::Options opt;
+  opt.shards = 2;
+  AttributionTable t(opt);
+  t.record(0, make_task(1, 0, 0, 0.0));
+  t.record(1, make_task(2, 0, 7, 1.0));
+  t.record(0, make_task(3, 1, 7, 2.0));
+
+  const auto r = t.rollup();
+  EXPECT_EQ(r.tasks, 3u);
+  EXPECT_NEAR(r.wall, 3.0, 1e-12);
+  EXPECT_NEAR(r.seconds[static_cast<int>(Bucket::Compute)], 2.25, 1e-12);
+  ASSERT_EQ(r.phases.size(), 2u);
+  EXPECT_EQ(r.phases[0].phase, 0);
+  EXPECT_EQ(r.phases[0].tasks, 2u);
+  EXPECT_EQ(r.phases[1].phase, 1);
+  ASSERT_EQ(r.tenants.size(), 2u); // tenant 0 and 7, ascending
+  EXPECT_EQ(r.tenants[0].tenant, 0u);
+  EXPECT_EQ(r.tenants[0].tasks, 1u);
+  EXPECT_EQ(r.tenants[1].tenant, 7u);
+  EXPECT_EQ(r.tenants[1].tasks, 2u);
+  ASSERT_EQ(r.pairs.size(), 1u);
+  EXPECT_NEAR(r.pairs[0].seconds, 0.45, 1e-12);
+  ASSERT_EQ(r.blocks.size(), 2u);
+  // Blocks sorted by descending wait.
+  EXPECT_GE(r.blocks[0].seconds, r.blocks[1].seconds);
+  EXPECT_EQ(r.sum_violations, 0u);
+}
+
+TEST(AttributionTable, SumViolationsAreCounted) {
+  AttributionTable t;
+  auto a = make_task(1, 0, 0, 0.0);
+  a.seconds[static_cast<int>(Bucket::QueueWait)] += 0.5; // break the sum
+  t.record(0, a);
+  const auto r = t.rollup();
+  EXPECT_EQ(r.sum_violations, 1u);
+  EXPECT_GT(r.worst_rel_err, AttributionTable::kSumTolerance);
+}
+
+TEST(AttributionTable, KeepTasksRetainsRecords) {
+  AttributionTable off;
+  off.record(0, make_task(1, 0, 0, 0.0));
+  EXPECT_TRUE(off.tasks().empty());
+
+  AttributionTable::Options opt;
+  opt.keep_tasks = true;
+  AttributionTable on(opt);
+  on.record(0, make_task(1, 0, 0, 0.0));
+  on.record(0, make_task(2, 0, 0, 1.0));
+  EXPECT_EQ(on.tasks().size(), 2u);
+}
+
+TEST(AttributionTable, JsonAndMetricsExports) {
+  AttributionTable t;
+  t.record(0, make_task(1, 0, 3, 0.0));
+
+  std::ostringstream os;
+  t.write_json(os);
+  json::Value doc;
+  std::string err;
+  ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+  EXPECT_EQ(doc.find("tasks")->num_or(0), 1);
+  ASSERT_NE(doc.find("buckets"), nullptr);
+  EXPECT_GT(doc.find("buckets")->find("compute")->num_or(0), 0);
+  EXPECT_EQ(doc.find("audit")->find("sum_violations")->num_or(-1), 0);
+
+  telemetry::MetricsRegistry reg;
+  t.export_metrics(reg);
+  const auto snap = reg.snapshot();
+  const auto* tasks = snap.counter("hmr_attrib_tasks_total");
+  ASSERT_NE(tasks, nullptr);
+  EXPECT_EQ(tasks->value, 1u);
+  const auto* compute_ns =
+      snap.counter("hmr_attrib_ns_total", "bucket=\"compute\"");
+  ASSERT_NE(compute_ns, nullptr);
+  EXPECT_NEAR(static_cast<double>(compute_ns->value), 0.75e9, 1e6);
+  EXPECT_NE(snap.counter("hmr_attrib_wait_ns_total", "pair=\"0->1\""),
+            nullptr);
+}
+
+// ----------------------------------------------------- sim integration
+
+TEST(SimAttribution, BucketsSumToWallAcrossARealRun) {
+  sim::SimConfig cfg;
+  cfg.model = hw::knl_flat_all_to_all();
+  cfg.model.num_pes = 8;
+  cfg.fast_capacity = 64 * MiB;
+  cfg.strategy = ooc::Strategy::MultiIo;
+  cfg.attrib = true;
+  sim::SimExecutor ex(cfg);
+  const sim::StencilWorkload w({.total_bytes = 128 * MiB,
+                                .num_chares = 32,
+                                .num_pes = 8,
+                                .iterations = 2});
+  const auto res = ex.run(w);
+  ASSERT_NE(ex.attribution(), nullptr);
+  const auto r = ex.attribution()->rollup();
+  EXPECT_EQ(r.tasks, res.tasks_completed);
+  EXPECT_EQ(r.sum_violations, 0u) << "worst " << r.worst_rel_err;
+  EXPECT_GT(r.seconds[static_cast<int>(Bucket::Compute)], 0.0);
+  // An out-of-core run must show fetch waits on some channel.
+  EXPECT_GT(r.seconds[static_cast<int>(Bucket::FetchWait)], 0.0);
+  EXPECT_FALSE(r.pairs.empty());
+  // One phase row per iteration.
+  EXPECT_EQ(r.phases.size(), 2u);
+}
+
+TEST(SimAttribution, OffByDefaultOnWithMetrics) {
+  sim::SimConfig cfg;
+  cfg.model = hw::knl_flat_all_to_all();
+  cfg.model.num_pes = 4;
+  {
+    sim::SimExecutor ex(cfg);
+    EXPECT_EQ(ex.attribution(), nullptr);
+  }
+  telemetry::MetricsRegistry reg;
+  cfg.metrics = &reg;
+  sim::SimExecutor ex(cfg);
+  EXPECT_NE(ex.attribution(), nullptr);
+  const sim::StencilWorkload w({.total_bytes = 32 * MiB,
+                                .num_chares = 8,
+                                .num_pes = 4,
+                                .iterations = 1});
+  ex.run(w);
+  const auto snap = reg.snapshot();
+  const auto* tasks = snap.counter("hmr_attrib_tasks_total");
+  ASSERT_NE(tasks, nullptr);
+  EXPECT_GT(tasks->value, 0u);
+}
+
+// ------------------------------------------------------ rt integration
+
+TEST(RtAttribution, ThreadedRuntimeDecomposesExactly) {
+  rt::Runtime::Config cfg;
+  cfg.num_pes = 2;
+  cfg.mem_scale = 1.0 / 4096;
+  cfg.metrics = true;
+  rt::Runtime rt(cfg);
+  std::vector<rt::IoHandle<double>> blocks;
+  for (int i = 0; i < 8; ++i) blocks.emplace_back(rt, 64 * 1024);
+  for (int r = 0; r < 2; ++r) {
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      auto& blk = blocks[i];
+      rt.send_prefetch(static_cast<int>(i) % 2,
+                       {blk.dep(ooc::AccessMode::ReadWrite)},
+                       [&blk] { blk[0] += 1.0; });
+    }
+    rt.wait_idle();
+  }
+  ASSERT_NE(rt.attribution(), nullptr);
+  const auto r = rt.attribution()->rollup();
+  EXPECT_EQ(r.tasks, 16u);
+  EXPECT_EQ(r.sum_violations, 0u) << "worst " << r.worst_rel_err;
+  EXPECT_GT(r.wall, 0.0);
+}
+
+// Perfetto causal-flow pairing under the sharded (MultiIo) engine: a
+// randomized multi-PE workload of first-touch blocks, so every execute
+// slice must have been fed by a fetch — the trace must pair them both
+// as same-task intervals and as s/f flow arrows in the Perfetto dump.
+TEST(RtAttribution, PerfettoFlowsPairEveryExecuteWithItsFetch) {
+  rt::Runtime::Config cfg;
+  cfg.num_pes = 4;
+  cfg.mem_scale = 1.0 / 4096;
+  cfg.trace = true;
+  rt::Runtime rt(cfg);
+
+  std::mt19937 rng(20260809u);
+  std::vector<rt::IoHandle<double>> blocks;
+  for (int round = 0; round < 3; ++round) {
+    // Fresh blocks each round: first touch always fetches, and no
+    // cross-task dedup can swallow a fetch interval.
+    const std::size_t base = blocks.size();
+    for (int i = 0; i < 12; ++i) blocks.emplace_back(rt, 64 * 1024);
+    std::vector<std::size_t> order(12);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = base + i;
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t idx : order) {
+      auto& blk = blocks[idx];
+      const int pe = static_cast<int>(rng() % 4);
+      rt.send_prefetch(pe, {blk.dep(ooc::AccessMode::ReadWrite)},
+                       [&blk] { blk[0] = 1.0; });
+    }
+    rt.wait_idle();
+  }
+
+  const auto ivs = rt.tracer().intervals();
+  std::set<std::uint64_t> fetch_tasks;
+  for (const auto& i : ivs) {
+    if (i.cat == trace::Category::Prefetch && i.task != 0 &&
+        i.task != ~0ull) {
+      fetch_tasks.insert(i.task);
+    }
+  }
+  std::size_t executes = 0;
+  for (const auto& i : ivs) {
+    if (i.cat != trace::Category::Compute || i.task == 0 ||
+        i.task == ~0ull) {
+      continue;
+    }
+    ++executes;
+    EXPECT_TRUE(fetch_tasks.count(i.task))
+        << "execute of task " << i.task << " has no paired fetch";
+  }
+  EXPECT_EQ(executes, 36u);
+
+  // The Perfetto dump draws each pairing as an s ... f flow chain.
+  std::ostringstream os;
+  telemetry::write_perfetto(os, ivs);
+  json::Value doc;
+  std::string err;
+  ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+  std::map<std::string, std::set<std::string>> phases_by_task;
+  for (const auto& ev : doc.find("traceEvents")->arr) {
+    if (ev.find("cat") && ev.find("cat")->str_or("") == "task_flow") {
+      phases_by_task[ev.find("name")->str_or("?")].insert(
+          ev.find("ph")->str_or("?"));
+    }
+  }
+  EXPECT_GE(phases_by_task.size(), 36u);
+  for (const auto& [task, phases] : phases_by_task) {
+    EXPECT_TRUE(phases.count("s")) << task << " chain has no start";
+    EXPECT_TRUE(phases.count("f")) << task << " chain has no finish";
+  }
+}
+
+// ------------------------------------------------------- critical path
+
+using trace::Category;
+using trace::Interval;
+
+Interval iv(std::int32_t lane, Category cat, double s, double e,
+            std::uint64_t task = 0, std::uint32_t src = 0,
+            std::uint32_t dst = 0, std::uint64_t bytes = 0) {
+  Interval i;
+  i.lane = lane;
+  i.cat = cat;
+  i.start = s;
+  i.end = e;
+  i.task = task;
+  i.src_tier = src;
+  i.dst_tier = dst;
+  i.bytes = bytes;
+  return i;
+}
+
+TEST(CriticalPath, WalksSameTaskChainAndAccountsGaps) {
+  // fetch(t1) -> compute(t1) || fetch(t2) -> compute(t2); the last
+  // compute ends latest, so the chain walks t2's fetch, then jumps.
+  const std::vector<Interval> ivs = {
+      iv(4, Category::Prefetch, 0.0, 1.0, 1, 0, 1, 1 << 20),
+      iv(0, Category::Compute, 1.0, 3.0, 1),
+      iv(4, Category::Prefetch, 3.0, 4.0, 2, 0, 1, 1 << 20),
+      iv(0, Category::Compute, 4.0, 6.0, 2),
+  };
+  const auto cp = telemetry::critical_path(ivs);
+  EXPECT_DOUBLE_EQ(cp.makespan(), 6.0);
+  ASSERT_FALSE(cp.steps.empty());
+  // Chronological, ends at the last-finishing interval.
+  EXPECT_DOUBLE_EQ(cp.steps.back().iv.end, 6.0);
+  for (std::size_t i = 1; i < cp.steps.size(); ++i) {
+    EXPECT_LE(cp.steps[i - 1].iv.end, cp.steps[i].iv.start + 1e-12);
+  }
+  // Steps + gaps + lead tile the makespan exactly.
+  EXPECT_NEAR(cp.step_seconds + cp.gap_seconds + cp.lead_seconds,
+              cp.makespan(), 1e-9);
+  // The compute->fetch dependence is a same-task link.
+  bool same_task = false;
+  for (const auto& s : cp.steps) {
+    if (s.link == telemetry::CritStep::Link::SameTask) same_task = true;
+  }
+  EXPECT_TRUE(same_task);
+  // Migration pair rollup saw the prefetches on the path.
+  ASSERT_FALSE(cp.pairs.empty());
+  EXPECT_EQ(cp.pairs[0].src, 0u);
+  EXPECT_EQ(cp.pairs[0].dst, 1u);
+}
+
+TEST(CriticalPath, IgnoresIdleAndHandlesEmpty) {
+  EXPECT_TRUE(telemetry::critical_path({}).steps.empty());
+  const std::vector<Interval> only_idle = {
+      iv(0, Category::Idle, 0.0, 5.0)};
+  EXPECT_TRUE(telemetry::critical_path(only_idle).steps.empty());
+}
+
+TEST(Verdicts, ComputeBandwidthAndLatency) {
+  // Compute-dominated path.
+  const auto compute_cp = telemetry::critical_path({
+      iv(0, Category::Compute, 0.0, 8.0, 1),
+      iv(4, Category::Prefetch, 8.0, 9.0, 1, 0, 1, 1 << 20),
+  });
+  EXPECT_EQ(telemetry::classify(compute_cp).verdict,
+            telemetry::Verdict::ComputeBound);
+
+  // Large transfers dominate: bandwidth-bound (byte heuristic).
+  const auto bw_cp = telemetry::critical_path({
+      iv(4, Category::Prefetch, 0.0, 6.0, 1, 0, 1, 64 << 20),
+      iv(0, Category::Compute, 6.0, 7.0, 1),
+  });
+  const auto bw = telemetry::classify(bw_cp);
+  EXPECT_EQ(bw.verdict, telemetry::Verdict::BandwidthBound);
+  EXPECT_GT(bw.bandwidth_seconds, 0.0);
+
+  // Tiny transfers dominate: latency-bound (byte heuristic).
+  std::vector<Interval> small;
+  for (int i = 0; i < 6; ++i) {
+    small.push_back(iv(4, Category::Prefetch, i * 1.0, i * 1.0 + 0.9,
+                       static_cast<std::uint64_t>(i + 1), 0, 1, 512));
+  }
+  small.push_back(iv(0, Category::Compute, 5.9, 6.4, 6));
+  const auto lat = telemetry::classify(telemetry::critical_path(small));
+  EXPECT_EQ(lat.verdict, telemetry::Verdict::LatencyBound);
+}
+
+// ------------------------------------------------------------- what-if
+
+TEST(WhatIf, ApplyDeltaScalesTheRightKnobs) {
+  auto m = hw::three_tier_hbm_ddr_nvm();
+  m.tiers.push_back({"pool", 1ull << 40, 10 * GB, 10 * GB, 2e-6, -1,
+                     /*remote=*/true});
+  telemetry::HwDelta d;
+  d.name = "combo";
+  d.fast_bw_scale = 2.0;
+  d.compute_scale = 3.0;
+  d.remote_bw_scale = 4.0;
+  d.remote_latency_scale = 0.5;
+  const auto out = telemetry::apply_delta(m, d);
+  EXPECT_DOUBLE_EQ(out.tiers[m.fast].read_bw, m.tiers[m.fast].read_bw * 2);
+  EXPECT_DOUBLE_EQ(out.compute_bw_per_pe, m.compute_bw_per_pe * 3);
+  EXPECT_DOUBLE_EQ(out.tiers.back().read_bw, 40 * GB);
+  EXPECT_DOUBLE_EQ(out.tiers.back().latency, 1e-6);
+  // Non-remote, non-fast tiers untouched.
+  EXPECT_DOUBLE_EQ(out.tiers[m.slow].read_bw, m.tiers[m.slow].read_bw);
+}
+
+TEST(WhatIf, RecostsMigrationSerializationAnalytically) {
+  // Two equal tiers so min(src.read, dst.write) is controlled by the
+  // single knob we scale.
+  hw::MachineModel m;
+  m.name = "tiny";
+  m.num_pes = 1;
+  m.alloc_overhead = 0.5;
+  m.tiers = {{"a", 1ull << 30, 10 * GB, 10 * GB, 0, -1, false},
+             {"b", 1ull << 30, 10 * GB, 10 * GB, 0, -1, false}};
+  m.slow = 0;
+  m.fast = 1;
+
+  // One migration step: 0.5 s overhead + 3.5 s serialization.
+  const auto cp = telemetry::critical_path({
+      iv(4, Category::Prefetch, 0.0, 4.0, 1, 0, 1, 1 << 30),
+  });
+  telemetry::HwDelta d;
+  d.name = "2x both tiers";
+  d.tier_bw_scale = {{0, 2.0}, {1, 2.0}};
+  const auto r = telemetry::whatif(cp, m, d);
+  EXPECT_DOUBLE_EQ(r.base_seconds, 4.0);
+  // overhead unchanged, serialization halves: 0.5 + 1.75.
+  EXPECT_NEAR(r.predicted_seconds, 2.25, 1e-9);
+  EXPECT_NEAR(r.speedup, 4.0 / 2.25, 1e-9);
+
+  // A delta that does not touch this channel predicts no change.
+  telemetry::HwDelta noop;
+  noop.name = "remote only";
+  noop.remote_latency_scale = 0.5;
+  EXPECT_NEAR(telemetry::whatif(cp, m, noop).predicted_seconds, 4.0, 1e-9);
+}
+
+TEST(WhatIf, ComputeStepsScaleViaTaskBytes) {
+  auto m = hw::knl_flat_all_to_all();
+  m.num_pes = 1;
+  const auto cp = telemetry::critical_path({
+      iv(0, Category::Compute, 0.0, 2.0, 42),
+  });
+  // The task streamed from the fast tier only; doubling fast bw must
+  // shrink the roofline time by the model's own ratio.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> tb;
+  tb[42] = {0, 256ull << 20};
+  telemetry::HwDelta d;
+  d.name = "2x fast bw";
+  d.fast_bw_scale = 2.0;
+  const auto r = telemetry::whatif(cp, m, d, &tb);
+  const double t_old = m.compute_time(tb[42], 1);
+  const double t_new =
+      telemetry::apply_delta(m, d).compute_time(tb[42], 1);
+  EXPECT_NEAR(r.predicted_seconds, 2.0 * (t_new / t_old), 1e-9);
+  EXPECT_GT(r.speedup, 1.0);
+
+  // Without task bytes, only an explicit compute_scale applies.
+  EXPECT_NEAR(telemetry::whatif(cp, m, d).predicted_seconds, 2.0, 1e-12);
+  telemetry::HwDelta c;
+  c.name = "2x compute";
+  c.compute_scale = 2.0;
+  EXPECT_NEAR(telemetry::whatif(cp, m, c).predicted_seconds, 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------- federation
+
+TEST(Federation, WeightedAggregateAndJson) {
+  telemetry::MetricsRegistry r0;
+  r0.counter("hmr_policy_fetches_total", "", "h").add(10);
+  r0.gauge("hmr_tier_used_bytes", "level=\"0\"", "h").set(100);
+  telemetry::MetricsRegistry r1;
+  r1.counter("hmr_policy_fetches_total", "", "h").add(3);
+  r1.gauge("hmr_tier_used_bytes", "level=\"0\"", "h").set(7);
+
+  telemetry::Federation fed;
+  fed.add("node0", r0.snapshot(), /*weight=*/3);
+  fed.add("node3", r1.snapshot());
+  EXPECT_EQ(fed.size(), 2u);
+  EXPECT_EQ(fed.total_nodes(), 4u);
+
+  const auto agg = fed.aggregate();
+  const auto* c = agg.counter("hmr_policy_fetches_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 33u); // 10*3 + 3
+  const auto* g = agg.gauge("hmr_tier_used_bytes", "level=\"0\"");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->value, 307.0);
+
+  std::ostringstream os;
+  fed.write_json(os);
+  json::Value doc;
+  std::string err;
+  ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+  EXPECT_EQ(doc.find("total_nodes")->num_or(0), 4);
+  ASSERT_EQ(doc.find("nodes")->arr.size(), 2u);
+  EXPECT_EQ(doc.find("nodes")->arr[0].find("node")->str_or(""), "node0");
+  ASSERT_NE(doc.find("aggregate"), nullptr);
+}
+
+TEST(Federation, ClusterSimFederatesPerGroupSnapshots) {
+  cluster::ClusterConfig cfg;
+  cfg.nodes = 5; // strong-scaling remainder: two share groups
+  cfg.total_bytes = 5 * GiB + 512 * MiB;
+  cfg.reduced_bytes = 256 * MiB;
+  cfg.iterations = 2;
+  cfg.metrics = true;
+  cluster::ClusterSim sim(cfg);
+  sim.run();
+
+  const auto& fed = sim.federation();
+  EXPECT_EQ(fed.total_nodes(), 5u);
+  EXPECT_GE(fed.size(), 1u);
+
+  json::Value doc;
+  std::string err;
+  ASSERT_TRUE(json::parse(sim.metrics_json(), doc, &err)) << err;
+  EXPECT_EQ(doc.find("total_nodes")->num_or(0), 5);
+  const auto* agg = doc.find("aggregate");
+  ASSERT_NE(agg, nullptr);
+  // The aggregate carries the per-node engine counters.
+  bool saw_tasks = false;
+  for (const auto& c : agg->find("counters")->arr) {
+    if (c.find("name")->str_or("") == "hmr_policy_tasks_run_total") {
+      saw_tasks = c.find("value")->num_or(0) > 0;
+    }
+  }
+  EXPECT_TRUE(saw_tasks);
+
+  json::Value attrib;
+  ASSERT_TRUE(json::parse(sim.attrib_json(), attrib, &err)) << err;
+  EXPECT_EQ(attrib.find("total_nodes")->num_or(0), 5);
+  const auto* nodes = attrib.find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  ASSERT_FALSE(nodes->arr.empty());
+  for (const auto& n : nodes->arr) {
+    const auto* a = n.find("attrib");
+    ASSERT_NE(a, nullptr);
+    EXPECT_GT(a->find("tasks")->num_or(0), 0);
+    EXPECT_EQ(a->find("audit")->find("sum_violations")->num_or(-1), 0);
+  }
+}
+
+} // namespace
+} // namespace hmr

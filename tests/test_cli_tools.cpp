@@ -159,6 +159,60 @@ TEST(HmrTop, RequiresPortOrFile) {
   EXPECT_NE(r.output.find("--port or --from"), std::string::npos);
 }
 
+// ---- hmr_explain ----
+
+TEST(HmrExplain, ComputeBoundSummaryMatchesGolden) {
+  const RunResult r = run(
+      in_golden_dir(std::string("'") + HMR_EXPLAIN_TOOL +
+                    "' --in trace_small.csv 2>/dev/null"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, golden("explain_small.out"));
+}
+
+TEST(HmrExplain, BandwidthBoundWithModelAndWhatIfMatchesGolden) {
+  const RunResult r = run(
+      in_golden_dir(std::string("'") + HMR_EXPLAIN_TOOL +
+                    "' --in explain_bw.csv --model knl --whatif "
+                    "2>/dev/null"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, golden("explain_bw.out"));
+}
+
+TEST(HmrExplain, JsonOutputCarriesVerdictAndPairs) {
+  const RunResult r = run(
+      in_golden_dir(std::string("'") + HMR_EXPLAIN_TOOL +
+                    "' --in explain_bw.csv --json 2>/dev/null"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("\"verdict\":\"bandwidth-bound\""),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"pairs\":["), std::string::npos);
+  EXPECT_NE(r.output.find("\"makespan_s\":10.5"), std::string::npos);
+}
+
+TEST(HmrExplain, RequiresExactlyOneInput) {
+  const RunResult r =
+      run(std::string("'") + HMR_EXPLAIN_TOOL + "' 2>&1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("exactly one of --in / --perfetto"),
+            std::string::npos);
+}
+
+TEST(HmrExplain, RejectsMalformedCsvRow) {
+  const std::string path = "/tmp/hmr_explain_bad.csv";
+  {
+    std::ofstream f(path);
+    f << "lane,category,start,end,task,src_tier,dst_tier,bytes\n";
+    f << "0,compute,zero,1,1,0,0,0\n";
+  }
+  const RunResult r = run(std::string("'") + HMR_EXPLAIN_TOOL +
+                          "' --in " + path + " 2>&1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("bad row at line 2"), std::string::npos)
+      << r.output;
+  std::remove(path.c_str());
+}
+
 // ---- hmr_bench_diff ----
 
 std::string diff_cmd(const std::string& oldf, const std::string& newf,

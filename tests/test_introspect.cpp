@@ -338,6 +338,77 @@ TEST(RuntimeIntrospect, ClusterRouteServesAttachedSnapshot) {
   EXPECT_NE(resp.find("\"halo_messages\":42"), std::string::npos);
 }
 
+TEST(RuntimeIntrospect, AttribRouteServesStallDecomposition) {
+  auto cfg = busy_config();
+  cfg.serve_port = 0;
+  rt::Runtime rt(cfg);
+  ASSERT_NE(rt.serve_port(), 0);
+  run_migrating_workload(rt);
+
+  const std::string resp = http_get(rt.serve_port(), "/attrib");
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("application/json"), std::string::npos);
+  EXPECT_NE(resp.find("\"buckets\":{"), std::string::npos);
+  EXPECT_NE(resp.find("\"compute\":"), std::string::npos);
+  EXPECT_NE(resp.find("\"fetch_wait\":"), std::string::npos);
+  // Every retired task's buckets summed to wall time.
+  EXPECT_NE(resp.find("\"sum_violations\":0"), std::string::npos);
+  // All 36 tasks from the migrating workload are attributed.
+  EXPECT_NE(resp.find("\"tasks\":36"), std::string::npos) << resp;
+}
+
+TEST(RuntimeIntrospect, HistoryRejectsMalformedWindow) {
+  auto cfg = busy_config();
+  cfg.serve_port = 0;
+  cfg.metrics = true; // history needs the registry (depth default 240)
+  rt::Runtime rt(cfg);
+  ASSERT_NE(rt.serve_port(), 0);
+  run_migrating_workload(rt, /*rounds=*/1);
+
+  // Valid windows (including zero and float seconds) still answer 200.
+  EXPECT_NE(http_get(rt.serve_port(), "/history?window=2.5")
+                .find("200 OK"),
+            std::string::npos);
+  // strtod accepts "nan"/"inf"/negatives; the route must not.
+  for (const char* bad : {"nan", "inf", "-1", "junk", "1e9x"}) {
+    const std::string resp =
+        http_get(rt.serve_port(), std::string("/history?window=") + bad);
+    EXPECT_NE(resp.find("400"), std::string::npos) << bad;
+    EXPECT_NE(resp.find("bad window"), std::string::npos) << bad;
+    EXPECT_NE(resp.find("usage:"), std::string::npos) << bad;
+  }
+}
+
+TEST(RuntimeIntrospect, ClusterMetricsRoutesServeAttachedFederation) {
+  // Unset providers answer 404 with a wiring hint...
+  {
+    auto cfg = busy_config();
+    cfg.serve_port = 0;
+    rt::Runtime rt(cfg);
+    EXPECT_NE(http_get(rt.serve_port(), "/cluster/metrics")
+                  .find("no federated metrics attached"),
+              std::string::npos);
+    EXPECT_NE(http_get(rt.serve_port(), "/cluster/attrib").find("404"),
+              std::string::npos);
+  }
+  // ...and wired providers serve their payload verbatim.
+  auto cfg = busy_config();
+  cfg.serve_port = 0;
+  cfg.cluster_metrics_json = [] {
+    return std::string("{\"total_nodes\":4,\"nodes\":[]}\n");
+  };
+  cfg.cluster_attrib_json = [] {
+    return std::string("{\"total_nodes\":4,\"nodes\":[{\"node\":\"n0\"}]}\n");
+  };
+  rt::Runtime rt(cfg);
+  const std::string metrics = http_get(rt.serve_port(), "/cluster/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("\"total_nodes\":4"), std::string::npos);
+  const std::string attrib = http_get(rt.serve_port(), "/cluster/attrib");
+  EXPECT_NE(attrib.find("200 OK"), std::string::npos);
+  EXPECT_NE(attrib.find("\"node\":\"n0\""), std::string::npos);
+}
+
 TEST(RuntimeIntrospect, WatchdogSilentOnHealthyRun) {
   auto cfg = busy_config();
   cfg.watchdog = true;

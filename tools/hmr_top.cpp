@@ -176,7 +176,95 @@ struct Frame {
   hmr::json::Value status;
   hmr::json::Value history; // /history?metric=hmr_tier_used_bytes ({} if n/a)
   bool have_history = false;
+  hmr::json::Value cluster; // /cluster/metrics federation ({} if n/a)
+  bool have_cluster = false;
 };
+
+/// Counter value from a MetricsRegistry JSON object ("counters" array
+/// entries {"name","labels","value"}); labels must match exactly.
+double counter_value(const hmr::json::Value& metrics, const char* name,
+                     const std::string& labels = "") {
+  const auto* cs = metrics.find("counters");
+  if (!cs || !cs->is_array()) return 0;
+  for (const auto& c : cs->arr) {
+    const auto* n = c.find("name");
+    const auto* l = c.find("labels");
+    if (n && n->str == name && (l ? l->str : "") == labels) {
+      const auto* v = c.find("value");
+      return v ? v->num_or(0) : 0;
+    }
+  }
+  return 0;
+}
+
+/// One row of the cluster pane from one node's (or the aggregate's)
+/// metrics object.
+void cluster_row(const char* label, double weight,
+                 const hmr::json::Value& metrics, double busiest_fetch,
+                 int width) {
+  const double tasks = counter_value(metrics, "hmr_policy_tasks_run_total");
+  const double fetch_b =
+      counter_value(metrics, "hmr_policy_fetch_bytes_total");
+  // Stall split from the attribution counters: everything but compute,
+  // as a fraction of attributed wall time.
+  static const char* kBuckets[] = {"compute", "fetch_wait", "queue_wait",
+                                   "remote_serial", "evict_stall"};
+  double wall = 0, stall = 0, worst = 0;
+  const char* worst_name = "-";
+  for (const char* b : kBuckets) {
+    const double ns = counter_value(metrics, "hmr_attrib_ns_total",
+                                    "bucket=\"" + std::string(b) + "\"");
+    wall += ns;
+    if (std::strcmp(b, "compute") == 0) continue;
+    stall += ns;
+    if (ns > worst) {
+      worst = ns;
+      worst_name = b;
+    }
+  }
+  std::printf("  %-10s %5.0f %9.0f %10s %s %5.1f%%  %s\n", label, weight,
+              tasks,
+              hmr::fmt_bytes(static_cast<std::uint64_t>(fetch_b)).c_str(),
+              bar(busiest_fetch > 0 ? fetch_b / busiest_fetch : 0, width)
+                  .c_str(),
+              wall > 0 ? stall / wall * 100 : 0,
+              wall > 0 && stall > 0 ? worst_name : "-");
+}
+
+/// Cluster pane: one row per federated node snapshot plus the
+/// weighted aggregate (see docs/CLUSTER.md and /cluster/metrics).
+void render_cluster(const hmr::json::Value& fed, int width) {
+  const auto* nodes = fed.find("nodes");
+  const auto* total = fed.find("total_nodes");
+  std::printf("\nCluster (%d node%s, %zu group%s) — fetch bytes:\n",
+              total ? static_cast<int>(total->num_or(0)) : 0,
+              total && total->num_or(0) == 1 ? "" : "s",
+              nodes && nodes->is_array() ? nodes->arr.size() : 0,
+              nodes && nodes->is_array() && nodes->arr.size() == 1 ? ""
+                                                                   : "s");
+  std::printf("  %-10s %5s %9s %10s %*s %6s  %s\n", "node", "nodes",
+              "tasks", "fetch", width + 2, "", "stall", "dominant");
+  if (!nodes || !nodes->is_array()) return;
+  double busiest = 0;
+  for (const auto& n : nodes->arr) {
+    if (const auto* m = n.find("metrics")) {
+      busiest = std::max(
+          busiest, counter_value(*m, "hmr_policy_fetch_bytes_total"));
+    }
+  }
+  for (const auto& n : nodes->arr) {
+    const auto* name = n.find("node");
+    const auto* weight = n.find("weight");
+    const auto* m = n.find("metrics");
+    if (!m) continue;
+    cluster_row(name ? name->str.c_str() : "?",
+                weight ? weight->num_or(1) : 1, *m, busiest, width);
+  }
+  if (const auto* agg = fed.find("aggregate")) {
+    cluster_row("aggregate", total ? total->num_or(0) : 0, *agg, busiest,
+                width);
+  }
+}
 
 void render(const Frame& fr, int top_n, int width) {
   const hmr::json::Value& st = fr.status;
@@ -287,6 +375,8 @@ void render(const Frame& fr, int top_n, int width) {
         gov->find("phases") ? gov->find("phases")->num_or(0) : 0);
   }
 
+  if (fr.have_cluster) render_cluster(fr.cluster, width);
+
   // Active alerts: the watchdog's latched stall plus its last reason
   // whenever anything has tripped (storm alerts report here too).
   const auto* wd = st.find("watchdog");
@@ -323,6 +413,8 @@ int main(int argc, char** argv) {
   bool once = false;
   std::string from;
   std::string history_file;
+  bool cluster = false;
+  std::string cluster_file;
   std::int64_t top_n = 8;
   std::int64_t width = 24;
 
@@ -341,6 +433,13 @@ int main(int argc, char** argv) {
                 "offline mode: read /history?metric=hmr_tier_used_bytes "
                 "JSON from this file",
                 &history_file);
+  args.add_flag("cluster",
+                "add the federated per-node pane (/cluster/metrics; "
+                "needs Config::cluster_metrics_json wired)",
+                &cluster);
+  args.add_flag("cluster-file",
+                "offline mode: read /cluster/metrics JSON from this file",
+                &cluster_file);
   args.add_flag("top", "hot-block rows to show", &top_n);
   args.add_flag("width", "bar/sparkline width in characters", &width);
   if (!args.parse(argc, argv)) return 1;
@@ -382,6 +481,22 @@ int main(int argc, char** argv) {
     if (fr.have_history &&
         !hmr::json::parse(hist_text, fr.history, &jerr)) {
       fr.have_history = false;
+    }
+    std::string cluster_text;
+    if (offline) {
+      std::string ignored;
+      fr.have_cluster = !cluster_file.empty() &&
+                        read_file(cluster_file, cluster_text, ignored);
+    } else if (cluster) {
+      std::string ignored;
+      // 404 = no federation attached; drop the pane, keep the frame.
+      fr.have_cluster =
+          http_get(host, static_cast<int>(port), "/cluster/metrics",
+                   cluster_text, ignored);
+    }
+    if (fr.have_cluster &&
+        !hmr::json::parse(cluster_text, fr.cluster, &jerr)) {
+      fr.have_cluster = false;
     }
     return true;
   };

@@ -193,11 +193,16 @@ void print_json(const hmr::trace::TraceSummary& s, std::size_t intervals,
               static_cast<unsigned long long>(ring_fallbacks));
   for (std::size_t i = 0; i < s.migrations.size(); ++i) {
     const auto& m = s.migrations[i];
+    // effective_bw mirrors the human table's "effective b/w" column
+    // (bytes over busy lane-seconds; 0 when no time was recorded).
     std::printf("%s{\"src_tier\":%u,\"dst_tier\":%u,\"bytes\":%llu,"
-                "\"count\":%llu,\"seconds\":%.9f}",
+                "\"count\":%llu,\"seconds\":%.9f,\"effective_bw\":%.3f}",
                 i ? "," : "", m.src_tier, m.dst_tier,
                 static_cast<unsigned long long>(m.bytes),
-                static_cast<unsigned long long>(m.count), m.seconds);
+                static_cast<unsigned long long>(m.count), m.seconds,
+                m.seconds > 0
+                    ? static_cast<double>(m.bytes) / m.seconds
+                    : 0.0);
   }
   std::printf("]}\n");
 }
